@@ -1,0 +1,9 @@
+"""F10: ablation of the uniform optimizations."""
+
+from repro.bench import ablation
+
+
+def test_f10_ablation(benchmark, emit):
+    table = benchmark(ablation)
+    emit("F10_ablation",
+         "F10: optimization ablation (DGX-A100, 2^24 BLS12-381-Fr)", table)

@@ -1,0 +1,18 @@
+"""F11: end-to-end ZKP proof generation under four system configs."""
+
+from repro.bench import end_to_end
+
+
+def test_f11_end_to_end(benchmark, emit):
+    table = benchmark(end_to_end)
+    emit("F11_end_to_end",
+         "F11: proof generation time on DGX-A100 (BN254, Groth16-style)",
+         table)
+
+
+def test_f11_end_to_end_plonk(benchmark, emit):
+    from repro.zkp import PLONK_PROFILE
+
+    table = benchmark(end_to_end, profile=PLONK_PROFILE)
+    emit("F11b_end_to_end_plonk",
+         "F11b: proof generation on DGX-A100 (BN254, PLONK-style)", table)

@@ -1,0 +1,10 @@
+"""F12: interconnect sensitivity."""
+
+from repro.bench import interconnect_sensitivity
+
+
+def test_f12_interconnect(benchmark, emit):
+    table = benchmark(interconnect_sensitivity)
+    emit("F12_interconnect",
+         "F12: engines across interconnect families (2^24 BLS12-381-Fr)",
+         table)

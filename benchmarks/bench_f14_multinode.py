@@ -1,0 +1,10 @@
+"""F14: multi-node scaling — the recursion's fifth level."""
+
+from repro.bench import multi_node_scaling
+
+
+def test_f14_multinode(benchmark, emit):
+    table = benchmark(multi_node_scaling)
+    emit("F14_multinode",
+         "F14: multi-node NTT (DGX-A100 nodes over HDR InfiniBand)",
+         table)

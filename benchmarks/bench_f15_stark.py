@@ -1,0 +1,10 @@
+"""F15: STARK (hash-based) end-to-end proof generation."""
+
+from repro.bench import stark_end_to_end
+
+
+def test_f15_stark(benchmark, emit):
+    table = benchmark(stark_end_to_end)
+    emit("F15_stark_end_to_end",
+         "F15: STARK proof generation on DGX-A100 (Goldilocks, 96 "
+         "columns, blowup 8)", table)

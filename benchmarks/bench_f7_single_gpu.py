@@ -1,0 +1,9 @@
+"""F7: single-GPU NTT, naive global-memory kernel vs hierarchical tiled."""
+
+from repro.bench import single_gpu_comparison
+
+
+def test_f7_single_gpu(benchmark, emit):
+    table = benchmark(single_gpu_comparison)
+    emit("F7_single_gpu",
+         "F7: single-GPU NTT performance (A100, BLS12-381-Fr)", table)

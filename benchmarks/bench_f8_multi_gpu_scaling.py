@@ -1,0 +1,16 @@
+"""F8: multi-GPU scaling and the headline geomean speedups."""
+
+from repro.bench import headline_speedups, multi_gpu_scaling
+
+
+def test_f8_scaling(benchmark, emit):
+    table = benchmark(multi_gpu_scaling)
+    emit("F8_multi_gpu_scaling",
+         "F8: NTT time vs GPU count (DGX-A100, BLS12-381-Fr)", table)
+
+
+def test_f8_headline(benchmark, emit):
+    table = benchmark(headline_speedups)
+    emit("F8_headline_speedups",
+         "F8 summary: geomean UniNTT speedups (paper abstract: 4.26x avg)",
+         table)

@@ -1,0 +1,10 @@
+"""F9: measured communication breakdown (functional simulator)."""
+
+from repro.bench import comm_breakdown
+
+
+def test_f9_comm_breakdown(benchmark, emit):
+    table = benchmark(comm_breakdown)
+    emit("F9_comm_breakdown",
+         "F9: measured bytes per hierarchy level (8 GPUs, functional sim)",
+         table)

@@ -1,0 +1,9 @@
+"""T1: the simulated hardware platforms table."""
+
+from repro.bench import platforms_table
+
+
+def test_t1_platforms(benchmark, emit):
+    table = benchmark(platforms_table)
+    emit("T1_platforms", "T1: evaluated (simulated) hardware platforms",
+         table)

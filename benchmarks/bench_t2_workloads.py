@@ -1,0 +1,8 @@
+"""T2: the NTT workload grid."""
+
+from repro.bench import workloads_table
+
+
+def test_t2_workloads(benchmark, emit):
+    table = benchmark(workloads_table)
+    emit("T2_workloads", "T2: NTT benchmark workloads", table)

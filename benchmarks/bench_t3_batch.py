@@ -1,0 +1,9 @@
+"""T3: batched NTT throughput."""
+
+from repro.bench import batch_throughput
+
+
+def test_t3_batch(benchmark, emit):
+    table = benchmark(batch_throughput)
+    emit("T3_batch_throughput",
+         "T3: batched NTT throughput (DGX-A100, 2^18 BLS12-381-Fr)", table)

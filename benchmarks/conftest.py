@@ -1,0 +1,25 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's reconstructed tables or
+figures (see DESIGN.md's experiment index), times the generation with
+pytest-benchmark, prints the table, and persists it under
+``benchmarks/results/<id>.txt``.
+"""
+
+import pytest
+
+from repro.bench import format_table, write_report
+
+
+@pytest.fixture
+def emit():
+    """Render a (headers, rows) table, print it, and persist it."""
+
+    def _emit(experiment_id: str, title: str, table):
+        headers, rows = table
+        report = format_table(headers, rows, title=title)
+        path = write_report(experiment_id, report)
+        print(f"\n{report}\n[written to {path}]")
+        return report
+
+    return _emit

@@ -1,0 +1,59 @@
+"""The uniformity claim, demonstrated executable.
+
+The paper's abstract hardware model says a warp, a thread block, a GPU,
+and a multi-GPU node are the same machine at different scales — so one
+NTT decomposition and one optimization set serve all of them.  Here the
+*identical* engine code runs at each scale (units = lanes, warps,
+blocks, GPUs), and the communication invariant — one exchange moving
+exactly (U-1)/U elements per element — holds everywhere.
+
+Run:  python examples/hierarchy_uniformity.py
+"""
+
+from repro.bench import format_table
+from repro.field import GOLDILOCKS
+from repro.hw import CostModel, DGX_A100
+from repro.sim import HIERARCHY_SCALES, uniformity_sweep
+
+
+def run_sweep() -> None:
+    print("one engine, four scales (units = lanes / warps / blocks / "
+          "GPUs):\n")
+    headers = ["level", "units", "n", "correct", "exchanges",
+               "exchanged elems/elem", "(U-1)/U"]
+    rows = []
+    for run in uniformity_sweep(GOLDILOCKS, n_per_unit=64):
+        rows.append([
+            run.level, run.units, run.n, "yes" if run.correct else "NO",
+            run.exchanges, run.elements_exchanged_per_element,
+            (run.units - 1) / run.units,
+        ])
+    print(format_table(headers, rows))
+    print()
+    print("the invariant is scale-free: the exchange volume depends only")
+    print("on the fanout, never on which hierarchy level executes it.")
+    print()
+
+
+def price_per_level() -> None:
+    """The same bytes cost different time on each level's fabric."""
+    model = CostModel(DGX_A100, GOLDILOCKS)
+    nbytes = 64 * 1024 * model.element_bytes
+    headers = ["level", "fabric latency", "time for 512 KiB exchange"]
+    rows = []
+    for name, _ in reversed(HIERARCHY_SCALES):
+        spec = model.level(name)
+        seconds = model.exchange_seconds(nbytes, name, messages=1)
+        rows.append([name, f"{spec.exchange_latency * 1e9:.0f} ns",
+                     f"{seconds * 1e6:.2f} us"])
+    print(format_table(headers, rows,
+                       title="one exchange, priced per level (DGX-A100)"))
+
+
+def main() -> None:
+    run_sweep()
+    price_per_level()
+
+
+if __name__ == "__main__":
+    main()

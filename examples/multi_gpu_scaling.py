@@ -1,0 +1,73 @@
+"""Multi-GPU NTT scaling study (the paper's headline comparison).
+
+Functionally executes all three engines on a simulated node (bit-exact
+against a single-node reference), then sweeps the analytic cost model
+across GPU counts, sizes, and machines.
+
+Run:  python examples/multi_gpu_scaling.py
+"""
+
+import random
+
+from repro.bench import (
+    format_table, headline_speedups, multi_gpu_scaling,
+)
+from repro.field import BLS12_381_FR
+from repro.multigpu import (
+    BaselineFourStepEngine, DistributedVector, SingleGpuEngine, UniNTTEngine,
+)
+from repro.ntt import ntt
+from repro.sim import SimCluster
+
+
+def functional_comparison() -> None:
+    """Run all engines on real data; report measured communication."""
+    field = BLS12_381_FR
+    n = 1 << 12
+    gpus = 8
+    rng = random.Random(1)
+    values = field.random_vector(n, rng)
+    reference = ntt(field, values)
+
+    print(f"functional run: {field.name}, n = 2^12, {gpus} simulated GPUs")
+    headers = ["engine", "correct", "collectives", "inter-GPU bytes",
+               "bytes/GPU sent"]
+    rows = []
+    for engine_cls in (SingleGpuEngine, BaselineFourStepEngine,
+                       UniNTTEngine):
+        cluster = SimCluster(field, gpus)
+        engine = engine_cls(cluster)
+        vec = DistributedVector.from_values(cluster, values,
+                                            engine.input_layout(n))
+        out = engine.forward(vec)
+        correct = out.to_values() == reference
+        by_level = cluster.trace.bytes_by_level()
+        rows.append([
+            engine.name, "yes" if correct else "NO",
+            cluster.trace.collective_count(),
+            by_level.get("multi-gpu", 0),
+            max(g.counters.bytes_sent for g in cluster.gpus),
+        ])
+    print(format_table(headers, rows))
+    print()
+
+
+def analytic_scaling() -> None:
+    """Cost-model sweep: the shape of the paper's scaling figure."""
+    headers, rows = multi_gpu_scaling()
+    print(format_table(headers, rows,
+                       title="estimated NTT time vs GPU count (DGX-A100, "
+                             "BLS12-381-Fr)"))
+    print()
+    headers, rows = headline_speedups()
+    print(format_table(headers, rows,
+                       title="geomean UniNTT speedups per machine"))
+
+
+def main() -> None:
+    functional_comparison()
+    analytic_scaling()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Scaling past one node: the recursion's fifth level.
+
+Runs the two-level hierarchical UniNTT functionally on a simulated
+2-node x 4-GPU cluster (bit-exact, with per-fabric byte accounting),
+then prices 2-8 real DGX-A100 nodes over InfiniBand against the
+topology-unaware alternatives.
+
+Run:  python examples/multi_node_cluster.py
+"""
+
+import random
+
+from repro.bench import format_table, multi_node_scaling
+from repro.field import BLS12_381_FR, GOLDILOCKS
+from repro.hw import FOUR_NODE_DGX_A100
+from repro.multigpu import DistributedVector, HierarchicalUniNTTEngine
+from repro.ntt import ntt
+from repro.sim import SimCluster
+
+
+def functional_two_level() -> None:
+    field = GOLDILOCKS
+    nodes, per_node = 2, 4
+    n = 1 << 10
+    rng = random.Random(3)
+    values = field.random_vector(n, rng)
+
+    cluster = SimCluster(field, nodes * per_node, node_size=per_node)
+    engine = HierarchicalUniNTTEngine(cluster)
+    vec = DistributedVector.from_values(cluster, values,
+                                        engine.input_layout(n))
+    out = engine.forward(vec)
+    assert out.to_values() == ntt(field, values)
+    by_level = cluster.trace.bytes_by_level()
+    print(f"2 nodes x 4 GPUs, 2^10 {field.name} NTT: bit-exact")
+    print(f"  intra-node (NVSwitch) bytes: "
+          f"{by_level.get('multi-gpu', 0):,}")
+    print(f"  inter-node (network) bytes:  "
+          f"{by_level.get('multi-node', 0):,}")
+    back = engine.inverse(out)
+    assert back.to_values() == values
+    print("  inverse restored the input\n")
+
+
+def cluster_estimates() -> None:
+    print(f"preset cluster: {FOUR_NODE_DGX_A100.describe()}\n")
+    headers, rows = multi_node_scaling(field=BLS12_381_FR)
+    print(format_table(
+        headers, rows,
+        title="estimated NTT time across node counts (BLS12-381-Fr)"))
+    print()
+    print("the hierarchical engine's inter-node volume equals the flat")
+    print("engine's; the gain is moving the rest onto NVSwitch and")
+    print("cutting collective latency — the recursion argument.")
+
+
+def main() -> None:
+    functional_two_level()
+    cluster_estimates()
+
+
+if __name__ == "__main__":
+    main()

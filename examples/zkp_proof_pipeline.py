@@ -1,0 +1,87 @@
+"""End-to-end zero-knowledge proof generation.
+
+Builds a real R1CS circuit, runs the full Groth16-style prover over
+BN254 (7 NTTs + 4 Pippenger MSMs on actual curve points), checks the
+proof, and then prices the same pipeline at production scale on a
+simulated DGX-A100 under the four system configurations the paper's
+motivation contrasts.
+
+Run:  python examples/zkp_proof_pipeline.py
+"""
+
+import time
+
+from repro.bench import end_to_end, format_table
+from repro.field import BN254_FR
+from repro.hw import DGX_A100
+from repro.zkp import (
+    Prover, QAP, inner_product, square_chain, trusted_setup,
+)
+
+
+def functional_proof() -> None:
+    """Generate and check a real (small) proof."""
+    print("building circuit: knowledge of x with x^(2^24) = y ...")
+    r1cs, witness = square_chain(BN254_FR, steps=24)
+    qap = QAP(r1cs)
+    print(f"  {len(r1cs.constraints)} constraints -> domain size "
+          f"{qap.domain.size}")
+
+    tau = 0x1234_5678_9ABC_DEF0  # toy ceremony; kept for verification
+    key = trusted_setup(qap.domain.size, tau)
+    prover = Prover(qap, key)
+
+    start = time.perf_counter()
+    proof, polys = prover.prove(witness)
+    elapsed = time.perf_counter() - start
+    print(f"  proof generated in {elapsed * 1e3:.1f} ms "
+          f"(7 NTTs + 4 MSMs over BN254 G1)")
+
+    assert prover.check(proof, polys, tau), "proof check failed"
+    assert qap.check_divisibility(polys), "QAP identity failed"
+    print("  proof verified (trapdoor check + QAP divisibility)")
+
+    # A second circuit family, for variety.
+    r1cs2, witness2 = inner_product(BN254_FR, length=16)
+    qap2 = QAP(r1cs2)
+    key2 = trusted_setup(qap2.domain.size, tau)
+    proof2, polys2 = Prover(qap2, key2).prove(witness2)
+    assert Prover(qap2, key2).check(proof2, polys2, tau)
+    print(f"  inner-product circuit ({len(r1cs2.constraints)} constraints) "
+          f"proved and verified")
+
+    # The full three-element Groth16 protocol (alpha/beta/gamma/delta
+    # keys, per-wire IC terms, ZK randomizers).
+    from repro.zkp import (
+        Groth16Prover, Groth16Trapdoor, groth16_self_check, groth16_setup,
+    )
+
+    trapdoor = Groth16Trapdoor(alpha=11, beta=13, gamma=17, delta=19,
+                               tau=tau)
+    pk, vk = groth16_setup(qap, trapdoor)
+    g16 = Groth16Prover(qap, pk).prove(witness, r=0xAAAA, s=0xBBBB)
+    assert groth16_self_check(qap, vk, g16, witness, trapdoor,
+                              r=0xAAAA, s=0xBBBB)
+    print("  full Groth16 (A, B, C) proof generated; pairing identity "
+          "holds in the exponent\n")
+
+
+def production_scale_estimates() -> None:
+    """Price 2^18..2^22-constraint proofs on a simulated DGX-A100."""
+    headers, rows = end_to_end(DGX_A100)
+    print(format_table(
+        headers, rows,
+        title="estimated proof generation on DGX-A100 (BN254)"))
+    print()
+    print("reading the table: once MSM is multi-GPU ('sota'), the")
+    print("single-GPU NTT is ~half of proof time; multi-GPU NTT engines")
+    print("(baseline, then UniNTT) remove that Amdahl bottleneck.")
+
+
+def main() -> None:
+    functional_proof()
+    production_scale_estimates()
+
+
+if __name__ == "__main__":
+    main()

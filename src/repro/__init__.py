@@ -1,0 +1,36 @@
+"""UniNTT reproduction: multi-GPU NTT for zero-knowledge proofs.
+
+A simulated, full-pipeline reproduction of "Accelerating Number
+Theoretic Transform with Multi-GPU Systems for Efficient Zero Knowledge
+Proof" (ASPLOS 2025).  See DESIGN.md for the system inventory and
+EXPERIMENTS.md for the reproduced evaluation.
+
+Quick tour::
+
+    from repro.field import BLS12_381_FR
+    from repro.sim import SimCluster
+    from repro.multigpu import DistributedVector, UniNTTEngine
+
+    cluster = SimCluster(BLS12_381_FR, gpu_count=8)
+    engine = UniNTTEngine(cluster)
+    vec = DistributedVector.from_values(
+        cluster, values, engine.input_layout(len(values)))
+    spectrum = engine.forward(vec)
+"""
+
+from repro import field, hw, multigpu, ntt, sim, zkp
+from repro.errors import (
+    BenchmarkError, CircuitError, CurveError, FieldError, HardwareModelError,
+    NTTError, PartitionError, PlanError, ProverError, ReproError,
+    SimulationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "field", "ntt", "hw", "sim", "multigpu", "zkp",
+    "ReproError", "FieldError", "NTTError", "PlanError",
+    "HardwareModelError", "SimulationError", "PartitionError", "CurveError",
+    "CircuitError", "ProverError", "BenchmarkError",
+    "__version__",
+]

@@ -1,0 +1,29 @@
+"""Benchmark harness: workloads, experiment drivers, reporting."""
+
+from repro.bench.charts import bar_chart, grouped_bar_chart
+from repro.bench.reporting import (
+    format_table, geomean, results_dir, speedup_string, write_report,
+)
+from repro.bench.runners import (
+    ablation, batch_throughput, comm_breakdown, end_to_end,
+    headline_speedups, interconnect_sensitivity, multi_gpu_scaling,
+    multi_node_scaling,
+    platforms_table, single_gpu_comparison, stark_end_to_end,
+    workloads_table,
+)
+from repro.bench.workloads import (
+    FUNCTIONAL_LOG_SIZES, STANDARD_LOG_SIZES, NTTWorkload,
+    functional_workloads, standard_workloads,
+)
+
+__all__ = [
+    "NTTWorkload", "standard_workloads", "functional_workloads",
+    "STANDARD_LOG_SIZES", "FUNCTIONAL_LOG_SIZES",
+    "format_table", "geomean", "speedup_string", "write_report",
+    "results_dir",
+    "platforms_table", "workloads_table", "single_gpu_comparison",
+    "multi_gpu_scaling", "headline_speedups", "comm_breakdown", "ablation",
+    "end_to_end", "batch_throughput", "interconnect_sensitivity",
+    "multi_node_scaling", "stark_end_to_end",
+    "bar_chart", "grouped_bar_chart",
+]

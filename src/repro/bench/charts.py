@@ -1,0 +1,84 @@
+"""ASCII charts: figure-shaped output for a terminal-only world.
+
+The paper's figures are bar/line charts; the benchmark harness emits
+their data as tables, and this module renders the same series as
+horizontal bar charts so the *shape* (who wins, how the gap grows) is
+visible at a glance in CI logs and terminals.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import BenchmarkError
+
+__all__ = ["bar_chart", "grouped_bar_chart"]
+
+_FULL = "█"
+_PARTIAL = ("", "▏", "▎", "▍", "▌", "▋", "▊", "▉")
+
+
+def _bar(value: float, scale: float, width: int) -> str:
+    """A unicode bar of ``value/scale * width`` character cells."""
+    if scale <= 0:
+        return ""
+    cells = value / scale * width
+    full = int(cells)
+    remainder = int((cells - full) * 8)
+    return _FULL * full + (_PARTIAL[remainder] if remainder else "")
+
+
+def bar_chart(labels: Sequence[str], values: Sequence[float],
+              title: str = "", width: int = 40,
+              unit: str = "") -> str:
+    """Render one series as labeled horizontal bars."""
+    if len(labels) != len(values):
+        raise BenchmarkError(
+            f"{len(labels)} labels for {len(values)} values")
+    if not values:
+        raise BenchmarkError("empty chart")
+    if any(v < 0 for v in values):
+        raise BenchmarkError("bar charts need non-negative values")
+    scale = max(values) or 1.0
+    label_width = max(len(str(label)) for label in labels)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, values):
+        bar = _bar(value, scale, width)
+        lines.append(f"{str(label):>{label_width}}  {bar} "
+                     f"{value:g}{unit}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(group_labels: Sequence[str],
+                      series: dict[str, Sequence[float]],
+                      title: str = "", width: int = 40,
+                      unit: str = "") -> str:
+    """Render several series side by side per group.
+
+    ``series`` maps a series name to one value per group; all series are
+    drawn on a common scale so cross-series comparison is honest.
+    """
+    if not series:
+        raise BenchmarkError("no series to chart")
+    for name, values in series.items():
+        if len(values) != len(group_labels):
+            raise BenchmarkError(
+                f"series {name!r} has {len(values)} values for "
+                f"{len(group_labels)} groups")
+        if any(v < 0 for v in values):
+            raise BenchmarkError("bar charts need non-negative values")
+    scale = max(max(values) for values in series.values()) or 1.0
+    name_width = max(len(name) for name in series)
+    label_width = max(len(str(label)) for label in group_labels)
+    lines = []
+    if title:
+        lines.append(title)
+    for i, group in enumerate(group_labels):
+        lines.append(f"{str(group):>{label_width}}")
+        for name, values in series.items():
+            bar = _bar(values[i], scale, width)
+            lines.append(f"{'':>{label_width}}  {name:>{name_width}} "
+                         f"{bar} {values[i]:g}{unit}")
+    return "\n".join(lines)

@@ -1,0 +1,94 @@
+"""Table formatting and statistics for benchmark reports.
+
+The benchmark harness emits plain-text tables (the shape of the paper's
+tables and figure series) both to stdout and to
+``benchmarks/results/<experiment>.txt`` so a run leaves a reviewable
+artifact.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from typing import Sequence
+
+from repro.errors import BenchmarkError
+
+__all__ = ["format_table", "geomean", "speedup_string", "write_report",
+           "results_dir"]
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]],
+                 title: str = "") -> str:
+    """Render an aligned ASCII table.
+
+    Floats are shown with 3 significant decimals; everything else via
+    ``str``.
+    """
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            if value == 0:
+                return "0"
+            magnitude = abs(value)
+            if magnitude >= 1000 or magnitude < 0.001:
+                return f"{value:.3e}"
+            return f"{value:.3f}"
+        return str(value)
+
+    str_rows = [[cell(v) for v in row] for row in rows]
+    for i, row in enumerate(str_rows):
+        if len(row) != len(headers):
+            raise BenchmarkError(
+                f"row {i} has {len(row)} cells for {len(headers)} headers")
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, value in enumerate(row):
+            widths[i] = max(widths[i], len(value))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    parts = []
+    if title:
+        parts.append(title)
+        parts.append("=" * len(title))
+    parts.append(line(headers))
+    parts.append(line(["-" * w for w in widths]))
+    parts.extend(line(row) for row in str_rows)
+    return "\n".join(parts)
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean; raises on empty or non-positive input."""
+    if not values:
+        raise BenchmarkError("geomean of an empty sequence")
+    if any(v <= 0 for v in values):
+        raise BenchmarkError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def speedup_string(baseline_s: float, improved_s: float) -> str:
+    """Human-readable 'N.NNx' speedup."""
+    if improved_s <= 0:
+        raise BenchmarkError("improved time must be positive")
+    return f"{baseline_s / improved_s:.2f}x"
+
+
+def results_dir() -> str:
+    """The directory benchmark reports are written into."""
+    here = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))))
+    path = os.path.join(here, "benchmarks", "results")
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def write_report(experiment_id: str, content: str) -> str:
+    """Persist a report under benchmarks/results/; returns the path."""
+    path = os.path.join(results_dir(), f"{experiment_id}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(content)
+        if not content.endswith("\n"):
+            handle.write("\n")
+    return path

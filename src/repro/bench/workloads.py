@@ -1,0 +1,70 @@
+"""Benchmark workload descriptors (the reconstructed workloads table T2).
+
+A workload is a (field, transform size, batch) triple.  The standard
+grid mirrors what ZKP systems actually transform: BLS12-381/BN254
+scalars for pairing-based SNARKs at 2^18..2^28, Goldilocks/BabyBear for
+STARK-ish systems at the same sizes, and small sizes for the functional
+(wall-clock) benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import BenchmarkError
+from repro.field.presets import ZKP_FIELDS, field_by_name
+from repro.field.prime_field import PrimeField
+
+__all__ = ["NTTWorkload", "standard_workloads", "functional_workloads",
+           "STANDARD_LOG_SIZES", "FUNCTIONAL_LOG_SIZES"]
+
+#: Analytic (cost-model) sweep sizes.
+STANDARD_LOG_SIZES = (18, 20, 22, 24, 26, 28)
+
+#: Sizes small enough to execute functionally in the simulator.
+FUNCTIONAL_LOG_SIZES = (10, 12, 14)
+
+
+@dataclass(frozen=True)
+class NTTWorkload:
+    """One benchmark configuration."""
+
+    field_name: str
+    log_size: int
+    batch: int = 1
+
+    def __post_init__(self) -> None:
+        if self.log_size < 1:
+            raise BenchmarkError(f"log_size must be >= 1, got {self.log_size}")
+        if self.batch < 1:
+            raise BenchmarkError(f"batch must be >= 1, got {self.batch}")
+
+    @property
+    def size(self) -> int:
+        return 1 << self.log_size
+
+    @property
+    def field(self) -> PrimeField:
+        return field_by_name(self.field_name)
+
+    @property
+    def elements(self) -> int:
+        return self.batch * self.size
+
+    def label(self) -> str:
+        suffix = f" x{self.batch}" if self.batch > 1 else ""
+        return f"{self.field_name} 2^{self.log_size}{suffix}"
+
+
+def standard_workloads() -> list[NTTWorkload]:
+    """The full analytic grid: every ZKP field at every standard size."""
+    return [NTTWorkload(field_name=field.name, log_size=log_size)
+            for field in ZKP_FIELDS
+            for log_size in STANDARD_LOG_SIZES]
+
+
+def functional_workloads() -> list[NTTWorkload]:
+    """Sizes the functional simulator executes in reasonable time."""
+    return [NTTWorkload(field_name=field.name, log_size=log_size)
+            for field in ZKP_FIELDS
+            for log_size in FUNCTIONAL_LOG_SIZES]

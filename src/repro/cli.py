@@ -1,0 +1,329 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``
+    Library version, preset fields, machines, and clusters.
+``experiment <id> [...]``
+    Regenerate one reconstructed table/figure (or ``all``) and print it.
+``demo``
+    A 30-second guided tour: functional multi-GPU transform plus a real
+    Groth16-style proof.
+``estimate``
+    Price one NTT configuration (machine x field x size x engine).
+``trace``
+    Run one engine functionally on the simulator and print its event
+    log and per-level communication summary.
+``tune``
+    Autotune tile size and rank the engines for a workload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from repro import __version__
+from repro.bench import format_table
+from repro.bench import runners as bench_runners
+
+__all__ = ["main", "build_parser"]
+
+#: Experiment id -> (runner, title).
+EXPERIMENTS: dict[str, tuple[Callable[[], tuple], str]] = {
+    "t1": (bench_runners.platforms_table, "T1: hardware platforms"),
+    "t2": (bench_runners.workloads_table, "T2: NTT workloads"),
+    "t3": (bench_runners.batch_throughput, "T3: batched NTT throughput"),
+    "f7": (bench_runners.single_gpu_comparison, "F7: single-GPU NTT"),
+    "f8": (bench_runners.multi_gpu_scaling, "F8: multi-GPU scaling"),
+    "f8-headline": (bench_runners.headline_speedups,
+                    "F8 summary: geomean speedups"),
+    "f9": (bench_runners.comm_breakdown, "F9: communication breakdown"),
+    "f10": (bench_runners.ablation, "F10: optimization ablation"),
+    "f11": (bench_runners.end_to_end, "F11: end-to-end proof generation"),
+    "f12": (bench_runners.interconnect_sensitivity,
+            "F12: interconnect sensitivity"),
+    "f14": (bench_runners.multi_node_scaling, "F14: multi-node scaling"),
+    "f15": (bench_runners.stark_end_to_end,
+            "F15: STARK end-to-end proof generation"),
+    "f16": (lambda: _uniformity_table(),
+            "F16: hierarchy uniformity (functional)"),
+    "f17": (lambda: _autotune_table(),
+            "F17: autotuned tiles and plan attribution"),
+    "f18": (lambda: _streaming_table(),
+            "F18: out-of-core (host-staged) NTT"),
+}
+
+
+def _streaming_table():
+    from repro.field import BLS12_381_FR
+    from repro.hw import DGX_A100
+    from repro.multigpu import StreamingHostEngine, UniNTTEngine
+    from repro.sim import SimCluster
+
+    headers = ["log2(n)", "in-memory ms", "streaming ms", "host tax"]
+    rows = []
+    cluster = SimCluster(BLS12_381_FR, 8)
+    stream = StreamingHostEngine(cluster)
+    memory = UniNTTEngine(cluster)
+    for log_n in (24, 26, 28, 30):
+        n = 1 << log_n
+        est = stream.estimate(DGX_A100, n)
+        t_mem = memory.estimate(DGX_A100, n).total_s
+        rows.append([log_n, t_mem * 1e3, est.total_s * 1e3,
+                     est.total_s / t_mem])
+    return headers, rows
+
+
+def _autotune_table():
+    from repro.field import BLS12_381_FR, GOLDILOCKS
+    from repro.hw import ALL_MACHINES, price_plan
+    from repro.multigpu import autotune_tile, machine_plan
+
+    headers = ["machine", "field", "best tile", "UniNTT ms",
+               "plan dominant level"]
+    rows = []
+    n = 1 << 24
+    for machine in ALL_MACHINES:
+        for field in (GOLDILOCKS, BLS12_381_FR):
+            tile, seconds = autotune_tile(machine, field, n)
+            plan = machine_plan(machine, field, n)
+            cost = price_plan(machine, field, plan)
+            rows.append([machine.name, field.name, tile, seconds * 1e3,
+                         cost.dominant_level()])
+    return headers, rows
+
+
+def _uniformity_table():
+    from repro.field import GOLDILOCKS
+    from repro.sim import uniformity_sweep
+
+    headers = ["level", "units", "n", "exchanges",
+               "exchanged elems/elem"]
+    rows = [[r.level, r.units, r.n, r.exchanges,
+             r.elements_exchanged_per_element]
+            for r in uniformity_sweep(GOLDILOCKS, n_per_unit=64)]
+    return headers, rows
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="UniNTT reproduction: multi-GPU NTT for ZKP "
+                    "(simulated)")
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="presets and library summary")
+
+    exp = sub.add_parser("experiment",
+                         help="regenerate a reconstructed table/figure")
+    exp.add_argument("ids", nargs="+",
+                     choices=sorted(EXPERIMENTS) + ["all"],
+                     help="experiment id(s), or 'all'")
+
+    sub.add_parser("demo", help="guided functional tour")
+
+    est = sub.add_parser("estimate", help="price one NTT configuration")
+    est.add_argument("--machine", default="DGX-A100")
+    est.add_argument("--machine-file", default=None,
+                     help="JSON machine description (overrides --machine)")
+    est.add_argument("--field", default="BLS12-381-Fr")
+    est.add_argument("--log-size", type=int, default=24)
+    est.add_argument("--engine", default="unintt",
+                     choices=["single", "baseline", "pairwise", "unintt"])
+
+    tr = sub.add_parser("trace",
+                        help="run one engine on the simulator, print "
+                             "its event log")
+    tr.add_argument("--field", default="Goldilocks")
+    tr.add_argument("--gpus", type=int, default=8)
+    tr.add_argument("--log-size", type=int, default=10)
+    tr.add_argument("--engine", default="unintt",
+                    choices=["single", "baseline", "pairwise", "unintt"])
+
+    tune = sub.add_parser("tune", help="autotune tile + rank engines")
+    tune.add_argument("--machine", default="DGX-A100")
+    tune.add_argument("--field", default="BLS12-381-Fr")
+    tune.add_argument("--log-size", type=int, default=24)
+    return parser
+
+
+def _cmd_info() -> int:
+    from repro.field import ALL_FIELDS
+    from repro.hw import ALL_CLUSTERS, ALL_MACHINES
+
+    print(f"repro {__version__} — UniNTT reproduction (simulated)")
+    print("\nfields:")
+    for field in ALL_FIELDS:
+        print(f"  {field.name:16s} {field.modulus.bit_length()}-bit, "
+              f"two-adicity {field.two_adicity}")
+    print("\nmachines:")
+    for machine in ALL_MACHINES:
+        print(f"  {machine.describe()}")
+    print("\nclusters:")
+    for cluster in ALL_CLUSTERS:
+        print(f"  {cluster.describe()}")
+    print(f"\nexperiments: {', '.join(sorted(EXPERIMENTS))}")
+    return 0
+
+
+def _cmd_experiment(ids: Sequence[str]) -> int:
+    wanted = sorted(EXPERIMENTS) if "all" in ids else list(ids)
+    for exp_id in wanted:
+        runner, title = EXPERIMENTS[exp_id]
+        headers, rows = runner()
+        print(format_table(headers, rows, title=title))
+        print()
+    return 0
+
+
+def _cmd_demo() -> int:
+    import random
+
+    from repro.field import BLS12_381_FR, BN254_FR
+    from repro.multigpu import DistributedVector, UniNTTEngine
+    from repro.ntt import ntt
+    from repro.sim import SimCluster
+    from repro.zkp import Prover, QAP, square_chain, trusted_setup
+
+    rng = random.Random(0)
+    n = 1 << 10
+    cluster = SimCluster(BLS12_381_FR, 8)
+    engine = UniNTTEngine(cluster)
+    values = BLS12_381_FR.random_vector(n, rng)
+    vec = DistributedVector.from_values(cluster, values,
+                                        engine.input_layout(n))
+    out = engine.forward(vec)
+    ok = out.to_values() == ntt(BLS12_381_FR, values)
+    print(f"[1] 2^10 NTT on 8 simulated GPUs: "
+          f"{'bit-exact' if ok else 'MISMATCH'}; "
+          f"{cluster.trace.collective_count()} collective(s)")
+
+    r1cs, witness = square_chain(BN254_FR, steps=16)
+    qap = QAP(r1cs)
+    tau = 0xDEC0DE
+    prover = Prover(qap, trusted_setup(qap.domain.size, tau))
+    proof, polys = prover.prove(witness)
+    verified = prover.check(proof, polys, tau)
+    print(f"[2] Groth16-style proof ({len(r1cs.constraints)} constraints):"
+          f" {'verified' if verified else 'FAILED'}")
+    return 0 if ok and verified else 1
+
+
+def _cmd_estimate(machine_name: str, field_name: str, log_size: int,
+                  engine_name: str,
+                  machine_file: str | None = None) -> int:
+    from repro.field import field_by_name
+    from repro.hw import load_machine_file, machine_by_name
+    from repro.multigpu import (
+        BaselineFourStepEngine, PairwiseExchangeEngine, SingleGpuEngine,
+        UniNTTEngine,
+    )
+    from repro.sim import SimCluster
+
+    if machine_file is not None:
+        machine = load_machine_file(machine_file)
+    else:
+        machine = machine_by_name(machine_name)
+    field = field_by_name(field_name)
+    cluster = SimCluster(field, machine.gpu_count)
+    engine_cls = {
+        "single": SingleGpuEngine,
+        "baseline": BaselineFourStepEngine,
+        "pairwise": PairwiseExchangeEngine,
+        "unintt": UniNTTEngine,
+    }[engine_name]
+    engine = engine_cls(cluster)
+    breakdown = engine.estimate(machine, 1 << log_size)
+    print(f"{engine.name} on {machine.name}, {field.name}, n=2^{log_size}:")
+    print(f"  total    {breakdown.total_s * 1e3:10.3f} ms "
+          f"(bottleneck: {breakdown.dominant_resource()})")
+    for phase, seconds in breakdown.per_phase.items():
+        print(f"  {phase:22s} {seconds * 1e3:10.3f} ms")
+    return 0
+
+
+def _engine_class(name: str):
+    from repro.multigpu import (
+        BaselineFourStepEngine, PairwiseExchangeEngine, SingleGpuEngine,
+        UniNTTEngine,
+    )
+
+    return {
+        "single": SingleGpuEngine,
+        "baseline": BaselineFourStepEngine,
+        "pairwise": PairwiseExchangeEngine,
+        "unintt": UniNTTEngine,
+    }[name]
+
+
+def _cmd_trace(field_name: str, gpus: int, log_size: int,
+               engine_name: str) -> int:
+    import random
+
+    from repro.field import field_by_name
+    from repro.multigpu import DistributedVector
+    from repro.ntt import ntt
+    from repro.sim import SimCluster, render_trace
+
+    field = field_by_name(field_name)
+    n = 1 << log_size
+    cluster = SimCluster(field, gpus)
+    engine = _engine_class(engine_name)(cluster)
+    values = field.random_vector(n, random.Random(0))
+    vec = DistributedVector.from_values(cluster, values,
+                                        engine.input_layout(n))
+    out = engine.forward(vec)
+    correct = out.to_values() == ntt(field, values)
+    print(render_trace(
+        cluster.trace,
+        title=f"{engine.name}: 2^{log_size} {field.name} forward on "
+              f"{gpus} simulated GPUs "
+              f"({'bit-exact' if correct else 'MISMATCH'})"))
+    return 0 if correct else 1
+
+
+def _cmd_tune(machine_name: str, field_name: str, log_size: int) -> int:
+    from repro.field import field_by_name
+    from repro.hw import machine_by_name
+    from repro.multigpu import autotune_tile, select_engine
+
+    machine = machine_by_name(machine_name)
+    field = field_by_name(field_name)
+    n = 1 << log_size
+    tile, seconds = autotune_tile(machine, field, n)
+    print(f"workload: 2^{log_size} {field.name} on {machine.name}")
+    print(f"best tile: {tile} elements "
+          f"(UniNTT estimate {seconds * 1e3:.3f} ms)\n")
+    print("engine ranking:")
+    for choice in select_engine(machine, field, n):
+        print(f"  {choice.name:26s} {choice.seconds * 1e3:10.3f} ms  "
+              f"({choice.bottleneck}-bound)")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "info":
+        return _cmd_info()
+    if args.command == "experiment":
+        return _cmd_experiment(args.ids)
+    if args.command == "demo":
+        return _cmd_demo()
+    if args.command == "estimate":
+        return _cmd_estimate(args.machine, args.field, args.log_size,
+                             args.engine, args.machine_file)
+    if args.command == "trace":
+        return _cmd_trace(args.field, args.gpus, args.log_size,
+                          args.engine)
+    if args.command == "tune":
+        return _cmd_tune(args.machine, args.field, args.log_size)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,50 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the subsystem that failed.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class FieldError(ReproError):
+    """Invalid finite-field construction or operation (e.g. inverting zero)."""
+
+
+class NTTError(ReproError):
+    """Invalid NTT request (size not a power of two, missing root, ...)."""
+
+
+class PlanError(NTTError):
+    """A decomposition plan is malformed or incompatible with its input."""
+
+
+class HardwareModelError(ReproError):
+    """Inconsistent hardware model description."""
+
+
+class SimulationError(ReproError):
+    """The functional multi-GPU simulator was driven into an invalid state."""
+
+
+class PartitionError(SimulationError):
+    """A data layout does not match the cluster it is mapped onto."""
+
+
+class CurveError(ReproError):
+    """Invalid elliptic-curve point or operation."""
+
+
+class CircuitError(ReproError):
+    """Malformed R1CS constraint system or unsatisfied witness."""
+
+
+class ProverError(ReproError):
+    """Proof generation pipeline failure."""
+
+
+class BenchmarkError(ReproError):
+    """Benchmark harness misconfiguration."""

@@ -1,0 +1,33 @@
+"""Finite-field substrate: prime fields, Montgomery form, ZKP presets."""
+
+from repro.field.babybear import (
+    BABYBEAR_P, bb_add, bb_array, bb_intt, bb_mul, bb_neg, bb_ntt,
+    bb_scale, bb_sub,
+)
+from repro.field.goldilocks import (
+    GOLDILOCKS_P, gl_add, gl_array, gl_intt, gl_mul, gl_neg, gl_ntt,
+    gl_scale, gl_sub,
+)
+from repro.field.montgomery import MontgomeryContext, MontgomeryElement
+from repro.field.presets import (
+    ALL_FIELDS, BABYBEAR, BLS12_381_FR, BN254_FR, GOLDILOCKS, TEST_FIELD_97,
+    TEST_FIELD_7681, ZKP_FIELDS, field_by_name,
+)
+from repro.field.prime_field import FieldElement, PrimeField
+from repro.field.vector import (
+    validate_vector, vec_add, vec_dot, vec_inv, vec_mul, vec_neg,
+    vec_pow_series, vec_scale, vec_sub, vec_sum,
+)
+
+__all__ = [
+    "PrimeField", "FieldElement", "MontgomeryContext", "MontgomeryElement",
+    "GOLDILOCKS", "BABYBEAR", "BN254_FR", "BLS12_381_FR",
+    "TEST_FIELD_97", "TEST_FIELD_7681", "ZKP_FIELDS", "ALL_FIELDS",
+    "field_by_name",
+    "vec_add", "vec_sub", "vec_mul", "vec_scale", "vec_neg",
+    "vec_pow_series", "vec_inv", "vec_dot", "vec_sum", "validate_vector",
+    "GOLDILOCKS_P", "gl_array", "gl_add", "gl_sub", "gl_mul", "gl_scale",
+    "gl_neg", "gl_ntt", "gl_intt",
+    "BABYBEAR_P", "bb_array", "bb_add", "bb_sub", "bb_mul", "bb_scale",
+    "bb_neg", "bb_ntt", "bb_intt",
+]

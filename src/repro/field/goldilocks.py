@@ -1,0 +1,156 @@
+"""Vectorized Goldilocks arithmetic (numpy uint64 kernels).
+
+The Goldilocks prime ``p = 2^64 - 2^32 + 1`` is loved by ZKP systems
+precisely because its reduction is branch-light 64-bit arithmetic:
+``2^64 = 2^32 - 1 (mod p)`` and ``2^96 = -1 (mod p)``, so a 128-bit
+product ``lo + hi * 2^64`` (with ``hi = hi_hi * 2^32 + hi_lo``) reduces
+as ``lo + hi_lo * (2^32 - 1) - hi_hi``.  This module implements exactly
+that kernel on numpy ``uint64`` lanes — the same instruction mix a GPU
+thread executes — giving the repository a wall-clock-meaningful fast
+path alongside the arbitrary-precision reference.
+
+All functions take/return canonical values (``< p``) as ``uint64``
+arrays; the 128-bit product is assembled from four 32x32 partial
+products with explicit carry tracking (numpy integer ops wrap mod 2^64,
+which is what the carry recovery relies on).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import FieldError
+from repro.field.presets import GOLDILOCKS
+from repro.ntt.twiddle import TwiddleCache
+
+__all__ = [
+    "GOLDILOCKS_P", "gl_array", "gl_add", "gl_sub", "gl_mul", "gl_scale",
+    "gl_neg", "gl_ntt", "gl_intt", "GOLDILOCKS_OPS",
+]
+
+#: The Goldilocks modulus as a plain int (fits in uint64).
+GOLDILOCKS_P = GOLDILOCKS.modulus
+
+_P = np.uint64(GOLDILOCKS_P)
+_MASK32 = np.uint64(0xFFFFFFFF)
+_EPS = np.uint64((1 << 32) - 1)  # 2^64 mod p
+_SHIFT32 = np.uint64(32)
+_ONE = np.uint64(1)
+
+
+def gl_array(values: Sequence[int]) -> np.ndarray:
+    """Validate and pack canonical Goldilocks values into uint64."""
+    arr = np.asarray(values, dtype=np.object_)
+    out = np.empty(len(arr), dtype=np.uint64)
+    for i, v in enumerate(arr):
+        if not isinstance(v, (int, np.integer)) or not 0 <= v < GOLDILOCKS_P:
+            raise FieldError(
+                f"index {i}: {v!r} is not a canonical Goldilocks value")
+        out[i] = v
+    return out
+
+
+def _canonical(x: np.ndarray) -> np.ndarray:
+    """One conditional subtraction into [0, p)."""
+    return np.where(x >= _P, x - _P, x)
+
+
+def gl_add(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Element-wise addition mod p (inputs canonical)."""
+    s = a + b  # wraps mod 2^64
+    s = np.where(s < a, s + _EPS, s)  # recover the lost 2^64 = eps mod p
+    return _canonical(s)
+
+
+def gl_sub(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Element-wise subtraction mod p (inputs canonical)."""
+    d = a - b  # wraps
+    return np.where(a < b, d - _EPS, d)
+
+
+def gl_neg(a: np.ndarray) -> np.ndarray:
+    """Element-wise negation mod p."""
+    return np.where(a == 0, a, _P - a)
+
+
+def gl_mul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Element-wise multiplication mod p — the Goldilocks kernel.
+
+    Four 32x32->64 partial products, carry assembly of the 128-bit
+    result, then the ``2^64 = 2^32 - 1`` reduction.
+    """
+    a0 = a & _MASK32
+    a1 = a >> _SHIFT32
+    b0 = b & _MASK32
+    b1 = b >> _SHIFT32
+
+    ll = a0 * b0
+    lh = a0 * b1
+    hl = a1 * b0
+    hh = a1 * b1
+
+    mid = lh + hl
+    carry_mid = (mid < lh).astype(np.uint64)
+    mid_shifted = mid << _SHIFT32
+    lo = ll + mid_shifted
+    carry_lo = (lo < ll).astype(np.uint64)
+    hi = hh + (mid >> _SHIFT32) + (carry_mid << _SHIFT32) + carry_lo
+
+    # Reduce lo + hi*2^64 with 2^64 = 2^32 - 1, 2^96 = -1.
+    hi_lo = hi & _MASK32
+    hi_hi = hi >> _SHIFT32
+    t0 = lo - hi_hi
+    t0 = np.where(lo < hi_hi, t0 - _EPS, t0)  # borrow: -2^64 = -eps mod p
+    t1 = (hi_lo << _SHIFT32) - hi_lo          # hi_lo * (2^32 - 1) < 2^64
+    r = t0 + t1
+    r = np.where(r < t0, r + _EPS, r)
+    return _canonical(_canonical(r))
+
+
+def gl_scale(a: np.ndarray, scalar: int) -> np.ndarray:
+    """Multiply every lane by one canonical scalar."""
+    if not 0 <= scalar < GOLDILOCKS_P:
+        raise FieldError(f"{scalar} is not a canonical Goldilocks value")
+    return gl_mul(a, np.full(len(a), scalar, dtype=np.uint64))
+
+
+def _make_ops():
+    from repro.field.simd import LaneOps
+
+    return LaneOps(field=GOLDILOCKS, add=gl_add, sub=gl_sub, mul=gl_mul,
+                   scale=gl_scale,
+                   pack=lambda vals: np.asarray(vals, dtype=np.uint64))
+
+
+#: The lane-ops bundle the shared vectorized NTT driver consumes.
+GOLDILOCKS_OPS = _make_ops()
+
+
+def gl_ntt(values: np.ndarray | Sequence[int],
+           cache: TwiddleCache | None = None,
+           root: int | None = None) -> np.ndarray:
+    """Vectorized forward NTT over Goldilocks, natural order in/out.
+
+    Radix-2 DIF with whole-stage numpy butterflies followed by one
+    gather for the bit-reversal — the data-parallel shape of a GPU
+    kernel, which is exactly why it is fast here too (see
+    :mod:`repro.field.simd` for the shared schedule).
+    """
+    from repro.field.simd import vectorized_ntt
+
+    arr = values if isinstance(values, np.ndarray) \
+        else gl_array(list(values))
+    return vectorized_ntt(GOLDILOCKS_OPS, arr, cache, root)
+
+
+def gl_intt(values: np.ndarray | Sequence[int],
+            cache: TwiddleCache | None = None,
+            root: int | None = None) -> np.ndarray:
+    """Vectorized inverse NTT (includes the 1/n scaling)."""
+    from repro.field.simd import vectorized_intt
+
+    arr = values if isinstance(values, np.ndarray) \
+        else gl_array(list(values))
+    return vectorized_intt(GOLDILOCKS_OPS, arr, cache, root)

@@ -1,0 +1,207 @@
+"""Montgomery-form modular arithmetic.
+
+GPU NTT kernels (and the paper's baselines) keep field elements in
+Montgomery form so that modular multiplication becomes a multiply plus a
+REDC reduction with no division.  This module reproduces that
+representation faithfully: values are stored as ``a * R mod p`` with
+``R = 2**(64 * limbs)``, and :meth:`MontgomeryContext.redc` implements the
+word-by-word reduction a CUDA kernel would perform.
+
+The plain-int fast paths elsewhere in the library do not use Montgomery
+form (Python's ``%`` is already a single operation); this module exists
+for fidelity, for the cost model's per-multiplication work estimates, and
+as a reference for the arithmetic the simulated kernels account for.
+"""
+
+from __future__ import annotations
+
+from repro.errors import FieldError
+from repro.field.prime_field import PrimeField
+
+__all__ = ["MontgomeryContext", "MontgomeryElement"]
+
+_WORD_BITS = 64
+_WORD_MASK = (1 << _WORD_BITS) - 1
+
+
+class MontgomeryContext:
+    """Montgomery arithmetic for a given :class:`PrimeField`.
+
+    Parameters
+    ----------
+    field:
+        Field supplying the modulus.
+    limbs:
+        Number of 64-bit limbs; defaults to the minimum that holds ``p``.
+    """
+
+    __slots__ = ("field", "limbs", "r", "r_mask", "r_bits", "n_prime",
+                 "r2", "one")
+
+    def __init__(self, field: PrimeField, limbs: int | None = None):
+        p = field.modulus
+        if p % 2 == 0:
+            raise FieldError("Montgomery arithmetic requires an odd modulus")
+        min_limbs = (p.bit_length() + _WORD_BITS - 1) // _WORD_BITS
+        self.limbs = limbs if limbs is not None else min_limbs
+        if self.limbs < min_limbs:
+            raise FieldError(
+                f"{self.limbs} limbs cannot hold a {p.bit_length()}-bit modulus")
+        self.field = field
+        self.r_bits = self.limbs * _WORD_BITS
+        self.r = 1 << self.r_bits
+        self.r_mask = self.r - 1
+        # n_prime = -p^-1 mod R, the REDC magic constant.
+        self.n_prime = (-pow(p, -1, self.r)) % self.r
+        self.r2 = self.r * self.r % p
+        self.one = self.r % p
+
+    def __repr__(self) -> str:
+        return f"MontgomeryContext({self.field.name}, limbs={self.limbs})"
+
+    # -- core reduction -------------------------------------------------------
+
+    def redc(self, t: int) -> int:
+        """Montgomery reduction: return ``t * R^-1 mod p`` for t < p*R."""
+        p = self.field.modulus
+        m = (t & self.r_mask) * self.n_prime & self.r_mask
+        u = (t + m * p) >> self.r_bits
+        return u - p if u >= p else u
+
+    def redc_wordwise(self, t: int) -> int:
+        """REDC performed limb by limb, as a fixed-width kernel would.
+
+        Algebraically identical to :meth:`redc`; kept as the reference for
+        the per-limb operation counts used by the cost model.
+        """
+        p = self.field.modulus
+        for _ in range(self.limbs):
+            m = (t & _WORD_MASK) * self.n_prime & _WORD_MASK
+            t = (t + m * p) >> _WORD_BITS
+        return t - p if t >= p else t
+
+    # -- conversions ------------------------------------------------------------
+
+    def to_mont(self, a: int) -> int:
+        """Convert canonical ``a`` to Montgomery form ``a*R mod p``."""
+        return self.redc(a % self.field.modulus * self.r2)
+
+    def from_mont(self, a_mont: int) -> int:
+        """Convert Montgomery form back to canonical representation."""
+        return self.redc(a_mont)
+
+    # -- arithmetic in Montgomery form -------------------------------------------
+
+    def mont_mul(self, a_mont: int, b_mont: int) -> int:
+        """Multiply two Montgomery-form values; result stays in form."""
+        return self.redc(a_mont * b_mont)
+
+    def mont_add(self, a_mont: int, b_mont: int) -> int:
+        s = a_mont + b_mont
+        p = self.field.modulus
+        return s - p if s >= p else s
+
+    def mont_sub(self, a_mont: int, b_mont: int) -> int:
+        d = a_mont - b_mont
+        return d + self.field.modulus if d < 0 else d
+
+    def mont_pow(self, a_mont: int, e: int) -> int:
+        """Square-and-multiply exponentiation in Montgomery form."""
+        if e < 0:
+            raise FieldError("mont_pow requires a non-negative exponent")
+        result = self.one
+        base = a_mont
+        while e:
+            if e & 1:
+                result = self.mont_mul(result, base)
+            base = self.mont_mul(base, base)
+            e >>= 1
+        return result
+
+    def mont_inv(self, a_mont: int) -> int:
+        """Inverse in Montgomery form (Fermat's little theorem)."""
+        if a_mont == 0:
+            raise FieldError("zero has no multiplicative inverse")
+        return self.mont_pow(a_mont, self.field.modulus - 2)
+
+    # -- cost accounting ----------------------------------------------------------
+
+    def mul_word_ops(self) -> int:
+        """64x64->128-bit multiply count for one field multiplication.
+
+        A schoolbook ``limbs x limbs`` product plus the REDC pass: this is
+        what one modular multiply costs a 64-bit GPU core, and what the
+        analytic cost model charges per butterfly multiply.
+        """
+        return self.limbs * self.limbs + self.limbs * (self.limbs + 1)
+
+    def element(self, a: int) -> "MontgomeryElement":
+        """Wrap canonical ``a`` as a Montgomery-form element."""
+        return MontgomeryElement(self, self.to_mont(a))
+
+
+class MontgomeryElement:
+    """A field element stored in Montgomery form, with operators."""
+
+    __slots__ = ("ctx", "mont")
+
+    def __init__(self, ctx: MontgomeryContext, mont_value: int):
+        self.ctx = ctx
+        self.mont = mont_value
+
+    def _coerce(self, other: object) -> int | None:
+        if isinstance(other, MontgomeryElement):
+            if other.ctx.field != self.ctx.field:
+                raise FieldError("cannot mix Montgomery elements of "
+                                 "different fields")
+            return other.mont
+        if isinstance(other, int):
+            return self.ctx.to_mont(other)
+        return None
+
+    def __add__(self, other: object) -> "MontgomeryElement":
+        v = self._coerce(other)
+        if v is None:
+            return NotImplemented
+        return MontgomeryElement(self.ctx, self.ctx.mont_add(self.mont, v))
+
+    __radd__ = __add__
+
+    def __sub__(self, other: object) -> "MontgomeryElement":
+        v = self._coerce(other)
+        if v is None:
+            return NotImplemented
+        return MontgomeryElement(self.ctx, self.ctx.mont_sub(self.mont, v))
+
+    def __mul__(self, other: object) -> "MontgomeryElement":
+        v = self._coerce(other)
+        if v is None:
+            return NotImplemented
+        return MontgomeryElement(self.ctx, self.ctx.mont_mul(self.mont, v))
+
+    __rmul__ = __mul__
+
+    def __pow__(self, e: int) -> "MontgomeryElement":
+        return MontgomeryElement(self.ctx, self.ctx.mont_pow(self.mont, e))
+
+    def inverse(self) -> "MontgomeryElement":
+        return MontgomeryElement(self.ctx, self.ctx.mont_inv(self.mont))
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, MontgomeryElement):
+            return (self.ctx.field == other.ctx.field
+                    and self.mont == other.mont)
+        if isinstance(other, int):
+            return self.canonical == other % self.ctx.field.modulus
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.ctx.field.modulus, self.mont))
+
+    @property
+    def canonical(self) -> int:
+        """The canonical (non-Montgomery) integer value."""
+        return self.ctx.from_mont(self.mont)
+
+    def __repr__(self) -> str:
+        return f"Mont({self.canonical}∈{self.ctx.field.name})"

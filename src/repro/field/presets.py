@@ -1,0 +1,58 @@
+"""NTT-friendly prime fields used by real ZKP systems.
+
+The constants below are the standard published parameters:
+
+* **Goldilocks** ``2^64 - 2^32 + 1`` — Plonky2 / Polygon Zero.
+* **BabyBear** ``15 * 2^27 + 1`` — RISC Zero / Plonky3.
+* **BN254 scalar field** — Groth16 on Ethereum (alt_bn128 / BN254 G1 order).
+* **BLS12-381 scalar field** — ZCash Sapling, bellman.
+* Two small fields for exhaustive tests.
+"""
+
+from __future__ import annotations
+
+from repro.field.prime_field import PrimeField
+
+__all__ = [
+    "GOLDILOCKS", "BABYBEAR", "BN254_FR", "BLS12_381_FR",
+    "TEST_FIELD_97", "TEST_FIELD_7681", "ZKP_FIELDS", "ALL_FIELDS",
+    "field_by_name",
+]
+
+#: Goldilocks: p - 1 = 2^32 * (2^32 - 1); two-adicity 32; 7 generates GF(p)*.
+GOLDILOCKS = PrimeField((1 << 64) - (1 << 32) + 1, generator=7,
+                        name="Goldilocks")
+
+#: BabyBear: p = 15 * 2^27 + 1; two-adicity 27; 31 generates GF(p)*.
+BABYBEAR = PrimeField(15 * (1 << 27) + 1, generator=31, name="BabyBear")
+
+#: BN254 (alt_bn128) scalar field; two-adicity 28; generator 5.
+BN254_FR = PrimeField(
+    21888242871839275222246405745257275088548364400416034343698204186575808495617,
+    generator=5, name="BN254-Fr")
+
+#: BLS12-381 scalar field; two-adicity 32; generator 7.
+BLS12_381_FR = PrimeField(
+    52435875175126190479447740508185965837690552500527637822603658699938581184513,
+    generator=7, name="BLS12-381-Fr")
+
+#: 97 - 1 = 2^5 * 3: supports NTTs up to size 32; tiny enough to enumerate.
+TEST_FIELD_97 = PrimeField(97, generator=5, name="GF(97)")
+
+#: 7681 = 15 * 2^9 + 1 (a Kyber-era NTT prime): sizes up to 512.
+TEST_FIELD_7681 = PrimeField(7681, generator=17, name="GF(7681)")
+
+#: The production fields ZKP systems transform over.
+ZKP_FIELDS = (GOLDILOCKS, BABYBEAR, BN254_FR, BLS12_381_FR)
+
+#: Everything, including the test fields.
+ALL_FIELDS = ZKP_FIELDS + (TEST_FIELD_97, TEST_FIELD_7681)
+
+
+def field_by_name(name: str) -> PrimeField:
+    """Look up a preset field by its ``name`` attribute."""
+    for field in ALL_FIELDS:
+        if field.name == name:
+            return field
+    raise KeyError(f"no preset field named {name!r}; "
+                   f"known: {[f.name for f in ALL_FIELDS]}")

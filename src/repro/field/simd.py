@@ -1,0 +1,83 @@
+"""Shared driver for data-parallel (numpy) NTTs.
+
+The vectorized field backends (:mod:`repro.field.goldilocks`,
+:mod:`repro.field.babybear`) differ only in their lane arithmetic; the
+transform schedule — whole-stage radix-2 DIF butterflies over reshaped
+views, one bit-reversal gather at the end — is identical and lives
+here.  This is the data-parallel shape a GPU kernel has, which is why
+the same schedule is fast under numpy too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import NTTError
+from repro.field.prime_field import PrimeField
+from repro.ntt.twiddle import TwiddleCache, default_cache
+
+__all__ = ["LaneOps", "vectorized_ntt", "vectorized_intt"]
+
+
+@dataclass(frozen=True)
+class LaneOps:
+    """The lane arithmetic a vectorized backend supplies."""
+
+    field: PrimeField
+    add: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    sub: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    mul: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    scale: Callable[[np.ndarray, int], np.ndarray]
+    pack: Callable[[list[int]], np.ndarray]
+
+
+def _check_size(n: int) -> None:
+    if n == 0 or n & (n - 1):
+        raise NTTError(f"NTT size must be a power of two, got {n}")
+
+
+def vectorized_ntt(ops: LaneOps, values: np.ndarray,
+                   cache: TwiddleCache | None = None,
+                   root: int | None = None) -> np.ndarray:
+    """Forward radix-2 DIF NTT with whole-stage numpy butterflies."""
+    n = len(values)
+    _check_size(n)
+    cache = cache or default_cache
+    if n == 1:
+        return values.copy()
+    field = ops.field
+    w = field.root_of_unity(n) if root is None else root
+    table = ops.pack(cache.powers(field, w, n // 2))
+
+    data = values.copy()
+    half = n // 2
+    while half >= 1:
+        step = (n // 2) // half
+        view = data.reshape(-1, 2, half)
+        u = view[:, 0, :].copy()
+        v = view[:, 1, :].copy()
+        tw = table[::step][:half]
+        view[:, 0, :] = ops.add(u, v)
+        view[:, 1, :] = ops.mul(ops.sub(u, v),
+                                np.broadcast_to(tw, u.shape))
+        half //= 2
+    perm = np.asarray(cache.bitrev(n), dtype=np.int64)
+    return data[perm]
+
+
+def vectorized_intt(ops: LaneOps, values: np.ndarray,
+                    cache: TwiddleCache | None = None,
+                    root: int | None = None) -> np.ndarray:
+    """Inverse vectorized NTT (includes the 1/n scaling)."""
+    n = len(values)
+    _check_size(n)
+    cache = cache or default_cache
+    if n == 1:
+        return values.copy()
+    field = ops.field
+    w = field.root_of_unity(n) if root is None else root
+    out = vectorized_ntt(ops, values, cache, root=field.inv(w))
+    return ops.scale(out, field.inv(n))

@@ -1,0 +1,107 @@
+"""Bulk operations on vectors of raw field values.
+
+The NTT engines represent data as plain Python lists of integers in
+``[0, p)`` ("raw vectors").  This module collects the vectorized helpers
+shared by the transform engines, the polynomial algebra and the
+simulator, so element-wise loops live in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import FieldError
+from repro.field.prime_field import PrimeField
+
+__all__ = [
+    "vec_add", "vec_sub", "vec_mul", "vec_scale", "vec_neg",
+    "vec_pow_series", "vec_inv", "vec_dot", "vec_sum", "validate_vector",
+]
+
+
+def validate_vector(field: PrimeField, values: Sequence[int]) -> None:
+    """Check that every entry is a canonical field value.
+
+    Used at simulator boundaries to catch corrupted shards early.
+    """
+    p = field.modulus
+    for i, v in enumerate(values):
+        if not isinstance(v, int) or not 0 <= v < p:
+            raise FieldError(
+                f"index {i}: {v!r} is not a canonical value of {field.name}")
+
+
+def vec_add(field: PrimeField, a: Sequence[int], b: Sequence[int]) -> list[int]:
+    """Element-wise ``a + b`` mod p."""
+    p = field.modulus
+    return [(x + y) % p for x, y in zip(a, b, strict=True)]
+
+
+def vec_sub(field: PrimeField, a: Sequence[int], b: Sequence[int]) -> list[int]:
+    """Element-wise ``a - b`` mod p."""
+    p = field.modulus
+    return [(x - y) % p for x, y in zip(a, b, strict=True)]
+
+
+def vec_mul(field: PrimeField, a: Sequence[int], b: Sequence[int]) -> list[int]:
+    """Element-wise (Hadamard) product mod p."""
+    p = field.modulus
+    return [x * y % p for x, y in zip(a, b, strict=True)]
+
+
+def vec_scale(field: PrimeField, a: Sequence[int], s: int) -> list[int]:
+    """Multiply every entry by the scalar ``s``."""
+    p = field.modulus
+    return [x * s % p for x in a]
+
+
+def vec_neg(field: PrimeField, a: Sequence[int]) -> list[int]:
+    """Element-wise negation mod p."""
+    p = field.modulus
+    return [(p - x) % p for x in a]
+
+
+def vec_pow_series(field: PrimeField, base: int, n: int,
+                   start: int = 1) -> list[int]:
+    """Geometric series ``[start, start*base, ..., start*base^(n-1)]``.
+
+    This is the twiddle-table generator: successive powers of a root.
+    """
+    p = field.modulus
+    out = []
+    acc = start % p
+    for _ in range(n):
+        out.append(acc)
+        acc = acc * base % p
+    return out
+
+
+def vec_inv(field: PrimeField, a: Sequence[int]) -> list[int]:
+    """Batch inversion via Montgomery's trick: one inversion for n values.
+
+    Raises :class:`FieldError` if any entry is zero.
+    """
+    p = field.modulus
+    n = len(a)
+    prefix = [1] * (n + 1)
+    for i, v in enumerate(a):
+        if v == 0:
+            raise FieldError(f"batch inversion hit zero at index {i}")
+        prefix[i + 1] = prefix[i] * v % p
+    inv_all = field.inv(prefix[n])
+    out = [0] * n
+    for i in range(n - 1, -1, -1):
+        out[i] = prefix[i] * inv_all % p
+        inv_all = inv_all * a[i] % p
+    return out
+
+
+def vec_dot(field: PrimeField, a: Sequence[int], b: Sequence[int]) -> int:
+    """Inner product mod p."""
+    p = field.modulus
+    return sum(x * y for x, y in zip(a, b, strict=True)) % p
+
+
+def vec_sum(field: PrimeField, a: Sequence[int]) -> int:
+    """Sum of all entries mod p."""
+    return sum(a) % field.modulus

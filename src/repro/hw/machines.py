@@ -1,0 +1,83 @@
+"""Machine presets (the reconstructed platforms table, T1).
+
+Throughput and bandwidth figures are the published datasheet numbers;
+the 64-bit integer-multiply rates are derived from CUDA-core counts and
+clocks (64x64 products executed as four 32-bit IMAD pipelines).  These
+are the knobs the analytic cost model consumes — changing them rescales
+absolute times but not algorithmic comparisons.
+"""
+
+from __future__ import annotations
+
+from repro.hw.model import GpuSpec, MachineModel
+from repro.hw.topology import nvlink_ring, nvswitch, pcie_host_staged
+
+__all__ = [
+    "V100_GPU", "A100_GPU", "H100_GPU",
+    "DGX1_V100", "DGX_A100", "DGX_H100", "A100_PCIE_NODE",
+    "ALL_MACHINES", "machine_by_name",
+]
+
+#: V100-SXM2: 5120 cores @ 1.53 GHz; ~7.8e12 IMAD32/s -> /4 for 64-bit.
+V100_GPU = GpuSpec(
+    name="V100-SXM2-32GB",
+    word_mul_per_s=1.9e12,
+    hbm_bandwidth=0.9e12,
+    hbm_capacity_bytes=32 * 2**30,
+    sm_count=80,
+    smem_per_block_bytes=96 * 1024,
+    smem_bandwidth=13e12,
+    shuffle_bandwidth=55e12,
+)
+
+#: A100-SXM4-80GB: 6912 cores @ 1.41 GHz; ~9.7e12 IMAD32/s -> /4.
+A100_GPU = GpuSpec(
+    name="A100-SXM4-80GB",
+    word_mul_per_s=2.4e12,
+    hbm_bandwidth=2.0e12,
+    hbm_capacity_bytes=80 * 2**30,
+    sm_count=108,
+    smem_per_block_bytes=164 * 1024,
+    smem_bandwidth=19e12,
+    shuffle_bandwidth=80e12,
+)
+
+#: H100-SXM5-80GB: 16896 cores @ 1.83 GHz; ~30e12 IMAD32/s -> /4 (approx).
+H100_GPU = GpuSpec(
+    name="H100-SXM5-80GB",
+    word_mul_per_s=7.5e12,
+    hbm_bandwidth=3.35e12,
+    hbm_capacity_bytes=80 * 2**30,
+    sm_count=132,
+    smem_per_block_bytes=228 * 1024,
+    smem_bandwidth=33e12,
+    shuffle_bandwidth=132e12,
+)
+
+#: DGX-1: 8x V100 on a hybrid NVLink cube-mesh (~150 GB/s per GPU).
+DGX1_V100 = MachineModel(name="DGX-1-V100", gpu=V100_GPU, gpu_count=8,
+                         interconnect=nvlink_ring(150e9))
+
+#: DGX A100: 8x A100 behind NVSwitch (600 GB/s per GPU).
+DGX_A100 = MachineModel(name="DGX-A100", gpu=A100_GPU, gpu_count=8,
+                        interconnect=nvswitch(600e9))
+
+#: DGX H100: 8x H100 behind NVSwitch gen3 (900 GB/s per GPU).
+DGX_H100 = MachineModel(name="DGX-H100", gpu=H100_GPU, gpu_count=8,
+                        interconnect=nvswitch(900e9))
+
+#: Commodity server: 8x A100-PCIe, no P2P, host-staged PCIe 4.0 x16.
+A100_PCIE_NODE = MachineModel(name="A100-PCIe-node", gpu=A100_GPU,
+                              gpu_count=8,
+                              interconnect=pcie_host_staged(32e9))
+
+ALL_MACHINES = (DGX1_V100, DGX_A100, DGX_H100, A100_PCIE_NODE)
+
+
+def machine_by_name(name: str) -> MachineModel:
+    """Look up a preset machine by name."""
+    for machine in ALL_MACHINES:
+        if machine.name == name:
+            return machine
+    raise KeyError(f"no preset machine named {name!r}; "
+                   f"known: {[m.name for m in ALL_MACHINES]}")

@@ -1,0 +1,126 @@
+"""Multi-node machines: the hierarchy's fifth level.
+
+The paper's recursion does not stop at one node — the same decomposition
+that maps a split onto the NVLink fabric maps the next split onto the
+inter-node network.  :class:`MultiNodeMachine` composes a node model
+with a node count and an inter-node fabric, exposing the five-level
+hierarchy ``multi-node / multi-gpu / gpu / block / warp`` to the cost
+model (it duck-types the :class:`~repro.hw.model.MachineModel`
+attributes the model consumes; ``interconnect``/``gpu_count`` describe
+the *intra-node* fabric, which keeps single-node phase pricing exact).
+
+:meth:`MultiNodeMachine.flattened` returns the topology-*unaware* view —
+all GPUs behind the inter-node fabric — which is how a flat engine
+(plain NCCL all-to-all over every GPU) actually performs: nearly all of
+its traffic is inter-node, so pricing everything at the network rate is
+the honest model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import HardwareModelError
+from repro.hw.model import GpuSpec, LevelSpec, MachineModel
+from repro.hw.topology import Interconnect, infiniband
+
+__all__ = ["MultiNodeMachine", "FOUR_NODE_DGX_A100", "ALL_CLUSTERS",
+           "cluster_by_name"]
+
+
+@dataclass(frozen=True)
+class MultiNodeMachine:
+    """``node_count`` identical nodes on one inter-node network."""
+
+    name: str
+    node: MachineModel
+    node_count: int
+    network: Interconnect
+
+    def __post_init__(self) -> None:
+        if self.node_count < 2 or self.node_count & (self.node_count - 1):
+            raise HardwareModelError(
+                f"node_count must be a power of two >= 2, got "
+                f"{self.node_count}")
+
+    # -- MachineModel duck-type (intra-node view) ----------------------------
+
+    @property
+    def gpu(self) -> GpuSpec:
+        return self.node.gpu
+
+    @property
+    def gpu_count(self) -> int:
+        """GPUs *per node* (the multi-gpu level's fanout)."""
+        return self.node.gpu_count
+
+    @property
+    def interconnect(self) -> Interconnect:
+        """The intra-node fabric (prices the "multi-gpu" level)."""
+        return self.node.interconnect
+
+    # -- cluster shape ---------------------------------------------------------
+
+    @property
+    def total_gpus(self) -> int:
+        return self.node_count * self.node.gpu_count
+
+    def levels(self, element_bytes: int) -> list[LevelSpec]:
+        """Five levels, outermost first."""
+        node_capacity = (self.node.gpu_count
+                         * self.node.gpu.hbm_capacity_bytes
+                         // element_bytes)
+        outer = LevelSpec(
+            name="multi-node",
+            fanout=self.node_count,
+            unit_capacity=node_capacity,
+            exchange_bandwidth=self.network.alltoall_bandwidth(
+                self.node_count),
+            exchange_latency=self.network.latency,
+        )
+        return [outer] + self.node.levels(element_bytes)
+
+    def level(self, name: str, element_bytes: int) -> LevelSpec:
+        for spec in self.levels(element_bytes):
+            if spec.name == name:
+                return spec
+        raise HardwareModelError(f"{self.name} has no level named {name!r}")
+
+    def max_transform_size(self, element_bytes: int) -> int:
+        total = self.total_gpus * self.node.gpu.hbm_capacity_bytes
+        elements = total // (2 * element_bytes)
+        return 1 << (elements.bit_length() - 1) if elements else 0
+
+    def flattened(self) -> MachineModel:
+        """All GPUs as one flat pool behind the inter-node network."""
+        return MachineModel(
+            name=f"{self.name}[flat]",
+            gpu=self.node.gpu,
+            gpu_count=self.total_gpus,
+            interconnect=self.network,
+        )
+
+    def describe(self) -> str:
+        return (f"{self.name}: {self.node_count}x ({self.node.describe()}) "
+                f"over {self.network.describe()}")
+
+
+#: Four DGX-A100 nodes on rail-optimized HDR InfiniBand.
+def _make_four_node() -> MultiNodeMachine:
+    from repro.hw.machines import DGX_A100
+    return MultiNodeMachine(name="4xDGX-A100", node=DGX_A100,
+                            node_count=4, network=infiniband())
+
+
+FOUR_NODE_DGX_A100 = _make_four_node()
+
+ALL_CLUSTERS = (FOUR_NODE_DGX_A100,)
+
+
+def cluster_by_name(name: str) -> MultiNodeMachine:
+    """Look up a preset multi-node cluster by name."""
+    for cluster in ALL_CLUSTERS:
+        if cluster.name == name:
+            return cluster
+    raise KeyError(f"no preset cluster named {name!r}; "
+                   f"known: {[c.name for c in ALL_CLUSTERS]}")

@@ -1,0 +1,120 @@
+"""Machine descriptions as JSON (custom hardware without code changes).
+
+A downstream user's cluster is never exactly a preset; these converters
+let them describe GPUs, interconnects, machines, and multi-node clusters
+in a JSON file and feed it to the CLI (``repro estimate
+--machine-file my_cluster.json``) or the API.  Round-tripping through
+``to_dict``/``from_dict`` is the tested contract.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import HardwareModelError
+from repro.hw.model import GpuSpec, MachineModel
+from repro.hw.multinode import MultiNodeMachine
+from repro.hw.topology import Interconnect
+
+__all__ = [
+    "gpu_to_dict", "gpu_from_dict", "interconnect_to_dict",
+    "interconnect_from_dict", "machine_to_dict", "machine_from_dict",
+    "cluster_to_dict", "cluster_from_dict", "load_machine_file",
+]
+
+_GPU_FIELDS = ("name", "word_mul_per_s", "hbm_bandwidth",
+               "hbm_capacity_bytes", "sm_count", "warps_per_sm",
+               "lanes_per_warp", "smem_per_block_bytes", "smem_bandwidth",
+               "shuffle_bandwidth", "kernel_launch_latency")
+
+_INTERCONNECT_FIELDS = ("kind", "link_bandwidth", "latency",
+                        "peer_to_peer", "ring_factor_base")
+
+
+def gpu_to_dict(gpu: GpuSpec) -> dict:
+    return {name: getattr(gpu, name) for name in _GPU_FIELDS}
+
+
+def gpu_from_dict(data: dict) -> GpuSpec:
+    _check_keys(data, _GPU_FIELDS, required=("name", "word_mul_per_s",
+                                             "hbm_bandwidth",
+                                             "hbm_capacity_bytes"))
+    return GpuSpec(**data)
+
+
+def interconnect_to_dict(fabric: Interconnect) -> dict:
+    return {name: getattr(fabric, name) for name in _INTERCONNECT_FIELDS}
+
+
+def interconnect_from_dict(data: dict) -> Interconnect:
+    _check_keys(data, _INTERCONNECT_FIELDS,
+                required=("kind", "link_bandwidth", "latency"))
+    return Interconnect(**data)
+
+
+def machine_to_dict(machine: MachineModel) -> dict:
+    return {
+        "type": "machine",
+        "name": machine.name,
+        "gpu": gpu_to_dict(machine.gpu),
+        "gpu_count": machine.gpu_count,
+        "interconnect": interconnect_to_dict(machine.interconnect),
+    }
+
+
+def machine_from_dict(data: dict) -> MachineModel:
+    _check_keys(data, ("type", "name", "gpu", "gpu_count", "interconnect"),
+                required=("name", "gpu", "gpu_count", "interconnect"))
+    return MachineModel(
+        name=data["name"],
+        gpu=gpu_from_dict(data["gpu"]),
+        gpu_count=data["gpu_count"],
+        interconnect=interconnect_from_dict(data["interconnect"]),
+    )
+
+
+def cluster_to_dict(cluster: MultiNodeMachine) -> dict:
+    return {
+        "type": "cluster",
+        "name": cluster.name,
+        "node": machine_to_dict(cluster.node),
+        "node_count": cluster.node_count,
+        "network": interconnect_to_dict(cluster.network),
+    }
+
+
+def cluster_from_dict(data: dict) -> MultiNodeMachine:
+    _check_keys(data, ("type", "name", "node", "node_count", "network"),
+                required=("name", "node", "node_count", "network"))
+    return MultiNodeMachine(
+        name=data["name"],
+        node=machine_from_dict(data["node"]),
+        node_count=data["node_count"],
+        network=interconnect_from_dict(data["network"]),
+    )
+
+
+def load_machine_file(path: str) -> MachineModel | MultiNodeMachine:
+    """Load a machine or cluster description from a JSON file."""
+    with open(path, encoding="utf-8") as handle:
+        data = json.load(handle)
+    kind = data.get("type", "machine")
+    if kind == "machine":
+        return machine_from_dict(data)
+    if kind == "cluster":
+        return cluster_from_dict(data)
+    raise HardwareModelError(
+        f"{path}: unknown machine type {kind!r} "
+        f"(expected 'machine' or 'cluster')")
+
+
+def _check_keys(data: dict, allowed: tuple[str, ...],
+                required: tuple[str, ...]) -> None:
+    unknown = set(data) - set(allowed)
+    if unknown:
+        raise HardwareModelError(
+            f"unknown machine-description keys: {sorted(unknown)}")
+    missing = set(required) - set(data)
+    if missing:
+        raise HardwareModelError(
+            f"missing machine-description keys: {sorted(missing)}")

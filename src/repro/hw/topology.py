@@ -1,0 +1,132 @@
+"""Inter-GPU interconnect topologies.
+
+The multi-GPU level of the hierarchy is the only one whose exchange
+fabric varies qualitatively between machines, so it gets its own model.
+Three families cover the hardware the paper's domain runs on:
+
+* **NVSwitch** (DGX A100/H100): every GPU has full bisection bandwidth
+  to every other; all-to-all runs at the per-GPU link rate.
+* **NVLink ring/mesh** (DGX-1 style): direct links to a few neighbours;
+  all-to-all pays a ring-routing factor.
+* **PCIe through host**: no peer-to-peer — every transfer bounces
+  through host memory, consuming the link twice, and all GPUs under a
+  root complex share it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import HardwareModelError
+
+__all__ = ["Interconnect", "nvswitch", "nvlink_ring", "pcie_host_staged",
+           "infiniband"]
+
+
+@dataclass(frozen=True)
+class Interconnect:
+    """A multi-GPU exchange fabric.
+
+    Attributes
+    ----------
+    kind:
+        Topology family name ("nvswitch", "nvlink-ring", "pcie-host").
+    link_bandwidth:
+        Per-GPU unidirectional link bandwidth in bytes/second.
+    latency:
+        Fixed per-collective software+hardware latency in seconds.
+    peer_to_peer:
+        Whether GPUs can address each other directly.  Without it, every
+        byte crosses the link twice (device-to-host then host-to-device).
+    ring_factor_base:
+        For ring topologies, the all-to-all slowdown grows with GPU
+        count; 0 for non-ring fabrics.
+    """
+
+    kind: str
+    link_bandwidth: float
+    latency: float
+    peer_to_peer: bool = True
+    ring_factor_base: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.link_bandwidth <= 0:
+            raise HardwareModelError("link bandwidth must be positive")
+        if self.latency < 0:
+            raise HardwareModelError("latency cannot be negative")
+
+    def bounce_factor(self) -> float:
+        """How many times each byte crosses a link (2 when host-staged)."""
+        return 1.0 if self.peer_to_peer else 2.0
+
+    def alltoall_bandwidth(self, gpu_count: int) -> float:
+        """Effective per-GPU bandwidth during a full all-to-all.
+
+        NVSwitch sustains the link rate.  Rings serialize traffic across
+        hops: the classic ring all-to-all moves each byte an average of
+        ``G/4`` hops, so effective bandwidth drops accordingly.  Host
+        staging halves bandwidth (bounce) and shares the host root
+        complex between all GPUs on it.
+        """
+        if gpu_count < 1:
+            raise HardwareModelError(f"gpu_count must be >= 1, got {gpu_count}")
+        bandwidth = self.link_bandwidth / self.bounce_factor()
+        if self.ring_factor_base and gpu_count > 2:
+            bandwidth /= max(1.0, self.ring_factor_base * gpu_count / 4.0)
+        if not self.peer_to_peer and gpu_count > 2:
+            # Root-complex contention: pairs of GPUs share host paths.
+            bandwidth /= 2.0
+        return bandwidth
+
+    def pairwise_bandwidth(self, gpu_count: int) -> float:
+        """Effective per-GPU bandwidth for disjoint-pair exchanges.
+
+        Pairwise patterns (the butterfly stages of a cross-GPU NTT) avoid
+        ring congestion entirely on NVSwitch and mostly on rings (each
+        pair uses its own links for power-of-two partner distances).
+        """
+        if gpu_count < 1:
+            raise HardwareModelError(f"gpu_count must be >= 1, got {gpu_count}")
+        bandwidth = self.link_bandwidth / self.bounce_factor()
+        if not self.peer_to_peer and gpu_count > 2:
+            bandwidth /= 2.0
+        return bandwidth
+
+    def describe(self) -> str:
+        p2p = "P2P" if self.peer_to_peer else "host-staged"
+        return (f"{self.kind} ({self.link_bandwidth / 1e9:.0f} GB/s per GPU, "
+                f"{p2p}, {self.latency * 1e6:.0f} us latency)")
+
+
+def nvswitch(link_bandwidth: float = 600e9,
+             latency: float = 5e-6) -> Interconnect:
+    """Fully-connected NVSwitch fabric (DGX A100 default: 600 GB/s)."""
+    return Interconnect(kind="nvswitch", link_bandwidth=link_bandwidth,
+                        latency=latency, peer_to_peer=True)
+
+
+def nvlink_ring(link_bandwidth: float = 150e9,
+                latency: float = 8e-6) -> Interconnect:
+    """Direct NVLink ring/mesh (DGX-1 V100 style: 150 GB/s per GPU)."""
+    return Interconnect(kind="nvlink-ring", link_bandwidth=link_bandwidth,
+                        latency=latency, peer_to_peer=True,
+                        ring_factor_base=1.0)
+
+
+def pcie_host_staged(link_bandwidth: float = 32e9,
+                     latency: float = 15e-6) -> Interconnect:
+    """PCIe 4.0 x16 with no P2P: all traffic bounces through the host."""
+    return Interconnect(kind="pcie-host", link_bandwidth=link_bandwidth,
+                        latency=latency, peer_to_peer=False)
+
+
+def infiniband(link_bandwidth: float = 25e9,
+               latency: float = 12e-6) -> Interconnect:
+    """Inter-node InfiniBand fabric, per-GPU share.
+
+    DGX A100 default: 8x HDR 200 Gb/s HCAs per node, one per GPU —
+    25 GB/s per GPU through a non-blocking fat tree (rail-optimized, so
+    all-to-all sustains the rail rate).
+    """
+    return Interconnect(kind="infiniband", link_bandwidth=link_bandwidth,
+                        latency=latency, peer_to_peer=True)

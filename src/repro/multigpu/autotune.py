@@ -1,0 +1,121 @@
+"""Configuration autotuning (the FFTW-style planning layer).
+
+A production transform library does not ask users to pick tile sizes,
+decomposition shapes, or engines — it prices the candidates against the
+machine model and picks.  Three tuners:
+
+* :func:`machine_plan` — build the UniNTT decomposition tree directly
+  from a machine's hierarchy description (fanouts and capacities);
+* :func:`autotune_tile` — choose the fast-memory tile for local
+  transform passes: bigger tiles mean fewer global-memory round trips
+  but must fit the shared-memory capacity;
+* :func:`select_engine` — pick the fastest engine (and batch strategy)
+  for a workload, returning the ranked table so callers can see the
+  margins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import HardwareModelError
+from repro.field.prime_field import PrimeField
+from repro.hw.cost import field_limbs
+from repro.hw.model import MachineModel
+from repro.multigpu.baseline import BaselineFourStepEngine
+from repro.multigpu.pairwise import PairwiseExchangeEngine
+from repro.multigpu.singlegpu import SingleGpuEngine
+from repro.multigpu.unintt import UniNTTEngine
+from repro.ntt.plan import Plan, hierarchical_plan
+from repro.sim.cluster import SimCluster
+
+__all__ = ["machine_plan", "autotune_tile", "select_engine",
+           "EngineChoice"]
+
+
+def machine_plan(machine: MachineModel, field: PrimeField, n: int,
+                 leaf_size: int | None = None) -> Plan:
+    """The UniNTT decomposition tree for a machine's actual hierarchy.
+
+    Fanouts come straight from the machine description (GPU count, SM
+    count rounded to a power of two, warps per block, lanes per warp);
+    the leaf is the per-lane register capacity unless overridden.
+    """
+    element_bytes = field_limbs(field) * 8
+    levels = machine.levels(element_bytes)
+    fanouts = [(spec.name, spec.plan_fanout) for spec in levels]
+    if leaf_size is None:
+        leaf_size = max(2, levels[-1].unit_capacity)
+    return hierarchical_plan(n, fanouts, leaf_size=leaf_size)
+
+
+def autotune_tile(machine: MachineModel, field: PrimeField, n: int,
+                  gpu_count: int | None = None) -> tuple[int, float]:
+    """Choose the local-transform tile minimizing modeled UniNTT time.
+
+    Candidates are powers of two from 64 up to the shared-memory
+    capacity (the physical bound on what a thread block can stage).
+    Returns (tile, seconds).
+    """
+    element_bytes = field_limbs(field) * 8
+    smem_elems = machine.gpu.smem_per_block_bytes // element_bytes
+    if smem_elems < 64:
+        raise HardwareModelError(
+            f"{machine.gpu.name} shared memory holds fewer than 64 "
+            f"elements of {field.name}")
+    gpus = gpu_count if gpu_count is not None else machine.gpu_count
+    cluster = SimCluster(field, gpus)
+    # Small transforms that UniNTT cannot split are priced single-GPU.
+    if n >= gpus * gpus:
+        def price(tile: int) -> float:
+            return UniNTTEngine(cluster, tile=tile).estimate(
+                machine, n).total_s
+    else:
+        def price(tile: int) -> float:
+            return SingleGpuEngine(cluster, tile=tile).estimate(
+                machine, n).total_s
+    best: tuple[int, float] | None = None
+    tile = 64
+    while tile <= smem_elems:
+        seconds = price(tile)
+        if best is None or seconds < best[1]:
+            best = (tile, seconds)
+        tile *= 2
+    assert best is not None
+    return best
+
+
+@dataclass(frozen=True)
+class EngineChoice:
+    """One ranked engine configuration."""
+
+    name: str
+    seconds: float
+    bottleneck: str
+
+
+def select_engine(machine: MachineModel, field: PrimeField, n: int,
+                  ) -> list[EngineChoice]:
+    """Rank all engines for one transform, fastest first."""
+    cluster = SimCluster(field, machine.gpu_count)
+    tile, _ = autotune_tile(machine, field, n)
+    candidates = [
+        SingleGpuEngine(cluster, tile=tile),
+        BaselineFourStepEngine(cluster, tile=tile),
+        PairwiseExchangeEngine(cluster, tile=tile),
+        UniNTTEngine(cluster, tile=tile),
+    ]
+    choices = []
+    for engine in candidates:
+        try:
+            breakdown = engine.estimate(machine, n)
+        except Exception:
+            continue  # engine constraints (e.g. n < G^2) exclude it
+        choices.append(EngineChoice(name=engine.name,
+                                    seconds=breakdown.total_s,
+                                    bottleneck=breakdown.
+                                    dominant_resource()))
+    if not choices:
+        raise HardwareModelError(
+            f"no engine can run n={n} on {machine.name}")
+    return sorted(choices, key=lambda c: c.seconds)

@@ -1,0 +1,171 @@
+"""Distributed vectors, redistribution, and the engine interface.
+
+:func:`redistribute` is the universal communication step: given the
+layout the data is in and the layout the next compute phase needs, it
+builds the personalized all-to-all that moves every element to its new
+slot.  All of the baseline's transposes and UniNTT's single exchange are
+instances of it, which keeps the engines short and makes the byte
+accounting uniform.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import PartitionError, SimulationError
+from repro.field.prime_field import PrimeField
+from repro.hw.cost import CostBreakdown, CostModel, Step
+from repro.hw.model import MachineModel
+from repro.multigpu.layout import Layout, collect, distribute
+from repro.sim.cluster import SimCluster
+
+__all__ = ["DistributedVector", "redistribute", "DistributedNTTEngine"]
+
+
+@dataclass
+class DistributedVector:
+    """A logical vector living in a cluster's shards under a layout."""
+
+    cluster: SimCluster
+    layout: Layout
+
+    def __post_init__(self) -> None:
+        if self.layout.gpu_count != self.cluster.gpu_count:
+            raise PartitionError(
+                f"layout is for {self.layout.gpu_count} GPUs, cluster has "
+                f"{self.cluster.gpu_count}")
+
+    @property
+    def n(self) -> int:
+        return self.layout.n
+
+    @classmethod
+    def from_values(cls, cluster: SimCluster, values: Sequence[int],
+                    layout: Layout) -> "DistributedVector":
+        """Stage a host vector into the cluster under ``layout``."""
+        cluster.load_shards(distribute(values, layout))
+        return cls(cluster=cluster, layout=layout)
+
+    def to_values(self) -> list[int]:
+        """Reassemble the global vector (diagnostic; charges nothing)."""
+        return collect(self.cluster.peek_shards(), self.layout)
+
+    def relayout(self, target: Layout, detail: str = "") -> "DistributedVector":
+        """Move to another layout with one counted all-to-all."""
+        redistribute(self.cluster, self.layout, target, detail=detail)
+        return DistributedVector(cluster=self.cluster, layout=target)
+
+
+def redistribute(cluster: SimCluster, source: Layout, target: Layout,
+                 detail: str = "") -> None:
+    """One all-to-all moving every element from ``source`` to ``target``.
+
+    Both layouts must cover the same global index space.  Messages are
+    ordered by destination local index so receivers reassemble by
+    walking their slots in order — the deterministic schedule a real
+    implementation would use.
+    """
+    if source.n != target.n or source.gpu_count != target.gpu_count:
+        raise PartitionError(
+            f"layout mismatch: {source.n}/{source.gpu_count} vs "
+            f"{target.n}/{target.gpu_count}")
+    g = cluster.gpu_count
+    if source.gpu_count != g:
+        raise PartitionError(
+            f"layouts are for {source.gpu_count} GPUs, cluster has {g}")
+
+    outboxes: list[list[list[int]]] = [[[] for _ in range(g)]
+                                       for _ in range(g)]
+    # Walk destination slots in order, so each (src, dst) message is
+    # naturally sorted by destination local index.
+    for dst in range(g):
+        for local in range(target.shard_size):
+            j = target.global_index(dst, local)
+            src, src_local = source.owner(j)
+            outboxes[src][dst].append(cluster.gpus[src].shard[src_local])
+    inboxes = cluster.all_to_all(outboxes, detail=detail or
+                                 f"{type(source).__name__}->"
+                                 f"{type(target).__name__}")
+    for dst in range(g):
+        cursors = [0] * g
+        shard = [0] * target.shard_size
+        for local in range(target.shard_size):
+            j = target.global_index(dst, local)
+            src, _ = source.owner(j)
+            shard[local] = inboxes[dst][src][cursors[src]]
+            cursors[src] += 1
+        cluster.gpus[dst].load(shard)
+
+
+class DistributedNTTEngine(ABC):
+    """Interface shared by all multi-GPU NTT engines.
+
+    An engine is bound to a cluster (the functional side) and exposes a
+    closed-form phase profile (the analytic side).  ``tile`` is the
+    fast-memory tile size for local transform passes — the number of
+    elements a thread block can stage, which sets how many global-memory
+    round trips a local transform needs.
+    """
+
+    #: Engine display name (overridden by subclasses).
+    name: str = "abstract"
+
+    def __init__(self, cluster: SimCluster, tile: int = 4096):
+        if tile < 2 or tile & (tile - 1):
+            raise SimulationError(
+                f"tile must be a power of two >= 2, got {tile}")
+        self.cluster = cluster
+        self.tile = tile
+
+    @property
+    def field(self) -> PrimeField:
+        return self.cluster.field
+
+    @property
+    def gpu_count(self) -> int:
+        return self.cluster.gpu_count
+
+    # -- functional interface ------------------------------------------------
+
+    @abstractmethod
+    def input_layout(self, n: int) -> Layout:
+        """The layout this engine expects its input in."""
+
+    @abstractmethod
+    def output_layout(self, n: int) -> Layout:
+        """The layout this engine leaves its forward output in."""
+
+    @abstractmethod
+    def forward(self, vec: DistributedVector) -> DistributedVector:
+        """Forward NTT of a distributed vector (counted)."""
+
+    @abstractmethod
+    def inverse(self, vec: DistributedVector) -> DistributedVector:
+        """Inverse NTT (counted); accepts the forward output layout."""
+
+    # -- analytic interface ------------------------------------------------------
+
+    @abstractmethod
+    def forward_profile(self, n: int) -> list[Step]:
+        """Closed-form per-GPU phase profile of :meth:`forward`."""
+
+    def inverse_profile(self, n: int) -> list[Step]:
+        """Profile of :meth:`inverse`; symmetric by default."""
+        return self.forward_profile(n)
+
+    def estimate(self, machine: MachineModel, n: int,
+                 inverse: bool = False) -> CostBreakdown:
+        """Price one transform of size n on ``machine``."""
+        model = CostModel(machine, self.field)
+        profile = self.inverse_profile(n) if inverse \
+            else self.forward_profile(n)
+        return model.estimate(profile)
+
+    # -- shared helpers ------------------------------------------------------------
+
+    def _check_input(self, vec: DistributedVector, expected: Layout) -> None:
+        if type(vec.layout) is not type(expected) or vec.layout != expected:
+            raise PartitionError(
+                f"{self.name} expects {expected!r}, got {vec.layout!r}")

@@ -1,0 +1,535 @@
+"""Hierarchical UniNTT across multiple nodes — the recursion, recursed.
+
+With ``N`` nodes of ``P`` GPUs each (``G = N*P``, shard ``m = n/G``),
+the same cyclic decomposition that UniNTT applies at the multi-GPU level
+is applied twice:
+
+1. **local** m-point transforms (root ``w^G``) + fused intra-node
+   twiddles;
+2. **intra-node** all-to-all (each node's P GPUs only — NVSwitch
+   traffic) followed by in-place P-point cross transforms: each node now
+   holds its ``M = n/N``-point sub-spectrum in a per-node spectral
+   layout;
+3. fused **inter-node** twiddles ``w^(s_node * k1)``;
+4. **inter-node** all-to-all — column-aligned: GPU ``(t_node, s_gpu)``
+   only ever exchanges with the ``s_gpu``-th GPU of other nodes (the
+   rail-optimized pattern) — followed by in-place N-point cross
+   transforms.
+
+Per GPU this moves ``m*(P-1)/P`` bytes on the fast intra-node fabric and
+``m*(N-1)/N`` bytes on the network, where a flat (topology-unaware)
+engine pushes essentially all of its volume through the network.  The
+output stays in :class:`NestedSpectralLayout`; :meth:`inverse` consumes
+it and returns the :class:`NestedCyclicLayout` input order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PartitionError, SimulationError
+from repro.hw.cost import Phase, PipelinedGroup, Step
+from repro.multigpu import accounting as acct
+from repro.multigpu.base import (
+    DistributedNTTEngine, DistributedVector, redistribute,
+)
+from repro.multigpu.layout import BlockLayout, Layout
+from repro.ntt import radix2
+from repro.ntt.twiddle import default_cache
+from repro.sim.cluster import SimCluster
+from repro.sim.trace import TraceEvent
+
+__all__ = [
+    "NestedCyclicLayout", "IntraNodeExchangeLayout", "NodeSpectralLayout",
+    "InterNodeExchangeLayout", "NestedSpectralLayout",
+    "HierarchicalUniNTTEngine",
+]
+
+
+@dataclass(frozen=True)
+class _NodeStructured(Layout):
+    """Base for layouts over an N-node, P-GPUs-per-node cluster."""
+
+    nodes: int = 0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.nodes < 1 or self.nodes & (self.nodes - 1):
+            raise PartitionError(
+                f"nodes must be a power of two, got {self.nodes}")
+        if self.gpu_count % self.nodes:
+            raise PartitionError(
+                f"{self.gpu_count} GPUs do not split into {self.nodes} nodes")
+
+    @property
+    def gpus_per_node(self) -> int:
+        return self.gpu_count // self.nodes
+
+    @property
+    def node_size(self) -> int:
+        """Elements per node: M = n / N."""
+        return self.n // self.nodes
+
+
+class NestedCyclicLayout(_NodeStructured):
+    """Input order: ``j = (q*P + s_gpu)*N + s_node``.
+
+    GPU ``(s_node, s_gpu)`` holds the doubly-cyclic sub-sequence, so
+    both recursion levels' local transforms touch only local data.
+    """
+
+    def owner(self, global_index: int) -> tuple[int, int]:
+        self._check_global(global_index)
+        n_nodes, p = self.nodes, self.gpus_per_node
+        j1, s_node = divmod(global_index, n_nodes)
+        q, s_gpu = divmod(j1, p)
+        return s_node * p + s_gpu, q
+
+    def global_index(self, gpu: int, local: int) -> int:
+        self._check_slot(gpu, local)
+        n_nodes, p = self.nodes, self.gpus_per_node
+        s_node, s_gpu = divmod(gpu, p)
+        return (local * p + s_gpu) * n_nodes + s_node
+
+
+class IntraNodeExchangeLayout(_NodeStructured):
+    """Target of the intra-node all-to-all, in unit-major index space.
+
+    Index space: ``u = (s_node*P + s_gpu) * m + k1'`` (the physical
+    order after the local transforms).  Within node ``s_node``, GPU
+    column ``t_gpu`` receives the k1'-chunk ``[t_gpu*m/P, ...)`` from
+    its node's P GPUs, storing the P-vector over ``s_gpu`` contiguously:
+    ``local = (k1' % (m/P)) * P + s_gpu``.  The in-place P-point cross
+    transform then turns this storage into :class:`NodeSpectralLayout`.
+    Traffic never crosses a node boundary.
+    """
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        p = self.gpus_per_node
+        if self.shard_size % p:
+            raise PartitionError(
+                f"shard of {self.shard_size} does not split into {p} "
+                f"column chunks (need n >= N * P^2)")
+
+    @property
+    def chunk(self) -> int:
+        """k1' values per GPU column: m / P."""
+        return self.shard_size // self.gpus_per_node
+
+    def owner(self, global_index: int) -> tuple[int, int]:
+        self._check_global(global_index)
+        p = self.gpus_per_node
+        unit, k1p = divmod(global_index, self.shard_size)
+        s_node, s_gpu = divmod(unit, p)
+        t_gpu, offset = divmod(k1p, self.chunk)
+        return s_node * p + t_gpu, offset * p + s_gpu
+
+    def global_index(self, gpu: int, local: int) -> int:
+        self._check_slot(gpu, local)
+        p = self.gpus_per_node
+        s_node, t_gpu = divmod(gpu, p)
+        offset, s_gpu = divmod(local, p)
+        k1p = t_gpu * self.chunk + offset
+        return (s_node * p + s_gpu) * self.shard_size + k1p
+
+
+class NodeSpectralLayout(_NodeStructured):
+    """Per-node spectra after step 2.
+
+    Index space: ``v = s_node * M + k1`` with ``k1 = k1' + L*k2_gpu``
+    (``L = M/P``).  Within node ``s_node``, GPU column ``t_gpu`` owns the
+    k1'-chunk ``[t_gpu*L/P, ...)``, storing ``local = (k1' % (L/P))*P +
+    k2_gpu`` — the per-node instance of
+    :class:`~repro.multigpu.layout.SpectralLayout`.
+    """
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        p = self.gpus_per_node
+        if self.node_size < p * p:
+            raise PartitionError(
+                f"node spectral layout needs M >= P^2 "
+                f"({self.node_size} < {p}^2)")
+
+    @property
+    def chunk(self) -> int:
+        """k1' values per GPU column: L / P."""
+        return self.node_size // (self.gpus_per_node ** 2)
+
+    def owner(self, global_index: int) -> tuple[int, int]:
+        self._check_global(global_index)
+        p = self.gpus_per_node
+        m_node = self.node_size
+        l_local = m_node // p
+        s_node, k1 = divmod(global_index, m_node)
+        k2_gpu, k1p = divmod(k1, l_local)
+        t_gpu, offset = divmod(k1p, self.chunk)
+        return s_node * p + t_gpu, offset * p + k2_gpu
+
+    def global_index(self, gpu: int, local: int) -> int:
+        self._check_slot(gpu, local)
+        p = self.gpus_per_node
+        m_node = self.node_size
+        l_local = m_node // p
+        s_node, t_gpu = divmod(gpu, p)
+        offset, k2_gpu = divmod(local, p)
+        k1 = t_gpu * self.chunk + offset + l_local * k2_gpu
+        return s_node * m_node + k1
+
+
+class _ColumnChunked(_NodeStructured):
+    """Shared math of the two post-inter-node-exchange layouts.
+
+    Splits each GPU column's m spectrum slots into N sub-chunks of
+    ``m/N``, storing the N-vector over the second index contiguously.
+    """
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        p = self.gpus_per_node
+        if self.node_size < p * p:
+            raise PartitionError(
+                f"layout needs M >= P^2 ({self.node_size} < {p}^2)")
+        if self.shard_size % self.nodes:
+            raise PartitionError(
+                f"shard of {self.shard_size} does not split into "
+                f"{self.nodes} node sub-chunks (need n >= N^2 * P)")
+
+    @property
+    def sub(self) -> int:
+        """Spectrum slots per (GPU, node sub-chunk): m / N."""
+        return self.shard_size // self.nodes
+
+    def _decode_k1(self, k1: int) -> tuple[int, int]:
+        """k1 -> (column t_gpu, within-column enumeration idx)."""
+        p = self.gpus_per_node
+        l_local = self.node_size // p
+        chunk = l_local // p
+        k2_gpu, k1p = divmod(k1, l_local)
+        t_gpu, offset = divmod(k1p, chunk)
+        return t_gpu, offset * p + k2_gpu
+
+    def _encode_k1(self, t_gpu: int, idx: int) -> int:
+        p = self.gpus_per_node
+        l_local = self.node_size // p
+        chunk = l_local // p
+        offset, k2_gpu = divmod(idx, p)
+        return t_gpu * chunk + offset + l_local * k2_gpu
+
+    def _owner(self, second: int, k1: int) -> tuple[int, int]:
+        t_gpu, idx = self._decode_k1(k1)
+        t_node, pos = divmod(idx, self.sub)
+        return (t_node * self.gpus_per_node + t_gpu,
+                pos * self.nodes + second)
+
+    def _global(self, gpu: int, local: int) -> tuple[int, int]:
+        """-> (second index, k1)."""
+        t_node, t_gpu = divmod(gpu, self.gpus_per_node)
+        pos, second = divmod(local, self.nodes)
+        idx = t_node * self.sub + pos
+        return second, self._encode_k1(t_gpu, idx)
+
+
+class InterNodeExchangeLayout(_ColumnChunked):
+    """Index space ``v = s_node * M + k1`` after the inter-node
+    all-to-all: GPU ``(t_node, t_gpu)`` holds, for each k1 in its
+    sub-chunk, the N values over ``s_node`` contiguously."""
+
+    def owner(self, global_index: int) -> tuple[int, int]:
+        self._check_global(global_index)
+        s_node, k1 = divmod(global_index, self.node_size)
+        return self._owner(s_node, k1)
+
+    def global_index(self, gpu: int, local: int) -> int:
+        self._check_slot(gpu, local)
+        s_node, k1 = self._global(gpu, local)
+        return s_node * self.node_size + k1
+
+
+class NestedSpectralLayout(_ColumnChunked):
+    """Final spectrum order: ``k = k1 + M * k2_node`` — the in-place
+    N-point cross transform of :class:`InterNodeExchangeLayout`."""
+
+    def owner(self, global_index: int) -> tuple[int, int]:
+        self._check_global(global_index)
+        k2_node, k1 = divmod(global_index, self.node_size)
+        return self._owner(k2_node, k1)
+
+    def global_index(self, gpu: int, local: int) -> int:
+        self._check_slot(gpu, local)
+        k2_node, k1 = self._global(gpu, local)
+        return k2_node * self.node_size + k1
+
+
+class HierarchicalUniNTTEngine(DistributedNTTEngine):
+    """Two-level UniNTT: intra-node exchange + inter-node exchange."""
+
+    name = "unintt-hierarchical"
+
+    def __init__(self, cluster: SimCluster, tile: int = 4096):
+        super().__init__(cluster, tile)
+        if cluster.node_size is None or cluster.node_count < 2:
+            raise SimulationError(
+                "HierarchicalUniNTTEngine needs a cluster with node "
+                "structure (SimCluster(node_size=...), >= 2 nodes)")
+        self.nodes = cluster.node_count
+        self.per_node = cluster.node_size
+
+    # -- layouts -----------------------------------------------------------
+
+    def input_layout(self, n: int) -> Layout:
+        return NestedCyclicLayout(n=n, gpu_count=self.gpu_count,
+                                  nodes=self.nodes)
+
+    def output_layout(self, n: int) -> Layout:
+        return NestedSpectralLayout(n=n, gpu_count=self.gpu_count,
+                                    nodes=self.nodes)
+
+    def _check_size(self, n: int) -> None:
+        g = self.gpu_count
+        needed = max(self.nodes * self.nodes * self.per_node,
+                     self.per_node * self.per_node * self.nodes)
+        if n < needed:
+            raise PartitionError(
+                f"hierarchical engine needs n >= {needed} "
+                f"(N^2*P and P^2*N), got {n}")
+
+    # -- functional ------------------------------------------------------------
+
+    def forward(self, vec: DistributedVector) -> DistributedVector:
+        n = vec.n
+        self._check_size(n)
+        self._check_input(vec, self.input_layout(n))
+        field = self.field
+        p = field.modulus
+        cluster = self.cluster
+        n_nodes, per_node = self.nodes, self.per_node
+        g = self.gpu_count
+        m = n // g
+        m_node = n // n_nodes
+        root = field.root_of_unity(n)
+        root_node = pow(root, n_nodes, p)        # order n/N: per-node root
+
+        # 1. local m-point transforms (root w^G) + intra-node twiddle
+        # (root_node^(s_gpu * k1'), fused).
+        root_local = pow(root, g, p)
+        for gpu in cluster.gpus:
+            gpu.shard = radix2.ntt(field, gpu.shard, default_cache,
+                                   root=root_local)
+            s_gpu = gpu.gpu_id % per_node
+            if s_gpu:
+                tw = default_cache.powers(
+                    field, pow(root_node, s_gpu, p), m)
+                shard = gpu.shard
+                for k1 in range(1, m):
+                    shard[k1] = shard[k1] * tw[k1] % p
+        self._charge_local_ntt(m, detail="hier-local")
+
+        # 2. intra-node all-to-all + P-point cross transforms.
+        unit_major = BlockLayout(n=n, gpu_count=g)
+        intra_exchange = IntraNodeExchangeLayout(n=n, gpu_count=g,
+                                                 nodes=n_nodes)
+        node_spectral = NodeSpectralLayout(n=n, gpu_count=g, nodes=n_nodes)
+        redistribute(cluster, unit_major, intra_exchange,
+                     detail="hier-intra-exchange")
+        root_p = pow(root_node, m_node // per_node, p)  # order P
+        self._cross_inplace(per_node, root_p, scale=None,
+                            detail="hier-intra-cross")
+
+        # 3. inter-node twiddle w^(s_node * k1), fused: each GPU decodes
+        # the k1 its slots hold from the node-spectral layout.
+        for gpu in cluster.gpus:
+            s_node = gpu.gpu_id // per_node
+            if not s_node:
+                continue
+            w_base = pow(root, s_node, p)
+            shard = gpu.shard
+            for local in range(len(shard)):
+                k1 = (node_spectral.global_index(gpu.gpu_id, local)
+                      % m_node)
+                shard[local] = shard[local] * pow(w_base, k1, p) % p
+        self._charge_twiddle(m, detail="hier-inter-twiddle")
+
+        # 4. inter-node all-to-all (column-aligned) + N-point cross.
+        exchange = InterNodeExchangeLayout(n=n, gpu_count=g, nodes=n_nodes)
+        redistribute(cluster, node_spectral, exchange,
+                     detail="hier-inter-exchange")
+        root_n = pow(root, m_node, p)  # order N
+        self._cross_inplace(n_nodes, root_n, scale=None,
+                            detail="hier-inter-cross")
+        return DistributedVector(
+            cluster=cluster,
+            layout=NestedSpectralLayout(n=n, gpu_count=g, nodes=n_nodes))
+
+    def inverse(self, vec: DistributedVector) -> DistributedVector:
+        n = vec.n
+        self._check_size(n)
+        self._check_input(vec, self.output_layout(n))
+        field = self.field
+        p = field.modulus
+        cluster = self.cluster
+        n_nodes, per_node = self.nodes, self.per_node
+        g = self.gpu_count
+        m = n // g
+        m_node = n // n_nodes
+        root = field.root_of_unity(n)
+        inv_root = field.inv(root)
+        inv_root_node = pow(inv_root, n_nodes, p)
+
+        # 1. inverse N-point cross transforms (scale 1/N).
+        inv_root_n = pow(inv_root, m_node, p)
+        self._cross_inplace(n_nodes, inv_root_n,
+                            scale=field.inv(n_nodes % p),
+                            detail="hier-inv-inter-cross")
+
+        # 2. inter-node all-to-all back + inverse inter-node twiddle.
+        exchange = InterNodeExchangeLayout(n=n, gpu_count=g, nodes=n_nodes)
+        node_spectral = NodeSpectralLayout(n=n, gpu_count=g, nodes=n_nodes)
+        redistribute(cluster, exchange, node_spectral,
+                     detail="hier-inv-inter-exchange")
+        for gpu in cluster.gpus:
+            s_node = gpu.gpu_id // per_node
+            if not s_node:
+                continue
+            w_base = pow(inv_root, s_node, p)
+            shard = gpu.shard
+            for local in range(len(shard)):
+                k1 = (node_spectral.global_index(gpu.gpu_id, local)
+                      % m_node)
+                shard[local] = shard[local] * pow(w_base, k1, p) % p
+        self._charge_twiddle(m, detail="hier-inv-inter-twiddle")
+
+        # 3. inverse P-point cross transforms (scale 1/P) + intra-node
+        # all-to-all back to unit-major order.
+        inv_root_p = pow(inv_root_node, m_node // per_node, p)
+        self._cross_inplace(per_node, inv_root_p,
+                            scale=field.inv(per_node % p),
+                            detail="hier-inv-intra-cross")
+        unit_major = BlockLayout(n=n, gpu_count=g)
+        intra_exchange = IntraNodeExchangeLayout(n=n, gpu_count=g,
+                                                 nodes=n_nodes)
+        redistribute(cluster, intra_exchange, unit_major,
+                     detail="hier-inv-intra-exchange")
+
+        # 4. inverse intra-node twiddle + local inverse transforms (1/m).
+        inv_root_local = pow(inv_root, g, p)
+        m_inv = field.inv(m % p)
+        for gpu in cluster.gpus:
+            s_gpu = gpu.gpu_id % per_node
+            shard = gpu.shard
+            if s_gpu:
+                tw = default_cache.powers(
+                    field, pow(inv_root_node, s_gpu, p), m)
+                for k1 in range(1, m):
+                    shard[k1] = shard[k1] * tw[k1] % p
+            piece = radix2.ntt(field, shard, default_cache,
+                               root=inv_root_local)
+            gpu.shard = [v * m_inv % p for v in piece]
+        self._charge_local_ntt(m, scaled=True, detail="hier-inv-local")
+        return DistributedVector(
+            cluster=cluster,
+            layout=NestedCyclicLayout(n=n, gpu_count=g, nodes=n_nodes))
+
+    def _cross_inplace(self, size: int, root: int, scale: int | None,
+                       detail: str) -> None:
+        """In-place small transforms over contiguous groups of ``size``."""
+        field = self.field
+        p = field.modulus
+        for gpu in self.cluster.gpus:
+            shard = gpu.shard
+            for base in range(0, len(shard), size):
+                piece = radix2.ntt(field, shard[base:base + size],
+                                   default_cache, root=root)
+                if scale is not None:
+                    piece = [v * scale % p for v in piece]
+                shard[base:base + size] = piece
+        m = len(self.cluster.gpus[0].shard)
+        self._charge_cross(m, size, scaled=scale is not None, detail=detail)
+
+    # -- accounting --------------------------------------------------------------
+
+    def _charge_local_ntt(self, m: int, detail: str,
+                          scaled: bool = False) -> None:
+        eb = self.cluster.element_bytes
+        muls = acct.local_ntt_muls(m) + acct.twiddle_muls(m)
+        if scaled:
+            muls += m
+        mem = acct.local_ntt_mem_bytes(m, eb, self.tile)
+        self._record(muls, mem, detail)
+
+    def _charge_cross(self, m: int, size: int, scaled: bool,
+                      detail: str) -> None:
+        eb = self.cluster.element_bytes
+        muls = acct.small_batch_ntt_muls(m // size, size)
+        if scaled:
+            muls += m
+        mem = acct.small_batch_mem_bytes(m // size, size, eb)
+        self._record(muls, mem, detail)
+
+    def _charge_twiddle(self, m: int, detail: str) -> None:
+        # Fused into the adjacent kernel: multiplies only.
+        self._record(acct.twiddle_muls(m), 0, detail)
+
+    def _record(self, muls: int, mem: int, detail: str) -> None:
+        for gpu in self.cluster.gpus:
+            gpu.charge_compute(muls, mem)
+        self.cluster.trace.record(TraceEvent(
+            kind="local-compute", level="gpu", max_bytes_per_gpu=mem,
+            total_bytes=mem * self.gpu_count,
+            field_muls=muls * self.gpu_count, detail=detail))
+
+    # -- analytic ----------------------------------------------------------------
+
+    def _profile(self, n: int, inverse: bool) -> list[Step]:
+        self._check_size(n)
+        g = self.gpu_count
+        eb = self.cluster.element_bytes
+        m = n // g
+        n_nodes, per_node = self.nodes, self.per_node
+
+        local_muls = acct.local_ntt_muls(m) + acct.twiddle_muls(m)
+        if inverse:
+            local_muls += m
+        local = Phase(name="local-ntt", field_muls=local_muls,
+                      mem_bytes=acct.local_ntt_mem_bytes(m, eb, self.tile))
+
+        intra_muls = acct.small_batch_ntt_muls(m // per_node, per_node)
+        if inverse:
+            intra_muls += m  # the 1/P scaling
+        intra = PipelinedGroup(name="intra-node", phases=(
+            Phase(name="intra-exchange",
+                  exchange_bytes=acct.alltoall_bytes_per_gpu(m, per_node,
+                                                             eb),
+                  messages=per_node - 1),
+            Phase(name="intra-cross", field_muls=intra_muls,
+                  mem_bytes=acct.small_batch_mem_bytes(
+                      m // per_node, per_node, eb)),
+        ))
+
+        twiddle = Phase(name="inter-twiddle",
+                        field_muls=acct.twiddle_muls(m))
+
+        inter_muls = acct.small_batch_ntt_muls(m // n_nodes, n_nodes)
+        if inverse:
+            inter_muls += m  # the 1/N scaling
+        inter = PipelinedGroup(name="inter-node", phases=(
+            Phase(name="inter-exchange",
+                  exchange_bytes=acct.alltoall_bytes_per_gpu(m, n_nodes,
+                                                             eb),
+                  exchange_level="multi-node", messages=n_nodes - 1),
+            Phase(name="inter-cross", field_muls=inter_muls,
+                  mem_bytes=acct.small_batch_mem_bytes(
+                      m // n_nodes, n_nodes, eb)),
+        ))
+
+        steps: list[Step] = [local, intra, twiddle, inter]
+        if inverse:
+            steps.reverse()
+        return steps
+
+    def forward_profile(self, n: int) -> list[Step]:
+        return self._profile(n, inverse=False)
+
+    def inverse_profile(self, n: int) -> list[Step]:
+        return self._profile(n, inverse=True)

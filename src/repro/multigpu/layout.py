@@ -1,0 +1,276 @@
+"""Distributed data layouts.
+
+A layout is a bijection between global vector indices and (gpu, local)
+slots.  Layout choice is *the* lever of multi-GPU NTT design:
+
+* :class:`BlockLayout` — natural contiguous blocks; what producers hand
+  you and what the conventional baseline works in.
+* :class:`CyclicLayout` — index ``j`` lives on GPU ``j mod G``; the
+  UniNTT input layout, under which the local sub-transforms need no
+  communication at all.
+* :class:`SpectralLayout` — the permuted order UniNTT's forward
+  transform leaves its output in.  Keeping the output here (instead of
+  materializing natural order) deletes one whole all-to-all; pointwise
+  spectral operations are layout-agnostic, so ZKP pipelines never pay
+  for the permutation.  This is the distributed face of the paper's
+  "overhead-free decomposition".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import PartitionError
+
+__all__ = ["Layout", "BlockLayout", "CyclicLayout", "SpectralLayout",
+           "ColumnBlockLayout", "TransposedBlockLayout",
+           "UniNTTExchangeLayout", "distribute", "collect"]
+
+
+@dataclass(frozen=True)
+class Layout:
+    """Base class: a size-n vector split over ``gpu_count`` equal shards."""
+
+    n: int
+    gpu_count: int
+
+    def __post_init__(self) -> None:
+        if self.n < 1 or self.n & (self.n - 1):
+            raise PartitionError(f"layout size must be a power of two, "
+                                 f"got {self.n}")
+        if self.gpu_count < 1 or self.gpu_count & (self.gpu_count - 1):
+            raise PartitionError(f"gpu_count must be a power of two, "
+                                 f"got {self.gpu_count}")
+        if self.n < self.gpu_count:
+            raise PartitionError(
+                f"cannot split {self.n} elements over {self.gpu_count} GPUs")
+
+    @property
+    def shard_size(self) -> int:
+        return self.n // self.gpu_count
+
+    def owner(self, global_index: int) -> tuple[int, int]:
+        """Map a global index to its (gpu, local index) slot."""
+        raise NotImplementedError
+
+    def global_index(self, gpu: int, local: int) -> int:
+        """Inverse of :meth:`owner`."""
+        raise NotImplementedError
+
+    def _check_global(self, global_index: int) -> None:
+        if not 0 <= global_index < self.n:
+            raise PartitionError(
+                f"global index {global_index} out of range [0, {self.n})")
+
+    def _check_slot(self, gpu: int, local: int) -> None:
+        if not 0 <= gpu < self.gpu_count:
+            raise PartitionError(f"gpu {gpu} out of range")
+        if not 0 <= local < self.shard_size:
+            raise PartitionError(f"local index {local} out of range")
+
+
+class BlockLayout(Layout):
+    """GPU g holds the contiguous block [g*m, (g+1)*m)."""
+
+    def owner(self, global_index: int) -> tuple[int, int]:
+        self._check_global(global_index)
+        m = self.shard_size
+        return global_index // m, global_index % m
+
+    def global_index(self, gpu: int, local: int) -> int:
+        self._check_slot(gpu, local)
+        return gpu * self.shard_size + local
+
+
+class CyclicLayout(Layout):
+    """GPU g holds every G-th element: global j = local * G + g."""
+
+    def owner(self, global_index: int) -> tuple[int, int]:
+        self._check_global(global_index)
+        g = self.gpu_count
+        return global_index % g, global_index // g
+
+    def global_index(self, gpu: int, local: int) -> int:
+        self._check_slot(gpu, local)
+        return local * self.gpu_count + gpu
+
+
+class SpectralLayout(Layout):
+    """UniNTT forward-output order.
+
+    With ``M = n / G``, spectrum index ``k`` splits as ``k = k1 + M*k2``
+    (``k1 < M``, ``k2 < G``).  GPU ``t`` owns the k1-chunk
+    ``[t*M/G, (t+1)*M/G)`` and stores, for each of its k1 values, the
+    full G-vector over k2 contiguously::
+
+        gpu   = k1 // (M/G)
+        local = (k1 % (M/G)) * G + k2
+
+    Requires ``n >= G^2`` so the chunks are non-empty.
+    """
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.n < self.gpu_count * self.gpu_count:
+            raise PartitionError(
+                f"spectral layout needs n >= G^2 "
+                f"({self.n} < {self.gpu_count}^2)")
+
+    @property
+    def chunk(self) -> int:
+        """k1 values per GPU: M / G."""
+        return self.n // (self.gpu_count * self.gpu_count)
+
+    def owner(self, global_index: int) -> tuple[int, int]:
+        self._check_global(global_index)
+        m = self.shard_size  # = M
+        k1 = global_index % m
+        k2 = global_index // m
+        return k1 // self.chunk, (k1 % self.chunk) * self.gpu_count + k2
+
+    def global_index(self, gpu: int, local: int) -> int:
+        self._check_slot(gpu, local)
+        k2 = local % self.gpu_count
+        k1 = gpu * self.chunk + local // self.gpu_count
+        return k1 + self.shard_size * k2
+
+
+@dataclass(frozen=True)
+class ColumnBlockLayout(Layout):
+    """Column blocks of an R x C row-major matrix.
+
+    The global index space is the flat row-major matrix position
+    ``j = r * cols + c``.  GPU ``t`` owns the column block
+    ``[t * cols/G, (t+1) * cols/G)`` and stores each column contiguously
+    (column-major locally): ``local = (c % (cols/G)) * rows + r``.  This
+    is the intermediate layout of the baseline's transpose: column
+    transforms become local and contiguous.
+    """
+
+    rows: int = 0
+    cols: int = 0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.rows * self.cols != self.n:
+            raise PartitionError(
+                f"{self.rows}x{self.cols} does not factor n={self.n}")
+        if self.cols % self.gpu_count:
+            raise PartitionError(
+                f"{self.cols} columns do not split over "
+                f"{self.gpu_count} GPUs")
+
+    @property
+    def cols_per_gpu(self) -> int:
+        return self.cols // self.gpu_count
+
+    def owner(self, global_index: int) -> tuple[int, int]:
+        self._check_global(global_index)
+        r, c = divmod(global_index, self.cols)
+        gpu, c_local = divmod(c, self.cols_per_gpu)
+        return gpu, c_local * self.rows + r
+
+    def global_index(self, gpu: int, local: int) -> int:
+        self._check_slot(gpu, local)
+        c_local, r = divmod(local, self.rows)
+        c = gpu * self.cols_per_gpu + c_local
+        return r * self.cols + c
+
+
+@dataclass(frozen=True)
+class TransposedBlockLayout(Layout):
+    """Natural-order blocks of the *transposed* matrix.
+
+    The global index space is again the flat row-major R x C matrix
+    position ``j = k1 * cols + k2``; the transform output index is
+    ``k = k1 + rows * k2``.  GPU ``t`` owns the k-block
+    ``[t * n/G, (t+1) * n/G)`` at local offset ``k % (n/G)`` — i.e. the
+    result of the baseline's final transpose into natural block order.
+    """
+
+    rows: int = 0
+    cols: int = 0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.rows * self.cols != self.n:
+            raise PartitionError(
+                f"{self.rows}x{self.cols} does not factor n={self.n}")
+
+    def owner(self, global_index: int) -> tuple[int, int]:
+        self._check_global(global_index)
+        k1, k2 = divmod(global_index, self.cols)
+        k = k1 + self.rows * k2
+        return divmod(k, self.shard_size)
+
+    def global_index(self, gpu: int, local: int) -> int:
+        self._check_slot(gpu, local)
+        k = gpu * self.shard_size + local
+        k2, k1 = divmod(k, self.rows)
+        return k1 * self.cols + k2
+
+
+@dataclass(frozen=True)
+class UniNTTExchangeLayout(Layout):
+    """Post-exchange layout of UniNTT's single all-to-all.
+
+    The global index space is the "unit-major" position ``j = s * M + k1``
+    of the locally-transformed data (unit ``s`` produced spectrum slot
+    ``k1``).  After the exchange, GPU ``t`` owns the k1-chunk
+    ``[t * M/G, (t+1) * M/G)`` with the G values over ``s`` for each k1
+    stored contiguously: ``local = (k1 % chunk) * G + s``.  The in-place
+    cross NTT over each G-group then turns this storage into
+    :class:`SpectralLayout` (with ``s`` replaced by ``k2``).
+    """
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.n < self.gpu_count * self.gpu_count:
+            raise PartitionError(
+                f"exchange layout needs n >= G^2 "
+                f"({self.n} < {self.gpu_count}^2)")
+
+    @property
+    def chunk(self) -> int:
+        return self.n // (self.gpu_count * self.gpu_count)
+
+    def owner(self, global_index: int) -> tuple[int, int]:
+        self._check_global(global_index)
+        m = self.shard_size
+        s, k1 = divmod(global_index, m)
+        return k1 // self.chunk, (k1 % self.chunk) * self.gpu_count + s
+
+    def global_index(self, gpu: int, local: int) -> int:
+        self._check_slot(gpu, local)
+        group, s = divmod(local, self.gpu_count)
+        k1 = gpu * self.chunk + group
+        return s * self.shard_size + k1
+
+
+def distribute(values: Sequence[int], layout: Layout) -> list[list[int]]:
+    """Split a global vector into per-GPU shards under ``layout``."""
+    if len(values) != layout.n:
+        raise PartitionError(
+            f"layout is for {layout.n} elements, got {len(values)}")
+    shards = [[0] * layout.shard_size for _ in range(layout.gpu_count)]
+    for gpu in range(layout.gpu_count):
+        for local in range(layout.shard_size):
+            shards[gpu][local] = values[layout.global_index(gpu, local)]
+    return shards
+
+
+def collect(shards: Sequence[Sequence[int]], layout: Layout) -> list[int]:
+    """Reassemble the global vector from shards under ``layout``."""
+    if len(shards) != layout.gpu_count:
+        raise PartitionError(
+            f"layout is for {layout.gpu_count} GPUs, got {len(shards)}")
+    out = [0] * layout.n
+    for gpu, shard in enumerate(shards):
+        if len(shard) != layout.shard_size:
+            raise PartitionError(
+                f"GPU {gpu} shard has {len(shard)} elements, layout "
+                f"expects {layout.shard_size}")
+        for local, value in enumerate(shard):
+            out[layout.global_index(gpu, local)] = value
+    return out

@@ -1,0 +1,175 @@
+"""Distributed polynomials: the user-facing pipeline API.
+
+ZKP pipelines chain interpolations, pointwise algebra, and evaluations;
+done naively each step costs transposes.  :class:`DistributedPolynomial`
+tracks which *form* (coefficient / evaluation) and which *layout* the
+data is in, performs pointwise work wherever the data already lives
+(zero communication), and only transforms when the algebra demands it —
+the programming model the overhead-free decomposition enables.
+
+Each polynomial owns its shards (the cluster's devices are used as the
+execution engine, not as storage residency), so several polynomials
+coexist and combine.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import PartitionError
+from repro.field.prime_field import PrimeField
+from repro.multigpu.base import DistributedVector
+from repro.multigpu.layout import distribute
+from repro.multigpu.unintt import UniNTTEngine
+from repro.sim.trace import TraceEvent
+
+__all__ = ["DistributedPolynomial"]
+
+_COEFF = "coefficient"
+_EVAL = "evaluation"
+
+
+class DistributedPolynomial:
+    """A degree < n polynomial sharded over a simulated cluster."""
+
+    def __init__(self, engine: UniNTTEngine, shards: list[list[int]],
+                 form: str, coset_shift: int | None = None):
+        if form not in (_COEFF, _EVAL):
+            raise PartitionError(f"unknown form {form!r}")
+        self.engine = engine
+        self.shards = shards
+        self.form = form
+        self.coset_shift = coset_shift
+        self.n = sum(len(s) for s in shards)
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def from_coefficients(cls, engine: UniNTTEngine,
+                          coefficients: Sequence[int],
+                          ) -> "DistributedPolynomial":
+        """Stage coefficients (padded to the cluster's transform size)."""
+        n = len(coefficients)
+        if n & (n - 1):
+            raise PartitionError(
+                f"coefficient count must be a power of two, got {n}")
+        shards = distribute(list(coefficients), engine.input_layout(n))
+        return cls(engine, shards, form=_COEFF)
+
+    @classmethod
+    def from_evaluations(cls, engine: UniNTTEngine,
+                         evaluations: Sequence[int],
+                         coset_shift: int | None = None,
+                         ) -> "DistributedPolynomial":
+        """Stage spectral values (in the engine's output layout)."""
+        n = len(evaluations)
+        if n & (n - 1):
+            raise PartitionError(
+                f"evaluation count must be a power of two, got {n}")
+        shards = distribute(list(evaluations), engine.output_layout(n))
+        return cls(engine, shards, form=_EVAL, coset_shift=coset_shift)
+
+    # -- form changes (each costs the engine's one exchange) ----------------------
+
+    def _install(self) -> DistributedVector:
+        layout = (self.engine.input_layout(self.n) if self.form == _COEFF
+                  else self.engine.output_layout(self.n))
+        self.engine.cluster.load_shards(self.shards)
+        return DistributedVector(cluster=self.engine.cluster,
+                                 layout=layout)
+
+    def to_evaluations(self, coset_shift: int | None = None,
+                       ) -> "DistributedPolynomial":
+        """Coefficients -> evaluations (no-op if already evaluated on
+        the same coset)."""
+        if self.form == _EVAL:
+            if coset_shift != self.coset_shift:
+                raise PartitionError(
+                    "already evaluated on a different coset; convert to "
+                    "coefficients first")
+            return self
+        vec = self._install()
+        out = self.engine.forward(vec, coset_shift=coset_shift)
+        return DistributedPolynomial(
+            self.engine, out.cluster.peek_shards(), form=_EVAL,
+            coset_shift=coset_shift)
+
+    def to_coefficients(self) -> "DistributedPolynomial":
+        """Evaluations -> coefficients (no-op if already coefficients)."""
+        if self.form == _COEFF:
+            return self
+        vec = self._install()
+        out = self.engine.inverse(vec, coset_shift=self.coset_shift)
+        return DistributedPolynomial(
+            self.engine, out.cluster.peek_shards(), form=_COEFF)
+
+    # -- pointwise algebra (zero communication) ------------------------------------
+
+    def _pointwise(self, other: "DistributedPolynomial",
+                   op_name: str) -> "DistributedPolynomial":
+        if other.engine is not self.engine:
+            raise PartitionError(
+                "polynomials must share an engine to combine")
+        if (self.form, self.coset_shift) != (other.form,
+                                             other.coset_shift):
+            raise PartitionError(
+                f"cannot {op_name} a {self.form} polynomial with a "
+                f"{other.form} one (or different cosets)")
+        if self.n != other.n:
+            raise PartitionError(
+                f"sizes differ: {self.n} vs {other.n}")
+        p = self.field.modulus
+        if op_name == "multiply":
+            combine = lambda x, y: x * y % p  # noqa: E731
+        elif op_name == "add":
+            combine = lambda x, y: (x + y) % p  # noqa: E731
+        else:
+            combine = lambda x, y: (x - y) % p  # noqa: E731
+        shards = [[combine(x, y) for x, y in zip(mine, theirs)]
+                  for mine, theirs in zip(self.shards, other.shards)]
+        eb = self.engine.cluster.element_bytes
+        per_gpu = self.n // self.engine.gpu_count
+        self.engine.cluster.trace.record(TraceEvent(
+            kind="pointwise", level="gpu",
+            max_bytes_per_gpu=3 * per_gpu * eb,
+            total_bytes=3 * self.n * eb,
+            field_muls=self.n if op_name == "multiply" else 0,
+            detail=f"distributed-poly-{op_name}"))
+        return DistributedPolynomial(self.engine, shards, form=self.form,
+                                     coset_shift=self.coset_shift)
+
+    def __mul__(self, other: "DistributedPolynomial",
+                ) -> "DistributedPolynomial":
+        """Pointwise product; both operands must be in evaluation form
+        (spectral multiplication = cyclic convolution of coefficients)."""
+        if self.form != _EVAL:
+            raise PartitionError(
+                "multiply in evaluation form (call to_evaluations first)")
+        return self._pointwise(other, "multiply")
+
+    def __add__(self, other: "DistributedPolynomial",
+                ) -> "DistributedPolynomial":
+        return self._pointwise(other, "add")
+
+    def __sub__(self, other: "DistributedPolynomial",
+                ) -> "DistributedPolynomial":
+        return self._pointwise(other, "subtract")
+
+    # -- inspection ------------------------------------------------------------------
+
+    @property
+    def field(self) -> PrimeField:
+        return self.engine.field
+
+    def values(self) -> list[int]:
+        """Gather the logical vector (diagnostic; charges nothing)."""
+        from repro.multigpu.layout import collect
+
+        layout = (self.engine.input_layout(self.n) if self.form == _COEFF
+                  else self.engine.output_layout(self.n))
+        return collect(self.shards, layout)
+
+    def __repr__(self) -> str:
+        coset = f", coset={self.coset_shift}" if self.coset_shift else ""
+        return (f"DistributedPolynomial(n={self.n}, form={self.form}"
+                f"{coset}, gpus={self.engine.gpu_count})")

@@ -1,0 +1,76 @@
+"""The uniform optimization set.
+
+The paper designs each optimization once against the abstract hardware
+model and instantiates it per level.  :class:`UniNTTOptions` is that
+set, as toggles the ablation benchmark flips:
+
+* ``fused_twiddle`` — fold the inter-factor twiddle scaling into the
+  adjacent butterfly pass instead of a standalone memory sweep.  At the
+  warp level this is "twiddles in registers"; at the GPU level it is
+  "no twiddle kernel"; the toggle applies uniformly.
+* ``keep_permuted_output`` — leave the forward output in
+  :class:`~repro.multigpu.layout.SpectralLayout` instead of
+  materializing natural order, deleting one all-to-all (and, at the
+  intra-GPU levels, the bit-reversal pass: DIF forward + DIT inverse).
+* ``overlap`` — pipeline the all-to-all chunk-by-chunk with the cross
+  transforms that consume it (at the warp level the analogue is
+  shuffle/compute dual issue).
+* ``radix_fusion`` — use radix-4 butterflies for local transforms,
+  reducing twiddle multiplications (register-level instance of the same
+  "do more per visit" idea that tiling applies at the memory level).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["UniNTTOptions", "ALL_ON", "ALL_OFF", "ablation_grid"]
+
+
+@dataclass(frozen=True)
+class UniNTTOptions:
+    """Toggle set for the uniform optimizations."""
+
+    fused_twiddle: bool = True
+    keep_permuted_output: bool = True
+    overlap: bool = True
+    radix_fusion: bool = True
+
+    def label(self) -> str:
+        """Compact on/off string for reports, e.g. ``FT+PO+OV+RF``."""
+        parts = [
+            ("FT", self.fused_twiddle),
+            ("PO", self.keep_permuted_output),
+            ("OV", self.overlap),
+            ("RF", self.radix_fusion),
+        ]
+        on = [tag for tag, enabled in parts if enabled]
+        return "+".join(on) if on else "none"
+
+    def without(self, name: str) -> "UniNTTOptions":
+        """Copy with one optimization disabled (ablation helper)."""
+        if not hasattr(self, name):
+            raise AttributeError(f"unknown optimization {name!r}")
+        return replace(self, **{name: False})
+
+
+#: Full UniNTT configuration.
+ALL_ON = UniNTTOptions()
+
+#: The un-optimized decomposition (still one-exchange-structured).
+ALL_OFF = UniNTTOptions(fused_twiddle=False, keep_permuted_output=False,
+                        overlap=False, radix_fusion=False)
+
+
+def ablation_grid() -> list[tuple[str, "UniNTTOptions"]]:
+    """The configurations the ablation figure sweeps.
+
+    Returns (label, options) pairs: everything on, each optimization
+    individually removed, and everything off.
+    """
+    grid: list[tuple[str, UniNTTOptions]] = [("all-on", ALL_ON)]
+    for name in ("fused_twiddle", "keep_permuted_output", "overlap",
+                 "radix_fusion"):
+        grid.append((f"no-{name}", ALL_ON.without(name)))
+    grid.append(("all-off", ALL_OFF))
+    return grid

@@ -1,0 +1,110 @@
+"""The single-GPU engine: the pre-UniNTT state of the art.
+
+End-to-end ZKP systems before this paper ran MSM on all GPUs but NTT on
+one: the data is gathered to a single device, transformed there with a
+tiled hierarchical kernel, and scattered back.  This engine reproduces
+that structure so the end-to-end benchmark can show the Amdahl
+bottleneck the paper motivates with.
+
+``naive=True`` degrades the local kernel to one global-memory pass per
+butterfly stage — the unoptimized reference point of the single-GPU
+comparison figure.
+"""
+
+from __future__ import annotations
+
+from repro.hw.cost import Phase, Step
+from repro.multigpu import accounting as acct
+from repro.multigpu.base import DistributedNTTEngine, DistributedVector
+from repro.multigpu.layout import BlockLayout, Layout
+from repro.ntt import radix2
+from repro.ntt.twiddle import default_cache
+from repro.sim.cluster import SimCluster
+from repro.sim.trace import TraceEvent
+
+__all__ = ["SingleGpuEngine"]
+
+
+class SingleGpuEngine(DistributedNTTEngine):
+    """Gather -> one-device tiled NTT -> scatter."""
+
+    def __init__(self, cluster: SimCluster, tile: int = 4096,
+                 naive: bool = False):
+        super().__init__(cluster, tile)
+        self.naive = naive
+        self.name = "single-gpu-naive" if naive else "single-gpu"
+
+    # -- layouts -----------------------------------------------------------
+
+    def input_layout(self, n: int) -> Layout:
+        return BlockLayout(n=n, gpu_count=self.gpu_count)
+
+    def output_layout(self, n: int) -> Layout:
+        return BlockLayout(n=n, gpu_count=self.gpu_count)
+
+    # -- functional ------------------------------------------------------------
+
+    def _run(self, vec: DistributedVector, inverse: bool) -> DistributedVector:
+        n = vec.n
+        layout = self.input_layout(n)
+        self._check_input(vec, layout)
+        shards = self.cluster.gather_to(0, detail=f"{self.name}-gather")
+        values = [v for shard in shards for v in shard]  # block order
+        root_gpu = self.cluster.gpus[0]
+        direction = "intt" if inverse else "ntt"
+        result = (radix2.intt if inverse else radix2.ntt)(
+            self.field, values, default_cache)
+        root_gpu.charge_compute(
+            field_muls=self._local_muls(n, inverse),
+            mem_bytes=self._local_mem_bytes(n))
+        self.cluster.trace.record(TraceEvent(
+            kind="local-compute", level="gpu",
+            max_bytes_per_gpu=self._local_mem_bytes(n),
+            total_bytes=self._local_mem_bytes(n),
+            field_muls=self._local_muls(n, inverse),
+            detail=f"{self.name}-{direction}"))
+        m = n // self.gpu_count
+        self.cluster.scatter_from(
+            0, [result[g * m:(g + 1) * m] for g in range(self.gpu_count)],
+            detail=f"{self.name}-scatter")
+        return DistributedVector(cluster=self.cluster, layout=layout)
+
+    def forward(self, vec: DistributedVector) -> DistributedVector:
+        return self._run(vec, inverse=False)
+
+    def inverse(self, vec: DistributedVector) -> DistributedVector:
+        return self._run(vec, inverse=True)
+
+    # -- accounting --------------------------------------------------------------
+
+    def _local_muls(self, n: int, inverse: bool) -> int:
+        muls = acct.local_ntt_muls(n)
+        if inverse:
+            muls += n  # the 1/n scaling pass
+        return muls
+
+    def _local_mem_bytes(self, n: int) -> int:
+        eb = self.cluster.element_bytes
+        if self.naive:
+            return 2 * n * eb * acct.log2_int(max(n, 2))
+        return acct.local_ntt_mem_bytes(n, eb, self.tile)
+
+    # -- analytic ----------------------------------------------------------------
+
+    def _profile(self, n: int, inverse: bool) -> list[Step]:
+        g = self.gpu_count
+        eb = self.cluster.element_bytes
+        m = n // g
+        edge_bytes = (g - 1) * m * eb  # root link is the critical path
+        return [
+            Phase(name="gather", exchange_bytes=edge_bytes, messages=g - 1),
+            Phase(name="local-ntt", field_muls=self._local_muls(n, inverse),
+                  mem_bytes=self._local_mem_bytes(n)),
+            Phase(name="scatter", exchange_bytes=edge_bytes, messages=g - 1),
+        ]
+
+    def forward_profile(self, n: int) -> list[Step]:
+        return self._profile(n, inverse=False)
+
+    def inverse_profile(self, n: int) -> list[Step]:
+        return self._profile(n, inverse=True)

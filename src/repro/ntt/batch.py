@@ -1,0 +1,78 @@
+"""Batched NTTs.
+
+Proof systems transform many same-size polynomials at once (one per
+witness column / quotient chunk); GPU implementations exploit this by
+amortizing twiddle loads and filling the machine.  The batch API is a
+first-class object so the multi-GPU engines and the cost model can treat
+"B transforms of size n" as a single workload with its own parallelism.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.errors import NTTError
+from repro.field.prime_field import PrimeField
+from repro.ntt import radix2
+from repro.ntt.twiddle import TwiddleCache, default_cache
+
+__all__ = ["batch_ntt", "batch_intt", "BatchTransform"]
+
+
+def batch_ntt(field: PrimeField, batch: Sequence[Sequence[int]],
+              cache: TwiddleCache | None = None) -> list[list[int]]:
+    """Forward NTT of every vector in ``batch`` (all the same size)."""
+    return BatchTransform(field, cache).forward(batch)
+
+
+def batch_intt(field: PrimeField, batch: Sequence[Sequence[int]],
+               cache: TwiddleCache | None = None) -> list[list[int]]:
+    """Inverse NTT of every vector in ``batch``."""
+    return BatchTransform(field, cache).inverse(batch)
+
+
+class BatchTransform:
+    """Reusable batched transform bound to one field and twiddle cache.
+
+    The twiddle tables are materialized once on first use per size; every
+    subsequent vector in the batch reuses them, mirroring the resident
+    device tables of a GPU implementation.
+    """
+
+    def __init__(self, field: PrimeField,
+                 cache: TwiddleCache | None = None) -> None:
+        self.field = field
+        self.cache = cache or default_cache
+
+    def _check(self, batch: Sequence[Sequence[int]]) -> int:
+        if not batch:
+            raise NTTError("empty batch")
+        n = len(batch[0])
+        for i, vec in enumerate(batch):
+            if len(vec) != n:
+                raise NTTError(
+                    f"batch vectors must share a size: vector 0 has {n}, "
+                    f"vector {i} has {len(vec)}")
+        return n
+
+    def forward(self, batch: Sequence[Sequence[int]]) -> list[list[int]]:
+        """Transform every vector; twiddles computed once."""
+        n = self._check(batch)
+        self.cache.forward(self.field, n)  # warm the shared table
+        return [radix2.ntt(self.field, vec, self.cache) for vec in batch]
+
+    def inverse(self, batch: Sequence[Sequence[int]]) -> list[list[int]]:
+        """Inverse-transform every vector; twiddles computed once."""
+        n = self._check(batch)
+        self.cache.inverse(self.field, n)
+        return [radix2.intt(self.field, vec, self.cache) for vec in batch]
+
+    def map_pointwise(self, batch_a: Sequence[Sequence[int]],
+                      batch_b: Sequence[Sequence[int]],
+                      op: Callable[[int, int], int]) -> list[list[int]]:
+        """Pointwise combine two batches (e.g. spectral multiply)."""
+        if len(batch_a) != len(batch_b):
+            raise NTTError(
+                f"batch sizes differ: {len(batch_a)} vs {len(batch_b)}")
+        return [[op(x, y) for x, y in zip(a, b, strict=True)]
+                for a, b in zip(batch_a, batch_b)]

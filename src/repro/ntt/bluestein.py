@@ -1,0 +1,116 @@
+"""Bluestein's algorithm: NTTs of *arbitrary* length.
+
+Power-of-two engines cover ZKP's subgroup domains, but real pipelines
+occasionally need other lengths (mixed-radix domains, odd-sized public
+input blocks).  Bluestein's chirp-z trick turns a length-n transform —
+any n whose ``2n`` divides ``p - 1`` — into one power-of-two cyclic
+convolution:
+
+    X[k] = psi^(k^2) * sum_j (x[j] * psi^(j^2)) * psi^(-(k-j)^2)
+
+with ``psi`` a primitive 2n-th root (so ``psi^2`` is the n-th root the
+transform is defined over).  The sum is a convolution of the chirped
+input with the fixed kernel ``psi^(-j^2)``, computed by zero-padding to
+the next power of two >= 2n-1 and reusing :mod:`repro.ntt.polymul`'s
+machinery.
+
+Cost: three power-of-two transforms of size ~4n — the standard price of
+arbitrary-length support, and why ZKP systems design their domains to
+avoid it.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import NTTError
+from repro.field.prime_field import PrimeField
+from repro.ntt import radix2
+from repro.ntt.polymul import next_power_of_two
+from repro.ntt.twiddle import TwiddleCache, default_cache
+
+__all__ = ["bluestein_ntt", "bluestein_intt"]
+
+
+def _chirp(field: PrimeField, n: int, inverse: bool) -> list[int]:
+    """The chirp sequence ``psi^(j^2)`` (or its inverse) for j < n."""
+    p = field.modulus
+    psi = field.root_of_unity_general(2 * n)
+    if inverse:
+        psi = field.inv(psi)
+    # psi^(j^2) via the exponent recurrence j^2 = (j-1)^2 + 2j - 1.
+    out = [1] * n
+    power = 1
+    step = psi  # psi^(2j - 1) for j = 1 starts at psi^1
+    psi_sq = psi * psi % p
+    for j in range(1, n):
+        power = power * step % p
+        out[j] = power
+        step = step * psi_sq % p
+    return out
+
+
+def bluestein_ntt(field: PrimeField, values: Sequence[int],
+                  cache: TwiddleCache | None = None) -> list[int]:
+    """Forward NTT of arbitrary length n (``2n`` must divide ``p - 1``).
+
+    Matches :func:`repro.ntt.reference.dft` with the field's general
+    n-th root; for power-of-two n it agrees with :func:`repro.ntt.ntt`.
+    """
+    n = len(values)
+    if n == 0:
+        raise NTTError("cannot transform an empty vector")
+    cache = cache or default_cache
+    if n == 1:
+        return [values[0] % field.modulus]
+    p = field.modulus
+
+    chirp = _chirp(field, n, inverse=False)
+    inv_chirp = _chirp(field, n, inverse=True)
+
+    # a_j = x_j * psi^(j^2);  kernel b_j = psi^(-j^2) on |j| < n.
+    a = [v * c % p for v, c in zip(values, chirp)]
+    m = next_power_of_two(2 * n - 1)
+    padded_a = a + [0] * (m - n)
+    kernel = [0] * m
+    for j in range(n):
+        kernel[j] = inv_chirp[j]
+        if j:
+            kernel[m - j] = inv_chirp[j]  # negative index wraps
+
+    spec_a = radix2.ntt(field, padded_a, cache)
+    spec_k = radix2.ntt(field, kernel, cache)
+    conv = radix2.intt(field, [x * y % p
+                               for x, y in zip(spec_a, spec_k)], cache)
+    return [conv[k] * chirp[k] % p for k in range(n)]
+
+
+def bluestein_intt(field: PrimeField, values: Sequence[int],
+                   cache: TwiddleCache | None = None) -> list[int]:
+    """Inverse arbitrary-length NTT (includes the 1/n scaling)."""
+    n = len(values)
+    if n == 0:
+        raise NTTError("cannot transform an empty vector")
+    if n == 1:
+        return [values[0] % field.modulus]
+    p = field.modulus
+    # Forward transform with the inverse root = unscaled inverse; the
+    # chirp of the inverse root is exactly the inverse chirp, so run the
+    # same pipeline with the chirps swapped.
+    cache = cache or default_cache
+    chirp = _chirp(field, n, inverse=True)
+    inv_chirp = _chirp(field, n, inverse=False)
+    a = [v * c % p for v, c in zip(values, chirp)]
+    m = next_power_of_two(2 * n - 1)
+    padded_a = a + [0] * (m - n)
+    kernel = [0] * m
+    for j in range(n):
+        kernel[j] = inv_chirp[j]
+        if j:
+            kernel[m - j] = inv_chirp[j]
+    spec_a = radix2.ntt(field, padded_a, cache)
+    spec_k = radix2.ntt(field, kernel, cache)
+    conv = radix2.intt(field, [x * y % p
+                               for x, y in zip(spec_a, spec_k)], cache)
+    n_inv = field.inv(n % p)
+    return [conv[k] * chirp[k] % p * n_inv % p for k in range(n)]

@@ -1,0 +1,80 @@
+"""Coset and negacyclic NTTs.
+
+ZKP provers constantly evaluate polynomials on a *coset* ``g * H`` of the
+size-n subgroup ``H`` (the quotient polynomial cannot be computed on H
+itself, where the vanishing polynomial is zero).  Evaluating on a coset
+is a pointwise pre-scaling by powers of the shift followed by an
+ordinary NTT — and that scaling is another of the twiddle-like passes
+the UniNTT decomposition fuses away.
+
+The negacyclic transform is the special case ``g = psi`` with
+``psi^2 = w_n`` (a primitive 2n-th root): it turns length-n products in
+``GF(p)[x]/(x^n + 1)`` into pointwise products without zero padding.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import NTTError
+from repro.field.prime_field import PrimeField
+from repro.ntt import radix2
+from repro.ntt.twiddle import TwiddleCache, default_cache
+
+__all__ = [
+    "coset_ntt", "coset_intt", "negacyclic_ntt", "negacyclic_intt",
+    "negacyclic_shift",
+]
+
+
+def coset_ntt(field: PrimeField, values: Sequence[int], shift: int,
+              cache: TwiddleCache | None = None) -> list[int]:
+    """Evaluate the polynomial with coefficients ``values`` on the coset
+    ``shift * H``: output[k] = P(shift * w^k)."""
+    if shift % field.modulus == 0:
+        raise NTTError("coset shift must be non-zero")
+    cache = cache or default_cache
+    p = field.modulus
+    scaled = [v * t % p
+              for v, t in zip(values, cache.powers(field, shift % p,
+                                                   len(values)))]
+    return radix2.ntt(field, scaled, cache)
+
+
+def coset_intt(field: PrimeField, values: Sequence[int], shift: int,
+               cache: TwiddleCache | None = None) -> list[int]:
+    """Interpolate from evaluations on ``shift * H`` back to coefficients."""
+    if shift % field.modulus == 0:
+        raise NTTError("coset shift must be non-zero")
+    cache = cache or default_cache
+    p = field.modulus
+    coeffs = radix2.intt(field, values, cache)
+    inv_shift = field.inv(shift)
+    return [v * t % p
+            for v, t in zip(coeffs, cache.powers(field, inv_shift,
+                                                 len(coeffs)))]
+
+
+def negacyclic_shift(field: PrimeField, n: int) -> int:
+    """A primitive 2n-th root ``psi`` with ``psi^2 = w_n``."""
+    if n == 0 or n & (n - 1):
+        raise NTTError(f"negacyclic size must be a power of two, got {n}")
+    return field.root_of_unity(2 * n)
+
+
+def negacyclic_ntt(field: PrimeField, values: Sequence[int],
+                   cache: TwiddleCache | None = None) -> list[int]:
+    """Forward negacyclic (psi-twisted) NTT of size n.
+
+    Pointwise products of two such spectra correspond to multiplication
+    in ``GF(p)[x] / (x^n + 1)``.
+    """
+    return coset_ntt(field, values, negacyclic_shift(field, len(values)),
+                     cache)
+
+
+def negacyclic_intt(field: PrimeField, values: Sequence[int],
+                    cache: TwiddleCache | None = None) -> list[int]:
+    """Inverse of :func:`negacyclic_ntt`."""
+    return coset_intt(field, values, negacyclic_shift(field, len(values)),
+                      cache)

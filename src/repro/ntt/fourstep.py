@@ -1,0 +1,187 @@
+"""Bailey four-step and six-step NTT (the classic out-of-core baseline).
+
+The input of size ``n = R * C`` is viewed as an R-row, C-column matrix in
+row-major order (``x[r*C + c]``).  The forward transform with output
+index split ``k = k1 + R*k2`` (``k1 < R``, ``k2 < C``) is:
+
+1. an R-point NTT down every **column** (stride-C accesses);
+2. a pointwise **twiddle** scaling by ``w^(c * k1)``;
+3. a C-point NTT along every **row** (contiguous accesses);
+4. a **transpose** to put the output in natural order.
+
+Steps 2 and 4 are the "overheads" the paper's decomposition eliminates:
+a separate twiddle sweep and a separate transpose pass each read and
+write the whole array once.  The multi-GPU baseline in
+:mod:`repro.multigpu.baseline` distributes exactly this algorithm, where
+step 1's strided accesses and step 4's transpose become all-to-all
+exchanges.
+
+The six-step variant replaces the strided column transforms with
+transpose / row-transform / transpose, which is how cache-blocked CPU and
+global-memory GPU implementations actually run it.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import NTTError
+from repro.field.prime_field import PrimeField
+from repro.ntt import radix2
+from repro.ntt.twiddle import TwiddleCache, default_cache
+
+__all__ = [
+    "split_size", "four_step_ntt", "four_step_intt", "six_step_ntt",
+    "transpose_flat",
+]
+
+
+def split_size(n: int) -> tuple[int, int]:
+    """Balanced factorization ``n = R * C`` with R, C powers of two.
+
+    R <= C (the row transform runs on the larger, contiguous dimension).
+    """
+    if n <= 0 or n & (n - 1):
+        raise NTTError(f"four-step size must be a power of two, got {n}")
+    log_n = n.bit_length() - 1
+    r_log = log_n // 2
+    return 1 << r_log, 1 << (log_n - r_log)
+
+
+def transpose_flat(values: Sequence[int], rows: int, cols: int) -> list[int]:
+    """Transpose a row-major rows x cols matrix stored flat."""
+    if len(values) != rows * cols:
+        raise NTTError(
+            f"cannot view {len(values)} elements as {rows}x{cols}")
+    out = [0] * (rows * cols)
+    for r in range(rows):
+        base = r * cols
+        for c in range(cols):
+            out[c * rows + r] = values[base + c]
+    return out
+
+
+def _four_step(field: PrimeField, values: Sequence[int], root: int,
+               rows: int, cols: int, cache: TwiddleCache) -> list[int]:
+    """Core four-step driver for an arbitrary primitive (rows*cols)-root."""
+    n = rows * cols
+    p = field.modulus
+    data = list(values)
+
+    # Step 1: R-point NTT down each column (stride-C gathers).
+    root_r = pow(root, cols, p)  # order `rows`
+    for c in range(cols):
+        column = data[c::cols]
+        column = radix2.ntt(field, column, cache, root=root_r)
+        data[c::cols] = column
+
+    # Step 2: twiddle scaling  data[k1][c] *= root^(c*k1).
+    for k1 in range(1, rows):
+        row_tw = cache.powers(field, pow(root, k1, p), cols)
+        base = k1 * cols
+        for c in range(1, cols):
+            data[base + c] = data[base + c] * row_tw[c] % p
+
+    # Step 3: C-point NTT along each row (contiguous).
+    root_c = pow(root, rows, p)  # order `cols`
+    for k1 in range(rows):
+        base = k1 * cols
+        data[base:base + cols] = radix2.ntt(
+            field, data[base:base + cols], cache, root=root_c)
+
+    # Step 4: transpose so X[k1 + R*k2] lands at index k1 + R*k2.
+    return transpose_flat(data, rows, cols)
+
+
+def four_step_ntt(field: PrimeField, values: Sequence[int],
+                  rows: int | None = None,
+                  cache: TwiddleCache | None = None,
+                  root: int | None = None) -> list[int]:
+    """Forward four-step NTT, natural order in and out."""
+    n = len(values)
+    if n == 0 or n & (n - 1):
+        raise NTTError(f"four-step size must be a power of two, got {n}")
+    cache = cache or default_cache
+    if n == 1:
+        return list(values)
+    if rows is None:
+        rows, cols = split_size(n)
+    else:
+        if rows <= 0 or n % rows:
+            raise NTTError(f"rows={rows} does not divide n={n}")
+        cols = n // rows
+    if rows == 1 or cols == 1:
+        return radix2.ntt(field, values, cache, root=root)
+    w = field.root_of_unity(n) if root is None else root
+    return _four_step(field, values, w, rows, cols, cache)
+
+
+def four_step_intt(field: PrimeField, values: Sequence[int],
+                   rows: int | None = None,
+                   cache: TwiddleCache | None = None,
+                   root: int | None = None) -> list[int]:
+    """Inverse four-step NTT (includes the 1/n scaling)."""
+    n = len(values)
+    if n == 0 or n & (n - 1):
+        raise NTTError(f"four-step size must be a power of two, got {n}")
+    cache = cache or default_cache
+    if n == 1:
+        return list(values)
+    w = field.root_of_unity(n) if root is None else root
+    out = four_step_ntt(field, values, rows, cache, root=field.inv(w))
+    p = field.modulus
+    n_inv = field.inv(n % p)
+    return [v * n_inv % p for v in out]
+
+
+def six_step_ntt(field: PrimeField, values: Sequence[int],
+                 rows: int | None = None,
+                 cache: TwiddleCache | None = None,
+                 root: int | None = None) -> list[int]:
+    """Six-step NTT: all transforms contiguous, three explicit transposes.
+
+    Same result as :func:`four_step_ntt`; the extra transposes model the
+    memory passes a cache-blocked implementation pays to avoid strided
+    access.
+    """
+    n = len(values)
+    if n == 0 or n & (n - 1):
+        raise NTTError(f"six-step size must be a power of two, got {n}")
+    cache = cache or default_cache
+    if n == 1:
+        return list(values)
+    if rows is None:
+        rows, cols = split_size(n)
+    else:
+        if rows <= 0 or n % rows:
+            raise NTTError(f"rows={rows} does not divide n={n}")
+        cols = n // rows
+    if rows == 1 or cols == 1:
+        return radix2.ntt(field, values, cache, root=root)
+    p = field.modulus
+    w = field.root_of_unity(n) if root is None else root
+
+    # T1: columns become rows.
+    data = transpose_flat(values, rows, cols)          # now cols x rows
+    # S2: R-point NTTs, contiguous.
+    root_r = pow(w, cols, p)
+    for c in range(cols):
+        base = c * rows
+        data[base:base + rows] = radix2.ntt(
+            field, data[base:base + rows], cache, root=root_r)
+    # S3: twiddle  data[c][k1] *= w^(c*k1).
+    for c in range(1, cols):
+        tw = cache.powers(field, pow(w, c, p), rows)
+        base = c * rows
+        for k1 in range(1, rows):
+            data[base + k1] = data[base + k1] * tw[k1] % p
+    # T4: back to rows x cols.
+    data = transpose_flat(data, cols, rows)
+    # S5: C-point NTTs, contiguous.
+    root_c = pow(w, rows, p)
+    for k1 in range(rows):
+        base = k1 * cols
+        data[base:base + cols] = radix2.ntt(
+            field, data[base:base + cols], cache, root=root_c)
+    # T6: final transpose into natural order.
+    return transpose_flat(data, rows, cols)

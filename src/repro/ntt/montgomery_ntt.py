@@ -1,0 +1,112 @@
+"""NTT executed entirely in Montgomery representation.
+
+Real GPU kernels never leave Montgomery form: inputs are converted once
+(or generated in form), every butterfly multiply is a ``mont_mul``, and
+the twiddle tables are stored in form.  This module is that pipeline,
+end to end, over :class:`repro.field.MontgomeryContext` — the
+representation-fidelity companion to the plain-int engines (which model
+*what* is computed; this models *how*).
+
+Conversions in/out are explicit so callers can chain transforms without
+paying them per call, exactly like resident device buffers.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import NTTError
+from repro.field.montgomery import MontgomeryContext
+from repro.ntt.twiddle import TwiddleCache, default_cache
+
+__all__ = ["MontgomeryNTT"]
+
+
+class MontgomeryNTT:
+    """Forward/inverse transforms over Montgomery-form buffers."""
+
+    def __init__(self, ctx: MontgomeryContext,
+                 cache: TwiddleCache | None = None):
+        self.ctx = ctx
+        self.field = ctx.field
+        self.cache = cache or default_cache
+        self._tables: dict[tuple[int, bool], list[int]] = {}
+
+    # -- conversions (explicit, amortizable) ---------------------------------
+
+    def to_mont(self, values: Sequence[int]) -> list[int]:
+        """Canonical -> Montgomery form, element-wise."""
+        return [self.ctx.to_mont(v) for v in values]
+
+    def from_mont(self, values: Sequence[int]) -> list[int]:
+        """Montgomery -> canonical form, element-wise."""
+        return [self.ctx.from_mont(v) for v in values]
+
+    # -- twiddles stored in form ------------------------------------------------
+
+    def _table(self, n: int, inverse: bool) -> list[int]:
+        key = (n, inverse)
+        table = self._tables.get(key)
+        if table is None:
+            root = (self.field.inv_root_of_unity(n) if inverse
+                    else self.field.root_of_unity(n))
+            plain = self.cache.powers(self.field, root, n // 2)
+            table = [self.ctx.to_mont(w) for w in plain]
+            self._tables[key] = table
+        return table
+
+    # -- transforms ----------------------------------------------------------------
+
+    def forward(self, mont_values: Sequence[int]) -> list[int]:
+        """Forward NTT of a Montgomery-form buffer (form in, form out)."""
+        return self._transform(mont_values, inverse=False)
+
+    def inverse(self, mont_values: Sequence[int]) -> list[int]:
+        """Inverse NTT in form (includes the 1/n scaling, in form)."""
+        out = self._transform(mont_values, inverse=True)
+        n_inv_mont = self.ctx.to_mont(self.field.inv(len(out)))
+        mont_mul = self.ctx.mont_mul
+        return [mont_mul(v, n_inv_mont) for v in out]
+
+    def _transform(self, mont_values: Sequence[int],
+                   inverse: bool) -> list[int]:
+        n = len(mont_values)
+        if n == 0 or n & (n - 1):
+            raise NTTError(f"NTT size must be a power of two, got {n}")
+        data = list(mont_values)
+        if n == 1:
+            return data
+        table = self._table(n, inverse)
+        p = self.field.modulus
+        mont_mul = self.ctx.mont_mul
+        # Radix-2 DIF with mont_mul butterflies, then bit reversal.
+        half = n // 2
+        while half >= 1:
+            step = (n // 2) // half
+            for start in range(0, n, half * 2):
+                t_index = 0
+                for j in range(start, start + half):
+                    w = table[t_index]
+                    t_index += step
+                    u = data[j]
+                    v = data[j + half]
+                    s = u + v
+                    data[j] = s - p if s >= p else s
+                    d = u - v
+                    data[j + half] = mont_mul(d + p if d < 0 else d, w)
+            half //= 2
+        perm = self.cache.bitrev(n)
+        out = [0] * n
+        for i, j in enumerate(perm):
+            out[i] = data[j]
+        return out
+
+    # -- one-call convenience (pays conversions) -------------------------------------
+
+    def ntt(self, values: Sequence[int]) -> list[int]:
+        """Canonical in, canonical out (converts both ways)."""
+        return self.from_mont(self.forward(self.to_mont(values)))
+
+    def intt(self, values: Sequence[int]) -> list[int]:
+        """Canonical in, canonical out inverse transform."""
+        return self.from_mont(self.inverse(self.to_mont(values)))

@@ -1,0 +1,79 @@
+"""Polynomial multiplication via NTT (the convolution theorem).
+
+This is why ZKP provers run NTTs at all: coefficient-form products become
+pointwise products in the evaluation domain.  Three flavours:
+
+* :func:`cyclic_convolution` — product mod ``x^n - 1`` (spectra multiply
+  directly);
+* :func:`negacyclic_convolution` — product mod ``x^n + 1`` (psi-twisted
+  spectra, no padding);
+* :func:`poly_multiply` — the exact product of two polynomials, by
+  zero-padding to the next power of two that holds the result.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import NTTError
+from repro.field.prime_field import PrimeField
+from repro.ntt import coset, radix2
+from repro.ntt.twiddle import TwiddleCache, default_cache
+
+__all__ = ["cyclic_convolution", "negacyclic_convolution", "poly_multiply",
+           "next_power_of_two"]
+
+
+def next_power_of_two(n: int) -> int:
+    """Smallest power of two >= n (and >= 1)."""
+    if n <= 1:
+        return 1
+    return 1 << (n - 1).bit_length()
+
+
+def cyclic_convolution(field: PrimeField, a: Sequence[int],
+                       b: Sequence[int],
+                       cache: TwiddleCache | None = None) -> list[int]:
+    """Length-n cyclic convolution via NTT / pointwise / INTT."""
+    if len(a) != len(b):
+        raise NTTError(f"operands must match: {len(a)} vs {len(b)}")
+    cache = cache or default_cache
+    p = field.modulus
+    spec_a = radix2.ntt(field, a, cache)
+    spec_b = radix2.ntt(field, b, cache)
+    return radix2.intt(field, [x * y % p for x, y in zip(spec_a, spec_b)],
+                       cache)
+
+
+def negacyclic_convolution(field: PrimeField, a: Sequence[int],
+                           b: Sequence[int],
+                           cache: TwiddleCache | None = None) -> list[int]:
+    """Length-n negacyclic convolution (product mod ``x^n + 1``)."""
+    if len(a) != len(b):
+        raise NTTError(f"operands must match: {len(a)} vs {len(b)}")
+    cache = cache or default_cache
+    p = field.modulus
+    spec_a = coset.negacyclic_ntt(field, a, cache)
+    spec_b = coset.negacyclic_ntt(field, b, cache)
+    return coset.negacyclic_intt(field,
+                                 [x * y % p for x, y in zip(spec_a, spec_b)],
+                                 cache)
+
+
+def poly_multiply(field: PrimeField, a: Sequence[int], b: Sequence[int],
+                  cache: TwiddleCache | None = None) -> list[int]:
+    """Exact polynomial product; result has ``len(a)+len(b)-1`` coeffs.
+
+    Zero coefficients are trimmed from the tail only if both inputs are
+    non-empty but represent the zero polynomial (the result is then
+    ``[0]``), matching the coefficient-list convention of
+    :mod:`repro.zkp.polynomial`.
+    """
+    if not a or not b:
+        raise NTTError("cannot multiply empty coefficient lists")
+    out_len = len(a) + len(b) - 1
+    n = next_power_of_two(out_len)
+    padded_a = list(a) + [0] * (n - len(a))
+    padded_b = list(b) + [0] * (n - len(b))
+    product = cyclic_convolution(field, padded_a, padded_b, cache)
+    return product[:out_len]

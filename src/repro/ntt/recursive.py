@@ -1,0 +1,106 @@
+"""Single-address-space executor for decomposition plans.
+
+This is the functional ground truth for the UniNTT recursion: it runs an
+arbitrary :class:`~repro.ntt.plan.Plan` on a flat list, using the
+*cyclic* (decimation-in-time) index split
+
+    ``j = q * R + s``  (unit ``s`` holds the contiguous sub-sequence
+    ``x[s::R]`` of length C), and output split ``k = k1 + C * k2``:
+
+1. each unit transforms its local sub-sequence with the C-point plan
+   (root ``w^R``) — **no data crosses units**;
+2. unit ``s`` scales its spectrum by the twiddles ``w^(s * k1)`` — local,
+   fused in the distributed engines;
+3. for every ``k1``, the R values at position ``k1`` across units are
+   transformed with the R-point plan (root ``w^C``) — this is the cross
+   transform that rides a hierarchy level's fabric, and it is itself a
+   plan, recursively.
+
+Compare with :mod:`repro.ntt.fourstep`: the cyclic split makes step 1
+contiguous *without* a transpose, and the output permutation is carried
+in the index math rather than materialized — the "overhead-free" claim.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import PlanError
+from repro.field.prime_field import PrimeField
+from repro.ntt import radix2
+from repro.ntt.plan import Plan
+from repro.ntt.twiddle import TwiddleCache, default_cache
+
+__all__ = ["execute_plan", "execute_plan_inverse", "plan_ntt", "plan_intt"]
+
+
+def execute_plan(field: PrimeField, plan: Plan, values: Sequence[int],
+                 root: int, cache: TwiddleCache | None = None) -> list[int]:
+    """Run ``plan`` on ``values`` with primitive root ``root``.
+
+    Returns the natural-order transform ``X[k] = sum x[j] root^(jk)``.
+    """
+    if len(values) != plan.size:
+        raise PlanError(
+            f"plan is for size {plan.size}, got {len(values)} values")
+    cache = cache or default_cache
+    return _execute(field, plan, list(values), root, cache)
+
+
+def _execute(field: PrimeField, plan: Plan, values: list[int], root: int,
+             cache: TwiddleCache) -> list[int]:
+    n = plan.size
+    if n == 1:
+        return values
+    if plan.is_leaf:
+        return radix2.ntt(field, values, cache, root=root)
+    assert plan.outer is not None and plan.inner is not None
+    r = plan.outer.size
+    c = plan.inner.size
+    p = field.modulus
+
+    # Step 1: local C-point transforms on the cyclic sub-sequences.
+    root_c = pow(root, r, p)
+    subs = [_execute(field, plan.inner, values[s::r], root_c, cache)
+            for s in range(r)]
+
+    # Step 2: twiddle  subs[s][k1] *= root^(s*k1)  (fused in engines).
+    for s in range(1, r):
+        tw = cache.powers(field, pow(root, s, p), c)
+        sub = subs[s]
+        for k1 in range(1, c):
+            sub[k1] = sub[k1] * tw[k1] % p
+
+    # Step 3: cross R-point transforms, one per output residue k1.
+    root_r = pow(root, c, p)
+    out = [0] * n
+    for k1 in range(c):
+        column = [subs[s][k1] for s in range(r)]
+        column = _execute(field, plan.outer, column, root_r, cache)
+        for k2 in range(r):
+            out[k1 + c * k2] = column[k2]
+    return out
+
+
+def execute_plan_inverse(field: PrimeField, plan: Plan,
+                         values: Sequence[int], root: int,
+                         cache: TwiddleCache | None = None) -> list[int]:
+    """Inverse transform under ``plan``; ``root`` is the forward root."""
+    out = execute_plan(field, plan, values, field.inv(root), cache)
+    p = field.modulus
+    n_inv = field.inv(plan.size % p)
+    return [v * n_inv % p for v in out]
+
+
+def plan_ntt(field: PrimeField, plan: Plan, values: Sequence[int],
+             cache: TwiddleCache | None = None) -> list[int]:
+    """Forward NTT under ``plan`` with the field's standard root."""
+    return execute_plan(field, plan, values,
+                        field.root_of_unity(plan.size), cache)
+
+
+def plan_intt(field: PrimeField, plan: Plan, values: Sequence[int],
+              cache: TwiddleCache | None = None) -> list[int]:
+    """Inverse NTT under ``plan`` with the field's standard root."""
+    return execute_plan_inverse(field, plan, values,
+                                field.root_of_unity(plan.size), cache)

@@ -1,0 +1,95 @@
+"""Reference O(n^2) transforms.
+
+These are the ground truth every fast engine is tested against.  They
+implement the textbook definitions directly with no permutations,
+caching, or decompositions, so a disagreement always indicts the fast
+path.
+
+Conventions (used across the whole library):
+
+* forward: ``X[k] = sum_j x[j] * w^(j*k)`` with ``w`` a primitive n-th
+  root of unity;
+* inverse: ``x[j] = n^-1 * sum_k X[k] * w^(-j*k)``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import NTTError
+from repro.field.prime_field import PrimeField
+
+__all__ = ["dft", "idft", "naive_cyclic_convolution", "naive_negacyclic_convolution"]
+
+
+def dft(field: PrimeField, values: Sequence[int], root: int | None = None) -> list[int]:
+    """Forward DFT over GF(p) by the definition; O(n^2).
+
+    ``root`` defaults to the field's primitive n-th root of unity.
+    """
+    n = len(values)
+    if n == 0:
+        raise NTTError("cannot transform an empty vector")
+    p = field.modulus
+    w = field.root_of_unity(n) if root is None else root
+    out = []
+    for k in range(n):
+        wk = pow(w, k, p)
+        acc = 0
+        term = 1
+        for v in values:
+            acc += v * term
+            term = term * wk % p
+        out.append(acc % p)
+    return out
+
+
+def idft(field: PrimeField, values: Sequence[int], root: int | None = None) -> list[int]:
+    """Inverse DFT by the definition; O(n^2)."""
+    n = len(values)
+    if n == 0:
+        raise NTTError("cannot transform an empty vector")
+    w = field.root_of_unity(n) if root is None else root
+    spectrum = dft(field, values, root=field.inv(w))
+    n_inv = field.inv(n % field.modulus)
+    return [v * n_inv % field.modulus for v in spectrum]
+
+
+def naive_cyclic_convolution(field: PrimeField, a: Sequence[int],
+                             b: Sequence[int]) -> list[int]:
+    """Cyclic convolution ``c[k] = sum_{i+j = k mod n} a[i] b[j]``; O(n^2)."""
+    n = len(a)
+    if len(b) != n:
+        raise NTTError(f"convolution operands must match: {n} vs {len(b)}")
+    p = field.modulus
+    out = [0] * n
+    for i, ai in enumerate(a):
+        if ai == 0:
+            continue
+        for j, bj in enumerate(b):
+            out[(i + j) % n] = (out[(i + j) % n] + ai * bj) % p
+    return out
+
+
+def naive_negacyclic_convolution(field: PrimeField, a: Sequence[int],
+                                 b: Sequence[int]) -> list[int]:
+    """Negacyclic convolution: wrap-around terms enter with a minus sign.
+
+    This is multiplication in ``GF(p)[x] / (x^n + 1)``, the ring used by
+    Ring-LWE style systems and by zero-padding-free polynomial products.
+    """
+    n = len(a)
+    if len(b) != n:
+        raise NTTError(f"convolution operands must match: {n} vs {len(b)}")
+    p = field.modulus
+    out = [0] * n
+    for i, ai in enumerate(a):
+        if ai == 0:
+            continue
+        for j, bj in enumerate(b):
+            k = i + j
+            if k < n:
+                out[k] = (out[k] + ai * bj) % p
+            else:
+                out[k - n] = (out[k - n] - ai * bj) % p
+    return out

@@ -1,0 +1,85 @@
+"""Stockham autosort NTT.
+
+The Stockham formulation interleaves the butterfly permutation into the
+stage writes by ping-ponging between two buffers: natural-order input,
+natural-order output, **no bit-reversal pass at all**, at the cost of
+not being in-place.  GPU libraries favour it because the reversal pass
+is a full extra memory sweep and out-of-place is free when you have a
+scratch buffer anyway — the single-buffer-pair analogue of the paper's
+overhead-elimination theme.
+
+Each stage ``t`` combines ``m = n_t/2`` butterflies across ``s = 2^t``
+interleaved sub-sequences; the stage root is squared between stages.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import NTTError
+from repro.field.prime_field import PrimeField
+from repro.ntt.twiddle import TwiddleCache, default_cache
+
+__all__ = ["ntt_stockham", "intt_stockham"]
+
+
+def _stockham(field: PrimeField, values: Sequence[int], root: int,
+              cache: TwiddleCache) -> list[int]:
+    size = len(values)
+    p = field.modulus
+    x = list(values)
+    y = [0] * size
+    n = size
+    stride = 1
+    stage_root = root
+    while n > 1:
+        half = n // 2
+        table = cache.powers(field, stage_root, half)
+        for butterfly in range(half):
+            w = table[butterfly]
+            base_in_a = stride * butterfly
+            base_in_b = stride * (butterfly + half)
+            base_out_a = stride * 2 * butterfly
+            base_out_b = base_out_a + stride
+            for q in range(stride):
+                a = x[q + base_in_a]
+                b = x[q + base_in_b]
+                s = a + b
+                y[q + base_out_a] = s - p if s >= p else s
+                y[q + base_out_b] = (a - b) * w % p
+        x, y = y, x
+        n = half
+        stride *= 2
+        stage_root = stage_root * stage_root % p
+    return x
+
+
+def ntt_stockham(field: PrimeField, values: Sequence[int],
+                 cache: TwiddleCache | None = None,
+                 root: int | None = None) -> list[int]:
+    """Forward NTT, natural order in and out, no bit-reversal pass."""
+    n = len(values)
+    if n == 0 or n & (n - 1):
+        raise NTTError(f"NTT size must be a power of two, got {n}")
+    cache = cache or default_cache
+    if n == 1:
+        return list(values)
+    w = field.root_of_unity(n) if root is None else root
+    return _stockham(field, values, w, cache)
+
+
+def intt_stockham(field: PrimeField, values: Sequence[int],
+                  cache: TwiddleCache | None = None,
+                  root: int | None = None) -> list[int]:
+    """Inverse NTT via Stockham (includes the 1/n scaling)."""
+    n = len(values)
+    if n == 0 or n & (n - 1):
+        raise NTTError(f"NTT size must be a power of two, got {n}")
+    cache = cache or default_cache
+    if n == 1:
+        return list(values)
+    w = field.root_of_unity(n) if root is None else root
+    out = _stockham(field, values, field.inv(w), cache)
+    p = field.modulus
+    n_inv = field.inv(n % p)
+    return [v * n_inv % p for v in out]

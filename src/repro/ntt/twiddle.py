@@ -1,0 +1,83 @@
+"""Twiddle-factor tables.
+
+Every NTT engine needs powers of a primitive root.  Real GPU kernels
+precompute these tables once per (field, size) and keep them resident in
+device memory; we mirror that with a process-wide cache so repeated
+transforms (the common ZKP case: thousands of same-size NTTs) do not
+regenerate tables.
+"""
+
+from __future__ import annotations
+
+from repro.errors import NTTError
+from repro.field.prime_field import PrimeField
+from repro.field.vector import vec_pow_series
+
+__all__ = ["TwiddleCache", "default_cache", "bit_reverse", "bit_reverse_permutation"]
+
+
+def bit_reverse(value: int, bits: int) -> int:
+    """Reverse the low ``bits`` bits of ``value``."""
+    result = 0
+    for _ in range(bits):
+        result = (result << 1) | (value & 1)
+        value >>= 1
+    return result
+
+
+def bit_reverse_permutation(n: int) -> list[int]:
+    """The permutation ``i -> bit_reverse(i)`` for a power-of-two n."""
+    if n & (n - 1):
+        raise NTTError(f"bit-reversal needs a power-of-two size, got {n}")
+    bits = n.bit_length() - 1
+    return [bit_reverse(i, bits) for i in range(n)]
+
+
+class TwiddleCache:
+    """Cache of root-power tables keyed by (field modulus, root, length)."""
+
+    def __init__(self) -> None:
+        self._tables: dict[tuple[int, int, int], list[int]] = {}
+        self._bitrev: dict[int, list[int]] = {}
+
+    def powers(self, field: PrimeField, root: int, count: int) -> list[int]:
+        """Return ``[1, root, root^2, ..., root^(count-1)]`` mod p."""
+        key = (field.modulus, root, count)
+        table = self._tables.get(key)
+        if table is None:
+            table = vec_pow_series(field, root, count)
+            self._tables[key] = table
+        return table
+
+    def forward(self, field: PrimeField, n: int) -> list[int]:
+        """Powers of the primitive n-th root (half-table, n/2 entries)."""
+        return self.powers(field, field.root_of_unity(n), max(n // 2, 1))
+
+    def inverse(self, field: PrimeField, n: int) -> list[int]:
+        """Powers of the inverse n-th root (half-table)."""
+        return self.powers(field, field.inv_root_of_unity(n), max(n // 2, 1))
+
+    def bitrev(self, n: int) -> list[int]:
+        """Cached bit-reversal permutation for size n."""
+        perm = self._bitrev.get(n)
+        if perm is None:
+            perm = bit_reverse_permutation(n)
+            self._bitrev[n] = perm
+        return perm
+
+    def clear(self) -> None:
+        """Drop all cached tables (used by memory-pressure tests)."""
+        self._tables.clear()
+        self._bitrev.clear()
+
+    def stats(self) -> dict[str, int]:
+        """Cache occupancy, in tables and total entries."""
+        return {
+            "tables": len(self._tables),
+            "entries": sum(len(t) for t in self._tables.values()),
+            "bitrev_tables": len(self._bitrev),
+        }
+
+
+#: Shared process-wide cache used by the engines when none is supplied.
+default_cache = TwiddleCache()

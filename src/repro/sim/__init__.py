@@ -1,0 +1,14 @@
+"""Functional multi-GPU simulator: devices, collectives, traces."""
+
+from repro.sim.cluster import SimCluster
+from repro.sim.device import GpuCounters, SimGPU
+from repro.sim.report import render_events, render_summary, render_trace
+from repro.sim.trace import Trace, TraceEvent
+from repro.sim.uniform import (
+    HIERARCHY_SCALES, LevelRun, simulate_at_level, uniformity_sweep,
+)
+
+__all__ = ["SimCluster", "SimGPU", "GpuCounters", "Trace", "TraceEvent",
+           "LevelRun", "HIERARCHY_SCALES", "simulate_at_level",
+           "uniformity_sweep",
+           "render_events", "render_summary", "render_trace"]

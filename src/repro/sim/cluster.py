@@ -1,0 +1,277 @@
+"""A simulated multi-GPU cluster with counted collectives.
+
+The cluster owns the devices and implements the communication
+primitives the distributed NTT engines use:
+
+* :meth:`SimCluster.all_to_all` — personalized all-to-all (the transpose
+  collective); the workhorse of both the baseline and UniNTT engines;
+* :meth:`SimCluster.pairwise_exchange` — disjoint-pair exchange (one
+  butterfly stage of a cross-GPU NTT);
+* :meth:`SimCluster.gather_to` / :meth:`SimCluster.scatter_from` — used
+  by the single-GPU engine (and by the end-to-end pipeline when a stage
+  insists on one device).
+
+Every primitive updates per-GPU counters and appends a trace event.
+Reading data *without* charging (for verification) goes through
+:meth:`SimCluster.peek_shards`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import SimulationError
+from repro.field.prime_field import PrimeField
+from repro.hw.cost import field_limbs
+from repro.sim.device import SimGPU
+from repro.sim.trace import Trace, TraceEvent
+
+__all__ = ["SimCluster"]
+
+
+class SimCluster:
+    """``gpu_count`` simulated GPUs over one interconnect fabric.
+
+    ``node_size`` optionally groups GPUs into nodes of that many
+    devices; collectives then attribute bytes that cross a node
+    boundary to the "multi-node" trace level and bytes that stay inside
+    a node to "multi-gpu", so hierarchy-aware engines can be audited
+    per fabric.
+    """
+
+    def __init__(self, field: PrimeField, gpu_count: int,
+                 node_size: int | None = None):
+        if gpu_count < 1 or gpu_count & (gpu_count - 1):
+            raise SimulationError(
+                f"gpu_count must be a power of two, got {gpu_count}")
+        if node_size is not None:
+            if (node_size < 1 or node_size & (node_size - 1)
+                    or gpu_count % node_size):
+                raise SimulationError(
+                    f"node_size {node_size} must be a power of two "
+                    f"dividing gpu_count {gpu_count}")
+        self.field = field
+        self.gpu_count = gpu_count
+        self.node_size = node_size
+        self.element_bytes = field_limbs(field) * 8
+        self.gpus = [SimGPU(i, field) for i in range(gpu_count)]
+        self.trace = Trace()
+
+    @property
+    def node_count(self) -> int:
+        """Number of nodes (1 when node structure is not modeled)."""
+        if self.node_size is None:
+            return 1
+        return self.gpu_count // self.node_size
+
+    def node_of(self, gpu_id: int) -> int:
+        """The node a GPU belongs to (0 when unstructured)."""
+        if self.node_size is None:
+            return 0
+        return gpu_id // self.node_size
+
+    def __repr__(self) -> str:
+        return (f"SimCluster({self.gpu_count}x GPU, field={self.field.name}, "
+                f"{len(self.trace)} events)")
+
+    # -- raw data access -------------------------------------------------------
+
+    def load_shards(self, shards: Sequence[Sequence[int]]) -> None:
+        """Install one shard per GPU (host staging; not counted)."""
+        if len(shards) != self.gpu_count:
+            raise SimulationError(
+                f"expected {self.gpu_count} shards, got {len(shards)}")
+        for gpu, shard in zip(self.gpus, shards):
+            gpu.load(list(shard))
+
+    def peek_shards(self) -> list[list[int]]:
+        """Copy every shard without touching any counter."""
+        return [list(gpu.shard) for gpu in self.gpus]
+
+    def reset_counters(self) -> None:
+        """Zero all device counters and drop the trace."""
+        for gpu in self.gpus:
+            gpu.reset_counters()
+        self.trace.clear()
+
+    # -- collectives ----------------------------------------------------------
+
+    def all_to_all(self, outboxes: Sequence[Sequence[Sequence[int]]],
+                   detail: str = "") -> list[list[list[int]]]:
+        """Personalized all-to-all.
+
+        ``outboxes[src][dst]`` is the message (list of field values) GPU
+        ``src`` sends to GPU ``dst``.  Returns ``inboxes`` with
+        ``inboxes[dst][src]`` the received message.  Self-messages move
+        no bytes.
+        """
+        g = self.gpu_count
+        if len(outboxes) != g or any(len(row) != g for row in outboxes):
+            raise SimulationError(
+                f"all_to_all needs a {g}x{g} outbox matrix")
+        eb = self.element_bytes
+        inboxes: list[list[list[int]]] = [[[] for _ in range(g)]
+                                          for _ in range(g)]
+        intra_sent = [0] * g
+        inter_sent = [0] * g
+        for src in range(g):
+            for dst in range(g):
+                message = list(outboxes[src][dst])
+                inboxes[dst][src] = message
+                if src != dst:
+                    nbytes = len(message) * eb
+                    if self.node_of(src) == self.node_of(dst):
+                        intra_sent[src] += nbytes
+                    else:
+                        inter_sent[src] += nbytes
+                    self.gpus[dst].charge_receive(nbytes)
+        for src in range(g):
+            self.gpus[src].charge_send(intra_sent[src] + inter_sent[src])
+        self.trace.record(TraceEvent(
+            kind="all-to-all", level="multi-gpu",
+            max_bytes_per_gpu=max(intra_sent), total_bytes=sum(intra_sent),
+            detail=detail))
+        if self.node_size is not None and sum(inter_sent):
+            self.trace.record(TraceEvent(
+                kind="all-to-all", level="multi-node",
+                max_bytes_per_gpu=max(inter_sent),
+                total_bytes=sum(inter_sent), detail=detail))
+        return inboxes
+
+    def pairwise_exchange(self, partner_of: Sequence[int],
+                          payloads: Sequence[Sequence[int]],
+                          detail: str = "") -> list[list[int]]:
+        """Disjoint-pair exchange: GPU i sends its payload to its partner.
+
+        ``partner_of`` must be an involution (``partner_of[partner_of[i]]
+        == i``); a GPU that is its own partner moves nothing.  Returns
+        the payload each GPU received.
+        """
+        g = self.gpu_count
+        if len(partner_of) != g or len(payloads) != g:
+            raise SimulationError("pairwise_exchange needs one partner and "
+                                  "one payload per GPU")
+        for i, j in enumerate(partner_of):
+            if not 0 <= j < g or partner_of[j] != i:
+                raise SimulationError(
+                    f"partner map is not an involution at GPU {i}")
+        eb = self.element_bytes
+        received: list[list[int]] = [[] for _ in range(g)]
+        intra = {"max": 0, "total": 0}
+        inter = {"max": 0, "total": 0}
+        for i, j in enumerate(partner_of):
+            received[j] = list(payloads[i])
+            if i != j:
+                nbytes = len(payloads[i]) * eb
+                self.gpus[i].charge_send(nbytes)
+                self.gpus[j].charge_receive(nbytes)
+                bucket = intra if self.node_of(i) == self.node_of(j) \
+                    else inter
+                bucket["max"] = max(bucket["max"], nbytes)
+                bucket["total"] += nbytes
+        self.trace.record(TraceEvent(
+            kind="pairwise", level="multi-gpu",
+            max_bytes_per_gpu=intra["max"], total_bytes=intra["total"],
+            detail=detail))
+        if self.node_size is not None and inter["total"]:
+            self.trace.record(TraceEvent(
+                kind="pairwise", level="multi-node",
+                max_bytes_per_gpu=inter["max"], total_bytes=inter["total"],
+                detail=detail))
+        return received
+
+    def gather_to(self, root: int, detail: str = "") -> list[list[int]]:
+        """Collect every shard on GPU ``root``; returns the shard list."""
+        if not 0 <= root < self.gpu_count:
+            raise SimulationError(f"invalid root GPU {root}")
+        eb = self.element_bytes
+        shards = []
+        total = 0
+        max_sent = 0
+        for gpu in self.gpus:
+            shards.append(list(gpu.shard))
+            if gpu.gpu_id != root:
+                nbytes = len(gpu.shard) * eb
+                gpu.charge_send(nbytes)
+                self.gpus[root].charge_receive(nbytes)
+                total += nbytes
+                max_sent = max(max_sent, nbytes)
+        self.trace.record(TraceEvent(
+            kind="gather", level="multi-gpu",
+            max_bytes_per_gpu=max_sent, total_bytes=total, detail=detail))
+        return shards
+
+    def scatter_from(self, root: int, shards: Sequence[Sequence[int]],
+                     detail: str = "") -> None:
+        """Distribute ``shards[i]`` to GPU ``i`` from GPU ``root``."""
+        if len(shards) != self.gpu_count:
+            raise SimulationError(
+                f"expected {self.gpu_count} shards, got {len(shards)}")
+        eb = self.element_bytes
+        total = 0
+        sent = 0
+        for gpu, shard in zip(self.gpus, shards):
+            gpu.load(list(shard))
+            if gpu.gpu_id != root:
+                nbytes = len(shard) * eb
+                gpu.charge_receive(nbytes)
+                sent += nbytes
+        self.gpus[root].charge_send(sent)
+        total = sent
+        self.trace.record(TraceEvent(
+            kind="scatter", level="multi-gpu",
+            max_bytes_per_gpu=sent, total_bytes=total, detail=detail))
+
+    # -- local accounting shared by engines ---------------------------------------
+
+    def charge_local(self, field_muls_per_gpu: int, mem_bytes_per_gpu: int,
+                     detail: str = "") -> None:
+        """Charge an identical local kernel on every GPU."""
+        for gpu in self.gpus:
+            gpu.charge_compute(field_muls_per_gpu, mem_bytes_per_gpu)
+        self.trace.record(TraceEvent(
+            kind="local-compute", level="gpu",
+            total_bytes=mem_bytes_per_gpu * self.gpu_count,
+            max_bytes_per_gpu=mem_bytes_per_gpu,
+            field_muls=field_muls_per_gpu * self.gpu_count, detail=detail))
+
+    # -- invariants -----------------------------------------------------------
+
+    def validate_shards(self) -> None:
+        """Check every shard holds canonical field values.
+
+        Engines run this at phase boundaries in paranoid tests; a
+        corrupted element (bit flip, wrong-field write, stale buffer)
+        fails fast with the device and index named.
+        """
+        from repro.field.vector import validate_vector
+
+        for gpu in self.gpus:
+            try:
+                validate_vector(self.field, gpu.shard)
+            except Exception as error:
+                raise SimulationError(
+                    f"GPU {gpu.gpu_id} shard invalid: {error}") from error
+
+    def corrupt(self, gpu_id: int, local_index: int, value: int) -> int:
+        """Deliberately overwrite one shard slot (fault injection).
+
+        Returns the previous value so tests can restore it.
+        """
+        if not 0 <= gpu_id < self.gpu_count:
+            raise SimulationError(f"invalid gpu_id {gpu_id}")
+        shard = self.gpus[gpu_id].shard
+        if not 0 <= local_index < len(shard):
+            raise SimulationError(
+                f"GPU {gpu_id}: local index {local_index} out of range")
+        previous = shard[local_index]
+        shard[local_index] = value
+        return previous
+
+    def check_conservation(self) -> None:
+        """Total bytes sent must equal total bytes received."""
+        sent = sum(g.counters.bytes_sent for g in self.gpus)
+        received = sum(g.counters.bytes_received for g in self.gpus)
+        if sent != received:
+            raise SimulationError(
+                f"conservation violated: sent {sent} != received {received}")

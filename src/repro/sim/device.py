@@ -1,0 +1,89 @@
+"""A simulated GPU: a shard of field elements plus resource counters.
+
+The simulator is *functional*: shards hold real field values and engines
+compute real NTTs on them.  What makes it a hardware simulator is the
+accounting — every local kernel charges multiplications and HBM traffic,
+and every collective charges link bytes.  The analytic cost model prices
+exactly these counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.field.prime_field import PrimeField
+
+__all__ = ["SimGPU", "GpuCounters"]
+
+
+@dataclass
+class GpuCounters:
+    """Cumulative per-GPU resource usage."""
+
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    mem_traffic_bytes: int = 0
+    field_muls: int = 0
+    kernel_launches: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "bytes_sent": self.bytes_sent,
+            "bytes_received": self.bytes_received,
+            "mem_traffic_bytes": self.mem_traffic_bytes,
+            "field_muls": self.field_muls,
+            "kernel_launches": self.kernel_launches,
+        }
+
+
+class SimGPU:
+    """One simulated device holding a shard of a distributed vector."""
+
+    def __init__(self, gpu_id: int, field: PrimeField):
+        if gpu_id < 0:
+            raise SimulationError(f"gpu_id must be non-negative, got {gpu_id}")
+        self.gpu_id = gpu_id
+        self.field = field
+        self.shard: list[int] = []
+        self.counters = GpuCounters()
+
+    def __repr__(self) -> str:
+        return (f"SimGPU(id={self.gpu_id}, shard={len(self.shard)} elems, "
+                f"sent={self.counters.bytes_sent}B)")
+
+    # -- data ---------------------------------------------------------------
+
+    def load(self, values: list[int]) -> None:
+        """Install a shard (host-to-device; not counted as inter-GPU)."""
+        self.shard = list(values)
+
+    def require_shard(self, expected: int) -> None:
+        if len(self.shard) != expected:
+            raise SimulationError(
+                f"GPU {self.gpu_id}: shard has {len(self.shard)} elements, "
+                f"engine expected {expected}")
+
+    # -- accounting -----------------------------------------------------------
+
+    def charge_compute(self, field_muls: int, mem_bytes: int = 0,
+                       launches: int = 1) -> None:
+        """Charge a local kernel: multiplications + HBM traffic."""
+        if field_muls < 0 or mem_bytes < 0:
+            raise SimulationError("negative compute charge")
+        self.counters.field_muls += field_muls
+        self.counters.mem_traffic_bytes += mem_bytes
+        self.counters.kernel_launches += launches
+
+    def charge_send(self, nbytes: int) -> None:
+        if nbytes < 0:
+            raise SimulationError("negative send charge")
+        self.counters.bytes_sent += nbytes
+
+    def charge_receive(self, nbytes: int) -> None:
+        if nbytes < 0:
+            raise SimulationError("negative receive charge")
+        self.counters.bytes_received += nbytes
+
+    def reset_counters(self) -> None:
+        self.counters = GpuCounters()

@@ -1,0 +1,63 @@
+"""Trace rendering: turn a simulator run into a readable report.
+
+Production GPU work lives and dies by its profiler output; this module
+is the simulator's equivalent — an event-by-event log plus per-level
+aggregates, so a user can see exactly where an engine's bytes and
+multiplications went.
+"""
+
+from __future__ import annotations
+
+from repro.sim.trace import Trace
+
+__all__ = ["render_events", "render_summary", "render_trace"]
+
+
+def _format_bytes(nbytes: int) -> str:
+    if nbytes >= 1 << 20:
+        return f"{nbytes / (1 << 20):.2f} MiB"
+    if nbytes >= 1 << 10:
+        return f"{nbytes / (1 << 10):.2f} KiB"
+    return f"{nbytes} B"
+
+
+def render_events(trace: Trace) -> str:
+    """One line per event, in execution order."""
+    lines = []
+    for i, event in enumerate(trace):
+        parts = [f"{i:3d}  {event.kind:14s} @{event.level:10s}"]
+        if event.total_bytes:
+            parts.append(f"{_format_bytes(event.total_bytes):>12s} total")
+            parts.append(
+                f"{_format_bytes(event.max_bytes_per_gpu):>12s}/gpu")
+        if event.field_muls:
+            parts.append(f"{event.field_muls:>12,d} muls")
+        if event.detail:
+            parts.append(f"[{event.detail}]")
+        lines.append("  ".join(parts))
+    return "\n".join(lines) if lines else "(empty trace)"
+
+
+def render_summary(trace: Trace) -> str:
+    """Aggregates: per-level bytes, collective count, total work."""
+    lines = [f"events:      {len(trace)}",
+             f"collectives: {trace.collective_count()}",
+             f"field muls:  {trace.total_field_muls():,}"]
+    by_level = trace.bytes_by_level()
+    critical = trace.critical_bytes_by_level()
+    for level in sorted(by_level):
+        lines.append(
+            f"bytes @{level:10s} total {_format_bytes(by_level[level]):>12s}"
+            f"   critical-path {_format_bytes(critical.get(level, 0)):>12s}")
+    return "\n".join(lines)
+
+
+def render_trace(trace: Trace, title: str = "") -> str:
+    """Full report: title, event log, summary."""
+    parts = []
+    if title:
+        parts.extend([title, "=" * len(title)])
+    parts.append(render_events(trace))
+    parts.append("-" * 40)
+    parts.append(render_summary(trace))
+    return "\n".join(parts)

@@ -1,0 +1,104 @@
+"""Execution traces for the functional simulator.
+
+Every collective and every charged local operation appends a
+:class:`TraceEvent`; the benchmark harness aggregates traces into the
+communication-breakdown figures, and the test suite asserts that traced
+byte counts equal the closed-form phase profiles the cost model prices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["TraceEvent", "Trace"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One simulator event.
+
+    Attributes
+    ----------
+    kind:
+        Event family: "all-to-all", "pairwise", "gather", "scatter",
+        "local-compute", "memory-pass", "pointwise".
+    level:
+        Hierarchy level whose fabric carried it ("multi-gpu" for
+        collectives, "gpu" for HBM passes).
+    max_bytes_per_gpu:
+        Largest number of bytes any single GPU sent (the critical path
+        of a balanced collective).
+    total_bytes:
+        Sum of bytes moved by all GPUs.
+    field_muls:
+        Modular multiplications charged (local-compute events).
+    detail:
+        Free-form annotation for reports.
+    """
+
+    kind: str
+    level: str
+    max_bytes_per_gpu: int = 0
+    total_bytes: int = 0
+    field_muls: int = 0
+    detail: str = ""
+
+
+class Trace:
+    """An append-only event log with aggregation helpers."""
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+
+    def record(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    # -- aggregation -----------------------------------------------------------
+
+    def count(self, kind: str) -> int:
+        """Number of events of one kind."""
+        return sum(1 for e in self.events if e.kind == kind)
+
+    def bytes_by_level(self) -> dict[str, int]:
+        """Total bytes moved, grouped by hierarchy level."""
+        totals: dict[str, int] = {}
+        for e in self.events:
+            if e.total_bytes:
+                totals[e.level] = totals.get(e.level, 0) + e.total_bytes
+        return totals
+
+    def critical_bytes_by_level(self) -> dict[str, int]:
+        """Per-GPU critical-path bytes, grouped by level."""
+        totals: dict[str, int] = {}
+        for e in self.events:
+            if e.max_bytes_per_gpu:
+                totals[e.level] = (totals.get(e.level, 0)
+                                   + e.max_bytes_per_gpu)
+        return totals
+
+    def collective_count(self) -> int:
+        """Number of inter-GPU collectives (the latency-bound metric)."""
+        return sum(1 for e in self.events
+                   if e.level == "multi-gpu" and e.total_bytes > 0)
+
+    def total_field_muls(self) -> int:
+        return sum(e.field_muls for e in self.events)
+
+    def summary(self) -> dict[str, object]:
+        """Compact dictionary used by example scripts and benches."""
+        return {
+            "events": len(self.events),
+            "collectives": self.collective_count(),
+            "bytes_by_level": self.bytes_by_level(),
+            "field_muls": self.total_field_muls(),
+        }

@@ -1,0 +1,109 @@
+"""The uniformity demonstration: one engine, every hierarchy level.
+
+The paper's central abstraction says a warp (32 lanes over the shuffle
+network), a thread block (warps over shared memory), and a node (GPUs
+over NVLink) are *the same machine at different scales*.  This module
+makes that claim executable: it instantiates the very same simulated
+cluster + engine code with each level's fanout and fabric parameters and
+runs the identical UniNTT recursion on all of them.
+
+``simulate_at_level`` returns the per-unit communication counters, so
+tests can assert the structural invariants (one exchange, identical
+byte-per-element ratios) hold at every scale — which is what "uniform
+design of NTT optimizations" means operationally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import SimulationError
+from repro.field.prime_field import PrimeField
+from repro.ntt import ntt
+from repro.sim.cluster import SimCluster
+
+__all__ = ["LevelRun", "HIERARCHY_SCALES", "simulate_at_level",
+           "uniformity_sweep"]
+
+#: (level name, unit count) for the standard GPU hierarchy.  A "unit" is
+#: a lane, a warp, an SM's thread block, or a GPU respectively; the
+#: engine neither knows nor cares.
+HIERARCHY_SCALES: tuple[tuple[str, int], ...] = (
+    ("warp", 32),        # 32 lanes over the shuffle network
+    ("block", 8),        # 8 warps over shared memory
+    ("gpu", 64),         # 64 blocks over HBM
+    ("multi-gpu", 8),    # 8 GPUs over NVLink
+)
+
+
+@dataclass(frozen=True)
+class LevelRun:
+    """Result of running the recursion at one hierarchy scale."""
+
+    level: str
+    units: int
+    n: int
+    correct: bool
+    exchanges: int
+    bytes_per_unit: int
+    elements_exchanged_per_element: float
+
+    def summary(self) -> str:
+        return (f"{self.level:10s} {self.units:3d} units, n={self.n}: "
+                f"{'OK' if self.correct else 'MISMATCH'}, "
+                f"{self.exchanges} exchange(s), "
+                f"{self.elements_exchanged_per_element:.3f} "
+                f"exchanged elems/elem")
+
+
+def simulate_at_level(field: PrimeField, level: str, units: int, n: int,
+                      values: Sequence[int]) -> LevelRun:
+    """Run the UniNTT recursion with ``units`` units at one scale."""
+    # Imported here: repro.multigpu imports repro.sim at module load.
+    from repro.multigpu.base import DistributedVector
+    from repro.multigpu.unintt import UniNTTEngine
+
+    if len(values) != n:
+        raise SimulationError(f"need {n} values, got {len(values)}")
+    cluster = SimCluster(field, units)
+    engine = UniNTTEngine(cluster)
+    vec = DistributedVector.from_values(cluster, list(values),
+                                        engine.input_layout(n))
+    out = engine.forward(vec)
+    correct = out.to_values() == ntt(field, list(values))
+    sent = cluster.gpus[0].counters.bytes_sent
+    eb = cluster.element_bytes
+    per_unit_elems = n // units
+    return LevelRun(
+        level=level,
+        units=units,
+        n=n,
+        correct=correct,
+        exchanges=cluster.trace.collective_count(),
+        bytes_per_unit=sent,
+        elements_exchanged_per_element=(sent / eb) / per_unit_elems,
+    )
+
+
+def uniformity_sweep(field: PrimeField, n_per_unit: int = 64,
+                     scales: Sequence[tuple[str, int]] = HIERARCHY_SCALES,
+                     seed: int = 0) -> list[LevelRun]:
+    """Run the same engine at every hierarchy scale.
+
+    ``n_per_unit`` fixes the per-unit data volume so the scales are
+    comparable; each level's transform size is ``units * n_per_unit``.
+    """
+    import random
+
+    rng = random.Random(seed)
+    runs = []
+    for level, units in scales:
+        n = units * n_per_unit
+        if n < units * units:
+            raise SimulationError(
+                f"level {level}: n_per_unit {n_per_unit} too small for "
+                f"{units} units (need >= units)")
+        values = field.random_vector(n, rng)
+        runs.append(simulate_at_level(field, level, units, n, values))
+    return runs

@@ -1,0 +1,62 @@
+"""ZKP substrate: polynomials, curves, MSM, R1CS/QAP, and the prover."""
+
+from repro.zkp.circuits import inner_product, random_circuit, square_chain
+from repro.zkp.curve import BN254_FP, BN254_G1, CurveParams, CurvePoint
+from repro.zkp.domain import EvaluationDomain
+from repro.zkp.fri import (
+    FriParameters, FriProof, FriProver, FriQueryRound, FriVerifier,
+    Transcript, fri_query_indices, low_degree_extend,
+)
+from repro.zkp.groth16 import (
+    Groth16Proof, Groth16Prover, Groth16ProvingKey, Groth16Trapdoor,
+    Groth16VerifyingKey, groth16_self_check, groth16_setup,
+)
+from repro.zkp.kzg import KzgOpening, KzgScheme
+from repro.zkp.pairing import (
+    TOY_PAIRING_CURVE, TOY_PAIRING_FP, Fp2, kzg_check_with_pairing,
+    tate_pairing,
+)
+from repro.zkp.merkle import MerklePath, MerkleTree, hash_leaf, hash_nodes
+from repro.zkp.msm import (
+    MsmWorkModel, msm_naive, msm_pippenger, pippenger_window_bits,
+)
+from repro.zkp.pipeline import EndToEndModel, ProofCostEstimate
+from repro.zkp.profiles import (
+    ALL_PROFILES, GROTH16_PROFILE, PLONK_PROFILE, ProofSystemProfile,
+    TransformOp, profile_by_name,
+)
+from repro.zkp.polynomial import Polynomial
+from repro.zkp.prover import Proof, Prover, ProvingKey, trusted_setup
+from repro.zkp.qap import QAP, QapWitnessPolynomials
+from repro.zkp.r1cs import Constraint, LinearCombination, R1CS
+from repro.zkp.mimc import MiMC, mimc_chain_circuit, mimc_preimage_circuit
+from repro.zkp.stark import (
+    SquareAffineAir, StarkProof, StarkProver, StarkVerifier,
+)
+from repro.zkp.stark_model import StarkCostEstimate, StarkCostModel
+
+__all__ = [
+    "EvaluationDomain", "Polynomial",
+    "CurveParams", "CurvePoint", "BN254_G1", "BN254_FP",
+    "msm_naive", "msm_pippenger", "pippenger_window_bits", "MsmWorkModel",
+    "R1CS", "Constraint", "LinearCombination",
+    "square_chain", "inner_product", "random_circuit",
+    "QAP", "QapWitnessPolynomials",
+    "Prover", "Proof", "ProvingKey", "trusted_setup",
+    "EndToEndModel", "ProofCostEstimate",
+    "ProofSystemProfile", "TransformOp", "GROTH16_PROFILE", "PLONK_PROFILE",
+    "ALL_PROFILES", "profile_by_name",
+    "KzgScheme", "KzgOpening",
+    "MerkleTree", "MerklePath", "hash_leaf", "hash_nodes",
+    "FriParameters", "FriProver", "FriVerifier", "FriProof",
+    "FriQueryRound", "Transcript", "low_degree_extend",
+    "StarkCostModel", "StarkCostEstimate",
+    "MiMC", "mimc_preimage_circuit", "mimc_chain_circuit",
+    "SquareAffineAir", "StarkProver", "StarkVerifier", "StarkProof",
+    "fri_query_indices",
+    "Groth16Trapdoor", "Groth16ProvingKey", "Groth16VerifyingKey",
+    "Groth16Proof", "groth16_setup", "Groth16Prover",
+    "groth16_self_check",
+    "TOY_PAIRING_CURVE", "TOY_PAIRING_FP", "Fp2", "tate_pairing",
+    "kzg_check_with_pairing",
+]

@@ -1,0 +1,107 @@
+"""Parametric example circuits (the benchmark workload generators).
+
+Each builder returns an ``(r1cs, witness)`` pair that satisfies the
+system, sized so the end-to-end benchmark can sweep constraint counts.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import CircuitError
+from repro.field.prime_field import PrimeField
+from repro.zkp.r1cs import R1CS
+
+__all__ = ["square_chain", "inner_product", "random_circuit"]
+
+
+def square_chain(field: PrimeField, steps: int,
+                 seed_value: int = 3) -> tuple[R1CS, list[int]]:
+    """Prove knowledge of x with ``x^(2^steps) = y`` for public y.
+
+    A verifiable-delay-style repeated-squaring circuit: ``steps``
+    constraints, one private input, one public output.
+    """
+    if steps < 1:
+        raise CircuitError(f"steps must be >= 1, got {steps}")
+    r1cs = R1CS(field, num_public=1)
+    x = r1cs.new_wire()
+    witness = [1, 0, seed_value % field.modulus]  # [one, y(placeholder), x]
+    current = x
+    value = witness[2]
+    for _ in range(steps):
+        nxt = r1cs.constrain_square(current)
+        value = value * value % field.modulus
+        witness.append(value)
+        current = nxt
+    # Bind the final wire to the public output y.
+    r1cs.constrain_equal(current, 1)
+    witness[1] = value
+    if not r1cs.is_satisfied(witness):
+        raise CircuitError("square_chain produced an unsatisfied witness")
+    return r1cs, witness
+
+
+def inner_product(field: PrimeField, length: int,
+                  seed: int = 1234) -> tuple[R1CS, list[int]]:
+    """Prove ``<a, b> = c`` for private a, b and public c.
+
+    ``length`` multiplication constraints plus one summation binding.
+    """
+    if length < 1:
+        raise CircuitError(f"length must be >= 1, got {length}")
+    rng = random.Random(seed)
+    p = field.modulus
+    a_vals = [rng.randrange(p) for _ in range(length)]
+    b_vals = [rng.randrange(p) for _ in range(length)]
+
+    r1cs = R1CS(field, num_public=1)
+    a_wires = [r1cs.new_wire() for _ in range(length)]
+    b_wires = [r1cs.new_wire() for _ in range(length)]
+    witness = [1, 0] + a_vals + b_vals
+    product_wires = []
+    total = 0
+    for a_w, b_w, a_v, b_v in zip(a_wires, b_wires, a_vals, b_vals):
+        prod = r1cs.constrain_mul(a_w, b_w)
+        product_wires.append(prod)
+        witness.append(a_v * b_v % p)
+        total = (total + a_v * b_v) % p
+    # sum(products) * 1 = c  (the public wire).
+    r1cs.add_constraint({w: 1 for w in product_wires}, {0: 1}, {1: 1})
+    witness[1] = total
+    if not r1cs.is_satisfied(witness):
+        raise CircuitError("inner_product produced an unsatisfied witness")
+    return r1cs, witness
+
+
+def random_circuit(field: PrimeField, constraints: int, seed: int = 7,
+                   fan_in: int = 3) -> tuple[R1CS, list[int]]:
+    """A random satisfiable R1CS with the requested constraint count.
+
+    Each constraint multiplies two random sparse combinations of earlier
+    wires and binds the product to a fresh wire, mimicking the shape of
+    compiled arithmetic circuits.  Used to size benchmark workloads.
+    """
+    if constraints < 1:
+        raise CircuitError(f"constraints must be >= 1, got {constraints}")
+    rng = random.Random(seed)
+    p = field.modulus
+    r1cs = R1CS(field, num_public=1)
+    witness = [1, rng.randrange(1, p)]
+    seed_wire = r1cs.new_wire()  # a private starting value
+    witness.append(rng.randrange(p))
+
+    for _ in range(constraints):
+        available = r1cs.num_wires
+        a_lc = {rng.randrange(available): rng.randrange(1, p)
+                for _ in range(min(fan_in, available))}
+        b_lc = {rng.randrange(available): rng.randrange(1, p)
+                for _ in range(min(fan_in, available))}
+        a_val = sum(coeff * witness[w] for w, coeff in a_lc.items()) % p
+        b_val = sum(coeff * witness[w] for w, coeff in b_lc.items()) % p
+        out = r1cs.new_wire()
+        r1cs.add_constraint(a_lc, b_lc, {out: 1})
+        witness.append(a_val * b_val % p)
+    if not r1cs.is_satisfied(witness):
+        raise CircuitError("random_circuit produced an unsatisfied witness")
+    return r1cs, witness

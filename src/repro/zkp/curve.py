@@ -1,0 +1,208 @@
+"""The BN254 (alt_bn128) G1 group.
+
+This is the curve Groth16-on-Ethereum commits with: a short Weierstrass
+curve ``y^2 = x^3 + 3`` over the 254-bit base field, whose G1 group
+order is exactly the BN254 scalar field this library's NTTs run in.
+Points use Jacobian projective coordinates internally so additions cost
+no field inversions, matching the arithmetic GPU MSM kernels perform.
+
+Only G1 is implemented (the prover's MSMs live there); pairings are not
+needed by this reproduction — see :mod:`repro.zkp.prover` for how proofs
+are checked without them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CurveError
+from repro.field.presets import BN254_FR
+from repro.field.prime_field import PrimeField
+
+__all__ = ["CurveParams", "CurvePoint", "BN254_G1", "BN254_FP"]
+
+#: BN254 base field (the coordinate field of G1).
+BN254_FP = PrimeField(
+    21888242871839275222246405745257275088696311157297823662689037894645226208583,
+    generator=3, name="BN254-Fp")
+
+
+@dataclass(frozen=True)
+class CurveParams:
+    """Short Weierstrass curve ``y^2 = x^3 + a*x + b`` over ``base``."""
+
+    name: str
+    base: PrimeField
+    a: int
+    b: int
+    generator_x: int
+    generator_y: int
+    order: int
+
+    def __post_init__(self) -> None:
+        p = self.base.modulus
+        lhs = self.generator_y * self.generator_y % p
+        rhs = (self.generator_x ** 3 + self.a * self.generator_x
+               + self.b) % p
+        if lhs != rhs:
+            raise CurveError(f"{self.name}: generator is not on the curve")
+
+    def generator(self) -> "CurvePoint":
+        return CurvePoint(self, self.generator_x, self.generator_y, 1)
+
+    def infinity(self) -> "CurvePoint":
+        return CurvePoint(self, 1, 1, 0)
+
+
+class CurvePoint:
+    """A point in Jacobian coordinates ``(X, Y, Z)``: affine ``(X/Z^2, Y/Z^3)``."""
+
+    __slots__ = ("curve", "x", "y", "z")
+
+    def __init__(self, curve: CurveParams, x: int, y: int, z: int):
+        self.curve = curve
+        self.x = x
+        self.y = y
+        self.z = z
+
+    # -- predicates ------------------------------------------------------------
+
+    def is_infinity(self) -> bool:
+        return self.z == 0
+
+    def is_on_curve(self) -> bool:
+        """Check the Jacobian curve equation Y^2 = X^3 + aXZ^4 + bZ^6."""
+        if self.is_infinity():
+            return True
+        p = self.curve.base.modulus
+        z2 = self.z * self.z % p
+        z4 = z2 * z2 % p
+        z6 = z4 * z2 % p
+        lhs = self.y * self.y % p
+        rhs = (self.x ** 3 + self.curve.a * self.x * z4
+               + self.curve.b * z6) % p
+        return lhs == rhs
+
+    # -- affine view ---------------------------------------------------------------
+
+    def affine(self) -> tuple[int, int] | None:
+        """Affine coordinates, or ``None`` for the point at infinity."""
+        if self.is_infinity():
+            return None
+        p = self.curve.base.modulus
+        z_inv = pow(self.z, -1, p)
+        z_inv2 = z_inv * z_inv % p
+        return (self.x * z_inv2 % p, self.y * z_inv2 % p * z_inv % p)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CurvePoint):
+            return NotImplemented
+        if self.curve is not other.curve and self.curve != other.curve:
+            return False
+        if self.is_infinity() or other.is_infinity():
+            return self.is_infinity() and other.is_infinity()
+        # Cross-multiply to compare without inversions.
+        p = self.curve.base.modulus
+        z1sq = self.z * self.z % p
+        z2sq = other.z * other.z % p
+        if self.x * z2sq % p != other.x * z1sq % p:
+            return False
+        return (self.y * z2sq % p * other.z % p
+                == other.y * z1sq % p * self.z % p)
+
+    def __hash__(self) -> int:
+        return hash((self.curve.name, self.affine()))
+
+    def __repr__(self) -> str:
+        aff = self.affine()
+        if aff is None:
+            return f"CurvePoint({self.curve.name}, infinity)"
+        return f"CurvePoint({self.curve.name}, x={aff[0]}, y={aff[1]})"
+
+    # -- group law -----------------------------------------------------------------
+
+    def double(self) -> "CurvePoint":
+        """Jacobian doubling (a = 0 fast path for BN254)."""
+        if self.is_infinity() or self.y == 0:
+            return self.curve.infinity()
+        p = self.curve.base.modulus
+        xx = self.x * self.x % p
+        yy = self.y * self.y % p
+        yyyy = yy * yy % p
+        s = 4 * self.x * yy % p
+        if self.curve.a == 0:
+            m = 3 * xx % p
+        else:
+            z2 = self.z * self.z % p
+            m = (3 * xx + self.curve.a * z2 * z2) % p
+        x3 = (m * m - 2 * s) % p
+        y3 = (m * (s - x3) - 8 * yyyy) % p
+        z3 = 2 * self.y * self.z % p
+        return CurvePoint(self.curve, x3, y3, z3)
+
+    def __add__(self, other: "CurvePoint") -> "CurvePoint":
+        if not isinstance(other, CurvePoint):
+            return NotImplemented
+        if self.curve != other.curve:
+            raise CurveError("cannot add points on different curves")
+        if self.is_infinity():
+            return other
+        if other.is_infinity():
+            return self
+        p = self.curve.base.modulus
+        z1z1 = self.z * self.z % p
+        z2z2 = other.z * other.z % p
+        u1 = self.x * z2z2 % p
+        u2 = other.x * z1z1 % p
+        s1 = self.y * z2z2 % p * other.z % p
+        s2 = other.y * z1z1 % p * self.z % p
+        if u1 == u2:
+            if s1 != s2:
+                return self.curve.infinity()
+            return self.double()
+        h = (u2 - u1) % p
+        i = 4 * h * h % p
+        j = h * i % p
+        r = 2 * (s2 - s1) % p
+        v = u1 * i % p
+        x3 = (r * r - j - 2 * v) % p
+        y3 = (r * (v - x3) - 2 * s1 * j) % p
+        z3 = 2 * h % p * self.z % p * other.z % p
+        return CurvePoint(self.curve, x3, y3, z3)
+
+    def __neg__(self) -> "CurvePoint":
+        if self.is_infinity():
+            return self
+        return CurvePoint(self.curve, self.x,
+                          (-self.y) % self.curve.base.modulus, self.z)
+
+    def __sub__(self, other: "CurvePoint") -> "CurvePoint":
+        return self + (-other)
+
+    def __mul__(self, scalar: int) -> "CurvePoint":
+        """Double-and-add scalar multiplication."""
+        if not isinstance(scalar, int):
+            return NotImplemented
+        k = scalar % self.curve.order
+        result = self.curve.infinity()
+        addend = self
+        while k:
+            if k & 1:
+                result = result + addend
+            addend = addend.double()
+            k >>= 1
+        return result
+
+    __rmul__ = __mul__
+
+
+#: The production BN254 G1 group (order = BN254 scalar field modulus).
+BN254_G1 = CurveParams(
+    name="BN254-G1",
+    base=BN254_FP,
+    a=0,
+    b=3,
+    generator_x=1,
+    generator_y=2,
+    order=BN254_FR.modulus,
+)

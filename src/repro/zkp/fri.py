@@ -1,0 +1,328 @@
+"""FRI: the Fast Reed-Solomon IOP of proximity.
+
+The NTT workload of hash-based (STARK-family) proof systems: the prover
+low-degree-extends a polynomial onto a ``blowup``-times-larger coset
+(one big coset NTT), Merkle-commits the evaluations, and then repeatedly
+*folds* the function in half with verifier randomness until the residual
+polynomial is small enough to send in the clear.  Queries spot-check the
+folds against the Merkle roots.
+
+Folding rule, with ``x`` ranging over the round's coset and ``beta`` the
+round challenge::
+
+    f'(x^2) = (f(x) + f(-x)) / 2  +  beta * (f(x) - f(-x)) / (2x)
+
+i.e. the even part plus beta times the odd part — which halves both the
+degree bound and the domain.  Completeness: folding a degree < d
+polynomial yields degree < d/2, so an honest prover always passes.
+Soundness (far words get caught by queries) is inherited from the
+published analysis; this implementation reproduces the prover's exact
+computation and the verifier's exact checks, with a SHA-256 Fiat-Shamir
+transcript for non-interactivity.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ProverError
+from repro.field.prime_field import PrimeField
+from repro.field.vector import vec_inv
+from repro.ntt import coset as coset_mod
+from repro.ntt.twiddle import default_cache
+from repro.zkp.merkle import MerklePath, MerkleTree
+
+__all__ = ["FriParameters", "FriProof", "FriQueryRound", "FriProver",
+           "FriVerifier", "Transcript", "low_degree_extend",
+           "fri_query_indices"]
+
+
+class Transcript:
+    """A SHA-256 Fiat-Shamir transcript."""
+
+    def __init__(self, label: bytes = b"repro-fri"):
+        self._state = hashlib.sha256(label).digest()
+
+    def absorb(self, data: bytes) -> None:
+        self._state = hashlib.sha256(self._state + data).digest()
+
+    def absorb_int(self, value: int) -> None:
+        self.absorb(value.to_bytes((max(value.bit_length(), 1) + 7) // 8,
+                                   "big"))
+
+    def challenge_field(self, field: PrimeField) -> int:
+        """Draw a field element (rejection-free: 2x modulus bits)."""
+        width = (2 * field.modulus.bit_length() + 7) // 8
+        out = b""
+        counter = 0
+        while len(out) < width:
+            out += hashlib.sha256(self._state + counter.to_bytes(4, "big")
+                                  ).digest()
+            counter += 1
+        self.absorb(b"challenge")
+        return int.from_bytes(out[:width], "big") % field.modulus
+
+    def challenge_index(self, bound: int) -> int:
+        """Draw a query index in [0, bound)."""
+        digest = hashlib.sha256(self._state + b"index").digest()
+        self.absorb(b"index")
+        return int.from_bytes(digest, "big") % bound
+
+
+@dataclass(frozen=True)
+class FriParameters:
+    """Protocol parameters."""
+
+    field: PrimeField
+    degree_bound: int         # strict: deg(f) < degree_bound (power of 2)
+    blowup: int = 4           # domain size = blowup * degree_bound
+    final_degree: int = 4     # stop folding at deg < final_degree
+    query_count: int = 16
+
+    def __post_init__(self) -> None:
+        for name in ("degree_bound", "blowup", "final_degree"):
+            value = getattr(self, name)
+            if value < 1 or value & (value - 1):
+                raise ProverError(f"{name} must be a power of two, "
+                                  f"got {value}")
+        if self.final_degree > self.degree_bound:
+            raise ProverError("final_degree cannot exceed degree_bound")
+        if self.query_count < 1:
+            raise ProverError("query_count must be positive")
+
+    @property
+    def domain_size(self) -> int:
+        return self.degree_bound * self.blowup
+
+    @property
+    def round_count(self) -> int:
+        """Folding rounds until the degree bound reaches final_degree."""
+        rounds = 0
+        degree = self.degree_bound
+        while degree > self.final_degree:
+            degree //= 2
+            rounds += 1
+        return rounds
+
+    def coset_shift(self) -> int:
+        return self.field.multiplicative_generator
+
+
+@dataclass(frozen=True)
+class FriQueryRound:
+    """One round's openings for one query: f(x) and f(-x)."""
+
+    point_path: MerklePath
+    negated_path: MerklePath
+
+
+@dataclass(frozen=True)
+class FriProof:
+    """Commitments, per-query openings, and the final polynomial."""
+
+    roots: tuple[bytes, ...]
+    queries: tuple[tuple[FriQueryRound, ...], ...]  # [query][round]
+    final_coefficients: tuple[int, ...]
+
+
+def low_degree_extend(field: PrimeField, coefficients: Sequence[int],
+                      params: FriParameters) -> list[int]:
+    """Evaluate a degree < degree_bound polynomial on the FRI coset."""
+    if len(coefficients) > params.degree_bound:
+        raise ProverError(
+            f"{len(coefficients)} coefficients exceed the degree bound "
+            f"{params.degree_bound}")
+    padded = list(coefficients) + [0] * (params.domain_size
+                                         - len(coefficients))
+    return coset_mod.coset_ntt(field, padded, params.coset_shift(),
+                               default_cache)
+
+
+class FriProver:
+    """Produces FRI proximity proofs for committed evaluations."""
+
+    def __init__(self, params: FriParameters):
+        self.params = params
+        self.field = params.field
+
+    def prove(self, coefficients: Sequence[int]) -> FriProof:
+        """Prove that ``coefficients`` is a low-degree polynomial.
+
+        Runs the full commit phase (fold + Merkle per round) and answers
+        Fiat-Shamir queries.
+        """
+        return self.prove_evaluations(
+            low_degree_extend(self.field, coefficients, self.params))
+
+    def prove_evaluations(self, evaluations: Sequence[int],
+                          transcript: Transcript | None = None) -> FriProof:
+        """Prove proximity for evaluations already on the FRI coset.
+
+        This is the entry point outer protocols (the STARK prover) use:
+        they compute the composition polynomial *pointwise* on the coset
+        and never materialize its coefficients.  An optional seeded
+        ``transcript`` binds the proof to outer-protocol commitments.
+        """
+        field = self.field
+        p = field.modulus
+        params = self.params
+        if len(evaluations) != params.domain_size:
+            raise ProverError(
+                f"need {params.domain_size} evaluations, got "
+                f"{len(evaluations)}")
+        if transcript is None:
+            transcript = Transcript()
+        evaluations = list(evaluations)
+        layers: list[list[int]] = [evaluations]
+        trees: list[MerkleTree] = [MerkleTree(evaluations)]
+        transcript.absorb(trees[0].root)
+
+        shift = params.coset_shift()
+        size = params.domain_size
+        half_inv = field.inv(2)
+        for _ in range(params.round_count):
+            beta = transcript.challenge_field(field)
+            current = layers[-1]
+            half = size // 2
+            # x_j = shift * w^j for the current coset.
+            omega = field.root_of_unity(size)
+            xs = default_cache.powers(field, omega, half)
+            xs = [shift * x % p for x in xs]
+            inv_xs = vec_inv(field, xs)
+            folded = [0] * half
+            for j in range(half):
+                even = (current[j] + current[j + half]) * half_inv % p
+                odd = (current[j] - current[j + half]) * half_inv % p \
+                    * inv_xs[j] % p
+                folded[j] = (even + beta * odd) % p
+            layers.append(folded)
+            trees.append(MerkleTree(folded))
+            transcript.absorb(trees[-1].root)
+            size = half
+            shift = shift * shift % p
+
+        # Final layer: recover and send the residual coefficients.
+        final_evals = layers[-1]
+        final_coeffs = coset_mod.coset_intt(field, final_evals, shift,
+                                            default_cache)
+        # Degree check on our own output (honest-prover invariant).
+        trimmed = list(final_coeffs)
+        while trimmed and trimmed[-1] == 0:
+            trimmed.pop()
+        if len(trimmed) > params.final_degree:
+            raise ProverError(
+                "input exceeded the declared degree bound")
+        for c in trimmed:
+            transcript.absorb_int(c)
+
+        # Query phase.
+        queries = []
+        for _ in range(params.query_count):
+            index = transcript.challenge_index(params.domain_size // 2)
+            rounds = []
+            size = params.domain_size
+            for tree in trees[:-1]:
+                half = size // 2
+                index %= half
+                rounds.append(FriQueryRound(
+                    point_path=tree.open(index),
+                    negated_path=tree.open(index + half),
+                ))
+                size = half
+            queries.append(tuple(rounds))
+        return FriProof(roots=tuple(t.root for t in trees),
+                        queries=tuple(queries),
+                        final_coefficients=tuple(trimmed))
+
+
+def fri_query_indices(params: FriParameters, proof: FriProof,
+                      transcript: Transcript | None = None) -> list[int]:
+    """Replay a proof's transcript and return its layer-0 query indices.
+
+    Deterministic: outer protocols (the STARK prover *and* verifier)
+    call this to learn where they must open their own commitments.
+    """
+    if transcript is None:
+        transcript = Transcript()
+    transcript.absorb(proof.roots[0])
+    for root in proof.roots[1:]:
+        transcript.challenge_field(params.field)
+        transcript.absorb(root)
+    for c in proof.final_coefficients:
+        transcript.absorb_int(c)
+    return [transcript.challenge_index(params.domain_size // 2)
+            for _ in range(params.query_count)]
+
+
+class FriVerifier:
+    """Checks FRI proofs by replaying the transcript and the folds."""
+
+    def __init__(self, params: FriParameters):
+        self.params = params
+        self.field = params.field
+
+    def verify(self, proof: FriProof,
+               transcript: Transcript | None = None) -> bool:
+        field = self.field
+        p = field.modulus
+        params = self.params
+
+        if len(proof.roots) != params.round_count + 1:
+            return False
+        if len(proof.final_coefficients) > params.final_degree:
+            return False
+
+        # Replay the transcript to recover betas and query indices.
+        if transcript is None:
+            transcript = Transcript()
+        transcript.absorb(proof.roots[0])
+        betas = []
+        for root in proof.roots[1:]:
+            betas.append(transcript.challenge_field(field))
+            transcript.absorb(root)
+        for c in proof.final_coefficients:
+            transcript.absorb_int(c)
+
+        half_inv = field.inv(2)
+        for rounds in proof.queries:
+            if len(rounds) != params.round_count:
+                return False
+            index = transcript.challenge_index(params.domain_size // 2)
+            size = params.domain_size
+            shift = params.coset_shift()
+            expected: int | None = None
+            for round_no, opening in enumerate(rounds):
+                half = size // 2
+                position = index       # where the previous fold landed
+                index = position % half
+                point = opening.point_path
+                negated = opening.negated_path
+                if point.index != index or negated.index != index + half:
+                    return False
+                root = proof.roots[round_no]
+                if not (MerkleTree.verify(root, point)
+                        and MerkleTree.verify(root, negated)):
+                    return False
+                landed = point.leaf if position < half else negated.leaf
+                if expected is not None and landed != expected:
+                    return False
+                x = shift * field.pow(field.root_of_unity(size),
+                                      index) % p
+                even = (point.leaf + negated.leaf) * half_inv % p
+                odd = (point.leaf - negated.leaf) * half_inv % p \
+                    * field.inv(x) % p
+                expected = (even + betas[round_no] * odd) % p
+                size = half
+                shift = shift * shift % p
+
+            # The last expected value must match the final polynomial.
+            x_final = shift * field.pow(field.root_of_unity(size),
+                                        index) % p
+            value = 0
+            for c in reversed(proof.final_coefficients):
+                value = (value * x_final + c) % p
+            if expected is not None and value != expected:
+                return False
+        return True

@@ -1,0 +1,287 @@
+"""The full Groth16 protocol structure (pairing check via trapdoor).
+
+:mod:`repro.zkp.prover` implements the *computational pipeline* (the
+NTT/MSM workload).  This module implements the *protocol*: the real
+Groth16 keys and three-element proofs, with every term the 2016 paper
+specifies:
+
+* setup draws toxic waste ``(alpha, beta, gamma, delta, tau)`` and
+  publishes G1 elements for ``alpha``, ``beta``, ``delta``, the powers
+  of tau, the per-wire terms
+  ``(beta*A_j(tau) + alpha*B_j(tau) + C_j(tau)) / delta`` (private
+  wires) and ``.../gamma`` (public wires), and ``tau^i * Z(tau)/delta``;
+* a proof is ``(A, B, C)`` with the zero-knowledge randomizers r, s:
+
+      A = alpha + A_w(tau) + r*delta
+      B = beta  + B_w(tau) + s*delta
+      C = (priv(tau) + H(tau)Z(tau))/delta + s*A + r*B - r*s*delta
+
+* verification checks ``e(A,B) = e(alpha,beta) * e(IC,gamma) *
+  e(C,delta)``.  Pairings are out of scope (prover acceleration is the
+  paper's subject), and a *witness-free* check cannot be emulated — the
+  verifier would need a discrete log of A or B.  Instead
+  :func:`groth16_self_check` (the test harness's oracle, holding the
+  witness, randomness, and trapdoor) verifies every proof element's
+  discrete-log identity *and* the pairing equation in the exponent —
+  strictly stronger than completeness alone, since any tampered element
+  fails its identity.
+
+Per-wire polynomial evaluations at tau are computed with one barycentric
+Lagrange pass (O(n) after a batch inversion) plus one sparse sweep over
+the constraints — how real setup ceremonies do it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ProverError
+from repro.field.presets import BN254_FR
+from repro.zkp.curve import BN254_G1, CurveParams, CurvePoint
+from repro.zkp.msm import msm_pippenger
+from repro.zkp.qap import QAP
+
+__all__ = ["Groth16Trapdoor", "Groth16ProvingKey", "Groth16VerifyingKey",
+           "Groth16Proof", "groth16_setup", "Groth16Prover",
+           "groth16_self_check"]
+
+
+@dataclass(frozen=True)
+class Groth16Trapdoor:
+    """The toxic waste; retained only for pairing-free verification."""
+
+    alpha: int
+    beta: int
+    gamma: int
+    delta: int
+    tau: int
+
+    def validate(self, order: int) -> None:
+        for name in ("alpha", "beta", "gamma", "delta", "tau"):
+            value = getattr(self, name) % order
+            if value == 0:
+                raise ProverError(f"trapdoor element {name} must be "
+                                  f"non-zero mod the group order")
+
+
+@dataclass(frozen=True)
+class Groth16ProvingKey:
+    """Everything the prover needs (all G1 in this reproduction)."""
+
+    curve: CurveParams
+    alpha_g: CurvePoint
+    beta_g: CurvePoint
+    delta_g: CurvePoint
+    tau_powers: tuple[CurvePoint, ...]          # [tau^i] for i < n
+    private_terms: tuple[CurvePoint, ...]       # per private wire
+    private_wires: tuple[int, ...]
+    h_terms: tuple[CurvePoint, ...]             # [tau^i * Z(tau)/delta]
+
+
+@dataclass(frozen=True)
+class Groth16VerifyingKey:
+    """The public verification material."""
+
+    curve: CurveParams
+    alpha_g: CurvePoint
+    beta_g: CurvePoint
+    gamma_g: CurvePoint
+    delta_g: CurvePoint
+    ic_terms: tuple[CurvePoint, ...]            # constant-1 wire + publics
+
+
+@dataclass(frozen=True)
+class Groth16Proof:
+    """The three-element proof."""
+
+    a: CurvePoint
+    b: CurvePoint
+    c: CurvePoint
+
+
+def _per_wire_evaluations(qap: QAP, tau: int) -> tuple[list[int], ...]:
+    """A_j(tau), B_j(tau), C_j(tau) for every wire j.
+
+    Constraint i contributes ``coeff * L_i(tau)`` to wire j's
+    polynomial; one barycentric pass gives all L_i(tau).
+    """
+    field = qap.field
+    p = field.modulus
+    lagrange = qap.domain.lagrange_coefficients(tau % p)
+    wires = qap.r1cs.num_wires
+    a_vals = [0] * wires
+    b_vals = [0] * wires
+    c_vals = [0] * wires
+    for i, constraint in enumerate(qap.r1cs.constraints):
+        l_i = lagrange[i]
+        for wire, coeff in constraint.a:
+            a_vals[wire] = (a_vals[wire] + coeff * l_i) % p
+        for wire, coeff in constraint.b:
+            b_vals[wire] = (b_vals[wire] + coeff * l_i) % p
+        for wire, coeff in constraint.c:
+            c_vals[wire] = (c_vals[wire] + coeff * l_i) % p
+    return a_vals, b_vals, c_vals
+
+
+def groth16_setup(qap: QAP, trapdoor: Groth16Trapdoor,
+                  curve: CurveParams = BN254_G1,
+                  ) -> tuple[Groth16ProvingKey, Groth16VerifyingKey]:
+    """The (toy, transparent) trusted setup for one QAP."""
+    if qap.field != BN254_FR:
+        raise ProverError("Groth16 over BN254 needs the BN254 scalar "
+                          f"field, got {qap.field.name}")
+    order = curve.order
+    trapdoor.validate(order)
+    tau = trapdoor.tau % order
+    g = curve.generator()
+    n = qap.domain.size
+
+    a_vals, b_vals, c_vals = _per_wire_evaluations(qap, tau)
+    gamma_inv = pow(trapdoor.gamma, -1, order)
+    delta_inv = pow(trapdoor.delta, -1, order)
+    z_tau = qap.domain.vanishing_eval(tau)
+
+    def wire_term(j: int, divider: int) -> int:
+        return ((trapdoor.beta * a_vals[j] + trapdoor.alpha * b_vals[j]
+                 + c_vals[j]) % order) * divider % order
+
+    num_public = qap.r1cs.num_public
+    public_wires = tuple(range(num_public + 1))          # incl. wire 0
+    private_wires = tuple(range(num_public + 1,
+                                qap.r1cs.num_wires))
+
+    powers = []
+    acc = 1
+    for _ in range(n):
+        powers.append(g * acc)
+        acc = acc * tau % order
+
+    pk = Groth16ProvingKey(
+        curve=curve,
+        alpha_g=g * trapdoor.alpha,
+        beta_g=g * trapdoor.beta,
+        delta_g=g * trapdoor.delta,
+        tau_powers=tuple(powers),
+        private_terms=tuple(g * wire_term(j, delta_inv)
+                            for j in private_wires),
+        private_wires=private_wires,
+        h_terms=tuple(g * (pow(tau, i, order) * z_tau % order
+                           * delta_inv % order)
+                      for i in range(n - 1)),
+    )
+    vk = Groth16VerifyingKey(
+        curve=curve,
+        alpha_g=pk.alpha_g,
+        beta_g=pk.beta_g,
+        gamma_g=g * trapdoor.gamma,
+        delta_g=pk.delta_g,
+        ic_terms=tuple(g * wire_term(j, gamma_inv)
+                       for j in public_wires),
+    )
+    return pk, vk
+
+
+class Groth16Prover:
+    """Produces real three-element Groth16 proofs."""
+
+    def __init__(self, qap: QAP, pk: Groth16ProvingKey):
+        self.qap = qap
+        self.pk = pk
+
+    def prove(self, witness: Sequence[int], r: int, s: int) -> Groth16Proof:
+        """The Groth16 prover: the QAP pipeline + three commitments."""
+        qap = self.qap
+        pk = self.pk
+        order = pk.curve.order
+        r %= order
+        s %= order
+        polys = qap.witness_polynomials(witness)  # the 7-NTT pipeline
+        g = pk.curve.generator()
+
+        # A = alpha + A_w(tau) + r*delta  (A_w(tau) committed by MSM).
+        a_commit = self._commit_coeffs(polys.a.coeffs)
+        a_point = pk.alpha_g + a_commit + pk.delta_g * r
+
+        # B = beta + B_w(tau) + s*delta.
+        b_commit = self._commit_coeffs(polys.b.coeffs)
+        b_point = pk.beta_g + b_commit + pk.delta_g * s
+
+        # C = (private terms + H*Z)/delta + s*A + r*B - r*s*delta.
+        private_scalars = [witness[j] % order for j in pk.private_wires]
+        c_point = msm_pippenger(pk.curve, private_scalars,
+                                list(pk.private_terms))
+        h_coeffs = list(polys.h.coeffs)
+        if len(h_coeffs) > len(pk.h_terms):
+            raise ProverError("quotient degree exceeds the setup")
+        if h_coeffs:
+            c_point = c_point + msm_pippenger(
+                pk.curve, h_coeffs, list(pk.h_terms[:len(h_coeffs)]))
+        c_point = (c_point + a_point * s + b_point * r
+                   - pk.delta_g * (r * s % order))
+        return Groth16Proof(a=a_point, b=b_point, c=c_point)
+
+    def _commit_coeffs(self, coeffs: Sequence[int]) -> CurvePoint:
+        if len(coeffs) > len(self.pk.tau_powers):
+            raise ProverError("polynomial degree exceeds the setup")
+        if not coeffs:
+            return self.pk.curve.infinity()
+        return msm_pippenger(self.pk.curve, list(coeffs),
+                             list(self.pk.tau_powers[:len(coeffs)]))
+
+
+def groth16_self_check(qap: QAP, vk: Groth16VerifyingKey,
+                       proof: Groth16Proof,
+                       witness: Sequence[int],
+                       trapdoor: Groth16Trapdoor,
+                       r: int, s: int) -> bool:
+    """Completeness check: with witness, randomness, and trapdoor, every
+    proof element's discrete log is a known polynomial identity; verify
+    each element and the pairing equation in the exponent exactly.
+    """
+    from repro.errors import CircuitError
+
+    order = vk.curve.order
+    g = vk.curve.generator()
+    try:
+        polys = qap.witness_polynomials(witness)
+    except CircuitError:
+        return False  # an unsatisfying witness can never check out
+    tau = trapdoor.tau % order
+    r %= order
+    s %= order
+
+    a_dlog = (trapdoor.alpha + polys.a.evaluate(tau)
+              + r * trapdoor.delta) % order
+    b_dlog = (trapdoor.beta + polys.b.evaluate(tau)
+              + s * trapdoor.delta) % order
+    if proof.a != g * a_dlog or proof.b != g * b_dlog:
+        return False
+
+    a_vals, b_vals, c_vals = _per_wire_evaluations(qap, tau)
+    delta_inv = pow(trapdoor.delta, -1, order)
+    num_public = qap.r1cs.num_public
+    priv = 0
+    for j in range(num_public + 1, qap.r1cs.num_wires):
+        term = (trapdoor.beta * a_vals[j] + trapdoor.alpha * b_vals[j]
+                + c_vals[j]) % order
+        priv = (priv + witness[j] * term) % order
+    h_z = polys.h.evaluate(tau) * qap.domain.vanishing_eval(tau) % order
+    c_dlog = ((priv + h_z) * delta_inv
+              + s * a_dlog + r * b_dlog - r * s * trapdoor.delta) % order
+    if proof.c != g * c_dlog:
+        return False
+
+    # The pairing equation in the exponent.
+    gamma_inv = pow(trapdoor.gamma, -1, order)
+    ic = 0
+    for j in range(num_public + 1):
+        term = (trapdoor.beta * a_vals[j] + trapdoor.alpha * b_vals[j]
+                + c_vals[j]) % order
+        ic = (ic + witness[j] * term) % order
+    ic_dlog = ic * gamma_inv % order
+    lhs = a_dlog * b_dlog % order
+    rhs = (trapdoor.alpha * trapdoor.beta
+           + ic_dlog * trapdoor.gamma
+           + c_dlog * trapdoor.delta) % order
+    return lhs == rhs

@@ -1,0 +1,83 @@
+"""KZG polynomial commitments (commit / open / check).
+
+PLONK-family provers commit to polynomials with the Kate-Zaverucha-
+Goldberg scheme: a commitment is ``[p(tau)] G`` over a powers-of-tau
+SRS, and an opening at point ``z`` is a commitment to the quotient
+``q(x) = (p(x) - p(z)) / (x - z)``.  The division is exact iff the
+claimed value is correct — that polynomial identity is the scheme's
+soundness core and is fully exercised here.
+
+Production verification checks ``e(C - [v]G, H) = e(W, [tau - z]H)``
+with a pairing; this reproduction (prover-side acceleration is the
+subject) checks the same identity in G1 using the setup trapdoor, which
+the toy ceremony of :func:`repro.zkp.prover.trusted_setup` retains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ProverError
+from repro.zkp.curve import CurvePoint
+from repro.zkp.polynomial import Polynomial
+from repro.zkp.prover import ProvingKey
+
+__all__ = ["KzgOpening", "KzgScheme"]
+
+
+@dataclass(frozen=True)
+class KzgOpening:
+    """An evaluation claim with its witness commitment."""
+
+    point: int
+    value: int
+    witness: CurvePoint
+
+
+class KzgScheme:
+    """Commitments and openings over one powers-of-tau SRS."""
+
+    def __init__(self, srs: ProvingKey):
+        self.srs = srs
+        self.curve = srs.curve
+
+    def commit(self, poly: Polynomial) -> CurvePoint:
+        """``[poly(tau)] G`` by MSM over the SRS."""
+        return self.srs.commit(poly)
+
+    def open(self, poly: Polynomial, point: int) -> KzgOpening:
+        """Open ``poly`` at ``point``: value plus quotient commitment.
+
+        The quotient ``(p(x) - p(z)) / (x - z)`` is computed by exact
+        synthetic division; a non-zero remainder would indicate a bug,
+        so it is asserted away.
+        """
+        field = poly.field
+        point %= field.modulus
+        value = poly.evaluate(point)
+        numerator = poly - Polynomial(field, [value])
+        divisor = Polynomial(field, [field.neg(point), 1])  # x - z
+        quotient, remainder = numerator.divmod(divisor)
+        if not remainder.is_zero():
+            raise ProverError("KZG quotient division left a remainder")
+        return KzgOpening(point=point, value=value,
+                          witness=self.commit(quotient))
+
+    def check_with_trapdoor(self, commitment: CurvePoint,
+                            opening: KzgOpening, tau: int) -> bool:
+        """Verify the opening identity at the trapdoor (pairing-free).
+
+        Checks ``C - [value] G == [tau - z] W`` in G1 — exactly the
+        relation the pairing equation tests.
+        """
+        field_order = self.curve.order
+        tau %= field_order
+        generator = self.curve.generator()
+        lhs = commitment - generator * opening.value
+        rhs = opening.witness * ((tau - opening.point) % field_order)
+        return lhs == rhs
+
+    def batch_open(self, polys: list[Polynomial],
+                   point: int) -> list[KzgOpening]:
+        """Open several polynomials at the same point (PLONK's round 4)."""
+        return [self.open(poly, point) for poly in polys]

@@ -1,0 +1,101 @@
+"""Merkle trees over field-element vectors.
+
+Hash-based proof systems (STARKs, and the FRI protocol in
+:mod:`repro.zkp.fri`) commit to evaluation vectors with Merkle roots and
+open individual positions with authentication paths.  SHA-256 stands in
+for the sponge/algebraic hashes production systems use — the tree
+structure, path logic, and soundness-relevant domain separation are the
+same.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ProverError
+
+__all__ = ["MerkleTree", "MerklePath", "hash_leaf", "hash_nodes"]
+
+_LEAF_TAG = b"\x00"
+_NODE_TAG = b"\x01"
+
+
+def hash_leaf(value: int) -> bytes:
+    """Domain-separated leaf hash of a field element."""
+    data = value.to_bytes((max(value.bit_length(), 1) + 7) // 8, "big")
+    return hashlib.sha256(_LEAF_TAG + data).digest()
+
+
+def hash_nodes(left: bytes, right: bytes) -> bytes:
+    """Domain-separated internal-node hash."""
+    return hashlib.sha256(_NODE_TAG + left + right).digest()
+
+
+@dataclass(frozen=True)
+class MerklePath:
+    """An authentication path for one leaf position."""
+
+    index: int
+    leaf: int
+    siblings: tuple[bytes, ...]
+
+    def root(self) -> bytes:
+        """Recompute the root this path authenticates against."""
+        node = hash_leaf(self.leaf)
+        index = self.index
+        for sibling in self.siblings:
+            if index & 1:
+                node = hash_nodes(sibling, node)
+            else:
+                node = hash_nodes(node, sibling)
+            index >>= 1
+        return node
+
+
+class MerkleTree:
+    """A complete binary Merkle tree over a power-of-two leaf vector."""
+
+    def __init__(self, leaves: Sequence[int]):
+        count = len(leaves)
+        if count == 0 or count & (count - 1):
+            raise ProverError(
+                f"Merkle tree needs a power-of-two leaf count, got {count}")
+        self.leaves = list(leaves)
+        # levels[0] = hashed leaves, levels[-1] = [root].
+        levels = [[hash_leaf(v) for v in leaves]]
+        while len(levels[-1]) > 1:
+            prev = levels[-1]
+            levels.append([hash_nodes(prev[i], prev[i + 1])
+                           for i in range(0, len(prev), 2)])
+        self._levels = levels
+
+    def __len__(self) -> int:
+        return len(self.leaves)
+
+    @property
+    def root(self) -> bytes:
+        return self._levels[-1][0]
+
+    @property
+    def depth(self) -> int:
+        return len(self._levels) - 1
+
+    def open(self, index: int) -> MerklePath:
+        """Authentication path for one position."""
+        if not 0 <= index < len(self.leaves):
+            raise ProverError(
+                f"leaf index {index} out of range [0, {len(self.leaves)})")
+        siblings = []
+        i = index
+        for level in self._levels[:-1]:
+            siblings.append(level[i ^ 1])
+            i >>= 1
+        return MerklePath(index=index, leaf=self.leaves[index],
+                          siblings=tuple(siblings))
+
+    @staticmethod
+    def verify(root: bytes, path: MerklePath) -> bool:
+        """Check a path against a claimed root."""
+        return path.root() == root

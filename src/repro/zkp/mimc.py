@@ -1,0 +1,159 @@
+"""MiMC: an algebraic hash, both native and as an R1CS circuit.
+
+Realistic ZKP circuits are full of *algebraic* hashes — functions built
+from field multiplications so they cost few constraints.  MiMC is the
+classic one: iterate ``x <- (x + k + c_i)^3`` over fixed round
+constants.  This module provides
+
+* the native permutation / compression function / Merkle-ready hash;
+* the same computation as R1CS constraints (2 per round: one for the
+  square, one for the cube), so circuits that verify hash preimages or
+  Merkle paths can be built and proven with :mod:`repro.zkp.prover`.
+
+Cubing requires ``gcd(3, p-1) = 1`` for invertibility; BN254's scalar
+field satisfies this (p-1 = 2^28 * 3^2 * ... does **not** — cubing is
+3-to-1 there).  For hashing, bijectivity is not required, so we follow
+the common practice of using the cube map regardless; circuits care
+only that the forward computation is constrained correctly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.errors import CircuitError
+from repro.field.prime_field import PrimeField
+from repro.zkp.r1cs import R1CS
+
+__all__ = ["MiMC", "mimc_preimage_circuit", "mimc_chain_circuit"]
+
+
+class MiMC:
+    """The MiMC-x^3 permutation with Fiat-Shamir-derived constants."""
+
+    def __init__(self, field: PrimeField, rounds: int = 64,
+                 seed: bytes = b"repro-mimc"):
+        if rounds < 1:
+            raise CircuitError(f"rounds must be >= 1, got {rounds}")
+        self.field = field
+        self.rounds = rounds
+        self.constants = self._derive_constants(seed)
+
+    def _derive_constants(self, seed: bytes) -> list[int]:
+        constants = []
+        state = seed
+        for _ in range(self.rounds):
+            state = hashlib.sha256(state).digest()
+            constants.append(int.from_bytes(state, "big")
+                             % self.field.modulus)
+        return constants
+
+    # -- native evaluation ---------------------------------------------------
+
+    def permute(self, x: int, key: int = 0) -> int:
+        """The raw permutation: rounds of ``x <- (x + k + c_i)^3``."""
+        p = self.field.modulus
+        x %= p
+        key %= p
+        for constant in self.constants:
+            t = (x + key + constant) % p
+            x = t * t % p * t % p
+        return (x + key) % p
+
+    def compress(self, left: int, right: int) -> int:
+        """Miyaguchi-Preneel-style 2-to-1 compression for Merkle use."""
+        p = self.field.modulus
+        return (self.permute(left, key=right) + left + right) % p
+
+    def hash_many(self, values: list[int]) -> int:
+        """Sponge-free chain hash of a list (absorb one per call)."""
+        acc = 0
+        for value in values:
+            acc = self.compress(acc, value % self.field.modulus)
+        return acc
+
+    # -- the same computation as constraints ------------------------------------
+
+    def constrain(self, r1cs: R1CS, x_wire: int,
+                  witness: list[int]) -> int:
+        """Add the permutation (key=0) to ``r1cs``; returns the output
+        wire.  ``witness`` must already hold a value for ``x_wire`` and
+        is extended with the intermediate wires.
+
+        Two constraints per round:  ``t^2 = s``  and  ``s * t = out``.
+        """
+        p = self.field.modulus
+        current = x_wire
+        for constant in self.constants:
+            # t = current + c is a linear combination, not a new wire.
+            t_value = (witness[current] + constant) % p
+            square = r1cs.new_wire()
+            witness.append(t_value * t_value % p)
+            r1cs.add_constraint({current: 1, 0: constant},
+                                {current: 1, 0: constant},
+                                {square: 1})
+            cube = r1cs.new_wire()
+            witness.append(witness[square] * t_value % p)
+            r1cs.add_constraint({square: 1},
+                                {current: 1, 0: constant},
+                                {cube: 1})
+            current = cube
+        return current
+
+    @property
+    def constraints_per_permutation(self) -> int:
+        return 2 * self.rounds
+
+
+def mimc_preimage_circuit(field: PrimeField, preimage: int,
+                          rounds: int = 64) -> tuple[R1CS, list[int]]:
+    """Prove knowledge of x with ``MiMC(x) = y`` for public y."""
+    mimc = MiMC(field, rounds=rounds)
+    r1cs = R1CS(field, num_public=1)
+    x_wire = r1cs.new_wire()
+    witness = [1, 0, preimage % field.modulus]
+    out_wire = mimc.constrain(r1cs, x_wire, witness)
+    r1cs.constrain_equal(out_wire, 1)
+    witness[1] = witness[out_wire]
+    if not r1cs.is_satisfied(witness):
+        raise CircuitError("mimc_preimage_circuit witness unsatisfied")
+    return r1cs, witness
+
+
+def mimc_chain_circuit(field: PrimeField, values: list[int],
+                       rounds: int = 16) -> tuple[R1CS, list[int]]:
+    """Prove knowledge of values hashing (by chained compression) to a
+    public digest — the flat version of a Merkle-path circuit."""
+    if not values:
+        raise CircuitError("need at least one value to hash")
+    mimc = MiMC(field, rounds=rounds)
+    p = field.modulus
+    r1cs = R1CS(field, num_public=1)
+    value_wires = [r1cs.new_wire() for _ in values]
+    witness = [1, 0] + [v % p for v in values]
+
+    acc_wire = None  # accumulator starts at the constant 0
+    for value_wire in value_wires:
+        # compress(acc, v) = permute(acc, key=v) + acc + v.  With the
+        # circuit's single-input permutation we use key folding:
+        # t0 = acc + v, run permutation on t0, add acc + v back.
+        t0 = r1cs.new_wire()
+        if acc_wire is None:
+            witness.append(witness[value_wire])
+            r1cs.add_constraint({value_wire: 1}, {0: 1}, {t0: 1})
+        else:
+            witness.append((witness[acc_wire] + witness[value_wire]) % p)
+            r1cs.add_constraint({acc_wire: 1, value_wire: 1}, {0: 1},
+                                {t0: 1})
+        perm_out = mimc.constrain(r1cs, t0, witness)
+        new_acc = r1cs.new_wire()
+        witness.append((witness[perm_out] + witness[t0]) % p)
+        r1cs.add_constraint({perm_out: 1, t0: 1}, {0: 1}, {new_acc: 1})
+        acc_wire = new_acc
+
+    assert acc_wire is not None
+    r1cs.constrain_equal(acc_wire, 1)
+    witness[1] = witness[acc_wire]
+    if not r1cs.is_satisfied(witness):
+        raise CircuitError("mimc_chain_circuit witness unsatisfied")
+    return r1cs, witness

@@ -1,0 +1,149 @@
+"""Multi-scalar multiplication: ``sum_i scalars[i] * points[i]``.
+
+MSM is the other half of ZKP proving time.  Unlike NTT it decomposes
+trivially across GPUs — each device sums a slice and a tiny reduction
+combines them — which is precisely why, before this paper, end-to-end
+provers were multi-GPU for MSM but single-GPU for NTT.
+
+Implementations:
+
+* :func:`msm_naive` — per-term double-and-add; the O(n log r) reference.
+* :func:`msm_pippenger` — the bucket method every GPU library uses.
+* :class:`MsmWorkModel` — closed-form point-operation counts for the
+  cost model (single- and multi-GPU), used by the end-to-end benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import CurveError
+from repro.zkp.curve import CurveParams, CurvePoint
+
+__all__ = ["msm_naive", "msm_pippenger", "pippenger_window_bits",
+           "MsmWorkModel"]
+
+
+def _check(curve: CurveParams, scalars: Sequence[int],
+           points: Sequence[CurvePoint]) -> None:
+    if len(scalars) != len(points):
+        raise CurveError(
+            f"MSM needs equal lengths: {len(scalars)} scalars vs "
+            f"{len(points)} points")
+    for point in points:
+        if point.curve != curve:
+            raise CurveError("MSM points must live on the same curve")
+
+
+def msm_naive(curve: CurveParams, scalars: Sequence[int],
+              points: Sequence[CurvePoint]) -> CurvePoint:
+    """Reference MSM by independent scalar multiplications."""
+    _check(curve, scalars, points)
+    acc = curve.infinity()
+    for scalar, point in zip(scalars, points):
+        acc = acc + point * scalar
+    return acc
+
+
+def pippenger_window_bits(n: int) -> int:
+    """The classic window-width heuristic: ~log2(n) - 3, clamped."""
+    if n <= 0:
+        return 1
+    return max(1, min(16, n.bit_length() - 3))
+
+
+def msm_pippenger(curve: CurveParams, scalars: Sequence[int],
+                  points: Sequence[CurvePoint],
+                  window_bits: int | None = None) -> CurvePoint:
+    """Bucket-method MSM.
+
+    Scalars are cut into ``ceil(bits / c)`` windows of ``c`` bits; per
+    window, points are accumulated into ``2^c - 1`` buckets, the buckets
+    are combined by a running-sum sweep, and windows fold together with
+    ``c`` doublings each.
+    """
+    _check(curve, scalars, points)
+    if not scalars:
+        return curve.infinity()
+    c = window_bits if window_bits is not None \
+        else pippenger_window_bits(len(scalars))
+    if c < 1:
+        raise CurveError(f"window_bits must be >= 1, got {c}")
+    order_bits = curve.order.bit_length()
+    windows = -(-order_bits // c)  # ceil
+    reduced = [s % curve.order for s in scalars]
+
+    total = curve.infinity()
+    for w in range(windows - 1, -1, -1):
+        if w != windows - 1:
+            for _ in range(c):
+                total = total.double()
+        buckets: dict[int, CurvePoint] = {}
+        shift = w * c
+        mask = (1 << c) - 1
+        for scalar, point in zip(reduced, points):
+            digit = (scalar >> shift) & mask
+            if digit:
+                existing = buckets.get(digit)
+                buckets[digit] = point if existing is None \
+                    else existing + point
+        # Running-sum sweep: sum_d d * bucket[d] with 2*(2^c) additions.
+        running = curve.infinity()
+        window_sum = curve.infinity()
+        for digit in range(mask, 0, -1):
+            bucket = buckets.get(digit)
+            if bucket is not None:
+                running = running + bucket
+            window_sum = window_sum + running
+        total = total + window_sum
+    return total
+
+
+@dataclass(frozen=True)
+class MsmWorkModel:
+    """Closed-form MSM cost in curve point-additions.
+
+    One Jacobian mixed addition is ~12 base-field multiplications and a
+    doubling ~8 (the ``add_field_muls`` constants); the cost model
+    converts those to seconds with the machine's multiplier throughput.
+    """
+
+    order_bits: int = 254
+    add_field_muls: int = 12
+    double_field_muls: int = 8
+
+    def point_adds(self, n: int, window_bits: int | None = None) -> int:
+        """Point additions of a single-device Pippenger MSM of size n."""
+        if n <= 0:
+            return 0
+        c = window_bits if window_bits is not None \
+            else pippenger_window_bits(n)
+        windows = -(-self.order_bits // c)
+        bucket_adds = n  # one accumulation per scalar per window
+        sweep_adds = 2 * (1 << c)
+        return windows * (bucket_adds + sweep_adds)
+
+    def point_doubles(self, n: int, window_bits: int | None = None) -> int:
+        c = window_bits if window_bits is not None \
+            else pippenger_window_bits(n)
+        windows = -(-self.order_bits // c)
+        return (windows - 1) * c
+
+    def field_muls(self, n: int, window_bits: int | None = None) -> int:
+        """Total base-field multiplications of one MSM."""
+        return (self.point_adds(n, window_bits) * self.add_field_muls
+                + self.point_doubles(n, window_bits) * self.double_field_muls)
+
+    def field_muls_multi_gpu(self, n: int, gpu_count: int,
+                             window_bits: int | None = None) -> int:
+        """Per-GPU multiplications when the MSM splits across GPUs.
+
+        Each GPU runs Pippenger on n/G points; the final combine (G
+        partial results) is negligible and charged as G additions.
+        """
+        if gpu_count < 1:
+            raise CurveError(f"gpu_count must be >= 1, got {gpu_count}")
+        per_gpu = -(-n // gpu_count)
+        return (self.field_muls(per_gpu, window_bits)
+                + gpu_count * self.add_field_muls)

@@ -1,0 +1,246 @@
+"""A real Tate pairing on a toy supersingular curve.
+
+Everything else in :mod:`repro.zkp` verifies pairing-based proofs with
+the setup trapdoor, because production pairings (BN254's optimal ate
+over an Fp12 tower) are out of scope.  This module closes the loop at
+*demonstration scale*: a genuine Miller-loop Tate pairing — bilinear,
+non-degenerate, trapdoor-free — on the supersingular curve
+
+    E: y^2 = x^3 + x   over GF(p),   p = 12*r - 1,   p = 3 (mod 4)
+
+whose group is cyclic of order ``p + 1 = 12 * r`` with **r = the
+BabyBear prime**: the pairing's scalar field is NTT-friendly, so KZG
+commitments over this curve plug straight into the rest of the library.
+
+Supersingularity gives embedding degree 2 and the distortion map
+``phi(x, y) = (-x, i*y)`` into E(Fp2) (``i^2 = -1``), so both pairing
+inputs come from the one subgroup ``E(Fp)[r]`` — no G2 machinery.  The
+Miller loop uses the standard denominator elimination for even
+embedding degree (vertical lines evaluate into Fp and die in the final
+exponentiation's ``p - 1`` factor).
+
+Security note: a 35-bit base field is cryptographically worthless by
+construction; the point is an executable, property-tested pairing and
+the witness-free KZG verification it enables
+(:func:`kzg_check_with_pairing`).
+"""
+
+from __future__ import annotations
+
+from repro.errors import CurveError
+from repro.field.presets import BABYBEAR
+from repro.field.prime_field import PrimeField
+from repro.zkp.curve import CurveParams, CurvePoint
+from repro.zkp.kzg import KzgOpening
+from repro.zkp.prover import ProvingKey
+
+__all__ = ["TOY_PAIRING_FP", "TOY_PAIRING_CURVE", "Fp2", "distortion_ok",
+           "tate_pairing", "kzg_check_with_pairing"]
+
+#: Base field: p = 12 * BabyBear - 1 (prime, 3 mod 4).
+TOY_PAIRING_FP = PrimeField(12 * BABYBEAR.modulus - 1,
+                            name="ToyPairing-Fp")
+
+_P = TOY_PAIRING_FP.modulus
+_R = BABYBEAR.modulus
+_COFACTOR = 12
+
+
+def _find_generator() -> tuple[int, int]:
+    """A point of exact order r: cofactor-cleared curve point."""
+    p = _P
+    for x in range(1, 1000):
+        rhs = (x * x * x + x) % p
+        y = pow(rhs, (p + 1) // 4, p)  # sqrt for p = 3 (mod 4)
+        if y * y % p != rhs:
+            continue
+        candidate = CurvePoint(_RAW_CURVE, x, y, 1) * _COFACTOR
+        if not candidate.is_infinity():
+            affine = candidate.affine()
+            assert affine is not None
+            return affine
+    raise CurveError("no generator found (parameter bug)")
+
+
+# A throwaway params object for the search (generator validated after).
+_RAW_CURVE = CurveParams(name="ToyPairing-raw", base=TOY_PAIRING_FP, a=1,
+                         b=0, generator_x=0, generator_y=0,
+                         order=_R * _COFACTOR)
+
+_GX, _GY = _find_generator()
+
+#: The order-r subgroup of E(Fp): the pairing group G1 (and, through the
+#: distortion map, G2).
+TOY_PAIRING_CURVE = CurveParams(name="ToyPairing", base=TOY_PAIRING_FP,
+                                a=1, b=0, generator_x=_GX,
+                                generator_y=_GY, order=_R)
+
+
+class Fp2:
+    """GF(p^2) = GF(p)[i] / (i^2 + 1) — the pairing's target field."""
+
+    __slots__ = ("c0", "c1")
+
+    def __init__(self, c0: int, c1: int = 0):
+        self.c0 = c0 % _P
+        self.c1 = c1 % _P
+
+    @classmethod
+    def one(cls) -> "Fp2":
+        return cls(1, 0)
+
+    def __mul__(self, other: "Fp2") -> "Fp2":
+        a0, a1, b0, b1 = self.c0, self.c1, other.c0, other.c1
+        return Fp2(a0 * b0 - a1 * b1, a0 * b1 + a1 * b0)
+
+    def square(self) -> "Fp2":
+        a0, a1 = self.c0, self.c1
+        return Fp2((a0 + a1) * (a0 - a1), 2 * a0 * a1)
+
+    def conjugate(self) -> "Fp2":
+        return Fp2(self.c0, -self.c1)
+
+    def inverse(self) -> "Fp2":
+        norm = (self.c0 * self.c0 + self.c1 * self.c1) % _P
+        if norm == 0:
+            raise CurveError("zero has no inverse in Fp2")
+        inv = pow(norm, -1, _P)
+        return Fp2(self.c0 * inv, -self.c1 * inv)
+
+    def pow(self, exponent: int) -> "Fp2":
+        result = Fp2.one()
+        base = self
+        e = exponent
+        while e:
+            if e & 1:
+                result = result * base
+            base = base.square()
+            e >>= 1
+        return result
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, Fp2) and self.c0 == other.c0
+                and self.c1 == other.c1)
+
+    def __hash__(self) -> int:
+        return hash((self.c0, self.c1))
+
+    def __repr__(self) -> str:
+        return f"Fp2({self.c0} + {self.c1}i)"
+
+
+def distortion_ok(point: CurvePoint) -> bool:
+    """Check phi(x, y) = (-x, i*y) lands on E over Fp2.
+
+    ``(i*y)^2 = -y^2 = -(x^3 + x) = (-x)^3 + (-x)`` — the defining
+    property of the distortion map, verified numerically.
+    """
+    affine = point.affine()
+    if affine is None:
+        return True
+    x, y = affine
+    lhs = Fp2(0, y).square()
+    minus_x = (-x) % _P
+    rhs = Fp2(minus_x ** 3 + minus_x)  # (-x)^3 + (-x), purely real
+    return lhs == rhs
+
+
+def _line(t: tuple[int, int], s: tuple[int, int],
+          q: tuple[int, int]) -> Fp2:
+    """Evaluate the line through T and S at the distorted point phi(Q).
+
+    ``phi(Q) = (-xq, i*yq)``: the value is ``i*yq - yT - lambda*(-xq -
+    xT)``, an Fp2 element with imaginary part ``yq``.  Vertical lines
+    (and the tangent at a 2-torsion point) return 1 — denominator
+    elimination for even embedding degree.
+    """
+    xt, yt = t
+    xs, ys = s
+    xq, yq = q
+    p = _P
+    if t == s:
+        if yt == 0:
+            return Fp2.one()
+        slope = (3 * xt * xt + 1) * pow(2 * yt, -1, p) % p
+    else:
+        if xt == xs:
+            return Fp2.one()
+        slope = (ys - yt) * pow(xs - xt, -1, p) % p
+    real = (-yt - slope * ((-xq - xt) % p)) % p
+    return Fp2(real, yq)
+
+
+def tate_pairing(p_point: CurvePoint, q_point: CurvePoint) -> Fp2:
+    """The reduced Tate pairing ``e(P, phi(Q))`` for P, Q in E(Fp)[r].
+
+    Returns an element of the order-r subgroup of Fp2* (mu_r);
+    ``e(aP, bQ) = e(P, Q)^(a*b)`` and ``e(G, G) != 1``.
+    """
+    for point in (p_point, q_point):
+        if point.curve != TOY_PAIRING_CURVE:
+            raise CurveError("pairing inputs must lie on the toy "
+                             "pairing curve")
+    if p_point.is_infinity() or q_point.is_infinity():
+        return Fp2.one()
+    p_affine = p_point.affine()
+    q_affine = q_point.affine()
+    assert p_affine is not None and q_affine is not None
+
+    # Miller loop over the bits of r (MSB first, skipping the top bit).
+    f = Fp2.one()
+    t = p_affine
+    for bit in bin(_R)[3:]:
+        f = f.square() * _line(t, t, q_affine)
+        t = _double(t)
+        if bit == "1" and t is not None:
+            f = f * _line(t, p_affine, q_affine)
+            t = _add(t, p_affine)
+        if t is None:
+            t = p_affine  # unreachable for prime r; keeps types tight
+    # Final exponentiation: (p^2 - 1)/r = (p - 1) * (p + 1)/r.
+    f = f.conjugate() * f.inverse()          # f^(p-1)
+    return f.pow((_P + 1) // _R)
+
+
+def _double(t: tuple[int, int]) -> tuple[int, int] | None:
+    x, y = t
+    p = _P
+    if y == 0:
+        return None
+    slope = (3 * x * x + 1) * pow(2 * y, -1, p) % p
+    x3 = (slope * slope - 2 * x) % p
+    return x3, (slope * (x - x3) - y) % p
+
+
+def _add(t: tuple[int, int], s: tuple[int, int]) -> tuple[int, int] | None:
+    if t == s:
+        return _double(t)
+    xt, yt = t
+    xs, ys = s
+    p = _P
+    if xt == xs:
+        return None
+    slope = (ys - yt) * pow(xs - xt, -1, p) % p
+    x3 = (slope * slope - xt - xs) % p
+    return x3, (slope * (xt - x3) - yt) % p
+
+
+def kzg_check_with_pairing(srs: ProvingKey, commitment: CurvePoint,
+                           opening: KzgOpening) -> bool:
+    """Witness-free, trapdoor-free KZG verification.
+
+    Checks ``e(C - [v]G, phi(G)) == e(W, phi([tau]G - [z]G))`` — by
+    bilinearity this holds iff ``dlog(C) - v == dlog(W) * (tau - z)``,
+    i.e. iff the opened value is the committed polynomial's evaluation.
+    The SRS must live on :data:`TOY_PAIRING_CURVE` (BabyBear scalars).
+    """
+    if srs.curve != TOY_PAIRING_CURVE:
+        raise CurveError("pairing verification needs a toy-pairing-curve "
+                         "SRS (scalars in BabyBear)")
+    if srs.size < 2:
+        raise CurveError("SRS must contain [tau]G (size >= 2)")
+    g = srs.curve.generator()
+    tau_g = srs.tau_powers[1]
+    lhs = tate_pairing(commitment - g * opening.value, g)
+    rhs = tate_pairing(opening.witness, tau_g - g * opening.point)
+    return lhs == rhs

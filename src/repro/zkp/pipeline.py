@@ -1,0 +1,131 @@
+"""End-to-end proof-generation time model.
+
+Combines the NTT engine cost profiles with the MSM work model to
+estimate full Groth16-style proving time on a machine — the experiment
+that motivates the paper: once MSM is multi-GPU, the single-GPU NTT
+dominates, and only a multi-GPU NTT removes the Amdahl wall.
+
+The per-proof operation mix comes from a
+:class:`~repro.zkp.profiles.ProofSystemProfile` (Groth16 by default:
+3 INTTs + 3 coset NTTs + 1 coset INTT and 4 MSMs, all relative to the
+``n``-point constraint domain; PLONK adds 4n-sized quotient work and 9
+MSMs).  Coset shift scalings are an extra pointwise pass for engines
+that cannot fuse twiddle-like scalings, and free for those that can.
+MSMs run over the BN254 base field, optionally split across all GPUs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ProverError
+from repro.field.presets import BN254_FR
+from repro.field.prime_field import PrimeField
+from repro.hw.cost import CostModel
+from repro.hw.model import MachineModel
+from repro.multigpu.base import DistributedNTTEngine
+from repro.ntt.polymul import next_power_of_two
+from repro.zkp.msm import MsmWorkModel
+from repro.zkp.profiles import GROTH16_PROFILE, ProofSystemProfile
+
+__all__ = ["ProofCostEstimate", "EndToEndModel"]
+
+
+@dataclass(frozen=True)
+class ProofCostEstimate:
+    """Seconds per proof, split by kernel family."""
+
+    constraints: int
+    domain_size: int
+    ntt_s: float
+    msm_s: float
+    witness_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.ntt_s + self.msm_s + self.witness_s
+
+    def ntt_fraction(self) -> float:
+        return self.ntt_s / self.total_s if self.total_s else 0.0
+
+
+class EndToEndModel:
+    """Prices a full proof on one machine with one NTT engine choice."""
+
+    def __init__(self, machine: MachineModel,
+                 ntt_engine: DistributedNTTEngine,
+                 msm_gpus: int | None = None,
+                 field: PrimeField = BN254_FR,
+                 msm_model: MsmWorkModel | None = None,
+                 profile: ProofSystemProfile = GROTH16_PROFILE):
+        if msm_gpus is not None and msm_gpus < 1:
+            raise ProverError(f"msm_gpus must be >= 1, got {msm_gpus}")
+        self.machine = machine
+        self.engine = ntt_engine
+        self.field = field
+        self.msm_gpus = msm_gpus if msm_gpus is not None \
+            else machine.gpu_count
+        self.msm_model = msm_model or MsmWorkModel()
+        self.profile = profile
+        self._cost = CostModel(machine, field)
+        #: Base-field multiplier throughput (MSMs run in BN254-Fp: 4 limbs).
+        self._base_mul_per_s = machine.gpu.field_mul_per_s(4)
+
+    # -- per-kernel pieces --------------------------------------------------
+
+    def ntt_seconds(self, domain_size: int) -> float:
+        """Seconds for the profile's transforms on the bound engine."""
+        total = 0.0
+        for op in self.profile.transforms:
+            size = op.size_factor * domain_size
+            breakdown = self.engine.estimate(self.machine, size,
+                                             inverse=op.inverse)
+            total += breakdown.total_s
+            if op.coset:
+                total += self._coset_scale_seconds(size)
+        return total
+
+    def _coset_scale_seconds(self, domain_size: int) -> float:
+        """Cost of the coset shift scaling; free when the engine fuses it."""
+        options = getattr(self.engine, "options", None)
+        if options is not None and options.fused_twiddle:
+            return 0.0
+        shard = domain_size // self.machine.gpu_count
+        return self._cost.memory_seconds(
+            2 * shard * self._cost.element_bytes)
+
+    def msm_seconds(self, domain_size: int) -> float:
+        """Seconds for the profile's commitment MSMs."""
+        total = 0.0
+        for size in self.profile.msm_sizes(domain_size):
+            if self.msm_gpus > 1:
+                muls = self.msm_model.field_muls_multi_gpu(
+                    size, self.msm_gpus)
+                # one tiny result reduction per MSM
+                total += self.machine.interconnect.latency
+            else:
+                muls = self.msm_model.field_muls(size)
+            total += muls / self._base_mul_per_s
+        return total
+
+    def witness_seconds(self, constraints: int) -> float:
+        """Witness-row evaluation: one sparse dot pass, memory-bound."""
+        # ~3 sparse rows of a handful of terms each, streamed once.
+        nbytes = 6 * constraints * self._cost.element_bytes
+        return nbytes / self.machine.gpu.hbm_bandwidth
+
+    # -- the headline number --------------------------------------------------
+
+    def proof_cost(self, constraints: int) -> ProofCostEstimate:
+        """Estimated proof-generation time for a circuit size."""
+        if constraints < 1:
+            raise ProverError(
+                f"constraints must be >= 1, got {constraints}")
+        n = next_power_of_two(constraints)
+        return ProofCostEstimate(
+            constraints=constraints,
+            domain_size=n,
+            ntt_s=self.ntt_seconds(n),
+            msm_s=self.msm_seconds(n),
+            witness_s=self.witness_seconds(constraints),
+        )

@@ -1,0 +1,215 @@
+"""Dense univariate polynomials over a prime field.
+
+Coefficient lists are little-endian (``coeffs[i]`` multiplies ``x^i``)
+and normalized (no trailing zeros; the zero polynomial is ``[]``).
+Products use the NTT convolution for sizes where it pays and schoolbook
+below that, so the algebra exercises the same transform stack the rest
+of the library models.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import NTTError, ReproError
+from repro.field.prime_field import PrimeField
+from repro.ntt import polymul
+from repro.zkp.domain import EvaluationDomain
+
+__all__ = ["Polynomial"]
+
+_NTT_THRESHOLD = 64  # schoolbook below this output size
+
+
+class Polynomial:
+    """An immutable dense polynomial."""
+
+    __slots__ = ("field", "coeffs")
+
+    def __init__(self, field: PrimeField, coeffs: Sequence[int]):
+        p = field.modulus
+        normalized = [c % p for c in coeffs]
+        while normalized and normalized[-1] == 0:
+            normalized.pop()
+        self.field = field
+        self.coeffs = tuple(normalized)
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def zero(cls, field: PrimeField) -> "Polynomial":
+        return cls(field, [])
+
+    @classmethod
+    def one(cls, field: PrimeField) -> "Polynomial":
+        return cls(field, [1])
+
+    @classmethod
+    def monomial(cls, field: PrimeField, degree: int,
+                 coefficient: int = 1) -> "Polynomial":
+        """``coefficient * x^degree``."""
+        if degree < 0:
+            raise ReproError(f"degree must be non-negative, got {degree}")
+        return cls(field, [0] * degree + [coefficient])
+
+    @classmethod
+    def vanishing(cls, field: PrimeField, domain_size: int) -> "Polynomial":
+        """``x^n - 1``, the vanishing polynomial of a size-n domain."""
+        return cls(field, [field.modulus - 1] + [0] * (domain_size - 1) + [1])
+
+    @classmethod
+    def interpolate(cls, domain: EvaluationDomain,
+                    evaluations: Sequence[int]) -> "Polynomial":
+        """The unique degree < n polynomial with the given domain values."""
+        return cls(domain.field, domain.intt(evaluations))
+
+    # -- structure ----------------------------------------------------------------
+
+    @property
+    def degree(self) -> int:
+        """Degree; -1 for the zero polynomial."""
+        return len(self.coeffs) - 1
+
+    def is_zero(self) -> bool:
+        return not self.coeffs
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, Polynomial)
+                and other.field == self.field
+                and other.coeffs == self.coeffs)
+
+    def __hash__(self) -> int:
+        return hash((self.field.modulus, self.coeffs))
+
+    def __repr__(self) -> str:
+        if self.is_zero():
+            return f"Polynomial(0 over {self.field.name})"
+        return (f"Polynomial(degree={self.degree}, "
+                f"over {self.field.name})")
+
+    # -- ring operations ---------------------------------------------------------------
+
+    def _check_field(self, other: "Polynomial") -> None:
+        if other.field != self.field:
+            raise ReproError("cannot mix polynomials over different fields")
+
+    def __add__(self, other: "Polynomial") -> "Polynomial":
+        self._check_field(other)
+        p = self.field.modulus
+        a, b = self.coeffs, other.coeffs
+        if len(a) < len(b):
+            a, b = b, a
+        out = list(a)
+        for i, c in enumerate(b):
+            out[i] = (out[i] + c) % p
+        return Polynomial(self.field, out)
+
+    def __sub__(self, other: "Polynomial") -> "Polynomial":
+        return self + (-other)
+
+    def __neg__(self) -> "Polynomial":
+        p = self.field.modulus
+        return Polynomial(self.field, [(p - c) % p for c in self.coeffs])
+
+    def __mul__(self, other: "Polynomial | int") -> "Polynomial":
+        if isinstance(other, int):
+            return self.scale(other)
+        self._check_field(other)
+        if self.is_zero() or other.is_zero():
+            return Polynomial.zero(self.field)
+        out_len = len(self.coeffs) + len(other.coeffs) - 1
+        if out_len < _NTT_THRESHOLD:
+            return self._schoolbook_mul(other)
+        return Polynomial(self.field, polymul.poly_multiply(
+            self.field, list(self.coeffs), list(other.coeffs)))
+
+    __rmul__ = __mul__
+
+    def _schoolbook_mul(self, other: "Polynomial") -> "Polynomial":
+        p = self.field.modulus
+        out = [0] * (len(self.coeffs) + len(other.coeffs) - 1)
+        for i, a in enumerate(self.coeffs):
+            if a == 0:
+                continue
+            for j, b in enumerate(other.coeffs):
+                out[i + j] = (out[i + j] + a * b) % p
+        return Polynomial(self.field, out)
+
+    def scale(self, scalar: int) -> "Polynomial":
+        """Multiply every coefficient by a field scalar."""
+        p = self.field.modulus
+        s = scalar % p
+        return Polynomial(self.field, [c * s % p for c in self.coeffs])
+
+    def shift(self, amount: int) -> "Polynomial":
+        """Multiply by ``x^amount``."""
+        if amount < 0:
+            raise ReproError(f"shift must be non-negative, got {amount}")
+        if self.is_zero():
+            return self
+        return Polynomial(self.field, [0] * amount + list(self.coeffs))
+
+    def divmod(self, divisor: "Polynomial") -> tuple["Polynomial", "Polynomial"]:
+        """Euclidean division: self = q * divisor + r, deg r < deg divisor."""
+        self._check_field(divisor)
+        if divisor.is_zero():
+            raise ZeroDivisionError("polynomial division by zero")
+        p = self.field.modulus
+        remainder = list(self.coeffs)
+        d = divisor.degree
+        lead_inv = self.field.inv(divisor.coeffs[-1])
+        quotient = [0] * max(len(remainder) - d, 0)
+        for i in range(len(remainder) - 1, d - 1, -1):
+            coeff = remainder[i]
+            if coeff == 0:
+                continue
+            q = coeff * lead_inv % p
+            quotient[i - d] = q
+            for j, dc in enumerate(divisor.coeffs):
+                remainder[i - d + j] = (remainder[i - d + j] - q * dc) % p
+        return (Polynomial(self.field, quotient),
+                Polynomial(self.field, remainder))
+
+    def __floordiv__(self, divisor: "Polynomial") -> "Polynomial":
+        return self.divmod(divisor)[0]
+
+    def __mod__(self, divisor: "Polynomial") -> "Polynomial":
+        return self.divmod(divisor)[1]
+
+    def divide_by_vanishing(self, domain_size: int) -> "Polynomial":
+        """Exact division by ``x^n - 1``; raises if not divisible."""
+        quotient, remainder = self.divmod(
+            Polynomial.vanishing(self.field, domain_size))
+        if not remainder.is_zero():
+            raise NTTError(
+                "polynomial is not divisible by the vanishing polynomial")
+        return quotient
+
+    # -- evaluation ---------------------------------------------------------------------
+
+    def evaluate(self, point: int) -> int:
+        """Horner evaluation at a single point."""
+        p = self.field.modulus
+        acc = 0
+        for c in reversed(self.coeffs):
+            acc = (acc * point + c) % p
+        return acc
+
+    def evaluate_over(self, domain: EvaluationDomain) -> list[int]:
+        """All values on a domain via NTT (degree must be < n)."""
+        if self.degree >= domain.size:
+            raise NTTError(
+                f"degree {self.degree} polynomial does not fit a "
+                f"size-{domain.size} domain")
+        padded = list(self.coeffs) + [0] * (domain.size - len(self.coeffs))
+        return domain.ntt(padded)
+
+    def evaluate_over_coset(self, domain: EvaluationDomain,
+                            shift: int) -> list[int]:
+        """All values on the coset ``shift * H`` via coset NTT."""
+        if self.degree >= domain.size:
+            raise NTTError(
+                f"degree {self.degree} polynomial does not fit a "
+                f"size-{domain.size} domain")
+        padded = list(self.coeffs) + [0] * (domain.size - len(self.coeffs))
+        return domain.coset_ntt(padded, shift)

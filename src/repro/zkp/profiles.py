@@ -1,0 +1,117 @@
+"""Proof-system workload profiles.
+
+Different SNARKs exercise the NTT/MSM substrate with different operation
+mixes.  A :class:`ProofSystemProfile` captures the per-proof recipe as
+counts relative to the constraint domain size ``n``, letting the
+end-to-end model price any system on any machine:
+
+* **Groth16** — the QAP quotient pipeline of :mod:`repro.zkp.qap`:
+  3 INTTs + 3 coset NTTs + 1 coset INTT (all size n) and 4 G1 MSMs.
+* **PLONK** (vanilla, 3 wires) — wire and grand-product interpolations
+  on n, quotient work on the 4n extended coset, and 9 commitments
+  (wires, z, three quotient chunks, two opening proofs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ProverError
+
+__all__ = ["TransformOp", "ProofSystemProfile", "GROTH16_PROFILE",
+           "PLONK_PROFILE", "ALL_PROFILES", "profile_by_name"]
+
+
+@dataclass(frozen=True)
+class TransformOp:
+    """One NTT-type operation in a proof recipe.
+
+    ``size_factor`` scales the transform relative to the constraint
+    domain (PLONK's quotient domain is 4n); ``coset`` marks the extra
+    shift scaling an engine without twiddle fusion pays separately.
+    """
+
+    inverse: bool
+    coset: bool
+    size_factor: int = 1
+
+    def __post_init__(self) -> None:
+        if self.size_factor < 1 or self.size_factor & (self.size_factor - 1):
+            raise ProverError(
+                f"size_factor must be a power of two, got "
+                f"{self.size_factor}")
+
+
+@dataclass(frozen=True)
+class ProofSystemProfile:
+    """A proof system's per-proof NTT and MSM recipe."""
+
+    name: str
+    transforms: tuple[TransformOp, ...]
+    msm_size_factors: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.transforms or not self.msm_size_factors:
+            raise ProverError(f"profile {self.name!r} must have at least "
+                              f"one transform and one MSM")
+
+    @property
+    def transform_count(self) -> int:
+        return len(self.transforms)
+
+    @property
+    def msm_count(self) -> int:
+        return len(self.msm_size_factors)
+
+    def transform_sizes(self, domain_size: int) -> list[int]:
+        """Concrete transform sizes for a constraint domain of n."""
+        return [op.size_factor * domain_size for op in self.transforms]
+
+    def msm_sizes(self, domain_size: int) -> list[int]:
+        """Concrete MSM sizes for a constraint domain of n."""
+        return [factor * domain_size for factor in self.msm_size_factors]
+
+
+#: Groth16: the pipeline of :meth:`repro.zkp.qap.QAP.witness_polynomials`.
+GROTH16_PROFILE = ProofSystemProfile(
+    name="groth16",
+    transforms=(
+        TransformOp(inverse=True, coset=False),    # A rows -> coeffs
+        TransformOp(inverse=True, coset=False),    # B rows -> coeffs
+        TransformOp(inverse=True, coset=False),    # C rows -> coeffs
+        TransformOp(inverse=False, coset=True),    # A onto coset
+        TransformOp(inverse=False, coset=True),    # B onto coset
+        TransformOp(inverse=False, coset=True),    # C onto coset
+        TransformOp(inverse=True, coset=True),     # H back to coeffs
+    ),
+    msm_size_factors=(1, 1, 1, 1),                  # [A], [B], [C], [H]
+)
+
+#: Vanilla 3-wire PLONK with a 4n quotient domain.
+PLONK_PROFILE = ProofSystemProfile(
+    name="plonk",
+    transforms=(
+        TransformOp(inverse=True, coset=False),              # wire a
+        TransformOp(inverse=True, coset=False),              # wire b
+        TransformOp(inverse=True, coset=False),              # wire c
+        TransformOp(inverse=True, coset=False),              # grand prod z
+        TransformOp(inverse=False, coset=True, size_factor=4),  # a on 4n
+        TransformOp(inverse=False, coset=True, size_factor=4),  # b on 4n
+        TransformOp(inverse=False, coset=True, size_factor=4),  # c on 4n
+        TransformOp(inverse=False, coset=True, size_factor=4),  # z on 4n
+        TransformOp(inverse=True, coset=True, size_factor=4),   # t back
+    ),
+    # wires a, b, c; z; t_lo, t_mid, t_hi; opening proofs W_z, W_zw.
+    msm_size_factors=(1, 1, 1, 1, 1, 1, 1, 1, 1),
+)
+
+ALL_PROFILES = (GROTH16_PROFILE, PLONK_PROFILE)
+
+
+def profile_by_name(name: str) -> ProofSystemProfile:
+    """Look up a proof-system profile by name."""
+    for profile in ALL_PROFILES:
+        if profile.name == name:
+            return profile
+    raise KeyError(f"no profile named {name!r}; "
+                   f"known: {[p.name for p in ALL_PROFILES]}")

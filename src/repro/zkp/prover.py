@@ -1,0 +1,164 @@
+"""A Groth16-style prover over BN254.
+
+The full Groth16 protocol wraps the QAP quotient computation in a
+pairing-based argument.  This reproduction implements the *prover's
+computational pipeline* faithfully — the part the paper accelerates —
+over the real BN254 G1 group:
+
+* a powers-of-tau setup (:class:`ProvingKey`), kept toy-transparent: the
+  test harness retains the trapdoor so proofs can be checked without
+  pairings;
+* :meth:`Prover.prove`: seven NTTs (via :class:`repro.zkp.qap.QAP`) and
+  four Pippenger MSMs producing commitments to A, B, C and H;
+* :meth:`Prover.check`: the pairing-free verification used in tests —
+  the QAP identity ``A(tau)*B(tau) - C(tau) = H(tau)*Z(tau)`` evaluated
+  at the trapdoor, plus the check that each commitment equals the
+  claimed polynomial's evaluation in the exponent.
+
+Pairing-based verification changes nothing about proof *generation*
+cost, which is the quantity under study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ProverError
+from repro.field.presets import BN254_FR
+from repro.zkp.curve import BN254_G1, CurveParams, CurvePoint
+from repro.zkp.msm import msm_pippenger
+from repro.zkp.polynomial import Polynomial
+from repro.zkp.qap import QAP, QapWitnessPolynomials
+
+__all__ = ["ProvingKey", "Proof", "Prover", "trusted_setup"]
+
+
+@dataclass(frozen=True)
+class ProvingKey:
+    """Powers of tau in G1: ``[tau^i] G`` for ``i < size``."""
+
+    curve: CurveParams
+    tau_powers: tuple[CurvePoint, ...]
+
+    @property
+    def size(self) -> int:
+        return len(self.tau_powers)
+
+    def commit(self, poly: Polynomial) -> CurvePoint:
+        """KZG-style commitment ``[poly(tau)] G`` by MSM."""
+        if poly.degree >= self.size:
+            raise ProverError(
+                f"polynomial degree {poly.degree} exceeds setup size "
+                f"{self.size}")
+        if poly.is_zero():
+            return self.curve.infinity()
+        coeffs = list(poly.coeffs)
+        return msm_pippenger(self.curve, coeffs,
+                             list(self.tau_powers[:len(coeffs)]))
+
+
+def trusted_setup(size: int, tau: int,
+                  curve: CurveParams = BN254_G1) -> ProvingKey:
+    """Generate ``[tau^i] G`` for i < size (toy ceremony; tau is the
+    trapdoor the caller must keep for :meth:`Prover.check`)."""
+    if size < 1:
+        raise ProverError(f"setup size must be >= 1, got {size}")
+    tau %= curve.order
+    if tau == 0:
+        raise ProverError("tau must be non-zero")
+    generator = curve.generator()
+    powers = []
+    acc = 1
+    for _ in range(size):
+        powers.append(generator * acc)
+        acc = acc * tau % curve.order
+    return ProvingKey(curve=curve, tau_powers=tuple(powers))
+
+
+@dataclass(frozen=True)
+class Proof:
+    """Commitments to the witness polynomials."""
+
+    commit_a: CurvePoint
+    commit_b: CurvePoint
+    commit_c: CurvePoint
+    commit_h: CurvePoint
+
+
+class Prover:
+    """Binds a QAP and a proving key; generates and checks proofs."""
+
+    def __init__(self, qap: QAP, key: ProvingKey):
+        if qap.field != BN254_FR:
+            raise ProverError(
+                f"the BN254 prover needs the BN254 scalar field, got "
+                f"{qap.field.name}")
+        if key.size < qap.domain.size:
+            raise ProverError(
+                f"setup of size {key.size} cannot commit degree "
+                f"{qap.domain.size - 1} polynomials")
+        self.qap = qap
+        self.key = key
+
+    def prove(self, witness: Sequence[int],
+              blinding: tuple[int, int] | None = None,
+              ) -> tuple[Proof, QapWitnessPolynomials]:
+        """Generate a proof: 7 NTTs + 4 MSMs.
+
+        ``blinding = (r, s)`` applies the standard zero-knowledge
+        randomization: ``A' = A + r*Z`` and ``B' = B + s*Z`` hide the
+        witness polynomials behind uniformly random multiples of the
+        vanishing polynomial, and the quotient updates to
+        ``H' = H + r*B + s*A + r*s*Z`` so the QAP identity
+        ``A'*B' - C = H'*Z`` still holds exactly.  Requires one extra
+        power in the setup (degree n polynomials).
+
+        Returns the proof and the intermediate polynomials (the latter
+        so tests and the pipeline model can inspect the workload).
+        """
+        import dataclasses
+
+        polys = self.qap.witness_polynomials(witness)
+        if blinding is not None:
+            field = self.qap.field
+            r, s = (value % field.modulus for value in blinding)
+            z = Polynomial.vanishing(field, self.qap.domain.size)
+            if self.key.size <= self.qap.domain.size:
+                raise ProverError(
+                    "blinding needs a setup of size domain+1 "
+                    f"(degree-{self.qap.domain.size} polynomials)")
+            blinded_h = (polys.h + polys.b.scale(r) + polys.a.scale(s)
+                         + z.scale(r * s % field.modulus))
+            polys = dataclasses.replace(
+                polys, a=polys.a + z.scale(r), b=polys.b + z.scale(s),
+                h=blinded_h)
+        proof = Proof(
+            commit_a=self.key.commit(polys.a),
+            commit_b=self.key.commit(polys.b),
+            commit_c=self.key.commit(polys.c),
+            commit_h=self.key.commit(polys.h),
+        )
+        return proof, polys
+
+    def check(self, proof: Proof, polys: QapWitnessPolynomials,
+              tau: int) -> bool:
+        """Pairing-free proof check using the setup trapdoor.
+
+        1. each commitment opens to the claimed polynomial at tau;
+        2. the QAP identity holds at tau:
+           ``A(tau)*B(tau) - C(tau) == H(tau) * Z(tau)``.
+        """
+        field = self.qap.field
+        p = field.modulus
+        tau %= p
+        generator = self.key.curve.generator()
+        values = [poly.evaluate(tau) for poly in polys.all()]
+        commitments = (proof.commit_a, proof.commit_b, proof.commit_c,
+                       proof.commit_h)
+        for value, commitment in zip(values, commitments):
+            if generator * value != commitment:
+                return False
+        a_val, b_val, c_val, h_val = values
+        z_val = self.qap.domain.vanishing_eval(tau)
+        return (a_val * b_val - c_val) % p == h_val * z_val % p

@@ -1,0 +1,144 @@
+"""Quadratic Arithmetic Programs: the R1CS-to-polynomial transform.
+
+Groth16 proves an R1CS by encoding it over an evaluation domain H of
+size ``n >= #constraints``: constraint i lives at the domain point
+``w^i``, so the witness-combined polynomials
+
+    ``A(x) = sum_j w_j A_j(x)``  (and B, C analogously)
+
+satisfy ``A(w^i) * B(w^i) = C(w^i)`` for every i, i.e. ``A*B - C`` is
+divisible by the vanishing polynomial ``Z(x) = x^n - 1``.  The prover's
+job — and the NTT workload this library accelerates — is computing the
+quotient ``H = (A*B - C) / Z``:
+
+1. three size-n **INTTs** turn the witness-combined evaluation rows into
+   coefficient form;
+2. three size-n **coset NTTs** re-evaluate A, B, C on a coset ``g*H``
+   (where Z is the non-zero constant ``g^n - 1``);
+3. a pointwise combine and one **coset INTT** recover H's coefficients.
+
+Seven transforms per proof — the operation profile the end-to-end
+benchmark charges to the NTT engines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import CircuitError
+from repro.ntt.polymul import next_power_of_two
+from repro.zkp.domain import EvaluationDomain
+from repro.zkp.polynomial import Polynomial
+from repro.zkp.r1cs import R1CS
+
+__all__ = ["QAP", "QapWitnessPolynomials"]
+
+
+@dataclass(frozen=True)
+class QapWitnessPolynomials:
+    """The prover's intermediate polynomials for one witness."""
+
+    a: Polynomial
+    b: Polynomial
+    c: Polynomial
+    h: Polynomial
+
+    def all(self) -> tuple[Polynomial, Polynomial, Polynomial, Polynomial]:
+        return (self.a, self.b, self.c, self.h)
+
+
+class QAP:
+    """A QAP instance derived from an R1CS."""
+
+    def __init__(self, r1cs: R1CS, domain: EvaluationDomain | None = None):
+        if not r1cs.constraints:
+            raise CircuitError("cannot build a QAP from an empty R1CS")
+        size = next_power_of_two(len(r1cs.constraints))
+        if domain is None:
+            domain = EvaluationDomain(r1cs.field, size)
+        elif domain.size < len(r1cs.constraints):
+            raise CircuitError(
+                f"domain of size {domain.size} cannot host "
+                f"{len(r1cs.constraints)} constraints")
+        self.r1cs = r1cs
+        self.domain = domain
+        self.field = r1cs.field
+
+    def __repr__(self) -> str:
+        return (f"QAP({len(self.r1cs.constraints)} constraints over "
+                f"domain size {self.domain.size})")
+
+    # -- witness evaluation rows ------------------------------------------------
+
+    def witness_rows(self, witness: Sequence[int]) -> tuple[
+            list[int], list[int], list[int]]:
+        """Evaluations of A, B, C on the domain for one witness.
+
+        Row i is the sparse dot product of constraint i with the
+        witness; rows beyond the constraint count are the zero padding
+        of the 0 * 0 = 0 dummy constraints.
+        """
+        self.r1cs.check_witness_shape(witness)
+        n = self.domain.size
+        a_rows = [0] * n
+        b_rows = [0] * n
+        c_rows = [0] * n
+        for i, constraint in enumerate(self.r1cs.constraints):
+            a_rows[i] = self.r1cs.eval_lc(constraint.a, witness)
+            b_rows[i] = self.r1cs.eval_lc(constraint.b, witness)
+            c_rows[i] = self.r1cs.eval_lc(constraint.c, witness)
+        return a_rows, b_rows, c_rows
+
+    # -- the quotient computation --------------------------------------------------
+
+    def witness_polynomials(self, witness: Sequence[int]) -> QapWitnessPolynomials:
+        """Run the seven-transform prover pipeline for one witness.
+
+        Raises :class:`CircuitError` if the witness does not satisfy the
+        R1CS (the quotient would not be a polynomial).
+        """
+        if not self.r1cs.is_satisfied(witness):
+            raise CircuitError("witness does not satisfy the R1CS")
+        field = self.field
+        p = field.modulus
+        domain = self.domain
+        a_rows, b_rows, c_rows = self.witness_rows(witness)
+
+        # (1) three INTTs: evaluations -> coefficients.
+        a_poly = Polynomial(field, domain.intt(a_rows))
+        b_poly = Polynomial(field, domain.intt(b_rows))
+        c_poly = Polynomial(field, domain.intt(c_rows))
+
+        # (2) three coset NTTs: A*B - C has degree up to 2n-2, but the
+        # quotient H has degree <= n-2, so n coset points suffice and Z
+        # is the constant g^n - 1 there.
+        shift = domain.default_coset_shift()
+        z_inv = field.inv(domain.vanishing_on_coset(shift))
+        a_coset = a_poly.evaluate_over_coset(domain, shift)
+        b_coset = b_poly.evaluate_over_coset(domain, shift)
+        c_coset = c_poly.evaluate_over_coset(domain, shift)
+
+        # (3) pointwise quotient + one coset INTT.
+        h_coset = [(a * b - c) % p * z_inv % p
+                   for a, b, c in zip(a_coset, b_coset, c_coset)]
+        h_poly = Polynomial(field, domain.coset_intt(h_coset, shift))
+        return QapWitnessPolynomials(a=a_poly, b=b_poly, c=c_poly, h=h_poly)
+
+    def check_divisibility(self, polys: QapWitnessPolynomials) -> bool:
+        """Verify ``A*B - C == H*Z`` exactly (coefficient-level check)."""
+        z = Polynomial.vanishing(self.field, self.domain.size)
+        lhs = polys.a * polys.b - polys.c
+        rhs = polys.h * z
+        return lhs == rhs
+
+    @property
+    def transform_count(self) -> int:
+        """NTT-type transforms per proof (the benchmark charge): 7."""
+        return 7
+
+    @property
+    def msm_sizes(self) -> list[int]:
+        """MSM sizes per proof: commitments to A, B, C, H."""
+        n = self.domain.size
+        return [n, n, n, n - 1]

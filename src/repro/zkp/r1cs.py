@@ -1,0 +1,122 @@
+"""Rank-1 Constraint Systems.
+
+An R1CS instance is a list of constraints ``<a_i, w> * <b_i, w> =
+<c_i, w>`` over a witness vector ``w`` whose slot 0 is the constant 1,
+followed by the public inputs, followed by private wires.  This is the
+circuit format Groth16 consumes and the unit the end-to-end benchmark
+sizes its workloads in (one constraint = one domain point).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.errors import CircuitError
+from repro.field.prime_field import PrimeField
+
+__all__ = ["LinearCombination", "Constraint", "R1CS"]
+
+#: Sparse linear combination: wire index -> coefficient.
+LinearCombination = Mapping[int, int]
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """One rank-1 constraint ``<a, w> * <b, w> = <c, w>``."""
+
+    a: tuple[tuple[int, int], ...]
+    b: tuple[tuple[int, int], ...]
+    c: tuple[tuple[int, int], ...]
+
+    @classmethod
+    def make(cls, a: LinearCombination, b: LinearCombination,
+             c: LinearCombination) -> "Constraint":
+        """Build a constraint from sparse dict combinations."""
+        def freeze(lc: LinearCombination) -> tuple[tuple[int, int], ...]:
+            return tuple(sorted((int(k), int(v)) for k, v in lc.items()))
+        return cls(a=freeze(a), b=freeze(b), c=freeze(c))
+
+
+class R1CS:
+    """A constraint system with witness allocation helpers."""
+
+    def __init__(self, field: PrimeField, num_public: int = 0):
+        if num_public < 0:
+            raise CircuitError("num_public cannot be negative")
+        self.field = field
+        self.num_public = num_public
+        # wire 0 is the constant 1; public wires are 1..num_public.
+        self.num_wires = 1 + num_public
+        self.constraints: list[Constraint] = []
+
+    def __repr__(self) -> str:
+        return (f"R1CS({len(self.constraints)} constraints, "
+                f"{self.num_wires} wires, {self.num_public} public, "
+                f"over {self.field.name})")
+
+    # -- construction ------------------------------------------------------------
+
+    def new_wire(self) -> int:
+        """Allocate a fresh private wire; returns its index."""
+        index = self.num_wires
+        self.num_wires += 1
+        return index
+
+    def add_constraint(self, a: LinearCombination, b: LinearCombination,
+                       c: LinearCombination) -> None:
+        """Append ``<a,w> * <b,w> = <c,w>``; validates wire indices."""
+        for lc in (a, b, c):
+            for wire in lc:
+                if not 0 <= wire < self.num_wires:
+                    raise CircuitError(
+                        f"constraint references wire {wire}; only "
+                        f"{self.num_wires} allocated")
+        self.constraints.append(Constraint.make(a, b, c))
+
+    def constrain_mul(self, x: int, y: int) -> int:
+        """Add ``z = x * y`` with a fresh output wire; returns z."""
+        z = self.new_wire()
+        self.add_constraint({x: 1}, {y: 1}, {z: 1})
+        return z
+
+    def constrain_square(self, x: int) -> int:
+        """Add ``z = x^2``; returns z."""
+        return self.constrain_mul(x, x)
+
+    def constrain_equal(self, x: int, y: int) -> None:
+        """Add ``x * 1 = y``."""
+        self.add_constraint({x: 1}, {0: 1}, {y: 1})
+
+    # -- evaluation -----------------------------------------------------------------
+
+    def eval_lc(self, lc: Sequence[tuple[int, int]],
+                witness: Sequence[int]) -> int:
+        """Evaluate a frozen linear combination against a witness."""
+        p = self.field.modulus
+        return sum(coeff * witness[wire] for wire, coeff in lc) % p
+
+    def is_satisfied(self, witness: Sequence[int]) -> bool:
+        """Check every constraint against a full witness vector."""
+        self.check_witness_shape(witness)
+        p = self.field.modulus
+        for constraint in self.constraints:
+            a = self.eval_lc(constraint.a, witness)
+            b = self.eval_lc(constraint.b, witness)
+            c = self.eval_lc(constraint.c, witness)
+            if a * b % p != c:
+                return False
+        return True
+
+    def check_witness_shape(self, witness: Sequence[int]) -> None:
+        if len(witness) != self.num_wires:
+            raise CircuitError(
+                f"witness has {len(witness)} entries, system has "
+                f"{self.num_wires} wires")
+        if witness[0] % self.field.modulus != 1:
+            raise CircuitError("witness slot 0 must be the constant 1")
+
+    def public_inputs(self, witness: Sequence[int]) -> list[int]:
+        """The public slice of a witness (excluding the constant 1)."""
+        self.check_witness_shape(witness)
+        return list(witness[1:1 + self.num_public])

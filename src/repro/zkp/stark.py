@@ -1,0 +1,293 @@
+"""A functional mini-STARK: trace -> composition -> FRI.
+
+The complete hash-based proving flow over a single-column algebraic
+execution trace, end to end and verifiable:
+
+* **AIR**: the trace obeys the nonlinear transition
+  ``t[i+1] = t[i]^2 + t[i]`` with public boundary values ``t[0]`` and
+  ``t[n-1]`` (a square-and-add chain; nonlinear so the composition
+  polynomial genuinely has degree ~2n and the quotient degree ~n).
+* **Commit**: interpolate the trace (INTT), low-degree-extend onto the
+  ``blowup``-times-larger coset (coset NTT), Merkle-commit.
+* **Compose**: with Fiat-Shamir challenges alpha, combine the transition
+  quotient ``C(x) / D(x)`` and the two boundary quotients pointwise on
+  the coset (batch-inverted denominators) into one polynomial Q of
+  degree < n.
+* **Prove low degree**: FRI over Q's coset evaluations, transcript-bound
+  to the trace commitment.
+* **Verify**: replay the transcript, check the FRI proof, and — the
+  consistency link — recompute Q at every FRI query position from
+  Merkle-opened trace values and compare against FRI's layer-0 leaves.
+
+This is the workload :mod:`repro.zkp.stark_model` prices and the
+protocol the paper's multi-GPU NTT accelerates in hash-based systems;
+DEEP-ALI sampling and multi-column traces are out of scope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ProverError
+from repro.field.prime_field import PrimeField
+from repro.ntt import coset as coset_mod
+from repro.ntt import radix2
+from repro.ntt.twiddle import default_cache
+from repro.zkp.fri import (
+    FriParameters, FriProof, FriProver, FriVerifier, Transcript,
+    fri_query_indices,
+)
+from repro.zkp.merkle import MerklePath, MerkleTree
+
+__all__ = ["SquareAffineAir", "StarkProof", "StarkProver", "StarkVerifier"]
+
+
+@dataclass(frozen=True)
+class SquareAffineAir:
+    """The AIR family ``t[i+1] = a*t[i]^2 + b*t[i] + c``.
+
+    Defaults give the square-and-add chain; any (a, b, c) with ``a != 0``
+    keeps the transition nonlinear (quotient degree ~n), and ``a = 0``
+    degenerates to an affine recurrence (still provable, trivial
+    quotient).  Boundaries ``t[0]`` and ``t[n-1]`` are public.
+    """
+
+    field: PrimeField
+    length: int  # trace length n (power of two)
+    quad: int = 1
+    linear: int = 1
+    constant: int = 0
+
+    def __post_init__(self) -> None:
+        if self.length < 4 or self.length & (self.length - 1):
+            raise ProverError(
+                f"trace length must be a power of two >= 4, got "
+                f"{self.length}")
+
+    def step(self, t: int) -> int:
+        """One application of the transition function."""
+        p = self.field.modulus
+        return (self.quad * t * t + self.linear * t + self.constant) % p
+
+    def trace_from_seed(self, seed: int) -> list[int]:
+        """Execute the chain for ``length`` steps."""
+        trace = [seed % self.field.modulus]
+        for _ in range(self.length - 1):
+            trace.append(self.step(trace[-1]))
+        return trace
+
+    def is_valid_trace(self, trace: list[int]) -> bool:
+        if len(trace) != self.length:
+            return False
+        return all(trace[i + 1] == self.step(trace[i])
+                   for i in range(self.length - 1))
+
+
+@dataclass(frozen=True)
+class StarkProof:
+    """Trace commitment, FRI proof, and trace openings at the queries."""
+
+    trace_root: bytes
+    boundary: tuple[int, int]            # public t[0], t[n-1]
+    fri_proof: FriProof
+    trace_openings: tuple[tuple[MerklePath, ...], ...]  # [query][4 paths]
+
+
+class _CosetGeometry:
+    """Shared precomputation: coset points and constraint denominators."""
+
+    def __init__(self, field: PrimeField, n: int, blowup: int,
+                 air: "SquareAffineAir | None" = None):
+        self.air = air
+        self.field = field
+        self.n = n
+        self.blowup = blowup
+        self.domain_size = n * blowup
+        p = field.modulus
+        self.shift = field.multiplicative_generator
+        self.omega_lde = field.root_of_unity(self.domain_size)
+        self.omega_trace = field.root_of_unity(n)
+        self.last_point = field.pow(self.omega_trace, n - 1)
+
+    def point(self, index: int) -> int:
+        """The index-th coset point ``g * w_L^index``."""
+        p = self.field.modulus
+        return self.shift * self.field.pow(self.omega_lde, index) % p
+
+    def composition_value(self, index: int, t_here: int, t_next: int,
+                          alphas: tuple[int, int, int],
+                          boundary: tuple[int, int]) -> int:
+        """Q at one coset point from the two trace values it needs.
+
+        ``t_next`` is the trace polynomial at ``w_trace * x``, which on
+        the LDE coset is position ``index + blowup`` (mod N).
+        """
+        field = self.field
+        p = field.modulus
+        x = self.point(index)
+        # Transition quotient:
+        # (T(wx) - step(T(x))) * (x - w^(n-1)) / Z(x).
+        z = (field.pow(x, self.n) - 1) % p
+        if self.air is not None:
+            numerator = (t_next - self.air.step(t_here)) % p
+        else:
+            numerator = (t_next - t_here * t_here - t_here) % p
+        transition = numerator * (x - self.last_point) % p \
+            * field.inv(z) % p
+        # Boundary quotients.
+        b0 = (t_here - boundary[0]) * field.inv((x - 1) % p) % p
+        b1 = (t_here - boundary[1]) * \
+            field.inv((x - self.last_point) % p) % p
+        a0, a1, a2 = alphas
+        return (a0 * transition + a1 * b0 + a2 * b1) % p
+
+
+def _fri_entry_transcript(field: PrimeField, root: bytes,
+                          boundary: tuple[int, int]) -> Transcript:
+    """The transcript state at the moment FRI begins: publics absorbed
+    and the three composition challenges drawn."""
+    transcript = Transcript(b"repro-stark")
+    transcript.absorb(root)
+    transcript.absorb_int(boundary[0])
+    transcript.absorb_int(boundary[1])
+    for _ in range(3):
+        transcript.challenge_field(field)
+    return transcript
+
+
+class StarkProver:
+    """Proves a trace satisfies :class:`SquareAffineAir`."""
+
+    def __init__(self, air: SquareAffineAir, blowup: int = 8,
+                 query_count: int = 20, final_degree: int = 8):
+        self.air = air
+        self.field = air.field
+        self.fri_params = FriParameters(
+            field=air.field, degree_bound=air.length, blowup=blowup,
+            final_degree=final_degree, query_count=query_count)
+        self.geometry = _CosetGeometry(air.field, air.length, blowup,
+                                       air=air)
+
+    def prove(self, trace: list[int]) -> StarkProof:
+        air = self.air
+        field = self.field
+        p = field.modulus
+        if not air.is_valid_trace(trace):
+            raise ProverError("trace does not satisfy the AIR")
+        n = air.length
+        geom = self.geometry
+        big_n = geom.domain_size
+        boundary = (trace[0], trace[-1])
+
+        # 1. interpolate + low-degree-extend + commit the trace.
+        coefficients = radix2.intt(field, trace, default_cache)
+        padded = coefficients + [0] * (big_n - n)
+        lde = coset_mod.coset_ntt(field, padded, geom.shift,
+                                  default_cache)
+        trace_tree = MerkleTree(lde)
+
+        # 2. Fiat-Shamir: bind trace commitment + publics, draw alphas.
+        transcript = Transcript(b"repro-stark")
+        transcript.absorb(trace_tree.root)
+        transcript.absorb_int(boundary[0])
+        transcript.absorb_int(boundary[1])
+        alphas = (transcript.challenge_field(field),
+                  transcript.challenge_field(field),
+                  transcript.challenge_field(field))
+
+        # 3. composition polynomial, pointwise on the coset.
+        composition = [
+            geom.composition_value(
+                i, lde[i], lde[(i + geom.blowup) % big_n], alphas,
+                boundary)
+            for i in range(big_n)
+        ]
+
+        # 4. FRI over the composition, continuing the same transcript.
+        fri_proof = FriProver(self.fri_params).prove_evaluations(
+            composition, transcript=transcript)
+
+        # 5. open the trace wherever FRI queried the composition.
+        indices = fri_query_indices(
+            self.fri_params, fri_proof,
+            transcript=_fri_entry_transcript(field, trace_tree.root,
+                                             boundary))
+        openings = []
+        half = big_n // 2
+        for index in indices:
+            positions = (index, (index + geom.blowup) % big_n,
+                         index + half,
+                         (index + half + geom.blowup) % big_n)
+            openings.append(tuple(trace_tree.open(pos)
+                                  for pos in positions))
+        return StarkProof(trace_root=trace_tree.root, boundary=boundary,
+                          fri_proof=fri_proof,
+                          trace_openings=tuple(openings))
+
+
+
+class StarkVerifier:
+    """Checks a :class:`StarkProof` without seeing the trace."""
+
+    def __init__(self, air: SquareAffineAir, blowup: int = 8,
+                 query_count: int = 20, final_degree: int = 8):
+        self.air = air
+        self.field = air.field
+        self.fri_params = FriParameters(
+            field=air.field, degree_bound=air.length, blowup=blowup,
+            final_degree=final_degree, query_count=query_count)
+        self.geometry = _CosetGeometry(air.field, air.length, blowup,
+                                       air=air)
+
+    def verify(self, proof: StarkProof) -> bool:
+        field = self.field
+        geom = self.geometry
+        big_n = geom.domain_size
+
+        # Replay the transcript up to the alphas.
+        transcript = Transcript(b"repro-stark")
+        transcript.absorb(proof.trace_root)
+        transcript.absorb_int(proof.boundary[0])
+        transcript.absorb_int(proof.boundary[1])
+        alphas = (transcript.challenge_field(field),
+                  transcript.challenge_field(field),
+                  transcript.challenge_field(field))
+
+        # FRI accepts the composition as low-degree.
+        if not FriVerifier(self.fri_params).verify(
+                proof.fri_proof, transcript=transcript):
+            return False
+
+        # Consistency: recompute Q from opened trace values at every
+        # query position (both FRI halves) and compare to FRI's leaves.
+        indices = fri_query_indices(
+            self.fri_params, proof.fri_proof,
+            transcript=_fri_entry_transcript(field, proof.trace_root,
+                                             proof.boundary))
+        if len(proof.trace_openings) != len(indices):
+            return False
+        half = big_n // 2
+        for query_no, (index, paths) in enumerate(
+                zip(indices, proof.trace_openings)):
+            if len(paths) != 4:
+                return False
+            expected_positions = (index, (index + geom.blowup) % big_n,
+                                  index + half,
+                                  (index + half + geom.blowup) % big_n)
+            for path, position in zip(paths, expected_positions):
+                if path.index != position:
+                    return False
+                if not MerkleTree.verify(proof.trace_root, path):
+                    return False
+            round0 = proof.fri_proof.queries[query_no][0]
+            got_low = geom.composition_value(
+                index, paths[0].leaf, paths[1].leaf, alphas,
+                proof.boundary)
+            got_high = geom.composition_value(
+                index + half, paths[2].leaf, paths[3].leaf, alphas,
+                proof.boundary)
+            if got_low != round0.point_path.leaf:
+                return False
+            if got_high != round0.negated_path.leaf:
+                return False
+        return True

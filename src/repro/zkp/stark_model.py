@@ -1,0 +1,144 @@
+"""End-to-end cost model for hash-based (STARK-family) provers.
+
+The second proving paradigm the paper's NTT acceleration serves.  A
+STARK prover has **no MSM at all**: its time is low-degree extensions
+(big batched coset NTTs), constraint evaluation (pointwise), Merkle
+hashing, and FRI folding.  That makes the NTT share of proof time far
+larger than in pairing-based systems — the strongest version of the
+paper's motivation.
+
+Per proof of a ``columns``-wide trace of length ``n`` with LDE blowup
+``b`` (defaults follow Plonky2-style systems over Goldilocks):
+
+* ``columns`` INTTs of size n (trace to coefficients);
+* ``columns`` coset NTTs of size b*n (the LDE);
+* 1 INTT + 1 coset NTT of size b*n (composition polynomial);
+* FRI: log2 folding rounds, each a pointwise pass over a halving
+  domain, plus one Merkle tree per round;
+* Merkle hashing of the LDE matrix and FRI layers.
+
+Hashing throughput is a machine-level parameter (``hashes_per_s``,
+defaulting to a GPU Poseidon2-class rate of ~1e9/s per device); everything else reuses the
+NTT engines and the cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ProverError
+from repro.field.presets import GOLDILOCKS
+from repro.field.prime_field import PrimeField
+from repro.hw.cost import CostModel
+from repro.hw.model import MachineModel
+from repro.multigpu.base import DistributedNTTEngine
+from repro.ntt.polymul import next_power_of_two
+
+__all__ = ["StarkCostEstimate", "StarkCostModel"]
+
+
+@dataclass(frozen=True)
+class StarkCostEstimate:
+    """Seconds per STARK proof, split by kernel family."""
+
+    trace_length: int
+    lde_size: int
+    ntt_s: float
+    hash_s: float
+    pointwise_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.ntt_s + self.hash_s + self.pointwise_s
+
+    def ntt_fraction(self) -> float:
+        return self.ntt_s / self.total_s if self.total_s else 0.0
+
+
+class StarkCostModel:
+    """Prices a STARK proof on one machine with one NTT engine choice."""
+
+    def __init__(self, machine: MachineModel,
+                 ntt_engine: DistributedNTTEngine,
+                 field: PrimeField = GOLDILOCKS,
+                 columns: int = 96,
+                 blowup: int = 8,
+                 final_degree: int = 64,
+                 constraint_ops: int = 8,
+                 hashes_per_s: float = 1e9):
+        if columns < 1:
+            raise ProverError(f"columns must be >= 1, got {columns}")
+        if blowup < 2 or blowup & (blowup - 1):
+            raise ProverError(
+                f"blowup must be a power of two >= 2, got {blowup}")
+        if hashes_per_s <= 0:
+            raise ProverError("hashes_per_s must be positive")
+        self.machine = machine
+        self.engine = ntt_engine
+        self.field = field
+        self.columns = columns
+        self.blowup = blowup
+        self.final_degree = final_degree
+        self.constraint_ops = constraint_ops
+        self.hashes_per_s = hashes_per_s
+        self._cost = CostModel(machine, field)
+
+    # -- pieces ------------------------------------------------------------
+
+    def ntt_seconds(self, n: int) -> float:
+        """All transforms of one proof on the bound engine."""
+        lde = self.blowup * n
+        per_trace_intt = self.engine.estimate(self.machine, n,
+                                              inverse=True).total_s
+        per_lde_ntt = self.engine.estimate(self.machine, lde).total_s
+        composition_intt = self.engine.estimate(self.machine, lde,
+                                                inverse=True).total_s
+        return (self.columns * (per_trace_intt + per_lde_ntt)
+                + composition_intt + per_lde_ntt)
+
+    def hash_seconds(self, n: int) -> float:
+        """Merkle trees over the LDE matrix and the FRI layers.
+
+        Hashing parallelizes perfectly across the machine's GPUs.
+        """
+        lde = self.blowup * n
+        # LDE matrix: one leaf hash per (row), compressing `columns`
+        # values, plus the internal tree: ~2 * lde hashes total; the
+        # leaf row-compression costs columns/8 hash calls each (8
+        # field elements per permutation call).
+        leaf_hashes = lde * max(1, self.columns // 8)
+        tree_hashes = 2 * lde
+        # FRI layers halve: total extra leaves < lde.
+        fri_hashes = 2 * lde
+        total = leaf_hashes + tree_hashes + fri_hashes
+        return total / (self.hashes_per_s * self.machine.gpu_count)
+
+    def pointwise_seconds(self, n: int) -> float:
+        """Constraint evaluation + FRI folds: streaming passes."""
+        lde = self.blowup * n
+        eb = self._cost.element_bytes
+        constraint_bytes = 2 * lde * self.columns * eb  # read cols, write
+        constraint_muls = lde * self.columns * self.constraint_ops
+        fold_bytes = 4 * lde * eb  # geometric sum of halving passes
+        per_gpu = self.machine.gpu_count
+        seconds = max(
+            self._cost.memory_seconds((constraint_bytes + fold_bytes)
+                                      // per_gpu),
+            self._cost.compute_seconds(constraint_muls // per_gpu))
+        return seconds
+
+    # -- the headline -----------------------------------------------------------
+
+    def proof_cost(self, trace_length: int) -> StarkCostEstimate:
+        """Estimated proof time for a trace of the given length."""
+        if trace_length < 1:
+            raise ProverError(
+                f"trace_length must be >= 1, got {trace_length}")
+        n = next_power_of_two(trace_length)
+        return StarkCostEstimate(
+            trace_length=n,
+            lde_size=self.blowup * n,
+            ntt_s=self.ntt_seconds(n),
+            hash_s=self.hash_seconds(n),
+            pointwise_s=self.pointwise_seconds(n),
+        )

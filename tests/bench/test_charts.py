@@ -1,0 +1,78 @@
+"""Tests for ASCII chart rendering."""
+
+import pytest
+
+from repro.bench import bar_chart, grouped_bar_chart
+from repro.errors import BenchmarkError
+
+
+class TestBarChart:
+    def test_longest_bar_is_max(self):
+        text = bar_chart(["a", "b"], [1.0, 2.0])
+        line_a, line_b = text.splitlines()
+        assert line_b.count("█") == 40
+        assert line_a.count("█") == 20
+
+    def test_labels_aligned(self):
+        text = bar_chart(["x", "longer"], [1, 1])
+        lines = text.splitlines()
+        assert lines[0].index("█") == lines[1].index("█")
+
+    def test_title_and_unit(self):
+        text = bar_chart(["a"], [3.5], title="speeds", unit="x")
+        assert text.startswith("speeds\n")
+        assert "3.5x" in text
+
+    def test_zero_values_render(self):
+        text = bar_chart(["a", "b"], [0.0, 0.0])
+        assert "0" in text
+
+    def test_validation(self):
+        with pytest.raises(BenchmarkError, match="labels"):
+            bar_chart(["a"], [1, 2])
+        with pytest.raises(BenchmarkError, match="empty"):
+            bar_chart([], [])
+        with pytest.raises(BenchmarkError, match="non-negative"):
+            bar_chart(["a"], [-1])
+
+    def test_fractional_bars_use_partials(self):
+        text = bar_chart(["a", "b"], [1.0, 16.0], width=8)
+        line_a = text.splitlines()[0]
+        # 1/16 of 8 cells = 0.5 cells -> a half-block partial.
+        assert "▌" in line_a
+
+
+class TestGroupedBarChart:
+    def test_common_scale(self):
+        text = grouped_bar_chart(
+            ["g1"], {"fast": [1.0], "slow": [4.0]}, width=40)
+        lines = text.splitlines()
+        fast_line = next(line for line in lines if "fast" in line)
+        slow_line = next(line for line in lines if "slow" in line)
+        assert slow_line.count("█") == 40
+        assert fast_line.count("█") == 10
+
+    def test_groups_listed(self):
+        text = grouped_bar_chart(["g1", "g2"],
+                                 {"s": [1, 2]}, title="t")
+        assert "g1" in text and "g2" in text and text.startswith("t\n")
+
+    def test_validation(self):
+        with pytest.raises(BenchmarkError, match="no series"):
+            grouped_bar_chart(["g"], {})
+        with pytest.raises(BenchmarkError, match="groups"):
+            grouped_bar_chart(["g"], {"s": [1, 2]})
+        with pytest.raises(BenchmarkError, match="non-negative"):
+            grouped_bar_chart(["g"], {"s": [-1]})
+
+    def test_renders_real_figure_data(self):
+        from repro.bench import interconnect_sensitivity
+
+        headers, rows = interconnect_sensitivity()
+        text = grouped_bar_chart(
+            [row[0] for row in rows],
+            {"baseline": [row[1] for row in rows],
+             "unintt": [row[3] for row in rows]},
+            unit=" ms")
+        assert "DGX-A100" in text
+        assert "unintt" in text

@@ -1,0 +1,60 @@
+"""Tests for benchmark reporting utilities."""
+
+import os
+
+import pytest
+
+from repro.bench import format_table, geomean, speedup_string, write_report
+from repro.errors import BenchmarkError
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["name", "value"],
+                            [["a", 1], ["longer", 2.5]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "------" in lines[1]
+        assert len(lines) == 4
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="My Table")
+        assert text.startswith("My Table\n========")
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.123456], [12345.6], [1e-9], [0.0]])
+        assert "0.123" in text
+        assert "1.235e+04" in text
+        assert "1.000e-09" in text
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(BenchmarkError, match="row 0"):
+            format_table(["a", "b"], [[1]])
+
+
+class TestStats:
+    def test_geomean(self):
+        assert geomean([4, 1]) == pytest.approx(2.0)
+        assert geomean([3]) == pytest.approx(3.0)
+
+    def test_geomean_validation(self):
+        with pytest.raises(BenchmarkError, match="empty"):
+            geomean([])
+        with pytest.raises(BenchmarkError, match="positive"):
+            geomean([1, 0])
+
+    def test_speedup_string(self):
+        assert speedup_string(2.0, 1.0) == "2.00x"
+        with pytest.raises(BenchmarkError):
+            speedup_string(1.0, 0.0)
+
+
+class TestWriteReport:
+    def test_writes_file(self):
+        path = write_report("test_artifact", "hello")
+        try:
+            with open(path, encoding="utf-8") as handle:
+                assert handle.read() == "hello\n"
+            assert os.path.basename(path) == "test_artifact.txt"
+        finally:
+            os.remove(path)

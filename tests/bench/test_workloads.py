@@ -1,0 +1,50 @@
+"""Tests for benchmark workload descriptors."""
+
+import pytest
+
+from repro.bench import (
+    FUNCTIONAL_LOG_SIZES, NTTWorkload, functional_workloads,
+    standard_workloads,
+)
+from repro.errors import BenchmarkError
+from repro.field import ZKP_FIELDS
+
+
+class TestWorkload:
+    def test_properties(self):
+        w = NTTWorkload(field_name="Goldilocks", log_size=20, batch=4)
+        assert w.size == 1 << 20
+        assert w.elements == 4 << 20
+        assert w.field.name == "Goldilocks"
+        assert w.label() == "Goldilocks 2^20 x4"
+
+    def test_unit_batch_label(self):
+        assert NTTWorkload(field_name="BN254-Fr",
+                           log_size=12).label() == "BN254-Fr 2^12"
+
+    def test_validation(self):
+        with pytest.raises(BenchmarkError, match="log_size"):
+            NTTWorkload(field_name="Goldilocks", log_size=0)
+        with pytest.raises(BenchmarkError, match="batch"):
+            NTTWorkload(field_name="Goldilocks", log_size=4, batch=0)
+
+    def test_unknown_field_surfaces_on_access(self):
+        w = NTTWorkload(field_name="NopeField", log_size=4)
+        with pytest.raises(KeyError):
+            w.field
+
+
+class TestGrids:
+    def test_standard_covers_all_fields(self):
+        workloads = standard_workloads()
+        names = {w.field_name for w in workloads}
+        assert names == {f.name for f in ZKP_FIELDS}
+
+    def test_functional_sizes_are_small(self):
+        for w in functional_workloads():
+            assert w.log_size in FUNCTIONAL_LOG_SIZES
+            assert w.size <= 1 << 14
+
+    def test_no_duplicates(self):
+        workloads = standard_workloads()
+        assert len(workloads) == len(set(workloads))

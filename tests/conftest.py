@@ -1,0 +1,42 @@
+"""Shared fixtures and hypothesis configuration."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.field import (
+    BABYBEAR, BLS12_381_FR, BN254_FR, GOLDILOCKS, TEST_FIELD_97,
+    TEST_FIELD_7681,
+)
+
+# Field arithmetic in pure Python is slow enough that hypothesis's
+# default deadline produces flaky failures; examples stay modest instead.
+settings.register_profile(
+    "repro",
+    deadline=None,
+    max_examples=25,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic RNG per test."""
+    return random.Random(0xA5A5)
+
+
+@pytest.fixture(params=[TEST_FIELD_97, TEST_FIELD_7681, GOLDILOCKS,
+                        BABYBEAR, BN254_FR, BLS12_381_FR],
+                ids=lambda f: f.name)
+def any_field(request):
+    """Every preset field, small and production."""
+    return request.param
+
+
+@pytest.fixture(params=[TEST_FIELD_7681, GOLDILOCKS, BN254_FR],
+                ids=lambda f: f.name)
+def ntt_field(request):
+    """A representative spread of NTT-capable fields (fast subset)."""
+    return request.param

@@ -1,0 +1,130 @@
+"""Tests for the vectorized Goldilocks kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import FieldError, NTTError
+from repro.field import (
+    GOLDILOCKS, GOLDILOCKS_P, gl_add, gl_array, gl_intt, gl_mul, gl_neg,
+    gl_ntt, gl_scale, gl_sub,
+)
+from repro.ntt import intt, ntt
+
+P = GOLDILOCKS_P
+
+#: The values most likely to break carry/reduction logic.
+EDGE_VALUES = [0, 1, 2, (1 << 32) - 2, (1 << 32) - 1, 1 << 32,
+               (1 << 32) + 1, (1 << 63) - 1, 1 << 63, P - 2, P - 1]
+
+
+class TestPacking:
+    def test_roundtrip(self):
+        arr = gl_array(EDGE_VALUES)
+        assert arr.dtype == np.uint64
+        assert [int(v) for v in arr] == EDGE_VALUES
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(FieldError, match="canonical"):
+            gl_array([P])
+        with pytest.raises(FieldError, match="canonical"):
+            gl_array([-1])
+        with pytest.raises(FieldError, match="canonical"):
+            gl_array([1.5])
+
+
+class TestArithmetic:
+    def _pairs(self):
+        return [(a, b) for a in EDGE_VALUES for b in EDGE_VALUES]
+
+    def test_add_edge_matrix(self):
+        pairs = self._pairs()
+        a = gl_array([x for x, _ in pairs])
+        b = gl_array([y for _, y in pairs])
+        assert [int(v) for v in gl_add(a, b)] == \
+            [(x + y) % P for x, y in pairs]
+
+    def test_sub_edge_matrix(self):
+        pairs = self._pairs()
+        a = gl_array([x for x, _ in pairs])
+        b = gl_array([y for _, y in pairs])
+        assert [int(v) for v in gl_sub(a, b)] == \
+            [(x - y) % P for x, y in pairs]
+
+    def test_mul_edge_matrix(self):
+        pairs = self._pairs()
+        a = gl_array([x for x, _ in pairs])
+        b = gl_array([y for _, y in pairs])
+        assert [int(v) for v in gl_mul(a, b)] == \
+            [x * y % P for x, y in pairs]
+
+    def test_random_against_reference(self, rng):
+        xs = GOLDILOCKS.random_vector(500, rng)
+        ys = GOLDILOCKS.random_vector(500, rng)
+        a, b = gl_array(xs), gl_array(ys)
+        assert [int(v) for v in gl_mul(a, b)] == \
+            [x * y % P for x, y in zip(xs, ys)]
+
+    def test_neg(self):
+        arr = gl_array(EDGE_VALUES)
+        assert [int(v) for v in gl_neg(arr)] == [(-v) % P for v in
+                                                 EDGE_VALUES]
+
+    def test_scale(self):
+        arr = gl_array(EDGE_VALUES)
+        s = P - 3
+        assert [int(v) for v in gl_scale(arr, s)] == \
+            [v * s % P for v in EDGE_VALUES]
+
+    def test_scale_validation(self):
+        with pytest.raises(FieldError, match="canonical"):
+            gl_scale(gl_array([1]), P)
+
+
+class TestVectorizedNTT:
+    @pytest.mark.parametrize("n", [1, 2, 4, 16, 256, 1024])
+    def test_matches_scalar_path(self, n, rng):
+        x = GOLDILOCKS.random_vector(n, rng)
+        assert [int(v) for v in gl_ntt(x)] == ntt(GOLDILOCKS, x)
+
+    @pytest.mark.parametrize("n", [2, 64, 512])
+    def test_roundtrip(self, n, rng):
+        x = GOLDILOCKS.random_vector(n, rng)
+        assert [int(v) for v in gl_intt(gl_ntt(x))] == x
+
+    def test_interchangeable_with_scalar_inverse(self, rng):
+        x = GOLDILOCKS.random_vector(64, rng)
+        assert intt(GOLDILOCKS, [int(v) for v in gl_ntt(x)]) == x
+
+    def test_explicit_root(self, rng):
+        n = 16
+        w = GOLDILOCKS.root_of_unity(n)
+        x = GOLDILOCKS.random_vector(n, rng)
+        assert [int(v) for v in gl_ntt(x, root=w)] == ntt(GOLDILOCKS, x)
+        assert [int(v) for v in gl_intt(gl_ntt(x, root=w), root=w)] == x
+
+    def test_accepts_ndarray(self, rng):
+        x = gl_array(GOLDILOCKS.random_vector(32, rng))
+        out = gl_ntt(x)
+        assert isinstance(out, np.ndarray)
+
+    def test_size_validation(self):
+        with pytest.raises(NTTError, match="power of two"):
+            gl_ntt([1, 2, 3])
+        with pytest.raises(NTTError, match="power of two"):
+            gl_intt([1, 2, 3])
+
+    def test_input_not_mutated(self, rng):
+        x = gl_array(GOLDILOCKS.random_vector(16, rng))
+        before = x.copy()
+        gl_ntt(x)
+        assert (x == before).all()
+
+
+@given(st.lists(st.integers(min_value=0, max_value=P - 1),
+                min_size=3, max_size=3),
+       st.lists(st.integers(min_value=0, max_value=P - 1),
+                min_size=3, max_size=3))
+def test_mul_property(xs, ys):
+    got = [int(v) for v in gl_mul(gl_array(xs), gl_array(ys))]
+    assert got == [x * y % P for x, y in zip(xs, ys)]

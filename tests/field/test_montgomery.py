@@ -1,0 +1,136 @@
+"""Tests for Montgomery-form arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import FieldError
+from repro.field import (
+    BLS12_381_FR, GOLDILOCKS, TEST_FIELD_97, MontgomeryContext, PrimeField,
+)
+
+
+@pytest.fixture(params=[TEST_FIELD_97, GOLDILOCKS, BLS12_381_FR],
+                ids=lambda f: f.name)
+def ctx(request):
+    return MontgomeryContext(request.param)
+
+
+class TestContext:
+    def test_limb_count_minimal(self):
+        assert MontgomeryContext(TEST_FIELD_97).limbs == 1
+        assert MontgomeryContext(GOLDILOCKS).limbs == 1
+        assert MontgomeryContext(BLS12_381_FR).limbs == 4
+
+    def test_explicit_limbs(self):
+        ctx = MontgomeryContext(TEST_FIELD_97, limbs=2)
+        assert ctx.r == 1 << 128
+        assert ctx.from_mont(ctx.to_mont(42)) == 42
+
+    def test_too_few_limbs_rejected(self):
+        with pytest.raises(FieldError, match="limbs"):
+            MontgomeryContext(BLS12_381_FR, limbs=2)
+
+    def test_n_prime_identity(self, ctx):
+        """n_prime satisfies p * n_prime == -1 mod R."""
+        p = ctx.field.modulus
+        assert p * ctx.n_prime % ctx.r == ctx.r - 1
+
+    def test_one_is_r_mod_p(self, ctx):
+        assert ctx.one == ctx.r % ctx.field.modulus
+        assert ctx.from_mont(ctx.one) == 1
+
+    def test_mul_word_ops_positive(self, ctx):
+        assert ctx.mul_word_ops() == (ctx.limbs * ctx.limbs
+                                      + ctx.limbs * (ctx.limbs + 1))
+
+
+class TestConversionAndOps:
+    def test_roundtrip(self, ctx, rng):
+        p = ctx.field.modulus
+        for _ in range(20):
+            a = rng.randrange(p)
+            assert ctx.from_mont(ctx.to_mont(a)) == a
+
+    def test_mont_mul_matches_plain(self, ctx, rng):
+        p = ctx.field.modulus
+        for _ in range(20):
+            a, b = rng.randrange(p), rng.randrange(p)
+            result = ctx.from_mont(
+                ctx.mont_mul(ctx.to_mont(a), ctx.to_mont(b)))
+            assert result == a * b % p
+
+    def test_add_sub_match_plain(self, ctx, rng):
+        p = ctx.field.modulus
+        for _ in range(20):
+            a, b = rng.randrange(p), rng.randrange(p)
+            am, bm = ctx.to_mont(a), ctx.to_mont(b)
+            assert ctx.from_mont(ctx.mont_add(am, bm)) == (a + b) % p
+            assert ctx.from_mont(ctx.mont_sub(am, bm)) == (a - b) % p
+
+    def test_redc_wordwise_matches(self, ctx, rng):
+        p = ctx.field.modulus
+        for _ in range(20):
+            t = rng.randrange(p * ctx.r)
+            assert ctx.redc(t) == ctx.redc_wordwise(t)
+
+    def test_mont_pow(self, ctx, rng):
+        p = ctx.field.modulus
+        a = rng.randrange(1, p)
+        am = ctx.to_mont(a)
+        assert ctx.from_mont(ctx.mont_pow(am, 13)) == pow(a, 13, p)
+        assert ctx.mont_pow(am, 0) == ctx.one
+
+    def test_mont_pow_negative_rejected(self, ctx):
+        with pytest.raises(FieldError, match="non-negative"):
+            ctx.mont_pow(ctx.one, -1)
+
+    def test_mont_inv(self, ctx, rng):
+        p = ctx.field.modulus
+        a = rng.randrange(1, p)
+        am = ctx.to_mont(a)
+        assert ctx.mont_mul(am, ctx.mont_inv(am)) == ctx.one
+
+    def test_mont_inv_zero_rejected(self, ctx):
+        with pytest.raises(FieldError, match="inverse"):
+            ctx.mont_inv(0)
+
+
+class TestMontgomeryElement:
+    def test_operators(self):
+        ctx = MontgomeryContext(TEST_FIELD_97)
+        a, b = ctx.element(10), ctx.element(20)
+        assert (a + b).canonical == 30
+        assert (a - b).canonical == 87
+        assert (a * b).canonical == 200 % 97
+        assert (a ** 3).canonical == 1000 % 97
+        assert (a * a.inverse()).canonical == 1
+
+    def test_mixed_int(self):
+        ctx = MontgomeryContext(TEST_FIELD_97)
+        a = ctx.element(10)
+        assert (a * 2).canonical == 20
+        assert (a + 90).canonical == 3
+        assert a == 10
+
+    def test_cross_field_rejected(self):
+        a = MontgomeryContext(TEST_FIELD_97).element(1)
+        b = MontgomeryContext(GOLDILOCKS).element(1)
+        with pytest.raises(FieldError, match="different fields"):
+            a + b
+
+    def test_repr_shows_canonical(self):
+        a = MontgomeryContext(TEST_FIELD_97).element(42)
+        assert "42" in repr(a)
+
+    def test_hashable(self):
+        ctx = MontgomeryContext(TEST_FIELD_97)
+        assert len({ctx.element(5), ctx.element(5), ctx.element(6)}) == 2
+
+
+@given(a=st.integers(min_value=0, max_value=GOLDILOCKS.modulus - 1),
+       b=st.integers(min_value=0, max_value=GOLDILOCKS.modulus - 1))
+def test_goldilocks_mont_mul_property(a, b):
+    ctx = MontgomeryContext(GOLDILOCKS)
+    p = GOLDILOCKS.modulus
+    got = ctx.from_mont(ctx.mont_mul(ctx.to_mont(a), ctx.to_mont(b)))
+    assert got == a * b % p

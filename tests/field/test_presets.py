@@ -1,0 +1,70 @@
+"""Tests for the preset field catalogue."""
+
+import pytest
+
+from repro.field import (
+    ALL_FIELDS, BABYBEAR, BLS12_381_FR, BN254_FR, GOLDILOCKS, TEST_FIELD_97,
+    TEST_FIELD_7681, ZKP_FIELDS, field_by_name,
+)
+
+
+class TestKnownParameters:
+    """The published constants for each production field."""
+
+    def test_goldilocks(self):
+        assert GOLDILOCKS.modulus == (1 << 64) - (1 << 32) + 1
+        assert GOLDILOCKS.two_adicity == 32
+        assert GOLDILOCKS.modulus.bit_length() == 64
+
+    def test_babybear(self):
+        assert BABYBEAR.modulus == 2013265921
+        assert BABYBEAR.two_adicity == 27
+
+    def test_bn254(self):
+        assert BN254_FR.modulus.bit_length() == 254
+        assert BN254_FR.two_adicity == 28
+
+    def test_bls12_381(self):
+        assert BLS12_381_FR.modulus.bit_length() == 255
+        assert BLS12_381_FR.two_adicity == 32
+
+    def test_test_fields(self):
+        assert TEST_FIELD_97.two_adicity == 5
+        assert TEST_FIELD_7681.modulus == 7681
+        assert TEST_FIELD_7681.two_adicity == 9
+
+
+class TestGenerators:
+    """Each preset generator must generate the full multiplicative group."""
+
+    @pytest.mark.parametrize("field", ALL_FIELDS, ids=lambda f: f.name)
+    def test_generator_order_two_part(self, field):
+        # g^((p-1)/2) != 1 proves the 2-part is full, which is what NTT
+        # root derivation relies on.
+        g = field.multiplicative_generator
+        assert pow(g, (field.modulus - 1) // 2, field.modulus) != 1
+
+    @pytest.mark.parametrize("field", ALL_FIELDS, ids=lambda f: f.name)
+    def test_max_order_root_exists(self, field):
+        order = 1 << min(field.two_adicity, 16)
+        root = field.root_of_unity(order)
+        assert field.pow(root, order) == 1
+        assert field.pow(root, order // 2) == field.modulus - 1
+
+
+class TestCatalogue:
+    def test_zkp_fields_subset(self):
+        assert set(ZKP_FIELDS) <= set(ALL_FIELDS)
+        assert len(ZKP_FIELDS) == 4
+
+    def test_field_by_name(self):
+        assert field_by_name("Goldilocks") is GOLDILOCKS
+        assert field_by_name("BN254-Fr") is BN254_FR
+
+    def test_field_by_name_unknown(self):
+        with pytest.raises(KeyError, match="no preset field"):
+            field_by_name("nope")
+
+    def test_names_unique(self):
+        names = [f.name for f in ALL_FIELDS]
+        assert len(names) == len(set(names))

@@ -1,0 +1,194 @@
+"""Unit and property tests for PrimeField and FieldElement."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import FieldError
+from repro.field import GOLDILOCKS, TEST_FIELD_97, PrimeField
+
+
+class TestConstruction:
+    def test_rejects_composite_modulus(self):
+        with pytest.raises(FieldError, match="not prime"):
+            PrimeField(91)  # 7 * 13
+
+    def test_rejects_even_modulus(self):
+        with pytest.raises(FieldError):
+            PrimeField(4)
+
+    def test_rejects_tiny_modulus(self):
+        with pytest.raises(FieldError):
+            PrimeField(2)
+
+    def test_default_name(self):
+        field = PrimeField(97)
+        assert field.name == "GF(97)"
+
+    def test_custom_name_in_repr(self):
+        assert "Goldilocks" in repr(GOLDILOCKS)
+
+    def test_equality_by_modulus(self):
+        assert PrimeField(97) == PrimeField(97, generator=5, name="other")
+        assert PrimeField(97) != PrimeField(101)
+
+    def test_hashable(self):
+        assert len({PrimeField(97), TEST_FIELD_97}) == 1
+
+
+class TestScalarArithmetic:
+    def test_add_wraps(self):
+        field = TEST_FIELD_97
+        assert field.add(96, 5) == 4
+
+    def test_sub_wraps(self):
+        field = TEST_FIELD_97
+        assert field.sub(3, 10) == 90
+
+    def test_mul(self):
+        assert TEST_FIELD_97.mul(10, 10) == 3
+
+    def test_neg(self):
+        field = TEST_FIELD_97
+        assert field.neg(0) == 0
+        assert field.neg(1) == 96
+
+    def test_inv_roundtrip(self, any_field, rng):
+        for _ in range(10):
+            a = rng.randrange(1, any_field.modulus)
+            assert any_field.mul(a, any_field.inv(a)) == 1
+
+    def test_inv_zero_raises(self, any_field):
+        with pytest.raises(FieldError, match="inverse"):
+            any_field.inv(0)
+
+    def test_pow_negative_exponent(self):
+        field = TEST_FIELD_97
+        assert field.pow(5, -1) == field.inv(5)
+
+    def test_reduce(self):
+        assert TEST_FIELD_97.reduce(-1) == 96
+        assert TEST_FIELD_97.reduce(97 * 5 + 3) == 3
+
+
+class TestRootsOfUnity:
+    def test_two_adicity_values(self):
+        assert TEST_FIELD_97.two_adicity == 5   # 96 = 2^5 * 3
+        assert GOLDILOCKS.two_adicity == 32
+
+    def test_root_has_exact_order(self, any_field):
+        max_log = min(any_field.two_adicity, 8)
+        for log_order in range(1, max_log + 1):
+            order = 1 << log_order
+            root = any_field.root_of_unity(order)
+            assert any_field.pow(root, order) == 1
+            assert any_field.pow(root, order // 2) != 1, \
+                f"root of order {order} is not primitive"
+
+    def test_order_one_root(self, any_field):
+        assert any_field.root_of_unity(1) == 1
+
+    def test_non_power_of_two_order_rejected(self, any_field):
+        with pytest.raises(FieldError, match="power of two"):
+            any_field.root_of_unity(3)
+
+    def test_excessive_order_rejected(self):
+        with pytest.raises(FieldError, match="two-adicity"):
+            TEST_FIELD_97.root_of_unity(64)
+
+    def test_inv_root(self, any_field):
+        root = any_field.root_of_unity(8)
+        inv = any_field.inv_root_of_unity(8)
+        assert any_field.mul(root, inv) == 1
+
+    def test_roots_nest(self, any_field):
+        """The square of a 2k-order root is a k-order root."""
+        root8 = any_field.root_of_unity(8)
+        root4 = any_field.root_of_unity(4)
+        assert any_field.mul(root8, root8) == root4
+
+    def test_generator_discovery(self):
+        field = PrimeField(97)  # no generator supplied
+        g = field.multiplicative_generator
+        # g must have full order 96: g^48 != 1 and g^32 != 1.
+        assert pow(g, 48, 97) != 1
+        assert pow(g, 32, 97) != 1
+        assert pow(g, 96, 97) == 1
+
+
+class TestElements:
+    def test_element_reduction(self):
+        assert TEST_FIELD_97.element(100).value == 3
+
+    def test_operators(self):
+        f = TEST_FIELD_97
+        a, b = f.element(10), f.element(20)
+        assert (a + b).value == 30
+        assert (a - b).value == 87
+        assert (a * b).value == 200 % 97
+        assert (a / b) * b == a
+        assert (-a).value == 87
+        assert (a ** 2).value == 3
+        assert a.inverse() * a == f.one()
+
+    def test_mixed_int_arithmetic(self):
+        a = TEST_FIELD_97.element(10)
+        assert (a + 90).value == 3
+        assert (5 * a).value == 50
+        assert (100 - a).value == (100 - 10) % 97
+        assert (1 / a) == a.inverse()
+
+    def test_cross_field_mixing_raises(self):
+        a = TEST_FIELD_97.element(1)
+        b = GOLDILOCKS.element(1)
+        with pytest.raises(FieldError, match="mix"):
+            a + b
+
+    def test_equality_with_int(self):
+        assert TEST_FIELD_97.element(3) == 100
+        assert TEST_FIELD_97.element(3) != 4
+
+    def test_bool_int_protocols(self):
+        f = TEST_FIELD_97
+        assert not f.zero()
+        assert f.one()
+        assert int(f.element(42)) == 42
+
+    def test_elements_and_random(self, rng):
+        f = TEST_FIELD_97
+        elems = f.elements([1, 2, 3])
+        assert [e.value for e in elems] == [1, 2, 3]
+        r = f.random_element(rng)
+        assert 0 <= r.value < f.modulus
+        vec = f.random_vector(100, rng)
+        assert all(0 <= v < f.modulus for v in vec)
+
+    def test_hash_consistent_with_eq(self):
+        assert hash(TEST_FIELD_97.element(5)) == hash(
+            PrimeField(97).element(5))
+
+
+# -- property-based field axioms -------------------------------------------
+
+small_vals = st.integers(min_value=0, max_value=96)
+
+
+@given(a=small_vals, b=small_vals, c=small_vals)
+def test_field_axioms_gf97(a, b, c):
+    f = TEST_FIELD_97
+    assert f.add(a, b) == f.add(b, a)
+    assert f.mul(a, b) == f.mul(b, a)
+    assert f.add(f.add(a, b), c) == f.add(a, f.add(b, c))
+    assert f.mul(f.mul(a, b), c) == f.mul(a, f.mul(b, c))
+    assert f.mul(a, f.add(b, c)) == f.add(f.mul(a, b), f.mul(a, c))
+    assert f.add(a, f.neg(a)) == 0
+    assert f.sub(a, b) == f.add(a, f.neg(b))
+
+
+@given(a=st.integers(min_value=1, max_value=96),
+       e1=st.integers(min_value=0, max_value=50),
+       e2=st.integers(min_value=0, max_value=50))
+def test_pow_homomorphism_gf97(a, e1, e2):
+    f = TEST_FIELD_97
+    assert f.mul(f.pow(a, e1), f.pow(a, e2)) == f.pow(a, e1 + e2)

@@ -1,0 +1,110 @@
+"""Tests for bulk vector operations."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import FieldError
+from repro.field import (
+    TEST_FIELD_97, validate_vector, vec_add, vec_dot, vec_inv, vec_mul,
+    vec_neg, vec_pow_series, vec_scale, vec_sub, vec_sum,
+)
+
+F = TEST_FIELD_97
+
+
+class TestElementwise:
+    def test_add_sub_mul(self):
+        a, b = [1, 96, 50], [2, 3, 50]
+        assert vec_add(F, a, b) == [3, 2, 3]
+        assert vec_sub(F, a, b) == [96, 93, 0]
+        assert vec_mul(F, a, b) == [2, 94, 2500 % 97]
+
+    def test_scale_neg(self):
+        assert vec_scale(F, [1, 2, 3], 10) == [10, 20, 30]
+        assert vec_neg(F, [0, 1, 96]) == [0, 96, 1]
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            vec_add(F, [1, 2], [1])
+
+    def test_empty_vectors(self):
+        assert vec_add(F, [], []) == []
+        assert vec_sum(F, []) == 0
+
+
+class TestPowSeries:
+    def test_basic(self):
+        assert vec_pow_series(F, 2, 5) == [1, 2, 4, 8, 16]
+
+    def test_start(self):
+        assert vec_pow_series(F, 2, 3, start=5) == [5, 10, 20]
+
+    def test_wraps(self):
+        series = vec_pow_series(F, 96, 3)  # 96 == -1
+        assert series == [1, 96, 1]
+
+    def test_zero_count(self):
+        assert vec_pow_series(F, 2, 0) == []
+
+
+class TestBatchInverse:
+    def test_matches_scalar(self, rng):
+        values = [rng.randrange(1, 97) for _ in range(20)]
+        inverses = vec_inv(F, values)
+        for v, inv in zip(values, inverses):
+            assert v * inv % 97 == 1
+
+    def test_zero_raises_with_index(self):
+        with pytest.raises(FieldError, match="index 2"):
+            vec_inv(F, [1, 2, 0, 4])
+
+    def test_empty(self):
+        assert vec_inv(F, []) == []
+
+    def test_single(self):
+        assert vec_inv(F, [2]) == [F.inv(2)]
+
+
+class TestReductions:
+    def test_dot(self):
+        assert vec_dot(F, [1, 2, 3], [4, 5, 6]) == (4 + 10 + 18) % 97
+
+    def test_sum(self):
+        assert vec_sum(F, [50, 50]) == 3
+
+
+class TestValidate:
+    def test_accepts_canonical(self):
+        validate_vector(F, [0, 1, 96])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(FieldError, match="index 1"):
+            validate_vector(F, [0, 97])
+
+    def test_rejects_negative(self):
+        with pytest.raises(FieldError):
+            validate_vector(F, [-1])
+
+    def test_rejects_non_int(self):
+        with pytest.raises(FieldError):
+            validate_vector(F, [1.5])
+
+
+vecs = st.lists(st.integers(min_value=0, max_value=96), min_size=1,
+                max_size=20)
+
+
+@given(a=vecs)
+def test_neg_is_involution(a):
+    assert vec_neg(F, vec_neg(F, a)) == a
+
+
+@given(a=vecs)
+def test_add_neg_is_zero(a):
+    assert vec_add(F, a, vec_neg(F, a)) == [0] * len(a)
+
+
+@given(a=vecs, s=st.integers(min_value=1, max_value=96))
+def test_scale_then_inverse_scale(a, s):
+    scaled = vec_scale(F, a, s)
+    assert vec_scale(F, scaled, F.inv(s)) == a

@@ -1,0 +1,116 @@
+"""Tests for the analytic cost model."""
+
+import pytest
+
+from repro.errors import HardwareModelError
+from repro.field import BLS12_381_FR, GOLDILOCKS, TEST_FIELD_97
+from repro.hw import (
+    CostModel, DGX_A100, Phase, PipelinedGroup, field_limbs,
+)
+
+
+class TestFieldLimbs:
+    def test_values(self):
+        assert field_limbs(TEST_FIELD_97) == 1
+        assert field_limbs(GOLDILOCKS) == 1
+        assert field_limbs(BLS12_381_FR) == 4
+
+
+class TestPhase:
+    def test_negative_charge_rejected(self):
+        with pytest.raises(HardwareModelError, match="negative"):
+            Phase(name="bad", field_muls=-1)
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(HardwareModelError, match="empty"):
+            PipelinedGroup(name="bad", phases=())
+
+
+class TestPricing:
+    @pytest.fixture
+    def model(self):
+        return CostModel(DGX_A100, BLS12_381_FR)
+
+    def test_element_bytes(self, model):
+        assert model.element_bytes == 32
+
+    def test_compute_seconds(self, model):
+        per_s = DGX_A100.gpu.field_mul_per_s(4)
+        assert model.compute_seconds(1000) == pytest.approx(1000 / per_s)
+
+    def test_memory_seconds(self, model):
+        assert model.memory_seconds(2_000_000) == pytest.approx(
+            2_000_000 / DGX_A100.gpu.hbm_bandwidth)
+
+    def test_exchange_seconds_includes_latency(self, model):
+        bw = DGX_A100.interconnect.alltoall_bandwidth(8)
+        lat = DGX_A100.interconnect.latency
+        assert model.exchange_seconds(1_000_000, "multi-gpu",
+                                      messages=7) == pytest.approx(
+            1_000_000 / bw + 7 * lat)
+
+    def test_unknown_level_rejected(self, model):
+        with pytest.raises(HardwareModelError, match="no level"):
+            model.exchange_seconds(1, "nope")
+
+    def test_phase_is_max_of_compute_and_memory(self, model):
+        compute_heavy = Phase(name="c", field_muls=10**9, mem_bytes=1)
+        memory_heavy = Phase(name="m", field_muls=1, mem_bytes=10**12)
+        assert model.phase_seconds(compute_heavy) == pytest.approx(
+            model.compute_seconds(10**9))
+        assert model.phase_seconds(memory_heavy) == pytest.approx(
+            model.memory_seconds(10**12))
+
+    def test_pipelined_group_is_max_of_sides(self, model):
+        comm = Phase(name="x", exchange_bytes=10**9, messages=1)
+        work = Phase(name="w", field_muls=10**6)
+        group = PipelinedGroup(name="g", phases=(comm, work))
+        expected = max(model.compute_seconds(10**6),
+                       model.exchange_seconds(10**9, "multi-gpu", 1))
+        assert model.group_seconds(group) == pytest.approx(expected)
+
+    def test_overlap_saves_time(self, model):
+        comm = Phase(name="x", exchange_bytes=10**9, messages=1)
+        work = Phase(name="w", field_muls=10**8)
+        sequential = model.estimate([comm, work]).total_s
+        overlapped = model.estimate(
+            [PipelinedGroup(name="g", phases=(comm, work))]).total_s
+        assert overlapped < sequential
+
+    def test_estimate_aggregates(self, model):
+        steps = [
+            Phase(name="a", field_muls=1000, mem_bytes=4096),
+            Phase(name="b", exchange_bytes=8192, messages=2),
+            Phase(name="a", field_muls=500),
+        ]
+        breakdown = model.estimate(steps)
+        assert breakdown.total_s > 0
+        assert breakdown.compute_s == pytest.approx(
+            model.compute_seconds(1500))
+        assert breakdown.exchange_bytes_by_level == {"multi-gpu": 8192}
+        # duplicate phase names accumulate
+        assert breakdown.per_phase["a"] > 0
+        assert set(breakdown.per_phase) == {"a", "b"}
+
+    def test_dominant_resource(self, model):
+        breakdown = model.estimate([Phase(name="c", field_muls=10**9)])
+        assert breakdown.dominant_resource() == "compute"
+        breakdown = model.estimate(
+            [Phase(name="x", exchange_bytes=10**12, messages=1)])
+        assert breakdown.dominant_resource() == "exchange"
+
+    def test_goldilocks_cheaper_than_bls(self):
+        """Per-element, a 1-limb field transforms faster than 4-limb."""
+        small = CostModel(DGX_A100, GOLDILOCKS)
+        big = CostModel(DGX_A100, BLS12_381_FR)
+        phase = Phase(name="p", field_muls=10**6, mem_bytes=0)
+        assert small.phase_seconds(phase) < big.phase_seconds(phase)
+
+    def test_intra_gpu_levels_priceable(self, model):
+        """The uniform model prices warp/block exchanges the same way."""
+        for level in ("warp", "block", "gpu"):
+            assert model.exchange_seconds(1024, level, messages=1) > 0
+        # Deeper levels have strictly lower synchronization latency.
+        assert (model.level("warp").exchange_latency
+                < model.level("block").exchange_latency
+                < model.level("gpu").exchange_latency)

@@ -1,0 +1,72 @@
+"""Hypothesis property tests over the cost model.
+
+The model's outputs feed every reproduced figure; these invariants make
+sure no pricing path can produce nonsense (negative time, non-monotone
+charges, overlap that slows things down).
+"""
+
+from hypothesis import given, strategies as st
+
+from repro.field import BLS12_381_FR, GOLDILOCKS
+from repro.hw import CostModel, DGX_A100, DGX_H100, Phase, PipelinedGroup
+
+MODEL = CostModel(DGX_A100, BLS12_381_FR)
+
+charges = st.integers(min_value=0, max_value=10**12)
+
+
+@given(muls=charges, mem=charges, exch=charges,
+       msgs=st.integers(min_value=0, max_value=100))
+def test_phase_time_non_negative(muls, mem, exch, msgs):
+    phase = Phase(name="p", field_muls=muls, mem_bytes=mem,
+                  exchange_bytes=exch, messages=msgs)
+    assert MODEL.phase_seconds(phase) >= 0
+
+
+@given(muls=charges, mem=charges, extra=st.integers(min_value=1,
+                                                    max_value=10**12))
+def test_more_work_never_cheaper(muls, mem, extra):
+    base = Phase(name="p", field_muls=muls, mem_bytes=mem)
+    more_compute = Phase(name="p", field_muls=muls + extra, mem_bytes=mem)
+    more_memory = Phase(name="p", field_muls=muls, mem_bytes=mem + extra)
+    t = MODEL.phase_seconds(base)
+    assert MODEL.phase_seconds(more_compute) >= t
+    assert MODEL.phase_seconds(more_memory) >= t
+
+
+@given(muls=charges, exch=charges)
+def test_overlap_never_slower(muls, exch):
+    compute = Phase(name="c", field_muls=muls)
+    comm = Phase(name="x", exchange_bytes=exch, messages=1)
+    sequential = MODEL.estimate([compute, comm]).total_s
+    pipelined = MODEL.estimate(
+        [PipelinedGroup(name="g", phases=(compute, comm))]).total_s
+    assert pipelined <= sequential + 1e-15
+
+
+@given(muls=charges, mem=charges)
+def test_phase_at_least_each_resource(muls, mem):
+    phase = Phase(name="p", field_muls=muls, mem_bytes=mem)
+    t = MODEL.phase_seconds(phase)
+    assert t >= MODEL.compute_seconds(muls) - 1e-18
+    assert t >= MODEL.memory_seconds(mem) - 1e-18
+
+
+@given(steps=st.lists(
+    st.builds(Phase, name=st.just("p"), field_muls=charges,
+              mem_bytes=charges, exchange_bytes=charges,
+              messages=st.integers(min_value=0, max_value=10)),
+    min_size=1, max_size=6))
+def test_estimate_is_sum_of_phases(steps):
+    total = MODEL.estimate(steps).total_s
+    assert total == sum(MODEL.phase_seconds(s) for s in steps)
+
+
+@given(exch=st.integers(min_value=1, max_value=10**12))
+def test_faster_machine_not_slower(exch):
+    """H100 (faster in every constant) never prices a phase higher."""
+    phase = Phase(name="x", field_muls=exch, mem_bytes=exch,
+                  exchange_bytes=exch, messages=1)
+    slow = CostModel(DGX_A100, GOLDILOCKS).phase_seconds(phase)
+    fast = CostModel(DGX_H100, GOLDILOCKS).phase_seconds(phase)
+    assert fast <= slow

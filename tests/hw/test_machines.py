@@ -1,0 +1,43 @@
+"""Tests for the machine presets."""
+
+import pytest
+
+from repro.hw import (
+    A100_PCIE_NODE, ALL_MACHINES, DGX1_V100, DGX_A100, DGX_H100,
+    machine_by_name,
+)
+
+
+class TestPresets:
+    @pytest.mark.parametrize("machine", ALL_MACHINES, ids=lambda m: m.name)
+    def test_basic_sanity(self, machine):
+        assert machine.gpu_count == 8
+        assert machine.gpu.hbm_bandwidth > 0
+        assert machine.interconnect.link_bandwidth > 0
+        assert machine.max_transform_size(32) > 1 << 28
+
+    def test_generational_ordering(self):
+        """Newer GPUs are faster in every dimension we model."""
+        assert (DGX1_V100.gpu.word_mul_per_s < DGX_A100.gpu.word_mul_per_s
+                < DGX_H100.gpu.word_mul_per_s)
+        assert (DGX1_V100.gpu.hbm_bandwidth < DGX_A100.gpu.hbm_bandwidth
+                < DGX_H100.gpu.hbm_bandwidth)
+        assert (DGX1_V100.interconnect.link_bandwidth
+                < DGX_A100.interconnect.link_bandwidth
+                < DGX_H100.interconnect.link_bandwidth)
+
+    def test_pcie_node_is_host_staged(self):
+        assert not A100_PCIE_NODE.interconnect.peer_to_peer
+        assert DGX_A100.interconnect.peer_to_peer
+
+    def test_pcie_shares_gpu_with_dgx(self):
+        assert A100_PCIE_NODE.gpu is DGX_A100.gpu
+
+    def test_lookup(self):
+        assert machine_by_name("DGX-A100") is DGX_A100
+        with pytest.raises(KeyError, match="no preset machine"):
+            machine_by_name("DGX-Z9000")
+
+    def test_names_unique(self):
+        names = [m.name for m in ALL_MACHINES]
+        assert len(names) == len(set(names))

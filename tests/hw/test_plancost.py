@@ -1,0 +1,80 @@
+"""Tests for decomposition-plan pricing."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.field import BLS12_381_FR, GOLDILOCKS
+from repro.hw import DGX1_V100, DGX_A100, price_plan
+from repro.multigpu import alltoall_bytes_per_gpu, machine_plan
+from repro.ntt import balanced_plan, hierarchical_plan, leaf, split
+
+
+class TestPricing:
+    def test_leaf_plan_has_no_exchanges(self):
+        cost = price_plan(DGX_A100, GOLDILOCKS, leaf(1 << 16))
+        assert cost.exchange_bytes_by_level == {}
+        assert cost.exchange_s == 0
+        assert cost.compute_s > 0
+        assert cost.dominant_level() == "none"
+
+    def test_multi_gpu_bytes_match_engine_formula(self):
+        """The plan's multi-GPU charge equals the UniNTT closed form —
+        the uniform formula specialized to the outermost level."""
+        n = 1 << 24
+        plan = machine_plan(DGX_A100, BLS12_381_FR, n)
+        cost = price_plan(DGX_A100, BLS12_381_FR, plan)
+        expected = alltoall_bytes_per_gpu(n // 8, 8, 32)
+        assert cost.exchange_bytes_by_level["multi-gpu"] == expected
+
+    def test_total_includes_all_levels(self):
+        n = 1 << 24
+        plan = machine_plan(DGX_A100, BLS12_381_FR, n)
+        cost = price_plan(DGX_A100, BLS12_381_FR, plan)
+        assert set(cost.exchange_bytes_by_level) >= {"multi-gpu", "gpu"}
+        assert cost.total_s == pytest.approx(
+            cost.compute_s + cost.exchange_s)
+
+    def test_unknown_level_rejected(self):
+        plan = split(leaf(4), leaf(4), level="tpu-pod")
+        with pytest.raises(PlanError, match="tpu-pod"):
+            price_plan(DGX_A100, GOLDILOCKS, plan)
+
+    def test_untagged_splits_charge_compute_only(self):
+        plan = balanced_plan(1 << 16, leaf_size=64)  # no level tags
+        cost = price_plan(DGX_A100, GOLDILOCKS, plan)
+        assert cost.exchange_bytes_by_level == {}
+        assert cost.butterfly_muls > 0
+
+    def test_nested_units_reduce_inner_volume(self):
+        """Inner levels each see 1/R of the data per unit."""
+        n = 1 << 20
+        plan = hierarchical_plan(n, [("multi-gpu", 8), ("gpu", 64)],
+                                 leaf_size=1 << 10)
+        cost = price_plan(DGX_A100, BLS12_381_FR, plan)
+        outer = cost.exchange_bytes_by_level["multi-gpu"]
+        inner = cost.exchange_bytes_by_level["gpu"]
+        # outer: (n/8)*(7/8)*32; inner: (n/(8*64))*(63/64)*32.
+        assert outer == (n // 8) * 7 // 8 * 32
+        assert inner == (n // (8 * 64)) * 63 // 64 * 32
+
+    def test_machine_comparison(self):
+        """The same plan is cheaper on the faster machine."""
+        n = 1 << 24
+        plan = hierarchical_plan(n, [("multi-gpu", 8)], leaf_size=1 << 12)
+        slow = price_plan(DGX1_V100, BLS12_381_FR, plan).total_s
+        fast = price_plan(DGX_A100, BLS12_381_FR, plan).total_s
+        assert fast < slow
+
+    def test_deeper_decomposition_trades_levels(self):
+        """Adding intra-GPU splits moves bytes off the dominant level
+        only logically — totals stay consistent and positive."""
+        n = 1 << 22
+        shallow = hierarchical_plan(n, [("multi-gpu", 8)],
+                                    leaf_size=1 << 16)
+        deep = machine_plan(DGX_A100, BLS12_381_FR, n)
+        c_shallow = price_plan(DGX_A100, BLS12_381_FR, shallow)
+        c_deep = price_plan(DGX_A100, BLS12_381_FR, deep)
+        assert c_shallow.exchange_bytes_by_level["multi-gpu"] == \
+            c_deep.exchange_bytes_by_level["multi-gpu"]
+        assert "gpu" in c_deep.exchange_bytes_by_level
+        assert "gpu" not in c_shallow.exchange_bytes_by_level

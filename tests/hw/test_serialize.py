@@ -1,0 +1,96 @@
+"""Tests for machine-description serialization."""
+
+import json
+
+import pytest
+
+from repro.errors import HardwareModelError
+from repro.hw import (
+    ALL_MACHINES, DGX_A100, FOUR_NODE_DGX_A100, cluster_from_dict,
+    cluster_to_dict, gpu_from_dict, gpu_to_dict, interconnect_from_dict,
+    interconnect_to_dict, load_machine_file, machine_from_dict,
+    machine_to_dict,
+)
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("machine", ALL_MACHINES, ids=lambda m: m.name)
+    def test_machine(self, machine):
+        assert machine_from_dict(machine_to_dict(machine)) == machine
+
+    def test_gpu(self):
+        assert gpu_from_dict(gpu_to_dict(DGX_A100.gpu)) == DGX_A100.gpu
+
+    def test_interconnect(self):
+        fabric = DGX_A100.interconnect
+        assert interconnect_from_dict(interconnect_to_dict(fabric)) == \
+            fabric
+
+    def test_cluster(self):
+        assert cluster_from_dict(cluster_to_dict(FOUR_NODE_DGX_A100)) == \
+            FOUR_NODE_DGX_A100
+
+    def test_json_serializable(self):
+        text = json.dumps(cluster_to_dict(FOUR_NODE_DGX_A100))
+        assert cluster_from_dict(json.loads(text)) == FOUR_NODE_DGX_A100
+
+
+class TestValidation:
+    def test_unknown_keys_rejected(self):
+        data = gpu_to_dict(DGX_A100.gpu)
+        data["turbo_mode"] = True
+        with pytest.raises(HardwareModelError, match="unknown"):
+            gpu_from_dict(data)
+
+    def test_missing_keys_rejected(self):
+        with pytest.raises(HardwareModelError, match="missing"):
+            gpu_from_dict({"name": "x"})
+
+    def test_invalid_values_still_validated(self):
+        """Deserialization goes through the constructors' checks."""
+        data = machine_to_dict(DGX_A100)
+        data["gpu_count"] = 6
+        with pytest.raises(HardwareModelError, match="power of two"):
+            machine_from_dict(data)
+
+
+class TestFiles:
+    def test_load_machine(self, tmp_path):
+        path = tmp_path / "machine.json"
+        path.write_text(json.dumps(machine_to_dict(DGX_A100)))
+        assert load_machine_file(str(path)) == DGX_A100
+
+    def test_load_cluster(self, tmp_path):
+        path = tmp_path / "cluster.json"
+        path.write_text(json.dumps(cluster_to_dict(FOUR_NODE_DGX_A100)))
+        assert load_machine_file(str(path)) == FOUR_NODE_DGX_A100
+
+    def test_unknown_type(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"type": "quantum"}))
+        with pytest.raises(HardwareModelError, match="unknown machine"):
+            load_machine_file(str(path))
+
+    def test_custom_machine_usable(self, tmp_path):
+        """A hand-written description drives the cost model end to end."""
+        from repro.field import GOLDILOCKS
+        from repro.multigpu import UniNTTEngine
+        from repro.sim import SimCluster
+
+        description = {
+            "type": "machine",
+            "name": "my-lab-box",
+            "gpu_count": 4,
+            "gpu": {"name": "RTX-4090", "word_mul_per_s": 2.0e12,
+                    "hbm_bandwidth": 1.0e12,
+                    "hbm_capacity_bytes": 24 * 2**30},
+            "interconnect": {"kind": "pcie-host",
+                             "link_bandwidth": 32e9, "latency": 15e-6,
+                             "peer_to_peer": False},
+        }
+        path = tmp_path / "custom.json"
+        path.write_text(json.dumps(description))
+        machine = load_machine_file(str(path))
+        cluster = SimCluster(GOLDILOCKS, 4)
+        seconds = UniNTTEngine(cluster).estimate(machine, 1 << 20).total_s
+        assert seconds > 0

@@ -1,0 +1,77 @@
+"""Tests for interconnect topology models."""
+
+import pytest
+
+from repro.errors import HardwareModelError
+from repro.hw import Interconnect, nvlink_ring, nvswitch, pcie_host_staged
+
+
+class TestValidation:
+    def test_positive_bandwidth(self):
+        with pytest.raises(HardwareModelError, match="bandwidth"):
+            Interconnect(kind="x", link_bandwidth=0, latency=0)
+
+    def test_non_negative_latency(self):
+        with pytest.raises(HardwareModelError, match="latency"):
+            Interconnect(kind="x", link_bandwidth=1e9, latency=-1)
+
+    def test_gpu_count_validation(self):
+        fabric = nvswitch()
+        with pytest.raises(HardwareModelError, match="gpu_count"):
+            fabric.alltoall_bandwidth(0)
+        with pytest.raises(HardwareModelError, match="gpu_count"):
+            fabric.pairwise_bandwidth(-1)
+
+
+class TestNVSwitch:
+    def test_full_bandwidth_any_scale(self):
+        fabric = nvswitch(600e9)
+        assert fabric.alltoall_bandwidth(2) == 600e9
+        assert fabric.alltoall_bandwidth(8) == 600e9
+        assert fabric.pairwise_bandwidth(8) == 600e9
+
+    def test_bounce_factor(self):
+        assert nvswitch().bounce_factor() == 1.0
+
+
+class TestRing:
+    def test_alltoall_degrades_with_scale(self):
+        fabric = nvlink_ring(150e9)
+        bw2 = fabric.alltoall_bandwidth(2)
+        bw8 = fabric.alltoall_bandwidth(8)
+        bw16 = fabric.alltoall_bandwidth(16)
+        assert bw2 == 150e9
+        assert bw8 < bw2
+        assert bw16 < bw8
+
+    def test_pairwise_unaffected_by_scale(self):
+        fabric = nvlink_ring(150e9)
+        assert fabric.pairwise_bandwidth(8) == 150e9
+        assert fabric.pairwise_bandwidth(16) == 150e9
+
+    def test_pairwise_beats_alltoall(self):
+        fabric = nvlink_ring(150e9)
+        assert fabric.pairwise_bandwidth(8) > fabric.alltoall_bandwidth(8)
+
+
+class TestHostStaged:
+    def test_bounce_halves_bandwidth(self):
+        fabric = pcie_host_staged(32e9)
+        assert fabric.bounce_factor() == 2.0
+        assert fabric.alltoall_bandwidth(2) == 16e9
+
+    def test_root_complex_contention(self):
+        fabric = pcie_host_staged(32e9)
+        assert fabric.alltoall_bandwidth(8) == 8e9  # /2 bounce /2 sharing
+
+    def test_much_slower_than_nvswitch(self):
+        assert (pcie_host_staged().alltoall_bandwidth(8)
+                < nvswitch().alltoall_bandwidth(8) / 10)
+
+
+class TestDescribe:
+    def test_mentions_key_facts(self):
+        text = pcie_host_staged().describe()
+        assert "pcie-host" in text
+        assert "host-staged" in text
+        assert "P2P" in nvswitch().describe()

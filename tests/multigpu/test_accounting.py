@@ -1,0 +1,69 @@
+"""Tests for the shared accounting formulas."""
+
+import pytest
+
+from repro.errors import HardwareModelError
+from repro.multigpu import (
+    alltoall_bytes_per_gpu, local_ntt_mem_bytes, local_ntt_muls, log2_int,
+    pointwise_mem_bytes, small_batch_mem_bytes, small_batch_ntt_muls,
+    tile_passes, twiddle_muls,
+)
+
+
+class TestLog2:
+    def test_values(self):
+        assert log2_int(1) == 0
+        assert log2_int(1024) == 10
+
+    def test_rejects_non_powers(self):
+        with pytest.raises(HardwareModelError):
+            log2_int(12)
+        with pytest.raises(HardwareModelError):
+            log2_int(0)
+
+
+class TestTilePasses:
+    def test_fits_in_one_pass(self):
+        assert tile_passes(1024, 1024) == 1
+        assert tile_passes(16, 1024) == 1
+
+    def test_multiple_passes(self):
+        # log2(2^20)/log2(2^10) = 2
+        assert tile_passes(1 << 20, 1 << 10) == 2
+        # 21/10 -> 3 passes
+        assert tile_passes(1 << 21, 1 << 10) == 3
+
+    def test_naive_tile_degenerates(self):
+        assert tile_passes(1 << 10, 2) == 10
+
+    def test_size_one(self):
+        assert tile_passes(1, 16) == 0
+
+    def test_tile_validation(self):
+        with pytest.raises(HardwareModelError, match="tile"):
+            tile_passes(16, 1)
+
+
+class TestCounts:
+    def test_local_ntt_muls(self):
+        assert local_ntt_muls(1) == 0
+        assert local_ntt_muls(1024) == 512 * 10
+
+    def test_mem_bytes(self):
+        assert local_ntt_mem_bytes(1 << 20, 32, 1 << 10) == \
+            2 * (1 << 20) * 32 * 2
+
+    def test_small_batch(self):
+        assert small_batch_ntt_muls(16, 8) == 16 * 4 * 3
+        assert small_batch_mem_bytes(16, 8, 32) == 2 * 128 * 32
+
+    def test_pointwise(self):
+        assert twiddle_muls(100) == 100
+        assert pointwise_mem_bytes(100, 32) == 6400
+
+    def test_alltoall(self):
+        assert alltoall_bytes_per_gpu(64, 4, 32) == 16 * 3 * 32
+
+    def test_alltoall_divisibility(self):
+        with pytest.raises(HardwareModelError, match="split"):
+            alltoall_bytes_per_gpu(10, 4, 32)

@@ -1,0 +1,82 @@
+"""Tests for the autotuning layer."""
+
+import pytest
+
+from repro.errors import HardwareModelError
+from repro.field import BLS12_381_FR, GOLDILOCKS
+from repro.hw import A100_PCIE_NODE, DGX_A100, DGX_H100
+from repro.multigpu import autotune_tile, machine_plan, select_engine
+from repro.ntt import ntt, plan_ntt
+
+
+class TestMachinePlan:
+    def test_outermost_is_gpu_count(self):
+        plan = machine_plan(DGX_A100, GOLDILOCKS, 1 << 20)
+        assert plan.level == "multi-gpu"
+        assert plan.radix[0] == 8
+
+    def test_executes_correctly(self, rng):
+        n = 1 << 10
+        plan = machine_plan(DGX_A100, GOLDILOCKS, n, leaf_size=4)
+        x = GOLDILOCKS.random_vector(n, rng)
+        assert plan_ntt(GOLDILOCKS, plan, x) == ntt(GOLDILOCKS, x)
+
+    def test_small_transform_skips_levels(self):
+        plan = machine_plan(DGX_A100, GOLDILOCKS, 64)
+        assert plan.size == 64
+        assert plan.depth() <= 2
+
+    def test_leaf_size_from_register_capacity(self):
+        plan = machine_plan(DGX_A100, GOLDILOCKS, 1 << 22)
+        leaves = [node.size for node in plan.walk() if node.is_leaf]
+        # default leaf = per-lane register capacity (32 elements)
+        assert max(leaves) <= 64
+
+
+class TestAutotuneTile:
+    def test_returns_valid_tile(self):
+        tile, seconds = autotune_tile(DGX_A100, BLS12_381_FR, 1 << 24)
+        assert tile >= 64 and tile & (tile - 1) == 0
+        assert seconds > 0
+        eb = 32
+        assert tile <= DGX_A100.gpu.smem_per_block_bytes // eb
+
+    def test_never_worse_than_any_candidate(self):
+        """The tuner's pick is at least as fast as fixed defaults."""
+        from repro.multigpu import UniNTTEngine
+        from repro.sim import SimCluster
+
+        n = 1 << 26
+        _, best_seconds = autotune_tile(DGX_A100, GOLDILOCKS, n)
+        for tile in (64, 512, 4096):
+            cluster = SimCluster(GOLDILOCKS, 8)
+            seconds = UniNTTEngine(cluster, tile=tile).estimate(
+                DGX_A100, n).total_s
+            assert best_seconds <= seconds + 1e-12
+
+    def test_explicit_gpu_count(self):
+        tile, _ = autotune_tile(DGX_A100, GOLDILOCKS, 1 << 20, gpu_count=2)
+        assert tile >= 64
+
+
+class TestSelectEngine:
+    def test_ranked_fastest_first(self):
+        choices = select_engine(DGX_A100, BLS12_381_FR, 1 << 24)
+        seconds = [c.seconds for c in choices]
+        assert seconds == sorted(seconds)
+        assert len(choices) == 4
+
+    def test_unintt_wins_at_scale(self):
+        choices = select_engine(A100_PCIE_NODE, BLS12_381_FR, 1 << 24)
+        assert choices[0].name.startswith("unintt")
+
+    def test_small_sizes_exclude_constrained_engines(self):
+        """At n < G^2 the spectral engines drop out but something runs."""
+        choices = select_engine(DGX_H100, GOLDILOCKS, 32)
+        names = [c.name for c in choices]
+        assert names  # single-gpu at minimum
+        assert all("unintt" not in name for name in names)
+
+    def test_bottleneck_reported(self):
+        choices = select_engine(A100_PCIE_NODE, BLS12_381_FR, 1 << 26)
+        assert choices[0].bottleneck in ("compute", "memory", "exchange")

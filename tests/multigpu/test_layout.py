@@ -1,0 +1,190 @@
+"""Tests for distributed data layouts."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import PartitionError
+from repro.multigpu import (
+    BlockLayout, ColumnBlockLayout, CyclicLayout, SpectralLayout,
+    TransposedBlockLayout, UniNTTExchangeLayout, collect, distribute,
+)
+
+ALL_SIMPLE = [
+    lambda n, g: BlockLayout(n=n, gpu_count=g),
+    lambda n, g: CyclicLayout(n=n, gpu_count=g),
+]
+NEEDS_SQUARE = [
+    lambda n, g: SpectralLayout(n=n, gpu_count=g),
+    lambda n, g: UniNTTExchangeLayout(n=n, gpu_count=g),
+]
+
+
+def matrix_layouts(n, g):
+    rows = cols = 1 << ((n.bit_length() - 1) // 2)
+    if rows * cols != n:
+        cols *= 2
+    if cols % g:
+        return []
+    return [ColumnBlockLayout(n=n, gpu_count=g, rows=rows, cols=cols),
+            TransposedBlockLayout(n=n, gpu_count=g, rows=rows, cols=cols)]
+
+
+def all_layouts(n, g):
+    layouts = [make(n, g) for make in ALL_SIMPLE]
+    if n >= g * g:
+        layouts += [make(n, g) for make in NEEDS_SQUARE]
+    layouts += matrix_layouts(n, g)
+    return layouts
+
+
+class TestValidation:
+    def test_non_power_sizes(self):
+        with pytest.raises(PartitionError, match="power of two"):
+            BlockLayout(n=12, gpu_count=2)
+        with pytest.raises(PartitionError, match="power of two"):
+            BlockLayout(n=16, gpu_count=3)
+
+    def test_too_many_gpus(self):
+        with pytest.raises(PartitionError, match="cannot split"):
+            BlockLayout(n=2, gpu_count=4)
+
+    def test_spectral_needs_square(self):
+        with pytest.raises(PartitionError, match="G\\^2"):
+            SpectralLayout(n=8, gpu_count=4)
+        with pytest.raises(PartitionError, match="G\\^2"):
+            UniNTTExchangeLayout(n=8, gpu_count=4)
+
+    def test_matrix_factor_check(self):
+        with pytest.raises(PartitionError, match="factor"):
+            ColumnBlockLayout(n=16, gpu_count=2, rows=2, cols=4)
+        with pytest.raises(PartitionError, match="factor"):
+            TransposedBlockLayout(n=16, gpu_count=2, rows=4, cols=8)
+
+    def test_column_split_check(self):
+        with pytest.raises(PartitionError, match="columns"):
+            ColumnBlockLayout(n=16, gpu_count=8, rows=4, cols=4)
+
+    def test_index_range_checks(self):
+        layout = BlockLayout(n=8, gpu_count=2)
+        with pytest.raises(PartitionError, match="out of range"):
+            layout.owner(8)
+        with pytest.raises(PartitionError):
+            layout.global_index(2, 0)
+        with pytest.raises(PartitionError):
+            layout.global_index(0, 4)
+
+
+class TestIndexMath:
+    def test_block(self):
+        layout = BlockLayout(n=8, gpu_count=2)
+        assert layout.owner(0) == (0, 0)
+        assert layout.owner(5) == (1, 1)
+        assert layout.global_index(1, 3) == 7
+
+    def test_cyclic(self):
+        layout = CyclicLayout(n=8, gpu_count=2)
+        assert layout.owner(0) == (0, 0)
+        assert layout.owner(5) == (1, 2)
+        assert layout.global_index(1, 3) == 7
+        assert layout.global_index(0, 2) == 4
+
+    def test_spectral(self):
+        # n=16, G=2: M=8, chunk=4.  k = k1 + 8*k2.
+        layout = SpectralLayout(n=16, gpu_count=2)
+        assert layout.chunk == 4
+        # k=0: k1=0,k2=0 -> gpu 0, local 0.
+        assert layout.owner(0) == (0, 0)
+        # k=9: k1=1,k2=1 -> gpu 0, local 1*2+1=3.
+        assert layout.owner(9) == (0, 3)
+        # k=6: k1=6,k2=0 -> gpu 1, local (6-4)*2+0=4.
+        assert layout.owner(6) == (1, 4)
+
+    def test_exchange(self):
+        # n=16, G=2: M=8, chunk=4.  j = s*8 + k1.
+        layout = UniNTTExchangeLayout(n=16, gpu_count=2)
+        # j=0: s=0,k1=0 -> gpu 0, local 0.
+        assert layout.owner(0) == (0, 0)
+        # j=13: s=1,k1=5 -> gpu 1, local (5-4)*2+1=3.
+        assert layout.owner(13) == (1, 3)
+
+    def test_column_block(self):
+        # 4x4 matrix over 2 GPUs: GPU 1 owns columns 2..3.
+        layout = ColumnBlockLayout(n=16, gpu_count=2, rows=4, cols=4)
+        # j = r*4+c; j=6 -> r=1,c=2 -> gpu 1, local 0*4+1=1.
+        assert layout.owner(6) == (1, 1)
+        assert layout.global_index(1, 1) == 6
+
+    def test_transposed_block(self):
+        layout = TransposedBlockLayout(n=16, gpu_count=2, rows=4, cols=4)
+        # j=k1*4+k2; j=6 -> k1=1,k2=2 -> k=1+4*2=9 -> gpu 1, local 1.
+        assert layout.owner(6) == (1, 1)
+        assert layout.global_index(1, 1) == 6
+
+
+@pytest.mark.parametrize("n,g", [(16, 2), (64, 4), (256, 4), (64, 8)])
+def test_bijection_all_layouts(n, g):
+    """owner and global_index are mutually inverse bijections."""
+    for layout in all_layouts(n, g):
+        seen = set()
+        for gpu in range(g):
+            for local in range(layout.shard_size):
+                j = layout.global_index(gpu, local)
+                assert 0 <= j < n
+                assert j not in seen
+                seen.add(j)
+                assert layout.owner(j) == (gpu, local)
+        assert len(seen) == n
+
+
+class TestDistributeCollect:
+    @pytest.mark.parametrize("n,g", [(16, 2), (64, 4)])
+    def test_roundtrip(self, n, g, rng):
+        values = list(range(n))
+        for layout in all_layouts(n, g):
+            shards = distribute(values, layout)
+            assert len(shards) == g
+            assert all(len(s) == n // g for s in shards)
+            assert collect(shards, layout) == values
+
+    def test_cyclic_shards_are_strides(self):
+        layout = CyclicLayout(n=8, gpu_count=2)
+        shards = distribute(list(range(8)), layout)
+        assert shards == [[0, 2, 4, 6], [1, 3, 5, 7]]
+
+    def test_block_shards_are_slices(self):
+        layout = BlockLayout(n=8, gpu_count=2)
+        shards = distribute(list(range(8)), layout)
+        assert shards == [[0, 1, 2, 3], [4, 5, 6, 7]]
+
+    def test_distribute_length_check(self):
+        with pytest.raises(PartitionError, match="layout is for"):
+            distribute([1, 2], BlockLayout(n=4, gpu_count=2))
+
+    def test_collect_shape_checks(self):
+        layout = BlockLayout(n=4, gpu_count=2)
+        with pytest.raises(PartitionError, match="GPUs"):
+            collect([[1, 2]], layout)
+        with pytest.raises(PartitionError, match="shard has"):
+            collect([[1], [2, 3, 4]], layout)
+
+
+@given(n_log=st.integers(min_value=4, max_value=8),
+       g_log=st.integers(min_value=1, max_value=2))
+def test_spectral_exchange_relationship(n_log, g_log):
+    """SpectralLayout is UniNTTExchangeLayout with s replaced by k2.
+
+    Both place (group, lane) pairs identically: slot (gpu, local) maps
+    to the same (k1, second-index) decomposition.
+    """
+    n, g = 1 << n_log, 1 << g_log
+    spectral = SpectralLayout(n=n, gpu_count=g)
+    exchange = UniNTTExchangeLayout(n=n, gpu_count=g)
+    m = n // g
+    for gpu in range(g):
+        for local in range(m):
+            k = spectral.global_index(gpu, local)
+            j = exchange.global_index(gpu, local)
+            k1_spec, k2 = k % m, k // m
+            s, k1_exch = j // m, j % m
+            assert k1_spec == k1_exch
+            assert k2 == s

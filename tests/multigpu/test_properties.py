@@ -1,0 +1,96 @@
+"""Hypothesis property tests over the distributed engines.
+
+Randomized shapes (GPU count, size, data, engine, options) must always
+reproduce the single-node transform — the suite's broadest net for
+index-math mistakes.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.field import TEST_FIELD_7681
+from repro.multigpu import (
+    BaselineFourStepEngine, CyclicLayout, DistributedVector,
+    PairwiseExchangeEngine, SingleGpuEngine, UniNTTEngine, UniNTTOptions,
+    collect, distribute,
+)
+from repro.ntt import ntt
+from repro.sim import SimCluster
+
+F = TEST_FIELD_7681
+
+# GF(7681) supports sizes up to 512 (two-adicity 9).
+shapes = st.tuples(
+    st.sampled_from([2, 4, 8]),          # gpu count
+    st.sampled_from([6, 7, 8, 9]),       # log2 size
+).filter(lambda t: (1 << t[1]) >= t[0] * t[0] * 4)
+
+
+@given(shape=shapes, seed=st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=20)
+def test_unintt_bit_exact_any_shape(shape, seed):
+    import random
+
+    g, log_n = shape
+    n = 1 << log_n
+    rng = random.Random(seed)
+    values = F.random_vector(n, rng)
+    cluster = SimCluster(F, g)
+    engine = UniNTTEngine(cluster)
+    vec = DistributedVector.from_values(cluster, values,
+                                        engine.input_layout(n))
+    out = engine.forward(vec)
+    assert out.to_values() == ntt(F, values)
+    assert engine.inverse(out).to_values() == values
+
+
+@given(shape=shapes, seed=st.integers(min_value=0, max_value=2**16),
+       engine_index=st.integers(min_value=0, max_value=2))
+@settings(max_examples=15)
+def test_all_engines_agree(shape, seed, engine_index):
+    import random
+
+    g, log_n = shape
+    n = 1 << log_n
+    rng = random.Random(seed)
+    values = F.random_vector(n, rng)
+    engine_cls = [SingleGpuEngine, BaselineFourStepEngine,
+                  PairwiseExchangeEngine][engine_index]
+    cluster = SimCluster(F, g)
+    engine = engine_cls(cluster)
+    vec = DistributedVector.from_values(cluster, values,
+                                        engine.input_layout(n))
+    assert engine.forward(vec).to_values() == ntt(F, values)
+
+
+@given(seed=st.integers(min_value=0, max_value=2**16),
+       flags=st.tuples(st.booleans(), st.booleans(), st.booleans(),
+                       st.booleans()))
+@settings(max_examples=15)
+def test_options_never_change_results(seed, flags):
+    import random
+
+    rng = random.Random(seed)
+    n, g = 256, 4
+    values = F.random_vector(n, rng)
+    options = UniNTTOptions(fused_twiddle=flags[0],
+                            keep_permuted_output=flags[1],
+                            overlap=flags[2], radix_fusion=flags[3])
+    cluster = SimCluster(F, g)
+    engine = UniNTTEngine(cluster, options=options)
+    vec = DistributedVector.from_values(cluster, values,
+                                        engine.input_layout(n))
+    assert engine.forward(vec).to_values() == ntt(F, values)
+
+
+@given(seed=st.integers(min_value=0, max_value=2**16),
+       g=st.sampled_from([2, 4, 8]))
+@settings(max_examples=20)
+def test_distribute_collect_roundtrip_property(seed, g):
+    import random
+
+    rng = random.Random(seed)
+    n = 64 * g
+    values = F.random_vector(n, rng)
+    layout = CyclicLayout(n=n, gpu_count=g)
+    assert collect(distribute(values, layout), layout) == values

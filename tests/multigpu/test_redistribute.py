@@ -1,0 +1,82 @@
+"""Tests for the generic redistribution collective."""
+
+import itertools
+
+import pytest
+
+from repro.errors import PartitionError
+from repro.field import TEST_FIELD_97
+from repro.multigpu import (
+    BlockLayout, ColumnBlockLayout, CyclicLayout, SpectralLayout,
+    UniNTTExchangeLayout, collect, distribute, redistribute,
+)
+from repro.sim import SimCluster
+
+F = TEST_FIELD_97
+
+
+def layouts_for(n, g):
+    layouts = [BlockLayout(n=n, gpu_count=g), CyclicLayout(n=n, gpu_count=g)]
+    if n >= g * g:
+        layouts.append(SpectralLayout(n=n, gpu_count=g))
+        layouts.append(UniNTTExchangeLayout(n=n, gpu_count=g))
+    return layouts
+
+
+class TestRedistribute:
+    @pytest.mark.parametrize("n,g", [(16, 2), (64, 4)])
+    def test_all_layout_pairs_preserve_values(self, n, g):
+        values = [v % F.modulus for v in range(n)]
+        for src, dst in itertools.permutations(layouts_for(n, g), 2):
+            cluster = SimCluster(F, g)
+            cluster.load_shards(distribute(values, src))
+            redistribute(cluster, src, dst)
+            assert collect(cluster.peek_shards(), dst) == values, \
+                (type(src).__name__, type(dst).__name__)
+            cluster.check_conservation()
+
+    def test_block_to_cyclic_bytes(self):
+        """Hand-check byte counts: block->cyclic moves (g-1)/g of data."""
+        n, g = 16, 4
+        values = list(range(n))
+        src = BlockLayout(n=n, gpu_count=g)
+        dst = CyclicLayout(n=n, gpu_count=g)
+        cluster = SimCluster(F, g)
+        cluster.load_shards(distribute(values, src))
+        redistribute(cluster, src, dst)
+        eb = cluster.element_bytes
+        per_gpu = (n // g) * (g - 1) // g * eb
+        for gpu in cluster.gpus:
+            assert gpu.counters.bytes_sent == per_gpu
+
+    def test_identity_redistribution_moves_nothing(self):
+        n, g = 16, 2
+        layout = BlockLayout(n=n, gpu_count=g)
+        cluster = SimCluster(F, g)
+        cluster.load_shards(distribute(list(range(n)), layout))
+        redistribute(cluster, layout, layout)
+        assert all(gpu.counters.bytes_sent == 0 for gpu in cluster.gpus)
+        # but it still records the (empty) collective
+        assert cluster.trace.count("all-to-all") == 1
+
+    def test_mismatched_layouts_rejected(self):
+        cluster = SimCluster(F, 2)
+        cluster.load_shards([[1, 2], [3, 4]])
+        with pytest.raises(PartitionError, match="mismatch"):
+            redistribute(cluster, BlockLayout(n=4, gpu_count=2),
+                         BlockLayout(n=8, gpu_count=2))
+
+    def test_wrong_cluster_size_rejected(self):
+        cluster = SimCluster(F, 2)
+        with pytest.raises(PartitionError):
+            redistribute(cluster, BlockLayout(n=16, gpu_count=4),
+                         CyclicLayout(n=16, gpu_count=4))
+
+    def test_detail_recorded(self):
+        n, g = 16, 2
+        cluster = SimCluster(F, g)
+        src = BlockLayout(n=n, gpu_count=g)
+        dst = CyclicLayout(n=n, gpu_count=g)
+        cluster.load_shards(distribute(list(range(n)), src))
+        redistribute(cluster, src, dst, detail="my-transpose")
+        assert cluster.trace.events[-1].detail == "my-transpose"

@@ -1,0 +1,57 @@
+"""Tests for the optimization option set."""
+
+import pytest
+
+from repro.multigpu import ALL_OFF, ALL_ON, UniNTTOptions, ablation_grid
+
+
+class TestOptions:
+    def test_defaults_all_on(self):
+        options = UniNTTOptions()
+        assert options.fused_twiddle
+        assert options.keep_permuted_output
+        assert options.overlap
+        assert options.radix_fusion
+
+    def test_label(self):
+        assert ALL_ON.label() == "FT+PO+OV+RF"
+        assert ALL_OFF.label() == "none"
+        assert UniNTTOptions(overlap=False).label() == "FT+PO+RF"
+
+    def test_without(self):
+        options = ALL_ON.without("overlap")
+        assert not options.overlap
+        assert options.fused_twiddle
+        # original untouched (frozen)
+        assert ALL_ON.overlap
+
+    def test_without_unknown(self):
+        with pytest.raises(AttributeError, match="unknown"):
+            ALL_ON.without("warp_specialization")
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            ALL_ON.overlap = False  # type: ignore[misc]
+
+
+class TestAblationGrid:
+    def test_structure(self):
+        grid = ablation_grid()
+        labels = [label for label, _ in grid]
+        assert labels[0] == "all-on"
+        assert labels[-1] == "all-off"
+        assert len(grid) == 6
+
+    def test_each_arm_differs_from_all_on(self):
+        grid = dict(ablation_grid())
+        for label, options in grid.items():
+            if label in ("all-on",):
+                assert options == ALL_ON
+            else:
+                assert options != ALL_ON
+
+    def test_single_knock_out_arms(self):
+        grid = dict(ablation_grid())
+        assert not grid["no-overlap"].overlap
+        assert grid["no-overlap"].fused_twiddle
+        assert not grid["no-fused_twiddle"].fused_twiddle

@@ -1,0 +1,92 @@
+"""Tests for the out-of-core streaming engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.field import BLS12_381_FR, GOLDILOCKS, TEST_FIELD_7681
+from repro.hw import DGX_A100
+from repro.multigpu import StreamingHostEngine, UniNTTEngine
+from repro.ntt import four_step_ntt, ntt
+from repro.sim import SimCluster
+
+F = TEST_FIELD_7681
+
+
+@pytest.fixture
+def engine():
+    return StreamingHostEngine(SimCluster(F, 4))
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n", [4, 16, 64, 256, 512])
+    def test_matches_reference(self, n, engine, rng):
+        x = F.random_vector(n, rng)
+        assert engine.forward(x) == ntt(F, x)
+
+    @pytest.mark.parametrize("n", [16, 128])
+    def test_roundtrip(self, n, engine, rng):
+        x = F.random_vector(n, rng)
+        assert engine.inverse(engine.forward(x)) == x
+
+    def test_agrees_with_four_step(self, engine, rng):
+        x = F.random_vector(256, rng)
+        assert engine.forward(x) == four_step_ntt(F, x)
+
+    def test_production_field(self, rng):
+        engine = StreamingHostEngine(SimCluster(GOLDILOCKS, 4))
+        x = GOLDILOCKS.random_vector(64, rng)
+        assert engine.forward(x) == ntt(GOLDILOCKS, x)
+
+    def test_size_validation(self, engine):
+        with pytest.raises(SimulationError, match="power of two"):
+            engine.forward([1, 2, 3])
+        with pytest.raises(SimulationError, match=">= 4"):
+            engine.forward([1, 2])
+
+    def test_bandwidth_validation(self):
+        with pytest.raises(SimulationError, match="h2d_bandwidth"):
+            StreamingHostEngine(SimCluster(F, 2), h2d_bandwidth=0)
+
+
+class TestAccounting:
+    def test_host_traffic_is_four_passes(self, engine, rng):
+        n = 256
+        engine.forward(F.random_vector(n, rng))
+        by_level = engine.cluster.trace.bytes_by_level()
+        eb = engine.cluster.element_bytes
+        assert by_level["host"] == 4 * n * eb
+
+    def test_no_inter_gpu_collectives(self, engine, rng):
+        """Host staging replaces GPU-to-GPU traffic entirely."""
+        engine.forward(F.random_vector(64, rng))
+        assert engine.cluster.trace.collective_count() == 0
+
+
+class TestEstimates:
+    def test_pcie_bound_at_scale(self):
+        engine = StreamingHostEngine(SimCluster(BLS12_381_FR, 8))
+        est = engine.estimate(DGX_A100, 1 << 28)
+        assert est.dominant() == "pcie"
+        assert est.total_s == pytest.approx(est.pcie_s)
+
+    def test_streaming_slower_than_in_memory(self):
+        """The host tax: when data fits, the in-memory engine wins."""
+        n = 1 << 26
+        cluster = SimCluster(BLS12_381_FR, 8)
+        t_stream = StreamingHostEngine(cluster).estimate(
+            DGX_A100, n).total_s
+        t_memory = UniNTTEngine(cluster).estimate(DGX_A100, n).total_s
+        assert t_stream > 2 * t_memory
+
+    def test_more_gpus_add_bandwidth(self):
+        n = 1 << 28
+        t4 = StreamingHostEngine(SimCluster(BLS12_381_FR, 4)).estimate(
+            DGX_A100.with_gpu_count(4), n).total_s
+        t8 = StreamingHostEngine(SimCluster(BLS12_381_FR, 8)).estimate(
+            DGX_A100, n).total_s
+        assert t8 == pytest.approx(t4 / 2, rel=0.01)
+
+    def test_host_bytes_reported(self):
+        engine = StreamingHostEngine(SimCluster(BLS12_381_FR, 8))
+        est = engine.estimate(DGX_A100, 1 << 20)
+        assert est.host_bytes == 4 * (1 << 20) * 32

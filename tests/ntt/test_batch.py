@@ -1,0 +1,73 @@
+"""Tests for batched transforms."""
+
+import pytest
+
+from repro.errors import NTTError
+from repro.field import TEST_FIELD_7681
+from repro.ntt import BatchTransform, batch_intt, batch_ntt, intt, ntt
+from repro.ntt.twiddle import TwiddleCache
+
+F = TEST_FIELD_7681
+
+
+class TestBatch:
+    def test_matches_individual(self, rng):
+        batch = [F.random_vector(32, rng) for _ in range(5)]
+        assert batch_ntt(F, batch) == [ntt(F, v) for v in batch]
+        assert batch_intt(F, batch) == [intt(F, v) for v in batch]
+
+    def test_roundtrip(self, rng):
+        batch = [F.random_vector(16, rng) for _ in range(3)]
+        assert batch_intt(F, batch_ntt(F, batch)) == batch
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(NTTError, match="empty"):
+            batch_ntt(F, [])
+
+    def test_ragged_batch_rejected(self):
+        with pytest.raises(NTTError, match="share a size"):
+            batch_ntt(F, [[1, 2], [1, 2, 3, 4]])
+
+    def test_batch_of_one(self, rng):
+        v = F.random_vector(8, rng)
+        assert batch_ntt(F, [v]) == [ntt(F, v)]
+
+
+class TestBatchTransform:
+    def test_twiddles_computed_once(self, rng):
+        cache = TwiddleCache()
+        transform = BatchTransform(F, cache)
+        batch = [F.random_vector(64, rng) for _ in range(4)]
+        transform.forward(batch)
+        tables_after_first = cache.stats()["tables"]
+        transform.forward(batch)
+        assert cache.stats()["tables"] == tables_after_first
+
+    def test_map_pointwise(self, rng):
+        transform = BatchTransform(F)
+        a = [F.random_vector(8, rng) for _ in range(2)]
+        b = [F.random_vector(8, rng) for _ in range(2)]
+        p = F.modulus
+        result = transform.map_pointwise(a, b, lambda x, y: x * y % p)
+        assert result == [[x * y % p for x, y in zip(av, bv)]
+                          for av, bv in zip(a, b)]
+
+    def test_map_pointwise_mismatch(self):
+        transform = BatchTransform(F)
+        with pytest.raises(NTTError, match="batch sizes differ"):
+            transform.map_pointwise([[1]], [[1], [2]], lambda x, y: x)
+
+    def test_spectral_convolution_via_batch(self, rng):
+        """Batch API supports the NTT -> pointwise -> INTT pattern."""
+        from repro.ntt import naive_cyclic_convolution
+        transform = BatchTransform(F)
+        n = 16
+        a = [F.random_vector(n, rng) for _ in range(3)]
+        b = [F.random_vector(n, rng) for _ in range(3)]
+        p = F.modulus
+        spec = transform.map_pointwise(transform.forward(a),
+                                       transform.forward(b),
+                                       lambda x, y: x * y % p)
+        results = transform.inverse(spec)
+        for av, bv, got in zip(a, b, results):
+            assert got == naive_cyclic_convolution(F, av, bv)

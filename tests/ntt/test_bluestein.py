@@ -1,0 +1,76 @@
+"""Tests for Bluestein arbitrary-length transforms."""
+
+import pytest
+
+from repro.errors import FieldError, NTTError
+from repro.field import BABYBEAR, GOLDILOCKS
+from repro.ntt import bluestein_intt, bluestein_ntt, dft, intt, ntt
+
+F = GOLDILOCKS
+
+
+class TestGeneralRoots:
+    def test_exact_order(self):
+        for order in (3, 5, 6, 15, 17, 60):
+            root = F.root_of_unity_general(order)
+            assert pow(root, order, F.modulus) == 1
+            for d in range(1, order):
+                if order % d == 0 and d != order:
+                    assert pow(root, d, F.modulus) != 1
+
+    def test_non_divisor_rejected(self):
+        with pytest.raises(FieldError, match="does not divide"):
+            F.root_of_unity_general(7)  # 7 does not divide p-1
+
+    def test_order_validation(self):
+        with pytest.raises(FieldError, match="positive"):
+            F.root_of_unity_general(0)
+
+    def test_power_of_two_consistent(self):
+        assert F.root_of_unity_general(16) == F.root_of_unity(16)
+
+
+class TestBluestein:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 6, 10, 12, 15, 17, 20, 48,
+                                   60])
+    def test_matches_reference(self, n, rng):
+        x = F.random_vector(n, rng)
+        root = F.root_of_unity_general(n)
+        assert bluestein_ntt(F, x) == dft(F, x, root=root)
+
+    @pytest.mark.parametrize("n", [3, 5, 12, 17, 60])
+    def test_roundtrip(self, n, rng):
+        x = F.random_vector(n, rng)
+        assert bluestein_intt(F, bluestein_ntt(F, x)) == x
+
+    def test_power_of_two_agrees_with_radix2(self, rng):
+        x = F.random_vector(64, rng)
+        assert bluestein_ntt(F, x) == ntt(F, x)
+        assert bluestein_intt(F, ntt(F, x)) == intt(F, ntt(F, x))
+
+    def test_empty_rejected(self):
+        with pytest.raises(NTTError, match="empty"):
+            bluestein_ntt(F, [])
+
+    def test_unsupported_length_raises(self):
+        # 2*7 = 14 does not divide p-1.
+        with pytest.raises(FieldError, match="does not divide"):
+            bluestein_ntt(F, [1] * 7)
+
+    def test_babybear_lengths(self, rng):
+        # BabyBear p-1 = 2^27 * 3 * 5: length 15 works.
+        x = BABYBEAR.random_vector(15, rng)
+        got = bluestein_ntt(BABYBEAR, x)
+        assert got == dft(BABYBEAR, x,
+                          root=BABYBEAR.root_of_unity_general(15))
+        assert bluestein_intt(BABYBEAR, got) == x
+
+    def test_linearity(self, rng):
+        n = 12
+        p = F.modulus
+        x = F.random_vector(n, rng)
+        y = F.random_vector(n, rng)
+        lhs = bluestein_ntt(F, [(a + b) % p for a, b in zip(x, y)])
+        rhs = [(a + b) % p for a, b in zip(bluestein_ntt(F, x),
+                                           bluestein_ntt(F, y))]
+        assert lhs == rhs

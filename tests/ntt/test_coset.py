@@ -1,0 +1,84 @@
+"""Tests for coset and negacyclic transforms."""
+
+import pytest
+
+from repro.errors import NTTError
+from repro.field import TEST_FIELD_7681
+from repro.ntt import (
+    coset_intt, coset_ntt, naive_negacyclic_convolution, negacyclic_intt,
+    negacyclic_ntt, negacyclic_shift,
+)
+
+F = TEST_FIELD_7681
+
+
+def poly_eval(coeffs, point):
+    acc = 0
+    for c in reversed(coeffs):
+        acc = (acc * point + c) % F.modulus
+    return acc
+
+
+class TestCoset:
+    def test_evaluates_on_shifted_points(self, rng):
+        n = 16
+        shift = F.multiplicative_generator
+        coeffs = F.random_vector(n, rng)
+        evals = coset_ntt(F, coeffs, shift)
+        w = F.root_of_unity(n)
+        for k in (0, 1, 5, n - 1):
+            point = shift * pow(w, k, F.modulus) % F.modulus
+            assert evals[k] == poly_eval(coeffs, point)
+
+    def test_roundtrip(self, rng):
+        coeffs = F.random_vector(32, rng)
+        shift = 42
+        assert coset_intt(F, coset_ntt(F, coeffs, shift), shift) == coeffs
+
+    def test_shift_one_is_plain_ntt(self, rng):
+        from repro.ntt import ntt
+        coeffs = F.random_vector(16, rng)
+        assert coset_ntt(F, coeffs, 1) == ntt(F, coeffs)
+
+    def test_zero_shift_rejected(self):
+        with pytest.raises(NTTError, match="non-zero"):
+            coset_ntt(F, [1, 2], 0)
+        with pytest.raises(NTTError, match="non-zero"):
+            coset_intt(F, [1, 2], F.modulus)  # 0 mod p
+
+    def test_different_shifts_differ(self, rng):
+        coeffs = F.random_vector(16, rng)
+        while sum(coeffs[1:]) == 0:
+            coeffs = F.random_vector(16, rng)
+        assert coset_ntt(F, coeffs, 2) != coset_ntt(F, coeffs, 3)
+
+
+class TestNegacyclic:
+    def test_shift_squares_to_domain_root(self):
+        n = 16
+        psi = negacyclic_shift(F, n)
+        assert psi * psi % F.modulus == F.root_of_unity(n)
+        assert pow(psi, n, F.modulus) == F.modulus - 1  # psi^n = -1
+
+    def test_shift_size_validation(self):
+        with pytest.raises(NTTError, match="power of two"):
+            negacyclic_shift(F, 12)
+
+    def test_roundtrip(self, rng):
+        x = F.random_vector(32, rng)
+        assert negacyclic_intt(F, negacyclic_ntt(F, x)) == x
+
+    def test_pointwise_product_is_negacyclic_convolution(self, rng):
+        n = 16
+        a = F.random_vector(n, rng)
+        b = F.random_vector(n, rng)
+        p = F.modulus
+        spec = [x * y % p for x, y in zip(negacyclic_ntt(F, a),
+                                          negacyclic_ntt(F, b))]
+        assert negacyclic_intt(F, spec) == naive_negacyclic_convolution(
+            F, a, b)
+
+    def test_all_fields(self, ntt_field, rng):
+        x = ntt_field.random_vector(16, rng)
+        assert negacyclic_intt(ntt_field,
+                               negacyclic_ntt(ntt_field, x)) == x

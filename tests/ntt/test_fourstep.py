@@ -1,0 +1,116 @@
+"""Tests for the Bailey four-step / six-step decomposition."""
+
+import pytest
+
+from repro.errors import NTTError
+from repro.field import TEST_FIELD_7681
+from repro.ntt import (
+    four_step_intt, four_step_ntt, ntt, six_step_ntt, split_size,
+    transpose_flat,
+)
+
+F = TEST_FIELD_7681
+
+
+class TestSplitSize:
+    def test_balanced(self):
+        assert split_size(16) == (4, 4)
+        assert split_size(64) == (8, 8)
+
+    def test_odd_power(self):
+        assert split_size(32) == (4, 8)
+        assert split_size(8) == (2, 4)
+
+    def test_trivial(self):
+        assert split_size(1) == (1, 1)
+        assert split_size(2) == (1, 2)
+
+    def test_rejects_non_power(self):
+        with pytest.raises(NTTError):
+            split_size(12)
+
+
+class TestTranspose:
+    def test_basic(self):
+        # 2x3 row-major -> 3x2.
+        assert transpose_flat([1, 2, 3, 4, 5, 6], 2, 3) == [1, 4, 2, 5, 3, 6]
+
+    def test_involution(self, rng):
+        values = F.random_vector(24, rng)
+        once = transpose_flat(values, 4, 6)
+        assert transpose_flat(once, 6, 4) == values
+
+    def test_shape_mismatch(self):
+        with pytest.raises(NTTError, match="view"):
+            transpose_flat([1, 2, 3], 2, 2)
+
+
+class TestFourStep:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 16, 64, 256, 512])
+    def test_matches_radix2(self, n, rng):
+        x = F.random_vector(n, rng)
+        assert four_step_ntt(F, x) == ntt(F, x)
+
+    @pytest.mark.parametrize("rows", [2, 4, 8, 16])
+    def test_all_factorizations(self, rows, rng):
+        n = 256
+        x = F.random_vector(n, rng)
+        assert four_step_ntt(F, x, rows=rows) == ntt(F, x)
+
+    def test_extreme_factorizations(self, rng):
+        x = F.random_vector(64, rng)
+        assert four_step_ntt(F, x, rows=1) == ntt(F, x)
+        assert four_step_ntt(F, x, rows=64) == ntt(F, x)
+
+    def test_roundtrip(self, rng):
+        x = F.random_vector(64, rng)
+        assert four_step_intt(F, four_step_ntt(F, x)) == x
+
+    def test_roundtrip_unbalanced(self, rng):
+        x = F.random_vector(128, rng)
+        assert four_step_intt(F, four_step_ntt(F, x, rows=4), rows=32) == x
+
+    def test_all_fields(self, ntt_field, rng):
+        x = ntt_field.random_vector(64, rng)
+        assert four_step_ntt(ntt_field, x) == ntt(ntt_field, x)
+
+    def test_explicit_root(self, rng):
+        n = 16
+        w = F.root_of_unity(n)
+        x = F.random_vector(n, rng)
+        inv = four_step_ntt(F, four_step_ntt(F, x, root=w),
+                            root=F.inv(w))
+        n_inv = F.inv(n)
+        assert [v * n_inv % F.modulus for v in inv] == x
+
+    def test_invalid_rows(self):
+        with pytest.raises(NTTError, match="divide"):
+            four_step_ntt(F, [0] * 16, rows=3)
+        with pytest.raises(NTTError, match="divide"):
+            four_step_ntt(F, [0] * 16, rows=32)
+
+    def test_non_power_size(self):
+        with pytest.raises(NTTError, match="power of two"):
+            four_step_ntt(F, [0] * 12)
+        with pytest.raises(NTTError, match="power of two"):
+            four_step_intt(F, [0] * 12)
+
+
+class TestSixStep:
+    @pytest.mark.parametrize("n", [1, 4, 16, 64, 256])
+    def test_matches_four_step(self, n, rng):
+        x = F.random_vector(n, rng)
+        assert six_step_ntt(F, x) == four_step_ntt(F, x)
+
+    @pytest.mark.parametrize("rows", [2, 8, 16])
+    def test_factorizations(self, rows, rng):
+        x = F.random_vector(128, rng)
+        assert six_step_ntt(F, x, rows=rows) == ntt(F, x)
+
+    def test_non_power_size(self):
+        with pytest.raises(NTTError, match="power of two"):
+            six_step_ntt(F, [0] * 10)
+
+    def test_invalid_rows(self):
+        with pytest.raises(NTTError, match="divide"):
+            six_step_ntt(F, [0] * 16, rows=5)

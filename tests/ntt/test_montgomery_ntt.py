@@ -1,0 +1,81 @@
+"""Tests for the Montgomery-form NTT pipeline."""
+
+import pytest
+
+from repro.errors import NTTError
+from repro.field import (
+    BLS12_381_FR, GOLDILOCKS, TEST_FIELD_7681, MontgomeryContext,
+)
+from repro.ntt import MontgomeryNTT, intt, ntt
+
+F = TEST_FIELD_7681
+
+
+@pytest.fixture
+def engine():
+    return MontgomeryNTT(MontgomeryContext(F))
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n", [1, 2, 8, 64, 512])
+    def test_matches_plain_path(self, n, engine, rng):
+        x = F.random_vector(n, rng)
+        assert engine.ntt(x) == ntt(F, x)
+
+    @pytest.mark.parametrize("n", [2, 32, 256])
+    def test_roundtrip(self, n, engine, rng):
+        x = F.random_vector(n, rng)
+        assert engine.intt(engine.ntt(x)) == x
+
+    @pytest.mark.parametrize("field", [GOLDILOCKS, BLS12_381_FR],
+                             ids=lambda f: f.name)
+    def test_production_fields(self, field, rng):
+        engine = MontgomeryNTT(MontgomeryContext(field))
+        x = field.random_vector(64, rng)
+        assert engine.ntt(x) == ntt(field, x)
+
+
+class TestFormResidency:
+    def test_chained_transforms_skip_conversions(self, engine, rng):
+        """A form-resident buffer round-trips without leaving form."""
+        x = F.random_vector(64, rng)
+        mont = engine.to_mont(x)
+        fwd = engine.forward(mont)
+        back = engine.inverse(fwd)
+        assert back == mont  # still in form, value-identical
+        assert engine.from_mont(back) == x
+
+    def test_forward_output_is_in_form(self, engine, rng):
+        """forward() output converts to the plain-path spectrum."""
+        x = F.random_vector(32, rng)
+        fwd = engine.forward(engine.to_mont(x))
+        assert engine.from_mont(fwd) == ntt(F, x)
+        # And it is genuinely Montgomery-form: raw values differ.
+        assert fwd != ntt(F, x)
+
+    def test_twiddle_tables_cached_in_form(self, engine, rng):
+        x = F.random_vector(64, rng)
+        engine.ntt(x)
+        tables_after_first = len(engine._tables)
+        engine.ntt(x)
+        assert len(engine._tables) == tables_after_first
+
+    def test_pointwise_product_in_form(self, engine, rng):
+        """The ZKP pattern entirely in Montgomery form."""
+        from repro.ntt import naive_cyclic_convolution
+
+        n = 32
+        a = F.random_vector(n, rng)
+        b = F.random_vector(n, rng)
+        ctx = engine.ctx
+        spec_a = engine.forward(engine.to_mont(a))
+        spec_b = engine.forward(engine.to_mont(b))
+        product = [ctx.mont_mul(x, y) for x, y in zip(spec_a, spec_b)]
+        got = engine.from_mont(engine.inverse(product))
+        assert got == naive_cyclic_convolution(F, a, b)
+
+
+class TestValidation:
+    def test_size_check(self, engine):
+        with pytest.raises(NTTError, match="power of two"):
+            engine.forward([1, 2, 3])

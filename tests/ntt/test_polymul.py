@@ -1,0 +1,104 @@
+"""Tests for NTT-based convolution and polynomial products."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import NTTError
+from repro.field import TEST_FIELD_7681
+from repro.ntt import (
+    cyclic_convolution, naive_cyclic_convolution,
+    naive_negacyclic_convolution, negacyclic_convolution,
+    next_power_of_two, poly_multiply,
+)
+
+F = TEST_FIELD_7681
+
+
+class TestNextPowerOfTwo:
+    @pytest.mark.parametrize("n,expected", [
+        (0, 1), (1, 1), (2, 2), (3, 4), (4, 4), (5, 8), (100, 128),
+        (1024, 1024), (1025, 2048),
+    ])
+    def test_values(self, n, expected):
+        assert next_power_of_two(n) == expected
+
+
+class TestCyclic:
+    @pytest.mark.parametrize("n", [2, 8, 32, 128])
+    def test_matches_naive(self, n, rng):
+        a = F.random_vector(n, rng)
+        b = F.random_vector(n, rng)
+        assert cyclic_convolution(F, a, b) == naive_cyclic_convolution(
+            F, a, b)
+
+    def test_mismatch_rejected(self):
+        with pytest.raises(NTTError, match="match"):
+            cyclic_convolution(F, [1, 2], [1])
+
+
+class TestNegacyclic:
+    @pytest.mark.parametrize("n", [2, 16, 64])
+    def test_matches_naive(self, n, rng):
+        a = F.random_vector(n, rng)
+        b = F.random_vector(n, rng)
+        assert negacyclic_convolution(F, a, b) == \
+            naive_negacyclic_convolution(F, a, b)
+
+    def test_mismatch_rejected(self):
+        with pytest.raises(NTTError, match="match"):
+            negacyclic_convolution(F, [1], [1, 2])
+
+
+class TestPolyMultiply:
+    def test_by_hand(self):
+        # (1 + 2x)(3 + x) = 3 + 7x + 2x^2
+        assert poly_multiply(F, [1, 2], [3, 1]) == [3, 7, 2]
+
+    def test_lengths_add(self, rng):
+        a = F.random_vector(5, rng)
+        b = F.random_vector(9, rng)
+        assert len(poly_multiply(F, a, b)) == 13
+
+    def test_matches_schoolbook(self, rng):
+        a = F.random_vector(20, rng)
+        b = F.random_vector(33, rng)
+        p = F.modulus
+        expected = [0] * 52
+        for i, av in enumerate(a):
+            for j, bv in enumerate(b):
+                expected[i + j] = (expected[i + j] + av * bv) % p
+        assert poly_multiply(F, a, b) == expected
+
+    def test_single_coefficients(self):
+        assert poly_multiply(F, [3], [4]) == [12]
+
+    def test_empty_rejected(self):
+        with pytest.raises(NTTError, match="empty"):
+            poly_multiply(F, [], [1])
+
+    def test_zero_polynomial(self):
+        assert poly_multiply(F, [0, 0], [1, 2]) == [0, 0, 0]
+
+
+coeffs = st.lists(st.integers(min_value=0, max_value=7680), min_size=1,
+                  max_size=12)
+
+
+@given(a=coeffs, b=coeffs)
+def test_poly_multiply_commutative(a, b):
+    assert poly_multiply(F, a, b) == poly_multiply(F, b, a)
+
+
+@given(a=coeffs, b=coeffs, c=coeffs)
+def test_poly_multiply_associative(a, b, c):
+    lhs = poly_multiply(F, poly_multiply(F, a, b), c)
+    rhs = poly_multiply(F, a, poly_multiply(F, b, c))
+    assert lhs == rhs
+
+
+@given(a=st.lists(st.integers(min_value=0, max_value=7680),
+                  min_size=8, max_size=8),
+       b=st.lists(st.integers(min_value=0, max_value=7680),
+                  min_size=8, max_size=8))
+def test_convolution_theorem_property(a, b):
+    assert cyclic_convolution(F, a, b) == naive_cyclic_convolution(F, a, b)

@@ -1,0 +1,129 @@
+"""Tests for the iterative radix-2 kernels."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import NTTError
+from repro.field import TEST_FIELD_97, TEST_FIELD_7681
+from repro.ntt import (
+    apply_bit_reversal, dft, intt, ntt, ntt_dif_inplace, ntt_dit_inplace,
+    radix2_butterfly_count,
+)
+from repro.ntt.twiddle import TwiddleCache
+
+F = TEST_FIELD_7681
+
+
+class TestAgainstReference:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 32, 128, 512])
+    def test_forward_matches_dft(self, n, rng):
+        x = F.random_vector(n, rng)
+        assert ntt(F, x) == dft(F, x)
+
+    def test_all_fields(self, ntt_field, rng):
+        x = ntt_field.random_vector(64, rng)
+        assert ntt(ntt_field, x) == dft(ntt_field, x)
+
+    @pytest.mark.parametrize("n", [1, 2, 16, 256])
+    def test_roundtrip(self, n, rng):
+        x = F.random_vector(n, rng)
+        assert intt(F, ntt(F, x)) == x
+        assert ntt(F, intt(F, x)) == x
+
+    def test_input_not_mutated(self, rng):
+        x = F.random_vector(16, rng)
+        original = list(x)
+        ntt(F, x)
+        intt(F, x)
+        assert x == original
+
+
+class TestExplicitRoot:
+    def test_forward_with_power_root(self, rng):
+        """An NTT with root w^2 over half-size slices matches the
+        decomposition algebra used by plans."""
+        n = 16
+        w = F.root_of_unity(2 * n)
+        x = F.random_vector(n, rng)
+        assert ntt(F, x, root=pow(w, 2, F.modulus)) == dft(
+            F, x, root=pow(w, 2, F.modulus))
+
+    def test_inverse_with_root_roundtrip(self, rng):
+        n = 32
+        w = F.root_of_unity(n)
+        x = F.random_vector(n, rng)
+        assert intt(F, ntt(F, x, root=w), root=w) == x
+
+    def test_explicit_root_skips_two_adicity_check(self, rng):
+        """GF(97) has two-adicity 5; size-64 fails only without a root."""
+        with pytest.raises(NTTError, match="two-adicity"):
+            ntt(TEST_FIELD_97, [0] * 64)
+
+
+class TestSchedules:
+    def test_dif_output_is_bit_reversed_dft(self, rng):
+        n = 16
+        x = F.random_vector(n, rng)
+        data = list(x)
+        cache = TwiddleCache()
+        ntt_dif_inplace(F, data, cache.forward(F, n))
+        apply_bit_reversal(data, cache)
+        assert data == dft(F, x)
+
+    def test_dit_consumes_bit_reversed(self, rng):
+        n = 16
+        x = F.random_vector(n, rng)
+        data = list(x)
+        cache = TwiddleCache()
+        apply_bit_reversal(data, cache)
+        ntt_dit_inplace(F, data, cache.forward(F, n))
+        assert data == dft(F, x)
+
+    def test_dif_forward_dit_inverse_needs_no_reversal(self, rng):
+        """The overhead-free pairing: DIF out feeds DIT in directly."""
+        n = 64
+        x = F.random_vector(n, rng)
+        data = list(x)
+        cache = TwiddleCache()
+        ntt_dif_inplace(F, data, cache.forward(F, n))
+        ntt_dit_inplace(F, data, cache.inverse(F, n))
+        n_inv = F.inv(n)
+        assert [v * n_inv % F.modulus for v in data] == x
+
+
+class TestValidation:
+    @pytest.mark.parametrize("n", [0, 3, 6, 12, 100])
+    def test_non_power_of_two_rejected(self, n):
+        with pytest.raises(NTTError, match="power of two"):
+            ntt(F, [0] * n)
+        with pytest.raises(NTTError, match="power of two"):
+            intt(F, [0] * n)
+
+    def test_size_exceeding_two_adicity(self):
+        with pytest.raises(NTTError, match="two-adicity"):
+            ntt(F, [0] * 2048)  # GF(7681) caps at 512
+
+
+class TestButterflyCount:
+    def test_values(self):
+        assert radix2_butterfly_count(1) == 0
+        assert radix2_butterfly_count(2) == 1
+        assert radix2_butterfly_count(8) == 12
+        assert radix2_butterfly_count(1024) == 512 * 10
+
+
+@given(st.lists(st.integers(min_value=0, max_value=7680),
+                min_size=8, max_size=8))
+def test_ntt_intt_roundtrip_property(values):
+    assert intt(F, ntt(F, values)) == values
+
+
+@given(st.lists(st.integers(min_value=0, max_value=7680),
+                min_size=16, max_size=16),
+       st.lists(st.integers(min_value=0, max_value=7680),
+                min_size=16, max_size=16))
+def test_transform_is_linear_property(x, y):
+    p = F.modulus
+    lhs = ntt(F, [(a + b) % p for a, b in zip(x, y)])
+    rhs = [(a + b) % p for a, b in zip(ntt(F, x), ntt(F, y))]
+    assert lhs == rhs

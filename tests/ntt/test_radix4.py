@@ -1,0 +1,74 @@
+"""Tests for the recursive radix-4 transform."""
+
+import pytest
+
+from repro.errors import NTTError
+from repro.field import TEST_FIELD_7681
+from repro.ntt import (
+    dft, intt_radix4, ntt, ntt_radix4, radix2_butterfly_count,
+    radix4_multiply_count,
+)
+
+F = TEST_FIELD_7681
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 16, 32, 64, 128, 256, 512])
+    def test_matches_dft_all_power_parities(self, n, rng):
+        """Covers both even powers (pure radix-4) and odd (mixed)."""
+        x = F.random_vector(n, rng)
+        assert ntt_radix4(F, x) == dft(F, x)
+
+    def test_all_fields(self, ntt_field, rng):
+        x = ntt_field.random_vector(64, rng)
+        assert ntt_radix4(ntt_field, x) == ntt(ntt_field, x)
+
+    @pytest.mark.parametrize("n", [4, 16, 32, 256])
+    def test_roundtrip(self, n, rng):
+        x = F.random_vector(n, rng)
+        assert intt_radix4(F, ntt_radix4(F, x)) == x
+
+    def test_mix_with_radix2_inverse(self, rng):
+        """Radix choice is an implementation detail: spectra agree."""
+        from repro.ntt import intt
+        x = F.random_vector(64, rng)
+        assert intt(F, ntt_radix4(F, x)) == x
+
+    def test_explicit_root(self, rng):
+        n = 16
+        w = F.root_of_unity(n)
+        x = F.random_vector(n, rng)
+        assert ntt_radix4(F, x, root=w) == dft(F, x, root=w)
+        assert intt_radix4(F, ntt_radix4(F, x, root=w), root=w) == x
+
+
+class TestValidation:
+    @pytest.mark.parametrize("n", [0, 3, 12])
+    def test_bad_sizes(self, n):
+        with pytest.raises(NTTError, match="power of two"):
+            ntt_radix4(F, [0] * n)
+        with pytest.raises(NTTError, match="power of two"):
+            intt_radix4(F, [0] * n)
+
+
+class TestMultiplyCount:
+    def test_base_cases(self):
+        assert radix4_multiply_count(1) == 0
+        assert radix4_multiply_count(2) == 0
+        assert radix4_multiply_count(4) == 3
+
+    def test_recurrences(self):
+        assert radix4_multiply_count(16) == 4 * 3 + 3 * 4
+        # 8 = 4 x 2: four size-2 butterflies (free) + one combine level.
+        assert radix4_multiply_count(8) == 3 * 2
+
+    @pytest.mark.parametrize("log_n", [4, 6, 8, 10, 12, 20])
+    def test_beats_radix2(self, log_n):
+        n = 1 << log_n
+        assert radix4_multiply_count(n) < radix2_butterfly_count(n)
+
+    def test_asymptotic_ratio(self):
+        """Radix-4 should save roughly 25% of twiddle multiplies."""
+        n = 1 << 20
+        ratio = radix4_multiply_count(n) / radix2_butterfly_count(n)
+        assert 0.70 < ratio < 0.85

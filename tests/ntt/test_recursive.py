@@ -1,0 +1,105 @@
+"""Tests for the plan executor (the UniNTT recursion's ground truth)."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import PlanError
+from repro.field import TEST_FIELD_7681
+from repro.ntt import (
+    balanced_plan, dft, execute_plan, execute_plan_inverse, leaf, ntt,
+    plan_intt, plan_ntt, split,
+)
+
+F = TEST_FIELD_7681
+
+
+def random_plan(n: int, rng: random.Random):
+    """A random decomposition tree for size n."""
+    if n <= 2 or rng.random() < 0.3:
+        return leaf(n)
+    log_n = n.bit_length() - 1
+    outer_log = rng.randrange(1, log_n)
+    return split(random_plan(1 << outer_log, rng),
+                 random_plan(1 << (log_n - outer_log), rng))
+
+
+class TestExecution:
+    @pytest.mark.parametrize("n", [1, 2, 4, 16, 64, 256])
+    def test_leaf_plan_matches_ntt(self, n, rng):
+        x = F.random_vector(n, rng)
+        assert plan_ntt(F, leaf(n), x) == ntt(F, x)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_plans_match_reference(self, seed):
+        rng = random.Random(seed)
+        n = 1 << rng.randrange(2, 9)
+        plan = random_plan(n, rng)
+        x = F.random_vector(n, rng)
+        assert plan_ntt(F, plan, x) == dft(F, x), plan.describe()
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_plans_roundtrip(self, seed):
+        rng = random.Random(1000 + seed)
+        n = 1 << rng.randrange(2, 8)
+        plan = random_plan(n, rng)
+        x = F.random_vector(n, rng)
+        assert plan_intt(F, plan, plan_ntt(F, plan, x)) == x
+
+    def test_deep_unbalanced_plan(self, rng):
+        # 256 = 2 x (2 x (2 x 32)) — a pathological skewed tree.
+        plan = split(leaf(2), split(leaf(2), split(leaf(2), leaf(32))))
+        x = F.random_vector(256, rng)
+        assert plan_ntt(F, plan, x) == ntt(F, x)
+
+    def test_different_plans_same_spectrum(self, rng):
+        x = F.random_vector(256, rng)
+        plans = [balanced_plan(256, leaf_size=ls) for ls in (2, 4, 16, 256)]
+        spectra = [plan_ntt(F, p, x) for p in plans]
+        assert all(s == spectra[0] for s in spectra)
+
+    def test_all_fields(self, ntt_field, rng):
+        plan = balanced_plan(64, leaf_size=4)
+        x = ntt_field.random_vector(64, rng)
+        assert plan_ntt(ntt_field, plan, x) == ntt(ntt_field, x)
+
+
+class TestExplicitRoots:
+    def test_forward_inverse_with_root(self, rng):
+        n = 64
+        w = F.root_of_unity(n)
+        plan = balanced_plan(n, leaf_size=4)
+        x = F.random_vector(n, rng)
+        spectrum = execute_plan(F, plan, x, w)
+        assert spectrum == dft(F, x, root=w)
+        assert execute_plan_inverse(F, plan, spectrum, w) == x
+
+    def test_inverse_root_gives_unscaled_inverse(self, rng):
+        n = 16
+        w = F.root_of_unity(n)
+        plan = balanced_plan(n, leaf_size=4)
+        x = F.random_vector(n, rng)
+        back = execute_plan(F, plan, execute_plan(F, plan, x, w), F.inv(w))
+        n_inv = F.inv(n)
+        assert [v * n_inv % F.modulus for v in back] == x
+
+
+class TestValidation:
+    def test_size_mismatch(self):
+        with pytest.raises(PlanError, match="size"):
+            execute_plan(F, leaf(8), [0] * 4, F.root_of_unity(8))
+
+    def test_size_one(self):
+        assert plan_ntt(F, leaf(1), [7]) == [7]
+        assert plan_intt(F, leaf(1), [7]) == [7]
+
+
+@given(st.integers(min_value=0, max_value=3),
+       st.lists(st.integers(min_value=0, max_value=7680),
+                min_size=64, max_size=64))
+def test_plan_invariance_property(seed, values):
+    """The spectrum is independent of the decomposition chosen."""
+    rng = random.Random(seed)
+    plan = random_plan(64, rng)
+    assert plan_ntt(F, plan, values) == ntt(F, values)

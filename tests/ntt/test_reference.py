@@ -1,0 +1,103 @@
+"""Tests for the O(n^2) reference transforms (ground truth of the suite)."""
+
+import pytest
+
+from repro.errors import NTTError
+from repro.field import TEST_FIELD_97, TEST_FIELD_7681
+from repro.ntt import (
+    dft, idft, naive_cyclic_convolution, naive_negacyclic_convolution,
+)
+
+F = TEST_FIELD_7681
+
+
+class TestDFT:
+    def test_empty_rejected(self):
+        with pytest.raises(NTTError, match="empty"):
+            dft(F, [])
+        with pytest.raises(NTTError, match="empty"):
+            idft(F, [])
+
+    def test_size_one_is_identity(self):
+        assert dft(F, [42]) == [42]
+        assert idft(F, [42]) == [42]
+
+    def test_size_two_by_hand(self):
+        # w_2 = -1: X = [a+b, a-b].
+        a, b = 5, 3
+        assert dft(F, [a, b]) == [8, 2]
+
+    def test_delta_transforms_to_constant(self):
+        assert dft(F, [1, 0, 0, 0]) == [1, 1, 1, 1]
+
+    def test_constant_transforms_to_scaled_delta(self):
+        assert dft(F, [1, 1, 1, 1]) == [4, 0, 0, 0]
+
+    def test_dc_component_is_sum(self, ntt_field, rng):
+        x = ntt_field.random_vector(16, rng)
+        assert dft(ntt_field, x)[0] == sum(x) % ntt_field.modulus
+
+    def test_roundtrip(self, ntt_field, rng):
+        x = ntt_field.random_vector(8, rng)
+        assert idft(ntt_field, dft(ntt_field, x)) == x
+
+    def test_linearity(self, rng):
+        x = F.random_vector(8, rng)
+        y = F.random_vector(8, rng)
+        p = F.modulus
+        lhs = dft(F, [(a + b) % p for a, b in zip(x, y)])
+        rhs = [(a + b) % p for a, b in zip(dft(F, x), dft(F, y))]
+        assert lhs == rhs
+
+    def test_explicit_root(self):
+        # Using the inverse root gives the unscaled inverse transform.
+        x = [1, 2, 3, 4]
+        w = F.root_of_unity(4)
+        spectrum = dft(F, x, root=w)
+        back = dft(F, spectrum, root=F.inv(w))
+        n_inv = F.inv(4)
+        assert [v * n_inv % F.modulus for v in back] == x
+
+    def test_evaluates_polynomial(self):
+        """X[k] is the polynomial evaluated at w^k."""
+        coeffs = [3, 1, 4, 1]
+        w = F.root_of_unity(4)
+        spectrum = dft(F, coeffs)
+        for k in range(4):
+            point = pow(w, k, F.modulus)
+            expected = sum(c * pow(point, i, F.modulus)
+                           for i, c in enumerate(coeffs)) % F.modulus
+            assert spectrum[k] == expected
+
+
+class TestNaiveConvolutions:
+    def test_cyclic_by_hand(self):
+        # (1 + x) * (1 + x) mod (x^2 - 1) = 2 + 2x.
+        assert naive_cyclic_convolution(F, [1, 1], [1, 1]) == [2, 2]
+
+    def test_negacyclic_by_hand(self):
+        # (1 + x) * (1 + x) mod (x^2 + 1) = 2x + (1 - 1) = 0 + 2x... :
+        # 1 + 2x + x^2 -> x^2 = -1 -> 0 + 2x.
+        assert naive_negacyclic_convolution(F, [1, 1], [1, 1]) == [0, 2]
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(NTTError, match="match"):
+            naive_cyclic_convolution(F, [1], [1, 2])
+        with pytest.raises(NTTError, match="match"):
+            naive_negacyclic_convolution(F, [1], [1, 2])
+
+    def test_cyclic_identity_element(self, rng):
+        x = F.random_vector(8, rng)
+        delta = [1] + [0] * 7
+        assert naive_cyclic_convolution(F, x, delta) == x
+
+    def test_cyclic_commutes(self, rng):
+        a = F.random_vector(6, rng)
+        b = F.random_vector(6, rng)
+        assert (naive_cyclic_convolution(F, a, b)
+                == naive_cyclic_convolution(F, b, a))
+
+    def test_negacyclic_wraps_negative(self):
+        # x * x = x^2 = -1 in GF(p)[x]/(x^2+1).
+        assert naive_negacyclic_convolution(
+            TEST_FIELD_97, [0, 1], [0, 1]) == [96, 0]

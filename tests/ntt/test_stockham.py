@@ -1,0 +1,61 @@
+"""Tests for the Stockham autosort transform."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import NTTError
+from repro.field import TEST_FIELD_7681
+from repro.ntt import dft, intt_stockham, ntt, ntt_stockham
+
+F = TEST_FIELD_7681
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 16, 64, 256, 512])
+    def test_matches_reference(self, n, rng):
+        x = F.random_vector(n, rng)
+        assert ntt_stockham(F, x) == dft(F, x)
+
+    def test_all_fields(self, ntt_field, rng):
+        x = ntt_field.random_vector(64, rng)
+        assert ntt_stockham(ntt_field, x) == ntt(ntt_field, x)
+
+    @pytest.mark.parametrize("n", [2, 32, 128])
+    def test_roundtrip(self, n, rng):
+        x = F.random_vector(n, rng)
+        assert intt_stockham(F, ntt_stockham(F, x)) == x
+
+    def test_interchangeable_with_radix2(self, rng):
+        """The variants are drop-in replacements for each other."""
+        from repro.ntt import intt
+        x = F.random_vector(64, rng)
+        assert intt(F, ntt_stockham(F, x)) == x
+        assert intt_stockham(F, ntt(F, x)) == x
+
+    def test_explicit_root(self, rng):
+        n = 16
+        w = F.root_of_unity(n)
+        x = F.random_vector(n, rng)
+        assert ntt_stockham(F, x, root=w) == dft(F, x, root=w)
+        assert intt_stockham(F, ntt_stockham(F, x, root=w), root=w) == x
+
+    def test_input_not_mutated(self, rng):
+        x = F.random_vector(32, rng)
+        original = list(x)
+        ntt_stockham(F, x)
+        assert x == original
+
+
+class TestValidation:
+    @pytest.mark.parametrize("n", [0, 3, 12])
+    def test_bad_sizes(self, n):
+        with pytest.raises(NTTError, match="power of two"):
+            ntt_stockham(F, [0] * n)
+        with pytest.raises(NTTError, match="power of two"):
+            intt_stockham(F, [0] * n)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=7680),
+                min_size=32, max_size=32))
+def test_stockham_equals_radix2_property(values):
+    assert ntt_stockham(F, values) == ntt(F, values)

@@ -1,0 +1,86 @@
+"""Tests for twiddle tables and bit reversal."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import NTTError
+from repro.field import TEST_FIELD_7681
+from repro.ntt import TwiddleCache, bit_reverse, bit_reverse_permutation
+
+F = TEST_FIELD_7681
+
+
+class TestBitReverse:
+    @pytest.mark.parametrize("value,bits,expected", [
+        (0b001, 3, 0b100),
+        (0b110, 3, 0b011),
+        (0b1011, 4, 0b1101),
+        (0, 5, 0),
+        (1, 1, 1),
+    ])
+    def test_values(self, value, bits, expected):
+        assert bit_reverse(value, bits) == expected
+
+    @given(st.integers(min_value=0, max_value=255))
+    def test_involution(self, value):
+        assert bit_reverse(bit_reverse(value, 8), 8) == value
+
+    def test_permutation_is_involution(self):
+        perm = bit_reverse_permutation(16)
+        assert sorted(perm) == list(range(16))
+        assert [perm[perm[i]] for i in range(16)] == list(range(16))
+
+    def test_permutation_size_validation(self):
+        with pytest.raises(NTTError, match="power-of-two"):
+            bit_reverse_permutation(12)
+
+    def test_permutation_known(self):
+        assert bit_reverse_permutation(8) == [0, 4, 2, 6, 1, 5, 3, 7]
+
+
+class TestCache:
+    def test_powers_content(self):
+        cache = TwiddleCache()
+        table = cache.powers(F, 2, 5)
+        assert table == [1, 2, 4, 8, 16]
+
+    def test_powers_cached_identity(self):
+        cache = TwiddleCache()
+        assert cache.powers(F, 3, 10) is cache.powers(F, 3, 10)
+
+    def test_forward_table_is_half(self):
+        cache = TwiddleCache()
+        assert len(cache.forward(F, 64)) == 32
+        assert len(cache.forward(F, 1)) == 1
+
+    def test_forward_inverse_related(self):
+        cache = TwiddleCache()
+        fwd = cache.forward(F, 16)
+        inv = cache.inverse(F, 16)
+        p = F.modulus
+        for a, b in zip(fwd, inv):
+            assert a * b % p == 1
+
+    def test_bitrev_cached(self):
+        cache = TwiddleCache()
+        assert cache.bitrev(16) is cache.bitrev(16)
+
+    def test_clear_and_stats(self):
+        cache = TwiddleCache()
+        cache.forward(F, 32)
+        cache.bitrev(32)
+        stats = cache.stats()
+        assert stats["tables"] == 1
+        assert stats["entries"] == 16
+        assert stats["bitrev_tables"] == 1
+        cache.clear()
+        assert cache.stats() == {"tables": 0, "entries": 0,
+                                 "bitrev_tables": 0}
+
+    def test_keyed_by_field_and_root(self):
+        from repro.field import TEST_FIELD_97
+        cache = TwiddleCache()
+        cache.powers(F, 2, 4)
+        cache.powers(TEST_FIELD_97, 2, 4)
+        cache.powers(F, 3, 4)
+        assert cache.stats()["tables"] == 3

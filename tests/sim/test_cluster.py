@@ -1,0 +1,159 @@
+"""Tests for the simulated cluster collectives."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.field import BLS12_381_FR, TEST_FIELD_97
+from repro.sim import SimCluster
+
+F = TEST_FIELD_97
+
+
+def make_cluster(gpus=4, field=F):
+    cluster = SimCluster(field, gpus)
+    cluster.load_shards([[i * 10 + j for j in range(4)]
+                         for i in range(gpus)])
+    return cluster
+
+
+class TestConstruction:
+    def test_gpu_count_power_of_two(self):
+        with pytest.raises(SimulationError, match="power of two"):
+            SimCluster(F, 3)
+
+    def test_element_bytes_per_field(self):
+        assert SimCluster(F, 2).element_bytes == 8
+        assert SimCluster(BLS12_381_FR, 2).element_bytes == 32
+
+    def test_load_and_peek(self):
+        cluster = make_cluster()
+        shards = cluster.peek_shards()
+        assert shards[2] == [20, 21, 22, 23]
+        # peeking charges nothing
+        assert all(g.counters.bytes_sent == 0 for g in cluster.gpus)
+
+    def test_load_wrong_count(self):
+        cluster = SimCluster(F, 4)
+        with pytest.raises(SimulationError, match="expected 4 shards"):
+            cluster.load_shards([[1]])
+
+
+class TestAllToAll:
+    def test_transpose_semantics(self):
+        cluster = SimCluster(F, 2)
+        outboxes = [[[1], [2]], [[3], [4]]]
+        inboxes = cluster.all_to_all(outboxes)
+        assert inboxes == [[[1], [3]], [[2], [4]]]
+
+    def test_byte_accounting_excludes_self(self):
+        cluster = SimCluster(F, 2)
+        # each GPU sends 3 elements to the other, 5 to itself.
+        outboxes = [[[0] * 5, [0] * 3], [[0] * 3, [0] * 5]]
+        cluster.all_to_all(outboxes)
+        eb = cluster.element_bytes
+        for gpu in cluster.gpus:
+            assert gpu.counters.bytes_sent == 3 * eb
+            assert gpu.counters.bytes_received == 3 * eb
+        event = cluster.trace.events[-1]
+        assert event.kind == "all-to-all"
+        assert event.total_bytes == 6 * eb
+        assert event.max_bytes_per_gpu == 3 * eb
+
+    def test_shape_validation(self):
+        cluster = SimCluster(F, 2)
+        with pytest.raises(SimulationError, match="outbox matrix"):
+            cluster.all_to_all([[[1]]])
+
+    def test_conservation(self):
+        cluster = make_cluster()
+        outboxes = [[[s * 4 + d] for d in range(4)] for s in range(4)]
+        cluster.all_to_all(outboxes)
+        cluster.check_conservation()
+
+
+class TestPairwise:
+    def test_exchange(self):
+        cluster = SimCluster(F, 4)
+        received = cluster.pairwise_exchange(
+            [1, 0, 3, 2], [[10], [11], [12], [13]])
+        assert received == [[11], [10], [13], [12]]
+        eb = cluster.element_bytes
+        assert all(g.counters.bytes_sent == eb for g in cluster.gpus)
+
+    def test_self_partner_moves_nothing(self):
+        cluster = SimCluster(F, 2)
+        received = cluster.pairwise_exchange([0, 1], [[5], [6]])
+        assert received == [[5], [6]]
+        assert all(g.counters.bytes_sent == 0 for g in cluster.gpus)
+
+    def test_non_involution_rejected(self):
+        cluster = SimCluster(F, 4)
+        with pytest.raises(SimulationError, match="involution"):
+            cluster.pairwise_exchange([1, 2, 3, 0], [[]] * 4)
+
+    def test_out_of_range_partner(self):
+        cluster = SimCluster(F, 2)
+        with pytest.raises(SimulationError, match="involution"):
+            cluster.pairwise_exchange([5, 1], [[]] * 2)
+
+    def test_shape_validation(self):
+        cluster = SimCluster(F, 2)
+        with pytest.raises(SimulationError, match="one partner"):
+            cluster.pairwise_exchange([0], [[]])
+
+
+class TestGatherScatter:
+    def test_gather(self):
+        cluster = make_cluster()
+        shards = cluster.gather_to(0)
+        assert shards[3] == [30, 31, 32, 33]
+        eb = cluster.element_bytes
+        assert cluster.gpus[0].counters.bytes_sent == 0
+        assert cluster.gpus[0].counters.bytes_received == 3 * 4 * eb
+        assert cluster.gpus[1].counters.bytes_sent == 4 * eb
+
+    def test_gather_invalid_root(self):
+        with pytest.raises(SimulationError, match="root"):
+            make_cluster().gather_to(9)
+
+    def test_scatter(self):
+        cluster = SimCluster(F, 2)
+        cluster.scatter_from(0, [[1, 2], [3, 4]])
+        assert cluster.peek_shards() == [[1, 2], [3, 4]]
+        eb = cluster.element_bytes
+        assert cluster.gpus[0].counters.bytes_sent == 2 * eb
+        assert cluster.gpus[1].counters.bytes_received == 2 * eb
+
+    def test_scatter_shape(self):
+        with pytest.raises(SimulationError, match="expected 2"):
+            SimCluster(F, 2).scatter_from(0, [[1]])
+
+    def test_gather_scatter_conserve(self):
+        cluster = make_cluster()
+        shards = cluster.gather_to(1)
+        cluster.scatter_from(1, shards)
+        cluster.check_conservation()
+
+
+class TestChargeAndTrace:
+    def test_charge_local(self):
+        cluster = SimCluster(F, 4)
+        cluster.charge_local(100, 4096, detail="kernel-x")
+        assert all(g.counters.field_muls == 100 for g in cluster.gpus)
+        event = cluster.trace.events[-1]
+        assert event.kind == "local-compute"
+        assert event.field_muls == 400
+        assert event.detail == "kernel-x"
+
+    def test_reset_counters_clears_trace(self):
+        cluster = make_cluster()
+        cluster.gather_to(0)
+        cluster.reset_counters()
+        assert len(cluster.trace) == 0
+        assert all(g.counters.bytes_sent == 0 for g in cluster.gpus)
+
+    def test_conservation_detects_violation(self):
+        cluster = SimCluster(F, 2)
+        cluster.gpus[0].charge_send(100)
+        with pytest.raises(SimulationError, match="conservation"):
+            cluster.check_conservation()

@@ -1,0 +1,70 @@
+"""Tests for the simulated GPU device."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.field import TEST_FIELD_97
+from repro.sim import SimGPU
+
+
+class TestDevice:
+    def test_construction(self):
+        gpu = SimGPU(3, TEST_FIELD_97)
+        assert gpu.gpu_id == 3
+        assert gpu.shard == []
+        assert gpu.counters.snapshot() == {
+            "bytes_sent": 0, "bytes_received": 0, "mem_traffic_bytes": 0,
+            "field_muls": 0, "kernel_launches": 0,
+        }
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(SimulationError, match="gpu_id"):
+            SimGPU(-1, TEST_FIELD_97)
+
+    def test_load_copies(self):
+        gpu = SimGPU(0, TEST_FIELD_97)
+        data = [1, 2, 3]
+        gpu.load(data)
+        data.append(4)
+        assert gpu.shard == [1, 2, 3]
+
+    def test_require_shard(self):
+        gpu = SimGPU(0, TEST_FIELD_97)
+        gpu.load([1, 2])
+        gpu.require_shard(2)
+        with pytest.raises(SimulationError, match="expected"):
+            gpu.require_shard(3)
+
+    def test_charges_accumulate(self):
+        gpu = SimGPU(0, TEST_FIELD_97)
+        gpu.charge_compute(field_muls=10, mem_bytes=100)
+        gpu.charge_compute(field_muls=5, mem_bytes=50, launches=2)
+        gpu.charge_send(32)
+        gpu.charge_receive(64)
+        counters = gpu.counters
+        assert counters.field_muls == 15
+        assert counters.mem_traffic_bytes == 150
+        assert counters.kernel_launches == 3
+        assert counters.bytes_sent == 32
+        assert counters.bytes_received == 64
+
+    def test_negative_charges_rejected(self):
+        gpu = SimGPU(0, TEST_FIELD_97)
+        with pytest.raises(SimulationError):
+            gpu.charge_compute(-1)
+        with pytest.raises(SimulationError):
+            gpu.charge_send(-1)
+        with pytest.raises(SimulationError):
+            gpu.charge_receive(-1)
+
+    def test_reset(self):
+        gpu = SimGPU(0, TEST_FIELD_97)
+        gpu.charge_compute(10, 10)
+        gpu.reset_counters()
+        assert gpu.counters.field_muls == 0
+
+    def test_repr(self):
+        gpu = SimGPU(1, TEST_FIELD_97)
+        gpu.load([1, 2, 3])
+        assert "id=1" in repr(gpu)
+        assert "3 elems" in repr(gpu)

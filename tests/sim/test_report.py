@@ -1,0 +1,61 @@
+"""Tests for trace rendering."""
+
+from repro.sim import Trace, TraceEvent, render_events, render_summary, render_trace
+
+
+def sample_trace():
+    trace = Trace()
+    trace.record(TraceEvent(kind="local-compute", level="gpu",
+                            max_bytes_per_gpu=1024, total_bytes=4096,
+                            field_muls=500, detail="stage-1"))
+    trace.record(TraceEvent(kind="all-to-all", level="multi-gpu",
+                            max_bytes_per_gpu=2 << 20,
+                            total_bytes=8 << 20, detail="exchange"))
+    return trace
+
+
+class TestRenderEvents:
+    def test_one_line_per_event(self):
+        text = render_events(sample_trace())
+        assert len(text.splitlines()) == 2
+
+    def test_contents(self):
+        text = render_events(sample_trace())
+        assert "local-compute" in text
+        assert "[stage-1]" in text
+        assert "500 muls" in text
+        assert "8.00 MiB" in text  # MiB formatting
+        assert "4.00 KiB" in text  # KiB formatting
+
+    def test_empty(self):
+        assert render_events(Trace()) == "(empty trace)"
+
+
+class TestRenderSummary:
+    def test_aggregates(self):
+        text = render_summary(sample_trace())
+        assert "collectives: 1" in text
+        assert "field muls:  500" in text
+        assert "@gpu" in text
+        assert "@multi-gpu" in text
+
+
+class TestRenderTrace:
+    def test_title_and_sections(self):
+        text = render_trace(sample_trace(), title="my run")
+        assert text.startswith("my run\n======")
+        assert "collectives" in text
+
+    def test_from_real_engine_run(self, rng):
+        from repro.field import TEST_FIELD_7681 as F
+        from repro.multigpu import DistributedVector, UniNTTEngine
+        from repro.sim import SimCluster
+
+        cluster = SimCluster(F, 4)
+        engine = UniNTTEngine(cluster)
+        vec = DistributedVector.from_values(
+            cluster, F.random_vector(64, rng), engine.input_layout(64))
+        engine.forward(vec)
+        text = render_trace(cluster.trace)
+        assert "unintt-exchange" in text
+        assert "collectives: 1" in text

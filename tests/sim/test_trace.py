@@ -1,0 +1,57 @@
+"""Tests for trace aggregation."""
+
+from repro.sim import Trace, TraceEvent
+
+
+def sample_trace() -> Trace:
+    trace = Trace()
+    trace.record(TraceEvent(kind="all-to-all", level="multi-gpu",
+                            max_bytes_per_gpu=100, total_bytes=800))
+    trace.record(TraceEvent(kind="local-compute", level="gpu",
+                            max_bytes_per_gpu=50, total_bytes=400,
+                            field_muls=1000))
+    trace.record(TraceEvent(kind="all-to-all", level="multi-gpu",
+                            max_bytes_per_gpu=100, total_bytes=800))
+    trace.record(TraceEvent(kind="gather", level="multi-gpu",
+                            max_bytes_per_gpu=0, total_bytes=0))
+    return trace
+
+
+class TestTrace:
+    def test_len_and_iter(self):
+        trace = sample_trace()
+        assert len(trace) == 4
+        assert len(list(trace)) == 4
+
+    def test_count(self):
+        trace = sample_trace()
+        assert trace.count("all-to-all") == 2
+        assert trace.count("gather") == 1
+        assert trace.count("nope") == 0
+
+    def test_bytes_by_level(self):
+        assert sample_trace().bytes_by_level() == {
+            "multi-gpu": 1600, "gpu": 400}
+
+    def test_critical_bytes_by_level(self):
+        assert sample_trace().critical_bytes_by_level() == {
+            "multi-gpu": 200, "gpu": 50}
+
+    def test_collective_count_ignores_empty(self):
+        # the zero-byte gather does not count as a collective
+        assert sample_trace().collective_count() == 2
+
+    def test_field_muls(self):
+        assert sample_trace().total_field_muls() == 1000
+
+    def test_summary(self):
+        summary = sample_trace().summary()
+        assert summary["events"] == 4
+        assert summary["collectives"] == 2
+        assert summary["field_muls"] == 1000
+
+    def test_clear(self):
+        trace = sample_trace()
+        trace.clear()
+        assert len(trace) == 0
+        assert trace.bytes_by_level() == {}

@@ -1,0 +1,63 @@
+"""Tests for the hierarchy-uniformity demonstration."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.field import GOLDILOCKS, TEST_FIELD_7681
+from repro.sim import (
+    HIERARCHY_SCALES, simulate_at_level, uniformity_sweep,
+)
+
+F = TEST_FIELD_7681
+
+
+class TestSimulateAtLevel:
+    def test_correct_at_each_scale(self, rng):
+        for units in (2, 4, 8):
+            n = units * 16
+            values = F.random_vector(n, rng)
+            run = simulate_at_level(F, "test", units, n, values)
+            assert run.correct
+            assert run.exchanges == 1
+
+    def test_exchange_ratio_formula(self, rng):
+        """One exchange moves exactly (U-1)/U elements per element."""
+        for units in (2, 4, 8):
+            n = units * 32
+            run = simulate_at_level(F, "x", units, n,
+                                    F.random_vector(n, rng))
+            assert run.elements_exchanged_per_element == pytest.approx(
+                (units - 1) / units)
+
+    def test_length_validation(self):
+        with pytest.raises(SimulationError, match="need"):
+            simulate_at_level(F, "x", 2, 8, [1, 2, 3])
+
+    def test_summary_renders(self, rng):
+        run = simulate_at_level(F, "warp", 4, 64,
+                                F.random_vector(64, rng))
+        assert "warp" in run.summary()
+        assert "OK" in run.summary()
+
+
+class TestSweep:
+    def test_standard_hierarchy(self):
+        runs = uniformity_sweep(GOLDILOCKS, n_per_unit=64)
+        assert [run.level for run in runs] == [name for name, _ in
+                                               HIERARCHY_SCALES]
+        for run in runs:
+            assert run.correct, run.level
+            assert run.exchanges == 1, run.level
+
+    def test_same_invariant_at_every_level(self):
+        """The optimization's effect is scale-free: exchanged volume per
+        element depends only on the fanout, never on which level."""
+        runs = uniformity_sweep(GOLDILOCKS, n_per_unit=64)
+        for run in runs:
+            assert run.elements_exchanged_per_element == pytest.approx(
+                (run.units - 1) / run.units), run.level
+
+    def test_too_small_per_unit_rejected(self):
+        with pytest.raises(SimulationError, match="too small"):
+            uniformity_sweep(F, n_per_unit=4,
+                             scales=[("gpu", 64)])

@@ -1,0 +1,100 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+        assert "repro" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "f99"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "Goldilocks" in out
+        assert "DGX-A100" in out
+        assert "4xDGX-A100" in out
+
+    def test_experiment_single(self, capsys):
+        assert main(["experiment", "f9"]) == 0
+        out = capsys.readouterr().out
+        assert "communication breakdown" in out
+        assert "unintt" in out
+
+    def test_experiment_multiple(self, capsys):
+        assert main(["experiment", "t1", "f10"]) == 0
+        out = capsys.readouterr().out
+        assert "hardware platforms" in out
+        assert "ablation" in out
+
+    @pytest.mark.parametrize("engine", ["single", "baseline", "pairwise",
+                                        "unintt"])
+    def test_estimate_each_engine(self, engine, capsys):
+        assert main(["estimate", "--engine", engine,
+                     "--log-size", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "ms" in out
+        assert "bottleneck" in out
+
+    def test_estimate_other_machine_and_field(self, capsys):
+        assert main(["estimate", "--machine", "DGX-1-V100",
+                     "--field", "Goldilocks", "--log-size", "18"]) == 0
+        assert "DGX-1-V100" in capsys.readouterr().out
+
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "bit-exact" in out
+        assert "verified" in out
+
+    def test_experiment_registry_complete(self):
+        """Every bench-file experiment has a CLI id."""
+        for required in ("t1", "t2", "t3", "f7", "f8", "f9", "f10", "f11",
+                         "f12", "f14"):
+            assert required in EXPERIMENTS
+
+
+class TestTraceAndTune:
+    def test_trace(self, capsys):
+        assert main(["trace", "--log-size", "8", "--gpus", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "bit-exact" in out
+        assert "collectives: 1" in out
+
+    @pytest.mark.parametrize("engine", ["baseline", "pairwise"])
+    def test_trace_other_engines(self, engine, capsys):
+        assert main(["trace", "--log-size", "8", "--gpus", "4",
+                     "--engine", engine]) == 0
+        assert "bit-exact" in capsys.readouterr().out
+
+    def test_tune(self, capsys):
+        assert main(["tune", "--log-size", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "best tile" in out
+        assert "engine ranking" in out
+        assert "unintt" in out
+
+    def test_estimate_with_machine_file(self, tmp_path, capsys):
+        import json
+
+        from repro.hw import DGX1_V100, machine_to_dict
+
+        path = tmp_path / "m.json"
+        path.write_text(json.dumps(machine_to_dict(DGX1_V100)))
+        assert main(["estimate", "--machine-file", str(path),
+                     "--log-size", "20"]) == 0
+        assert "DGX-1-V100" in capsys.readouterr().out

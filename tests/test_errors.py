@@ -1,0 +1,43 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    BenchmarkError, CircuitError, CurveError, FieldError,
+    HardwareModelError, NTTError, PartitionError, PlanError, ProverError,
+    ReproError, SimulationError,
+)
+
+ALL_ERRORS = [FieldError, NTTError, PlanError, HardwareModelError,
+              SimulationError, PartitionError, CurveError, CircuitError,
+              ProverError, BenchmarkError]
+
+
+@pytest.mark.parametrize("error_cls", ALL_ERRORS,
+                         ids=lambda c: c.__name__)
+def test_all_derive_from_repro_error(error_cls):
+    assert issubclass(error_cls, ReproError)
+    with pytest.raises(ReproError):
+        raise error_cls("boom")
+
+
+def test_plan_error_is_ntt_error():
+    """Plan failures are a kind of NTT failure (callers catching
+    NTTError see them)."""
+    assert issubclass(PlanError, NTTError)
+
+
+def test_partition_error_is_simulation_error():
+    assert issubclass(PartitionError, SimulationError)
+
+
+def test_library_raises_only_its_own_errors():
+    """Spot-check that public entry points raise ReproError subclasses
+    (not bare ValueError/TypeError) for domain failures."""
+    from repro.field import TEST_FIELD_97
+    from repro.ntt import ntt
+
+    with pytest.raises(ReproError):
+        TEST_FIELD_97.inv(0)
+    with pytest.raises(ReproError):
+        ntt(TEST_FIELD_97, [1, 2, 3])

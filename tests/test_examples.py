@@ -1,0 +1,48 @@
+"""Every example script must run cleanly end to end.
+
+Examples are user-facing documentation; a broken example is a broken
+deliverable, so they are executed (not just imported) as part of the
+suite.
+"""
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "examples")
+
+EXAMPLES = sorted(name for name in os.listdir(EXAMPLES_DIR)
+                  if name.endswith(".py"))
+
+
+def _load_module(filename: str):
+    path = os.path.join(EXAMPLES_DIR, filename)
+    name = f"example_{filename[:-3]}"
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    try:
+        spec.loader.exec_module(module)
+    finally:
+        sys.modules.pop(name, None)
+    return module
+
+
+def test_examples_present():
+    """The three required examples (plus extras) exist."""
+    assert "quickstart.py" in EXAMPLES
+    assert len(EXAMPLES) >= 3
+
+
+@pytest.mark.parametrize("filename", EXAMPLES)
+def test_example_runs(filename, capsys):
+    module = _load_module(filename)
+    assert hasattr(module, "main"), f"{filename} has no main()"
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip(), f"{filename} produced no output"
+    assert "MISMATCH" not in out
+    assert "FAILED" not in out

@@ -1,0 +1,83 @@
+"""Golden-counter regression tests.
+
+The engines' resource counts ARE the reproduction's results: if a
+refactor changes how many bytes or multiplications an algorithm charges,
+every figure silently shifts.  These tests pin the exact counters for
+canonical configurations; an intentional algorithm change must update
+the golden values here, consciously.
+"""
+
+import random
+
+import pytest
+
+from repro.field import TEST_FIELD_7681
+from repro.multigpu import (
+    BaselineFourStepEngine, DistributedVector, PairwiseExchangeEngine,
+    SingleGpuEngine, UniNTTEngine,
+)
+from repro.sim import SimCluster
+
+F = TEST_FIELD_7681  # 1 limb -> 8 bytes/element
+
+#: (engine, n=256, G=4) -> per-GPU counters after one forward transform.
+GOLDEN_FORWARD = {
+    "unintt": {
+        "bytes_sent": 384,          # (m/G)(G-1) * 8 = 16*3*8
+        "field_muls": 272,          # radix-4 local + fused twiddle + cross
+        "mem_traffic_bytes": 2048,  # one tiled pass + cross pass
+        "collectives": 1,
+    },
+    "baseline": {
+        "bytes_sent": 1152,         # 3 all-to-alls
+        "field_muls": 320,          # column + row transforms + twiddles
+        "mem_traffic_bytes": 3072,  # 2 transform passes + twiddle sweep
+        "collectives": 3,
+    },
+    "pairwise": {
+        "bytes_sent": 1024,         # log2(4)=2 stages x 64*8
+        "field_muls": 384,          # local + twiddle + 2 combine stages
+        "mem_traffic_bytes": 3072,  # local pass + 2 stage passes
+        "collectives": 2,
+    },
+}
+
+
+def run_forward(name):
+    engine_cls = {"unintt": UniNTTEngine,
+                  "baseline": BaselineFourStepEngine,
+                  "pairwise": PairwiseExchangeEngine}[name]
+    n, g = 256, 4
+    cluster = SimCluster(F, g)
+    engine = engine_cls(cluster)
+    rng = random.Random(0)
+    vec = DistributedVector.from_values(
+        cluster, F.random_vector(n, rng), engine.input_layout(n))
+    engine.forward(vec)
+    counters = cluster.gpus[0].counters
+    return {
+        "bytes_sent": counters.bytes_sent,
+        "field_muls": counters.field_muls,
+        "mem_traffic_bytes": counters.mem_traffic_bytes,
+        "collectives": cluster.trace.count("all-to-all")
+        + cluster.trace.count("pairwise"),
+    }
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_FORWARD))
+def test_forward_counters_pinned(name):
+    measured = run_forward(name)
+    golden = GOLDEN_FORWARD[name]
+    mismatches = {key: (golden[key], measured[key])
+                  for key in golden if golden[key] != measured[key]}
+    assert not mismatches, (
+        f"{name}: counters drifted (golden, measured): {mismatches} — "
+        f"if this change is intentional, update GOLDEN_FORWARD")
+
+
+def test_golden_ratios_hold():
+    """The headline structural ratios, pinned as integers."""
+    uni = run_forward("unintt")
+    base = run_forward("baseline")
+    assert base["bytes_sent"] == 3 * uni["bytes_sent"]
+    assert base["collectives"] == 3 * uni["collectives"]

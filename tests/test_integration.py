@@ -1,0 +1,230 @@
+"""Cross-module integration tests.
+
+These exercise the complete pipelines a user of the library would run:
+distributed transforms feeding the ZKP prover, the simulator's measured
+counters backing the cost model's closed forms across sizes, and the
+documented scaling exponents.
+"""
+
+import random
+
+import pytest
+
+from repro.field import BN254_FR, TEST_FIELD_7681
+from repro.hw import DGX_A100, PipelinedGroup
+from repro.multigpu import (
+    BaselineFourStepEngine, DistributedVector, UniNTTEngine,
+)
+from repro.ntt import intt, ntt
+from repro.sim import SimCluster
+from repro.zkp import (
+    EvaluationDomain, Prover, QAP, square_chain, trusted_setup,
+)
+
+F = TEST_FIELD_7681
+
+
+class TestDistributedProverPipeline:
+    """The QAP transforms run bit-exact on the distributed engine."""
+
+    def test_qap_transforms_distributed(self, rng):
+        r1cs, witness = square_chain(BN254_FR, steps=50)
+        qap = QAP(r1cs)
+        n = qap.domain.size  # 64
+        g = 4
+        a_rows, b_rows, c_rows = qap.witness_rows(witness)
+
+        # Distributed INTT of the witness rows must match the prover's.
+        polys = qap.witness_polynomials(witness)
+        cluster = SimCluster(BN254_FR, g)
+        engine = UniNTTEngine(cluster)
+        from repro.multigpu import SpectralLayout
+        spectral = SpectralLayout(n=n, gpu_count=g)
+        for rows, poly in ((a_rows, polys.a), (b_rows, polys.b),
+                           (c_rows, polys.c)):
+            vec = DistributedVector.from_values(cluster, rows, spectral)
+            coeffs = engine.inverse(vec).to_values()
+            # Distributed INTT consumes a spectral-layout spectrum, but
+            # the witness rows are a natural-order evaluation vector, so
+            # compare against the single-node INTT of the same data.
+            assert coeffs == intt(BN254_FR, rows)
+            padded = list(poly.coeffs) + [0] * (n - len(poly.coeffs))
+            assert intt(BN254_FR, rows) == padded
+
+    def test_full_proof_with_distributed_transform_check(self):
+        """Generate a proof and independently recompute one transform
+        with the distributed engine."""
+        r1cs, witness = square_chain(BN254_FR, steps=20)
+        qap = QAP(r1cs)
+        tau = 0xFEED
+        key = trusted_setup(qap.domain.size, tau)
+        prover = Prover(qap, key)
+        proof, polys = prover.prove(witness)
+        assert prover.check(proof, polys, tau)
+
+        # The A polynomial's domain evaluations, recomputed distributed.
+        n = qap.domain.size
+        cluster = SimCluster(BN254_FR, 4)
+        engine = UniNTTEngine(cluster)
+        padded = list(polys.a.coeffs) + [0] * (n - len(polys.a.coeffs))
+        vec = DistributedVector.from_values(cluster, padded,
+                                            engine.input_layout(n))
+        spectrum = engine.forward(vec).to_values()
+        a_rows, _, _ = qap.witness_rows(witness)
+        assert spectrum == a_rows
+
+
+class TestCounterScaling:
+    """Measured counters follow the documented closed-form exponents."""
+
+    def _forward_counters(self, engine_cls, n, g=4):
+        cluster = SimCluster(F, g)
+        engine = engine_cls(cluster)
+        rng = random.Random(n)
+        vec = DistributedVector.from_values(
+            cluster, F.random_vector(n, rng), engine.input_layout(n))
+        engine.forward(vec)
+        return cluster.gpus[0].counters
+
+    @pytest.mark.parametrize("engine_cls",
+                             [BaselineFourStepEngine, UniNTTEngine],
+                             ids=lambda c: c.__name__)
+    def test_exchange_bytes_scale_linearly(self, engine_cls):
+        small = self._forward_counters(engine_cls, 128)
+        big = self._forward_counters(engine_cls, 512)
+        assert big.bytes_sent == 4 * small.bytes_sent
+
+    def test_muls_scale_n_log_n(self):
+        c1 = self._forward_counters(UniNTTEngine, 128)
+        c2 = self._forward_counters(UniNTTEngine, 512)
+        ratio = c2.field_muls / c1.field_muls
+        # n log n: 512*9 / 128*7 = 4 * 9/7 ~ 5.14; allow the twiddle term.
+        assert 4.0 < ratio < 6.0
+
+    def test_profile_extrapolation_consistent(self):
+        """Closed-form profiles at two sizes have the same ratio as the
+        measured counters — the extrapolation honesty check."""
+        g = 4
+        cluster = SimCluster(F, g)
+        engine = UniNTTEngine(cluster)
+
+        def profile_exchange(n):
+            total = 0
+            for step in engine.forward_profile(n):
+                phases = step.phases if isinstance(step, PipelinedGroup) \
+                    else [step]
+                total += sum(p.exchange_bytes for p in phases)
+            return total
+
+        measured_ratio = (self._forward_counters(UniNTTEngine, 512).bytes_sent
+                          / self._forward_counters(UniNTTEngine,
+                                                   128).bytes_sent)
+        closed_ratio = profile_exchange(512) / profile_exchange(128)
+        assert measured_ratio == closed_ratio
+
+
+class TestSpectralDomainOps:
+    """The ZKP pointwise stage is layout-agnostic end to end."""
+
+    def test_distributed_polynomial_product(self, rng):
+        """Multiply two polynomials entirely in the distributed engine
+        and compare against the Polynomial class."""
+        from repro.zkp import Polynomial
+
+        n, g = 256, 4
+        half = n // 2
+        a_coeffs = F.random_vector(half, rng)
+        b_coeffs = F.random_vector(half, rng)
+        p = F.modulus
+
+        cluster = SimCluster(F, g)
+        engine = UniNTTEngine(cluster)
+        layout = engine.input_layout(n)
+
+        vec_a = DistributedVector.from_values(
+            cluster, a_coeffs + [0] * half, layout)
+        spec_layout = engine.forward(vec_a).layout
+        a_shards = cluster.peek_shards()
+
+        vec_b = DistributedVector.from_values(
+            cluster, b_coeffs + [0] * half, layout)
+        engine.forward(vec_b)
+        for gpu, shard_a in zip(cluster.gpus, a_shards):
+            gpu.shard = [x * y % p for x, y in zip(shard_a, gpu.shard)]
+
+        product = engine.inverse(
+            DistributedVector(cluster=cluster, layout=spec_layout))
+        got = product.to_values()
+
+        expected = (Polynomial(F, a_coeffs) * Polynomial(F, b_coeffs))
+        padded = list(expected.coeffs)
+        padded += [0] * (n - len(padded))
+        assert got == padded
+
+
+class TestEndToEndConsistency:
+    def test_estimate_components_add_up(self):
+        from repro.zkp import EndToEndModel
+
+        cluster = SimCluster(BN254_FR, 8)
+        model = EndToEndModel(DGX_A100, UniNTTEngine(cluster))
+        est = model.proof_cost(1 << 20)
+        assert est.total_s == pytest.approx(
+            est.ntt_s + est.msm_s + est.witness_s)
+        assert est.ntt_s == pytest.approx(model.ntt_seconds(1 << 20))
+        assert est.msm_s == pytest.approx(model.msm_seconds(1 << 20))
+
+    def test_domain_and_qap_agree_with_pipeline_charges(self):
+        """The pipeline charges exactly the QAP's declared workload."""
+        r1cs, _ = square_chain(BN254_FR, steps=100)
+        qap = QAP(r1cs)
+        assert qap.transform_count == 7
+        assert len(qap.msm_sizes) == 4
+        domain = EvaluationDomain(BN254_FR, qap.domain.size)
+        assert domain == qap.domain
+
+
+class TestStarkDistributedIntegration:
+    """The STARK prover's transforms, recomputed on the multi-GPU engine."""
+
+    def test_trace_lde_matches_distributed_coset_ntt(self, rng):
+        from repro.field import GOLDILOCKS
+        from repro.multigpu import UniNTTEngine
+        from repro.zkp import SquareAffineAir, StarkProver
+        from repro.ntt import coset_ntt
+
+        air = SquareAffineAir(field=GOLDILOCKS, length=64)
+        trace = air.trace_from_seed(5)
+        blowup = 4
+        n = air.length * blowup
+
+        # What the STARK prover computes internally:
+        coefficients = intt(GOLDILOCKS, trace)
+        padded = coefficients + [0] * (n - air.length)
+        shift = GOLDILOCKS.multiplicative_generator
+        reference = coset_ntt(GOLDILOCKS, padded, shift)
+
+        # The same LDE on the simulated 8-GPU engine, fused coset shift.
+        cluster = SimCluster(GOLDILOCKS, 8)
+        engine = UniNTTEngine(cluster)
+        vec = DistributedVector.from_values(cluster, padded,
+                                            engine.input_layout(n))
+        out = engine.forward(vec, coset_shift=shift)
+        assert out.to_values() == reference
+        assert cluster.trace.collective_count() == 1
+
+    def test_stark_proof_over_distributed_lde(self, rng):
+        """Full pipeline: the distributed engine could feed the Merkle
+        commit — the values agree, so the proof is identical."""
+        from repro.field import GOLDILOCKS
+        from repro.zkp import (
+            SquareAffineAir, StarkProver, StarkVerifier,
+        )
+
+        air = SquareAffineAir(field=GOLDILOCKS, length=32)
+        prover = StarkProver(air, blowup=4, query_count=8,
+                             final_degree=4)
+        verifier = StarkVerifier(air, blowup=4, query_count=8,
+                                 final_degree=4)
+        proof = prover.prove(air.trace_from_seed(11))
+        assert verifier.verify(proof)

@@ -1,0 +1,89 @@
+"""Tests for the parametric circuit builders."""
+
+import pytest
+
+from repro.errors import CircuitError
+from repro.field import BN254_FR, TEST_FIELD_97
+from repro.zkp import inner_product, random_circuit, square_chain
+
+F = BN254_FR
+
+
+class TestSquareChain:
+    def test_satisfied(self):
+        r1cs, witness = square_chain(F, steps=5)
+        assert r1cs.is_satisfied(witness)
+
+    def test_constraint_count(self):
+        r1cs, _ = square_chain(F, steps=10)
+        assert len(r1cs.constraints) == 11  # 10 squarings + output binding
+
+    def test_public_output_is_power(self):
+        r1cs, witness = square_chain(F, steps=3, seed_value=2)
+        assert witness[1] == pow(2, 2 ** 3, F.modulus)
+        assert r1cs.public_inputs(witness) == [witness[1]]
+
+    def test_tampered_witness_fails(self):
+        r1cs, witness = square_chain(F, steps=4)
+        witness = list(witness)
+        witness[-1] = (witness[-1] + 1) % F.modulus
+        assert not r1cs.is_satisfied(witness)
+
+    def test_validation(self):
+        with pytest.raises(CircuitError, match="steps"):
+            square_chain(F, steps=0)
+
+    def test_small_field(self):
+        r1cs, witness = square_chain(TEST_FIELD_97, steps=6)
+        assert r1cs.is_satisfied(witness)
+
+
+class TestInnerProduct:
+    def test_satisfied(self):
+        r1cs, witness = inner_product(F, length=8)
+        assert r1cs.is_satisfied(witness)
+
+    def test_constraint_count(self):
+        r1cs, _ = inner_product(F, length=8)
+        assert len(r1cs.constraints) == 9  # 8 products + summation
+
+    def test_public_is_inner_product(self):
+        r1cs, witness = inner_product(F, length=4, seed=99)
+        a = witness[2:6]
+        b = witness[6:10]
+        expected = sum(x * y for x, y in zip(a, b)) % F.modulus
+        assert witness[1] == expected
+
+    def test_validation(self):
+        with pytest.raises(CircuitError, match="length"):
+            inner_product(F, length=0)
+
+    def test_deterministic(self):
+        _, w1 = inner_product(F, length=4, seed=5)
+        _, w2 = inner_product(F, length=4, seed=5)
+        assert w1 == w2
+        _, w3 = inner_product(F, length=4, seed=6)
+        assert w1 != w3
+
+
+class TestRandomCircuit:
+    @pytest.mark.parametrize("n", [1, 5, 50])
+    def test_satisfied_at_sizes(self, n):
+        r1cs, witness = random_circuit(F, constraints=n)
+        assert len(r1cs.constraints) == n
+        assert r1cs.is_satisfied(witness)
+
+    def test_deterministic_per_seed(self):
+        _, w1 = random_circuit(F, constraints=10, seed=3)
+        _, w2 = random_circuit(F, constraints=10, seed=3)
+        assert w1 == w2
+
+    def test_validation(self):
+        with pytest.raises(CircuitError, match="constraints"):
+            random_circuit(F, constraints=0)
+
+    def test_tamper_detection(self):
+        r1cs, witness = random_circuit(F, constraints=10)
+        witness = list(witness)
+        witness[5] = (witness[5] + 1) % F.modulus
+        assert not r1cs.is_satisfied(witness)

@@ -1,0 +1,128 @@
+"""Tests for BN254 G1 arithmetic."""
+
+import pytest
+
+from repro.errors import CurveError
+from repro.field import BN254_FR, PrimeField
+from repro.zkp import BN254_FP, BN254_G1, CurveParams, CurvePoint
+
+
+@pytest.fixture(scope="module")
+def gen():
+    return BN254_G1.generator()
+
+
+class TestParams:
+    def test_generator_on_curve(self, gen):
+        assert gen.is_on_curve()
+        assert gen.affine() == (1, 2)
+
+    def test_order_matches_scalar_field(self):
+        assert BN254_G1.order == BN254_FR.modulus
+
+    def test_bad_generator_rejected(self):
+        with pytest.raises(CurveError, match="not on the curve"):
+            CurveParams(name="bad", base=BN254_FP, a=0, b=3,
+                        generator_x=1, generator_y=3, order=7)
+
+    def test_infinity(self):
+        inf = BN254_G1.infinity()
+        assert inf.is_infinity()
+        assert inf.is_on_curve()
+        assert inf.affine() is None
+
+
+class TestGroupLaw:
+    def test_identity(self, gen):
+        inf = BN254_G1.infinity()
+        assert gen + inf == gen
+        assert inf + gen == gen
+        assert inf + inf == inf
+
+    def test_inverse(self, gen):
+        assert (gen + (-gen)).is_infinity()
+        assert gen - gen == BN254_G1.infinity()
+        assert (-BN254_G1.infinity()).is_infinity()
+
+    def test_double_matches_add(self, gen):
+        assert gen.double() == gen + gen
+        p5 = gen * 5
+        assert p5.double() == p5 + p5
+
+    def test_commutative(self, gen):
+        a, b = gen * 17, gen * 23
+        assert a + b == b + a
+
+    def test_associative(self, gen):
+        a, b, c = gen * 3, gen * 11, gen * 29
+        assert (a + b) + c == a + (b + c)
+
+    def test_closure_on_curve(self, gen):
+        point = gen
+        for k in range(2, 20):
+            point = point + gen
+            assert point.is_on_curve()
+            assert point == gen * k
+
+    def test_cross_curve_rejected(self, gen):
+        tiny_field = PrimeField(13)
+        tiny = CurveParams(name="tiny", base=tiny_field, a=0, b=3,
+                           generator_x=1, generator_y=2, order=7)
+        with pytest.raises(CurveError, match="different curves"):
+            gen + tiny.generator()
+
+
+class TestScalarMul:
+    def test_small_scalars(self, gen):
+        assert gen * 0 == BN254_G1.infinity()
+        assert gen * 1 == gen
+        assert gen * 2 == gen.double()
+        assert gen * 3 == gen + gen + gen
+
+    def test_distributes(self, gen):
+        assert gen * 7 + gen * 9 == gen * 16
+
+    def test_order_annihilates(self, gen):
+        assert (gen * BN254_G1.order).is_infinity()
+
+    def test_scalar_reduced_mod_order(self, gen):
+        assert gen * (BN254_G1.order + 5) == gen * 5
+
+    def test_negative_scalar(self, gen):
+        assert gen * (-1) == -gen
+
+    def test_large_scalar(self, gen):
+        k = 0x1234567890ABCDEF_1234567890ABCDEF
+        point = gen * k
+        assert point.is_on_curve()
+        assert point + gen == gen * (k + 1)
+
+
+class TestRepresentation:
+    def test_jacobian_equality_across_z(self, gen):
+        """The same point with different Z coordinates compares equal."""
+        p = BN254_FP.modulus
+        z = 7
+        scaled = CurvePoint(BN254_G1, gen.x * z * z % p,
+                            gen.y * pow(z, 3, p) % p, z)
+        assert scaled == gen
+        assert scaled.affine() == gen.affine()
+
+    def test_hash_consistent(self, gen):
+        p = BN254_FP.modulus
+        scaled = CurvePoint(BN254_G1, gen.x * 4 % p, gen.y * 8 % p, 2)
+        assert hash(scaled) == hash(gen)
+
+    def test_repr(self, gen):
+        assert "x=1" in repr(gen)
+        assert "infinity" in repr(BN254_G1.infinity())
+
+    def test_y_zero_doubles_to_infinity(self):
+        """A point with y = 0 is 2-torsion."""
+        # Construct artificially (not on BN254; use a curve that has one):
+        # y^2 = x^3 - x over GF(13) has (0,0) with y=0.
+        f13 = PrimeField(13)
+        curve = CurveParams(name="t", base=f13, a=12, b=0,
+                            generator_x=1, generator_y=0, order=2)
+        pt = curve.generator()
+        assert pt.double().is_infinity()

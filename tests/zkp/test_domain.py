@@ -1,0 +1,120 @@
+"""Tests for evaluation domains."""
+
+import pytest
+
+from repro.errors import NTTError
+from repro.field import TEST_FIELD_7681
+from repro.zkp import EvaluationDomain
+
+F = TEST_FIELD_7681
+
+
+class TestConstruction:
+    def test_basic(self):
+        domain = EvaluationDomain(F, 16)
+        assert domain.size == 16
+        assert pow(domain.generator, 16, F.modulus) == 1
+        assert pow(domain.generator, 8, F.modulus) != 1
+
+    def test_size_validation(self):
+        with pytest.raises(NTTError, match="power of two"):
+            EvaluationDomain(F, 12)
+
+    def test_equality_and_hash(self):
+        assert EvaluationDomain(F, 8) == EvaluationDomain(F, 8)
+        assert EvaluationDomain(F, 8) != EvaluationDomain(F, 16)
+        assert len({EvaluationDomain(F, 8), EvaluationDomain(F, 8)}) == 1
+
+
+class TestPoints:
+    def test_elements_are_generator_powers(self):
+        domain = EvaluationDomain(F, 8)
+        points = domain.elements()
+        assert len(points) == 8
+        assert points[0] == 1
+        for i, point in enumerate(points):
+            assert point == domain.element(i)
+        assert len(set(points)) == 8  # all distinct
+
+    def test_element_wraps(self):
+        domain = EvaluationDomain(F, 8)
+        assert domain.element(9) == domain.element(1)
+
+    def test_coset_elements(self):
+        domain = EvaluationDomain(F, 4)
+        shift = 3
+        coset = domain.coset_elements(shift)
+        assert coset == [3 * e % F.modulus for e in domain.elements()]
+
+
+class TestVanishing:
+    def test_zero_on_domain(self):
+        domain = EvaluationDomain(F, 16)
+        for i in (0, 1, 7, 15):
+            assert domain.vanishing_eval(domain.element(i)) == 0
+
+    def test_nonzero_off_domain(self):
+        domain = EvaluationDomain(F, 16)
+        shift = domain.default_coset_shift()
+        assert domain.vanishing_eval(shift) != 0
+
+    def test_constant_on_coset(self):
+        domain = EvaluationDomain(F, 8)
+        shift = domain.default_coset_shift()
+        constant = domain.vanishing_on_coset(shift)
+        p = F.modulus
+        for e in domain.coset_elements(shift):
+            assert (pow(e, 8, p) - 1) % p == constant
+
+    def test_coset_shift_in_domain_rejected(self):
+        domain = EvaluationDomain(F, 8)
+        with pytest.raises(NTTError, match="vanishes"):
+            domain.vanishing_on_coset(domain.element(3))
+
+
+class TestTransforms:
+    def test_ntt_roundtrip(self, rng):
+        domain = EvaluationDomain(F, 32)
+        coeffs = F.random_vector(32, rng)
+        assert domain.intt(domain.ntt(coeffs)) == coeffs
+
+    def test_coset_roundtrip(self, rng):
+        domain = EvaluationDomain(F, 32)
+        coeffs = F.random_vector(32, rng)
+        shift = domain.default_coset_shift()
+        assert domain.coset_intt(domain.coset_ntt(coeffs, shift),
+                                 shift) == coeffs
+
+    def test_length_validation(self):
+        domain = EvaluationDomain(F, 8)
+        with pytest.raises(NTTError, match="size"):
+            domain.ntt([1, 2])
+        with pytest.raises(NTTError, match="size"):
+            domain.coset_intt([1, 2], 3)
+
+
+class TestLagrange:
+    def test_reconstructs_evaluation(self, rng):
+        """sum_i L_i(z) * P(w^i) == P(z) for any polynomial."""
+        domain = EvaluationDomain(F, 8)
+        coeffs = F.random_vector(8, rng)
+        evals = domain.ntt(coeffs)
+        z = domain.default_coset_shift() * 5 % F.modulus
+        lag = domain.lagrange_coefficients(z)
+        p = F.modulus
+        recon = sum(l * e for l, e in zip(lag, evals)) % p
+        direct = 0
+        for c in reversed(coeffs):
+            direct = (direct * z + c) % p
+        assert recon == direct
+
+    def test_sums_to_one(self):
+        """sum_i L_i(z) = 1 (interpolating the constant 1)."""
+        domain = EvaluationDomain(F, 16)
+        z = 9999 % F.modulus
+        assert sum(domain.lagrange_coefficients(z)) % F.modulus == 1
+
+    def test_point_in_domain_rejected(self):
+        domain = EvaluationDomain(F, 8)
+        with pytest.raises(NTTError, match="domain"):
+            domain.lagrange_coefficients(domain.element(2))

@@ -1,0 +1,157 @@
+"""Tests for the FRI low-degree test."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ProverError
+from repro.field import BABYBEAR, GOLDILOCKS
+from repro.zkp import (
+    FriParameters, FriProver, FriVerifier, Transcript, low_degree_extend,
+)
+
+F = GOLDILOCKS
+
+
+@pytest.fixture(scope="module")
+def params():
+    return FriParameters(field=F, degree_bound=64, blowup=4,
+                         final_degree=4, query_count=8)
+
+
+@pytest.fixture(scope="module")
+def prover(params):
+    return FriProver(params)
+
+
+@pytest.fixture(scope="module")
+def verifier(params):
+    return FriVerifier(params)
+
+
+class TestParameters:
+    def test_derived_quantities(self, params):
+        assert params.domain_size == 256
+        assert params.round_count == 4  # 64 -> 32 -> 16 -> 8 -> 4
+
+    def test_validation(self):
+        with pytest.raises(ProverError, match="power of two"):
+            FriParameters(field=F, degree_bound=48)
+        with pytest.raises(ProverError, match="final_degree"):
+            FriParameters(field=F, degree_bound=4, final_degree=8)
+        with pytest.raises(ProverError, match="query_count"):
+            FriParameters(field=F, degree_bound=8, query_count=0)
+
+
+class TestLowDegreeExtension:
+    def test_extends_evaluations(self, params, rng):
+        coeffs = F.random_vector(10, rng)
+        evals = low_degree_extend(F, coeffs, params)
+        assert len(evals) == params.domain_size
+        # Spot-check one point.
+        shift = params.coset_shift()
+        omega = F.root_of_unity(params.domain_size)
+        x3 = shift * pow(omega, 3, F.modulus) % F.modulus
+        direct = 0
+        for c in reversed(coeffs):
+            direct = (direct * x3 + c) % F.modulus
+        assert evals[3] == direct
+
+    def test_degree_bound_enforced(self, params, rng):
+        with pytest.raises(ProverError, match="exceed"):
+            low_degree_extend(F, F.random_vector(65, rng), params)
+
+
+class TestHonestProofs:
+    @pytest.mark.parametrize("degree", [1, 4, 17, 63, 64])
+    def test_accepts_low_degree(self, degree, prover, verifier, rng):
+        proof = prover.prove(F.random_vector(degree, rng))
+        assert verifier.verify(proof)
+
+    def test_zero_polynomial(self, prover, verifier):
+        proof = prover.prove([0] * 8)
+        assert verifier.verify(proof)
+
+    def test_deterministic(self, prover, rng):
+        coeffs = F.random_vector(20, rng)
+        assert prover.prove(coeffs) == prover.prove(coeffs)
+
+    def test_other_field(self, rng):
+        params = FriParameters(field=BABYBEAR, degree_bound=32, blowup=4,
+                               final_degree=2, query_count=6)
+        proof = FriProver(params).prove(BABYBEAR.random_vector(30, rng))
+        assert FriVerifier(params).verify(proof)
+
+    def test_proof_shape(self, params, prover, rng):
+        proof = prover.prove(F.random_vector(40, rng))
+        assert len(proof.roots) == params.round_count + 1
+        assert len(proof.queries) == params.query_count
+        assert all(len(q) == params.round_count for q in proof.queries)
+        assert len(proof.final_coefficients) <= params.final_degree
+
+
+class TestSoundnessChecks:
+    def test_prover_rejects_high_degree(self, prover, rng):
+        with pytest.raises(ProverError):
+            prover.prove(F.random_vector(65, rng))
+
+    def test_tampered_final_poly(self, prover, verifier, rng):
+        proof = prover.prove(F.random_vector(30, rng))
+        bad = dataclasses.replace(
+            proof,
+            final_coefficients=tuple((c + 1) % F.modulus
+                                     for c in proof.final_coefficients))
+        assert not verifier.verify(bad)
+
+    def test_tampered_root(self, prover, verifier, rng):
+        proof = prover.prove(F.random_vector(30, rng))
+        bad = dataclasses.replace(
+            proof, roots=(proof.roots[0][::-1],) + proof.roots[1:])
+        assert not verifier.verify(bad)
+
+    def test_tampered_opening(self, prover, verifier, rng):
+        proof = prover.prove(F.random_vector(30, rng))
+        first_query = proof.queries[0]
+        opened = first_query[0]
+        bad_path = dataclasses.replace(
+            opened.point_path,
+            leaf=(opened.point_path.leaf + 1) % F.modulus)
+        bad_round = dataclasses.replace(opened, point_path=bad_path)
+        bad_queries = ((bad_round,) + first_query[1:],) + proof.queries[1:]
+        assert not verifier.verify(
+            dataclasses.replace(proof, queries=bad_queries))
+
+    def test_truncated_rounds(self, prover, verifier, rng):
+        proof = prover.prove(F.random_vector(30, rng))
+        bad = dataclasses.replace(proof, roots=proof.roots[:-1])
+        assert not verifier.verify(bad)
+
+    def test_oversized_final_poly(self, prover, verifier, params, rng):
+        proof = prover.prove(F.random_vector(30, rng))
+        padded = proof.final_coefficients + (1,) * (
+            params.final_degree + 1 - len(proof.final_coefficients))
+        assert not verifier.verify(
+            dataclasses.replace(proof, final_coefficients=padded))
+
+
+class TestTranscript:
+    def test_deterministic(self):
+        t1, t2 = Transcript(), Transcript()
+        t1.absorb(b"x")
+        t2.absorb(b"x")
+        assert t1.challenge_field(F) == t2.challenge_field(F)
+
+    def test_absorption_changes_challenges(self):
+        t1, t2 = Transcript(), Transcript()
+        t1.absorb(b"x")
+        t2.absorb(b"y")
+        assert t1.challenge_field(F) != t2.challenge_field(F)
+
+    def test_sequential_challenges_differ(self):
+        t = Transcript()
+        assert t.challenge_field(F) != t.challenge_field(F)
+
+    def test_index_in_bounds(self):
+        t = Transcript()
+        for bound in (1, 7, 256):
+            assert 0 <= t.challenge_index(bound) < bound

@@ -1,0 +1,99 @@
+"""Tests for the full Groth16 protocol structure."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ProverError
+from repro.field import BN254_FR
+from repro.zkp import (
+    Groth16Prover, Groth16Trapdoor, QAP, groth16_self_check,
+    groth16_setup, inner_product, square_chain,
+)
+
+TRAPDOOR = Groth16Trapdoor(alpha=11, beta=13, gamma=17, delta=19,
+                           tau=0xFEEDFACE)
+
+
+@pytest.fixture(scope="module")
+def system():
+    r1cs, witness = square_chain(BN254_FR, steps=6)
+    qap = QAP(r1cs)
+    pk, vk = groth16_setup(qap, TRAPDOOR)
+    return qap, pk, vk, witness
+
+
+class TestSetup:
+    def test_key_shapes(self, system):
+        qap, pk, vk, _ = system
+        n = qap.domain.size
+        assert len(pk.tau_powers) == n
+        assert len(pk.h_terms) == n - 1
+        assert len(pk.private_terms) == len(pk.private_wires)
+        # IC terms: the constant-1 wire plus each public input.
+        assert len(vk.ic_terms) == qap.r1cs.num_public + 1
+        # Public and private wires partition the wire set.
+        assert len(pk.private_wires) + len(vk.ic_terms) == \
+            qap.r1cs.num_wires
+
+    def test_trapdoor_validation(self, system):
+        qap = system[0]
+        with pytest.raises(ProverError, match="non-zero"):
+            groth16_setup(qap, Groth16Trapdoor(alpha=0, beta=1, gamma=1,
+                                               delta=1, tau=1))
+
+    def test_wrong_field_rejected(self):
+        from repro.field import GOLDILOCKS
+        r1cs, _ = square_chain(GOLDILOCKS, steps=3)
+        with pytest.raises(ProverError, match="BN254"):
+            groth16_setup(QAP(r1cs), TRAPDOOR)
+
+
+class TestProofs:
+    def test_honest_proof_verifies(self, system):
+        qap, pk, vk, witness = system
+        proof = Groth16Prover(qap, pk).prove(witness, r=123, s=456)
+        assert groth16_self_check(qap, vk, proof, witness, TRAPDOOR,
+                                  r=123, s=456)
+
+    def test_randomness_changes_proof(self, system):
+        """Zero-knowledge: same witness, different proofs."""
+        qap, pk, _, witness = system
+        prover = Groth16Prover(qap, pk)
+        p1 = prover.prove(witness, r=1, s=2)
+        p2 = prover.prove(witness, r=3, s=4)
+        assert p1.a != p2.a and p1.b != p2.b and p1.c != p2.c
+
+    @pytest.mark.parametrize("element", ["a", "b", "c"])
+    def test_tampered_elements_rejected(self, system, element):
+        qap, pk, vk, witness = system
+        proof = Groth16Prover(qap, pk).prove(witness, r=9, s=8)
+        tampered = dataclasses.replace(
+            proof, **{element: getattr(proof, element)
+                      + pk.curve.generator()})
+        assert not groth16_self_check(qap, vk, tampered, witness,
+                                      TRAPDOOR, r=9, s=8)
+
+    def test_wrong_randomness_rejected(self, system):
+        qap, pk, vk, witness = system
+        proof = Groth16Prover(qap, pk).prove(witness, r=9, s=8)
+        assert not groth16_self_check(qap, vk, proof, witness, TRAPDOOR,
+                                      r=9, s=9)
+
+    def test_pairing_identity_in_exponent(self, system):
+        """dlog(A)*dlog(B) == alpha*beta + ic*gamma + c*delta — verified
+        inside groth16_self_check; a wrong-public witness breaks it."""
+        qap, pk, vk, witness = system
+        proof = Groth16Prover(qap, pk).prove(witness, r=5, s=6)
+        wrong_public = list(witness)
+        wrong_public[1] = (wrong_public[1] + 1) % BN254_FR.modulus
+        assert not groth16_self_check(qap, vk, proof, wrong_public,
+                                      TRAPDOOR, r=5, s=6)
+
+    def test_other_circuit_family(self):
+        r1cs, witness = inner_product(BN254_FR, length=6)
+        qap = QAP(r1cs)
+        pk, vk = groth16_setup(qap, TRAPDOOR)
+        proof = Groth16Prover(qap, pk).prove(witness, r=77, s=88)
+        assert groth16_self_check(qap, vk, proof, witness, TRAPDOOR,
+                                  r=77, s=88)

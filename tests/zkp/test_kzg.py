@@ -1,0 +1,98 @@
+"""Tests for KZG commitments and openings."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ProverError
+from repro.field import BN254_FR
+from repro.zkp import KzgScheme, Polynomial, trusted_setup
+
+TAU = 0xFACEFEED
+
+
+@pytest.fixture(scope="module")
+def scheme():
+    return KzgScheme(trusted_setup(16, TAU))
+
+
+def poly(*coeffs):
+    return Polynomial(BN254_FR, list(coeffs))
+
+
+class TestCommit:
+    def test_commitment_binds_polynomial(self, scheme):
+        assert scheme.commit(poly(1, 2, 3)) != scheme.commit(poly(1, 2, 4))
+
+    def test_commitment_is_evaluation_in_exponent(self, scheme):
+        p = poly(7, 0, 0, 5)
+        assert scheme.commit(p) == \
+            scheme.curve.generator() * p.evaluate(TAU)
+
+    def test_linearity(self, scheme):
+        a, b = poly(1, 2), poly(3, 0, 4)
+        assert scheme.commit(a) + scheme.commit(b) == scheme.commit(a + b)
+
+
+class TestOpen:
+    def test_valid_opening_verifies(self, scheme, rng):
+        p = Polynomial(BN254_FR, BN254_FR.random_vector(10, rng))
+        commitment = scheme.commit(p)
+        for point in (0, 1, 999, BN254_FR.modulus - 1):
+            opening = scheme.open(p, point)
+            assert opening.value == p.evaluate(point)
+            assert scheme.check_with_trapdoor(commitment, opening, TAU)
+
+    def test_opening_at_tau_itself(self, scheme):
+        """Degenerate but well-defined: tau - z = 0, witness check still
+        distinguishes the correct value."""
+        p = poly(5, 6, 7)
+        commitment = scheme.commit(p)
+        opening = scheme.open(p, TAU)
+        assert scheme.check_with_trapdoor(commitment, opening, TAU)
+
+    def test_constant_polynomial(self, scheme):
+        p = poly(42)
+        opening = scheme.open(p, 123)
+        assert opening.value == 42
+        assert opening.witness.is_infinity()  # zero quotient
+        assert scheme.check_with_trapdoor(scheme.commit(p), opening, TAU)
+
+
+class TestSoundness:
+    def test_wrong_value_rejected(self, scheme, rng):
+        p = Polynomial(BN254_FR, BN254_FR.random_vector(8, rng))
+        commitment = scheme.commit(p)
+        opening = scheme.open(p, 55)
+        bad = dataclasses.replace(
+            opening, value=(opening.value + 1) % BN254_FR.modulus)
+        assert not scheme.check_with_trapdoor(commitment, bad, TAU)
+
+    def test_wrong_witness_rejected(self, scheme):
+        p = poly(1, 2, 3)
+        commitment = scheme.commit(p)
+        opening = scheme.open(p, 55)
+        bad = dataclasses.replace(
+            opening, witness=opening.witness + scheme.curve.generator())
+        assert not scheme.check_with_trapdoor(commitment, bad, TAU)
+
+    def test_wrong_commitment_rejected(self, scheme):
+        p, q = poly(1, 2, 3), poly(1, 2, 4)
+        opening = scheme.open(p, 55)
+        assert not scheme.check_with_trapdoor(scheme.commit(q), opening,
+                                              TAU)
+
+
+class TestBatch:
+    def test_batch_open(self, scheme, rng):
+        polys = [Polynomial(BN254_FR, BN254_FR.random_vector(5, rng))
+                 for _ in range(3)]
+        openings = scheme.batch_open(polys, 99)
+        for p, opening in zip(polys, openings):
+            assert opening.point == 99
+            assert scheme.check_with_trapdoor(scheme.commit(p), opening,
+                                              TAU)
+
+    def test_degree_bound_enforced(self, scheme):
+        with pytest.raises(ProverError, match="degree"):
+            scheme.commit(Polynomial.monomial(BN254_FR, 16))

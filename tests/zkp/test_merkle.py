@@ -1,0 +1,76 @@
+"""Tests for Merkle commitments."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ProverError
+from repro.zkp import MerklePath, MerkleTree, hash_leaf, hash_nodes
+
+
+class TestTree:
+    def test_power_of_two_required(self):
+        with pytest.raises(ProverError, match="power-of-two"):
+            MerkleTree([1, 2, 3])
+        with pytest.raises(ProverError, match="power-of-two"):
+            MerkleTree([])
+
+    def test_single_leaf(self):
+        tree = MerkleTree([42])
+        assert tree.depth == 0
+        assert tree.root == hash_leaf(42)
+        assert MerkleTree.verify(tree.root, tree.open(0))
+
+    def test_depth(self):
+        assert MerkleTree(list(range(16))).depth == 4
+
+    def test_root_deterministic(self):
+        assert MerkleTree([1, 2, 3, 4]).root == MerkleTree([1, 2, 3, 4]).root
+
+    def test_root_binds_content(self):
+        assert MerkleTree([1, 2, 3, 4]).root != MerkleTree([1, 2, 3, 5]).root
+
+    def test_root_binds_order(self):
+        assert MerkleTree([1, 2, 3, 4]).root != MerkleTree([2, 1, 3, 4]).root
+
+    def test_manual_two_leaf_root(self):
+        tree = MerkleTree([7, 9])
+        assert tree.root == hash_nodes(hash_leaf(7), hash_leaf(9))
+
+
+class TestPaths:
+    def test_all_positions_verify(self):
+        leaves = [v * 13 % 97 for v in range(32)]
+        tree = MerkleTree(leaves)
+        for index in range(32):
+            path = tree.open(index)
+            assert path.leaf == leaves[index]
+            assert MerkleTree.verify(tree.root, path)
+
+    def test_out_of_range(self):
+        tree = MerkleTree([1, 2])
+        with pytest.raises(ProverError, match="out of range"):
+            tree.open(2)
+
+    def test_wrong_leaf_rejected(self):
+        tree = MerkleTree([1, 2, 3, 4])
+        path = tree.open(1)
+        bad = dataclasses.replace(path, leaf=99)
+        assert not MerkleTree.verify(tree.root, bad)
+
+    def test_wrong_index_rejected(self):
+        tree = MerkleTree([1, 2, 3, 4])
+        path = tree.open(1)
+        bad = dataclasses.replace(path, index=2)
+        assert not MerkleTree.verify(tree.root, bad)
+
+    def test_wrong_sibling_rejected(self):
+        tree = MerkleTree([1, 2, 3, 4])
+        path = tree.open(0)
+        bad = dataclasses.replace(
+            path, siblings=(hash_leaf(9),) + path.siblings[1:])
+        assert not MerkleTree.verify(tree.root, bad)
+
+    def test_domain_separation(self):
+        """A leaf hash can never collide with a node hash."""
+        assert hash_leaf(5) != hash_nodes(hash_leaf(5), hash_leaf(5))

@@ -1,0 +1,94 @@
+"""Tests for the MiMC hash and its R1CS circuits."""
+
+import pytest
+
+from repro.errors import CircuitError
+from repro.field import BN254_FR, GOLDILOCKS
+from repro.zkp import (
+    MiMC, Prover, QAP, mimc_chain_circuit, mimc_preimage_circuit,
+    trusted_setup,
+)
+
+F = BN254_FR
+
+
+class TestNative:
+    def test_deterministic(self):
+        mimc = MiMC(F, rounds=8)
+        assert mimc.permute(42) == mimc.permute(42)
+
+    def test_sensitive_to_input(self):
+        mimc = MiMC(F, rounds=8)
+        assert mimc.permute(1) != mimc.permute(2)
+
+    def test_sensitive_to_key(self):
+        mimc = MiMC(F, rounds=8)
+        assert mimc.permute(1, key=5) != mimc.permute(1, key=6)
+
+    def test_sensitive_to_seed(self):
+        assert MiMC(F, rounds=8).permute(1) != \
+            MiMC(F, rounds=8, seed=b"other").permute(1)
+
+    def test_compression_not_symmetric(self):
+        mimc = MiMC(F, rounds=8)
+        assert mimc.compress(1, 2) != mimc.compress(2, 1)
+
+    def test_hash_many(self):
+        mimc = MiMC(F, rounds=8)
+        assert mimc.hash_many([1, 2, 3]) != mimc.hash_many([1, 2, 4])
+        assert mimc.hash_many([1, 2, 3]) != mimc.hash_many([1, 3, 2])
+
+    def test_manual_one_round(self):
+        mimc = MiMC(F, rounds=1)
+        c = mimc.constants[0]
+        p = F.modulus
+        t = (7 + c) % p
+        assert mimc.permute(7) == t ** 3 % p
+
+    def test_rounds_validation(self):
+        with pytest.raises(CircuitError, match="rounds"):
+            MiMC(F, rounds=0)
+
+    def test_works_over_goldilocks(self):
+        mimc = MiMC(GOLDILOCKS, rounds=8)
+        assert 0 <= mimc.permute(123) < GOLDILOCKS.modulus
+
+
+class TestCircuits:
+    def test_preimage_circuit_matches_native(self):
+        r1cs, witness = mimc_preimage_circuit(F, preimage=99, rounds=8)
+        assert r1cs.is_satisfied(witness)
+        assert witness[1] == MiMC(F, rounds=8).permute(99)
+
+    def test_constraint_count(self):
+        r1cs, _ = mimc_preimage_circuit(F, preimage=5, rounds=8)
+        # 2 per round + the output binding.
+        assert len(r1cs.constraints) == 2 * 8 + 1
+
+    def test_wrong_preimage_fails(self):
+        r1cs, witness = mimc_preimage_circuit(F, preimage=99, rounds=4)
+        witness = list(witness)
+        witness[2] = 98  # claim a different preimage
+        assert not r1cs.is_satisfied(witness)
+
+    def test_chain_circuit(self):
+        r1cs, witness = mimc_chain_circuit(F, [3, 1, 4], rounds=4)
+        assert r1cs.is_satisfied(witness)
+
+    def test_chain_order_sensitive(self):
+        _, w1 = mimc_chain_circuit(F, [1, 2], rounds=4)
+        _, w2 = mimc_chain_circuit(F, [2, 1], rounds=4)
+        assert w1[1] != w2[1]  # different public digests
+
+    def test_chain_validation(self):
+        with pytest.raises(CircuitError, match="at least one"):
+            mimc_chain_circuit(F, [], rounds=4)
+
+    def test_full_proof_roundtrip(self):
+        r1cs, witness = mimc_preimage_circuit(F, preimage=0xDEAD,
+                                              rounds=8)
+        qap = QAP(r1cs)
+        tau = 0xC0DE
+        prover = Prover(qap, trusted_setup(qap.domain.size, tau))
+        proof, polys = prover.prove(witness)
+        assert prover.check(proof, polys, tau)

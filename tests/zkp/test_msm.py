@@ -1,0 +1,113 @@
+"""Tests for multi-scalar multiplication."""
+
+import pytest
+
+from repro.errors import CurveError
+from repro.zkp import (
+    BN254_G1, MsmWorkModel, msm_naive, msm_pippenger,
+    pippenger_window_bits,
+)
+
+GEN = BN254_G1.generator()
+
+
+def sample_instance(n, rng):
+    scalars = [rng.randrange(BN254_G1.order) for _ in range(n)]
+    points = [GEN * rng.randrange(1, 10_000) for _ in range(n)]
+    return scalars, points
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n", [1, 2, 7, 16, 40])
+    def test_pippenger_matches_naive(self, n, rng):
+        scalars, points = sample_instance(n, rng)
+        assert msm_pippenger(BN254_G1, scalars, points) == \
+            msm_naive(BN254_G1, scalars, points)
+
+    @pytest.mark.parametrize("window", [1, 2, 4, 8, 13])
+    def test_window_sizes(self, window, rng):
+        scalars, points = sample_instance(10, rng)
+        expected = msm_naive(BN254_G1, scalars, points)
+        assert msm_pippenger(BN254_G1, scalars, points,
+                             window_bits=window) == expected
+
+    def test_empty(self):
+        assert msm_pippenger(BN254_G1, [], []).is_infinity()
+        assert msm_naive(BN254_G1, [], []).is_infinity()
+
+    def test_zero_scalars(self, rng):
+        _, points = sample_instance(5, rng)
+        assert msm_pippenger(BN254_G1, [0] * 5, points).is_infinity()
+
+    def test_unreduced_scalars(self, rng):
+        _, points = sample_instance(3, rng)
+        scalars = [BN254_G1.order + 2, 2 * BN254_G1.order + 3, -1]
+        assert msm_pippenger(BN254_G1, scalars, points) == \
+            msm_naive(BN254_G1, [2, 3, BN254_G1.order - 1], points)
+
+    def test_single_term(self):
+        assert msm_pippenger(BN254_G1, [7], [GEN]) == GEN * 7
+
+
+class TestValidation:
+    def test_length_mismatch(self):
+        with pytest.raises(CurveError, match="equal lengths"):
+            msm_pippenger(BN254_G1, [1, 2], [GEN])
+
+    def test_bad_window(self):
+        with pytest.raises(CurveError, match="window_bits"):
+            msm_pippenger(BN254_G1, [1], [GEN], window_bits=0)
+
+    def test_foreign_point_rejected(self):
+        from repro.field import PrimeField
+        from repro.zkp import CurveParams
+        tiny = CurveParams(name="t", base=PrimeField(13), a=0, b=3,
+                           generator_x=1, generator_y=2, order=7)
+        with pytest.raises(CurveError, match="same curve"):
+            msm_naive(BN254_G1, [1], [tiny.generator()])
+
+
+class TestWindowHeuristic:
+    def test_grows_with_n(self):
+        assert pippenger_window_bits(16) <= pippenger_window_bits(1 << 20)
+
+    def test_clamped(self):
+        assert pippenger_window_bits(0) == 1
+        assert pippenger_window_bits(4) == 1
+        assert pippenger_window_bits(1 << 30) == 16
+
+
+class TestWorkModel:
+    def test_zero_size(self):
+        model = MsmWorkModel()
+        assert model.point_adds(0) == 0
+
+    def test_monotone_in_n(self):
+        model = MsmWorkModel()
+        assert model.field_muls(1 << 10) < model.field_muls(1 << 20)
+
+    def test_sublinear_amortization(self):
+        """Pippenger cost per point falls as n grows."""
+        model = MsmWorkModel()
+        per_small = model.field_muls(1 << 10) / (1 << 10)
+        per_big = model.field_muls(1 << 22) / (1 << 22)
+        assert per_big < per_small
+
+    def test_multi_gpu_divides_work(self):
+        model = MsmWorkModel()
+        n = 1 << 20
+        single = model.field_muls(n)
+        per_gpu = model.field_muls_multi_gpu(n, 8)
+        assert per_gpu < single
+        # near-linear: within 2x of ideal split
+        assert per_gpu < 2 * single / 8 + model.field_muls(0) + 10**6
+
+    def test_multi_gpu_validation(self):
+        with pytest.raises(CurveError, match="gpu_count"):
+            MsmWorkModel().field_muls_multi_gpu(100, 0)
+
+    def test_explicit_window(self):
+        model = MsmWorkModel()
+        # windows = ceil(254/c); adds = windows*(n + 2^(c+1)).
+        assert model.point_adds(100, window_bits=127) == 2 * (100 + 2 ** 128)
+        assert model.point_doubles(100, window_bits=127) == 127

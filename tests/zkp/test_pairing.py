@@ -1,0 +1,132 @@
+"""Tests for the Tate pairing and witness-free KZG verification."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import CurveError
+from repro.field import BABYBEAR
+from repro.zkp import (
+    Fp2, KzgScheme, Polynomial, TOY_PAIRING_CURVE, TOY_PAIRING_FP,
+    kzg_check_with_pairing, tate_pairing, trusted_setup,
+)
+from repro.zkp.pairing import distortion_ok
+
+G = TOY_PAIRING_CURVE.generator()
+R = TOY_PAIRING_CURVE.order
+
+
+class TestCurveParameters:
+    def test_base_field_shape(self):
+        p = TOY_PAIRING_FP.modulus
+        assert p % 4 == 3                      # sqrt by exponentiation
+        assert (p + 1) % R == 0                # r divides the curve order
+        assert R == BABYBEAR.modulus           # NTT-friendly scalars
+
+    def test_generator_has_exact_order_r(self):
+        assert G.is_on_curve()
+        assert (G * R).is_infinity()
+        assert not (G * (R // 7)).is_infinity()
+
+    def test_distortion_map_lands_on_curve(self):
+        for k in (1, 2, 12345, R - 1):
+            assert distortion_ok(G * k)
+
+
+class TestFp2:
+    def test_i_squared_is_minus_one(self):
+        i = Fp2(0, 1)
+        assert i.square() == Fp2(-1 % TOY_PAIRING_FP.modulus, 0)
+
+    def test_inverse(self):
+        x = Fp2(1234, 5678)
+        assert x * x.inverse() == Fp2.one()
+
+    def test_zero_inverse_rejected(self):
+        with pytest.raises(CurveError):
+            Fp2(0, 0).inverse()
+
+    def test_pow_matches_repeated_mul(self):
+        x = Fp2(3, 7)
+        acc = Fp2.one()
+        for _ in range(13):
+            acc = acc * x
+        assert x.pow(13) == acc
+
+    def test_conjugate_is_frobenius(self):
+        """x^p == conjugate(x) for p = 3 (mod 4)."""
+        x = Fp2(99, 12345)
+        assert x.pow(TOY_PAIRING_FP.modulus) == x.conjugate()
+
+
+class TestPairing:
+    def test_nondegenerate(self):
+        e = tate_pairing(G, G)
+        assert e != Fp2.one()
+        assert e.pow(R) == Fp2.one()  # lands in mu_r
+
+    @pytest.mark.parametrize("a,b", [(2, 3), (17, 91), (R - 1, 5)])
+    def test_bilinear(self, a, b):
+        assert tate_pairing(G * a, G * b) == \
+            tate_pairing(G, G).pow(a * b % R)
+
+    def test_symmetric_in_scalars(self):
+        assert tate_pairing(G * 7, G) == tate_pairing(G, G * 7)
+
+    def test_infinity_maps_to_one(self):
+        inf = TOY_PAIRING_CURVE.infinity()
+        assert tate_pairing(inf, G) == Fp2.one()
+        assert tate_pairing(G, inf) == Fp2.one()
+
+    def test_foreign_curve_rejected(self):
+        from repro.zkp import BN254_G1
+        with pytest.raises(CurveError, match="toy"):
+            tate_pairing(BN254_G1.generator(), G)
+
+
+class TestWitnessFreeKzg:
+    @pytest.fixture(scope="class")
+    def srs(self):
+        return trusted_setup(16, 0xABCDEF, curve=TOY_PAIRING_CURVE)
+
+    def test_honest_opening_verifies(self, srs, rng):
+        scheme = KzgScheme(srs)
+        poly = Polynomial(BABYBEAR, BABYBEAR.random_vector(12, rng))
+        commitment = scheme.commit(poly)
+        for point in (0, 1, 999_999):
+            opening = scheme.open(poly, point)
+            assert kzg_check_with_pairing(srs, commitment, opening)
+
+    def test_wrong_value_rejected(self, srs, rng):
+        scheme = KzgScheme(srs)
+        poly = Polynomial(BABYBEAR, BABYBEAR.random_vector(8, rng))
+        commitment = scheme.commit(poly)
+        opening = scheme.open(poly, 55)
+        bad = dataclasses.replace(opening, value=(opening.value + 1) % R)
+        assert not kzg_check_with_pairing(srs, commitment, bad)
+
+    def test_wrong_witness_rejected(self, srs, rng):
+        scheme = KzgScheme(srs)
+        poly = Polynomial(BABYBEAR, BABYBEAR.random_vector(8, rng))
+        commitment = scheme.commit(poly)
+        opening = scheme.open(poly, 55)
+        bad = dataclasses.replace(opening, witness=opening.witness + G)
+        assert not kzg_check_with_pairing(srs, commitment, bad)
+
+    def test_wrong_commitment_rejected(self, srs, rng):
+        scheme = KzgScheme(srs)
+        poly_a = Polynomial(BABYBEAR, BABYBEAR.random_vector(8, rng))
+        poly_b = poly_a + Polynomial.one(BABYBEAR)
+        opening = scheme.open(poly_a, 55)
+        assert not kzg_check_with_pairing(srs, scheme.commit(poly_b),
+                                          opening)
+
+    def test_wrong_curve_srs_rejected(self):
+        from repro.zkp import BN254_G1
+        from repro.zkp.kzg import KzgOpening
+
+        bn_srs = trusted_setup(4, 7)  # BN254 SRS: no toy pairing
+        fake = KzgOpening(point=1, value=1,
+                          witness=BN254_G1.generator())
+        with pytest.raises(CurveError, match="SRS"):
+            kzg_check_with_pairing(bn_srs, BN254_G1.generator(), fake)

@@ -1,0 +1,96 @@
+"""Tests for the end-to-end proof cost model."""
+
+import pytest
+
+from repro.errors import ProverError
+from repro.field import BN254_FR
+from repro.hw import A100_PCIE_NODE, DGX_A100
+from repro.multigpu import (
+    ALL_ON, BaselineFourStepEngine, SingleGpuEngine, UniNTTEngine,
+    UniNTTOptions,
+)
+from repro.sim import SimCluster
+from repro.zkp import EndToEndModel
+
+
+def make_model(engine_cls, machine=DGX_A100, msm_gpus=None, **kwargs):
+    cluster = SimCluster(BN254_FR, machine.gpu_count)
+    return EndToEndModel(machine, engine_cls(cluster, **kwargs),
+                         msm_gpus=msm_gpus)
+
+
+class TestEstimates:
+    def test_positive_components(self):
+        est = make_model(UniNTTEngine).proof_cost(1 << 18)
+        assert est.ntt_s > 0
+        assert est.msm_s > 0
+        assert est.witness_s > 0
+        assert est.total_s == pytest.approx(
+            est.ntt_s + est.msm_s + est.witness_s)
+
+    def test_domain_rounds_up(self):
+        est = make_model(UniNTTEngine).proof_cost((1 << 18) + 1)
+        assert est.domain_size == 1 << 19
+
+    def test_monotone_in_constraints(self):
+        model = make_model(UniNTTEngine)
+        assert model.proof_cost(1 << 20).total_s > \
+            model.proof_cost(1 << 18).total_s
+
+    def test_validation(self):
+        with pytest.raises(ProverError, match="constraints"):
+            make_model(UniNTTEngine).proof_cost(0)
+        with pytest.raises(ProverError, match="msm_gpus"):
+            make_model(UniNTTEngine, msm_gpus=0)
+
+
+class TestSystemConfigurations:
+    def test_multi_gpu_msm_faster(self):
+        n = 1 << 20
+        single = make_model(SingleGpuEngine, msm_gpus=1).proof_cost(n)
+        multi = make_model(SingleGpuEngine, msm_gpus=8).proof_cost(n)
+        assert multi.msm_s < single.msm_s / 3
+
+    def test_amdahl_story(self):
+        """Once MSM is multi-GPU, NTT dominates; UniNTT removes it."""
+        n = 1 << 22
+        sota = make_model(SingleGpuEngine, msm_gpus=8).proof_cost(n)
+        unintt = make_model(UniNTTEngine, msm_gpus=8).proof_cost(n)
+        assert sota.ntt_fraction() > 0.35
+        assert unintt.ntt_fraction() < sota.ntt_fraction() / 2
+        assert unintt.total_s < sota.total_s
+
+    def test_engine_ordering(self):
+        n = 1 << 22
+        times = [make_model(cls, msm_gpus=8).proof_cost(n).total_s
+                 for cls in (SingleGpuEngine, BaselineFourStepEngine,
+                             UniNTTEngine)]
+        assert times[2] < times[1] < times[0]
+
+    def test_pcie_machine_amplifies_ntt_gap(self):
+        """On a slower interconnect the NTT choice matters even more."""
+        n = 1 << 22
+        gaps = {}
+        for machine in (DGX_A100, A100_PCIE_NODE):
+            sota = make_model(SingleGpuEngine, machine=machine,
+                              msm_gpus=8).proof_cost(n)
+            uni = make_model(UniNTTEngine, machine=machine,
+                             msm_gpus=8).proof_cost(n)
+            gaps[machine.name] = sota.ntt_s / uni.ntt_s
+        assert gaps["A100-PCIe-node"] > gaps["DGX-A100"]
+
+
+class TestCosetScaling:
+    def test_fused_engine_skips_coset_passes(self):
+        n = 1 << 20
+        fused = make_model(UniNTTEngine, options=ALL_ON).proof_cost(n)
+        unfused = make_model(
+            UniNTTEngine,
+            options=UniNTTOptions(fused_twiddle=False)).proof_cost(n)
+        assert unfused.ntt_s > fused.ntt_s
+
+    def test_non_unintt_engines_pay_coset_scaling(self):
+        model = make_model(BaselineFourStepEngine)
+        assert model._coset_scale_seconds(1 << 20) > 0
+        fused = make_model(UniNTTEngine)
+        assert fused._coset_scale_seconds(1 << 20) == 0

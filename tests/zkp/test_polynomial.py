@@ -1,0 +1,180 @@
+"""Tests for dense polynomial algebra."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import NTTError, ReproError
+from repro.field import GOLDILOCKS, TEST_FIELD_7681
+from repro.zkp import EvaluationDomain, Polynomial
+
+F = TEST_FIELD_7681
+
+
+def poly(*coeffs):
+    return Polynomial(F, list(coeffs))
+
+
+class TestConstruction:
+    def test_normalization(self):
+        assert poly(1, 2, 0, 0).coeffs == (1, 2)
+        assert poly(0, 0).is_zero()
+        assert poly().degree == -1
+
+    def test_reduction(self):
+        assert poly(F.modulus + 3).coeffs == (3,)
+
+    def test_monomial(self):
+        m = Polynomial.monomial(F, 3, 5)
+        assert m.coeffs == (0, 0, 0, 5)
+        with pytest.raises(ReproError):
+            Polynomial.monomial(F, -1)
+
+    def test_vanishing(self):
+        z = Polynomial.vanishing(F, 4)
+        assert z.degree == 4
+        domain = EvaluationDomain(F, 4)
+        for e in domain.elements():
+            assert z.evaluate(e) == 0
+
+    def test_constants(self):
+        assert Polynomial.zero(F).is_zero()
+        assert Polynomial.one(F).coeffs == (1,)
+
+
+class TestRingOps:
+    def test_add_sub(self):
+        a, b = poly(1, 2, 3), poly(5, 6)
+        assert (a + b).coeffs == (6, 8, 3)
+        assert (a - b).coeffs == (7677, 7677, 3)
+        assert (a - a).is_zero()
+
+    def test_neg(self):
+        assert (-poly(1, 2)).coeffs == (7680, 7679)
+        assert (-Polynomial.zero(F)).is_zero()
+
+    def test_mul_by_hand(self):
+        assert (poly(1, 1) * poly(1, 1)).coeffs == (1, 2, 1)
+
+    def test_mul_scalar(self):
+        assert (poly(1, 2) * 3).coeffs == (3, 6)
+        assert (3 * poly(1, 2)).coeffs == (3, 6)
+        assert poly(1, 2).scale(0).is_zero()
+
+    def test_mul_zero(self):
+        assert (poly(1, 2) * Polynomial.zero(F)).is_zero()
+
+    def test_large_mul_uses_ntt_and_matches_schoolbook(self, rng):
+        a = Polynomial(F, F.random_vector(70, rng))
+        b = Polynomial(F, F.random_vector(70, rng))
+        product = a * b
+        assert product.degree <= a.degree + b.degree
+        assert product == a._schoolbook_mul(b)
+
+    def test_shift(self):
+        assert poly(1, 2).shift(2).coeffs == (0, 0, 1, 2)
+        assert Polynomial.zero(F).shift(3).is_zero()
+        with pytest.raises(ReproError):
+            poly(1).shift(-1)
+
+    def test_cross_field_rejected(self):
+        with pytest.raises(ReproError, match="different fields"):
+            poly(1) + Polynomial(GOLDILOCKS, [1])
+
+
+class TestDivision:
+    def test_divmod_identity(self, rng):
+        a = Polynomial(F, F.random_vector(20, rng))
+        b = Polynomial(F, F.random_vector(7, rng) or [1])
+        if b.is_zero():
+            b = Polynomial.one(F)
+        q, r = a.divmod(b)
+        assert q * b + r == a
+        assert r.degree < b.degree or r.is_zero()
+
+    def test_exact_division(self):
+        a = poly(1, 2, 1)   # (1+x)^2
+        b = poly(1, 1)
+        q, r = a.divmod(b)
+        assert q == b and r.is_zero()
+        assert a // b == b
+        assert (a % b).is_zero()
+
+    def test_division_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            poly(1, 2).divmod(Polynomial.zero(F))
+
+    def test_divide_by_vanishing_exact(self, rng):
+        h = Polynomial(F, F.random_vector(5, rng))
+        z = Polynomial.vanishing(F, 8)
+        assert (h * z).divide_by_vanishing(8) == h
+
+    def test_divide_by_vanishing_inexact_raises(self):
+        with pytest.raises(NTTError, match="not divisible"):
+            poly(1, 1).divide_by_vanishing(4)
+
+
+class TestEvaluation:
+    def test_horner(self):
+        assert poly(3, 0, 2).evaluate(5) == (3 + 2 * 25) % F.modulus
+        assert Polynomial.zero(F).evaluate(10) == 0
+
+    def test_evaluate_over_domain(self, rng):
+        domain = EvaluationDomain(F, 16)
+        a = Polynomial(F, F.random_vector(10, rng))
+        evals = a.evaluate_over(domain)
+        for i in (0, 3, 15):
+            assert evals[i] == a.evaluate(domain.element(i))
+
+    def test_interpolate_roundtrip(self, rng):
+        domain = EvaluationDomain(F, 16)
+        a = Polynomial(F, F.random_vector(16, rng))
+        assert Polynomial.interpolate(domain, a.evaluate_over(domain)) == a
+
+    def test_coset_evaluation(self, rng):
+        domain = EvaluationDomain(F, 8)
+        shift = domain.default_coset_shift()
+        a = Polynomial(F, F.random_vector(8, rng))
+        evals = a.evaluate_over_coset(domain, shift)
+        for i, point in enumerate(domain.coset_elements(shift)):
+            assert evals[i] == a.evaluate(point)
+
+    def test_degree_too_high_rejected(self):
+        domain = EvaluationDomain(F, 4)
+        big = Polynomial.monomial(F, 4)
+        with pytest.raises(NTTError, match="fit"):
+            big.evaluate_over(domain)
+        with pytest.raises(NTTError, match="fit"):
+            big.evaluate_over_coset(domain, 3)
+
+
+class TestProtocols:
+    def test_equality_and_hash(self):
+        assert poly(1, 2) == poly(1, 2, 0)
+        assert poly(1) != poly(2)
+        assert len({poly(1, 2), poly(1, 2)}) == 1
+
+    def test_repr(self):
+        assert "degree=1" in repr(poly(1, 2))
+        assert "0" in repr(Polynomial.zero(F))
+
+
+coeff_lists = st.lists(st.integers(min_value=0, max_value=7680),
+                       min_size=0, max_size=10)
+
+
+@given(a=coeff_lists, b=coeff_lists, c=coeff_lists)
+def test_ring_axioms(a, b, c):
+    pa, pb, pc = Polynomial(F, a), Polynomial(F, b), Polynomial(F, c)
+    assert pa + pb == pb + pa
+    assert pa * pb == pb * pa
+    assert (pa + pb) * pc == pa * pc + pb * pc
+    assert pa + Polynomial.zero(F) == pa
+    assert pa * Polynomial.one(F) == pa
+
+
+@given(a=coeff_lists, point=st.integers(min_value=0, max_value=7680))
+def test_evaluation_is_ring_hom(a, point):
+    pa = Polynomial(F, a)
+    squared = pa * pa
+    assert squared.evaluate(point) == \
+        pa.evaluate(point) ** 2 % F.modulus

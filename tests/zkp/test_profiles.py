@@ -1,0 +1,81 @@
+"""Tests for proof-system workload profiles."""
+
+import pytest
+
+from repro.errors import ProverError
+from repro.field import BN254_FR
+from repro.hw import DGX_A100
+from repro.multigpu import UniNTTEngine
+from repro.sim import SimCluster
+from repro.zkp import (
+    ALL_PROFILES, EndToEndModel, GROTH16_PROFILE, PLONK_PROFILE,
+    ProofSystemProfile, TransformOp, profile_by_name,
+)
+
+
+class TestProfiles:
+    def test_groth16_matches_qap(self):
+        """The profile's recipe equals what QAP.witness_polynomials runs."""
+        from repro.zkp import QAP, square_chain
+
+        r1cs, _ = square_chain(BN254_FR, steps=6)
+        qap = QAP(r1cs)
+        assert GROTH16_PROFILE.transform_count == qap.transform_count
+        assert GROTH16_PROFILE.msm_count == len(qap.msm_sizes)
+        # 3 INTTs, then 3 coset NTTs, then 1 coset INTT.
+        kinds = [(op.inverse, op.coset) for op in GROTH16_PROFILE.transforms]
+        assert kinds == [(True, False)] * 3 + [(False, True)] * 3 \
+            + [(True, True)]
+
+    def test_plonk_has_extended_domain(self):
+        factors = {op.size_factor for op in PLONK_PROFILE.transforms}
+        assert factors == {1, 4}
+        assert PLONK_PROFILE.msm_count == 9
+
+    def test_concrete_sizes(self):
+        assert GROTH16_PROFILE.transform_sizes(1024) == [1024] * 7
+        plonk_sizes = PLONK_PROFILE.transform_sizes(1024)
+        assert plonk_sizes.count(4096) == 5
+        assert PLONK_PROFILE.msm_sizes(8) == [8] * 9
+
+    def test_lookup(self):
+        assert profile_by_name("plonk") is PLONK_PROFILE
+        with pytest.raises(KeyError, match="no profile"):
+            profile_by_name("stark")
+
+    def test_validation(self):
+        with pytest.raises(ProverError, match="size_factor"):
+            TransformOp(inverse=False, coset=False, size_factor=3)
+        with pytest.raises(ProverError, match="at least"):
+            ProofSystemProfile(name="x", transforms=(),
+                               msm_size_factors=(1,))
+
+    def test_names_unique(self):
+        names = [p.name for p in ALL_PROFILES]
+        assert len(names) == len(set(names))
+
+
+class TestProfiledPipeline:
+    def _model(self, profile):
+        cluster = SimCluster(BN254_FR, 8)
+        return EndToEndModel(DGX_A100, UniNTTEngine(cluster),
+                             profile=profile)
+
+    def test_plonk_costs_more_than_groth16(self):
+        """More transforms, bigger domains, more commitments."""
+        n = 1 << 20
+        groth = self._model(GROTH16_PROFILE).proof_cost(n)
+        plonk = self._model(PLONK_PROFILE).proof_cost(n)
+        assert plonk.ntt_s > groth.ntt_s
+        assert plonk.msm_s > groth.msm_s
+
+    def test_unintt_still_wins_under_plonk(self):
+        from repro.multigpu import SingleGpuEngine
+
+        n = 1 << 20
+        cluster = SimCluster(BN254_FR, 8)
+        sota = EndToEndModel(DGX_A100, SingleGpuEngine(cluster),
+                             profile=PLONK_PROFILE).proof_cost(n)
+        uni = self._model(PLONK_PROFILE).proof_cost(n)
+        assert uni.total_s < sota.total_s
+        assert uni.ntt_fraction() < sota.ntt_fraction()

@@ -1,0 +1,154 @@
+"""Tests for the Groth16-style prover."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ProverError
+from repro.field import BN254_FR, GOLDILOCKS
+from repro.zkp import (
+    BN254_G1, Polynomial, Prover, QAP, square_chain, trusted_setup,
+)
+
+TAU = 0xC0FFEE_DECAF
+
+
+@pytest.fixture(scope="module")
+def setup():
+    r1cs, witness = square_chain(BN254_FR, steps=6)
+    qap = QAP(r1cs)
+    key = trusted_setup(qap.domain.size, TAU)
+    return Prover(qap, key), witness
+
+
+class TestSetup:
+    def test_powers_structure(self):
+        key = trusted_setup(4, TAU)
+        gen = BN254_G1.generator()
+        assert key.size == 4
+        assert key.tau_powers[0] == gen
+        assert key.tau_powers[1] == gen * TAU
+        assert key.tau_powers[3] == gen * pow(TAU, 3, BN254_G1.order)
+
+    def test_validation(self):
+        with pytest.raises(ProverError, match="size"):
+            trusted_setup(0, TAU)
+        with pytest.raises(ProverError, match="non-zero"):
+            trusted_setup(4, BN254_G1.order)
+
+    def test_commit_is_evaluation_in_exponent(self):
+        key = trusted_setup(8, TAU)
+        poly = Polynomial(BN254_FR, [3, 1, 4, 1, 5])
+        commitment = key.commit(poly)
+        assert commitment == BN254_G1.generator() * poly.evaluate(TAU)
+
+    def test_commit_zero(self):
+        key = trusted_setup(4, TAU)
+        assert key.commit(Polynomial.zero(BN254_FR)).is_infinity()
+
+    def test_commit_degree_bound(self):
+        key = trusted_setup(4, TAU)
+        with pytest.raises(ProverError, match="degree"):
+            key.commit(Polynomial.monomial(BN254_FR, 4))
+
+
+class TestProver:
+    def test_proof_verifies(self, setup):
+        prover, witness = setup
+        proof, polys = prover.prove(witness)
+        assert prover.check(proof, polys, TAU)
+
+    def test_commitments_nontrivial(self, setup):
+        prover, witness = setup
+        proof, _ = prover.prove(witness)
+        assert not proof.commit_a.is_infinity()
+        assert not proof.commit_h.is_infinity()
+
+    def test_tampered_commitment_rejected(self, setup):
+        prover, witness = setup
+        proof, polys = prover.prove(witness)
+        bad = dataclasses.replace(
+            proof, commit_a=proof.commit_a + BN254_G1.generator())
+        assert not prover.check(bad, polys, TAU)
+
+    def test_swapped_commitments_rejected(self, setup):
+        prover, witness = setup
+        proof, polys = prover.prove(witness)
+        bad = dataclasses.replace(proof, commit_a=proof.commit_b,
+                                  commit_b=proof.commit_a)
+        assert not prover.check(bad, polys, TAU)
+
+    def test_inconsistent_h_rejected(self, setup):
+        """A proof whose H does not satisfy the QAP identity fails even
+        if all commitments open correctly."""
+        prover, witness = setup
+        _, polys = prover.prove(witness)
+        fake_h = polys.h + Polynomial.one(BN254_FR)
+        fake_polys = dataclasses.replace(polys, h=fake_h)
+        fake_proof = dataclasses.replace(
+            prover.prove(witness)[0], commit_h=prover.key.commit(fake_h))
+        assert not prover.check(fake_proof, fake_polys, TAU)
+
+    def test_wrong_field_rejected(self):
+        r1cs, _ = square_chain(GOLDILOCKS, steps=3)
+        qap = QAP(r1cs)
+        key = trusted_setup(qap.domain.size, TAU)
+        with pytest.raises(ProverError, match="scalar field"):
+            Prover(qap, key)
+
+    def test_undersized_setup_rejected(self):
+        r1cs, _ = square_chain(BN254_FR, steps=10)
+        qap = QAP(r1cs)
+        key = trusted_setup(qap.domain.size // 2, TAU)
+        with pytest.raises(ProverError, match="setup of size"):
+            Prover(qap, key)
+
+    def test_unsatisfying_witness_rejected(self, setup):
+        prover, witness = setup
+        bad = list(witness)
+        bad[2] = (bad[2] + 1) % BN254_FR.modulus
+        from repro.errors import CircuitError
+        with pytest.raises(CircuitError):
+            prover.prove(bad)
+
+
+class TestBlinding:
+    def test_blinded_proof_verifies(self, setup):
+        prover, witness = setup
+        key = trusted_setup(prover.qap.domain.size + 1, TAU)
+        blinding_prover = Prover(prover.qap, key)
+        proof, polys = blinding_prover.prove(witness,
+                                             blinding=(12345, 67890))
+        assert blinding_prover.check(proof, polys, TAU)
+
+    def test_blinding_preserves_qap_identity(self, setup):
+        prover, witness = setup
+        key = trusted_setup(prover.qap.domain.size + 1, TAU)
+        blinding_prover = Prover(prover.qap, key)
+        _, polys = blinding_prover.prove(witness, blinding=(7, 11))
+        assert prover.qap.check_divisibility(polys)
+
+    def test_blinding_changes_commitments(self, setup):
+        """The hiding property: different randomness, different proof."""
+        prover, witness = setup
+        key = trusted_setup(prover.qap.domain.size + 1, TAU)
+        blinding_prover = Prover(prover.qap, key)
+        proof_plain, _ = blinding_prover.prove(witness)
+        proof_r1, _ = blinding_prover.prove(witness, blinding=(1, 2))
+        proof_r2, _ = blinding_prover.prove(witness, blinding=(3, 4))
+        assert proof_r1.commit_a != proof_plain.commit_a
+        assert proof_r1.commit_a != proof_r2.commit_a
+        assert proof_r1.commit_h != proof_r2.commit_h
+
+    def test_blinding_needs_bigger_setup(self, setup):
+        prover, witness = setup  # setup sized exactly to the domain
+        with pytest.raises(ProverError, match="domain\\+1"):
+            prover.prove(witness, blinding=(1, 2))
+
+    def test_zero_blinding_is_plain_proof(self, setup):
+        prover, witness = setup
+        key = trusted_setup(prover.qap.domain.size + 1, TAU)
+        blinding_prover = Prover(prover.qap, key)
+        proof_plain, _ = blinding_prover.prove(witness)
+        proof_zero, _ = blinding_prover.prove(witness, blinding=(0, 0))
+        assert proof_plain == proof_zero

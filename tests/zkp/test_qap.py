@@ -1,0 +1,119 @@
+"""Tests for the QAP transform (the prover's NTT workload)."""
+
+import pytest
+
+from repro.errors import CircuitError
+from repro.field import BN254_FR
+from repro.zkp import (
+    QAP, EvaluationDomain, Polynomial, R1CS, inner_product, random_circuit,
+    square_chain,
+)
+
+F = BN254_FR
+
+
+@pytest.fixture(scope="module")
+def chain():
+    r1cs, witness = square_chain(F, steps=6)
+    return QAP(r1cs), witness
+
+
+class TestConstruction:
+    def test_domain_sizing(self):
+        r1cs, _ = square_chain(F, steps=5)  # 6 constraints
+        assert QAP(r1cs).domain.size == 8
+
+    def test_empty_r1cs_rejected(self):
+        with pytest.raises(CircuitError, match="empty"):
+            QAP(R1CS(F))
+
+    def test_explicit_domain(self):
+        r1cs, _ = square_chain(F, steps=3)
+        qap = QAP(r1cs, domain=EvaluationDomain(F, 16))
+        assert qap.domain.size == 16
+
+    def test_too_small_domain_rejected(self):
+        r1cs, _ = square_chain(F, steps=10)
+        with pytest.raises(CircuitError, match="cannot host"):
+            QAP(r1cs, domain=EvaluationDomain(F, 8))
+
+    def test_workload_descriptors(self, chain):
+        qap, _ = chain
+        assert qap.transform_count == 7
+        n = qap.domain.size
+        assert qap.msm_sizes == [n, n, n, n - 1]
+
+
+class TestWitnessRows:
+    def test_rows_satisfy_constraints_pointwise(self, chain):
+        qap, witness = chain
+        a, b, c = qap.witness_rows(witness)
+        p = F.modulus
+        for i in range(len(qap.r1cs.constraints)):
+            assert a[i] * b[i] % p == c[i]
+
+    def test_padding_is_zero(self, chain):
+        qap, witness = chain
+        a, b, c = qap.witness_rows(witness)
+        m = len(qap.r1cs.constraints)
+        assert a[m:] == [0] * (qap.domain.size - m)
+        assert b[m:] == c[m:] == a[m:]
+
+
+class TestQuotient:
+    def test_divisibility(self, chain):
+        qap, witness = chain
+        polys = qap.witness_polynomials(witness)
+        assert qap.check_divisibility(polys)
+
+    def test_quotient_degree_bound(self, chain):
+        qap, witness = chain
+        polys = qap.witness_polynomials(witness)
+        assert polys.h.degree <= qap.domain.size - 2
+        assert polys.a.degree < qap.domain.size
+
+    def test_identity_on_domain(self, chain):
+        """A(w^i) * B(w^i) = C(w^i) on every domain point."""
+        qap, witness = chain
+        polys = qap.witness_polynomials(witness)
+        p = F.modulus
+        for i in range(qap.domain.size):
+            point = qap.domain.element(i)
+            assert (polys.a.evaluate(point) * polys.b.evaluate(point)
+                    - polys.c.evaluate(point)) % p == 0
+
+    def test_identity_off_domain_via_h(self, chain):
+        """A*B - C = H*Z at an arbitrary point off the domain."""
+        qap, witness = chain
+        polys = qap.witness_polynomials(witness)
+        p = F.modulus
+        z_point = 0xABCDEF
+        lhs = (polys.a.evaluate(z_point) * polys.b.evaluate(z_point)
+               - polys.c.evaluate(z_point)) % p
+        rhs = polys.h.evaluate(z_point) * \
+            qap.domain.vanishing_eval(z_point) % p
+        assert lhs == rhs
+
+    def test_bad_witness_rejected(self, chain):
+        qap, witness = chain
+        bad = list(witness)
+        bad[-1] = (bad[-1] + 1) % F.modulus
+        with pytest.raises(CircuitError, match="does not satisfy"):
+            qap.witness_polynomials(bad)
+
+    def test_divisibility_check_detects_wrong_h(self, chain):
+        qap, witness = chain
+        polys = qap.witness_polynomials(witness)
+        import dataclasses
+        tampered = dataclasses.replace(
+            polys, h=polys.h + Polynomial.one(F))
+        assert not qap.check_divisibility(tampered)
+
+    @pytest.mark.parametrize("builder,arg", [
+        (inner_product, 6), (random_circuit, 13),
+    ])
+    def test_other_circuit_families(self, builder, arg):
+        r1cs, witness = builder(F, arg)
+        qap = QAP(r1cs)
+        polys = qap.witness_polynomials(witness)
+        assert qap.check_divisibility(polys)

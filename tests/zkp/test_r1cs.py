@@ -1,0 +1,100 @@
+"""Tests for the R1CS constraint system."""
+
+import pytest
+
+from repro.errors import CircuitError
+from repro.field import BN254_FR, TEST_FIELD_97
+from repro.zkp import R1CS, Constraint
+
+F = TEST_FIELD_97
+
+
+class TestConstruction:
+    def test_wire_zero_is_constant(self):
+        r1cs = R1CS(F, num_public=2)
+        assert r1cs.num_wires == 3  # one + 2 public
+
+    def test_negative_public_rejected(self):
+        with pytest.raises(CircuitError):
+            R1CS(F, num_public=-1)
+
+    def test_new_wire_sequential(self):
+        r1cs = R1CS(F)
+        assert r1cs.new_wire() == 1
+        assert r1cs.new_wire() == 2
+        assert r1cs.num_wires == 3
+
+    def test_out_of_range_wire_rejected(self):
+        r1cs = R1CS(F)
+        with pytest.raises(CircuitError, match="references wire"):
+            r1cs.add_constraint({5: 1}, {0: 1}, {0: 1})
+
+    def test_constraint_freezing(self):
+        c = Constraint.make({2: 5, 1: 3}, {0: 1}, {3: 1})
+        assert c.a == ((1, 3), (2, 5))  # sorted, hashable
+        hash(c)
+
+
+class TestSatisfaction:
+    def make_mul_system(self):
+        """x * y = z with (x, y, z) private."""
+        r1cs = R1CS(F)
+        x, y = r1cs.new_wire(), r1cs.new_wire()
+        z = r1cs.constrain_mul(x, y)
+        return r1cs, x, y, z
+
+    def test_satisfied(self):
+        r1cs, x, y, z = self.make_mul_system()
+        assert r1cs.is_satisfied([1, 6, 7, 42])
+
+    def test_unsatisfied(self):
+        r1cs, *_ = self.make_mul_system()
+        assert not r1cs.is_satisfied([1, 6, 7, 43])
+
+    def test_modular_wraparound(self):
+        r1cs, *_ = self.make_mul_system()
+        assert r1cs.is_satisfied([1, 10, 10, 3])  # 100 mod 97
+
+    def test_witness_shape_checks(self):
+        r1cs, *_ = self.make_mul_system()
+        with pytest.raises(CircuitError, match="entries"):
+            r1cs.is_satisfied([1, 2])
+        with pytest.raises(CircuitError, match="constant 1"):
+            r1cs.is_satisfied([2, 6, 7, 42])
+
+    def test_constrain_square(self):
+        r1cs = R1CS(F)
+        x = r1cs.new_wire()
+        r1cs.constrain_square(x)
+        assert r1cs.is_satisfied([1, 5, 25])
+        assert not r1cs.is_satisfied([1, 5, 24])
+
+    def test_constrain_equal(self):
+        r1cs = R1CS(F)
+        x, y = r1cs.new_wire(), r1cs.new_wire()
+        r1cs.constrain_equal(x, y)
+        assert r1cs.is_satisfied([1, 9, 9])
+        assert not r1cs.is_satisfied([1, 9, 8])
+
+    def test_linear_combination_constraint(self):
+        """(2x + 3y) * 1 = z"""
+        r1cs = R1CS(F)
+        x, y, z = (r1cs.new_wire() for _ in range(3))
+        r1cs.add_constraint({x: 2, y: 3}, {0: 1}, {z: 1})
+        assert r1cs.is_satisfied([1, 5, 10, 40])
+
+
+class TestPublicInputs:
+    def test_slice(self):
+        r1cs = R1CS(BN254_FR, num_public=2)
+        r1cs.new_wire()
+        witness = [1, 100, 200, 300]
+        assert r1cs.public_inputs(witness) == [100, 200]
+
+    def test_no_public(self):
+        r1cs = R1CS(F)
+        assert r1cs.public_inputs([1]) == []
+
+    def test_repr(self):
+        r1cs = R1CS(F, num_public=1)
+        assert "1 public" in repr(r1cs)

@@ -1,0 +1,154 @@
+"""Tests for the functional mini-STARK."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ProverError
+from repro.field import BABYBEAR, GOLDILOCKS
+from repro.zkp import SquareAffineAir, StarkProver, StarkVerifier
+
+F = GOLDILOCKS
+
+
+@pytest.fixture(scope="module")
+def air():
+    return SquareAffineAir(field=F, length=64)
+
+
+@pytest.fixture(scope="module")
+def prover(air):
+    return StarkProver(air, blowup=8, query_count=12, final_degree=8)
+
+
+@pytest.fixture(scope="module")
+def verifier(air):
+    return StarkVerifier(air, blowup=8, query_count=12, final_degree=8)
+
+
+@pytest.fixture(scope="module")
+def proof(air, prover):
+    return prover.prove(air.trace_from_seed(3))
+
+
+class TestAir:
+    def test_trace_generation(self, air):
+        trace = air.trace_from_seed(2)
+        assert len(trace) == 64
+        assert trace[0] == 2
+        assert trace[1] == 6  # 4 + 2
+        assert air.is_valid_trace(trace)
+
+    def test_invalid_trace_detected(self, air):
+        trace = air.trace_from_seed(2)
+        trace[10] = (trace[10] + 1) % F.modulus
+        assert not air.is_valid_trace(trace)
+
+    def test_length_validation(self):
+        with pytest.raises(ProverError, match="power of two"):
+            SquareAffineAir(field=F, length=48)
+        with pytest.raises(ProverError, match=">= 4"):
+            SquareAffineAir(field=F, length=2)
+
+
+class TestHonestProofs:
+    def test_verifies(self, verifier, proof):
+        assert verifier.verify(proof)
+
+    def test_different_seeds(self, air, prover, verifier):
+        for seed in (1, 7, 0xFFFF):
+            assert verifier.verify(prover.prove(air.trace_from_seed(seed)))
+
+    def test_deterministic(self, air, prover):
+        trace = air.trace_from_seed(5)
+        assert prover.prove(trace) == prover.prove(trace)
+
+    def test_other_field(self):
+        air = SquareAffineAir(field=BABYBEAR, length=32)
+        prover = StarkProver(air, blowup=4, query_count=8, final_degree=4)
+        verifier = StarkVerifier(air, blowup=4, query_count=8,
+                                 final_degree=4)
+        assert verifier.verify(prover.prove(air.trace_from_seed(9)))
+
+    def test_proof_shape(self, prover, proof):
+        params = prover.fri_params
+        assert len(proof.trace_openings) == params.query_count
+        assert all(len(paths) == 4 for paths in proof.trace_openings)
+
+    def test_boundary_is_public(self, air, proof):
+        trace = air.trace_from_seed(3)
+        assert proof.boundary == (trace[0], trace[-1])
+
+
+class TestSoundness:
+    def test_prover_rejects_bad_trace(self, air, prover):
+        trace = air.trace_from_seed(3)
+        trace[5] = (trace[5] + 1) % F.modulus
+        with pytest.raises(ProverError, match="does not satisfy"):
+            prover.prove(trace)
+
+    def test_tampered_boundary(self, verifier, proof):
+        bad = dataclasses.replace(
+            proof, boundary=(proof.boundary[0],
+                             (proof.boundary[1] + 1) % F.modulus))
+        assert not verifier.verify(bad)
+
+    def test_tampered_root(self, verifier, proof):
+        bad = dataclasses.replace(proof, trace_root=proof.trace_root[::-1])
+        assert not verifier.verify(bad)
+
+    def test_tampered_trace_opening(self, verifier, proof):
+        paths = proof.trace_openings[0]
+        bad_path = dataclasses.replace(
+            paths[0], leaf=(paths[0].leaf + 1) % F.modulus)
+        bad_openings = ((bad_path,) + paths[1:],) + proof.trace_openings[1:]
+        assert not verifier.verify(
+            dataclasses.replace(proof, trace_openings=bad_openings))
+
+    def test_wrong_opening_count(self, verifier, proof):
+        assert not verifier.verify(dataclasses.replace(
+            proof, trace_openings=proof.trace_openings[:-1]))
+
+    def test_swapped_proofs_rejected(self, air, prover, verifier):
+        """A proof for one seed does not verify another's boundary."""
+        proof_a = prover.prove(air.trace_from_seed(3))
+        proof_b = prover.prove(air.trace_from_seed(4))
+        frankenstein = dataclasses.replace(proof_a,
+                                           boundary=proof_b.boundary)
+        assert not verifier.verify(frankenstein)
+
+
+class TestNttWorkloadShape:
+    def test_transform_sizes(self, air, prover):
+        """One INTT(n) + one coset NTT(blowup*n) per proof — the counts
+        the STARK cost model charges."""
+        assert prover.fri_params.domain_size == 8 * air.length
+        assert prover.fri_params.round_count == 3  # 64 -> 32 -> 16 -> 8
+
+
+class TestAirFamily:
+    @pytest.mark.parametrize("quad,linear,constant", [
+        (1, 1, 0),       # the default chain
+        (3, 0, 7),       # pure square map with offset
+        (2, 5, 11),      # full quadratic
+        (0, 3, 1),       # affine degenerate case
+    ])
+    def test_parameterized_airs(self, quad, linear, constant):
+        air = SquareAffineAir(field=F, length=32, quad=quad,
+                              linear=linear, constant=constant)
+        trace = air.trace_from_seed(6)
+        assert air.is_valid_trace(trace)
+        prover = StarkProver(air, blowup=4, query_count=8, final_degree=4)
+        verifier = StarkVerifier(air, blowup=4, query_count=8,
+                                 final_degree=4)
+        assert verifier.verify(prover.prove(trace))
+
+    def test_different_airs_reject_each_others_traces(self):
+        air_a = SquareAffineAir(field=F, length=32, quad=1, linear=1)
+        air_b = SquareAffineAir(field=F, length=32, quad=1, linear=2)
+        trace = air_a.trace_from_seed(6)
+        assert not air_b.is_valid_trace(trace)
+        prover_b = StarkProver(air_b, blowup=4, query_count=8,
+                               final_degree=4)
+        with pytest.raises(ProverError, match="does not satisfy"):
+            prover_b.prove(trace)

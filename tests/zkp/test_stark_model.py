@@ -1,0 +1,97 @@
+"""Tests for the STARK end-to-end cost model."""
+
+import pytest
+
+from repro.errors import ProverError
+from repro.field import GOLDILOCKS
+from repro.hw import A100_PCIE_NODE, DGX_A100
+from repro.multigpu import (
+    BaselineFourStepEngine, SingleGpuEngine, UniNTTEngine,
+)
+from repro.sim import SimCluster
+from repro.zkp import StarkCostModel
+
+
+def make(engine_cls, machine=DGX_A100, **kwargs):
+    cluster = SimCluster(GOLDILOCKS, machine.gpu_count)
+    return StarkCostModel(machine, engine_cls(cluster), **kwargs)
+
+
+class TestValidation:
+    def test_parameters(self):
+        with pytest.raises(ProverError, match="columns"):
+            make(UniNTTEngine, columns=0)
+        with pytest.raises(ProverError, match="blowup"):
+            make(UniNTTEngine, blowup=3)
+        with pytest.raises(ProverError, match="hashes_per_s"):
+            make(UniNTTEngine, hashes_per_s=0)
+        with pytest.raises(ProverError, match="trace_length"):
+            make(UniNTTEngine).proof_cost(0)
+
+
+class TestEstimates:
+    def test_components_positive_and_additive(self):
+        est = make(UniNTTEngine).proof_cost(1 << 18)
+        assert est.ntt_s > 0 and est.hash_s > 0 and est.pointwise_s > 0
+        assert est.total_s == pytest.approx(
+            est.ntt_s + est.hash_s + est.pointwise_s)
+        assert est.lde_size == 8 * est.trace_length
+
+    def test_trace_rounds_up(self):
+        est = make(UniNTTEngine).proof_cost((1 << 18) + 1)
+        assert est.trace_length == 1 << 19
+
+    def test_monotone_in_trace(self):
+        model = make(UniNTTEngine)
+        assert model.proof_cost(1 << 20).total_s > \
+            model.proof_cost(1 << 18).total_s
+
+    def test_more_columns_cost_more(self):
+        small = make(UniNTTEngine, columns=32).proof_cost(1 << 18)
+        big = make(UniNTTEngine, columns=128).proof_cost(1 << 18)
+        assert big.total_s > small.total_s
+
+
+class TestShape:
+    def test_ntt_dominates_without_msm(self):
+        """The hash-based motivation: single-GPU NTT is >60% of proof."""
+        est = make(SingleGpuEngine).proof_cost(1 << 20)
+        assert est.ntt_fraction() > 0.6
+
+    def test_engine_ordering(self):
+        times = [make(cls).proof_cost(1 << 20).total_s
+                 for cls in (SingleGpuEngine, BaselineFourStepEngine,
+                             UniNTTEngine)]
+        assert times[2] < times[1] < times[0]
+
+    def test_whole_proof_speedup_exceeds_groth16_case(self):
+        """With no MSM, UniNTT moves total proof time more than in the
+        pairing-based pipeline."""
+        from repro.zkp import EndToEndModel
+        from repro.field import BN254_FR
+
+        n = 1 << 20
+        stark_single = make(SingleGpuEngine).proof_cost(n).total_s
+        stark_uni = make(UniNTTEngine).proof_cost(n).total_s
+        stark_gain = stark_single / stark_uni
+
+        groth_single = EndToEndModel(
+            DGX_A100, SingleGpuEngine(SimCluster(BN254_FR, 8)),
+            msm_gpus=8).proof_cost(n).total_s
+        groth_uni = EndToEndModel(
+            DGX_A100, UniNTTEngine(SimCluster(BN254_FR, 8)),
+            msm_gpus=8).proof_cost(n).total_s
+        groth_gain = groth_single / groth_uni
+
+        assert stark_gain > groth_gain
+
+    def test_slow_interconnect_increases_gap(self):
+        gain_switch = (make(SingleGpuEngine).proof_cost(1 << 20).total_s
+                       / make(UniNTTEngine).proof_cost(1 << 20).total_s)
+        gain_pcie = (make(SingleGpuEngine,
+                          machine=A100_PCIE_NODE).proof_cost(
+                         1 << 20).total_s
+                     / make(UniNTTEngine,
+                            machine=A100_PCIE_NODE).proof_cost(
+                         1 << 20).total_s)
+        assert gain_pcie > gain_switch
