@@ -1,0 +1,25 @@
+"""F19: measured field-backend comparison (pure Python vs numpy).
+
+Unlike the cost-model benchmarks this one times real transforms: the
+same radix-2 Goldilocks NTT under each registered compute backend.  The
+persisted report is the acceptance artifact for the backend layer — at
+n = 2^14 the vectorized backend must be at least 5x faster than the
+pure-Python reference.
+"""
+
+import pytest
+
+from repro.bench import backend_comparison
+from repro.field import numpy_available
+
+
+def test_f19_backend_comparison(benchmark, emit):
+    table = benchmark.pedantic(backend_comparison, rounds=1, iterations=1)
+    emit("F19_backends",
+         "F19: field backend comparison (radix-2 NTT, measured)", table)
+    if not numpy_available():
+        pytest.skip("numpy unavailable: python-only column recorded")
+    headers, rows = table
+    speedups = {row[0]: float(str(row[-1]).rstrip("x")) for row in rows}
+    assert speedups[14] >= 5.0, (
+        f"2^14 Goldilocks speedup {speedups[14]}x below the 5x target")

@@ -9,15 +9,21 @@ pytest-benchmark, prints the table, and persists it under
 import pytest
 
 from repro.bench import format_table, write_report
+from repro.bench.reporting import backend_stamp
 
 
 @pytest.fixture
 def emit():
-    """Render a (headers, rows) table, print it, and persist it."""
+    """Render a (headers, rows) table, print it, and persist it.
+
+    Each report is stamped with the active field backend so a results
+    file records which arithmetic implementation produced it.
+    """
 
     def _emit(experiment_id: str, title: str, table):
         headers, rows = table
         report = format_table(headers, rows, title=title)
+        report = f"{report}\n{backend_stamp()}"
         path = write_report(experiment_id, report)
         print(f"\n{report}\n[written to {path}]")
         return report

@@ -2,10 +2,12 @@
 
 from repro.bench.charts import bar_chart, grouped_bar_chart
 from repro.bench.reporting import (
-    format_table, geomean, results_dir, speedup_string, write_report,
+    backend_stamp, format_table, geomean, results_dir, speedup_string,
+    write_report,
 )
 from repro.bench.runners import (
-    ablation, batch_throughput, comm_breakdown, end_to_end,
+    ablation, backend_comparison, batch_throughput, comm_breakdown,
+    end_to_end,
     headline_speedups, interconnect_sensitivity, multi_gpu_scaling,
     multi_node_scaling,
     platforms_table, single_gpu_comparison, stark_end_to_end,
@@ -20,10 +22,10 @@ __all__ = [
     "NTTWorkload", "standard_workloads", "functional_workloads",
     "STANDARD_LOG_SIZES", "FUNCTIONAL_LOG_SIZES",
     "format_table", "geomean", "speedup_string", "write_report",
-    "results_dir",
+    "results_dir", "backend_stamp",
     "platforms_table", "workloads_table", "single_gpu_comparison",
     "multi_gpu_scaling", "headline_speedups", "comm_breakdown", "ablation",
     "end_to_end", "batch_throughput", "interconnect_sensitivity",
-    "multi_node_scaling", "stark_end_to_end",
+    "multi_node_scaling", "stark_end_to_end", "backend_comparison",
     "bar_chart", "grouped_bar_chart",
 ]

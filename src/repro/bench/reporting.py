@@ -15,7 +15,7 @@ from typing import Sequence
 from repro.errors import BenchmarkError
 
 __all__ = ["format_table", "geomean", "speedup_string", "write_report",
-           "results_dir"]
+           "results_dir", "backend_stamp"]
 
 
 def format_table(headers: Sequence[str],
@@ -73,6 +73,18 @@ def speedup_string(baseline_s: float, improved_s: float) -> str:
     if improved_s <= 0:
         raise BenchmarkError("improved time must be positive")
     return f"{baseline_s / improved_s:.2f}x"
+
+
+def backend_stamp() -> str:
+    """One-line identity of the active field backend for reports.
+
+    Numbers from the functional layer depend on which compute backend
+    produced them, so the benchmark harness appends this line to every
+    persisted report (reports without it predate the backend layer).
+    """
+    from repro.field.backend import get_backend
+
+    return f"[field backend: {get_backend().describe()}]"
 
 
 def results_dir() -> str:

@@ -30,7 +30,7 @@ __all__ = [
     "multi_gpu_scaling", "headline_speedups", "comm_breakdown",
     "ablation", "end_to_end", "batch_throughput",
     "interconnect_sensitivity", "multi_node_scaling",
-    "stark_end_to_end",
+    "stark_end_to_end", "backend_comparison",
 ]
 
 Row = Sequence[object]
@@ -376,4 +376,48 @@ def stark_end_to_end(machine: MachineModel = DGX_A100,
                 est.total_s * 1e3, round(est.ntt_fraction() * 100),
                 f"{base_total / est.total_s:.2f}x",
             ])
+    return headers, rows
+
+
+def backend_comparison(log_sizes: Sequence[int] = (10, 12, 14),
+                       repeats: int = 3) -> Table:
+    """F19: measured field-backend comparison on a real radix-2 NTT.
+
+    Unlike the other runners this one does not price a cost model — it
+    wall-clock-times the actual transform under each registered compute
+    backend (pure-Python reference vs the vectorized numpy kernels) over
+    Goldilocks, the field whose 64-bit lanes stress the multi-word
+    arithmetic most.  When numpy is unavailable the numpy column reads
+    ``n/a`` and the speedup is 1.0.
+    """
+    import random
+    import time
+
+    from repro.field import available_backends, use_backend
+    from repro.field.presets import GOLDILOCKS
+    from repro.ntt.radix2 import ntt
+
+    def best_time(backend: str, values: list[int]) -> float:
+        best = float("inf")
+        with use_backend(backend):
+            ntt(GOLDILOCKS, values)  # warm the twiddle cache
+            for _ in range(repeats):
+                start = time.perf_counter()
+                ntt(GOLDILOCKS, values)
+                best = min(best, time.perf_counter() - start)
+        return best
+
+    have_numpy = available_backends()["numpy"]
+    headers = ["log2(n)", "field", "python ms", "numpy ms", "speedup"]
+    rows = []
+    rng = random.Random(2024)
+    for log_n in log_sizes:
+        values = GOLDILOCKS.random_vector(1 << log_n, rng)
+        t_py = best_time("python", values)
+        if have_numpy:
+            t_np = best_time("numpy", values)
+            rows.append([log_n, GOLDILOCKS.name, t_py * 1e3, t_np * 1e3,
+                        f"{t_py / t_np:.1f}x"])
+        else:
+            rows.append([log_n, GOLDILOCKS.name, t_py * 1e3, "n/a", "1.0x"])
     return headers, rows

@@ -53,6 +53,8 @@ EXPERIMENTS: dict[str, tuple[Callable[[], tuple], str]] = {
             "F17: autotuned tiles and plan attribution"),
     "f18": (lambda: _streaming_table(),
             "F18: out-of-core (host-staged) NTT"),
+    "f19": (bench_runners.backend_comparison,
+            "F19: field backend comparison (measured)"),
 }
 
 
@@ -114,6 +116,10 @@ def build_parser() -> argparse.ArgumentParser:
                     "(simulated)")
     parser.add_argument("--version", action="version",
                         version=f"repro {__version__}")
+    parser.add_argument("--backend", default=None,
+                        choices=["auto", "python", "numpy"],
+                        help="field compute backend (default: "
+                             "$REPRO_BACKEND or auto)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("info", help="presets and library summary")
@@ -152,7 +158,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_info() -> int:
-    from repro.field import ALL_FIELDS
+    from repro.field import ALL_FIELDS, available_backends, get_backend
     from repro.hw import ALL_CLUSTERS, ALL_MACHINES
 
     print(f"repro {__version__} — UniNTT reproduction (simulated)")
@@ -160,6 +166,12 @@ def _cmd_info() -> int:
     for field in ALL_FIELDS:
         print(f"  {field.name:16s} {field.modulus.bit_length()}-bit, "
               f"two-adicity {field.two_adicity}")
+    print("\nbackends:")
+    active = get_backend().name
+    for name, available in available_backends().items():
+        status = "available" if available else "unavailable"
+        marker = "  (active)" if name == active and available else ""
+        print(f"  {name:16s} {status}{marker}")
     print("\nmachines:")
     for machine in ALL_MACHINES:
         print(f"  {machine.describe()}")
@@ -308,6 +320,16 @@ def _cmd_tune(machine_name: str, field_name: str, log_size: int) -> int:
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    from repro.errors import FieldError
+    from repro.field import get_backend, set_backend
+
+    try:
+        if args.backend is not None:
+            set_backend(args.backend)
+        get_backend()  # resolve $REPRO_BACKEND now: fail fast and clean
+    except FieldError as error:
+        print(f"repro: error: {error}", file=sys.stderr)
+        return 2
     if args.command == "info":
         return _cmd_info()
     if args.command == "experiment":

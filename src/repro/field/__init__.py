@@ -1,12 +1,17 @@
-"""Finite-field substrate: prime fields, Montgomery form, ZKP presets."""
+"""Finite-field substrate: prime fields, Montgomery form, ZKP presets.
 
-from repro.field.babybear import (
-    BABYBEAR_P, bb_add, bb_array, bb_intt, bb_mul, bb_neg, bb_ntt,
-    bb_scale, bb_sub,
-)
-from repro.field.goldilocks import (
-    GOLDILOCKS_P, gl_add, gl_array, gl_intt, gl_mul, gl_neg, gl_ntt,
-    gl_scale, gl_sub,
+The bulk helpers (``vec_*``) run on a pluggable compute backend — pure
+Python by default, NumPy ``uint64`` lanes when selected — see
+:mod:`repro.field.backend` and ``docs/BACKENDS.md``.  NumPy is an
+optional dependency (``pip install repro[fast]``); the per-field
+specialized kernels (``gl_*``, ``bb_*``) are only importable when it
+is installed.
+"""
+
+from repro.field.backend import (
+    BACKEND_ENV_VAR, FieldBackend, NumPyBackend, PythonBackend,
+    available_backends, get_backend, numpy_available, set_backend,
+    use_backend,
 )
 from repro.field.montgomery import MontgomeryContext, MontgomeryElement
 from repro.field.presets import (
@@ -26,8 +31,26 @@ __all__ = [
     "field_by_name",
     "vec_add", "vec_sub", "vec_mul", "vec_scale", "vec_neg",
     "vec_pow_series", "vec_inv", "vec_dot", "vec_sum", "validate_vector",
-    "GOLDILOCKS_P", "gl_array", "gl_add", "gl_sub", "gl_mul", "gl_scale",
-    "gl_neg", "gl_ntt", "gl_intt",
-    "BABYBEAR_P", "bb_array", "bb_add", "bb_sub", "bb_mul", "bb_scale",
-    "bb_neg", "bb_ntt", "bb_intt",
+    "FieldBackend", "PythonBackend", "NumPyBackend", "available_backends",
+    "get_backend", "set_backend", "use_backend", "numpy_available",
+    "BACKEND_ENV_VAR",
 ]
+
+# The hand-tuned per-field numpy kernels need the optional dependency;
+# without it the generic backends above still work (pure Python).
+if numpy_available():
+    from repro.field.babybear import (
+        BABYBEAR_P, bb_add, bb_array, bb_intt, bb_mul, bb_neg, bb_ntt,
+        bb_scale, bb_sub,
+    )
+    from repro.field.goldilocks import (
+        GOLDILOCKS_P, gl_add, gl_array, gl_intt, gl_mul, gl_neg, gl_ntt,
+        gl_scale, gl_sub,
+    )
+
+    __all__ += [
+        "GOLDILOCKS_P", "gl_array", "gl_add", "gl_sub", "gl_mul",
+        "gl_scale", "gl_neg", "gl_ntt", "gl_intt",
+        "BABYBEAR_P", "bb_array", "bb_add", "bb_sub", "bb_mul", "bb_scale",
+        "bb_neg", "bb_ntt", "bb_intt",
+    ]

@@ -1,0 +1,722 @@
+"""Pluggable compute backends for bulk field arithmetic.
+
+Every hot path in this library — the NTT engines, the polynomial
+algebra, the simulator's charged local compute — bottoms out in the
+bulk helpers of :mod:`repro.field.vector`.  This module makes the
+substrate those helpers run on *pluggable*:
+
+* :class:`PythonBackend` — the reference semantics: list comprehensions
+  over arbitrary-precision Python integers.  Always available, always
+  correct, the oracle the others are tested against.
+* :class:`NumPyBackend` — vectorized ``uint64`` lane arithmetic using
+  32-bit limb splitting with Montgomery-style multi-word reduction, so
+  64-bit fields like Goldilocks never overflow a ``uint64`` product
+  (see ``docs/BACKENDS.md`` for the overflow analysis).
+
+The active backend is process-global.  Select it with the
+``REPRO_BACKEND`` environment variable (``python`` | ``numpy`` |
+``auto``), the ``repro --backend`` CLI flag, or programmatically:
+
+>>> from repro.field.backend import get_backend, use_backend
+>>> get_backend().name in ("python", "numpy")
+True
+>>> with use_backend("python") as b:
+...     b.name
+'python'
+
+``auto`` resolves to ``numpy`` when NumPy is importable and falls back
+to ``python`` (with a one-line warning when ``numpy`` was requested
+explicitly but is unavailable).
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+import warnings
+from typing import TYPE_CHECKING, Any, Sequence
+
+from repro.errors import FieldError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.field.prime_field import PrimeField
+
+__all__ = [
+    "FieldBackend", "PythonBackend", "NumPyBackend",
+    "available_backends", "get_backend", "set_backend", "use_backend",
+    "numpy_available", "BACKEND_ENV_VAR",
+]
+
+#: Environment variable consulted for the initial backend choice.
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+
+def numpy_available() -> bool:
+    """True when NumPy can be imported (it is an optional dependency)."""
+    try:
+        import numpy  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# interface
+# ---------------------------------------------------------------------------
+
+
+class FieldBackend(abc.ABC):
+    """Bulk vector arithmetic over one :class:`PrimeField`.
+
+    A backend works on *packed* vectors: :meth:`pack` converts a
+    sequence of canonical ints into the backend's native representation
+    (a plain list for Python, a ``uint64`` array for NumPy) and
+    :meth:`unpack` converts back.  The list-in/list-out helpers in
+    :mod:`repro.field.vector` pack and unpack around every call; hot
+    loops that amortize (the NTT cores) pack once, run whole stages on
+    the packed form, and unpack once at the end.
+    """
+
+    #: Short identifier used by the CLI and benchmark reports.
+    name: str = "abstract"
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @abc.abstractmethod
+    def pack(self, field: "PrimeField", values: Sequence[int]) -> Any:
+        """Convert a sequence of ints into the native vector form.
+
+        Entries are reduced into canonical ``[0, p)`` form; inputs a
+        plain-Python implementation would accept (negative, >= p) give
+        the same results they would there.
+        """
+
+    @abc.abstractmethod
+    def unpack(self, field: "PrimeField", data: Any) -> list[int]:
+        """Convert a native vector back to a list of Python ints."""
+
+    # -- element-wise ops on packed vectors ----------------------------------
+
+    @abc.abstractmethod
+    def add(self, field: "PrimeField", a: Any, b: Any) -> Any:
+        """Element-wise ``a + b`` mod p."""
+
+    @abc.abstractmethod
+    def sub(self, field: "PrimeField", a: Any, b: Any) -> Any:
+        """Element-wise ``a - b`` mod p."""
+
+    @abc.abstractmethod
+    def mul(self, field: "PrimeField", a: Any, b: Any) -> Any:
+        """Element-wise (Hadamard) product mod p."""
+
+    @abc.abstractmethod
+    def neg(self, field: "PrimeField", a: Any) -> Any:
+        """Element-wise negation mod p."""
+
+    @abc.abstractmethod
+    def scale(self, field: "PrimeField", a: Any, s: int) -> Any:
+        """Multiply every entry by the scalar ``s``."""
+
+    # -- batched/structured ops ----------------------------------------------
+
+    @abc.abstractmethod
+    def pow_series(self, field: "PrimeField", base: int, n: int,
+                   start: int = 1) -> Any:
+        """Geometric series ``[start, start*base, ..., start*base^(n-1)]``."""
+
+    @abc.abstractmethod
+    def inv(self, field: "PrimeField", a: Any) -> Any:
+        """Element-wise multiplicative inverse (raises on zero entries)."""
+
+    @abc.abstractmethod
+    def dot(self, field: "PrimeField", a: Any, b: Any) -> int:
+        """Inner product mod p (returns a plain int)."""
+
+    @abc.abstractmethod
+    def sum(self, field: "PrimeField", a: Any) -> int:
+        """Sum of all entries mod p (returns a plain int)."""
+
+    # -- acceleration hooks ---------------------------------------------------
+
+    def lane_ops(self, field: "PrimeField"):
+        """A :class:`repro.field.simd.LaneOps` bundle, or ``None``.
+
+        Non-``None`` means this backend can run whole NTT stages on
+        packed arrays for ``field``; the radix-2 core uses this to
+        transform without per-element Python work.  The base
+        implementation (and any field the backend cannot accelerate)
+        returns ``None``.
+        """
+        return None
+
+    def describe(self) -> str:
+        """One-line human-readable summary for ``repro info``."""
+        return self.name
+
+
+# ---------------------------------------------------------------------------
+# pure-Python reference backend
+# ---------------------------------------------------------------------------
+
+
+class PythonBackend(FieldBackend):
+    """The reference backend: list comprehensions over Python ints.
+
+    This is the seed implementation of :mod:`repro.field.vector`,
+    preserved verbatim; the vectorized backends are validated against
+    it element for element.
+
+    >>> from repro.field.presets import TEST_FIELD_97
+    >>> PythonBackend().add(TEST_FIELD_97, [1, 96], [2, 3])
+    [3, 2]
+    """
+
+    name = "python"
+
+    def pack(self, field, values):
+        return list(values)
+
+    def unpack(self, field, data):
+        return list(data)
+
+    def add(self, field, a, b):
+        p = field.modulus
+        return [(x + y) % p for x, y in zip(a, b, strict=True)]
+
+    def sub(self, field, a, b):
+        p = field.modulus
+        return [(x - y) % p for x, y in zip(a, b, strict=True)]
+
+    def mul(self, field, a, b):
+        p = field.modulus
+        return [x * y % p for x, y in zip(a, b, strict=True)]
+
+    def neg(self, field, a):
+        p = field.modulus
+        return [(p - x) % p for x in a]
+
+    def scale(self, field, a, s):
+        p = field.modulus
+        return [x * s % p for x in a]
+
+    def pow_series(self, field, base, n, start=1):
+        p = field.modulus
+        out = []
+        acc = start % p
+        for _ in range(n):
+            out.append(acc)
+            acc = acc * base % p
+        return out
+
+    def inv(self, field, a):
+        # Montgomery's batch-inversion trick: one field inversion total.
+        p = field.modulus
+        n = len(a)
+        prefix = [1] * (n + 1)
+        for i, v in enumerate(a):
+            if v == 0:
+                raise FieldError(f"batch inversion hit zero at index {i}")
+            prefix[i + 1] = prefix[i] * v % p
+        inv_all = field.inv(prefix[n])
+        out = [0] * n
+        for i in range(n - 1, -1, -1):
+            out[i] = prefix[i] * inv_all % p
+            inv_all = inv_all * a[i] % p
+        return out
+
+    def dot(self, field, a, b):
+        p = field.modulus
+        return sum(x * y for x, y in zip(a, b, strict=True)) % p
+
+    def sum(self, field, a):
+        return sum(a) % field.modulus
+
+    def describe(self) -> str:
+        return "python (reference: list comprehensions over Python ints)"
+
+
+# ---------------------------------------------------------------------------
+# NumPy backend: uint64 lanes, 32-bit limb splitting
+# ---------------------------------------------------------------------------
+#
+# Three per-modulus regimes (chosen once and cached per field):
+#
+#   p < 2^32        direct:    a*b fits in 64 bits, one np.uint64 `%`.
+#   p == Goldilocks special:   the repo's hand-written 2^64-2^32+1
+#                              kernel (repro.field.goldilocks).
+#   p < 2^64        Montgomery: two 32-bit limbs, SOS product + REDC
+#                              with R = 2^64.  See docs/BACKENDS.md.
+#   p >= 2^64       none:      fall back to PythonBackend semantics.
+
+
+class _Kernel:
+    """uint64 lane arithmetic for one modulus p < 2^64."""
+
+    def __init__(self, p: int):
+        import numpy as np
+
+        self.p = p
+        self.p64 = np.uint64(p)
+        self.np = np
+
+    # Subclasses provide: add, sub, neg, mul, mul_scalar(a, s: int).
+
+    def pack(self, values) -> "Any":
+        """Pack ints into canonical uint64 lanes; None if not packable.
+
+        Values in ``[0, 2^64)`` are accepted and canonicalized with one
+        vectorized ``%``; anything unrepresentable (negative ints,
+        >= 2^64) returns ``None`` so the caller can fall back to the
+        Python path, whose semantics allow arbitrary integers.
+        """
+        np = self.np
+        try:
+            arr = np.array(values, dtype=np.uint64)
+        except (OverflowError, TypeError, ValueError):
+            return None
+        if arr.size and bool((arr >= self.p64).any()):
+            arr = arr % self.p64
+        return arr
+
+    def unpack(self, arr) -> list[int]:
+        return arr.tolist()
+
+
+class _DirectKernel(_Kernel):
+    """p < 2^32: products of canonical values fit in uint64."""
+
+    def add(self, a, b):
+        np = self.np
+        s = a + b
+        return np.where(s >= self.p64, s - self.p64, s)
+
+    def sub(self, a, b):
+        np = self.np
+        return np.where(a >= b, a - b, a + self.p64 - b)
+
+    def neg(self, a):
+        np = self.np
+        return np.where(a == 0, a, self.p64 - a)
+
+    def mul(self, a, b):
+        return (a * b) % self.p64
+
+    def mul_scalar(self, a, s: int):
+        return (a * self.np.uint64(s)) % self.p64
+
+
+class _MontgomeryKernel(_Kernel):
+    """2^32 <= p < 2^64: 32-bit limb SOS product + Montgomery REDC.
+
+    A 64x64 product needs 128 bits, which uint64 lanes cannot hold, so
+    operands are split into 32-bit limbs and the four 32x32->64 partial
+    products are assembled with explicit carry recovery.  Reduction is
+    Montgomery REDC with R = 2^64 = two 32-bit words: each round adds
+    ``m * p`` (with ``m = t_i * (-p^-1 mod 2^32) mod 2^32``) to clear
+    one low limb; after two rounds the low 64 bits are zero and the
+    high half is < 2p, fixed by one conditional subtraction.
+    """
+
+    def __init__(self, p: int):
+        super().__init__(p)
+        np = self.np
+        self.mask32 = np.uint64(0xFFFFFFFF)
+        self.sh32 = np.uint64(32)
+        self.n0 = np.uint64(p & 0xFFFFFFFF)
+        self.n1 = np.uint64(p >> 32)
+        self.nprime = np.uint64((-pow(p, -1, 1 << 32)) % (1 << 32))
+        self.r2 = np.uint64((1 << 128) % p)      # R^2 mod p
+        self.eps = np.uint64((1 << 64) - p)      # 2^64 - p, for add/sub
+
+    def add(self, a, b):
+        np = self.np
+        s = a + b  # wraps mod 2^64
+        # Wrapped: true sum >= 2^64 > p, so add back 2^64 - p once.
+        # Unwrapped: one conditional subtraction.
+        return np.where(s < a, s + self.eps,
+                        np.where(s >= self.p64, s - self.p64, s))
+
+    def sub(self, a, b):
+        np = self.np
+        d = a - b  # wraps
+        return np.where(a < b, d - self.eps, d)
+
+    def neg(self, a):
+        np = self.np
+        return np.where(a == 0, a, self.p64 - a)
+
+    def _montmul(self, a, b):
+        """REDC(a * b) = a * b * R^-1 mod p, canonical in/out."""
+        np = self.np
+        m32, s32 = self.mask32, self.sh32
+        a0 = a & m32
+        a1 = a >> s32
+        b0 = b & m32
+        b1 = b >> s32
+
+        # SOS product: t = a*b as limbs t0..t3 (each < 2^32 in uint64).
+        p00 = a0 * b0
+        p01 = a0 * b1
+        p10 = a1 * b0
+        p11 = a1 * b1
+        t0 = p00 & m32
+        s = (p00 >> s32) + (p01 & m32) + (p10 & m32)
+        t1 = s & m32
+        s = (s >> s32) + (p01 >> s32) + (p10 >> s32) + (p11 & m32)
+        t2 = s & m32
+        t3 = (s >> s32) + (p11 >> s32)
+        t4 = np.zeros_like(t3)
+
+        # REDC round 0: clear t0.
+        m = (t0 * self.nprime) & m32
+        mn0 = m * self.n0
+        mn1 = m * self.n1
+        c = (t0 + (mn0 & m32)) >> s32
+        s = t1 + (mn0 >> s32) + (mn1 & m32) + c
+        t1 = s & m32
+        s = t2 + (mn1 >> s32) + (s >> s32)
+        t2 = s & m32
+        s = t3 + (s >> s32)
+        t3 = s & m32
+        t4 = t4 + (s >> s32)
+
+        # REDC round 1: clear t1.
+        m = (t1 * self.nprime) & m32
+        mn0 = m * self.n0
+        mn1 = m * self.n1
+        c = (t1 + (mn0 & m32)) >> s32
+        s = t2 + (mn0 >> s32) + (mn1 & m32) + c
+        t2 = s & m32
+        s = t3 + (mn1 >> s32) + (s >> s32)
+        t3 = s & m32
+        t4 = t4 + (s >> s32)
+
+        # u = t4*2^64 + t3*2^32 + t2 < 2p: one conditional subtraction.
+        u = (t3 << s32) | t2
+        return np.where((t4 > 0) | (u >= self.p64), u - self.p64, u)
+
+    def mul(self, a, b):
+        # montmul(a, R^2) = a*R; montmul(a*R, b) = a*b.
+        return self._montmul(self._montmul(a, self.r2), b)
+
+    def mul_scalar(self, a, s: int):
+        # Lift the scalar into Montgomery form with Python ints: one pass.
+        s_mont = self.np.uint64((s << 64) % self.p)
+        return self._montmul(a, s_mont)
+
+
+class _GoldilocksKernel(_Kernel):
+    """p = 2^64 - 2^32 + 1: the repo's specialized reduction kernel."""
+
+    def __init__(self, p: int):
+        super().__init__(p)
+        from repro.field import goldilocks as gl
+
+        self._gl = gl
+
+    def add(self, a, b):
+        return self._gl.gl_add(a, b)
+
+    def sub(self, a, b):
+        return self._gl.gl_sub(a, b)
+
+    def neg(self, a):
+        return self._gl.gl_neg(a)
+
+    def mul(self, a, b):
+        return self._gl.gl_mul(a, b)
+
+    def mul_scalar(self, a, s: int):
+        return self._gl.gl_mul(a, self.np.uint64(s))
+
+
+class NumPyBackend(FieldBackend):
+    """Vectorized uint64 backend (32-bit limb multi-word arithmetic).
+
+    Fields with a modulus >= 2^64 (BN254-Fr, BLS12-381-Fr) exceed what
+    uint64 lanes can represent and transparently run with the Python
+    reference semantics; everything below 64 bits is vectorized.
+    """
+
+    name = "numpy"
+
+    def __init__(self):
+        import numpy  # noqa: F401 - fail fast if unavailable
+
+        self._kernels: dict[int, _Kernel | None] = {}
+        self._python = PythonBackend()
+
+    def _kernel(self, field) -> _Kernel | None:
+        p = field.modulus
+        kernel = self._kernels.get(p, _MISSING)
+        if kernel is _MISSING:
+            if p >= 1 << 64:
+                kernel = None
+            elif p == (1 << 64) - (1 << 32) + 1:
+                kernel = _GoldilocksKernel(p)
+            elif p < 1 << 32:
+                kernel = _DirectKernel(p)
+            else:
+                kernel = _MontgomeryKernel(p)
+            self._kernels[p] = kernel
+        return kernel
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def pack(self, field, values):
+        kernel = self._kernel(field)
+        if kernel is None:
+            return list(values)
+        arr = kernel.pack(values)
+        if arr is None:  # unrepresentable entries: Python semantics
+            p = field.modulus
+            arr = kernel.pack([v % p for v in values])
+        return arr
+
+    def unpack(self, field, data):
+        if isinstance(data, list):
+            return list(data)
+        return self._kernel(field).unpack(data)
+
+    def _pair(self, field, a, b):
+        """Normalize two operands to a common representation."""
+        kernel = self._kernel(field)
+        if kernel is None:
+            return None, list(a), list(b)
+        np = kernel.np
+        if not isinstance(a, np.ndarray):
+            a = self.pack(field, a)
+        if not isinstance(b, np.ndarray):
+            b = self.pack(field, b)
+        return kernel, a, b
+
+    def _one(self, field, a):
+        kernel = self._kernel(field)
+        if kernel is None:
+            return None, list(a)
+        if not isinstance(a, kernel.np.ndarray):
+            a = self.pack(field, a)
+        return kernel, a
+
+    @staticmethod
+    def _check_lengths(a, b) -> None:
+        if len(a) != len(b):
+            raise ValueError(
+                f"vector length mismatch: {len(a)} vs {len(b)}")
+
+    # -- element-wise ---------------------------------------------------------
+
+    def add(self, field, a, b):
+        self._check_lengths(a, b)
+        kernel, a, b = self._pair(field, a, b)
+        if kernel is None:
+            return self._python.add(field, a, b)
+        return kernel.add(a, b)
+
+    def sub(self, field, a, b):
+        self._check_lengths(a, b)
+        kernel, a, b = self._pair(field, a, b)
+        if kernel is None:
+            return self._python.sub(field, a, b)
+        return kernel.sub(a, b)
+
+    def mul(self, field, a, b):
+        self._check_lengths(a, b)
+        kernel, a, b = self._pair(field, a, b)
+        if kernel is None:
+            return self._python.mul(field, a, b)
+        return kernel.mul(a, b)
+
+    def neg(self, field, a):
+        kernel, a = self._one(field, a)
+        if kernel is None:
+            return self._python.neg(field, a)
+        return kernel.neg(a)
+
+    def scale(self, field, a, s):
+        kernel, a = self._one(field, a)
+        if kernel is None:
+            return self._python.scale(field, a, s)
+        return kernel.mul_scalar(a, s % field.modulus)
+
+    # -- batched/structured ---------------------------------------------------
+
+    def pow_series(self, field, base, n, start=1):
+        kernel = self._kernel(field)
+        if kernel is None or n < 8:
+            return self._python.pow_series(field, base, n, start)
+        # Doubling construction: out[:2k] done => out[k:2k] = out[:k]*b^k,
+        # log2(n) vectorized multiplies instead of n sequential ones.
+        np = kernel.np
+        p = field.modulus
+        base %= p
+        arr = kernel.pack([start % p])
+        while arr.size < n:
+            bpow = pow(base, int(arr.size), p)
+            arr = np.concatenate([arr, kernel.mul_scalar(arr, bpow)])
+        return arr[:n]
+
+    def _scan_prod(self, kernel, arr):
+        """Hillis-Steele inclusive prefix product (log n stages)."""
+        out = arr.copy()
+        offset = 1
+        while offset < out.size:
+            out[offset:] = kernel.mul(out[offset:], out[:-offset])
+            offset *= 2
+        return out
+
+    def inv(self, field, a):
+        kernel, a = self._one(field, a)
+        if kernel is None:
+            return self._python.inv(field, a)
+        np = kernel.np
+        if a.size == 0:
+            return a
+        zeros = np.flatnonzero(a == 0)
+        if zeros.size:
+            raise FieldError(
+                f"batch inversion hit zero at index {int(zeros[0])}")
+        one = kernel.pack([1])
+        incl = self._scan_prod(kernel, a)
+        inv_total = field.inv(int(incl[-1]))
+        prefix = np.concatenate([one, incl[:-1]])       # prod of a[:i]
+        rincl = self._scan_prod(kernel, a[::-1].copy())
+        suffix = np.concatenate([one, rincl[:-1]])[::-1]  # prod of a[i+1:]
+        return kernel.mul_scalar(kernel.mul(prefix, suffix), inv_total)
+
+    def _tree_sum(self, kernel, arr) -> int:
+        np = kernel.np
+        while arr.size > 1:
+            if arr.size % 2:
+                arr = np.concatenate([arr, kernel.pack([0])])
+            arr = kernel.add(arr[0::2], arr[1::2])
+        return int(arr[0]) if arr.size else 0
+
+    def dot(self, field, a, b):
+        self._check_lengths(a, b)
+        kernel, a, b = self._pair(field, a, b)
+        if kernel is None:
+            return self._python.dot(field, a, b)
+        return self._tree_sum(kernel, kernel.mul(a, b))
+
+    def sum(self, field, a):
+        kernel, a = self._one(field, a)
+        if kernel is None:
+            return self._python.sum(field, a)
+        return self._tree_sum(kernel, a)
+
+    # -- acceleration hooks ---------------------------------------------------
+
+    def lane_ops(self, field):
+        kernel = self._kernel(field)
+        if kernel is None:
+            return None
+        from repro.field.simd import LaneOps
+
+        def pack(vals):
+            arr = kernel.pack(vals)
+            if arr is None:
+                arr = kernel.pack([v % kernel.p for v in vals])
+            return arr
+
+        return LaneOps(field=field, add=kernel.add, sub=kernel.sub,
+                       mul=kernel.mul,
+                       scale=lambda arr, s: kernel.mul_scalar(arr, s),
+                       pack=pack)
+
+    def describe(self) -> str:
+        return ("numpy (uint64 lanes; 32-bit limb Montgomery reduction "
+                "for 33..64-bit moduli, Python fallback above 64 bits)")
+
+
+_MISSING = object()
+
+
+# ---------------------------------------------------------------------------
+# registry and selection
+# ---------------------------------------------------------------------------
+
+_BACKEND_NAMES = ("python", "numpy")
+_active: FieldBackend | None = None
+_instances: dict[str, FieldBackend] = {}
+_warned_fallback = False
+
+
+def available_backends() -> dict[str, bool]:
+    """Backend name -> whether it can be activated in this process.
+
+    >>> available_backends()["python"]
+    True
+    """
+    return {"python": True, "numpy": numpy_available()}
+
+
+def _instantiate(name: str) -> FieldBackend:
+    backend = _instances.get(name)
+    if backend is None:
+        backend = PythonBackend() if name == "python" else NumPyBackend()
+        _instances[name] = backend
+    return backend
+
+
+def _resolve(name: str) -> FieldBackend:
+    global _warned_fallback
+    name = name.strip().lower()
+    if name == "auto":
+        name = "numpy" if numpy_available() else "python"
+    if name not in _BACKEND_NAMES:
+        raise FieldError(
+            f"unknown backend {name!r}; choose from "
+            f"{', '.join(_BACKEND_NAMES)} or 'auto'")
+    if name == "numpy" and not numpy_available():
+        if not _warned_fallback:
+            warnings.warn(
+                "repro: the 'numpy' field backend was requested but numpy "
+                "is not installed (pip install repro[fast]); falling back "
+                "to the pure-Python backend", RuntimeWarning, stacklevel=3)
+            _warned_fallback = True
+        name = "python"
+    return _instantiate(name)
+
+
+def get_backend() -> FieldBackend:
+    """The active backend (initialized from ``REPRO_BACKEND``, or auto)."""
+    global _active
+    if _active is None:
+        _active = _resolve(os.environ.get(BACKEND_ENV_VAR, "auto"))
+    return _active
+
+
+def set_backend(name: str) -> FieldBackend:
+    """Activate a backend by name; returns the instance now active.
+
+    ``name`` is ``python``, ``numpy``, or ``auto``.  Requesting
+    ``numpy`` without NumPy installed warns once and selects the
+    Python backend instead of failing.
+    """
+    global _active
+    _active = _resolve(name)
+    return _active
+
+
+class use_backend:
+    """Context manager: temporarily activate a backend.
+
+    >>> with use_backend("python") as backend:
+    ...     backend.name
+    'python'
+    """
+
+    def __init__(self, name: str):
+        self._name = name
+        self._previous: FieldBackend | None = None
+
+    def __enter__(self) -> FieldBackend:
+        global _active
+        self._previous = get_backend()
+        _active = _resolve(self._name)
+        return _active
+
+    def __exit__(self, *exc) -> None:
+        global _active
+        _active = self._previous

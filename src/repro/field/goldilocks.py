@@ -37,6 +37,7 @@ _P = np.uint64(GOLDILOCKS_P)
 _MASK32 = np.uint64(0xFFFFFFFF)
 _EPS = np.uint64((1 << 32) - 1)  # 2^64 mod p
 _SHIFT32 = np.uint64(32)
+_C32 = np.uint64(1 << 32)
 _ONE = np.uint64(1)
 
 
@@ -60,7 +61,7 @@ def _canonical(x: np.ndarray) -> np.ndarray:
 def gl_add(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """Element-wise addition mod p (inputs canonical)."""
     s = a + b  # wraps mod 2^64
-    s = np.where(s < a, s + _EPS, s)  # recover the lost 2^64 = eps mod p
+    s += (s < a) * _EPS  # recover the lost 2^64 = eps mod p
     return _canonical(s)
 
 
@@ -79,34 +80,39 @@ def gl_mul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """Element-wise multiplication mod p — the Goldilocks kernel.
 
     Four 32x32->64 partial products, carry assembly of the 128-bit
-    result, then the ``2^64 = 2^32 - 1`` reduction.
+    result, then the ``2^64 = 2^32 - 1`` reduction.  Buffers from the
+    limb split are reused in place (this kernel dominates transform
+    time, and the temporaries are the measured cost).
     """
     a0 = a & _MASK32
     a1 = a >> _SHIFT32
     b0 = b & _MASK32
     b1 = b >> _SHIFT32
 
-    ll = a0 * b0
-    lh = a0 * b1
-    hl = a1 * b0
-    hh = a1 * b1
-
-    mid = lh + hl
-    carry_mid = (mid < lh).astype(np.uint64)
-    mid_shifted = mid << _SHIFT32
-    lo = ll + mid_shifted
-    carry_lo = (lo < ll).astype(np.uint64)
-    hi = hh + (mid >> _SHIFT32) + (carry_mid << _SHIFT32) + carry_lo
+    lo = a0 * b0
+    hi = a1 * b1
+    a0 *= b1          # lh: low*high partial (a0 buffer reused)
+    a1 *= b0          # hl: high*low partial
+    a0 += a1          # mid = lh + hl, wraps mod 2^64
+    carry_mid = a0 < a1
+    mid_shifted = a0 << _SHIFT32
+    lo += mid_shifted
+    carry_lo = lo < mid_shifted
+    hi += a0 >> _SHIFT32
+    hi += carry_mid * _C32
+    hi += carry_lo
 
     # Reduce lo + hi*2^64 with 2^64 = 2^32 - 1, 2^96 = -1.
     hi_lo = hi & _MASK32
-    hi_hi = hi >> _SHIFT32
-    t0 = lo - hi_hi
-    t0 = np.where(lo < hi_hi, t0 - _EPS, t0)  # borrow: -2^64 = -eps mod p
-    t1 = (hi_lo << _SHIFT32) - hi_lo          # hi_lo * (2^32 - 1) < 2^64
-    r = t0 + t1
-    r = np.where(r < t0, r + _EPS, r)
-    return _canonical(_canonical(r))
+    hi >>= _SHIFT32                 # hi is now hi_hi
+    borrow = lo < hi
+    lo -= hi
+    lo -= borrow * _EPS             # borrow: -2^64 = -eps mod p
+    t1 = hi_lo << _SHIFT32
+    t1 -= hi_lo                     # hi_lo * (2^32 - 1) < 2^64
+    lo += t1
+    lo += (lo < t1) * _EPS
+    return _canonical(_canonical(lo))
 
 
 def gl_scale(a: np.ndarray, scalar: int) -> np.ndarray:

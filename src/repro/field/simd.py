@@ -1,11 +1,18 @@
 """Shared driver for data-parallel (numpy) NTTs.
 
 The vectorized field backends (:mod:`repro.field.goldilocks`,
-:mod:`repro.field.babybear`) differ only in their lane arithmetic; the
-transform schedule — whole-stage radix-2 DIF butterflies over reshaped
-views, one bit-reversal gather at the end — is identical and lives
-here.  This is the data-parallel shape a GPU kernel has, which is why
-the same schedule is fast under numpy too.
+:mod:`repro.field.babybear`, and the generic kernels in
+:mod:`repro.field.backend`) differ only in their lane arithmetic; the
+transform schedule lives here and is shared.
+
+The schedule is a Stockham autosort: each stage reads the two
+*contiguous* halves of the working buffer, writes butterfly outputs
+interleaved into a scratch buffer, and ping-pongs the two.  Natural
+order in, natural order out, **no bit-reversal gather at all**, and
+every lane operation runs on contiguous memory — the same reasons GPU
+libraries favour Stockham make it the fastest numpy formulation too
+(the strided-view DIF + final gather variant measures ~2x slower).
+The output is bit-identical to the scalar radix-2 engines.
 """
 
 from __future__ import annotations
@@ -42,7 +49,7 @@ def _check_size(n: int) -> None:
 def vectorized_ntt(ops: LaneOps, values: np.ndarray,
                    cache: TwiddleCache | None = None,
                    root: int | None = None) -> np.ndarray:
-    """Forward radix-2 DIF NTT with whole-stage numpy butterflies."""
+    """Forward NTT with whole-stage numpy butterflies (Stockham autosort)."""
     n = len(values)
     _check_size(n)
     cache = cache or default_cache
@@ -50,22 +57,28 @@ def vectorized_ntt(ops: LaneOps, values: np.ndarray,
         return values.copy()
     field = ops.field
     w = field.root_of_unity(n) if root is None else root
-    table = ops.pack(cache.powers(field, w, n // 2))
+    table = cache.packed_powers(field, w, n // 2, ops.pack)
 
-    data = values.copy()
-    half = n // 2
-    while half >= 1:
+    x = values.copy()
+    y = np.empty_like(x)
+    mid = n // 2
+    m = n
+    stride = 1
+    while m > 1:
+        half = m // 2
         step = (n // 2) // half
-        view = data.reshape(-1, 2, half)
-        u = view[:, 0, :].copy()
-        v = view[:, 1, :].copy()
+        a = x[:mid]
+        b = x[mid:]
         tw = table[::step][:half]
-        view[:, 0, :] = ops.add(u, v)
-        view[:, 1, :] = ops.mul(ops.sub(u, v),
-                                np.broadcast_to(tw, u.shape))
-        half //= 2
-    perm = np.asarray(cache.bitrev(n), dtype=np.int64)
-    return data[perm]
+        if stride > 1:
+            tw = np.repeat(tw, stride)
+        out = y.reshape(half, 2, stride)
+        out[:, 0, :] = ops.add(a, b).reshape(half, stride)
+        out[:, 1, :] = ops.mul(ops.sub(a, b), tw).reshape(half, stride)
+        x, y = y, x
+        m = half
+        stride *= 2
+    return x
 
 
 def vectorized_intt(ops: LaneOps, values: np.ndarray,

@@ -4,13 +4,27 @@ The NTT engines represent data as plain Python lists of integers in
 ``[0, p)`` ("raw vectors").  This module collects the vectorized helpers
 shared by the transform engines, the polynomial algebra and the
 simulator, so element-wise loops live in one place.
+
+Every helper routes through the process-global *compute backend* (see
+:mod:`repro.field.backend` and ``docs/BACKENDS.md``): the pure-Python
+reference by default, or NumPy ``uint64`` lane arithmetic when the
+``numpy`` backend is active.  The list-in/list-out contract is
+identical either way; backends are bit-exact against each other.
+
+>>> from repro.field.presets import TEST_FIELD_97
+>>> vec_add(TEST_FIELD_97, [1, 96], [2, 3])
+[3, 2]
+>>> vec_pow_series(TEST_FIELD_97, 2, 4)
+[1, 2, 4, 8]
 """
 
 from __future__ import annotations
 
+import numbers
 from typing import Sequence
 
 from repro.errors import FieldError
+from repro.field.backend import get_backend
 from repro.field.prime_field import PrimeField
 
 __all__ = [
@@ -22,43 +36,50 @@ __all__ = [
 def validate_vector(field: PrimeField, values: Sequence[int]) -> None:
     """Check that every entry is a canonical field value.
 
-    Used at simulator boundaries to catch corrupted shards early.
+    Used at simulator boundaries to catch corrupted shards early.  Any
+    integral type is accepted (plain ``int``, ``numpy`` integer
+    scalars, ...); callers that need plain ints normalize with
+    ``int(v)`` at the boundary.
+
+    >>> from repro.field.presets import TEST_FIELD_97
+    >>> validate_vector(TEST_FIELD_97, [0, 42, 96])
     """
     p = field.modulus
     for i, v in enumerate(values):
-        if not isinstance(v, int) or not 0 <= v < p:
+        if (isinstance(v, bool) or not isinstance(v, numbers.Integral)
+                or not 0 <= v < p):
             raise FieldError(
                 f"index {i}: {v!r} is not a canonical value of {field.name}")
 
 
 def vec_add(field: PrimeField, a: Sequence[int], b: Sequence[int]) -> list[int]:
     """Element-wise ``a + b`` mod p."""
-    p = field.modulus
-    return [(x + y) % p for x, y in zip(a, b, strict=True)]
+    backend = get_backend()
+    return backend.unpack(field, backend.add(field, a, b))
 
 
 def vec_sub(field: PrimeField, a: Sequence[int], b: Sequence[int]) -> list[int]:
     """Element-wise ``a - b`` mod p."""
-    p = field.modulus
-    return [(x - y) % p for x, y in zip(a, b, strict=True)]
+    backend = get_backend()
+    return backend.unpack(field, backend.sub(field, a, b))
 
 
 def vec_mul(field: PrimeField, a: Sequence[int], b: Sequence[int]) -> list[int]:
     """Element-wise (Hadamard) product mod p."""
-    p = field.modulus
-    return [x * y % p for x, y in zip(a, b, strict=True)]
+    backend = get_backend()
+    return backend.unpack(field, backend.mul(field, a, b))
 
 
 def vec_scale(field: PrimeField, a: Sequence[int], s: int) -> list[int]:
     """Multiply every entry by the scalar ``s``."""
-    p = field.modulus
-    return [x * s % p for x in a]
+    backend = get_backend()
+    return backend.unpack(field, backend.scale(field, a, s))
 
 
 def vec_neg(field: PrimeField, a: Sequence[int]) -> list[int]:
     """Element-wise negation mod p."""
-    p = field.modulus
-    return [(p - x) % p for x in a]
+    backend = get_backend()
+    return backend.unpack(field, backend.neg(field, a))
 
 
 def vec_pow_series(field: PrimeField, base: int, n: int,
@@ -67,13 +88,8 @@ def vec_pow_series(field: PrimeField, base: int, n: int,
 
     This is the twiddle-table generator: successive powers of a root.
     """
-    p = field.modulus
-    out = []
-    acc = start % p
-    for _ in range(n):
-        out.append(acc)
-        acc = acc * base % p
-    return out
+    backend = get_backend()
+    return backend.unpack(field, backend.pow_series(field, base, n, start))
 
 
 def vec_inv(field: PrimeField, a: Sequence[int]) -> list[int]:
@@ -81,27 +97,15 @@ def vec_inv(field: PrimeField, a: Sequence[int]) -> list[int]:
 
     Raises :class:`FieldError` if any entry is zero.
     """
-    p = field.modulus
-    n = len(a)
-    prefix = [1] * (n + 1)
-    for i, v in enumerate(a):
-        if v == 0:
-            raise FieldError(f"batch inversion hit zero at index {i}")
-        prefix[i + 1] = prefix[i] * v % p
-    inv_all = field.inv(prefix[n])
-    out = [0] * n
-    for i in range(n - 1, -1, -1):
-        out[i] = prefix[i] * inv_all % p
-        inv_all = inv_all * a[i] % p
-    return out
+    backend = get_backend()
+    return backend.unpack(field, backend.inv(field, a))
 
 
 def vec_dot(field: PrimeField, a: Sequence[int], b: Sequence[int]) -> int:
     """Inner product mod p."""
-    p = field.modulus
-    return sum(x * y for x, y in zip(a, b, strict=True)) % p
+    return get_backend().dot(field, a, b)
 
 
 def vec_sum(field: PrimeField, a: Sequence[int]) -> int:
     """Sum of all entries mod p."""
-    return sum(a) % field.modulus
+    return get_backend().sum(field, a)

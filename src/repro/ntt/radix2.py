@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.errors import NTTError
+from repro.field.backend import get_backend
 from repro.field.prime_field import PrimeField
 from repro.ntt.twiddle import TwiddleCache, default_cache
 
@@ -29,6 +30,15 @@ __all__ = [
     "ntt", "intt", "ntt_dit_inplace", "ntt_dif_inplace",
     "apply_bit_reversal", "radix2_butterfly_count",
 ]
+
+#: Below this size the pack/unpack overhead of a lane backend exceeds
+#: the butterfly savings; stay on the scalar path.
+_ACCEL_MIN_SIZE = 32
+
+
+def _lane_ops(field: PrimeField):
+    """Whole-stage lane arithmetic from the active backend, or None."""
+    return get_backend().lane_ops(field)
 
 
 def _check_size(n: int, field: PrimeField) -> None:
@@ -111,6 +121,13 @@ def ntt(field: PrimeField, values: Sequence[int],
     elif n == 0 or n & (n - 1):
         raise NTTError(f"NTT size must be a power of two, got {n}")
     cache = cache or default_cache
+    if n >= _ACCEL_MIN_SIZE:
+        ops = _lane_ops(field)
+        if ops is not None:
+            from repro.field.simd import vectorized_ntt
+
+            return vectorized_ntt(ops, ops.pack(list(values)), cache,
+                                  root).tolist()
     out = list(values)
     if n == 1:
         return out
@@ -137,6 +154,13 @@ def intt(field: PrimeField, values: Sequence[int],
     elif n == 0 or n & (n - 1):
         raise NTTError(f"NTT size must be a power of two, got {n}")
     cache = cache or default_cache
+    if n >= _ACCEL_MIN_SIZE:
+        ops = _lane_ops(field)
+        if ops is not None:
+            from repro.field.simd import vectorized_intt
+
+            return vectorized_intt(ops, ops.pack(list(values)), cache,
+                                   root).tolist()
     out = list(values)
     if n == 1:
         return out

@@ -16,6 +16,7 @@ from typing import Sequence
 
 from repro.errors import NTTError
 from repro.field.prime_field import PrimeField
+from repro.field.vector import vec_add, vec_mul, vec_scale, vec_sub
 from repro.ntt.twiddle import TwiddleCache, default_cache
 
 __all__ = ["ntt_radix4", "intt_radix4", "radix4_multiply_count"]
@@ -38,22 +39,19 @@ def _radix4_recursive(field: PrimeField, values: list[int], root: int,
             for r in range(4)]
     j_const = pow(root, quarter, p)  # primitive 4th root: j^2 = -1
     w1 = cache.powers(field, root, quarter)
-    out = [0] * n
-    for k in range(quarter):
-        t1 = w1[k]
-        a0 = subs[0][k]
-        a1 = subs[1][k] * t1 % p
-        a2 = subs[2][k] * (t1 * t1 % p) % p
-        a3 = subs[3][k] * (t1 * t1 % p * t1 % p) % p
-        s02 = (a0 + a2) % p
-        d02 = (a0 - a2) % p
-        s13 = (a1 + a3) % p
-        d13 = (a1 - a3) % p * j_const % p
-        out[k] = (s02 + s13) % p
-        out[k + quarter] = (d02 + d13) % p
-        out[k + 2 * quarter] = (s02 - s13) % p
-        out[k + 3 * quarter] = (d02 - d13) % p
-    return out
+    # The whole combine level as bulk vector ops over the active backend:
+    # a_r = subs[r] * w^(r*k), then the 4-point DFT on (a0, a1, a2, a3).
+    w2 = vec_mul(field, w1, w1)
+    a0 = subs[0]
+    a1 = vec_mul(field, subs[1], w1)
+    a2 = vec_mul(field, subs[2], w2)
+    a3 = vec_mul(field, subs[3], vec_mul(field, w2, w1))
+    s02 = vec_add(field, a0, a2)
+    d02 = vec_sub(field, a0, a2)
+    s13 = vec_add(field, a1, a3)
+    d13 = vec_scale(field, vec_sub(field, a1, a3), j_const)
+    return (vec_add(field, s02, s13) + vec_add(field, d02, d13)
+            + vec_sub(field, s02, s13) + vec_sub(field, d02, d13))
 
 
 def ntt_radix4(field: PrimeField, values: Sequence[int],
@@ -78,9 +76,7 @@ def intt_radix4(field: PrimeField, values: Sequence[int],
     cache = cache or default_cache
     w = field.root_of_unity(n) if root is None else root
     out = _radix4_recursive(field, list(values), field.inv(w), cache)
-    n_inv = field.inv(n % field.modulus)
-    p = field.modulus
-    return [v * n_inv % p for v in out]
+    return vec_scale(field, out, field.inv(n % field.modulus))
 
 
 def radix4_multiply_count(n: int) -> int:

@@ -18,6 +18,7 @@ from typing import Sequence
 
 from repro.errors import NTTError
 from repro.field.prime_field import PrimeField
+from repro.field.vector import vec_add, vec_mul, vec_scale, vec_sub
 from repro.ntt.twiddle import TwiddleCache, default_cache
 
 __all__ = ["ntt_stockham", "intt_stockham"]
@@ -35,18 +36,26 @@ def _stockham(field: PrimeField, values: Sequence[int], root: int,
     while n > 1:
         half = n // 2
         table = cache.powers(field, stage_root, half)
+        # Butterfly b reads the contiguous blocks [stride*b, stride*(b+1))
+        # of each half of x, so the whole stage is two half-length bulk
+        # ops over the active backend; twiddle w_b applies to its entire
+        # stride-sized block.
+        mid = stride * half
+        a_half = x[:mid]
+        b_half = x[mid:2 * mid]
+        if stride == 1:
+            twiddles = table
+        else:
+            twiddles = [w for w in table for _ in range(stride)]
+        sums = vec_add(field, a_half, b_half)
+        diffs = vec_mul(field, vec_sub(field, a_half, b_half), twiddles)
+        # Interleave: output block 2b <- sums block b, 2b+1 <- diffs block b.
         for butterfly in range(half):
-            w = table[butterfly]
-            base_in_a = stride * butterfly
-            base_in_b = stride * (butterfly + half)
-            base_out_a = stride * 2 * butterfly
-            base_out_b = base_out_a + stride
-            for q in range(stride):
-                a = x[q + base_in_a]
-                b = x[q + base_in_b]
-                s = a + b
-                y[q + base_out_a] = s - p if s >= p else s
-                y[q + base_out_b] = (a - b) * w % p
+            lo = stride * butterfly
+            hi = lo + stride
+            out = stride * 2 * butterfly
+            y[out:out + stride] = sums[lo:hi]
+            y[out + stride:out + 2 * stride] = diffs[lo:hi]
         x, y = y, x
         n = half
         stride *= 2
@@ -80,6 +89,4 @@ def intt_stockham(field: PrimeField, values: Sequence[int],
         return list(values)
     w = field.root_of_unity(n) if root is None else root
     out = _stockham(field, values, field.inv(w), cache)
-    p = field.modulus
-    n_inv = field.inv(n % p)
-    return [v * n_inv % p for v in out]
+    return vec_scale(field, out, field.inv(n % field.modulus))

@@ -39,6 +39,7 @@ class TwiddleCache:
     def __init__(self) -> None:
         self._tables: dict[tuple[int, int, int], list[int]] = {}
         self._bitrev: dict[int, list[int]] = {}
+        self._packed: dict[tuple[int, int, int], object] = {}
 
     def powers(self, field: PrimeField, root: int, count: int) -> list[int]:
         """Return ``[1, root, root^2, ..., root^(count-1)]`` mod p."""
@@ -48,6 +49,21 @@ class TwiddleCache:
             table = vec_pow_series(field, root, count)
             self._tables[key] = table
         return table
+
+    def packed_powers(self, field: PrimeField, root: int, count: int, pack):
+        """:meth:`powers`, packed by ``pack`` into a lane-backend array.
+
+        Real kernels keep twiddles resident in device memory in device
+        format; the vectorized backends mirror that by caching the
+        packed (uint64) form alongside the int table, so repeated
+        transforms skip the list-to-array conversion.
+        """
+        key = (field.modulus, root, count)
+        packed = self._packed.get(key)
+        if packed is None:
+            packed = pack(self.powers(field, root, count))
+            self._packed[key] = packed
+        return packed
 
     def forward(self, field: PrimeField, n: int) -> list[int]:
         """Powers of the primitive n-th root (half-table, n/2 entries)."""
@@ -69,6 +85,7 @@ class TwiddleCache:
         """Drop all cached tables (used by memory-pressure tests)."""
         self._tables.clear()
         self._bitrev.clear()
+        self._packed.clear()
 
     def stats(self) -> dict[str, int]:
         """Cache occupancy, in tables and total entries."""

@@ -55,8 +55,14 @@ class SimGPU:
     # -- data ---------------------------------------------------------------
 
     def load(self, values: list[int]) -> None:
-        """Install a shard (host-to-device; not counted as inter-GPU)."""
-        self.shard = list(values)
+        """Install a shard (host-to-device; not counted as inter-GPU).
+
+        Values are normalized to plain ``int`` so numpy integer scalars
+        (from a vectorized backend) never leak into shard state, where
+        their mod-2^64 wrapping semantics would corrupt later host-side
+        arithmetic.
+        """
+        self.shard = [int(v) for v in values]
 
     def require_shard(self, expected: int) -> None:
         if len(self.shard) != expected:

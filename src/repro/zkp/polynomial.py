@@ -13,6 +13,7 @@ from typing import Sequence
 
 from repro.errors import NTTError, ReproError
 from repro.field.prime_field import PrimeField
+from repro.field.vector import vec_add, vec_neg, vec_scale
 from repro.ntt import polymul
 from repro.zkp.domain import EvaluationDomain
 
@@ -95,21 +96,17 @@ class Polynomial:
 
     def __add__(self, other: "Polynomial") -> "Polynomial":
         self._check_field(other)
-        p = self.field.modulus
         a, b = self.coeffs, other.coeffs
         if len(a) < len(b):
             a, b = b, a
-        out = list(a)
-        for i, c in enumerate(b):
-            out[i] = (out[i] + c) % p
-        return Polynomial(self.field, out)
+        padded = list(b) + [0] * (len(a) - len(b))
+        return Polynomial(self.field, vec_add(self.field, list(a), padded))
 
     def __sub__(self, other: "Polynomial") -> "Polynomial":
         return self + (-other)
 
     def __neg__(self) -> "Polynomial":
-        p = self.field.modulus
-        return Polynomial(self.field, [(p - c) % p for c in self.coeffs])
+        return Polynomial(self.field, vec_neg(self.field, list(self.coeffs)))
 
     def __mul__(self, other: "Polynomial | int") -> "Polynomial":
         if isinstance(other, int):
@@ -137,9 +134,9 @@ class Polynomial:
 
     def scale(self, scalar: int) -> "Polynomial":
         """Multiply every coefficient by a field scalar."""
-        p = self.field.modulus
-        s = scalar % p
-        return Polynomial(self.field, [c * s % p for c in self.coeffs])
+        s = scalar % self.field.modulus
+        return Polynomial(self.field,
+                          vec_scale(self.field, list(self.coeffs), s))
 
     def shift(self, amount: int) -> "Polynomial":
         """Multiply by ``x^amount``."""

@@ -89,6 +89,22 @@ class TestValidate:
         with pytest.raises(FieldError):
             validate_vector(F, [1.5])
 
+    def test_accepts_numpy_integer_scalars(self):
+        np = pytest.importorskip("numpy")
+        # Vectorized backends hand back np.uint64 scalars; these are
+        # Integral but not int, and must validate like plain ints.
+        validate_vector(F, [np.uint64(0), np.uint64(96), np.int64(5)])
+
+    def test_rejects_out_of_range_numpy_scalar(self):
+        np = pytest.importorskip("numpy")
+        with pytest.raises(FieldError, match="index 0"):
+            validate_vector(F, [np.uint64(97)])
+
+    def test_rejects_bool(self):
+        # bool is Integral in Python's tower but never a field element.
+        with pytest.raises(FieldError):
+            validate_vector(F, [True])
+
 
 vecs = st.lists(st.integers(min_value=0, max_value=96), min_size=1,
                 max_size=20)

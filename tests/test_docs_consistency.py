@@ -1,0 +1,53 @@
+"""Docs/code consistency checks.
+
+Two cheap guards that keep the documentation honest:
+
+* the doctests embedded in the field-layer modules must run and pass
+  (so the examples in the backend guide stay executable), and
+* every experiment id the CLI accepts must be documented in
+  ``docs/REPRODUCING.md`` (so ``repro experiment <id>`` is always
+  discoverable from the docs).
+"""
+
+import doctest
+import os
+
+import pytest
+
+DOCS = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "docs")
+
+
+@pytest.mark.parametrize("module_name", [
+    "repro.field.backend",
+    "repro.field.vector",
+])
+def test_field_doctests(module_name):
+    import importlib
+
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, f"{module_name} has no doctests"
+    assert results.failed == 0, (
+        f"{results.failed} doctest failure(s) in {module_name}")
+
+
+def test_every_experiment_id_is_documented():
+    from repro.cli import EXPERIMENTS
+
+    path = os.path.join(DOCS, "REPRODUCING.md")
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    missing = [exp_id for exp_id in EXPERIMENTS if f"`{exp_id}`" not in text]
+    assert not missing, (
+        f"experiment ids {missing} are accepted by the CLI but not "
+        f"documented in docs/REPRODUCING.md")
+
+
+def test_backends_guide_exists_and_covers_api():
+    path = os.path.join(DOCS, "BACKENDS.md")
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    for needle in ("FieldBackend", "PythonBackend", "NumPyBackend",
+                   "REPRO_BACKEND", "Montgomery", "Goldilocks"):
+        assert needle in text, f"docs/BACKENDS.md does not mention {needle}"
