@@ -1,0 +1,70 @@
+"""Findings: the common currency of the static-analysis subsystem.
+
+Every checker — plan verifier, trace race detector, repo lint — reports
+:class:`Finding` records and registers the checks it implements as
+:class:`Check` metadata.  The CLI renders findings for humans or as
+JSON, and exits non-zero when any were produced, so every checker is a
+CI gate for free.
+
+This module is deliberately stdlib-only (``dataclasses`` and ``json``),
+so the lint entry point works in a bare interpreter.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+
+__all__ = ["Check", "Finding", "render_findings", "findings_to_json"]
+
+
+@dataclass(frozen=True)
+class Check:
+    """Metadata for one registered check.
+
+    ``check_id`` is namespaced ``<tool>.<rule>`` (``plan.deadlock``,
+    ``lint.raw-mod``); ``version`` bumps whenever the rule's semantics
+    change, so golden CI output can pin what it was checked against.
+    """
+
+    check_id: str
+    version: int
+    description: str
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One violation reported by a checker.
+
+    ``check`` names the rule (a registered ``check_id``), ``where``
+    locates the violation (``file:line`` for lint, an op or event path
+    for the schedule/trace checkers), and ``message`` says what is
+    wrong in one sentence.
+    """
+
+    check: str
+    message: str
+    where: str = ""
+
+    def format(self) -> str:
+        location = f"{self.where}: " if self.where else ""
+        return f"{location}[{self.check}] {self.message}"
+
+
+def render_findings(findings: list[Finding], tool: str) -> str:
+    """Human-readable report: one line per finding plus a verdict."""
+    lines = [finding.format() for finding in findings]
+    noun = "finding" if len(findings) == 1 else "findings"
+    lines.append(f"{tool}: {len(findings)} {noun}"
+                 if findings else f"{tool}: clean")
+    return "\n".join(lines)
+
+
+def findings_to_json(findings: list[Finding], tool: str) -> str:
+    """Deterministic JSON report (sorted keys, stable ordering)."""
+    payload = {
+        "findings": [asdict(finding) for finding in findings],
+        "count": len(findings),
+        "tool": tool,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,252 @@
+"""Repo lint: AST checks for the project's own invariants.
+
+Generic linters cannot know that this codebase routes all bulk modular
+arithmetic through the :class:`~repro.field.backend.FieldBackend`
+``vec_*`` helpers, that the simulator must be bit-deterministic, or
+that trace event kinds form a closed registry.  This module encodes
+those rules as AST visitors over ``src/repro/``:
+
+* ``lint.raw-mod`` — inside ``multigpu/`` (the hot paths), no
+  element-wise modular sweep may bypass the backend: comprehensions
+  whose element is a ``%`` expression, lambdas returning one, and
+  single-statement loops storing one into a subscript are all bulk
+  operations that belong in ``repro.field.vector``.  Scalar ``%`` (an
+  index computation, a single twiddle) is fine and not flagged.
+* ``lint.nondeterminism`` — inside ``sim/`` and ``multigpu/``, no
+  ``random.*`` (except constructing a seeded ``random.Random``) and no
+  ``time.*``: simulated results must be a pure function of their
+  inputs.
+* ``lint.mutable-default`` — repo-wide: no mutable default arguments.
+* ``lint.trace-kind`` — repo-wide: every literal ``kind=`` passed to
+  ``TraceEvent`` must be registered in
+  :data:`repro.sim.trace.EVENT_KINDS`.
+
+The module itself depends only on the standard library (plus the
+registry in :mod:`repro.sim.trace`, which is stdlib-only too), so
+``python -m repro.analysis.lint`` works as a bare pre-commit hook with
+no third-party packages installed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import os
+import sys
+
+from repro.analysis.findings import (
+    Check, Finding, findings_to_json, render_findings,
+)
+from repro.sim.trace import EVENT_KINDS
+
+__all__ = ["CHECKS", "lint_paths", "lint_file", "default_root", "main"]
+
+CHECKS = (
+    Check("lint.raw-mod", 1,
+          "bulk modular arithmetic in multigpu/ bypassing FieldBackend"),
+    Check("lint.nondeterminism", 1,
+          "unseeded random.* or time.* inside sim/ or multigpu/"),
+    Check("lint.mutable-default", 1,
+          "mutable default argument"),
+    Check("lint.trace-kind", 1,
+          "TraceEvent kind not declared in EVENT_KINDS"),
+)
+
+#: Sub-packages whose element-wise arithmetic must ride the backend.
+HOT_PACKAGES = ("multigpu",)
+
+#: Sub-packages that must be bit-deterministic.
+DETERMINISTIC_PACKAGES = ("sim", "multigpu")
+
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set,
+                     ast.ListComp, ast.DictComp, ast.SetComp)
+_MUTABLE_CONSTRUCTORS = frozenset({"list", "dict", "set", "bytearray"})
+
+
+def _is_mod(node: ast.AST) -> bool:
+    """True for an expression whose outermost operation is ``%``."""
+    return isinstance(node, ast.BinOp) and isinstance(node.op, ast.Mod)
+
+
+class _FileLinter(ast.NodeVisitor):
+    def __init__(self, rel_path: str, hot: bool, deterministic: bool):
+        self.rel_path = rel_path
+        self.hot = hot
+        self.deterministic = deterministic
+        self.findings: list[Finding] = []
+
+    def _flag(self, check: str, message: str, node: ast.AST) -> None:
+        self.findings.append(Finding(
+            check, message, f"{self.rel_path}:{node.lineno}"))
+
+    # -- lint.raw-mod ---------------------------------------------------------
+
+    def _check_comprehension(self, node) -> None:
+        if self.hot and _is_mod(node.elt):
+            self._flag(
+                "lint.raw-mod",
+                "comprehension applies % element-wise; route it "
+                "through repro.field.vector (vec_mul/vec_scale/...)",
+                node)
+        self.generic_visit(node)
+
+    visit_ListComp = _check_comprehension
+    visit_SetComp = _check_comprehension
+    visit_GeneratorExp = _check_comprehension
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        if self.hot and _is_mod(node.body):
+            self._flag(
+                "lint.raw-mod",
+                "lambda returns a % expression (bulk combiner); use a "
+                "repro.field.vector helper", node)
+        self.generic_visit(node)
+
+    def visit_For(self, node: ast.For) -> None:
+        if self.hot and len(node.body) == 1:
+            stmt = node.body[0]
+            if (isinstance(stmt, ast.Assign)
+                    and len(stmt.targets) == 1
+                    and isinstance(stmt.targets[0], ast.Subscript)
+                    and _is_mod(stmt.value)):
+                self._flag(
+                    "lint.raw-mod",
+                    "loop stores a % expression per element; this is a "
+                    "vector sweep — use repro.field.vector", node)
+        self.generic_visit(node)
+
+    # -- lint.nondeterminism ------------------------------------------------------
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if self.deterministic and isinstance(node.value, ast.Name):
+            module = node.value.id
+            if module == "random" and node.attr != "Random":
+                self._flag(
+                    "lint.nondeterminism",
+                    f"random.{node.attr} in a deterministic package; "
+                    "only seeded random.Random(...) is allowed", node)
+            elif module == "time":
+                self._flag(
+                    "lint.nondeterminism",
+                    f"time.{node.attr} in a deterministic package; "
+                    "simulated time comes from the cost model", node)
+        self.generic_visit(node)
+
+    # -- lint.mutable-default -----------------------------------------------------
+
+    def _check_defaults(self, node) -> None:
+        defaults = list(node.args.defaults)
+        defaults += [d for d in node.args.kw_defaults if d is not None]
+        for default in defaults:
+            mutable = isinstance(default, _MUTABLE_LITERALS) or (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in _MUTABLE_CONSTRUCTORS)
+            if mutable:
+                self._flag(
+                    "lint.mutable-default",
+                    f"function {node.name!r} has a mutable default "
+                    "argument; use None (or a dataclass "
+                    "default_factory)", default)
+        self.generic_visit(node)
+
+    visit_FunctionDef = _check_defaults
+    visit_AsyncFunctionDef = _check_defaults
+
+    # -- lint.trace-kind ----------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        callee = node.func
+        name = callee.attr if isinstance(callee, ast.Attribute) \
+            else callee.id if isinstance(callee, ast.Name) else ""
+        if name == "TraceEvent":
+            kind_args = [kw.value for kw in node.keywords
+                         if kw.arg == "kind"]
+            if not kind_args and node.args:
+                kind_args = [node.args[0]]
+            for value in kind_args:
+                if (isinstance(value, ast.Constant)
+                        and isinstance(value.value, str)
+                        and value.value not in EVENT_KINDS):
+                    self._flag(
+                        "lint.trace-kind",
+                        f"TraceEvent kind {value.value!r} is not "
+                        "registered in repro.sim.trace.EVENT_KINDS",
+                        value)
+        self.generic_visit(node)
+
+
+def default_root() -> str:
+    """The ``src/repro`` package directory this module is installed in."""
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _package_of(path: str, root: str) -> str:
+    rel = os.path.relpath(os.path.abspath(path), os.path.abspath(root))
+    parts = rel.split(os.sep)
+    return parts[0] if len(parts) > 1 else ""
+
+
+def lint_file(path: str, root: str | None = None) -> list[Finding]:
+    """Lint one Python source file; returns its findings."""
+    root = root or default_root()
+    with open(path, encoding="utf-8") as handle:
+        source = handle.read()
+    rel = os.path.relpath(os.path.abspath(path), os.path.abspath(root))
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        return [Finding("lint.raw-mod",
+                        f"file does not parse: {error}", rel)]
+    package = _package_of(path, root)
+    linter = _FileLinter(
+        rel_path=rel,
+        hot=package in HOT_PACKAGES,
+        deterministic=package in DETERMINISTIC_PACKAGES)
+    linter.visit(tree)
+    return sorted(linter.findings,
+                  key=lambda f: (f.where, f.check, f.message))
+
+
+def lint_paths(paths: list[str] | None = None,
+               root: str | None = None) -> list[Finding]:
+    """Lint files and directories (recursively); default: ``src/repro``."""
+    root = root or default_root()
+    targets = paths or [root]
+    files: list[str] = []
+    for target in targets:
+        if os.path.isdir(target):
+            for dirpath, dirnames, filenames in os.walk(target):
+                dirnames[:] = sorted(
+                    d for d in dirnames if d != "__pycache__")
+                files.extend(os.path.join(dirpath, name)
+                             for name in sorted(filenames)
+                             if name.endswith(".py"))
+        else:
+            files.append(target)
+    findings: list[Finding] = []
+    for path in files:
+        findings.extend(lint_file(path, root=root))
+    return findings
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Console entry point (``repro-lint`` / ``python -m ...lint``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="project-invariant lint over src/repro (stdlib only)")
+    parser.add_argument("paths", nargs="*",
+                        help="files/directories (default: src/repro)")
+    parser.add_argument("--json", action="store_true",
+                        help="machine-readable output")
+    args = parser.parse_args(argv)
+    findings = lint_paths(args.paths or None)
+    if args.json:
+        print(findings_to_json(findings, tool="lint"))
+    else:
+        print(render_findings(findings, tool="lint"))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

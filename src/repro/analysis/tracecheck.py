@@ -1,0 +1,128 @@
+"""Trace race detector: post-hoc checks over simulator event streams.
+
+A :class:`~repro.sim.trace.Trace` is the simulator's account of what
+ran; this module decides whether that account is *coherent*.  The
+semantics come from the :data:`~repro.sim.trace.EVENT_KINDS` registry:
+collectives synchronize (participants may read each other's shards
+inside the primitive), everything else is local.  From that alone the
+detector flags:
+
+* **unknown kinds** — events outside the declared registry;
+* **write conflicts** — two events stamped with the *same* logical
+  step whose write sets (the devices they rewrite) intersect: declared
+  concurrency plus overlapping writes is a data race by construction;
+* **unsynchronized reads** — a non-collective event that claims to
+  have read another device's shard (``reads``), which no fabric
+  carried;
+* **malformed charges** — negative bytes/muls, or a per-GPU critical
+  path larger than the event's own total;
+* **plan divergence** — when the static schedule for the run is
+  supplied, per-level byte totals that disagree with
+  :meth:`~repro.multigpu.schedule.CommSchedule.bytes_by_level`, which
+  turns every simulated run into a self-checking oracle.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.findings import Check, Finding
+from repro.multigpu.schedule import CommSchedule
+from repro.sim.trace import EVENT_KINDS, Trace, TraceEvent
+
+__all__ = ["CHECKS", "check_trace"]
+
+CHECKS = (
+    Check("trace.unknown-kind", 1,
+          "an event kind is not declared in EVENT_KINDS"),
+    Check("trace.write-conflict", 1,
+          "two same-step events write the same device's shard"),
+    Check("trace.unsynced-read", 1,
+          "a non-collective event read a remote shard"),
+    Check("trace.negative-charge", 1,
+          "an event charges negative bytes or multiplications"),
+    Check("trace.inconsistent-bytes", 1,
+          "per-GPU critical-path bytes exceed the event total"),
+    Check("trace.plan-divergence", 1,
+          "traced per-level bytes disagree with the static schedule"),
+)
+
+
+def _write_set(event: TraceEvent) -> frozenset[int] | None:
+    """Devices whose shards the event rewrites; ``None`` = all of them."""
+    if event.gpu < 0:
+        return None
+    return frozenset({event.gpu})
+
+
+def check_trace(trace: Trace,
+                schedule: CommSchedule | None = None) -> list[Finding]:
+    """Check one trace; returns every incoherence found.
+
+    ``schedule`` (optional) is the symbolic schedule of the run the
+    trace came from; supplying it enables the byte-total comparison.
+    """
+    findings: list[Finding] = []
+    by_step: dict[int, list[tuple[int, TraceEvent]]] = {}
+
+    for index, event in enumerate(trace.events):
+        where = f"trace[{index}]({event.kind}@{event.level})"
+        spec = EVENT_KINDS.get(event.kind)
+        if spec is None:
+            findings.append(Finding(
+                "trace.unknown-kind",
+                f"kind {event.kind!r} is not registered in EVENT_KINDS",
+                where))
+            continue
+        if min(event.total_bytes, event.max_bytes_per_gpu,
+               event.field_muls) < 0:
+            findings.append(Finding(
+                "trace.negative-charge",
+                f"negative charge (bytes {event.total_bytes}/"
+                f"{event.max_bytes_per_gpu}, muls {event.field_muls})",
+                where))
+        elif event.max_bytes_per_gpu > event.total_bytes:
+            findings.append(Finding(
+                "trace.inconsistent-bytes",
+                f"one GPU moved {event.max_bytes_per_gpu} bytes but the "
+                f"event total is only {event.total_bytes}", where))
+        if not spec.collective:
+            remote = sorted(r for r in event.reads if r != event.gpu)
+            if remote:
+                findings.append(Finding(
+                    "trace.unsynced-read",
+                    f"non-collective event read remote shard(s) "
+                    f"{remote} outside any collective", where))
+        by_step.setdefault(event.step, []).append((index, event))
+
+    for step in sorted(by_step):
+        group = by_step[step]
+        for a in range(len(group)):
+            for b in range(a + 1, len(group)):
+                index_a, event_a = group[a]
+                index_b, event_b = group[b]
+                writes_a = _write_set(event_a)
+                writes_b = _write_set(event_b)
+                if writes_a is None or writes_b is None:
+                    overlap: object = "all devices"
+                elif writes_a & writes_b:
+                    overlap = sorted(writes_a & writes_b)
+                else:
+                    continue
+                findings.append(Finding(
+                    "trace.write-conflict",
+                    f"events {index_a}({event_a.kind}) and "
+                    f"{index_b}({event_b.kind}) run at step {step} and "
+                    f"both write {overlap}",
+                    f"trace.step[{step}]"))
+
+    if schedule is not None:
+        expected = schedule.bytes_by_level()
+        actual = trace.bytes_by_level()
+        for level in sorted(set(expected) | set(actual)):
+            want, got = expected.get(level, 0), actual.get(level, 0)
+            if want != got:
+                findings.append(Finding(
+                    "trace.plan-divergence",
+                    f"trace moved {got} bytes at level {level!r}, "
+                    f"static schedule predicts {want}",
+                    f"trace.bytes_by_level[{level}]"))
+    return findings

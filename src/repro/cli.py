@@ -16,6 +16,11 @@ Commands
     log and per-level communication summary.
 ``tune``
     Autotune tile size and rank the engines for a workload.
+``analyze plan|trace|lint``
+    Static analysis: verify a symbolic communication schedule, race-check
+    a simulator trace against it, or lint ``src/repro`` for project
+    invariants.  All three support ``--json`` and exit non-zero on
+    findings, so they double as CI gates.
 """
 
 from __future__ import annotations
@@ -154,10 +159,49 @@ def build_parser() -> argparse.ArgumentParser:
     tune.add_argument("--machine", default="DGX-A100")
     tune.add_argument("--field", default="BLS12-381-Fr")
     tune.add_argument("--log-size", type=int, default=24)
+
+    analyze = sub.add_parser(
+        "analyze", help="static analysis (plan / trace / lint)")
+    asub = analyze.add_subparsers(dest="analyze_command", required=True)
+
+    ap = asub.add_parser("plan",
+                         help="symbolically verify a multi-GPU schedule")
+    ap.add_argument("--engine", default="unintt",
+                    choices=["unintt", "pairwise"])
+    ap.add_argument("--field", default="Goldilocks")
+    ap.add_argument("--gpus", type=int, default=8)
+    ap.add_argument("--log-size", type=int, default=12)
+    ap.add_argument("--machine", default="DGX-A100",
+                    help="machine model for level/cost checks")
+    ap.add_argument("--ablation", action="store_true",
+                    help="verify every ablation_grid() configuration")
+    ap.add_argument("--seed-bug", action="append", default=[],
+                    choices=["drop-transfer", "duplicate-transfer",
+                             "reorder", "wrong-level", "deadlock"],
+                    help="inject a deliberate bug first (repeatable)")
+    ap.add_argument("--json", action="store_true")
+
+    at = asub.add_parser("trace",
+                         help="run an engine, race-check its trace "
+                              "against the static schedule")
+    at.add_argument("--engine", default="unintt",
+                    choices=["unintt", "pairwise"])
+    at.add_argument("--field", default="Goldilocks")
+    at.add_argument("--gpus", type=int, default=8)
+    at.add_argument("--log-size", type=int, default=10)
+    at.add_argument("--json", action="store_true")
+
+    al = asub.add_parser("lint",
+                         help="AST lint of src/repro project invariants")
+    al.add_argument("paths", nargs="*",
+                    help="files/directories (default: the installed "
+                         "repro package)")
+    al.add_argument("--json", action="store_true")
     return parser
 
 
 def _cmd_info() -> int:
+    from repro.analysis import all_checks
     from repro.field import ALL_FIELDS, available_backends, get_backend
     from repro.hw import ALL_CLUSTERS, ALL_MACHINES
 
@@ -178,6 +222,10 @@ def _cmd_info() -> int:
     print("\nclusters:")
     for cluster in ALL_CLUSTERS:
         print(f"  {cluster.describe()}")
+    print("\nanalysis checks:")
+    for check in all_checks():
+        print(f"  {check.check_id:26s} v{check.version}  "
+              f"{check.description}")
     print(f"\nexperiments: {', '.join(sorted(EXPERIMENTS))}")
     return 0
 
@@ -317,6 +365,83 @@ def _cmd_tune(machine_name: str, field_name: str, log_size: int) -> int:
     return 0
 
 
+def _cmd_analyze_plan(engine: str, field_name: str, gpus: int,
+                      log_size: int, machine_name: str, ablation: bool,
+                      seed_bugs: Sequence[str], as_json: bool) -> int:
+    from repro.analysis import analyze_plan, findings_to_json, \
+        render_findings
+    from repro.field import field_by_name
+    from repro.hw import machine_by_name
+    from repro.multigpu import ablation_grid
+    from repro.multigpu.schedule import ALL_ON
+
+    field = field_by_name(field_name)
+    machine = machine_by_name(machine_name).with_gpu_count(gpus)
+    n = 1 << log_size
+    configs = ablation_grid() if ablation and engine == "unintt" \
+        else [("default", ALL_ON)]
+    findings = []
+    for label, options in configs:
+        schedule, found = analyze_plan(
+            n, gpus, field, engine=engine, options=options,
+            machine=machine, seed_bugs=tuple(seed_bugs))
+        findings.extend(found)
+        if not as_json:
+            verdict = f"{len(found)} finding(s)" if found else "ok"
+            print(f"# {schedule.name} [{label}] n=2^{log_size} "
+                  f"G={gpus}: {verdict}")
+    if as_json:
+        print(findings_to_json(findings, tool="plan"))
+    else:
+        print(render_findings(findings, tool="plan"))
+    return 1 if findings else 0
+
+
+def _cmd_analyze_trace(engine: str, field_name: str, gpus: int,
+                       log_size: int, as_json: bool) -> int:
+    import random
+
+    from repro.analysis import check_trace, findings_to_json, \
+        render_findings
+    from repro.field import field_by_name
+    from repro.multigpu import DistributedVector
+    from repro.multigpu.schedule import (
+        build_pairwise_schedule, build_unintt_schedule,
+    )
+    from repro.sim import SimCluster
+
+    field = field_by_name(field_name)
+    n = 1 << log_size
+    cluster = SimCluster(field, gpus)
+    eng = _engine_class(engine)(cluster)
+    values = field.random_vector(n, random.Random(0))
+    vec = DistributedVector.from_values(cluster, values,
+                                        eng.input_layout(n))
+    eng.forward(vec)
+    if engine == "unintt":
+        schedule = build_unintt_schedule(n, gpus, cluster.element_bytes)
+    else:
+        schedule = build_pairwise_schedule(n, gpus,
+                                           cluster.element_bytes)
+    findings = check_trace(cluster.trace, schedule=schedule)
+    if as_json:
+        print(findings_to_json(findings, tool="trace"))
+    else:
+        print(f"# {eng.name}: {len(cluster.trace)} events, "
+              f"{cluster.trace.collective_count()} collectives")
+        print(render_findings(findings, tool="trace"))
+    return 1 if findings else 0
+
+
+def _cmd_analyze_lint(paths: Sequence[str], as_json: bool) -> int:
+    from repro.analysis.lint import main as lint_main
+
+    argv = list(paths)
+    if as_json:
+        argv.append("--json")
+    return lint_main(argv)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -344,6 +469,16 @@ def main(argv: Sequence[str] | None = None) -> int:
                           args.engine)
     if args.command == "tune":
         return _cmd_tune(args.machine, args.field, args.log_size)
+    if args.command == "analyze":
+        if args.analyze_command == "plan":
+            return _cmd_analyze_plan(
+                args.engine, args.field, args.gpus, args.log_size,
+                args.machine, args.ablation, args.seed_bug, args.json)
+        if args.analyze_command == "trace":
+            return _cmd_analyze_trace(args.engine, args.field, args.gpus,
+                                      args.log_size, args.json)
+        if args.analyze_command == "lint":
+            return _cmd_analyze_lint(args.paths, args.json)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

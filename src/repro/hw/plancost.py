@@ -17,6 +17,7 @@ the uniformity harness).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field as dataclass_field
 
 from repro.errors import PlanError
@@ -50,6 +51,47 @@ class PlanCost:
             return "none"
         return max(self.exchange_s_by_level,
                    key=self.exchange_s_by_level.get)  # type: ignore
+
+    def validate(self) -> list[str]:
+        """Check the cost-model invariants; return the violations.
+
+        A healthy cost is made of finite, non-negative charges whose
+        total is the sum of compute and exchange time.  A NaN seeping
+        out of a bandwidth table, a negative byte count from an
+        accounting bug, or a total that drifted from its parts all
+        invalidate every comparison built on top — so the plan verifier
+        runs this on every priced configuration.  An empty list means
+        the cost is sound.
+        """
+        problems: list[str] = []
+
+        def bad_number(value: float) -> bool:
+            return not math.isfinite(value) or value < 0
+
+        if bad_number(self.total_s):
+            problems.append(f"total_s is {self.total_s!r}")
+        if bad_number(self.compute_s):
+            problems.append(f"compute_s is {self.compute_s!r}")
+        for name in sorted(self.exchange_s_by_level):
+            if bad_number(self.exchange_s_by_level[name]):
+                problems.append(
+                    f"exchange_s_by_level[{name!r}] is "
+                    f"{self.exchange_s_by_level[name]!r}")
+        for name in sorted(self.exchange_bytes_by_level):
+            if self.exchange_bytes_by_level[name] < 0:
+                problems.append(
+                    f"exchange_bytes_by_level[{name!r}] is "
+                    f"{self.exchange_bytes_by_level[name]}")
+        if self.butterfly_muls < 0:
+            problems.append(f"butterfly_muls is {self.butterfly_muls}")
+        if not problems:
+            parts = self.compute_s + self.exchange_s
+            if not math.isclose(self.total_s, parts,
+                                rel_tol=1e-9, abs_tol=1e-15):
+                problems.append(
+                    f"total_s {self.total_s!r} != compute_s + exchange_s "
+                    f"{parts!r}")
+        return problems
 
 
 def price_plan(machine: MachineModel, field: PrimeField,

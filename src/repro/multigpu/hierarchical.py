@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import PartitionError, SimulationError
+from repro.field.vector import vec_mul, vec_scale
 from repro.hw.cost import Phase, PipelinedGroup, Step
 from repro.multigpu import accounting as acct
 from repro.multigpu.base import (
@@ -321,9 +322,7 @@ class HierarchicalUniNTTEngine(DistributedNTTEngine):
             if s_gpu:
                 tw = default_cache.powers(
                     field, pow(root_node, s_gpu, p), m)
-                shard = gpu.shard
-                for k1 in range(1, m):
-                    shard[k1] = shard[k1] * tw[k1] % p
+                gpu.shard = vec_mul(field, gpu.shard, tw)
         self._charge_local_ntt(m, detail="hier-local")
 
         # 2. intra-node all-to-all + P-point cross transforms.
@@ -344,11 +343,12 @@ class HierarchicalUniNTTEngine(DistributedNTTEngine):
             if not s_node:
                 continue
             w_base = pow(root, s_node, p)
-            shard = gpu.shard
-            for local in range(len(shard)):
-                k1 = (node_spectral.global_index(gpu.gpu_id, local)
-                      % m_node)
-                shard[local] = shard[local] * pow(w_base, k1, p) % p
+            factors = [
+                pow(w_base,
+                    node_spectral.global_index(gpu.gpu_id, local) % m_node,
+                    p)
+                for local in range(len(gpu.shard))]
+            gpu.shard = vec_mul(field, gpu.shard, factors)
         self._charge_twiddle(m, detail="hier-inter-twiddle")
 
         # 4. inter-node all-to-all (column-aligned) + N-point cross.
@@ -393,11 +393,12 @@ class HierarchicalUniNTTEngine(DistributedNTTEngine):
             if not s_node:
                 continue
             w_base = pow(inv_root, s_node, p)
-            shard = gpu.shard
-            for local in range(len(shard)):
-                k1 = (node_spectral.global_index(gpu.gpu_id, local)
-                      % m_node)
-                shard[local] = shard[local] * pow(w_base, k1, p) % p
+            factors = [
+                pow(w_base,
+                    node_spectral.global_index(gpu.gpu_id, local) % m_node,
+                    p)
+                for local in range(len(gpu.shard))]
+            gpu.shard = vec_mul(field, gpu.shard, factors)
         self._charge_twiddle(m, detail="hier-inv-inter-twiddle")
 
         # 3. inverse P-point cross transforms (scale 1/P) + intra-node
@@ -421,11 +422,10 @@ class HierarchicalUniNTTEngine(DistributedNTTEngine):
             if s_gpu:
                 tw = default_cache.powers(
                     field, pow(inv_root_node, s_gpu, p), m)
-                for k1 in range(1, m):
-                    shard[k1] = shard[k1] * tw[k1] % p
+                shard = vec_mul(field, shard, tw)
             piece = radix2.ntt(field, shard, default_cache,
                                root=inv_root_local)
-            gpu.shard = [v * m_inv % p for v in piece]
+            gpu.shard = vec_scale(field, piece, m_inv)
         self._charge_local_ntt(m, scaled=True, detail="hier-inv-local")
         return DistributedVector(
             cluster=cluster,
@@ -442,7 +442,7 @@ class HierarchicalUniNTTEngine(DistributedNTTEngine):
                 piece = radix2.ntt(field, shard[base:base + size],
                                    default_cache, root=root)
                 if scale is not None:
-                    piece = [v * scale % p for v in piece]
+                    piece = vec_scale(field, piece, scale)
                 shard[base:base + size] = piece
         m = len(self.cluster.gpus[0].shard)
         self._charge_cross(m, size, scaled=scale is not None, detail=detail)

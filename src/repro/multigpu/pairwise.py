@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import PartitionError
+from repro.field.vector import vec_add, vec_mul, vec_scale, vec_sub
 from repro.hw.cost import Phase, Step
 from repro.multigpu import accounting as acct
 from repro.multigpu.base import DistributedNTTEngine, DistributedVector
@@ -99,9 +100,7 @@ class PairwiseExchangeEngine(DistributedNTTEngine):
             s = gpu.gpu_id
             if s:
                 tw = default_cache.powers(field, pow(root, s, p), m)
-                shard = gpu.shard
-                for k1 in range(1, m):
-                    shard[k1] = shard[k1] * tw[k1] % p
+                gpu.shard = vec_mul(field, gpu.shard, tw)
         self._charge_local(m, twiddle=True, detail="pairwise-local")
 
         # DIF butterfly stages over the GPU dimension, root w^M (order G).
@@ -120,11 +119,10 @@ class PairwiseExchangeEngine(DistributedNTTEngine):
                 mine = gpu.shard
                 if s & half:
                     w = twiddles[(s & (half - 1)) * step]
-                    gpu.shard = [(u - v) * w % p
-                                 for u, v in zip(theirs, mine)]
+                    gpu.shard = vec_scale(
+                        field, vec_sub(field, theirs, mine), w)
                 else:
-                    gpu.shard = [(u + v) % p
-                                 for u, v in zip(mine, theirs)]
+                    gpu.shard = vec_add(field, mine, theirs)
             self._charge_stage(m, detail=f"pairwise-combine-h{half}")
             half //= 2
         return DistributedVector(
@@ -158,7 +156,7 @@ class PairwiseExchangeEngine(DistributedNTTEngine):
                 s = gpu.gpu_id
                 if s & half:
                     w = twiddles[(s & (half - 1)) * step]
-                    payloads.append([v * w % p for v in gpu.shard])
+                    payloads.append(vec_scale(field, gpu.shard, w))
                     self._charge_stage_twiddle(m)
                 else:
                     payloads.append(gpu.shard)
@@ -169,12 +167,10 @@ class PairwiseExchangeEngine(DistributedNTTEngine):
                 theirs = received[s]
                 if s & half:
                     w = twiddles[(s & (half - 1)) * step]
-                    mine_tw = [v * w % p for v in gpu.shard]
-                    gpu.shard = [(u - v) % p
-                                 for u, v in zip(theirs, mine_tw)]
+                    mine_tw = vec_scale(field, gpu.shard, w)
+                    gpu.shard = vec_sub(field, theirs, mine_tw)
                 else:
-                    gpu.shard = [(u + v) % p
-                                 for u, v in zip(gpu.shard, theirs)]
+                    gpu.shard = vec_add(field, gpu.shard, theirs)
             self._charge_stage(m, detail=f"pairwise-inv-combine-h{half}")
             half *= 2
 
@@ -184,13 +180,12 @@ class PairwiseExchangeEngine(DistributedNTTEngine):
         m_inv = field.inv(m % p)
         for gpu in cluster.gpus:
             s = gpu.gpu_id
-            shard = [v * g_inv % p for v in gpu.shard]
+            shard = vec_scale(field, gpu.shard, g_inv)
             if s:
                 tw = default_cache.powers(field, pow(inv_root, s, p), m)
-                for k1 in range(1, m):
-                    shard[k1] = shard[k1] * tw[k1] % p
+                shard = vec_mul(field, shard, tw)
             piece = radix2.ntt(field, shard, default_cache, root=inv_root_m)
-            gpu.shard = [v * m_inv % p for v in piece]
+            gpu.shard = vec_scale(field, piece, m_inv)
         self._charge_local(m, twiddle=True, scaled=True,
                            detail="pairwise-inv-local")
         return DistributedVector(cluster=cluster,

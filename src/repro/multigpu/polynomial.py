@@ -18,6 +18,7 @@ from typing import Sequence
 
 from repro.errors import PartitionError
 from repro.field.prime_field import PrimeField
+from repro.field.vector import vec_add, vec_mul, vec_sub
 from repro.multigpu.base import DistributedVector
 from repro.multigpu.layout import distribute
 from repro.multigpu.unintt import UniNTTEngine
@@ -118,14 +119,14 @@ class DistributedPolynomial:
         if self.n != other.n:
             raise PartitionError(
                 f"sizes differ: {self.n} vs {other.n}")
-        p = self.field.modulus
+        field = self.field
         if op_name == "multiply":
-            combine = lambda x, y: x * y % p  # noqa: E731
+            combine = vec_mul
         elif op_name == "add":
-            combine = lambda x, y: (x + y) % p  # noqa: E731
+            combine = vec_add
         else:
-            combine = lambda x, y: (x - y) % p  # noqa: E731
-        shards = [[combine(x, y) for x, y in zip(mine, theirs)]
+            combine = vec_sub
+        shards = [combine(field, mine, theirs)
                   for mine, theirs in zip(self.shards, other.shards)]
         eb = self.engine.cluster.element_bytes
         per_gpu = self.n // self.engine.gpu_count

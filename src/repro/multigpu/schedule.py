@@ -1,4 +1,4 @@
-"""The uniform optimization set.
+"""The uniform optimization set and the symbolic communication schedule.
 
 The paper designs each optimization once against the abstract hardware
 model and instantiates it per level.  :class:`UniNTTOptions` is that
@@ -18,13 +18,37 @@ set, as toggles the ablation benchmark flips:
 * ``radix_fusion`` — use radix-4 butterflies for local transforms,
   reducing twiddle multiplications (register-level instance of the same
   "do more per visit" idea that tiling applies at the memory level).
+
+The second half of the module is the **symbolic schedule**: a
+:class:`CommSchedule` is the list of local passes and shard transfers an
+engine would execute, derived from the *same* layouts and accounting
+formulas the engines use, but containing no data.  It is the object the
+plan verifier (:mod:`repro.analysis.plancheck`) walks: every op declares
+which dataflow *tag* it consumes and produces, so read-before-write,
+lost/duplicated transfers and deadlocks are decidable without running
+the simulator.  Because transfers are enumerated from the real
+:class:`~repro.multigpu.layout.Layout` pair exactly the way
+:func:`~repro.multigpu.base.redistribute` builds its outboxes, the
+schedule's byte totals equal the simulator's traced totals bit-for-bit.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field as dataclass_field, replace
+from typing import Union
 
-__all__ = ["UniNTTOptions", "ALL_ON", "ALL_OFF", "ablation_grid"]
+from repro.multigpu import accounting as acct
+from repro.multigpu.layout import (
+    BlockLayout, Layout, SpectralLayout, UniNTTExchangeLayout,
+)
+from repro.ntt import radix4
+
+__all__ = [
+    "UniNTTOptions", "ALL_ON", "ALL_OFF", "ablation_grid",
+    "ShardTransfer", "LocalOp", "ExchangeOp", "PairwiseOp", "ScheduleOp",
+    "CommSchedule", "make_transfers", "build_unintt_schedule",
+    "build_pairwise_schedule",
+]
 
 
 @dataclass(frozen=True)
@@ -74,3 +98,265 @@ def ablation_grid() -> list[tuple[str, "UniNTTOptions"]]:
         grid.append((f"no-{name}", ALL_ON.without(name)))
     grid.append(("all-off", ALL_OFF))
     return grid
+
+
+# ---------------------------------------------------------------------------
+# Symbolic communication schedule
+# ---------------------------------------------------------------------------
+
+#: Dataflow tag every shard starts with before any op runs.
+INPUT_TAG = "input"
+
+
+@dataclass(frozen=True)
+class ShardTransfer:
+    """One point-to-point message inside a collective (``src != dst``)."""
+
+    src: int
+    dst: int
+    nbytes: int
+
+
+@dataclass(frozen=True)
+class LocalOp:
+    """A kernel every GPU runs on its own shard — no remote reads.
+
+    ``consumes`` is the dataflow tag the shard must carry when the op
+    starts; ``produces`` is the tag it carries afterwards.  The verifier
+    treats a tag mismatch as a read-before-write: the shard the op reads
+    was not produced by the pass the schedule says it depends on.
+    """
+
+    name: str
+    consumes: str
+    produces: str
+    level: str = "gpu"
+    field_muls_per_gpu: int = 0
+    mem_bytes_per_gpu: int = 0
+
+
+@dataclass(frozen=True)
+class ExchangeOp:
+    """A personalized all-to-all rewriting every destination shard.
+
+    ``transfers`` enumerates the off-diagonal messages (self-kept data
+    moves no bytes, matching :meth:`SimCluster.all_to_all`).
+    ``expected_in_bytes[dst]`` is how many bytes GPU ``dst`` must
+    receive for its new shard to be complete — the verifier flags a
+    shortfall as a lost transfer (and the shard stays stale) and an
+    excess as a duplicated transfer.
+    """
+
+    name: str
+    consumes: str
+    produces: str
+    transfers: tuple[ShardTransfer, ...]
+    expected_in_bytes: tuple[int, ...]
+    level: str = "multi-gpu"
+    pattern: str = "all-to-all"
+
+    def total_bytes(self) -> int:
+        return sum(t.nbytes for t in self.transfers)
+
+    def sent_bytes_per_gpu(self, num_gpus: int) -> list[int]:
+        sent = [0] * num_gpus
+        for t in self.transfers:
+            sent[t.src] += t.nbytes
+        return sent
+
+    def received_bytes_per_gpu(self, num_gpus: int) -> list[int]:
+        received = [0] * num_gpus
+        for t in self.transfers:
+            received[t.dst] += t.nbytes
+        return received
+
+
+@dataclass(frozen=True)
+class PairwiseOp:
+    """A disjoint-pair exchange: GPU ``i`` swaps with ``partner_of[i]``.
+
+    The partner map must be an involution; anything else leaves at
+    least one GPU waiting on a peer that is not waiting on it, which
+    the verifier reports as a deadlock cycle.
+    """
+
+    name: str
+    consumes: str
+    produces: str
+    partner_of: tuple[int, ...]
+    bytes_per_gpu: int
+    level: str = "multi-gpu"
+    pattern: str = "pairwise"
+
+    def total_bytes(self) -> int:
+        return sum(self.bytes_per_gpu
+                   for i, j in enumerate(self.partner_of) if i != j)
+
+
+ScheduleOp = Union[LocalOp, ExchangeOp, PairwiseOp]
+
+
+@dataclass(frozen=True)
+class CommSchedule:
+    """An engine run as a symbolic op list (no data, exact accounting)."""
+
+    name: str
+    num_gpus: int
+    element_bytes: int
+    ops: tuple[ScheduleOp, ...] = dataclass_field(default_factory=tuple)
+
+    def with_ops(self, ops: tuple[ScheduleOp, ...]) -> "CommSchedule":
+        """Copy with a different op list (fault-injection helper)."""
+        return replace(self, ops=ops)
+
+    def collective_ops(self) -> list[ScheduleOp]:
+        return [op for op in self.ops
+                if isinstance(op, (ExchangeOp, PairwiseOp))]
+
+    def bytes_by_level(self) -> dict[str, int]:
+        """Predicted byte totals per level, sorted keys.
+
+        Built to equal :meth:`repro.sim.trace.Trace.bytes_by_level` for
+        the run the schedule describes: local passes contribute their
+        memory sweep on every GPU, collectives their off-diagonal
+        transfer bytes.
+        """
+        totals: dict[str, int] = {}
+        for op in self.ops:
+            if isinstance(op, LocalOp):
+                nbytes = op.mem_bytes_per_gpu * self.num_gpus
+            else:
+                nbytes = op.total_bytes()
+            if nbytes:
+                totals[op.level] = totals.get(op.level, 0) + nbytes
+        return dict(sorted(totals.items()))
+
+    def total_field_muls(self) -> int:
+        return sum(op.field_muls_per_gpu * self.num_gpus
+                   for op in self.ops if isinstance(op, LocalOp))
+
+
+def make_transfers(source: Layout, target: Layout,
+                   element_bytes: int) -> tuple[ShardTransfer, ...]:
+    """Enumerate the messages that relayout ``source`` -> ``target``.
+
+    Mirrors :func:`repro.multigpu.base.redistribute` exactly — walk the
+    destination slots, find each element's current owner — but records
+    only counts, so the symbolic schedule's byte totals match the
+    simulator's for *any* layout pair, including permutations that move
+    uneven chunks between GPU pairs.
+    """
+    g = source.gpu_count
+    counts = [[0] * g for _ in range(g)]
+    for dst in range(g):
+        for local in range(target.shard_size):
+            j = target.global_index(dst, local)
+            src, _ = source.owner(j)
+            counts[src][dst] += 1
+    return tuple(
+        ShardTransfer(src=src, dst=dst, nbytes=counts[src][dst]
+                      * element_bytes)
+        for src in range(g) for dst in range(g)
+        if src != dst and counts[src][dst])
+
+
+def _relayout_op(name: str, source: Layout, target: Layout,
+                 element_bytes: int, consumes: str,
+                 produces: str) -> ExchangeOp:
+    transfers = make_transfers(source, target, element_bytes)
+    received = [0] * source.gpu_count
+    for t in transfers:
+        received[t.dst] += t.nbytes
+    return ExchangeOp(name=name, consumes=consumes, produces=produces,
+                      transfers=transfers,
+                      expected_in_bytes=tuple(received))
+
+
+def build_unintt_schedule(n: int, gpu_count: int, element_bytes: int,
+                          options: UniNTTOptions = ALL_ON,
+                          tile: int = 4096) -> CommSchedule:
+    """The symbolic forward UniNTT run.
+
+    Op-for-op mirror of :meth:`repro.multigpu.unintt.UniNTTEngine.forward`
+    (without a coset shift), using the same accounting formulas, so both
+    :meth:`CommSchedule.bytes_by_level` and
+    :meth:`CommSchedule.total_field_muls` match the simulator trace.
+    """
+    g = gpu_count
+    if n < g * g:
+        raise ValueError(f"UniNTT needs n >= G^2 ({n} < {g}^2)")
+    m = n // g
+    eb = element_bytes
+
+    local_muls = (radix4.radix4_multiply_count(m) if options.radix_fusion
+                  else acct.local_ntt_muls(m))
+    if options.fused_twiddle:
+        local_muls += acct.twiddle_muls(m)
+
+    ops: list[ScheduleOp] = [LocalOp(
+        name="local-ntt", consumes=INPUT_TAG, produces="local",
+        field_muls_per_gpu=local_muls,
+        mem_bytes_per_gpu=acct.local_ntt_mem_bytes(m, eb, tile))]
+    tag = "local"
+    if not options.fused_twiddle:
+        ops.append(LocalOp(
+            name="twiddle-pass", consumes=tag, produces="twiddled",
+            field_muls_per_gpu=acct.twiddle_muls(m),
+            mem_bytes_per_gpu=acct.pointwise_mem_bytes(m, eb)))
+        tag = "twiddled"
+
+    unit_major = BlockLayout(n=n, gpu_count=g)
+    exchange = UniNTTExchangeLayout(n=n, gpu_count=g)
+    ops.append(_relayout_op("unintt-exchange", unit_major, exchange, eb,
+                            consumes=tag, produces="exchanged"))
+    ops.append(LocalOp(
+        name="cross-ntt", consumes="exchanged", produces="spectral",
+        field_muls_per_gpu=acct.small_batch_ntt_muls(m // g, g),
+        mem_bytes_per_gpu=acct.small_batch_mem_bytes(m // g, g, eb)))
+    if not options.keep_permuted_output:
+        spectral = SpectralLayout(n=n, gpu_count=g)
+        natural = BlockLayout(n=n, gpu_count=g)
+        ops.append(_relayout_op("unintt-materialize", spectral, natural,
+                                eb, consumes="spectral",
+                                produces="natural"))
+    return CommSchedule(name=f"unintt[{options.label()}]", num_gpus=g,
+                        element_bytes=eb, ops=tuple(ops))
+
+
+def build_pairwise_schedule(n: int, gpu_count: int, element_bytes: int,
+                            tile: int = 4096) -> CommSchedule:
+    """The symbolic forward binary-exchange run.
+
+    Mirrors
+    :meth:`repro.multigpu.pairwise.PairwiseExchangeEngine.forward`:
+    a local transform with fused twiddle, then ``log2(G)`` DIF butterfly
+    stages, each one disjoint-pair exchange of the whole shard followed
+    by a combine pass.
+    """
+    g = gpu_count
+    if n < 2 * g:
+        raise ValueError(f"pairwise engine needs n >= 2*G ({n} < {2 * g})")
+    m = n // g
+    eb = element_bytes
+
+    ops: list[ScheduleOp] = [LocalOp(
+        name="local-ntt", consumes=INPUT_TAG, produces="local",
+        field_muls_per_gpu=acct.local_ntt_muls(m) + acct.twiddle_muls(m),
+        mem_bytes_per_gpu=acct.local_ntt_mem_bytes(m, eb, tile))]
+    tag = "local"
+    half = g // 2
+    while half >= 1:
+        sent = f"stage-h{half}-recv"
+        combined = f"stage-h{half}-out"
+        ops.append(PairwiseOp(
+            name=f"pairwise-stage-h{half}", consumes=tag, produces=sent,
+            partner_of=tuple(s ^ half for s in range(g)),
+            bytes_per_gpu=m * eb))
+        ops.append(LocalOp(
+            name=f"pairwise-combine-h{half}", consumes=sent,
+            produces=combined, field_muls_per_gpu=m,
+            mem_bytes_per_gpu=acct.pointwise_mem_bytes(m, eb)))
+        tag = combined
+        half //= 2
+    return CommSchedule(name="pairwise-exchange", num_gpus=g,
+                        element_bytes=eb, ops=tuple(ops))

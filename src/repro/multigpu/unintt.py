@@ -28,6 +28,7 @@ and the local kernel recursion repeats it per level.
 from __future__ import annotations
 
 from repro.errors import PartitionError
+from repro.field.vector import vec_mul, vec_scale
 from repro.hw.cost import Phase, PipelinedGroup, Step
 from repro.multigpu import accounting as acct
 from repro.multigpu.base import (
@@ -90,8 +91,7 @@ class UniNTTEngine(DistributedNTTEngine):
         out = radix2.ntt(field, shard, default_cache, root=root)
         if twiddle_base is not None:
             tw = default_cache.powers(field, twiddle_base, m)
-            for k1 in range(1, m):
-                out[k1] = out[k1] * tw[k1] % p
+            out = vec_mul(field, out, tw)
         return out
 
     # -- layouts -----------------------------------------------------------
@@ -142,9 +142,8 @@ class UniNTTEngine(DistributedNTTEngine):
                 factors = default_cache.powers(
                     field, shift_g, m)
                 lead = pow(coset_shift, s, p)
-                shard = gpu.shard
-                for q in range(m):
-                    shard[q] = shard[q] * factors[q] % p * lead % p
+                gpu.shard = vec_scale(
+                    field, vec_mul(field, gpu.shard, factors), lead)
             self._charge_coset(m)
 
         # 1+2. local M-point transforms with the twiddle scaling fused
@@ -216,7 +215,7 @@ class UniNTTEngine(DistributedNTTEngine):
                 base = group * g
                 piece = radix2.ntt(field, shard[base:base + g],
                                    default_cache, root=inv_root_g)
-                shard[base:base + g] = [v * g_inv % p for v in piece]
+                shard[base:base + g] = vec_scale(field, piece, g_inv)
         self._charge_cross(m, detail="unintt-inv-cross", scaled=True)
 
         # 2. the single all-to-all, back to unit-major order.
@@ -228,16 +227,15 @@ class UniNTTEngine(DistributedNTTEngine):
         # 3. fused inverse twiddle + local M-point inverse transforms
         # (scale 1/M; total scaling 1/G * 1/M = 1/n).
         inv_root_m = pow(inv_root, g, p)
+        m_inv = field.inv(m % p)
         for gpu in cluster.gpus:
             s = gpu.gpu_id
             shard = gpu.shard
             if s:
                 tw = default_cache.powers(field, pow(inv_root, s, p), m)
-                for k1 in range(1, m):
-                    shard[k1] = shard[k1] * tw[k1] % p
+                shard = vec_mul(field, shard, tw)
             piece = radix2.ntt(field, shard, default_cache, root=inv_root_m)
-            m_inv = field.inv(m % p)
-            gpu.shard = [v * m_inv % p for v in piece]
+            gpu.shard = vec_scale(field, piece, m_inv)
         self._charge_local_ntt(m, twiddle=True, scaled=True,
                                detail="unintt-inv-local")
 
@@ -252,9 +250,8 @@ class UniNTTEngine(DistributedNTTEngine):
                 s = gpu.gpu_id
                 factors = default_cache.powers(field, inv_shift_g, m)
                 lead = pow(inv_shift, s, p)
-                shard = gpu.shard
-                for q in range(m):
-                    shard[q] = shard[q] * factors[q] % p * lead % p
+                gpu.shard = vec_scale(
+                    field, vec_mul(field, gpu.shard, factors), lead)
             self._charge_coset(m)
         return DistributedVector(cluster=cluster,
                                  layout=CyclicLayout(n=n, gpu_count=g))

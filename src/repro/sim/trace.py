@@ -4,14 +4,79 @@ Every collective and every charged local operation appends a
 :class:`TraceEvent`; the benchmark harness aggregates traces into the
 communication-breakdown figures, and the test suite asserts that traced
 byte counts equal the closed-form phase profiles the cost model prices.
+
+The event vocabulary is closed: every ``TraceEvent.kind`` must come from
+the :data:`EVENT_KINDS` registry, which also records whether a kind is a
+*collective* (an inter-device synchronization point).  The repo lint
+(``repro analyze lint``) enforces the registry statically at every
+record site, and the trace race detector
+(:mod:`repro.analysis.tracecheck`) consumes the registry's semantics to
+decide which events may touch remote shards.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Iterator
 
-__all__ = ["TraceEvent", "Trace"]
+__all__ = ["TraceEvent", "Trace", "KindSpec", "EVENT_KINDS",
+           "collective_kinds"]
+
+
+@dataclass(frozen=True)
+class KindSpec:
+    """Declared semantics of one event kind.
+
+    Attributes
+    ----------
+    collective:
+        True when the event is an inter-device exchange that acts as a
+        synchronization point (its participants may read each other's
+        shards *inside* the primitive).  Non-collective events must not
+        read remote shards at all — the trace race detector flags any
+        that do.
+    description:
+        One-line human description for ``repro info`` and the docs.
+    """
+
+    collective: bool
+    description: str
+
+
+#: The closed registry of event kinds.  Add new kinds here (with their
+#: synchronization semantics) before recording them; the repo lint
+#: rejects ``TraceEvent(kind=...)`` literals that are not registered.
+EVENT_KINDS: dict[str, KindSpec] = {
+    "all-to-all": KindSpec(
+        collective=True,
+        description="personalized all-to-all (transpose collective)"),
+    "pairwise": KindSpec(
+        collective=True,
+        description="disjoint-pair exchange (one butterfly stage)"),
+    "gather": KindSpec(
+        collective=True,
+        description="collect every shard on one root GPU"),
+    "scatter": KindSpec(
+        collective=True,
+        description="distribute shards from one root GPU"),
+    "local-compute": KindSpec(
+        collective=False,
+        description="charged local kernel (muls + HBM traffic)"),
+    "memory-pass": KindSpec(
+        collective=False,
+        description="standalone global-memory sweep"),
+    "pointwise": KindSpec(
+        collective=False,
+        description="element-wise spectral operation"),
+    "host-staging": KindSpec(
+        collective=False,
+        description="host<->device staging traffic (out-of-core)"),
+}
+
+
+def collective_kinds() -> frozenset[str]:
+    """The registered kinds that synchronize across devices."""
+    return frozenset(k for k, spec in EVENT_KINDS.items() if spec.collective)
 
 
 @dataclass(frozen=True)
@@ -21,8 +86,7 @@ class TraceEvent:
     Attributes
     ----------
     kind:
-        Event family: "all-to-all", "pairwise", "gather", "scatter",
-        "local-compute", "memory-pass", "pointwise".
+        Event family, drawn from :data:`EVENT_KINDS`.
     level:
         Hierarchy level whose fabric carried it ("multi-gpu" for
         collectives, "gpu" for HBM passes).
@@ -35,6 +99,21 @@ class TraceEvent:
         Modular multiplications charged (local-compute events).
     detail:
         Free-form annotation for reports.
+    step:
+        Logical timestamp.  :meth:`Trace.record` stamps each event with
+        the next sequence number when left at the default ``-1``; two
+        events deliberately recorded with the *same* step are declared
+        concurrent, which is what the race detector checks write sets
+        against.
+    gpu:
+        Device the event is scoped to, or ``-1`` for "all devices"
+        (the common case: every GPU runs the same kernel / joins the
+        same collective).
+    reads:
+        Remote devices whose shards this event read.  Collectives read
+        inside the primitive and leave this empty; a *non-collective*
+        event with a non-empty ``reads`` is an unsynchronized
+        cross-device access and is flagged by the race detector.
     """
 
     kind: str
@@ -43,6 +122,9 @@ class TraceEvent:
     total_bytes: int = 0
     field_muls: int = 0
     detail: str = ""
+    step: int = -1
+    gpu: int = -1
+    reads: tuple[int, ...] = ()
 
 
 class Trace:
@@ -52,6 +134,15 @@ class Trace:
         self.events: list[TraceEvent] = []
 
     def record(self, event: TraceEvent) -> None:
+        """Append an event, stamping its logical step when unset.
+
+        The default stamp is the event's sequence number, so every
+        recorded event gets a distinct step (the simulator executes
+        sequentially).  Callers modeling genuinely concurrent work can
+        pre-set ``step`` to declare two events simultaneous.
+        """
+        if event.step < 0:
+            event = replace(event, step=len(self.events))
         self.events.append(event)
 
     def __len__(self) -> int:
@@ -61,6 +152,7 @@ class Trace:
         return iter(self.events)
 
     def clear(self) -> None:
+        """Drop every event (step numbering restarts from zero)."""
         self.events.clear()
 
     # -- aggregation -----------------------------------------------------------
@@ -70,21 +162,21 @@ class Trace:
         return sum(1 for e in self.events if e.kind == kind)
 
     def bytes_by_level(self) -> dict[str, int]:
-        """Total bytes moved, grouped by hierarchy level."""
+        """Total bytes moved, grouped by hierarchy level (sorted keys)."""
         totals: dict[str, int] = {}
         for e in self.events:
             if e.total_bytes:
                 totals[e.level] = totals.get(e.level, 0) + e.total_bytes
-        return totals
+        return dict(sorted(totals.items()))
 
     def critical_bytes_by_level(self) -> dict[str, int]:
-        """Per-GPU critical-path bytes, grouped by level."""
+        """Per-GPU critical-path bytes, grouped by level (sorted keys)."""
         totals: dict[str, int] = {}
         for e in self.events:
             if e.max_bytes_per_gpu:
                 totals[e.level] = (totals.get(e.level, 0)
                                    + e.max_bytes_per_gpu)
-        return totals
+        return dict(sorted(totals.items()))
 
     def collective_count(self) -> int:
         """Number of inter-GPU collectives (the latency-bound metric)."""
@@ -95,10 +187,16 @@ class Trace:
         return sum(e.field_muls for e in self.events)
 
     def summary(self) -> dict[str, object]:
-        """Compact dictionary used by example scripts and benches."""
+        """Compact dictionary used by example scripts and benches.
+
+        Keys (and the keys of the nested by-level dictionaries) are
+        sorted so that serialized output — ``--json`` reports, golden
+        test fixtures — is byte-stable across runs.
+        """
         return {
-            "events": len(self.events),
-            "collectives": self.collective_count(),
             "bytes_by_level": self.bytes_by_level(),
+            "collectives": self.collective_count(),
+            "critical_bytes_by_level": self.critical_bytes_by_level(),
+            "events": len(self.events),
             "field_muls": self.total_field_muls(),
         }

@@ -1,0 +1,175 @@
+"""Repo lint: clean on src/repro, and each rule fires on bad input."""
+
+import textwrap
+
+from repro.analysis.lint import default_root, lint_file, lint_paths
+
+
+def checks_of(findings):
+    return {finding.check for finding in findings}
+
+
+def write_module(tmp_path, package, name, source):
+    directory = tmp_path / package if package else tmp_path
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / name
+    path.write_text(textwrap.dedent(source))
+    return str(path)
+
+
+class TestRepoIsClean:
+    def test_src_repro_lints_clean(self):
+        assert lint_paths() == []
+
+    def test_default_root_is_the_package(self):
+        assert default_root().endswith("repro")
+
+
+class TestRawMod:
+    def test_comprehension_in_hot_package(self, tmp_path):
+        path = write_module(tmp_path, "multigpu", "bad.py", """\
+            def twiddle(shard, tw, p):
+                return [a * b % p for a, b in zip(shard, tw)]
+            """)
+        findings = lint_file(path, root=str(tmp_path))
+        assert checks_of(findings) == {"lint.raw-mod"}
+
+    def test_lambda_combiner(self, tmp_path):
+        path = write_module(tmp_path, "multigpu", "bad.py", """\
+            def pointwise(p):
+                return lambda a, b: (a + b) % p
+            """)
+        assert checks_of(lint_file(path, root=str(tmp_path))) == {
+            "lint.raw-mod"}
+
+    def test_element_store_loop(self, tmp_path):
+        path = write_module(tmp_path, "multigpu", "bad.py", """\
+            def scale(shard, s, p):
+                for i in range(len(shard)):
+                    shard[i] = shard[i] * s % p
+            """)
+        assert checks_of(lint_file(path, root=str(tmp_path))) == {
+            "lint.raw-mod"}
+
+    def test_scalar_mod_is_fine(self, tmp_path):
+        path = write_module(tmp_path, "multigpu", "ok.py", """\
+            def index(i, g):
+                return i % g
+            """)
+        assert lint_file(path, root=str(tmp_path)) == []
+
+    def test_same_code_outside_hot_packages_is_fine(self, tmp_path):
+        path = write_module(tmp_path, "field", "ok.py", """\
+            def twiddle(shard, tw, p):
+                return [a * b % p for a, b in zip(shard, tw)]
+            """)
+        assert lint_file(path, root=str(tmp_path)) == []
+
+
+class TestNondeterminism:
+    def test_random_call_in_sim(self, tmp_path):
+        path = write_module(tmp_path, "sim", "bad.py", """\
+            import random
+
+            def jitter():
+                return random.random()
+            """)
+        assert checks_of(lint_file(path, root=str(tmp_path))) == {
+            "lint.nondeterminism"}
+
+    def test_time_call_in_multigpu(self, tmp_path):
+        path = write_module(tmp_path, "multigpu", "bad.py", """\
+            import time
+
+            def stamp():
+                return time.time()
+            """)
+        assert checks_of(lint_file(path, root=str(tmp_path))) == {
+            "lint.nondeterminism"}
+
+    def test_seeded_random_is_allowed(self, tmp_path):
+        path = write_module(tmp_path, "sim", "ok.py", """\
+            import random
+
+            def rng(seed):
+                return random.Random(seed)
+            """)
+        assert lint_file(path, root=str(tmp_path)) == []
+
+    def test_random_outside_deterministic_packages(self, tmp_path):
+        path = write_module(tmp_path, "bench", "ok.py", """\
+            import random
+
+            def pick():
+                return random.random()
+            """)
+        assert lint_file(path, root=str(tmp_path)) == []
+
+
+class TestMutableDefault:
+    def test_list_default(self, tmp_path):
+        path = write_module(tmp_path, "util", "bad.py", """\
+            def collect(items=[]):
+                return items
+            """)
+        assert checks_of(lint_file(path, root=str(tmp_path))) == {
+            "lint.mutable-default"}
+
+    def test_dict_constructor_default(self, tmp_path):
+        path = write_module(tmp_path, "util", "bad.py", """\
+            def collect(*, mapping=dict()):
+                return mapping
+            """)
+        assert checks_of(lint_file(path, root=str(tmp_path))) == {
+            "lint.mutable-default"}
+
+    def test_none_default_is_fine(self, tmp_path):
+        path = write_module(tmp_path, "util", "ok.py", """\
+            def collect(items=None):
+                return items or []
+            """)
+        assert lint_file(path, root=str(tmp_path)) == []
+
+
+class TestTraceKind:
+    def test_unregistered_literal_kind(self, tmp_path):
+        path = write_module(tmp_path, "sim", "bad.py", """\
+            from repro.sim.trace import TraceEvent
+
+            def event():
+                return TraceEvent(kind="teleport", level="gpu")
+            """)
+        assert checks_of(lint_file(path, root=str(tmp_path))) == {
+            "lint.trace-kind"}
+
+    def test_registered_kind_is_fine(self, tmp_path):
+        path = write_module(tmp_path, "sim", "ok.py", """\
+            from repro.sim.trace import TraceEvent
+
+            def event():
+                return TraceEvent(kind="all-to-all", level="multi-gpu")
+            """)
+        assert lint_file(path, root=str(tmp_path)) == []
+
+
+class TestDriver:
+    def test_syntax_error_is_a_finding(self, tmp_path):
+        path = write_module(tmp_path, "", "broken.py", "def oops(:\n")
+        findings = lint_file(path, root=str(tmp_path))
+        assert len(findings) == 1
+        assert "does not parse" in findings[0].message
+
+    def test_lint_paths_recurses_and_sorts(self, tmp_path):
+        write_module(tmp_path, "multigpu", "a.py", """\
+            def f(p):
+                return lambda a, b: a * b % p
+            """)
+        write_module(tmp_path, "sim", "b.py", """\
+            import time
+
+            def f():
+                return time.time()
+            """)
+        findings = lint_paths([str(tmp_path)], root=str(tmp_path))
+        assert [f.check for f in findings] == [
+            "lint.raw-mod", "lint.nondeterminism"]

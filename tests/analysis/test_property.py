@@ -1,0 +1,84 @@
+"""Property test: static schedules agree with the simulator, everywhere.
+
+For every :func:`ablation_grid` configuration and several cluster
+shapes, the plan verifier must pass and the schedule's predicted
+per-level byte totals (and field-multiply counts) must equal what the
+simulator actually records in its trace.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis import check_cost, check_trace, verify_schedule
+from repro.field import GOLDILOCKS
+from repro.hw import machine_by_name
+from repro.multigpu import DistributedVector
+from repro.multigpu.pairwise import PairwiseExchangeEngine
+from repro.multigpu.schedule import (
+    ablation_grid, build_pairwise_schedule, build_unintt_schedule,
+)
+from repro.multigpu.unintt import UniNTTEngine
+from repro.sim.cluster import SimCluster
+
+TOPOLOGIES = ("DGX-1-V100", "DGX-A100", "A100-PCIe-node")
+GPU_COUNTS = (2, 4, 8)
+
+
+def run_engine(engine_class, gpus, n, **kwargs):
+    field = GOLDILOCKS
+    cluster = SimCluster(field, gpus)
+    engine = engine_class(cluster, **kwargs)
+    values = field.random_vector(n, random.Random(0))
+    vec = DistributedVector.from_values(cluster, values,
+                                        engine.input_layout(n))
+    engine.forward(vec)
+    return cluster
+
+
+@pytest.mark.parametrize("gpus", GPU_COUNTS)
+@pytest.mark.parametrize("label,options",
+                         ablation_grid(), ids=lambda v: str(v))
+class TestUniNTTScheduleMatchesSimulator:
+    N = 256
+
+    def test_schedule_verifies_and_matches_trace(self, label, options,
+                                                 gpus):
+        cluster = run_engine(UniNTTEngine, gpus, self.N,
+                             options=options)
+        schedule = build_unintt_schedule(self.N, gpus,
+                                         cluster.element_bytes, options)
+        assert verify_schedule(schedule) == []
+        assert schedule.bytes_by_level() == \
+            cluster.trace.bytes_by_level()
+        assert schedule.total_field_muls() == cluster.trace.total_field_muls()
+        assert check_trace(cluster.trace, schedule=schedule) == []
+
+
+@pytest.mark.parametrize("gpus", GPU_COUNTS)
+class TestPairwiseScheduleMatchesSimulator:
+    N = 256
+
+    def test_schedule_verifies_and_matches_trace(self, gpus):
+        cluster = run_engine(PairwiseExchangeEngine, gpus, self.N)
+        schedule = build_pairwise_schedule(self.N, gpus,
+                                           cluster.element_bytes)
+        assert verify_schedule(schedule) == []
+        assert schedule.bytes_by_level() == \
+            cluster.trace.bytes_by_level()
+        assert schedule.total_field_muls() == cluster.trace.total_field_muls()
+        assert check_trace(cluster.trace, schedule=schedule) == []
+
+
+@pytest.mark.parametrize("machine_name", TOPOLOGIES)
+@pytest.mark.parametrize("gpus", GPU_COUNTS)
+class TestCostModelAgrees:
+    N = 256
+
+    def test_cost_invariants_hold_on_every_machine(self, machine_name,
+                                                   gpus):
+        machine = machine_by_name(machine_name).with_gpu_count(gpus)
+        schedule = build_unintt_schedule(self.N, gpus, 8)
+        assert verify_schedule(schedule, machine=machine) == []
+        assert check_cost(machine, GOLDILOCKS, self.N,
+                          schedule=schedule) == []

@@ -1,0 +1,99 @@
+"""Trace race detector: clean engine runs pass, manufactured races fail."""
+
+import random
+
+import pytest
+
+from repro.analysis import check_trace
+from repro.field import GOLDILOCKS
+from repro.multigpu import DistributedVector
+from repro.multigpu.schedule import build_unintt_schedule
+from repro.multigpu.unintt import UniNTTEngine
+from repro.sim.cluster import SimCluster
+from repro.sim.trace import Trace, TraceEvent
+
+EB = 8
+
+
+def checks_of(findings):
+    return {finding.check for finding in findings}
+
+
+def run_forward(n=256, gpus=4):
+    field = GOLDILOCKS
+    cluster = SimCluster(field, gpus)
+    engine = UniNTTEngine(cluster)
+    values = field.random_vector(n, random.Random(0))
+    vec = DistributedVector.from_values(cluster, values,
+                                        engine.input_layout(n))
+    engine.forward(vec)
+    return cluster.trace
+
+
+class TestCleanTraces:
+    def test_engine_trace_is_clean(self):
+        assert check_trace(run_forward()) == []
+
+    def test_engine_trace_matches_schedule(self):
+        trace = run_forward()
+        schedule = build_unintt_schedule(256, 4, EB)
+        assert check_trace(trace, schedule=schedule) == []
+
+    def test_empty_trace_is_clean(self):
+        assert check_trace(Trace()) == []
+
+
+class TestManufacturedFaults:
+    def test_unknown_kind(self):
+        trace = Trace()
+        trace.record(TraceEvent(kind="frobnicate", level="gpu"))
+        assert checks_of(check_trace(trace)) == {"trace.unknown-kind"}
+
+    def test_negative_charge(self):
+        trace = Trace()
+        trace.record(TraceEvent(kind="local-compute", level="gpu",
+                                field_muls=-5))
+        assert checks_of(check_trace(trace)) == {"trace.negative-charge"}
+
+    def test_per_gpu_bytes_exceeding_total(self):
+        trace = Trace()
+        trace.record(TraceEvent(kind="all-to-all", level="multi-gpu",
+                                max_bytes_per_gpu=100, total_bytes=10))
+        assert checks_of(check_trace(trace)) == {
+            "trace.inconsistent-bytes"}
+
+    def test_write_conflict_same_step(self):
+        trace = Trace()
+        trace.record(TraceEvent(kind="local-compute", level="gpu",
+                                step=7, gpu=2))
+        trace.record(TraceEvent(kind="pointwise", level="gpu",
+                                step=7, gpu=2))
+        assert checks_of(check_trace(trace)) == {"trace.write-conflict"}
+
+    def test_distinct_gpus_same_step_are_fine(self):
+        trace = Trace()
+        trace.record(TraceEvent(kind="local-compute", level="gpu",
+                                step=7, gpu=2))
+        trace.record(TraceEvent(kind="local-compute", level="gpu",
+                                step=7, gpu=3))
+        assert check_trace(trace) == []
+
+    def test_unsynced_cross_device_read(self):
+        trace = Trace()
+        trace.record(TraceEvent(kind="local-compute", level="gpu",
+                                gpu=0, reads=(1,)))
+        assert checks_of(check_trace(trace)) == {"trace.unsynced-read"}
+
+    def test_collective_may_read_remote(self):
+        trace = Trace()
+        trace.record(TraceEvent(kind="all-to-all", level="multi-gpu",
+                                gpu=0, reads=(1, 2, 3),
+                                max_bytes_per_gpu=8, total_bytes=24))
+        assert check_trace(trace) == []
+
+    def test_plan_divergence(self):
+        trace = run_forward()
+        # A schedule for twice the size disagrees on every level.
+        schedule = build_unintt_schedule(512, 4, EB)
+        assert "trace.plan-divergence" in checks_of(
+            check_trace(trace, schedule=schedule))

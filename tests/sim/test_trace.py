@@ -1,6 +1,7 @@
 """Tests for trace aggregation."""
 
 from repro.sim import Trace, TraceEvent
+from repro.sim.trace import EVENT_KINDS, collective_kinds
 
 
 def sample_trace() -> Trace:
@@ -55,3 +56,54 @@ class TestTrace:
         trace.clear()
         assert len(trace) == 0
         assert trace.bytes_by_level() == {}
+
+    def test_clear_restarts_step_numbering(self):
+        trace = sample_trace()
+        trace.clear()
+        trace.record(TraceEvent(kind="gather", level="multi-gpu"))
+        assert trace.events[0].step == 0
+
+
+class TestSteps:
+    def test_record_stamps_sequence_numbers(self):
+        trace = sample_trace()
+        assert [e.step for e in trace] == [0, 1, 2, 3]
+
+    def test_explicit_step_is_preserved(self):
+        trace = Trace()
+        trace.record(TraceEvent(kind="local-compute", level="gpu",
+                                step=7, gpu=0))
+        trace.record(TraceEvent(kind="local-compute", level="gpu",
+                                step=7, gpu=1))
+        assert [e.step for e in trace] == [7, 7]
+
+
+class TestSummary:
+    def test_summary_keys_are_sorted(self):
+        summary = sample_trace().summary()
+        assert list(summary) == sorted(summary)
+        for key in ("bytes_by_level", "critical_bytes_by_level"):
+            assert list(summary[key]) == sorted(summary[key])
+
+    def test_summary_critical_bytes(self):
+        summary = sample_trace().summary()
+        assert summary["critical_bytes_by_level"] == {
+            "gpu": 50, "multi-gpu": 200}
+        assert summary["bytes_by_level"] == {
+            "gpu": 400, "multi-gpu": 1600}
+
+
+class TestKindRegistry:
+    def test_sample_kinds_are_registered(self):
+        for event in sample_trace():
+            assert event.kind in EVENT_KINDS
+
+    def test_collective_kinds(self):
+        kinds = collective_kinds()
+        assert "all-to-all" in kinds
+        assert "pairwise" in kinds
+        assert "local-compute" not in kinds
+
+    def test_every_kind_has_a_description(self):
+        for spec in EVENT_KINDS.values():
+            assert spec.description

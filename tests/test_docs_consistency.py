@@ -51,3 +51,26 @@ def test_backends_guide_exists_and_covers_api():
     for needle in ("FieldBackend", "PythonBackend", "NumPyBackend",
                    "REPRO_BACKEND", "Montgomery", "Goldilocks"):
         assert needle in text, f"docs/BACKENDS.md does not mention {needle}"
+
+
+def test_analysis_guide_exists_and_covers_api():
+    path = os.path.join(DOCS, "ANALYSIS.md")
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    for needle in ("verify_schedule", "check_trace", "seed_bug",
+                   "repro analyze plan", "repro analyze trace",
+                   "repro analyze lint", "EVENT_KINDS", "Exit codes"):
+        assert needle in text, f"docs/ANALYSIS.md does not mention {needle}"
+
+
+def test_every_analysis_check_is_documented():
+    from repro.analysis import all_checks
+
+    path = os.path.join(DOCS, "ANALYSIS.md")
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    missing = [check.check_id for check in all_checks()
+               if f"`{check.check_id}`" not in text]
+    assert not missing, (
+        f"analysis checks {missing} are registered but not documented "
+        f"in docs/ANALYSIS.md")
