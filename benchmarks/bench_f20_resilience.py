@@ -1,0 +1,29 @@
+"""F20: resilience overhead under injected faults.
+
+Runs the resilient UniNTT engine beneath each fault kind in turn and
+records the modeled cost of recovery.  The persisted report is the
+acceptance artifact for the fault-injection subsystem: every scenario
+must complete bit-exact with a trace the race detector accepts, and
+every aborting fault (transient, corruption, death) must cost strictly
+more than the fault-free run.
+"""
+
+
+from repro.bench import resilience_overhead
+
+
+def test_f20_resilience_overhead(benchmark, emit):
+    table = benchmark.pedantic(resilience_overhead, rounds=1, iterations=1)
+    emit("F20_resilience",
+         "F20: resilience overhead under injected faults", table)
+    headers, rows = table
+    outcome_col = headers.index("outcome")
+    overhead_col = headers.index("overhead")
+    assert all("bit-exact, clean trace" == row[outcome_col]
+               for row in rows), "a fault scenario failed to recover"
+    overheads = {row[0]: float(str(row[overhead_col]).rstrip("x"))
+                 for row in rows}
+    for scenario in ("transient-comm", "corrupt-shard", "device-death"):
+        assert overheads[scenario] > 1.0, (
+            f"{scenario} recovery was not charged: overhead "
+            f"{overheads[scenario]}x")

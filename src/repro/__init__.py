@@ -25,7 +25,7 @@ from repro.errors import (
     SimulationError,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "field", "ntt", "hw", "sim", "multigpu", "zkp",

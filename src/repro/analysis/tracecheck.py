@@ -19,16 +19,29 @@ detector flags:
 * **plan divergence** — when the static schedule for the run is
   supplied, per-level byte totals that disagree with
   :meth:`~repro.multigpu.schedule.CommSchedule.bytes_by_level`, which
-  turns every simulated run into a self-checking oracle.
+  turns every simulated run into a self-checking oracle;
+* **unresolved faults** — every injected ``fault`` event whose kind
+  aborts or corrupts work (:data:`repro.sim.faults.RESOLUTION_REQUIRED`)
+  must be answered later in the trace by a ``retry`` or ``reshard``
+  event, matched one-to-one in order; a fault nothing recovered from
+  means the run's output cannot be trusted.
+
+Events on the ``"resilience"`` level (checkpoints, reshards, verify
+probes) describe recovery traffic outside the engines' static
+schedules, so the plan-divergence comparison skips that level.
 """
 
 from __future__ import annotations
 
 from repro.analysis.findings import Check, Finding
 from repro.multigpu.schedule import CommSchedule
+from repro.sim.faults import RESOLUTION_REQUIRED
 from repro.sim.trace import EVENT_KINDS, Trace, TraceEvent
 
-__all__ = ["CHECKS", "check_trace"]
+__all__ = ["CHECKS", "check_trace", "RESILIENCE_LEVEL"]
+
+#: Trace level carrying recovery traffic; exempt from plan comparison.
+RESILIENCE_LEVEL = "resilience"
 
 CHECKS = (
     Check("trace.unknown-kind", 1,
@@ -43,6 +56,8 @@ CHECKS = (
           "per-GPU critical-path bytes exceed the event total"),
     Check("trace.plan-divergence", 1,
           "traced per-level bytes disagree with the static schedule"),
+    Check("trace.unresolved-fault", 1,
+          "an injected fault has no retry/reshard resolution"),
 )
 
 
@@ -114,10 +129,27 @@ def check_trace(trace: Trace,
                     f"both write {overlap}",
                     f"trace.step[{step}]"))
 
+    pending: list[tuple[int, TraceEvent]] = []
+    for index, event in enumerate(trace.events):
+        if event.kind == "fault":
+            fault_kind = event.detail.partition("@")[0]
+            if fault_kind in RESOLUTION_REQUIRED:
+                pending.append((index, event))
+        elif event.kind in ("retry", "reshard") and pending:
+            pending.pop(0)
+    for index, event in pending:
+        findings.append(Finding(
+            "trace.unresolved-fault",
+            f"fault {event.detail!r} was never answered by a "
+            "retry/reshard event",
+            f"trace[{index}](fault)"))
+
     if schedule is not None:
         expected = schedule.bytes_by_level()
         actual = trace.bytes_by_level()
         for level in sorted(set(expected) | set(actual)):
+            if level == RESILIENCE_LEVEL:
+                continue
             want, got = expected.get(level, 0), actual.get(level, 0)
             if want != got:
                 findings.append(Finding(

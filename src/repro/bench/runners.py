@@ -30,7 +30,7 @@ __all__ = [
     "multi_gpu_scaling", "headline_speedups", "comm_breakdown",
     "ablation", "end_to_end", "batch_throughput",
     "interconnect_sensitivity", "multi_node_scaling",
-    "stark_end_to_end", "backend_comparison",
+    "stark_end_to_end", "backend_comparison", "resilience_overhead",
 ]
 
 Row = Sequence[object]
@@ -420,4 +420,62 @@ def backend_comparison(log_sizes: Sequence[int] = (10, 12, 14),
                         f"{t_py / t_np:.1f}x"])
         else:
             rows.append([log_n, GOLDILOCKS.name, t_py * 1e3, "n/a", "1.0x"])
+    return headers, rows
+
+
+def resilience_overhead(log_size: int = 10, gpus: int = 8,
+                        machine: MachineModel = DGX_A100) -> Table:
+    """F20: modeled cost of recovering from injected faults.
+
+    Each scenario runs the same forward transform functionally on the
+    simulator under one seeded fault, recovers through the resilient
+    engine (retry, checksum-triggered retry, degradation pricing, or
+    re-shard onto survivors), verifies the output stayed bit-exact, and
+    prices the whole run — wasted attempts, backoff, checkpoints, and
+    reshard traffic included — on ``machine``.  The overhead column is
+    the slowdown versus the fault-free run of the identical transform.
+    """
+    import random
+
+    from repro.analysis.tracecheck import check_trace
+    from repro.field.presets import GOLDILOCKS
+    from repro.multigpu.resilience import ResilientNTTEngine
+    from repro.ntt import ntt
+    from repro.sim.faults import FaultInjector, FaultPlan
+
+    n = 1 << log_size
+    scenarios = [
+        ("fault-free", []),
+        ("transient-comm", ["transient-comm@0"]),
+        ("corrupt-shard", ["corrupt-shard@0:gpu=1,delta=13"]),
+        ("link-degrade", ["link-degrade@0:factor=0.25"]),
+        ("straggler", ["straggler@0:gpu=3,factor=4"]),
+        ("device-death", ["device-death@0:gpu=2"]),
+    ]
+    headers = ["scenario", "gpus", "modeled ms", "overhead", "retries",
+               "reshards", "outcome"]
+    rows: list[list[object]] = []
+    values = GOLDILOCKS.random_vector(n, random.Random(0xF20))
+    want = ntt(GOLDILOCKS, values)
+    base = None
+    for name, specs in scenarios:
+        plan = FaultPlan.from_specs(specs, seed=0xF20)
+        cluster = SimCluster(
+            GOLDILOCKS, gpus,
+            injector=FaultInjector(plan, GOLDILOCKS.modulus))
+        engine = ResilientNTTEngine(cluster, UniNTTEngine)
+        vec = DistributedVector.from_values(cluster, values,
+                                            engine.input_layout(n))
+        got = engine.forward(vec).to_values()
+        findings = check_trace(cluster.trace)
+        cost = engine.report.plan_cost(machine)
+        if base is None:
+            base = cost.total_s
+        outcome = "bit-exact" if got == want else "MISMATCH"
+        outcome += ", clean trace" if not findings \
+            else f", {len(findings)} finding(s)"
+        rows.append([name, engine.gpu_count, cost.total_s * 1e3,
+                     f"{cost.total_s / base:.2f}x",
+                     engine.report.retries, engine.report.reshards,
+                     outcome])
     return headers, rows

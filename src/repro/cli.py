@@ -60,6 +60,8 @@ EXPERIMENTS: dict[str, tuple[Callable[[], tuple], str]] = {
             "F18: out-of-core (host-staged) NTT"),
     "f19": (bench_runners.backend_comparison,
             "F19: field backend comparison (measured)"),
+    "f20": (bench_runners.resilience_overhead,
+            "F20: resilience overhead under injected faults"),
 }
 
 
@@ -121,6 +123,8 @@ def build_parser() -> argparse.ArgumentParser:
                     "(simulated)")
     parser.add_argument("--version", action="version",
                         version=f"repro {__version__}")
+    parser.add_argument("--debug", action="store_true",
+                        help="full tracebacks instead of one-line errors")
     parser.add_argument("--backend", default=None,
                         choices=["auto", "python", "numpy"],
                         help="field compute backend (default: "
@@ -154,6 +158,17 @@ def build_parser() -> argparse.ArgumentParser:
     tr.add_argument("--log-size", type=int, default=10)
     tr.add_argument("--engine", default="unintt",
                     choices=["single", "baseline", "pairwise", "unintt"])
+    tr.add_argument("--fault", action="append", default=[],
+                    metavar="KIND@STEP[:K=V,...]",
+                    help="inject a fault, e.g. transient-comm@0 or "
+                         "device-death@0:gpu=1 (repeatable)")
+    tr.add_argument("--fault-plan", default=None, metavar="FILE",
+                    help="JSON FaultPlan file (overrides --fault)")
+    tr.add_argument("--fault-seed", type=int, default=0,
+                    help="seed for --fault specs (default 0)")
+    tr.add_argument("--resilient", action="store_true",
+                    help="wrap the engine in ResilientNTTEngine "
+                         "(retry/checksum/reshard recovery)")
 
     tune = sub.add_parser("tune", help="autotune tile + rank engines")
     tune.add_argument("--machine", default="DGX-A100")
@@ -321,28 +336,46 @@ def _engine_class(name: str):
 
 
 def _cmd_trace(field_name: str, gpus: int, log_size: int,
-               engine_name: str) -> int:
+               engine_name: str, fault_specs: Sequence[str] = (),
+               fault_plan_file: str | None = None, fault_seed: int = 0,
+               resilient: bool = False) -> int:
     import random
 
     from repro.field import field_by_name
-    from repro.multigpu import DistributedVector
+    from repro.multigpu import DistributedVector, ResilientNTTEngine
     from repro.ntt import ntt
-    from repro.sim import SimCluster, render_trace
+    from repro.sim import (
+        FaultInjector, FaultPlan, SimCluster, render_trace,
+    )
 
     field = field_by_name(field_name)
     n = 1 << log_size
-    cluster = SimCluster(field, gpus)
-    engine = _engine_class(engine_name)(cluster)
+    plan = None
+    if fault_plan_file is not None:
+        with open(fault_plan_file, encoding="utf-8") as handle:
+            plan = FaultPlan.from_json(handle.read())
+    elif fault_specs:
+        plan = FaultPlan.from_specs(list(fault_specs), seed=fault_seed)
+    injector = FaultInjector(plan, field.modulus) if plan is not None \
+        else None
+    cluster = SimCluster(field, gpus, injector=injector)
+    if resilient:
+        engine = ResilientNTTEngine(cluster, _engine_class(engine_name))
+    else:
+        engine = _engine_class(engine_name)(cluster)
     values = field.random_vector(n, random.Random(0))
     vec = DistributedVector.from_values(cluster, values,
                                         engine.input_layout(n))
     out = engine.forward(vec)
     correct = out.to_values() == ntt(field, values)
-    print(render_trace(
-        cluster.trace,
-        title=f"{engine.name}: 2^{log_size} {field.name} forward on "
-              f"{gpus} simulated GPUs "
-              f"({'bit-exact' if correct else 'MISMATCH'})"))
+    title = (f"{engine.name}: 2^{log_size} {field.name} forward on "
+             f"{gpus} simulated GPUs "
+             f"({'bit-exact' if correct else 'MISMATCH'})")
+    print(render_trace(cluster.trace, title=title))
+    if resilient:
+        counts = engine.report.summary()
+        print("resilience: " + ", ".join(
+            f"{key}={counts[key]}" for key in sorted(counts)))
     return 0 if correct else 1
 
 
@@ -442,19 +475,7 @@ def _cmd_analyze_lint(paths: Sequence[str], as_json: bool) -> int:
     return lint_main(argv)
 
 
-def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
-    args = build_parser().parse_args(argv)
-    from repro.errors import FieldError
-    from repro.field import get_backend, set_backend
-
-    try:
-        if args.backend is not None:
-            set_backend(args.backend)
-        get_backend()  # resolve $REPRO_BACKEND now: fail fast and clean
-    except FieldError as error:
-        print(f"repro: error: {error}", file=sys.stderr)
-        return 2
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "info":
         return _cmd_info()
     if args.command == "experiment":
@@ -466,7 +487,10 @@ def main(argv: Sequence[str] | None = None) -> int:
                              args.engine, args.machine_file)
     if args.command == "trace":
         return _cmd_trace(args.field, args.gpus, args.log_size,
-                          args.engine)
+                          args.engine, fault_specs=args.fault,
+                          fault_plan_file=args.fault_plan,
+                          fault_seed=args.fault_seed,
+                          resilient=args.resilient)
     if args.command == "tune":
         return _cmd_tune(args.machine, args.field, args.log_size)
     if args.command == "analyze":
@@ -480,6 +504,41 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.analyze_command == "lint":
             return _cmd_analyze_lint(args.paths, args.json)
     raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code.
+
+    Library failures (:class:`~repro.errors.ReproError` and the
+    ``KeyError`` the preset lookups raise for unknown names) exit with
+    code 2 and a one-line message; pass ``--debug`` for the traceback.
+    """
+    args = build_parser().parse_args(argv)
+    from repro.errors import FieldError, ReproError
+    from repro.field import get_backend, set_backend
+
+    try:
+        if args.backend is not None:
+            set_backend(args.backend)
+        get_backend()  # resolve $REPRO_BACKEND now: fail fast and clean
+    except FieldError as error:
+        if args.debug:
+            raise
+        print(f"repro: error: {error}", file=sys.stderr)
+        return 2
+    try:
+        return _dispatch(args)
+    except (ReproError, KeyError) as error:
+        if args.debug:
+            raise
+        message = error.args[0] if error.args else error
+        print(f"repro: error: {message}", file=sys.stderr)
+        return 2
+    except OSError as error:
+        if args.debug:
+            raise
+        print(f"repro: error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

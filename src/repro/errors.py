@@ -34,6 +34,26 @@ class PartitionError(SimulationError):
     """A data layout does not match the cluster it is mapped onto."""
 
 
+class FaultPlanError(SimulationError):
+    """A declarative fault plan is malformed (unknown kind, bad field)."""
+
+
+class TransientCommError(SimulationError):
+    """A collective failed transiently; retrying it may succeed."""
+
+
+class DeviceLostError(SimulationError):
+    """A GPU died; it will not come back for the rest of the run."""
+
+
+class ShardCorruptionError(SimulationError):
+    """An algebraic shard check caught corrupted in-flight data."""
+
+
+class ResilienceError(SimulationError):
+    """The resilient execution layer exhausted its recovery options."""
+
+
 class CurveError(ReproError):
     """Invalid elliptic-curve point or operation."""
 

@@ -9,7 +9,7 @@ from repro.multigpu.autotune import (
     EngineChoice, autotune_tile, machine_plan, select_engine,
 )
 from repro.multigpu.base import (
-    DistributedNTTEngine, DistributedVector, redistribute,
+    DistributedNTTEngine, DistributedVector, VectorCheckpoint, redistribute,
 )
 from repro.multigpu.baseline import BaselineFourStepEngine
 from repro.multigpu.batch_engine import BatchedDistributedNTT
@@ -24,6 +24,9 @@ from repro.multigpu.layout import (
     TransposedBlockLayout, UniNTTExchangeLayout, collect, distribute,
 )
 from repro.multigpu.polynomial import DistributedPolynomial
+from repro.multigpu.resilience import (
+    ResilienceReport, ResilientNTTEngine, RetryPolicy,
+)
 from repro.multigpu.schedule import ALL_OFF, ALL_ON, UniNTTOptions, ablation_grid
 from repro.multigpu.singlegpu import SingleGpuEngine
 from repro.multigpu.streaming import StreamingEstimate, StreamingHostEngine
@@ -34,6 +37,8 @@ __all__ = [
     "ColumnBlockLayout", "TransposedBlockLayout", "UniNTTExchangeLayout",
     "distribute", "collect",
     "DistributedVector", "DistributedNTTEngine", "redistribute",
+    "VectorCheckpoint",
+    "RetryPolicy", "ResilienceReport", "ResilientNTTEngine",
     "SingleGpuEngine", "BaselineFourStepEngine", "UniNTTEngine",
     "PairwiseExchangeEngine", "BitrevSpectralLayout",
     "BatchedDistributedNTT",

@@ -20,8 +20,27 @@ from repro.hw.cost import CostBreakdown, CostModel, Step
 from repro.hw.model import MachineModel
 from repro.multigpu.layout import Layout, collect, distribute
 from repro.sim.cluster import SimCluster
+from repro.sim.trace import TraceEvent
 
-__all__ = ["DistributedVector", "redistribute", "DistributedNTTEngine"]
+__all__ = ["DistributedVector", "VectorCheckpoint", "redistribute",
+           "DistributedNTTEngine"]
+
+
+@dataclass(frozen=True)
+class VectorCheckpoint:
+    """Host-resident snapshot of a distributed vector's logical values.
+
+    Layout-independent on purpose: the values are stored in logical
+    index order, so a checkpoint taken on one cluster restores onto a
+    *different* cluster shape (the graceful-degradation path after a
+    device death re-shards from exactly such a snapshot).
+    """
+
+    values: tuple[int, ...]
+
+    @property
+    def n(self) -> int:
+        return len(self.values)
 
 
 @dataclass
@@ -56,6 +75,35 @@ class DistributedVector:
         """Move to another layout with one counted all-to-all."""
         redistribute(self.cluster, self.layout, target, detail=detail)
         return DistributedVector(cluster=self.cluster, layout=target)
+
+    def checkpoint(self) -> VectorCheckpoint:
+        """Snapshot the logical vector to the host (traced, not charged).
+
+        The snapshot is recorded as a ``checkpoint`` trace event on the
+        ``resilience`` level; the resilient execution layer prices the
+        host write as an overhead phase.
+        """
+        eb = self.cluster.element_bytes
+        self.cluster.trace.record(TraceEvent(
+            kind="checkpoint", level="resilience",
+            max_bytes_per_gpu=self.layout.shard_size * eb,
+            total_bytes=self.n * eb, detail=f"n={self.n}"))
+        return VectorCheckpoint(values=tuple(self.to_values()))
+
+    @classmethod
+    def restore(cls, cluster: SimCluster, checkpoint: VectorCheckpoint,
+                layout: Layout) -> "DistributedVector":
+        """Re-stage a checkpoint under ``layout`` (host staging).
+
+        The target cluster may have a different GPU count than the one
+        the checkpoint was taken on — the snapshot is logical values,
+        not shards.
+        """
+        if layout.n != checkpoint.n:
+            raise PartitionError(
+                f"checkpoint holds {checkpoint.n} values, layout "
+                f"expects {layout.n}")
+        return cls.from_values(cluster, list(checkpoint.values), layout)
 
 
 def redistribute(cluster: SimCluster, source: Layout, target: Layout,

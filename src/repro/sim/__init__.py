@@ -1,7 +1,10 @@
-"""Functional multi-GPU simulator: devices, collectives, traces."""
+"""Functional multi-GPU simulator: devices, collectives, traces, faults."""
 
 from repro.sim.cluster import SimCluster
 from repro.sim.device import GpuCounters, SimGPU
+from repro.sim.faults import (
+    FAULT_KINDS, FaultInjector, FaultPlan, FaultSpec, parse_fault_spec,
+)
 from repro.sim.report import render_events, render_summary, render_trace
 from repro.sim.trace import Trace, TraceEvent
 from repro.sim.uniform import (
@@ -11,4 +14,6 @@ from repro.sim.uniform import (
 __all__ = ["SimCluster", "SimGPU", "GpuCounters", "Trace", "TraceEvent",
            "LevelRun", "HIERARCHY_SCALES", "simulate_at_level",
            "uniformity_sweep",
+           "FAULT_KINDS", "FaultSpec", "FaultPlan", "FaultInjector",
+           "parse_fault_spec",
            "render_events", "render_summary", "render_trace"]

@@ -14,13 +14,25 @@ primitives the distributed NTT engines use:
 Every primitive updates per-GPU counters and appends a trace event.
 Reading data *without* charging (for verification) goes through
 :meth:`SimCluster.peek_shards`.
+
+Fault injection hooks into every collective: when an injector from
+:mod:`repro.sim.faults` is installed, each collective is *gated* on it
+(transient failures and device deaths raise before any bytes move, so
+an aborted collective charges nothing) and in-flight messages pass
+through its corruption hook.  With :attr:`SimCluster.checksum_exchanges`
+enabled, every cross-device message is additionally covered by a seeded
+random-linear-probe checksum computed on the sender's data and checked
+against the delivered data — an injected corruption then surfaces as
+:class:`~repro.errors.ShardCorruptionError` instead of silently wrong
+output.
 """
 
 from __future__ import annotations
 
+import random
 from typing import Sequence
 
-from repro.errors import SimulationError
+from repro.errors import ShardCorruptionError, SimulationError
 from repro.field.prime_field import PrimeField
 from repro.hw.cost import field_limbs
 from repro.sim.device import SimGPU
@@ -40,7 +52,9 @@ class SimCluster:
     """
 
     def __init__(self, field: PrimeField, gpu_count: int,
-                 node_size: int | None = None):
+                 node_size: int | None = None, *,
+                 trace: Trace | None = None,
+                 injector=None):
         if gpu_count < 1 or gpu_count & (gpu_count - 1):
             raise SimulationError(
                 f"gpu_count must be a power of two, got {gpu_count}")
@@ -55,7 +69,65 @@ class SimCluster:
         self.node_size = node_size
         self.element_bytes = field_limbs(field) * 8
         self.gpus = [SimGPU(i, field) for i in range(gpu_count)]
-        self.trace = Trace()
+        self.trace = trace if trace is not None else Trace()
+        self.injector = injector
+        self.checksum_exchanges = False
+        self.checksum_seed = 0
+        self._collective_seq = 0
+
+    def install_faults(self, injector) -> None:
+        """Attach a :class:`repro.sim.faults.FaultInjector` to this run."""
+        self.injector = injector
+
+    # -- fault/verification plumbing ------------------------------------------
+
+    def _gate(self, kind: str, detail: str) -> None:
+        """Let the injector veto one collective before any bytes move."""
+        self._collective_seq += 1
+        if self.injector is not None:
+            self.injector.on_collective_start(self, kind, detail)
+
+    def _corrupt_inflight(self, gpu_id: int, values: list[int]) -> None:
+        if self.injector is not None:
+            self.injector.corrupt_inflight(self, gpu_id, values)
+
+    def _finish(self, kind: str, total_bytes: int) -> None:
+        if self.injector is not None:
+            self.injector.on_collective_end(self, kind, total_bytes)
+
+    def _probe_sum(self, key: tuple, values: Sequence[int]) -> int:
+        """Seeded random-linear probe: sum of w_i * v_i mod p.
+
+        The weights are drawn from ``random.Random(key)``; sender and
+        receiver derive the same key, so any additive corruption of a
+        single slot shifts the sum by ``w * delta != 0`` and is caught
+        with certainty (weights are non-zero mod p).
+        """
+        rng = random.Random(repr((self.checksum_seed,) + key))
+        p = self.field.modulus
+        total = 0
+        for v in values:
+            total = (total + rng.randrange(1, p) * v) % p
+        return total
+
+    def _check_transfer(self, kind: str, src: int, dst: int,
+                        original: Sequence[int],
+                        delivered: Sequence[int]) -> None:
+        """Compare sender/receiver probe sums for one message."""
+        if not self.checksum_exchanges or src == dst:
+            return
+        key = (kind, self._collective_seq, src, dst)
+        if self._probe_sum(key, original) != self._probe_sum(key, delivered):
+            raise ShardCorruptionError(
+                f"random-linear probe mismatch on {kind} message "
+                f"{src}->{dst} (collective {self._collective_seq}): "
+                "in-flight data was corrupted")
+
+    def _record_verify(self, kind: str) -> None:
+        if self.checksum_exchanges:
+            self.trace.record(TraceEvent(
+                kind="verify", level="resilience",
+                detail=f"checksum:{kind}"))
 
     @property
     def node_count(self) -> int:
@@ -106,9 +178,16 @@ class SimCluster:
         no bytes.
         """
         g = self.gpu_count
-        if len(outboxes) != g or any(len(row) != g for row in outboxes):
+        if len(outboxes) != g:
             raise SimulationError(
-                f"all_to_all needs a {g}x{g} outbox matrix")
+                f"all_to_all needs a {g}x{g} outbox matrix, "
+                f"got {len(outboxes)} rows")
+        for src, row in enumerate(outboxes):
+            if len(row) != g:
+                raise SimulationError(
+                    f"all_to_all: GPU {src} outbox has {len(row)} "
+                    f"destinations, expected {g}")
+        self._gate("all-to-all", detail)
         eb = self.element_bytes
         inboxes: list[list[list[int]]] = [[[] for _ in range(g)]
                                           for _ in range(g)]
@@ -117,9 +196,14 @@ class SimCluster:
         for src in range(g):
             for dst in range(g):
                 message = list(outboxes[src][dst])
+                self._corrupt_inflight(dst, message)
+                self._check_transfer("all-to-all", src, dst,
+                                     outboxes[src][dst], message)
                 inboxes[dst][src] = message
+        for src in range(g):
+            for dst in range(g):
                 if src != dst:
-                    nbytes = len(message) * eb
+                    nbytes = len(inboxes[dst][src]) * eb
                     if self.node_of(src) == self.node_of(dst):
                         intra_sent[src] += nbytes
                     else:
@@ -136,6 +220,8 @@ class SimCluster:
                 kind="all-to-all", level="multi-node",
                 max_bytes_per_gpu=max(inter_sent),
                 total_bytes=sum(inter_sent), detail=detail))
+        self._record_verify("all-to-all")
+        self._finish("all-to-all", sum(intra_sent) + sum(inter_sent))
         return inboxes
 
     def pairwise_exchange(self, partner_of: Sequence[int],
@@ -148,21 +234,35 @@ class SimCluster:
         the payload each GPU received.
         """
         g = self.gpu_count
-        if len(partner_of) != g or len(payloads) != g:
-            raise SimulationError("pairwise_exchange needs one partner and "
-                                  "one payload per GPU")
+        if len(partner_of) != g:
+            raise SimulationError(
+                f"pairwise_exchange needs one partner per GPU: "
+                f"got {len(partner_of)} partners for {g} GPUs")
+        if len(payloads) != g:
+            raise SimulationError(
+                f"pairwise_exchange needs one payload per GPU: "
+                f"got {len(payloads)} payloads for {g} GPUs")
         for i, j in enumerate(partner_of):
-            if not 0 <= j < g or partner_of[j] != i:
+            if not 0 <= j < g:
+                raise SimulationError(
+                    f"pairwise_exchange: GPU {i} has partner {j}, "
+                    f"outside 0..{g - 1}")
+            if partner_of[j] != i:
                 raise SimulationError(
                     f"partner map is not an involution at GPU {i}")
+        self._gate("pairwise", detail)
         eb = self.element_bytes
         received: list[list[int]] = [[] for _ in range(g)]
         intra = {"max": 0, "total": 0}
         inter = {"max": 0, "total": 0}
         for i, j in enumerate(partner_of):
-            received[j] = list(payloads[i])
+            payload = list(payloads[i])
+            self._corrupt_inflight(j, payload)
+            self._check_transfer("pairwise", i, j, payloads[i], payload)
+            received[j] = payload
+        for i, j in enumerate(partner_of):
             if i != j:
-                nbytes = len(payloads[i]) * eb
+                nbytes = len(received[j]) * eb
                 self.gpus[i].charge_send(nbytes)
                 self.gpus[j].charge_receive(nbytes)
                 bucket = intra if self.node_of(i) == self.node_of(j) \
@@ -178,20 +278,31 @@ class SimCluster:
                 kind="pairwise", level="multi-node",
                 max_bytes_per_gpu=inter["max"], total_bytes=inter["total"],
                 detail=detail))
+        self._record_verify("pairwise")
+        self._finish("pairwise", intra["total"] + inter["total"])
         return received
 
     def gather_to(self, root: int, detail: str = "") -> list[list[int]]:
         """Collect every shard on GPU ``root``; returns the shard list."""
         if not 0 <= root < self.gpu_count:
-            raise SimulationError(f"invalid root GPU {root}")
+            raise SimulationError(
+                f"gather_to: invalid root GPU {root} "
+                f"(cluster has GPUs 0..{self.gpu_count - 1})")
+        self._gate("gather", detail)
         eb = self.element_bytes
         shards = []
+        for gpu in self.gpus:
+            shard = list(gpu.shard)
+            if gpu.gpu_id != root:
+                self._corrupt_inflight(root, shard)
+                self._check_transfer("gather", gpu.gpu_id, root,
+                                     gpu.shard, shard)
+            shards.append(shard)
         total = 0
         max_sent = 0
-        for gpu in self.gpus:
-            shards.append(list(gpu.shard))
+        for gpu, shard in zip(self.gpus, shards):
             if gpu.gpu_id != root:
-                nbytes = len(gpu.shard) * eb
+                nbytes = len(shard) * eb
                 gpu.charge_send(nbytes)
                 self.gpus[root].charge_receive(nbytes)
                 total += nbytes
@@ -199,28 +310,44 @@ class SimCluster:
         self.trace.record(TraceEvent(
             kind="gather", level="multi-gpu",
             max_bytes_per_gpu=max_sent, total_bytes=total, detail=detail))
+        self._record_verify("gather")
+        self._finish("gather", total)
         return shards
 
     def scatter_from(self, root: int, shards: Sequence[Sequence[int]],
                      detail: str = "") -> None:
         """Distribute ``shards[i]`` to GPU ``i`` from GPU ``root``."""
+        if not 0 <= root < self.gpu_count:
+            raise SimulationError(
+                f"scatter_from: invalid root GPU {root} "
+                f"(cluster has GPUs 0..{self.gpu_count - 1})")
         if len(shards) != self.gpu_count:
             raise SimulationError(
-                f"expected {self.gpu_count} shards, got {len(shards)}")
+                f"scatter_from: expected {self.gpu_count} shards, "
+                f"got {len(shards)}")
+        self._gate("scatter", detail)
         eb = self.element_bytes
-        total = 0
-        sent = 0
+        staged = []
         for gpu, shard in zip(self.gpus, shards):
-            gpu.load(list(shard))
+            copy = list(shard)
+            if gpu.gpu_id != root:
+                self._corrupt_inflight(gpu.gpu_id, copy)
+                self._check_transfer("scatter", root, gpu.gpu_id,
+                                     shard, copy)
+            staged.append(copy)
+        sent = 0
+        for gpu, shard in zip(self.gpus, staged):
+            gpu.load(shard)
             if gpu.gpu_id != root:
                 nbytes = len(shard) * eb
                 gpu.charge_receive(nbytes)
                 sent += nbytes
         self.gpus[root].charge_send(sent)
-        total = sent
         self.trace.record(TraceEvent(
             kind="scatter", level="multi-gpu",
-            max_bytes_per_gpu=sent, total_bytes=total, detail=detail))
+            max_bytes_per_gpu=sent, total_bytes=sent, detail=detail))
+        self._record_verify("scatter")
+        self._finish("scatter", sent)
 
     # -- local accounting shared by engines ---------------------------------------
 

@@ -1,0 +1,347 @@
+"""Deterministic, seeded fault injection for the simulated cluster.
+
+Production multi-GPU NTT deployments fail in a handful of recurring
+ways: a link falls back to a slower rate, a collective times out once
+and succeeds on retry, one GPU thermally throttles and stretches every
+synchronization, a DMA engine writes a flipped bit, or a device drops
+off the fabric entirely.  This module models those five as a
+declarative, replayable :class:`FaultPlan`:
+
+* ``link-degrade``  — from a chosen collective step onward the fabric
+  runs at ``factor`` of its bandwidth (priced, not functional);
+* ``transient-comm`` — ``count`` consecutive collectives abort with
+  :class:`~repro.errors.TransientCommError` before moving any bytes;
+* ``straggler``     — one GPU slows by ``factor``; every later
+  collective is gated on it (priced, not functional);
+* ``corrupt-shard`` — one in-flight element of a chosen collective is
+  silently overwritten (functional: the data really changes);
+* ``device-death``  — from a chosen step onward one GPU is gone; every
+  collective it participates in raises
+  :class:`~repro.errors.DeviceLostError` until the execution layer
+  re-shards onto the survivors.
+
+Faults trigger on the cluster's *collective step counter* (the index of
+the collective invocation, counted across retries), so a plan is a pure
+function of the run — the same plan over the same engine replays
+bit-identically.  Plans parse from compact CLI specs
+(``kind@step[:key=value,...]``) and from JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import asdict, dataclass, field as dataclass_field
+
+from repro.errors import (
+    DeviceLostError, FaultPlanError, TransientCommError,
+)
+from repro.sim.trace import TraceEvent
+
+__all__ = ["FAULT_KINDS", "RESOLUTION_REQUIRED", "FaultSpec", "FaultPlan",
+           "FaultInjector", "parse_fault_spec"]
+
+#: The closed vocabulary of injectable fault kinds.
+FAULT_KINDS = (
+    "link-degrade",
+    "transient-comm",
+    "straggler",
+    "corrupt-shard",
+    "device-death",
+)
+
+#: Fault kinds that abort or corrupt work and therefore must be
+#: answered by a ``retry``/``reshard`` trace event (the tracecheck
+#: rule).  Degradations only slow the run down; they need no recovery.
+RESOLUTION_REQUIRED = frozenset(
+    {"transient-comm", "corrupt-shard", "device-death"})
+
+_INT_FIELDS = frozenset({"step", "gpu", "count", "delta"})
+_FLOAT_FIELDS = frozenset({"factor"})
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injected fault.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`FAULT_KINDS`.
+    step:
+        Collective invocation index (0-based, counted across retries) at
+        which the fault triggers.
+    gpu:
+        Target device for ``straggler`` / ``corrupt-shard`` /
+        ``device-death``.
+    factor:
+        ``link-degrade``: remaining bandwidth fraction in ``(0, 1)``.
+        ``straggler``: slowdown multiplier ``> 1``.
+    count:
+        ``transient-comm``: number of consecutive failing collectives.
+    delta:
+        ``corrupt-shard``: non-zero additive offset applied to the
+        corrupted element (mod p).
+    """
+
+    kind: str
+    step: int
+    gpu: int = 0
+    factor: float = 0.5
+    count: int = 1
+    delta: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise FaultPlanError(
+                f"unknown fault kind {self.kind!r}; known: "
+                f"{', '.join(FAULT_KINDS)}")
+        if self.step < 0:
+            raise FaultPlanError(f"{self.kind}: step must be >= 0, "
+                                 f"got {self.step}")
+        if self.gpu < 0:
+            raise FaultPlanError(f"{self.kind}: gpu must be >= 0, "
+                                 f"got {self.gpu}")
+        if self.kind == "link-degrade" and not 0 < self.factor < 1:
+            raise FaultPlanError(
+                f"link-degrade: factor must be in (0, 1), "
+                f"got {self.factor}")
+        if self.kind == "straggler" and self.factor <= 1:
+            raise FaultPlanError(
+                f"straggler: factor must be > 1, got {self.factor}")
+        if self.kind == "transient-comm" and self.count < 1:
+            raise FaultPlanError(
+                f"transient-comm: count must be >= 1, got {self.count}")
+        if self.kind == "corrupt-shard" and self.delta == 0:
+            raise FaultPlanError("corrupt-shard: delta must be non-zero")
+
+    def label(self) -> str:
+        """Compact human/trace label, e.g. ``device-death@3:gpu=1``."""
+        extras = []
+        if self.kind in ("straggler", "corrupt-shard", "device-death"):
+            extras.append(f"gpu={self.gpu}")
+        if self.kind in ("link-degrade", "straggler"):
+            extras.append(f"factor={self.factor:g}")
+        if self.kind == "transient-comm" and self.count != 1:
+            extras.append(f"count={self.count}")
+        suffix = ":" + ",".join(extras) if extras else ""
+        return f"{self.kind}@{self.step}{suffix}"
+
+
+def parse_fault_spec(text: str) -> FaultSpec:
+    """Parse one CLI fault spec: ``kind@step[:key=value,...]``.
+
+    Examples: ``transient-comm@2``, ``device-death@3:gpu=1``,
+    ``link-degrade@0:factor=0.5``, ``straggler@1:gpu=2,factor=3``.
+    """
+    head, _, tail = text.partition(":")
+    kind, sep, step_text = head.partition("@")
+    if not sep:
+        raise FaultPlanError(
+            f"fault spec {text!r} is missing '@step' "
+            "(expected kind@step[:key=value,...])")
+    try:
+        step = int(step_text)
+    except ValueError:
+        raise FaultPlanError(
+            f"fault spec {text!r}: step {step_text!r} is not an integer"
+        ) from None
+    kwargs: dict[str, object] = {}
+    if tail:
+        for item in tail.split(","):
+            key, sep, value = item.partition("=")
+            if not sep:
+                raise FaultPlanError(
+                    f"fault spec {text!r}: expected key=value, "
+                    f"got {item!r}")
+            if key in _INT_FIELDS:
+                kwargs[key] = int(value)
+            elif key in _FLOAT_FIELDS:
+                kwargs[key] = float(value)
+            else:
+                raise FaultPlanError(
+                    f"fault spec {text!r}: unknown key {key!r}")
+    return FaultSpec(kind=kind, step=step, **kwargs)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, ordered set of faults to inject into one run."""
+
+    seed: int = 0
+    faults: tuple[FaultSpec, ...] = dataclass_field(default_factory=tuple)
+
+    @classmethod
+    def from_specs(cls, specs: list[str] | tuple[str, ...],
+                   seed: int = 0) -> "FaultPlan":
+        """Build a plan from CLI spec strings."""
+        return cls(seed=seed,
+                   faults=tuple(parse_fault_spec(s) for s in specs))
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {"seed": self.seed, "faults": [asdict(f) for f in self.faults]},
+            indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise FaultPlanError(f"fault plan is not valid JSON: {error}")
+        if not isinstance(data, dict) or "faults" not in data:
+            raise FaultPlanError(
+                "fault plan JSON must be an object with a 'faults' list")
+        faults = []
+        for entry in data["faults"]:
+            unknown = set(entry) - _INT_FIELDS - _FLOAT_FIELDS - {"kind"}
+            if unknown:
+                raise FaultPlanError(
+                    f"fault plan entry has unknown keys {sorted(unknown)}")
+            faults.append(FaultSpec(**entry))
+        return cls(seed=int(data.get("seed", 0)), faults=tuple(faults))
+
+    def recoverable(self, gpu_count: int) -> bool:
+        """Whether a resilient engine can complete under this plan.
+
+        Conservative static check used by the chaos harness: at most
+        one device death, and the dead GPU must leave a non-empty
+        surviving set.
+        """
+        deaths = [f for f in self.faults if f.kind == "device-death"]
+        if len(deaths) > 1:
+            return False
+        return all(f.gpu < gpu_count for f in deaths)
+
+
+class FaultInjector:
+    """Binds a :class:`FaultPlan` to a live run.
+
+    The :class:`~repro.sim.cluster.SimCluster` collectives call the
+    three hooks below; the injector keeps the collective step counter,
+    the set of dead devices, and the accumulated *degradation penalty*
+    — the extra effective exchange bytes a degraded link or a straggler
+    adds to the critical path, which the resilient layer prices into
+    the reported cost.
+    """
+
+    def __init__(self, plan: FaultPlan, modulus: int):
+        if modulus < 2:
+            raise FaultPlanError(f"modulus must be >= 2, got {modulus}")
+        self.plan = plan
+        self.modulus = modulus
+        self.collective_index = 0
+        self.dead: set[int] = set()
+        self.penalty_exchange_bytes = 0
+        self.faults_recorded = 0
+        self._current_step = -1
+        self._announced: set[int] = set()
+        self._acknowledged: set[int] = set()
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def _record_fault(self, cluster, spec: FaultSpec) -> None:
+        self.faults_recorded += 1
+        cluster.trace.record(TraceEvent(
+            kind="fault", level="resilience", detail=spec.label()))
+
+    def _active(self, spec: FaultSpec, step: int) -> bool:
+        return spec.step <= step and id(spec) not in self._acknowledged
+
+    # -- hooks called by SimCluster collectives -----------------------------
+
+    def on_collective_start(self, cluster, kind: str, detail: str) -> None:
+        """Gate one collective; may raise a comm/device fault.
+
+        Raises *before* any bytes move — an aborted collective charges
+        nothing, the retry (if any) pays the full price again.
+        """
+        step = self.collective_index
+        self.collective_index += 1
+        self._current_step = step
+        for spec in self.plan.faults:
+            if spec.kind == "device-death" and self._active(spec, step):
+                if spec.gpu < cluster.gpu_count:
+                    self.dead.add(spec.gpu)
+                    if id(spec) not in self._announced:
+                        self._announced.add(id(spec))
+                        self._record_fault(cluster, spec)
+            elif spec.kind in ("link-degrade", "straggler") \
+                    and self._active(spec, step) \
+                    and id(spec) not in self._announced:
+                self._announced.add(id(spec))
+                self._record_fault(cluster, spec)
+        if self.dead:
+            raise DeviceLostError(
+                f"GPU(s) {sorted(self.dead)} lost before {kind} "
+                f"(collective step {step}, {detail or 'no detail'})")
+        for spec in self.plan.faults:
+            if spec.kind == "transient-comm" \
+                    and spec.step <= step < spec.step + spec.count \
+                    and id(spec) not in self._acknowledged:
+                self._record_fault(cluster, spec)
+                raise TransientCommError(
+                    f"{kind} collective failed transiently at step "
+                    f"{step} ({detail or 'no detail'}); retry may "
+                    "succeed")
+
+    def corrupt_inflight(self, cluster, gpu_id: int,
+                         values: list[int]) -> None:
+        """Silently corrupt one element of in-flight data.
+
+        ``values`` is a mutable view of data GPU ``gpu_id`` is about to
+        receive in the current collective (a message, a payload, or a
+        staged shard).  Only the spec's target GPU is hit, and the
+        corrupted slot is chosen by the plan's seeded RNG so replays
+        are identical.
+        """
+        for spec in self.plan.faults:
+            if spec.kind != "corrupt-shard" \
+                    or spec.step != self._current_step \
+                    or spec.gpu != gpu_id \
+                    or id(spec) in self._announced:
+                continue
+            if not values:
+                continue
+            rng = random.Random(repr((self.plan.seed, spec.step, spec.gpu)))
+            slot = rng.randrange(len(values))
+            values[slot] = (values[slot] + spec.delta) % self.modulus
+            self._announced.add(id(spec))
+            self._record_fault(cluster, spec)
+
+    def on_collective_end(self, cluster, kind: str,
+                          total_bytes: int) -> None:
+        """Accrue degradation penalties for one completed collective."""
+        step = self._current_step
+        for spec in self.plan.faults:
+            if not self._active(spec, step):
+                continue
+            if spec.kind == "link-degrade":
+                self.penalty_exchange_bytes += int(
+                    total_bytes * (1.0 / spec.factor - 1.0))
+            elif spec.kind == "straggler" and spec.gpu < cluster.gpu_count:
+                self.penalty_exchange_bytes += int(
+                    total_bytes * (spec.factor - 1.0))
+
+    # -- recovery interface (used by the resilient layer) --------------------
+
+    def surviving_gpus(self, gpu_count: int) -> list[int]:
+        """Device ids still alive, in id order."""
+        return [g for g in range(gpu_count) if g not in self.dead]
+
+    def acknowledge_deaths(self) -> None:
+        """The execution layer re-sharded; dead devices are retired.
+
+        Death specs are marked consumed so the degraded cluster (whose
+        device ids are renumbered) is not killed again.
+        """
+        for spec in self.plan.faults:
+            if spec.kind == "device-death":
+                self._acknowledged.add(id(spec))
+        self.dead.clear()
+
+    def drain_penalty_bytes(self) -> int:
+        """Return and reset the accumulated degradation penalty."""
+        penalty = self.penalty_exchange_bytes
+        self.penalty_exchange_bytes = 0
+        return penalty

@@ -71,6 +71,21 @@ EVENT_KINDS: dict[str, KindSpec] = {
     "host-staging": KindSpec(
         collective=False,
         description="host<->device staging traffic (out-of-core)"),
+    "fault": KindSpec(
+        collective=False,
+        description="an injected fault fired (see repro.sim.faults)"),
+    "retry": KindSpec(
+        collective=False,
+        description="resilient layer restored a checkpoint and re-ran"),
+    "checkpoint": KindSpec(
+        collective=False,
+        description="resilient layer snapshotted the distributed vector"),
+    "reshard": KindSpec(
+        collective=True,
+        description="redistribution onto surviving GPUs after a death"),
+    "verify": KindSpec(
+        collective=True,
+        description="algebraic shard check (random-linear probe)"),
 }
 
 

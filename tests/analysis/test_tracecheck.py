@@ -97,3 +97,56 @@ class TestManufacturedFaults:
         schedule = build_unintt_schedule(512, 4, EB)
         assert "trace.plan-divergence" in checks_of(
             check_trace(trace, schedule=schedule))
+
+
+class TestFaultResolution:
+    def test_resolved_fault_is_clean(self):
+        trace = Trace()
+        trace.record(TraceEvent(kind="fault", level="resilience",
+                                detail="transient-comm@0"))
+        trace.record(TraceEvent(kind="retry", level="resilience",
+                                detail="attempt=1"))
+        assert check_trace(trace) == []
+
+    def test_reshard_resolves_device_death(self):
+        trace = Trace()
+        trace.record(TraceEvent(kind="fault", level="resilience",
+                                detail="device-death@0:gpu=1"))
+        trace.record(TraceEvent(kind="reshard", level="resilience",
+                                max_bytes_per_gpu=8, total_bytes=16,
+                                detail="gpus 4->2"))
+        assert check_trace(trace) == []
+
+    def test_unresolved_fault_flagged(self):
+        trace = Trace()
+        trace.record(TraceEvent(kind="fault", level="resilience",
+                                detail="corrupt-shard@2:gpu=1"))
+        findings = check_trace(trace)
+        assert checks_of(findings) == {"trace.unresolved-fault"}
+        assert "corrupt-shard@2:gpu=1" in findings[0].message
+
+    def test_degradations_need_no_resolution(self):
+        trace = Trace()
+        trace.record(TraceEvent(kind="fault", level="resilience",
+                                detail="link-degrade@0:factor=0.5"))
+        trace.record(TraceEvent(kind="fault", level="resilience",
+                                detail="straggler@0:gpu=2,factor=3"))
+        assert check_trace(trace) == []
+
+    def test_faults_and_resolutions_match_one_to_one(self):
+        trace = Trace()
+        for _ in range(2):
+            trace.record(TraceEvent(kind="fault", level="resilience",
+                                    detail="transient-comm@0"))
+        trace.record(TraceEvent(kind="retry", level="resilience",
+                                detail="attempt=1"))
+        findings = check_trace(trace)
+        assert checks_of(findings) == {"trace.unresolved-fault"}
+        assert len(findings) == 1
+
+    def test_resilience_level_exempt_from_plan_comparison(self):
+        trace = run_forward()
+        trace.record(TraceEvent(kind="checkpoint", level="resilience",
+                                max_bytes_per_gpu=8, total_bytes=32))
+        schedule = build_unintt_schedule(256, 4, EB)
+        assert check_trace(trace, schedule=schedule) == []

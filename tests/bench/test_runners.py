@@ -6,15 +6,15 @@ import pytest
 from repro.bench import (
     ablation, batch_throughput, comm_breakdown, end_to_end, format_table,
     headline_speedups, interconnect_sensitivity, multi_gpu_scaling,
-    multi_node_scaling, platforms_table, single_gpu_comparison,
-    stark_end_to_end, workloads_table,
+    multi_node_scaling, platforms_table, resilience_overhead,
+    single_gpu_comparison, stark_end_to_end, workloads_table,
 )
 
 RUNNERS = [
     platforms_table, workloads_table, single_gpu_comparison,
     multi_gpu_scaling, headline_speedups, comm_breakdown, ablation,
     end_to_end, batch_throughput, interconnect_sensitivity,
-    multi_node_scaling, stark_end_to_end,
+    multi_node_scaling, stark_end_to_end, resilience_overhead,
 ]
 
 
@@ -125,3 +125,25 @@ class TestNewFigures:
         speed_col = headers.index("speedup vs single")
         unintt_row = next(r for r in rows if r[1] == "unintt")
         assert float(unintt_row[speed_col].rstrip("x")) > 2.0
+
+    def test_resilience_every_scenario_recovers(self):
+        headers, rows = resilience_overhead()
+        outcome_col = headers.index("outcome")
+        assert all("bit-exact" in row[outcome_col] for row in rows)
+        assert all("clean trace" in row[outcome_col] for row in rows)
+
+    def test_resilience_aborting_faults_cost_more(self):
+        headers, rows = resilience_overhead()
+        overhead_col = headers.index("overhead")
+        by_scenario = {row[0]: float(row[overhead_col].rstrip("x"))
+                       for row in rows}
+        assert by_scenario["fault-free"] == 1.0
+        for scenario in ("transient-comm", "corrupt-shard",
+                         "device-death"):
+            assert by_scenario[scenario] > 1.0
+
+    def test_resilience_death_completes_on_survivors(self):
+        headers, rows = resilience_overhead()
+        gpus_col = headers.index("gpus")
+        by_scenario = {row[0]: row[gpus_col] for row in rows}
+        assert by_scenario["device-death"] < by_scenario["fault-free"]

@@ -91,9 +91,10 @@ class TestPairwise:
         with pytest.raises(SimulationError, match="involution"):
             cluster.pairwise_exchange([1, 2, 3, 0], [[]] * 4)
 
-    def test_out_of_range_partner(self):
+    def test_out_of_range_partner_names_gpu(self):
         cluster = SimCluster(F, 2)
-        with pytest.raises(SimulationError, match="involution"):
+        with pytest.raises(SimulationError,
+                           match="GPU 0 has partner 5"):
             cluster.pairwise_exchange([5, 1], [[]] * 2)
 
     def test_shape_validation(self):
@@ -133,6 +134,84 @@ class TestGatherScatter:
         shards = cluster.gather_to(1)
         cluster.scatter_from(1, shards)
         cluster.check_conservation()
+
+
+class TestCollectivePreconditions:
+    """Malformed collective arguments fail with the GPU named, never
+    with a bare ``IndexError`` from deep inside the primitive."""
+
+    def test_all_to_all_ragged_row_names_gpu(self):
+        cluster = SimCluster(F, 4)
+        outboxes = [[[1]] * 4, [[1]] * 4, [[1]] * 2, [[1]] * 4]
+        with pytest.raises(SimulationError,
+                           match="GPU 2 outbox has 2 destinations"):
+            cluster.all_to_all(outboxes)
+
+    def test_pairwise_partner_out_of_range_names_gpu(self):
+        cluster = SimCluster(F, 4)
+        with pytest.raises(SimulationError,
+                           match="GPU 3 has partner 4"):
+            cluster.pairwise_exchange([1, 0, 2, 4], [[]] * 4)
+
+    def test_pairwise_negative_partner_names_gpu(self):
+        cluster = SimCluster(F, 2)
+        with pytest.raises(SimulationError,
+                           match="GPU 1 has partner -1"):
+            cluster.pairwise_exchange([0, -1], [[]] * 2)
+
+    def test_gather_invalid_root_names_range(self):
+        cluster = SimCluster(F, 4)
+        with pytest.raises(SimulationError,
+                           match=r"invalid root GPU 9 \(cluster has "
+                                 r"GPUs 0\.\.3\)"):
+            cluster.gather_to(9)
+
+    def test_scatter_invalid_root_names_range(self):
+        cluster = SimCluster(F, 4)
+        with pytest.raises(SimulationError,
+                           match=r"invalid root GPU -1 \(cluster has "
+                                 r"GPUs 0\.\.3\)"):
+            cluster.scatter_from(-1, [[1]] * 4)
+
+    @pytest.mark.parametrize("call", [
+        lambda c: c.all_to_all([[[1]] * 4, [[1]] * 4, [[1]] * 2,
+                                [[1]] * 4]),
+        lambda c: c.pairwise_exchange([1, 0, 2, 4], [[]] * 4),
+        lambda c: c.gather_to(9),
+        lambda c: c.scatter_from(9, [[1]] * 4),
+    ], ids=["all_to_all", "pairwise", "gather", "scatter"])
+    def test_rejected_collective_charges_nothing(self, call):
+        cluster = make_cluster()
+        with pytest.raises(SimulationError):
+            call(cluster)
+        assert all(g.counters.bytes_sent == 0 for g in cluster.gpus)
+        assert all(g.counters.bytes_received == 0 for g in cluster.gpus)
+        assert len(cluster.trace) == 0
+
+
+class TestPeekPurity:
+    """peek_shards is an observer: no counters move, no events appear,
+    and mutating the returned copies cannot reach device state."""
+
+    def test_peek_never_charges_or_traces(self):
+        cluster = make_cluster()
+        cluster.gather_to(0)  # put some real activity on the books
+        before = [(g.counters.bytes_sent, g.counters.bytes_received,
+                   g.counters.field_muls) for g in cluster.gpus]
+        events = len(cluster.trace)
+        for _ in range(3):
+            cluster.peek_shards()
+        after = [(g.counters.bytes_sent, g.counters.bytes_received,
+                  g.counters.field_muls) for g in cluster.gpus]
+        assert after == before
+        assert len(cluster.trace) == events
+
+    def test_peek_returns_copies(self):
+        cluster = make_cluster()
+        peeked = cluster.peek_shards()
+        peeked[0][0] = 77
+        assert cluster.gpus[0].shard[0] != 77
+        assert cluster.peek_shards()[0][0] != 77
 
 
 class TestChargeAndTrace:

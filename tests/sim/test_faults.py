@@ -1,0 +1,183 @@
+"""Tests for the declarative fault-injection plans and injector."""
+
+import pytest
+
+from repro.errors import (
+    DeviceLostError, FaultPlanError, TransientCommError,
+)
+from repro.field import TEST_FIELD_97
+from repro.sim import (
+    FAULT_KINDS, FaultInjector, FaultPlan, FaultSpec, SimCluster,
+    parse_fault_spec,
+)
+from repro.sim.faults import RESOLUTION_REQUIRED
+
+F = TEST_FIELD_97
+
+
+class TestFaultSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown fault kind"):
+            FaultSpec(kind="gamma-ray", step=0)
+
+    def test_negative_step_rejected(self):
+        with pytest.raises(FaultPlanError, match="step"):
+            FaultSpec(kind="transient-comm", step=-1)
+
+    def test_link_degrade_factor_bounds(self):
+        with pytest.raises(FaultPlanError, match="factor"):
+            FaultSpec(kind="link-degrade", step=0, factor=1.5)
+        with pytest.raises(FaultPlanError, match="factor"):
+            FaultSpec(kind="link-degrade", step=0, factor=0.0)
+
+    def test_straggler_factor_must_slow_down(self):
+        with pytest.raises(FaultPlanError, match="factor"):
+            FaultSpec(kind="straggler", step=0, factor=0.9)
+
+    def test_transient_count_positive(self):
+        with pytest.raises(FaultPlanError, match="count"):
+            FaultSpec(kind="transient-comm", step=0, count=0)
+
+    def test_corrupt_delta_nonzero(self):
+        with pytest.raises(FaultPlanError, match="delta"):
+            FaultSpec(kind="corrupt-shard", step=0, delta=0)
+
+    def test_label_round_trips_through_parser(self):
+        specs = [
+            FaultSpec(kind="transient-comm", step=2, count=3),
+            FaultSpec(kind="device-death", step=1, gpu=2),
+            FaultSpec(kind="link-degrade", step=0, factor=0.25),
+            FaultSpec(kind="straggler", step=4, gpu=1, factor=3.0),
+        ]
+        for spec in specs:
+            assert parse_fault_spec(spec.label()) == spec
+
+    def test_resolution_required_is_subset_of_kinds(self):
+        assert RESOLUTION_REQUIRED <= set(FAULT_KINDS)
+
+
+class TestParseFaultSpec:
+    def test_basic(self):
+        spec = parse_fault_spec("transient-comm@2")
+        assert spec.kind == "transient-comm"
+        assert spec.step == 2
+
+    def test_keyword_arguments(self):
+        spec = parse_fault_spec("corrupt-shard@1:gpu=3,delta=7")
+        assert (spec.gpu, spec.delta) == (3, 7)
+
+    def test_missing_step_rejected(self):
+        with pytest.raises(FaultPlanError, match="@step"):
+            parse_fault_spec("transient-comm")
+
+    def test_non_integer_step_rejected(self):
+        with pytest.raises(FaultPlanError, match="not an integer"):
+            parse_fault_spec("transient-comm@soon")
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown key"):
+            parse_fault_spec("straggler@0:speed=2")
+
+    def test_malformed_pair_rejected(self):
+        with pytest.raises(FaultPlanError, match="key=value"):
+            parse_fault_spec("straggler@0:factor")
+
+
+class TestFaultPlan:
+    def test_json_round_trip(self):
+        plan = FaultPlan.from_specs(
+            ["device-death@3:gpu=1", "link-degrade@0:factor=0.5"],
+            seed=42)
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_from_json_rejects_garbage(self):
+        with pytest.raises(FaultPlanError, match="not valid JSON"):
+            FaultPlan.from_json("{nope")
+        with pytest.raises(FaultPlanError, match="'faults'"):
+            FaultPlan.from_json("[1, 2]")
+        with pytest.raises(FaultPlanError, match="unknown keys"):
+            FaultPlan.from_json(
+                '{"faults": [{"kind": "straggler", "step": 0, '
+                '"factor": 2, "color": "red"}]}')
+
+    def test_recoverable(self):
+        one_death = FaultPlan.from_specs(["device-death@0:gpu=1"])
+        assert one_death.recoverable(4)
+        two_deaths = FaultPlan.from_specs(
+            ["device-death@0:gpu=1", "device-death@1:gpu=2"])
+        assert not two_deaths.recoverable(4)
+
+
+def run_collective(cluster):
+    """One minimal collective: a 2-way transpose all-to-all."""
+    g = cluster.gpu_count
+    return cluster.all_to_all([[[s * g + d] for d in range(g)]
+                               for s in range(g)])
+
+
+class TestFaultInjector:
+    def test_modulus_validated(self):
+        with pytest.raises(FaultPlanError, match="modulus"):
+            FaultInjector(FaultPlan(), modulus=1)
+
+    def test_transient_window_aborts_then_clears(self):
+        plan = FaultPlan.from_specs(["transient-comm@0:count=2"])
+        injector = FaultInjector(plan, F.modulus)
+        cluster = SimCluster(F, 2, injector=injector)
+        for _ in range(2):
+            with pytest.raises(TransientCommError, match="step"):
+                run_collective(cluster)
+        run_collective(cluster)  # step 2: window passed
+        assert injector.collective_index == 3
+
+    def test_aborted_collective_charges_nothing(self):
+        plan = FaultPlan.from_specs(["transient-comm@0"])
+        cluster = SimCluster(F, 2,
+                             injector=FaultInjector(plan, F.modulus))
+        with pytest.raises(TransientCommError):
+            run_collective(cluster)
+        assert all(g.counters.bytes_sent == 0 for g in cluster.gpus)
+        assert all(e.kind == "fault" for e in cluster.trace.events)
+
+    def test_device_death_persists_until_acknowledged(self):
+        plan = FaultPlan.from_specs(["device-death@0:gpu=1"])
+        injector = FaultInjector(plan, F.modulus)
+        cluster = SimCluster(F, 4, injector=injector)
+        for _ in range(2):
+            with pytest.raises(DeviceLostError, match=r"\[1\]"):
+                run_collective(cluster)
+        assert injector.surviving_gpus(4) == [0, 2, 3]
+        injector.acknowledge_deaths()
+        run_collective(cluster)
+        # the fault event is recorded exactly once, not per abort
+        faults = [e for e in cluster.trace.events if e.kind == "fault"]
+        assert len(faults) == 1
+        assert faults[0].detail == "device-death@0:gpu=1"
+
+    def test_corrupt_shard_hits_target_gpu_deterministically(self):
+        plan = FaultPlan.from_specs(["corrupt-shard@0:gpu=1,delta=5"],
+                                    seed=7)
+        outputs = []
+        for _ in range(2):
+            injector = FaultInjector(plan, F.modulus)
+            cluster = SimCluster(F, 2, injector=injector)
+            outputs.append(run_collective(cluster))
+        clean = run_collective(SimCluster(F, 2))
+        assert outputs[0] == outputs[1]  # seeded: replays identically
+        assert outputs[0] != clean
+        assert outputs[0][0] == clean[0]  # GPU 0 untouched
+        assert outputs[0][1] != clean[1]  # GPU 1 corrupted
+
+    def test_degradations_accrue_penalty_without_aborting(self):
+        plan = FaultPlan.from_specs(
+            ["link-degrade@0:factor=0.25", "straggler@0:gpu=1,factor=3"])
+        injector = FaultInjector(plan, F.modulus)
+        cluster = SimCluster(F, 2, injector=injector)
+        result = run_collective(cluster)
+        assert result == run_collective(SimCluster(F, 2))
+        eb = cluster.element_bytes
+        moved = 2 * eb  # two off-device single-element messages
+        # link at 1/4 rate: 3x extra; straggler at 3x: 2x extra
+        assert injector.penalty_exchange_bytes == 3 * moved + 2 * moved
+        assert injector.drain_penalty_bytes() == 5 * moved
+        assert injector.penalty_exchange_bytes == 0

@@ -98,3 +98,74 @@ class TestTraceAndTune:
         assert main(["estimate", "--machine-file", str(path),
                      "--log-size", "20"]) == 0
         assert "DGX-1-V100" in capsys.readouterr().out
+
+
+class TestErrorHygiene:
+    """Library failures exit 2 with one line; --debug gets the traceback."""
+
+    def test_unknown_field_exits_2_with_one_line(self, capsys):
+        assert main(["estimate", "--field", "NoSuchField"]) == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert captured.err.startswith("repro: error: ")
+        assert "NoSuchField" in captured.err
+        assert captured.err.count("\n") == 1
+        assert "Traceback" not in captured.err
+
+    def test_unknown_machine_exits_2(self, capsys):
+        assert main(["estimate", "--machine", "NoSuchBox"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error: ")
+        assert "NoSuchBox" in err
+
+    def test_missing_machine_file_exits_2(self, capsys):
+        assert main(["estimate", "--machine-file", "/no/such.json"]) == 2
+        assert "repro: error: " in capsys.readouterr().err
+
+    def test_bad_fault_spec_exits_2(self, capsys):
+        assert main(["trace", "--log-size", "8", "--gpus", "4",
+                     "--fault", "transient-comm"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error: ")
+        assert "@step" in err
+
+    def test_debug_reraises(self):
+        with pytest.raises(KeyError, match="NoSuchField"):
+            main(["--debug", "estimate", "--field", "NoSuchField"])
+
+
+class TestFaultInjectionCli:
+    def test_trace_with_fault_and_resilience(self, capsys):
+        assert main(["trace", "--log-size", "8", "--gpus", "4",
+                     "--fault", "transient-comm@0", "--resilient"]) == 0
+        out = capsys.readouterr().out
+        assert "bit-exact" in out
+        assert "fault" in out
+        assert "retry" in out
+        assert "resilience:" in out
+
+    def test_trace_with_device_death(self, capsys):
+        assert main(["trace", "--log-size", "8", "--gpus", "4",
+                     "--fault", "device-death@0:gpu=1",
+                     "--resilient"]) == 0
+        out = capsys.readouterr().out
+        assert "reshard" in out
+
+    def test_trace_with_fault_plan_file(self, tmp_path, capsys):
+        from repro.sim import FaultPlan
+
+        plan = FaultPlan.from_specs(["transient-comm@0"], seed=3)
+        path = tmp_path / "plan.json"
+        path.write_text(plan.to_json())
+        assert main(["trace", "--log-size", "8", "--gpus", "4",
+                     "--fault-plan", str(path), "--resilient"]) == 0
+        assert "retry" in capsys.readouterr().out
+
+    def test_unrecovered_fault_fails_run(self, capsys):
+        # without --resilient a transient fault aborts the transform
+        assert main(["trace", "--log-size", "8", "--gpus", "4",
+                     "--fault", "transient-comm@0"]) == 2
+        assert "transiently" in capsys.readouterr().err
+
+    def test_f20_registered(self):
+        assert "f20" in EXPERIMENTS

@@ -63,6 +63,30 @@ def test_analysis_guide_exists_and_covers_api():
         assert needle in text, f"docs/ANALYSIS.md does not mention {needle}"
 
 
+def test_resilience_guide_exists_and_covers_api():
+    path = os.path.join(DOCS, "RESILIENCE.md")
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    for needle in ("FaultPlan", "FaultInjector", "ResilientNTTEngine",
+                   "RetryPolicy", "ResilienceReport", "checkpoint",
+                   "reshard", "trace.unresolved-fault", "--resilient",
+                   "f20"):
+        assert needle in text, (
+            f"docs/RESILIENCE.md does not mention {needle}")
+
+
+def test_every_fault_kind_is_documented():
+    from repro.sim.faults import FAULT_KINDS
+
+    path = os.path.join(DOCS, "RESILIENCE.md")
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    missing = [kind for kind in FAULT_KINDS if f"`{kind}`" not in text]
+    assert not missing, (
+        f"fault kinds {missing} are injectable but not documented in "
+        f"docs/RESILIENCE.md")
+
+
 def test_every_analysis_check_is_documented():
     from repro.analysis import all_checks
 

@@ -1,0 +1,114 @@
+"""End-to-end: proof generation survives an injected collective fault.
+
+The Groth16 prover pipeline is seven NTT-type transforms; here the
+transforms run on a simulated 4-GPU cluster through the resilient
+engine while a seeded :class:`FaultPlan` aborts one all-to-all
+mid-proof.  The retry layer recovers, the quotient comes out bit-exact,
+and the resulting proof verifies — the whole point of the resilience
+subsystem in one test.
+"""
+
+import pytest
+
+from repro.analysis.tracecheck import check_trace
+from repro.field import BN254_FR
+from repro.multigpu import (
+    DistributedPolynomial, ResilientNTTEngine, UniNTTEngine,
+)
+from repro.sim import FaultInjector, FaultPlan, SimCluster
+from repro.zkp import (
+    Proof, Prover, QAP, QapWitnessPolynomials, square_chain,
+    trusted_setup,
+)
+from repro.zkp.polynomial import Polynomial
+
+TAU = 0xC0FFEE_DECAF
+GPUS = 4
+
+
+@pytest.fixture(scope="module")
+def problem():
+    # 16 constraints (15 squares + the output binding) -> domain 16,
+    # the smallest size a 4-GPU UniNTT decomposition accepts.
+    r1cs, witness = square_chain(BN254_FR, steps=15)
+    qap = QAP(r1cs)
+    key = trusted_setup(qap.domain.size, TAU)
+    return qap, Prover(qap, key), witness
+
+
+def distributed_witness_polynomials(qap, witness, engine):
+    """The seven-transform QAP pipeline on a distributed engine."""
+    field = qap.field
+    p = field.modulus
+    domain = qap.domain
+    a_rows, b_rows, c_rows = qap.witness_rows(witness)
+
+    def interpolate(rows):
+        poly = DistributedPolynomial.from_evaluations(engine, rows)
+        return poly.to_coefficients()
+
+    a_poly, b_poly, c_poly = (interpolate(rows)
+                              for rows in (a_rows, b_rows, c_rows))
+
+    shift = domain.default_coset_shift()
+    z_inv = field.inv(domain.vanishing_on_coset(shift))
+    a_coset = a_poly.to_evaluations(coset_shift=shift)
+    b_coset = b_poly.to_evaluations(coset_shift=shift)
+    c_coset = c_poly.to_evaluations(coset_shift=shift)
+
+    h_coset = a_coset * b_coset - c_coset
+    h_coset = DistributedPolynomial(
+        engine, [[v * z_inv % p for v in shard]
+                 for shard in h_coset.shards],
+        form="evaluation", coset_shift=shift)
+    h_poly = h_coset.to_coefficients()
+
+    return QapWitnessPolynomials(
+        a=Polynomial(field, a_poly.values()),
+        b=Polynomial(field, b_poly.values()),
+        c=Polynomial(field, c_poly.values()),
+        h=Polynomial(field, h_poly.values()))
+
+
+def make_engine(specs, seed=0xFA11):
+    plan = FaultPlan.from_specs(specs, seed=seed)
+    injector = FaultInjector(plan, BN254_FR.modulus)
+    cluster = SimCluster(BN254_FR, GPUS, injector=injector)
+    return ResilientNTTEngine(cluster, UniNTTEngine, seed=seed)
+
+
+class TestResilientProofGeneration:
+    def test_fault_free_distributed_pipeline_matches_local(self, problem):
+        qap, prover, witness = problem
+        engine = make_engine([])
+        polys = distributed_witness_polynomials(qap, witness, engine)
+        local = qap.witness_polynomials(witness)
+        assert polys.all() == local.all()
+
+    def test_proof_verifies_despite_transient_fault(self, problem):
+        qap, prover, witness = problem
+        # collective step 3 is mid-proof: one of the coset NTTs.
+        engine = make_engine(["transient-comm@3"])
+        polys = distributed_witness_polynomials(qap, witness, engine)
+
+        assert qap.check_divisibility(polys)
+        proof = Proof(commit_a=prover.key.commit(polys.a),
+                      commit_b=prover.key.commit(polys.b),
+                      commit_c=prover.key.commit(polys.c),
+                      commit_h=prover.key.commit(polys.h))
+        assert prover.check(proof, polys, TAU)
+
+        # the fault really fired and was really recovered from
+        assert engine.report.retries == 1
+        kinds = [e.kind for e in engine.cluster.trace.events]
+        assert "fault" in kinds and "retry" in kinds
+        findings = check_trace(engine.cluster.trace)
+        assert findings == [], [str(f) for f in findings]
+
+    def test_faulty_and_clean_proofs_are_identical(self, problem):
+        qap, prover, witness = problem
+        clean = distributed_witness_polynomials(qap, witness,
+                                                make_engine([]))
+        faulty = distributed_witness_polynomials(
+            qap, witness, make_engine(["transient-comm@3"]))
+        assert clean.all() == faulty.all()
