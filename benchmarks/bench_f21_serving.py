@@ -1,0 +1,31 @@
+"""F21: serving throughput versus offered load.
+
+Offers bursts of concurrent transform requests to the proof-serving
+scheduler twice — once strictly one-at-a-time with no cross-request
+reuse, once with cross-request batching and the plan/twiddle caches on
+— and records the throughput of each arm.  The persisted report is the
+acceptance artifact for the serving subsystem: every run must stay
+bit-exact against the reference transform, and batching must win at
+least 1.5x at an offered load of four concurrent requests and above.
+"""
+
+
+from repro.bench import serving_throughput
+
+
+def test_f21_serving_throughput(benchmark, emit):
+    table = benchmark.pedantic(serving_throughput, rounds=1, iterations=1)
+    emit("F21_serving",
+         "F21: serving throughput vs offered load", table)
+    headers, rows = table
+    outcome_col = headers.index("outcome")
+    speedup_col = headers.index("speedup")
+    load_col = headers.index("offered load")
+    assert all(row[outcome_col] == "bit-exact" for row in rows), (
+        "a serving run diverged from the reference transform")
+    for row in rows:
+        speedup = float(str(row[speedup_col]).rstrip("x"))
+        if int(row[load_col]) >= 4:
+            assert speedup >= 1.5, (
+                f"batching won only {speedup}x at offered load "
+                f"{row[load_col]}")

@@ -18,19 +18,19 @@ Quick tour::
     spectrum = engine.forward(vec)
 """
 
-from repro import field, hw, multigpu, ntt, sim, zkp
+from repro import field, hw, multigpu, ntt, serve, sim, zkp
 from repro.errors import (
     BenchmarkError, CircuitError, CurveError, FieldError, HardwareModelError,
     NTTError, PartitionError, PlanError, ProverError, ReproError,
-    SimulationError,
+    ServeError, SimulationError,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
-    "field", "ntt", "hw", "sim", "multigpu", "zkp",
+    "field", "ntt", "hw", "sim", "multigpu", "serve", "zkp",
     "ReproError", "FieldError", "NTTError", "PlanError",
     "HardwareModelError", "SimulationError", "PartitionError", "CurveError",
-    "CircuitError", "ProverError", "BenchmarkError",
+    "CircuitError", "ProverError", "BenchmarkError", "ServeError",
     "__version__",
 ]

@@ -38,10 +38,16 @@ from repro.multigpu.schedule import CommSchedule
 from repro.sim.faults import RESOLUTION_REQUIRED
 from repro.sim.trace import EVENT_KINDS, Trace, TraceEvent
 
-__all__ = ["CHECKS", "check_trace", "RESILIENCE_LEVEL"]
+__all__ = ["CHECKS", "check_trace", "RESILIENCE_LEVEL", "SERVE_LEVEL"]
 
 #: Trace level carrying recovery traffic; exempt from plan comparison.
 RESILIENCE_LEVEL = "resilience"
+
+#: Trace level carrying request-serving bookkeeping (queue admission,
+#: batch dispatch, cache consults); like recovery traffic it sits
+#: outside the engines' static schedules, so the plan-divergence
+#: comparison skips it too.
+SERVE_LEVEL = "serve"
 
 CHECKS = (
     Check("trace.unknown-kind", 1,
@@ -58,6 +64,8 @@ CHECKS = (
           "traced per-level bytes disagree with the static schedule"),
     Check("trace.unresolved-fault", 1,
           "an injected fault has no retry/reshard resolution"),
+    Check("trace.serve-dangling-dispatch", 1,
+          "a serve-dispatch batch never reached serve-complete"),
 )
 
 
@@ -144,11 +152,31 @@ def check_trace(trace: Trace,
             "retry/reshard event",
             f"trace[{index}](fault)"))
 
+    # Every dispatched serving batch must retire: the batch tag (the
+    # first detail token, "batch=<id>") of a serve-dispatch event must
+    # reappear on a *later* serve-complete.  A dispatch nothing completed
+    # means requests were dropped mid-flight.
+    open_batches: dict[str, int] = {}
+    for index, event in enumerate(trace.events):
+        if event.level != SERVE_LEVEL:
+            continue
+        tag = event.detail.split(" ", 1)[0]
+        if event.kind == "serve-dispatch":
+            open_batches[tag] = index
+        elif event.kind == "serve-complete":
+            open_batches.pop(tag, None)
+    for tag, index in sorted(open_batches.items(),
+                             key=lambda item: item[1]):
+        findings.append(Finding(
+            "trace.serve-dangling-dispatch",
+            f"batch {tag!r} was dispatched but never completed",
+            f"trace[{index}](serve-dispatch)"))
+
     if schedule is not None:
         expected = schedule.bytes_by_level()
         actual = trace.bytes_by_level()
         for level in sorted(set(expected) | set(actual)):
-            if level == RESILIENCE_LEVEL:
+            if level in (RESILIENCE_LEVEL, SERVE_LEVEL):
                 continue
             want, got = expected.get(level, 0), actual.get(level, 0)
             if want != got:

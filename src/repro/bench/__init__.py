@@ -10,7 +10,8 @@ from repro.bench.runners import (
     end_to_end,
     headline_speedups, interconnect_sensitivity, multi_gpu_scaling,
     multi_node_scaling,
-    platforms_table, resilience_overhead, single_gpu_comparison,
+    platforms_table, resilience_overhead, serving_throughput,
+    single_gpu_comparison,
     stark_end_to_end, workloads_table,
 )
 from repro.bench.workloads import (
@@ -27,6 +28,6 @@ __all__ = [
     "multi_gpu_scaling", "headline_speedups", "comm_breakdown", "ablation",
     "end_to_end", "batch_throughput", "interconnect_sensitivity",
     "multi_node_scaling", "stark_end_to_end", "backend_comparison",
-    "resilience_overhead",
+    "resilience_overhead", "serving_throughput",
     "bar_chart", "grouped_bar_chart",
 ]

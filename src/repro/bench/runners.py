@@ -31,6 +31,7 @@ __all__ = [
     "ablation", "end_to_end", "batch_throughput",
     "interconnect_sensitivity", "multi_node_scaling",
     "stark_end_to_end", "backend_comparison", "resilience_overhead",
+    "serving_throughput",
 ]
 
 Row = Sequence[object]
@@ -478,4 +479,49 @@ def resilience_overhead(log_size: int = 10, gpus: int = 8,
                      f"{cost.total_s / base:.2f}x",
                      engine.report.retries, engine.report.reshards,
                      outcome])
+    return headers, rows
+
+
+def serving_throughput(log_size: int = 10,
+                       machine: MachineModel = DGX_A100) -> Table:
+    """F21: served throughput vs offered load, batched vs one-at-a-time.
+
+    Each row offers a burst of concurrent same-shape requests to two
+    servers: the baseline serves them strictly one per dispatch with
+    per-dispatch planning and twiddle generation redone every time;
+    the batched server coalesces compatible requests into one dispatch
+    and reuses the plan/twiddle caches across the run.  Both runs are
+    functional (every output is checked bit-exactly against the
+    reference transform) and priced on ``machine``; the speedup column
+    is the throughput ratio at that offered load.
+    """
+    from repro.ntt import ntt
+    from repro.serve import ProofServer, WorkloadSpec, generate_workload
+
+    field = BLS12_381_FR
+    headers = ["offered load", "one-at-a-time req/s", "batched req/s",
+               "speedup", "batches", "batched p99 ms", "outcome"]
+    rows: list[list[object]] = []
+    for load in (1, 2, 4, 8, 16):
+        spec = WorkloadSpec(requests=load, log_sizes=(log_size,),
+                            field_names=(field.name,), seed=0xF21)
+        workload = generate_workload(spec)
+        baseline = ProofServer(machine, batching=False,
+                               caching=False).serve(workload)
+        batched = ProofServer(machine).serve(workload)
+        exact = all(
+            list(out) == ntt(field, list(lane))
+            for report in (baseline, batched)
+            for result in report.results
+            for lane, out in zip(result.request.vectors(),
+                                 result.outputs))
+        rows.append([
+            load,
+            baseline.throughput_rps(),
+            batched.throughput_rps(),
+            f"{batched.throughput_rps() / baseline.throughput_rps():.2f}x",
+            batched.batches,
+            batched.latency_percentiles_s()["p99"] * 1e3,
+            "bit-exact" if exact else "MISMATCH",
+        ])
     return headers, rows

@@ -21,6 +21,12 @@ Commands
     a simulator trace against it, or lint ``src/repro`` for project
     invariants.  All three support ``--json`` and exit non-zero on
     findings, so they double as CI gates.
+``serve``
+    Run the proof-serving scheduler over a workload (synthetic via
+    generator flags, or explicit via ``--workload`` JSON) and print the
+    serving report: throughput, latency percentiles, batching and
+    cache statistics.  ``--verify`` checks every output bit-exactly
+    against the reference transform.
 """
 
 from __future__ import annotations
@@ -62,6 +68,8 @@ EXPERIMENTS: dict[str, tuple[Callable[[], tuple], str]] = {
             "F19: field backend comparison (measured)"),
     "f20": (bench_runners.resilience_overhead,
             "F20: resilience overhead under injected faults"),
+    "f21": (bench_runners.serving_throughput,
+            "F21: serving throughput vs offered load"),
 }
 
 
@@ -212,6 +220,57 @@ def build_parser() -> argparse.ArgumentParser:
                     help="files/directories (default: the installed "
                          "repro package)")
     al.add_argument("--json", action="store_true")
+
+    sv = sub.add_parser("serve",
+                        help="run the proof-serving scheduler over a "
+                             "workload")
+    sv.add_argument("--machine", default="DGX-A100")
+    sv.add_argument("--workload", default=None, metavar="FILE",
+                    help="JSON workload file (overrides generator flags)")
+    sv.add_argument("--requests", type=int, default=8,
+                    help="synthetic workload size (default 8)")
+    sv.add_argument("--log-size", type=int, action="append", default=[],
+                    metavar="K", help="transform size 2^K (repeatable; "
+                                      "default 10)")
+    sv.add_argument("--field", action="append", default=[],
+                    help="field preset (repeatable; default Goldilocks)")
+    sv.add_argument("--direction", action="append", default=[],
+                    choices=["forward", "inverse"],
+                    help="transform direction (repeatable; default "
+                         "forward)")
+    sv.add_argument("--batch", type=int, default=1,
+                    help="vectors per request (default 1)")
+    sv.add_argument("--mean-interarrival", type=float, default=0.0,
+                    metavar="S", help="mean inter-arrival gap in virtual "
+                                      "seconds (0 = burst, the default)")
+    sv.add_argument("--deadline", type=float, default=None, metavar="S",
+                    help="per-request relative deadline in virtual "
+                         "seconds")
+    sv.add_argument("--priority-levels", type=int, default=1)
+    sv.add_argument("--seed", type=int, default=0,
+                    help="workload seed (default 0)")
+    sv.add_argument("--queue-capacity", type=int, default=64)
+    sv.add_argument("--max-batch", type=int, default=16,
+                    help="most requests one dispatch may coalesce")
+    sv.add_argument("--no-batching", action="store_true",
+                    help="serve one request per dispatch (baseline)")
+    sv.add_argument("--no-caching", action="store_true",
+                    help="rebuild plans/twiddles per dispatch (baseline)")
+    sv.add_argument("--strategy", default=None,
+                    choices=["replicate", "split"],
+                    help="pin the batch strategy instead of planning")
+    sv.add_argument("--twiddle-capacity", type=int, default=None,
+                    help="LRU bound on resident twiddle tables")
+    sv.add_argument("--fault", action="append", default=[],
+                    metavar="KIND@STEP[:K=V,...]",
+                    help="inject a fault (repeatable; see 'repro trace')")
+    sv.add_argument("--fault-plan", default=None, metavar="FILE",
+                    help="JSON FaultPlan file (overrides --fault)")
+    sv.add_argument("--verify", action="store_true",
+                    help="check every output against the reference "
+                         "transform")
+    sv.add_argument("--json", action="store_true",
+                    help="emit the report as JSON")
     return parser
 
 
@@ -475,6 +534,99 @@ def _cmd_analyze_lint(paths: Sequence[str], as_json: bool) -> int:
     return lint_main(argv)
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.field import field_by_name
+    from repro.hw import machine_by_name
+    from repro.ntt import intt, ntt
+    from repro.serve import (
+        ProofServer, WorkloadSpec, generate_workload, workload_from_json,
+    )
+    from repro.sim import FaultInjector, FaultPlan
+
+    machine = machine_by_name(args.machine)
+    if args.workload is not None:
+        with open(args.workload, encoding="utf-8") as handle:
+            requests = workload_from_json(handle.read())
+    else:
+        spec = WorkloadSpec(
+            requests=args.requests,
+            log_sizes=tuple(args.log_size) or (10,),
+            field_names=tuple(args.field) or ("Goldilocks",),
+            directions=tuple(args.direction) or ("forward",),
+            batch=args.batch,
+            mean_interarrival_s=args.mean_interarrival,
+            deadline_s=args.deadline,
+            priority_levels=args.priority_levels,
+            seed=args.seed)
+        requests = generate_workload(spec)
+    plan = None
+    if args.fault_plan is not None:
+        with open(args.fault_plan, encoding="utf-8") as handle:
+            plan = FaultPlan.from_json(handle.read())
+    elif args.fault:
+        plan = FaultPlan.from_specs(list(args.fault))
+    injector = None
+    if plan is not None:
+        moduli = {field_by_name(r.field_name).modulus for r in requests}
+        if len(moduli) != 1:
+            raise_field = sorted(r.field_name for r in requests)
+            from repro.errors import ServeError
+            raise ServeError(
+                f"fault injection needs a single-field workload, got "
+                f"{raise_field}")
+        injector = FaultInjector(plan, moduli.pop())
+    server = ProofServer(
+        machine,
+        queue_capacity=args.queue_capacity,
+        max_batch_requests=args.max_batch,
+        batching=not args.no_batching,
+        caching=not args.no_caching,
+        strategy=args.strategy,
+        twiddle_capacity=args.twiddle_capacity,
+        injector=injector)
+    report = server.serve(requests)
+
+    verified = None
+    if args.verify:
+        verified = True
+        for result in report.results:
+            request = result.request
+            field = request.field
+            reference = intt if request.direction == "inverse" else ntt
+            for lane, out in zip(request.vectors(), result.outputs):
+                if list(out) != reference(field, list(lane)):
+                    verified = False
+    if args.json:
+        import json as json_module
+        payload = json_module.loads(report.to_json())
+        if verified is not None:
+            payload["verified"] = verified
+        print(json_module.dumps(payload, indent=2, sort_keys=True))
+        return 0 if verified in (None, True) else 1
+
+    summary = report.summary()
+    print(f"served {summary['completed']}/{summary['offered']} requests "
+          f"on {machine.name} in {summary['makespan_s'] * 1e3:.3f} ms "
+          f"({summary['throughput_rps']:.0f} req/s)")
+    print(f"  batches {summary['batches']} "
+          f"(mean {summary['mean_batch_requests']:.2f} req/batch, "
+          f"strategies {summary['strategy_counts']}), "
+          f"rejected {summary['rejected']}, "
+          f"deadline misses {summary['deadline_misses']}, "
+          f"retries {summary['retries']}")
+    print(f"  plan cache {summary['plan_hits']} hit / "
+          f"{summary['plan_misses']} miss; twiddle cache "
+          f"{summary['twiddle_hits']} hit / {summary['twiddle_misses']} "
+          f"miss / {summary['twiddle_evictions']} evicted")
+    percentiles = report.latency_percentiles_s()
+    print("  latency  " + "  ".join(
+        f"{name} {percentiles[name] * 1e3:.3f} ms"
+        for name in ("p50", "p90", "p99", "max")))
+    if verified is not None:
+        print(f"  outputs: {'bit-exact' if verified else 'MISMATCH'}")
+    return 0 if verified in (None, True) else 1
+
+
 def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "info":
         return _cmd_info()
@@ -503,6 +655,8 @@ def _dispatch(args: argparse.Namespace) -> int:
                                       args.log_size, args.json)
         if args.analyze_command == "lint":
             return _cmd_analyze_lint(args.paths, args.json)
+    if args.command == "serve":
+        return _cmd_serve(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -68,3 +68,7 @@ class ProverError(ReproError):
 
 class BenchmarkError(ReproError):
     """Benchmark harness misconfiguration."""
+
+
+class ServeError(ReproError):
+    """Request-serving failure (bad workload, exhausted retries)."""

@@ -5,9 +5,19 @@ precompute these tables once per (field, size) and keep them resident in
 device memory; we mirror that with a process-wide cache so repeated
 transforms (the common ZKP case: thousands of same-size NTTs) do not
 regenerate tables.
+
+The cache keeps hit/miss/eviction counters so higher layers — the
+proof-serving scheduler in :mod:`repro.serve` above all — can *price*
+table generation honestly: a miss costs one modular multiplication per
+generated entry, a hit costs zero recompute.  An optional
+``max_tables`` bound turns the cache into an LRU (least recently used
+table evicted first), which models finite device memory for resident
+twiddles.
 """
 
 from __future__ import annotations
+
+from collections import OrderedDict
 
 from repro.errors import NTTError
 from repro.field.prime_field import PrimeField
@@ -34,21 +44,49 @@ def bit_reverse_permutation(n: int) -> list[int]:
 
 
 class TwiddleCache:
-    """Cache of root-power tables keyed by (field modulus, root, length)."""
+    """Cache of root-power tables keyed by (field modulus, root, length).
 
-    def __init__(self) -> None:
-        self._tables: dict[tuple[int, int, int], list[int]] = {}
+    ``max_tables`` (optional) bounds the number of resident power
+    tables; inserting past the bound evicts the least recently used
+    table (and its packed mirror) and bumps ``evictions``.
+    """
+
+    def __init__(self, max_tables: int | None = None) -> None:
+        if max_tables is not None and max_tables < 1:
+            raise NTTError(
+                f"max_tables must be >= 1 when set, got {max_tables}")
+        self.max_tables = max_tables
+        self._tables: OrderedDict[tuple[int, int, int], list[int]] = \
+            OrderedDict()
         self._bitrev: dict[int, list[int]] = {}
         self._packed: dict[tuple[int, int, int], object] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.generated_entries = 0
 
     def powers(self, field: PrimeField, root: int, count: int) -> list[int]:
         """Return ``[1, root, root^2, ..., root^(count-1)]`` mod p."""
         key = (field.modulus, root, count)
         table = self._tables.get(key)
         if table is None:
+            self.misses += 1
             table = vec_pow_series(field, root, count)
+            self.generated_entries += count
             self._tables[key] = table
+            self._evict_over_bound()
+        else:
+            self.hits += 1
+            self._tables.move_to_end(key)
         return table
+
+    def _evict_over_bound(self) -> None:
+        if self.max_tables is None:
+            return
+        while len(self._tables) > self.max_tables:
+            key, _ = self._tables.popitem(last=False)
+            self._packed.pop(key, None)
+            self.evictions += 1
 
     def packed_powers(self, field: PrimeField, root: int, count: int, pack):
         """:meth:`powers`, packed by ``pack`` into a lane-backend array.
@@ -64,6 +102,10 @@ class TwiddleCache:
             packed = pack(self.powers(field, root, count))
             self._packed[key] = packed
         return packed
+
+    def contains(self, field: PrimeField, root: int, count: int) -> bool:
+        """Whether a power table is resident (no counter side effects)."""
+        return (field.modulus, root, count) in self._tables
 
     def forward(self, field: PrimeField, n: int) -> list[int]:
         """Powers of the primitive n-th root (half-table, n/2 entries)."""
@@ -82,17 +124,32 @@ class TwiddleCache:
         return perm
 
     def clear(self) -> None:
-        """Drop all cached tables (used by memory-pressure tests)."""
+        """Drop all cached tables (used by memory-pressure tests).
+
+        Counters survive a clear: they describe the cache's lifetime
+        service history, not its current occupancy.
+        """
         self._tables.clear()
         self._bitrev.clear()
         self._packed.clear()
 
+    def reset_stats(self) -> None:
+        """Zero the hit/miss/eviction counters (tables stay resident)."""
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.generated_entries = 0
+
     def stats(self) -> dict[str, int]:
-        """Cache occupancy, in tables and total entries."""
+        """Cache occupancy and service counters (sorted keys)."""
         return {
-            "tables": len(self._tables),
-            "entries": sum(len(t) for t in self._tables.values()),
             "bitrev_tables": len(self._bitrev),
+            "entries": sum(len(t) for t in self._tables.values()),
+            "evictions": self.evictions,
+            "generated_entries": self.generated_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "tables": len(self._tables),
         }
 
 

@@ -1,0 +1,39 @@
+"""Proof-serving layer: deterministic request scheduling and batching.
+
+The subsystem the ZK-prover story needs on top of raw transforms: a
+server that accepts a stream of NTT requests, coalesces compatible ones
+into cross-request batches, reuses plans and twiddle tables across
+requests, and prices every decision — admission, planning, staging,
+retries — in the same analytic cost model as the engines themselves.
+
+Entry points:
+
+* :class:`ProofServer` — the scheduler (`serve(requests) -> ServeReport`);
+* :func:`generate_workload` / :func:`workload_from_json` — workloads;
+* :class:`ServeReport` — latency percentiles, batching and cache
+  statistics, and cost-model folding for a completed run.
+"""
+
+from repro.serve.cache import (
+    PLAN_MISS_MESSAGES, STRATEGIES, PlanCache, PlanEntry, TwiddleLedger,
+)
+from repro.serve.clock import VirtualClock
+from repro.serve.queue import AdmissionQueue
+from repro.serve.report import DispatchRecord, ServeReport, percentile
+from repro.serve.request import DIRECTIONS, ProofRequest, RequestResult
+from repro.serve.scheduler import (
+    DISPATCH_MESSAGES, REJECT_MESSAGES, ProofServer,
+)
+from repro.serve.workload import (
+    WorkloadSpec, generate_workload, workload_from_json, workload_to_json,
+)
+
+__all__ = [
+    "DIRECTIONS", "DISPATCH_MESSAGES", "PLAN_MISS_MESSAGES",
+    "REJECT_MESSAGES", "STRATEGIES",
+    "AdmissionQueue", "DispatchRecord", "PlanCache", "PlanEntry",
+    "ProofRequest", "ProofServer", "RequestResult", "ServeReport",
+    "TwiddleLedger", "VirtualClock", "WorkloadSpec",
+    "generate_workload", "percentile", "workload_from_json",
+    "workload_to_json",
+]

@@ -1,0 +1,76 @@
+"""Admission control and deadline-aware ordering for the serving queue.
+
+The queue is the backpressure mechanism: it holds at most ``capacity``
+requests, refuses the rest (the server prices every refusal — a real
+front door does work to say no), and always surfaces work in
+earliest-deadline-first order with priority and arrival as tie-breaks.
+Batch extraction pulls the most urgent request plus every compatible
+queued request (same field, size, and direction) up to the batch bound,
+so urgency decides *what* runs and compatibility decides *how much*
+rides along.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ServeError
+from repro.serve.request import ProofRequest
+
+__all__ = ["AdmissionQueue"]
+
+
+class AdmissionQueue:
+    """A bounded queue ordered by deadline urgency."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ServeError(f"queue capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._items: list[ProofRequest] = []
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def empty(self) -> bool:
+        return not self._items
+
+    @property
+    def full(self) -> bool:
+        return len(self._items) >= self.capacity
+
+    def offer(self, request: ProofRequest) -> bool:
+        """Admit ``request`` unless the queue is full; True if admitted."""
+        if self.full:
+            return False
+        self._items.append(request)
+        return True
+
+    def peek_urgent(self) -> ProofRequest:
+        """The request EDF ordering serves next (queue unchanged)."""
+        if not self._items:
+            raise ServeError("peek_urgent on an empty queue")
+        return min(self._items, key=ProofRequest.urgency_key)
+
+    def take_batch(self, max_requests: int,
+                   batching: bool = True) -> list[ProofRequest]:
+        """Remove and return the next dispatch group.
+
+        The group is led by the most urgent request; with ``batching``
+        enabled, up to ``max_requests - 1`` further requests sharing its
+        shape key join it, themselves in urgency order.
+        """
+        if max_requests < 1:
+            raise ServeError(
+                f"max_requests must be >= 1, got {max_requests}")
+        head = self.peek_urgent()
+        if not batching or max_requests == 1:
+            self._items.remove(head)
+            return [head]
+        key = head.shape_key()
+        compatible = sorted(
+            (r for r in self._items if r.shape_key() == key),
+            key=ProofRequest.urgency_key)
+        group = compatible[:max_requests]
+        for request in group:
+            self._items.remove(request)
+        return group

@@ -1,0 +1,334 @@
+"""The proof-serving scheduler: a deterministic request-serving loop.
+
+:class:`ProofServer` turns a stream of
+:class:`~repro.serve.request.ProofRequest` records into completed
+transforms over one simulated machine.  The loop is a discrete-event
+simulation on a :class:`~repro.serve.clock.VirtualClock` — no wall
+time anywhere — so the same workload replays bit-identically:
+
+1. **Admit** every request whose arrival time has passed into the
+   bounded :class:`~repro.serve.queue.AdmissionQueue`; refuse (and
+   price the refusal) when the queue is full.
+2. **Coalesce** the most urgent request with every compatible queued
+   request (same field, size, direction) into one cross-request batch.
+3. **Plan** via the keyed :class:`~repro.serve.cache.PlanCache`:
+   choose ``replicate`` vs ``split`` by modeled batch seconds, with
+   misses priced at :data:`~repro.serve.cache.PLAN_MISS_MESSAGES`.
+4. **Stage twiddles** via the shared
+   :class:`~repro.serve.cache.TwiddleLedger`: the first dispatch of a
+   shape pays the table generation; later ones are charged zero
+   recompute.
+5. **Dispatch** through
+   :class:`~repro.multigpu.batch_engine.BatchedDistributedNTT` against
+   the shared simulated cluster, retrying transient faults with
+   exponential backoff (every wasted attempt and every backoff wait is
+   priced into that dispatch's duration).
+6. **Advance** the clock by the dispatch's modeled duration and record
+   per-request results.
+
+Every decision emits a ``serve``-level trace event into the server's
+shared trace, so :mod:`repro.analysis.tracecheck` can audit a serving
+run exactly like any other execution.
+"""
+
+from __future__ import annotations
+
+from repro.errors import (
+    ServeError, ShardCorruptionError, TransientCommError,
+)
+from repro.field.prime_field import PrimeField
+from repro.hw.cost import CostModel, Phase, Step
+from repro.hw.machines import DGX_A100
+from repro.hw.model import MachineModel
+from repro.multigpu.batch_engine import BatchedDistributedNTT
+from repro.serve.cache import PLAN_MISS_MESSAGES, PlanCache, TwiddleLedger
+from repro.serve.clock import VirtualClock
+from repro.serve.queue import AdmissionQueue
+from repro.serve.report import DispatchRecord, ServeReport
+from repro.serve.request import ProofRequest, RequestResult
+from repro.sim.cluster import SimCluster
+from repro.sim.trace import Trace, TraceEvent
+
+__all__ = ["DISPATCH_MESSAGES", "REJECT_MESSAGES", "ProofServer"]
+
+#: Fabric latency units of fixed per-dispatch overhead (host-side batch
+#: assembly plus the kernel-launch train).  This is the cost batching
+#: amortizes: one coalesced dispatch of eight requests pays it once,
+#: eight one-at-a-time dispatches pay it eight times.
+DISPATCH_MESSAGES = 32
+
+#: Fabric latency units one refused request costs — the front door does
+#: work to say no (a real admission controller still parses, checks,
+#: and answers the request it sheds).
+REJECT_MESSAGES = 1
+
+
+class ProofServer:
+    """Deterministic serving of transform requests on one machine.
+
+    Parameters
+    ----------
+    machine:
+        Machine preset the run is priced on (default DGX-A100).
+    queue_capacity:
+        Admission bound; arrivals beyond it are rejected (and priced).
+    max_batch_requests:
+        Most requests one cross-request batch may coalesce.
+    batching:
+        ``False`` serves strictly one request per dispatch — the
+        baseline arm of the f21 benchmark.
+    caching:
+        ``False`` rebuilds plans and twiddles from scratch for every
+        dispatch (so misses recur); the other f21 baseline knob.
+    strategy:
+        Pin ``"replicate"`` or ``"split"`` instead of letting the plan
+        cache choose per batch.
+    twiddle_capacity:
+        LRU bound on resident twiddle tables (``None`` = unbounded).
+    max_attempts:
+        Bounded-retry limit per dispatch under injected faults.
+    backoff_messages:
+        Base fabric-latency units of exponential retry backoff.
+    injector:
+        Optional :class:`~repro.sim.faults.FaultInjector`; installed on
+        the shared cluster so its collective counter spans the whole
+        serving run (faults land mid-stream).
+    """
+
+    def __init__(self, machine: MachineModel = DGX_A100, *,
+                 queue_capacity: int = 64,
+                 max_batch_requests: int = 16,
+                 batching: bool = True,
+                 caching: bool = True,
+                 strategy: str | None = None,
+                 twiddle_capacity: int | None = None,
+                 max_attempts: int = 3,
+                 backoff_messages: int = 4,
+                 injector=None) -> None:
+        if max_batch_requests < 1:
+            raise ServeError(
+                f"max_batch_requests must be >= 1, got {max_batch_requests}")
+        if max_attempts < 1:
+            raise ServeError(
+                f"max_attempts must be >= 1, got {max_attempts}")
+        if backoff_messages < 0:
+            raise ServeError(
+                f"backoff_messages must be >= 0, got {backoff_messages}")
+        self.machine = machine
+        self.queue_capacity = queue_capacity
+        self.max_batch_requests = max_batch_requests
+        self.batching = batching
+        self.caching = caching
+        self.strategy = strategy
+        self.twiddle_capacity = twiddle_capacity
+        self.max_attempts = max_attempts
+        self.backoff_messages = backoff_messages
+        self.injector = injector
+        self.trace = Trace()
+        self.plan_cache = PlanCache()
+        self.twiddles = TwiddleLedger(max_tables=twiddle_capacity)
+        self._clusters: dict[str, SimCluster] = {}
+        self._batch_id = 0
+
+    # -- infrastructure ------------------------------------------------------
+
+    def _cluster(self, field: PrimeField) -> SimCluster:
+        """One shared cluster per field, all writing the server's trace."""
+        cluster = self._clusters.get(field.name)
+        if cluster is None:
+            cluster = SimCluster(field, self.machine.gpu_count,
+                                 trace=self.trace,
+                                 injector=self.injector)
+            # Under fault injection, verify every exchange with the
+            # random-linear-probe checksums so silent in-flight
+            # corruption surfaces as ShardCorruptionError and is
+            # retried rather than served.
+            cluster.checksum_exchanges = self.injector is not None
+            self._clusters[field.name] = cluster
+        return cluster
+
+    def _serve_event(self, kind: str, detail: str) -> None:
+        self.trace.record(TraceEvent(kind=kind, level="serve",
+                                     detail=detail))
+
+    # -- the loop ------------------------------------------------------------
+
+    def serve(self, requests: list[ProofRequest]) -> ServeReport:
+        """Run the workload to completion; returns the full account."""
+        ids = [r.request_id for r in requests]
+        if len(set(ids)) != len(ids):
+            raise ServeError("workload has duplicate request ids")
+        pending = sorted(requests,
+                         key=lambda r: (r.arrival_s, r.request_id))
+        clock = VirtualClock()
+        queue = AdmissionQueue(self.queue_capacity)
+        report = ServeReport(machine_name=self.machine.name,
+                             offered=len(requests))
+        next_arrival = 0
+
+        while True:
+            # 1. admit everything that has arrived by now.
+            while (next_arrival < len(pending)
+                   and pending[next_arrival].arrival_s <= clock.now_s):
+                request = pending[next_arrival]
+                next_arrival += 1
+                if queue.offer(request):
+                    report.accepted += 1
+                    self._serve_event(
+                        "serve-accept",
+                        f"request={request.request_id} "
+                        f"queue={len(queue)}/{queue.capacity}")
+                else:
+                    report.rejected += 1
+                    report.rejection_s += self._rejection_seconds(request)
+                    self._serve_event(
+                        "serve-reject",
+                        f"request={request.request_id} queue-full "
+                        f"capacity={queue.capacity}")
+
+            if queue.empty:
+                if next_arrival >= len(pending):
+                    break  # drained: nothing queued, nothing to come
+                clock.advance_to(pending[next_arrival].arrival_s)
+                continue
+
+            # 2. pull the next dispatch group (EDF head + compatible).
+            group = queue.take_batch(self.max_batch_requests,
+                                     batching=self.batching)
+            self._dispatch(group, clock, report)
+
+        report.makespan_s = clock.now_s
+        return report
+
+    def _rejection_seconds(self, request: ProofRequest) -> float:
+        model = CostModel(self.machine, request.field)
+        return model.estimate([Phase(name="serve-reject",
+                                     messages=REJECT_MESSAGES)]).total_s
+
+    # -- dispatch ------------------------------------------------------------
+
+    def _dispatch(self, group: list[ProofRequest], clock: VirtualClock,
+                  report: ServeReport) -> None:
+        head = group[0]
+        field = head.field
+        n = head.n
+        vectors_per_request = [r.batch for r in group]
+        total_vectors = sum(vectors_per_request)
+        batch_id = self._batch_id
+        self._batch_id += 1
+
+        # Fresh caches per dispatch when caching is disabled, so the
+        # planning and twiddle misses recur honestly.
+        plan_cache = self.plan_cache if self.caching else PlanCache()
+        twiddles = self.twiddles if self.caching \
+            else TwiddleLedger(max_tables=self.twiddle_capacity)
+
+        entry, plan_misses = plan_cache.choose(
+            self.machine, field, head.log_size, total_vectors,
+            force=self.strategy)
+        plan_hits = len(("replicate", "split")) - plan_misses
+        report.plan_hits += plan_hits
+        report.plan_misses += plan_misses
+        self._serve_event(
+            "serve-cache",
+            f"batch={batch_id} plan-"
+            f"{'hit' if plan_misses == 0 else 'miss'} "
+            f"strategy={entry.strategy}")
+
+        twiddle_phase, twiddle_hit = twiddles.prepare(
+            field, n, head.direction)
+        if self.caching:
+            stats = twiddles.stats()
+            report.twiddle_hits = stats["hits"]
+            report.twiddle_misses = stats["misses"]
+            report.twiddle_evictions = stats["evictions"]
+        else:
+            report.twiddle_misses += twiddles.stats()["misses"]
+        self._serve_event(
+            "serve-cache",
+            f"batch={batch_id} twiddle-"
+            f"{'hit' if twiddle_hit else 'miss'} "
+            f"n={n} direction={head.direction}")
+
+        # Assemble the overhead phases this dispatch owes.
+        steps: list[Step] = [Phase(name="serve-dispatch-overhead",
+                                   messages=DISPATCH_MESSAGES)]
+        if plan_misses:
+            steps.append(Phase(name="serve-plan-miss",
+                               messages=plan_misses * PLAN_MISS_MESSAGES))
+        if twiddle_phase is not None:
+            steps.append(twiddle_phase)
+
+        cluster = self._cluster(field)
+        engine = BatchedDistributedNTT(cluster, strategy=entry.strategy,
+                                       tile=entry.tile)
+        profile = list(engine.forward_profile(n, total_vectors))
+        steps.extend(profile)
+
+        self._serve_event(
+            "serve-dispatch",
+            f"batch={batch_id} requests={len(group)} "
+            f"vectors={total_vectors} strategy={entry.strategy} "
+            f"n={n} field={field.name}")
+
+        # 3. run, retrying transient faults from the host-side inputs.
+        batch_inputs: list[list[int]] = []
+        for request in group:
+            batch_inputs.extend(request.vectors())
+        outputs: list[list[int]] | None = None
+        attempts = 0
+        while outputs is None:
+            attempts += 1
+            try:
+                if head.direction == "inverse":
+                    outputs = engine.inverse(batch_inputs)
+                else:
+                    outputs = engine.forward(batch_inputs)
+            except (TransientCommError, ShardCorruptionError) as error:
+                report.retries += 1
+                # The wasted attempt is charged in full (deliberate
+                # upper bound), plus an exponential backoff wait.
+                steps.extend(profile)
+                backoff = self.backoff_messages * (1 << (attempts - 1))
+                if backoff:
+                    steps.append(Phase(name="serve-retry-backoff",
+                                       messages=backoff))
+                self.trace.record(TraceEvent(
+                    kind="retry", level="resilience",
+                    detail=f"batch={batch_id} attempt={attempts} "
+                           f"{type(error).__name__}"))
+                if attempts >= self.max_attempts:
+                    raise ServeError(
+                        f"batch {batch_id} failed after {attempts} "
+                        f"attempts: {error}") from error
+
+        duration = CostModel(self.machine, field).estimate(steps).total_s
+        start = clock.now_s
+        clock.advance_by(duration)
+
+        report.dispatches.append(DispatchRecord(
+            batch_id=batch_id, field_name=field.name,
+            log_size=head.log_size, direction=head.direction,
+            strategy=entry.strategy, requests=len(group),
+            vectors=total_vectors, duration_s=duration,
+            attempts=attempts, steps=tuple(steps)))
+
+        # 4. slice outputs back to their requests and record results.
+        cursor = 0
+        for request in group:
+            lanes = outputs[cursor:cursor + request.batch]
+            cursor += request.batch
+            result = RequestResult(
+                request=request,
+                outputs=tuple(tuple(lane) for lane in lanes),
+                start_s=start, finish_s=clock.now_s,
+                batch_id=batch_id, strategy=entry.strategy,
+                shared_batch=len(group))
+            report.results.append(result)
+            report.completed += 1
+            if not result.deadline_met:
+                report.deadline_misses += 1
+        self._serve_event(
+            "serve-complete",
+            f"batch={batch_id} finish={clock.now_s:.6e} "
+            f"attempts={attempts}")

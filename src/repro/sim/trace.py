@@ -86,6 +86,21 @@ EVENT_KINDS: dict[str, KindSpec] = {
     "verify": KindSpec(
         collective=True,
         description="algebraic shard check (random-linear probe)"),
+    "serve-accept": KindSpec(
+        collective=False,
+        description="request admitted to the serving queue"),
+    "serve-reject": KindSpec(
+        collective=False,
+        description="request turned away by admission control"),
+    "serve-dispatch": KindSpec(
+        collective=False,
+        description="cross-request batch handed to an engine"),
+    "serve-complete": KindSpec(
+        collective=False,
+        description="dispatched batch finished; requests retired"),
+    "serve-cache": KindSpec(
+        collective=False,
+        description="plan/twiddle cache consult (hit or miss)"),
 }
 
 

@@ -150,3 +150,57 @@ class TestFaultResolution:
                                 max_bytes_per_gpu=8, total_bytes=32))
         schedule = build_unintt_schedule(256, 4, EB)
         assert check_trace(trace, schedule=schedule) == []
+
+
+class TestServeDanglingDispatch:
+    def test_paired_dispatch_and_complete_is_clean(self):
+        trace = Trace()
+        trace.record(TraceEvent(kind="serve-dispatch", level="serve",
+                                detail="batch=0 requests=2"))
+        trace.record(TraceEvent(kind="serve-complete", level="serve",
+                                detail="batch=0 finish=1.0"))
+        assert check_trace(trace) == []
+
+    def test_dangling_dispatch_is_flagged(self):
+        trace = Trace()
+        trace.record(TraceEvent(kind="serve-dispatch", level="serve",
+                                detail="batch=0 requests=2"))
+        trace.record(TraceEvent(kind="serve-dispatch", level="serve",
+                                detail="batch=1 requests=1"))
+        trace.record(TraceEvent(kind="serve-complete", level="serve",
+                                detail="batch=0 finish=1.0"))
+        findings = check_trace(trace)
+        assert checks_of(findings) == {"trace.serve-dangling-dispatch"}
+        assert len(findings) == 1
+        assert "batch=1" in findings[0].message
+
+    def test_batches_pair_by_id_not_by_order(self):
+        trace = Trace()
+        trace.record(TraceEvent(kind="serve-dispatch", level="serve",
+                                detail="batch=0 requests=1"))
+        trace.record(TraceEvent(kind="serve-dispatch", level="serve",
+                                detail="batch=1 requests=1"))
+        trace.record(TraceEvent(kind="serve-complete", level="serve",
+                                detail="batch=1 finish=1.0"))
+        findings = check_trace(trace)
+        assert checks_of(findings) == {"trace.serve-dangling-dispatch"}
+        assert "batch=0" in findings[0].message
+
+    def test_accept_reject_cache_events_are_clean(self):
+        trace = Trace()
+        trace.record(TraceEvent(kind="serve-accept", level="serve",
+                                detail="request=0 queue=1/4"))
+        trace.record(TraceEvent(kind="serve-reject", level="serve",
+                                detail="request=1 queue-full capacity=4"))
+        trace.record(TraceEvent(kind="serve-cache", level="serve",
+                                detail="batch=0 plan-miss"))
+        assert check_trace(trace) == []
+
+    def test_serve_level_exempt_from_plan_comparison(self):
+        trace = run_forward()
+        trace.record(TraceEvent(kind="serve-dispatch", level="serve",
+                                detail="batch=0"))
+        trace.record(TraceEvent(kind="serve-complete", level="serve",
+                                detail="batch=0"))
+        schedule = build_unintt_schedule(256, 4, EB)
+        assert check_trace(trace, schedule=schedule) == []

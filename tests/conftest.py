@@ -1,5 +1,6 @@
 """Shared fixtures and hypothesis configuration."""
 
+import os
 import random
 
 import pytest
@@ -18,7 +19,17 @@ settings.register_profile(
     max_examples=25,
     suppress_health_check=[HealthCheck.too_slow],
 )
-settings.load_profile("repro")
+# The CI fuzz profile is fully derandomized: the same example sequence
+# every run, so a differential-fuzz failure in CI reproduces locally
+# with HYPOTHESIS_PROFILE=ci and is never a flake.
+settings.register_profile(
+    "ci",
+    deadline=None,
+    derandomize=True,
+    max_examples=50,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "repro"))
 
 
 @pytest.fixture

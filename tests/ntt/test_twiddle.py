@@ -74,8 +74,11 @@ class TestCache:
         assert stats["entries"] == 16
         assert stats["bitrev_tables"] == 1
         cache.clear()
-        assert cache.stats() == {"tables": 0, "entries": 0,
-                                 "bitrev_tables": 0}
+        stats = cache.stats()
+        assert (stats["tables"], stats["entries"],
+                stats["bitrev_tables"]) == (0, 0, 0)
+        # Counters survive a clear: they are lifetime service history.
+        assert stats["misses"] == 1
 
     def test_keyed_by_field_and_root(self):
         from repro.field import TEST_FIELD_97
@@ -84,3 +87,45 @@ class TestCache:
         cache.powers(TEST_FIELD_97, 2, 4)
         cache.powers(F, 3, 4)
         assert cache.stats()["tables"] == 3
+
+    def test_hit_miss_counts_pinned(self):
+        """Repeated identical shapes must hit; hits generate nothing."""
+        cache = TwiddleCache()
+        for _ in range(5):
+            cache.forward(F, 64)
+        cache.inverse(F, 64)
+        cache.inverse(F, 64)
+        stats = cache.stats()
+        assert stats["misses"] == 2   # one forward table, one inverse
+        assert stats["hits"] == 5     # 4 forward re-uses + 1 inverse
+        # Generation work equals the missed tables' entries exactly:
+        # a hit is charged zero recompute.
+        assert stats["generated_entries"] == 32 + 32
+
+    def test_lru_eviction_accounting(self):
+        cache = TwiddleCache(max_tables=2)
+        cache.powers(F, 2, 4)
+        cache.powers(F, 3, 4)
+        cache.powers(F, 2, 4)   # touch: 2 becomes most recent
+        cache.powers(F, 5, 4)   # evicts root-3 table (LRU)
+        stats = cache.stats()
+        assert stats["evictions"] == 1
+        assert stats["tables"] == 2
+        assert cache.contains(F, 2, 4)
+        assert not cache.contains(F, 3, 4)
+        cache.powers(F, 3, 4)   # regenerating the evicted table misses
+        assert cache.stats()["misses"] == 4
+
+    def test_max_tables_validation(self):
+        with pytest.raises(NTTError, match="max_tables"):
+            TwiddleCache(max_tables=0)
+
+    def test_reset_stats_keeps_tables(self):
+        cache = TwiddleCache()
+        cache.forward(F, 16)
+        cache.reset_stats()
+        stats = cache.stats()
+        assert stats["hits"] == stats["misses"] == 0
+        assert stats["tables"] == 1
+        cache.forward(F, 16)
+        assert cache.stats()["hits"] == 1

@@ -1,0 +1,107 @@
+"""Chaos x serve: injected faults mid-stream must stay contained.
+
+A transient collective fault landing inside one dispatch must not
+corrupt any other queued request, every completed output must stay
+bit-exact, and the retry must be *priced* — the faulted dispatch is
+strictly more expensive than an identical clean one, and the report
+says so.
+"""
+
+import pytest
+
+from repro.analysis import check_trace
+from repro.errors import ServeError
+from repro.field import GOLDILOCKS
+from repro.hw import DGX_A100
+from repro.ntt import ntt
+from repro.serve import ProofRequest, ProofServer
+from repro.sim import FaultInjector, FaultPlan
+
+
+def _workload(count=4, log_size=8):
+    # Staggered arrivals: one dispatch per request, so the fault lands
+    # mid-stream with requests still queued behind it.
+    return [ProofRequest(request_id=i, field_name="Goldilocks",
+                         log_size=log_size, arrival_s=i * 1.0)
+            for i in range(count)]
+
+
+def _server(plan=None, **kwargs):
+    injector = None if plan is None else FaultInjector(
+        plan, GOLDILOCKS.modulus)
+    # split strategy so dispatches actually run collectives the
+    # injector can gate; batching off so each request is one dispatch.
+    return ProofServer(DGX_A100, strategy="split", batching=False,
+                       injector=injector, **kwargs)
+
+
+def test_transient_fault_mid_stream_is_contained_and_priced():
+    plan = FaultPlan.from_specs(["transient-comm@2:count=1"])
+    faulted = _server(plan).serve(_workload())
+    clean = _server().serve(_workload())
+
+    # Every request completed and stayed bit-exact.
+    assert faulted.completed == 4
+    for result in faulted.results:
+        for lane, out in zip(result.request.vectors(), result.outputs):
+            assert list(out) == ntt(GOLDILOCKS, lane), (
+                "a fault in one dispatch corrupted another request")
+
+    # Exactly one dispatch retried, and the retry was priced.
+    assert faulted.retries == 1
+    attempts = [d.attempts for d in faulted.dispatches]
+    assert sorted(attempts) == [1, 1, 1, 2]
+    hit = next(d for d in faulted.dispatches if d.attempts == 2)
+    twin = next(d for d in clean.dispatches
+                if d.batch_id == hit.batch_id)
+    assert hit.duration_s > twin.duration_s
+    # (The makespan may hide the retry in an idle arrival gap, but the
+    # total modeled service time cannot.)
+    assert faulted.modeled_busy_s() > clean.modeled_busy_s()
+
+    # The other dispatches cost exactly what they cost fault-free.
+    for record in faulted.dispatches:
+        if record.attempts == 1 and record.batch_id > 0:
+            twin = next(d for d in clean.dispatches
+                        if d.batch_id == record.batch_id)
+            assert record.duration_s == twin.duration_s
+
+
+def test_faulted_run_replays_bit_identically():
+    plan = FaultPlan.from_specs(["transient-comm@1:count=1"])
+    a = _server(plan).serve(_workload(3))
+    b = _server(plan).serve(_workload(3))
+    assert a.to_json() == b.to_json()
+    assert [r.outputs for r in a.results] == [r.outputs for r in b.results]
+
+
+def test_faulted_serve_trace_passes_tracecheck():
+    # The retry event answers the fault, so the unresolved-fault rule
+    # and the serve dispatch/complete pairing must both hold.
+    plan = FaultPlan.from_specs(["transient-comm@2:count=1"])
+    server = _server(plan)
+    server.serve(_workload())
+    assert check_trace(server.trace) == []
+    details = [e.detail for e in server.trace.events
+               if e.kind == "retry"]
+    assert len(details) == 1 and "TransientCommError" in details[0]
+
+
+def test_exhausted_retries_raise_serve_error():
+    # Three consecutive transient faults against two attempts: the
+    # dispatch cannot complete and the server reports the failure.
+    plan = FaultPlan.from_specs(["transient-comm@0:count=3"])
+    with pytest.raises(ServeError):
+        _server(plan, max_attempts=2).serve(_workload(1))
+
+
+def test_corruption_is_detected_retried_and_survives():
+    plan = FaultPlan.from_specs(["corrupt-shard@1:gpu=1,delta=13"])
+    server = _server(plan)
+    report = server.serve(_workload(3))
+    assert report.completed == 3
+    assert report.retries >= 1
+    for result in report.results:
+        for lane, out in zip(result.request.vectors(), result.outputs):
+            assert list(out) == ntt(GOLDILOCKS, lane)
+    assert check_trace(server.trace) == []

@@ -1,0 +1,30 @@
+"""Virtual clock invariants: monotonic, exact, no wall time."""
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import VirtualClock
+
+
+def test_advances_exactly():
+    clock = VirtualClock()
+    assert clock.now_s == 0.0
+    clock.advance_by(1.5)
+    clock.advance_to(4.0)
+    assert clock.now_s == 4.0
+
+
+def test_never_rewinds():
+    clock = VirtualClock(start_s=2.0)
+    with pytest.raises(ServeError):
+        clock.advance_to(1.0)
+    with pytest.raises(ServeError):
+        clock.advance_by(-0.1)
+    assert clock.now_s == 2.0
+
+
+def test_advance_to_now_is_a_noop():
+    clock = VirtualClock(start_s=3.0)
+    clock.advance_to(3.0)
+    clock.advance_by(0.0)
+    assert clock.now_s == 3.0

@@ -1,0 +1,52 @@
+"""Admission queue: bounded capacity, EDF ordering, shape coalescing."""
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import AdmissionQueue, ProofRequest
+
+
+def _request(request_id, **overrides):
+    base = dict(request_id=request_id, field_name="Goldilocks", log_size=4)
+    base.update(overrides)
+    return ProofRequest(**base)
+
+
+def test_capacity_is_enforced():
+    queue = AdmissionQueue(2)
+    assert queue.offer(_request(0))
+    assert queue.offer(_request(1))
+    assert queue.full
+    assert not queue.offer(_request(2))
+    assert len(queue) == 2
+    with pytest.raises(ServeError):
+        AdmissionQueue(0)
+
+
+def test_edf_head_wins_over_arrival_order():
+    queue = AdmissionQueue(8)
+    queue.offer(_request(0))  # best effort, first in
+    queue.offer(_request(1, arrival_s=1.0, deadline_s=5.0))
+    assert queue.peek_urgent().request_id == 1
+    group = queue.take_batch(1)
+    assert [r.request_id for r in group] == [1]
+
+
+def test_take_batch_coalesces_only_compatible_shapes():
+    queue = AdmissionQueue(8)
+    queue.offer(_request(0, deadline_s=1.0))
+    queue.offer(_request(1))                       # same shape
+    queue.offer(_request(2, log_size=5))           # different size
+    queue.offer(_request(3, direction="inverse"))  # different direction
+    group = queue.take_batch(8)
+    assert [r.request_id for r in group] == [0, 1]
+    assert len(queue) == 2  # the incompatible ones stay queued
+
+
+def test_take_batch_respects_the_bound_and_batching_flag():
+    queue = AdmissionQueue(8)
+    for i in range(5):
+        queue.offer(_request(i))
+    assert len(queue.take_batch(3)) == 3
+    assert len(queue.take_batch(8, batching=False)) == 1
+    assert len(queue) == 1

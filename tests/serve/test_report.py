@@ -1,0 +1,58 @@
+"""ServeReport accounting: percentiles, folding, serialization."""
+
+import json
+
+import pytest
+
+from repro.errors import ServeError
+from repro.hw import DGX_A100
+from repro.serve import ProofServer, ProofRequest, percentile
+
+
+def test_percentile_is_nearest_rank():
+    values = [1.0, 2.0, 3.0, 4.0]
+    assert percentile(values, 0.0) == 1.0
+    assert percentile(values, 0.25) == 1.0
+    assert percentile(values, 0.5) == 2.0
+    assert percentile(values, 0.75) == 3.0
+    assert percentile(values, 1.0) == 4.0
+    assert percentile([], 0.5) == 0.0
+    with pytest.raises(ServeError):
+        percentile(values, 1.5)
+
+
+def _report():
+    workload = [
+        ProofRequest(request_id=0, field_name="Goldilocks", log_size=4),
+        ProofRequest(request_id=1, field_name="BabyBear", log_size=6,
+                     arrival_s=1.0),
+    ]
+    return ProofServer(DGX_A100).serve(workload)
+
+
+def test_breakdown_groups_by_field():
+    report = _report()
+    breakdown = report.breakdown_by_field(DGX_A100)
+    assert sorted(breakdown) == ["BabyBear", "Goldilocks"]
+    assert all(b.total_s > 0 for b in breakdown.values())
+
+
+def test_plan_cost_validates_and_matches_busy_time():
+    report = _report()
+    cost = report.plan_cost(DGX_A100)
+    cost.validate()
+    assert cost.total_s == pytest.approx(report.modeled_busy_s())
+
+
+def test_latency_includes_queueing_not_just_service():
+    report = _report()
+    for result in report.results:
+        assert result.latency_s >= result.finish_s - result.start_s
+
+
+def test_json_is_machine_readable_and_sorted():
+    payload = json.loads(_report().to_json())
+    assert payload["machine"] == "DGX-A100"
+    assert payload["completed"] == 2
+    assert "latency_percentiles_s" in payload
+    assert list(payload) == sorted(payload)

@@ -1,0 +1,56 @@
+"""ProofRequest validation, determinism, and ordering keys."""
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import ProofRequest
+
+
+def _request(**overrides):
+    base = dict(request_id=0, field_name="Goldilocks", log_size=4)
+    base.update(overrides)
+    return ProofRequest(**base)
+
+
+def test_validation_rejects_bad_requests():
+    with pytest.raises(ServeError):
+        _request(direction="sideways")
+    with pytest.raises(ServeError):
+        _request(log_size=0)
+    with pytest.raises(ServeError):
+        _request(batch=0)
+    with pytest.raises(ServeError):
+        _request(arrival_s=-1.0)
+    with pytest.raises(ServeError):
+        _request(arrival_s=2.0, deadline_s=1.0)
+    with pytest.raises(KeyError):
+        _request(field_name="NoSuchField")
+    # Size beyond the field's two-adicity cannot be transformed.
+    with pytest.raises(ServeError):
+        _request(field_name="GF(97)", log_size=6)
+
+
+def test_data_is_a_pure_function_of_seed_and_identity():
+    a = _request(request_id=7, data_seed=3, batch=2)
+    b = _request(request_id=7, data_seed=3, batch=2)
+    assert a.vectors() == b.vectors()
+    assert _request(request_id=8, data_seed=3).vectors() != \
+        _request(request_id=7, data_seed=3).vectors()
+    assert _request(request_id=7, data_seed=4).vectors() != \
+        _request(request_id=7, data_seed=3).vectors()
+
+
+def test_shape_key_ignores_scheduling_fields():
+    a = _request(request_id=1, priority=5, arrival_s=2.0, deadline_s=9.0)
+    b = _request(request_id=2)
+    assert a.shape_key() == b.shape_key()
+    assert a.shape_key() != _request(direction="inverse").shape_key()
+
+
+def test_urgency_is_deadline_first_then_priority_then_arrival():
+    deadline = _request(request_id=1, arrival_s=5.0, deadline_s=9.0)
+    best_effort = _request(request_id=2, arrival_s=0.0, priority=-10)
+    assert deadline.urgency_key() < best_effort.urgency_key()
+    early = _request(request_id=3, arrival_s=1.0)
+    late = _request(request_id=4, arrival_s=2.0)
+    assert early.urgency_key() < late.urgency_key()

@@ -1,0 +1,171 @@
+"""ProofServer behavior: batching, caching, backpressure, determinism."""
+
+import pytest
+
+from repro.analysis import check_trace
+from repro.errors import ServeError
+from repro.field import GOLDILOCKS
+from repro.hw import DGX_A100
+from repro.ntt import intt, ntt
+from repro.serve import (
+    ProofRequest, ProofServer, WorkloadSpec, generate_workload,
+)
+
+
+def _burst(count, log_size=4, **overrides):
+    base = dict(field_name="Goldilocks", log_size=log_size)
+    base.update(overrides)
+    return [ProofRequest(request_id=i, **base) for i in range(count)]
+
+
+def _staggered(count, gap_s, log_size=4, **overrides):
+    base = dict(field_name="Goldilocks", log_size=log_size)
+    base.update(overrides)
+    return [ProofRequest(request_id=i, arrival_s=i * gap_s, **base)
+            for i in range(count)]
+
+
+def test_outputs_are_bit_exact_both_directions():
+    for direction, reference in (("forward", ntt), ("inverse", intt)):
+        report = ProofServer(DGX_A100).serve(
+            _burst(3, direction=direction, batch=2))
+        assert report.completed == 3
+        for result in report.results:
+            for lane, out in zip(result.request.vectors(),
+                                 result.outputs):
+                assert list(out) == reference(GOLDILOCKS, lane)
+
+
+def test_batching_beats_one_at_a_time():
+    workload = _burst(8, log_size=10)
+    batched = ProofServer(DGX_A100).serve(workload)
+    solo = ProofServer(DGX_A100, batching=False,
+                       caching=False).serve(workload)
+    assert batched.batches == 1
+    assert solo.batches == 8
+    assert batched.throughput_rps() >= 1.5 * solo.throughput_rps()
+    assert batched.mean_batch_requests() == 8.0
+
+
+def test_replay_is_bit_identical():
+    workload = generate_workload(WorkloadSpec(
+        requests=7, log_sizes=(4, 6), directions=("forward", "inverse"),
+        mean_interarrival_s=1e-4, deadline_s=1e-2, seed=11))
+    a = ProofServer(DGX_A100).serve(workload)
+    b = ProofServer(DGX_A100).serve(workload)
+    assert a.to_json() == b.to_json()
+    assert [r.outputs for r in a.results] == [r.outputs for r in b.results]
+    assert [d.steps for d in a.dispatches] == [d.steps for d in b.dispatches]
+
+
+def test_backpressure_rejects_and_prices():
+    report = ProofServer(DGX_A100, queue_capacity=2).serve(_burst(5))
+    assert report.rejected == 3
+    assert report.accepted == 2
+    assert report.completed == 2
+    assert report.rejection_s > 0.0
+    cost = report.plan_cost(DGX_A100)
+    cost.validate()
+    assert cost.total_s >= report.rejection_s
+
+
+def test_edf_serves_the_tight_deadline_first():
+    # Two incompatible shapes arrive together; the one with a deadline
+    # must be dispatched first even though its id is higher.
+    best_effort = ProofRequest(request_id=0, field_name="Goldilocks",
+                               log_size=4)
+    urgent = ProofRequest(request_id=1, field_name="Goldilocks",
+                          log_size=5, deadline_s=1.0)
+    report = ProofServer(DGX_A100).serve([best_effort, urgent])
+    first, second = sorted(report.results, key=lambda r: r.finish_s)
+    assert first.request.request_id == 1
+    assert second.request.request_id == 0
+
+
+def test_deadline_misses_are_counted():
+    # A deadline far tighter than any modeled service time must miss.
+    workload = [ProofRequest(request_id=0, field_name="Goldilocks",
+                             log_size=10, deadline_s=1e-12)]
+    report = ProofServer(DGX_A100).serve(workload)
+    assert report.completed == 1
+    assert report.deadline_misses == 1
+    assert not report.results[0].deadline_met
+
+
+def test_caching_disabled_recomputes_every_dispatch():
+    workload = _staggered(4, gap_s=1.0)
+    cold = ProofServer(DGX_A100, caching=False).serve(workload)
+    warm = ProofServer(DGX_A100).serve(workload)
+    assert cold.batches == warm.batches == 4
+    # Cold: both strategies replanned and twiddles rebuilt per dispatch.
+    assert cold.plan_misses == 2 * cold.batches
+    assert cold.plan_hits == 0
+    assert cold.twiddle_misses == cold.batches
+    # Warm: misses only on the first dispatch, hits after.
+    assert warm.plan_misses == 2
+    assert warm.plan_hits == 2 * (warm.batches - 1)
+    assert warm.twiddle_misses == 1
+    assert warm.twiddle_hits == warm.batches - 1
+    assert warm.makespan_s < cold.makespan_s
+
+
+def test_twiddle_hits_charge_zero_recompute_in_dispatch_steps():
+    workload = _staggered(3, gap_s=1.0)
+    report = ProofServer(DGX_A100).serve(workload)
+    assert report.batches == 3
+    first, *rest = report.dispatches
+    assert any(step.name == "serve-twiddle-gen" for step in first.steps)
+    for record in rest:
+        assert all(step.name != "serve-twiddle-gen"
+                   for step in record.steps), (
+            "a twiddle hit was charged recompute")
+    # The later dispatches are cheaper by exactly the cached work.
+    assert rest[0].duration_s < first.duration_s
+    assert rest[0].duration_s == rest[1].duration_s
+
+
+def test_serve_trace_is_complete_and_clean():
+    server = ProofServer(DGX_A100, queue_capacity=2)
+    report = server.serve(_burst(4))
+    events = server.trace.events
+    kinds = [e.kind for e in events if e.level == "serve"]
+    assert kinds.count("serve-accept") == report.accepted
+    assert kinds.count("serve-reject") == report.rejected
+    assert kinds.count("serve-dispatch") == report.batches
+    assert kinds.count("serve-complete") == report.batches
+    assert kinds.count("serve-cache") == 2 * report.batches
+    assert check_trace(server.trace) == []
+
+
+def test_strategy_pinning_and_unknown_strategy():
+    workload = _burst(2, log_size=7)
+    pinned = ProofServer(DGX_A100, strategy="replicate").serve(workload)
+    assert pinned.strategy_counts() == {"replicate": 1}
+    with pytest.raises(ServeError):
+        # 2^4 = 16 < 8*8: split cannot run on the 8-GPU DGX-A100.
+        ProofServer(DGX_A100, strategy="split").serve(_burst(1))
+
+
+def test_duplicate_request_ids_are_rejected():
+    twice = [ProofRequest(request_id=0, field_name="Goldilocks",
+                          log_size=4),
+             ProofRequest(request_id=0, field_name="Goldilocks",
+                          log_size=5)]
+    with pytest.raises(ServeError):
+        ProofServer(DGX_A100).serve(twice)
+
+
+def test_constructor_validation():
+    with pytest.raises(ServeError):
+        ProofServer(DGX_A100, max_batch_requests=0)
+    with pytest.raises(ServeError):
+        ProofServer(DGX_A100, max_attempts=0)
+    with pytest.raises(ServeError):
+        ProofServer(DGX_A100, backoff_messages=-1)
+
+
+def test_empty_workload_serves_to_an_empty_report():
+    report = ProofServer(DGX_A100).serve([])
+    assert report.summary()["completed"] == 0
+    assert report.makespan_s == 0.0
+    assert report.latency_percentiles_s()["p99"] == 0.0

@@ -1,0 +1,82 @@
+"""Workload generation and (de)serialization."""
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import (
+    WorkloadSpec, generate_workload, workload_from_json, workload_to_json,
+)
+
+
+def test_generation_is_deterministic():
+    spec = WorkloadSpec(requests=6, log_sizes=(4, 5),
+                        field_names=("Goldilocks", "BabyBear"),
+                        mean_interarrival_s=1e-4, deadline_s=1e-3,
+                        priority_levels=3, seed=9)
+    a = generate_workload(spec)
+    b = generate_workload(spec)
+    assert a == b
+    assert a != generate_workload(WorkloadSpec(
+        requests=6, log_sizes=(4, 5),
+        field_names=("Goldilocks", "BabyBear"),
+        mean_interarrival_s=1e-4, deadline_s=1e-3,
+        priority_levels=3, seed=10))
+
+
+def test_rotation_and_deadlines():
+    spec = WorkloadSpec(requests=4, log_sizes=(4, 6),
+                        field_names=("Goldilocks",),
+                        directions=("forward", "inverse"),
+                        deadline_s=2.0, priority_levels=2)
+    workload = generate_workload(spec)
+    assert [r.log_size for r in workload] == [4, 6, 4, 6]
+    assert [r.direction for r in workload] == \
+        ["forward", "inverse", "forward", "inverse"]
+    assert [r.priority for r in workload] == [0, 1, 0, 1]
+    assert all(r.deadline_s == r.arrival_s + 2.0 for r in workload)
+
+
+def test_burst_when_interarrival_is_zero():
+    workload = generate_workload(WorkloadSpec(requests=5))
+    assert all(r.arrival_s == 0.0 for r in workload)
+
+
+def test_json_roundtrip_and_spec_form():
+    spec = WorkloadSpec(requests=3, log_sizes=(4,),
+                        mean_interarrival_s=1e-4, seed=2)
+    workload = generate_workload(spec)
+    assert workload_from_json(workload_to_json(workload)) == workload
+    from_spec = workload_from_json(
+        '{"spec": {"requests": 3, "log_sizes": [4], '
+        '"mean_interarrival_s": 1e-4, "seed": 2}}')
+    assert from_spec == workload
+
+
+def test_bad_json_is_a_serve_error():
+    with pytest.raises(ServeError):
+        workload_from_json("not json")
+    with pytest.raises(ServeError):
+        workload_from_json("[]")
+    with pytest.raises(ServeError):
+        workload_from_json('{"neither": 1}')
+    with pytest.raises(ServeError):
+        workload_from_json('{"spec": {"no_such_knob": 1}}')
+    with pytest.raises(ServeError):
+        workload_from_json('{"requests": [{"bogus_key": 1}]}')
+    # Spec knobs at the top level (forgot to nest under "spec"): the
+    # int hits the explicit-list branch and must fail cleanly.
+    with pytest.raises(ServeError, match="nest.*'spec'"):
+        workload_from_json('{"requests": 6, "log_sizes": [8]}')
+    with pytest.raises(ServeError, match="expected an object"):
+        workload_from_json('{"requests": [3]}')
+
+
+def test_spec_validation():
+    with pytest.raises(ServeError):
+        WorkloadSpec(requests=-1)
+    with pytest.raises(ServeError):
+        WorkloadSpec(log_sizes=())
+    with pytest.raises(ServeError):
+        WorkloadSpec(mean_interarrival_s=-1.0)
+    with pytest.raises(ServeError):
+        WorkloadSpec(priority_levels=0)

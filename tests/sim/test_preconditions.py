@@ -1,0 +1,83 @@
+"""Collective precondition memoization: validate once per shape.
+
+Repeated collectives of an identical shape (the common case: a batched
+or served run re-executes the same exchange pattern every dispatch)
+must not re-pay the O(G^2) precondition walk — but a shape must only
+enter the cache after its validation *passes*, so a bad collective is
+rejected every time it is offered.
+"""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.field import TEST_FIELD_7681
+from repro.sim import SimCluster
+
+F = TEST_FIELD_7681
+
+
+def _outboxes(cluster):
+    g = cluster.gpu_count
+    return [[[int(src * g + dst)] for dst in range(g)]
+            for src in range(g)]
+
+
+def test_all_to_all_hit_miss_counts_are_pinned():
+    cluster = SimCluster(F, 4)
+    for gpu in cluster.gpus:
+        gpu.load([0])
+    for _ in range(5):
+        cluster.all_to_all(_outboxes(cluster))
+    assert cluster.precondition_misses == 1
+    assert cluster.precondition_hits == 4
+
+
+def test_pairwise_hit_miss_counts_are_pinned():
+    cluster = SimCluster(F, 4)
+    for gpu in cluster.gpus:
+        gpu.load([1, 2])
+    partner = [1, 0, 3, 2]
+    for _ in range(3):
+        cluster.pairwise_exchange(partner, [[7], [8], [9], [10]])
+    assert cluster.precondition_misses == 1
+    assert cluster.precondition_hits == 2
+
+
+def test_distinct_shapes_are_distinct_cache_keys():
+    cluster = SimCluster(F, 4)
+    for gpu in cluster.gpus:
+        gpu.load([1, 2])
+    cluster.all_to_all(_outboxes(cluster))
+    cluster.pairwise_exchange([1, 0, 3, 2], [[7], [8], [9], [10]])
+    cluster.pairwise_exchange([3, 2, 1, 0], [[7], [8], [9], [10]])
+    assert cluster.precondition_misses == 3
+    assert cluster.precondition_hits == 0
+
+
+def test_invalid_shapes_are_never_cached():
+    cluster = SimCluster(F, 4)
+    for gpu in cluster.gpus:
+        gpu.load([1])
+    bad_partner = [1, 0, 3, 3]  # not an involution
+    for _ in range(3):
+        with pytest.raises(SimulationError):
+            cluster.pairwise_exchange(bad_partner, [[1], [2], [3], [4]])
+    # Rejected every time: the failing shape never produced a hit.
+    assert cluster.precondition_hits == 0
+    assert cluster.precondition_misses == 3
+
+
+def test_engine_reuse_actually_hits_the_cache():
+    from repro.multigpu import DistributedVector, UniNTTEngine
+
+    cluster = SimCluster(F, 4)
+    engine = UniNTTEngine(cluster)
+    import random
+    values = F.random_vector(64, random.Random(1))
+    for _ in range(3):
+        vec = DistributedVector.from_values(cluster, values,
+                                            engine.input_layout(64))
+        engine.forward(vec)
+    assert cluster.precondition_hits > 0
+    assert cluster.precondition_misses < \
+        cluster.precondition_hits + cluster.precondition_misses

@@ -169,3 +169,61 @@ class TestFaultInjectionCli:
 
     def test_f20_registered(self):
         assert "f20" in EXPERIMENTS
+
+
+class TestServe:
+    def test_serve_default_burst(self, capsys):
+        assert main(["serve", "--requests", "4", "--log-size", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "served 4/4" in out
+        assert "plan cache" in out
+        assert "latency" in out
+
+    def test_serve_verify_is_bit_exact(self, capsys):
+        assert main(["serve", "--requests", "3", "--log-size", "6",
+                     "--direction", "inverse", "--verify"]) == 0
+        assert "bit-exact" in capsys.readouterr().out
+
+    def test_serve_json(self, capsys):
+        import json
+
+        assert main(["serve", "--requests", "4", "--log-size", "6",
+                     "--json", "--verify"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["completed"] == 4
+        assert payload["verified"] is True
+        assert "latency_percentiles_s" in payload
+
+    def test_serve_workload_file(self, tmp_path, capsys):
+        path = tmp_path / "workload.json"
+        path.write_text('{"spec": {"requests": 3, "log_sizes": [6]}}')
+        assert main(["serve", "--workload", str(path)]) == 0
+        assert "served 3/3" in capsys.readouterr().out
+
+    def test_serve_with_fault_retries_and_verifies(self, capsys):
+        assert main(["serve", "--requests", "4", "--log-size", "8",
+                     "--strategy", "split",
+                     "--fault", "transient-comm@2", "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "retries 1" in out
+        assert "bit-exact" in out
+
+    def test_serve_backpressure_reports_rejections(self, capsys):
+        assert main(["serve", "--requests", "5", "--log-size", "6",
+                     "--queue-capacity", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "served 2/5" in out
+        assert "rejected 3" in out
+
+    def test_serve_bad_field_exits_2(self, capsys):
+        assert main(["serve", "--field", "NoSuchField"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_serve_mixed_field_fault_injection_exits_2(self, capsys):
+        assert main(["serve", "--requests", "2", "--log-size", "6",
+                     "--field", "Goldilocks", "--field", "BabyBear",
+                     "--fault", "transient-comm@0"]) == 2
+        assert "single-field" in capsys.readouterr().err
+
+    def test_f21_registered(self):
+        assert "f21" in EXPERIMENTS

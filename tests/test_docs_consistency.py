@@ -75,6 +75,46 @@ def test_resilience_guide_exists_and_covers_api():
             f"docs/RESILIENCE.md does not mention {needle}")
 
 
+def test_serving_guide_exists_and_covers_api():
+    path = os.path.join(DOCS, "SERVING.md")
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    for needle in ("ProofServer", "ProofRequest", "AdmissionQueue",
+                   "PlanCache", "TwiddleLedger", "ServeReport",
+                   "WorkloadSpec", "VirtualClock", "zero recompute",
+                   "repro serve", "f21",
+                   "trace.serve-dangling-dispatch"):
+        assert needle in text, f"docs/SERVING.md does not mention {needle}"
+
+
+def test_every_serve_trace_kind_is_documented():
+    from repro.sim.trace import EVENT_KINDS
+
+    path = os.path.join(DOCS, "SERVING.md")
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    serve_kinds = [kind for kind in EVENT_KINDS
+                   if kind.startswith("serve-")]
+    assert serve_kinds, "no serve-level trace kinds are registered"
+    missing = [kind for kind in serve_kinds if f"`{kind}`" not in text]
+    assert not missing, (
+        f"serve trace kinds {missing} are registered but not documented "
+        f"in docs/SERVING.md")
+
+
+def test_serving_guide_is_cross_linked():
+    import re
+
+    root = os.path.dirname(DOCS)
+    for name in (os.path.join(root, "README.md"),
+                 os.path.join(DOCS, "API.md"),
+                 os.path.join(DOCS, "REPRODUCING.md"),
+                 os.path.join(DOCS, "ANALYSIS.md")):
+        with open(name, encoding="utf-8") as handle:
+            assert re.search(r"SERVING\.md", handle.read()), (
+                f"{os.path.basename(name)} does not link to SERVING.md")
+
+
 def test_every_fault_kind_is_documented():
     from repro.sim.faults import FAULT_KINDS
 

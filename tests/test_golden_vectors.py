@@ -1,0 +1,97 @@
+"""Known-answer tests: committed golden NTT vectors per field preset.
+
+``tests/data/golden_ntt.json`` holds one input/spectrum pair per
+preset field, computed once by the O(n^2) reference DFT and committed.
+Unlike the differential fuzz harness (which checks implementations
+against each other at test time), these pin the answers themselves:
+if a field preset's modulus, generator, or root schedule silently
+changed, every transform would still agree internally — and every one
+of these tests would fail.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.field import field_by_name
+from repro.multigpu import (
+    BaselineFourStepEngine, DistributedVector, PairwiseExchangeEngine,
+    SingleGpuEngine, UniNTTEngine,
+)
+from repro.ntt import (
+    balanced_plan, four_step_ntt, idft, intt, ntt, ntt_radix4,
+    ntt_stockham, plan_ntt,
+)
+from repro.sim import SimCluster
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden_ntt.json"
+
+with GOLDEN_PATH.open(encoding="utf-8") as _handle:
+    GOLDEN = json.load(_handle)["vectors"]
+
+KERNELS = {
+    "radix2": ntt,
+    "radix4": ntt_radix4,
+    "stockham": ntt_stockham,
+    "fourstep": four_step_ntt,
+    "recursive": lambda f, x: plan_ntt(
+        f, balanced_plan(len(x), leaf_size=4), x),
+}
+
+ENGINES = {
+    "single": SingleGpuEngine,
+    "baseline": BaselineFourStepEngine,
+    "pairwise": PairwiseExchangeEngine,
+    "unintt": UniNTTEngine,
+}
+
+
+def _cases():
+    return [pytest.param(entry, id=entry["field"]) for entry in GOLDEN]
+
+
+def test_golden_file_covers_every_preset_field():
+    from repro.field import ALL_FIELDS
+
+    assert sorted(e["field"] for e in GOLDEN) == sorted(
+        f.name for f in ALL_FIELDS)
+
+
+@pytest.mark.parametrize("entry", _cases())
+def test_golden_vectors_are_self_consistent(entry):
+    """The committed spectrum inverts back to the committed input."""
+    field = field_by_name(entry["field"])
+    assert len(entry["input"]) == entry["n"]
+    assert idft(field, entry["forward"]) == entry["input"]
+
+
+@pytest.mark.parametrize("entry", _cases())
+@pytest.mark.parametrize("kernel", sorted(KERNELS), ids=str)
+def test_every_kernel_reproduces_golden(entry, kernel):
+    field = field_by_name(entry["field"])
+    got = KERNELS[kernel](field, list(entry["input"]))
+    assert got == entry["forward"], (
+        f"{kernel} no longer reproduces the committed {field.name} "
+        f"spectrum")
+
+
+@pytest.mark.parametrize("entry", _cases())
+@pytest.mark.parametrize("engine_name", sorted(ENGINES), ids=str)
+def test_every_engine_reproduces_golden(entry, engine_name):
+    field = field_by_name(entry["field"])
+    # G=2 keeps every engine runnable at n=16 (baseline needs 4*G*G).
+    cluster = SimCluster(field, 2)
+    engine = ENGINES[engine_name](cluster)
+    vec = DistributedVector.from_values(
+        cluster, list(entry["input"]), engine.input_layout(entry["n"]))
+    got = engine.forward(vec).to_values()
+    assert got == entry["forward"], (
+        f"{engine.name} no longer reproduces the committed "
+        f"{field.name} spectrum")
+
+
+@pytest.mark.parametrize("entry", _cases())
+def test_intt_inverts_golden(entry):
+    field = field_by_name(entry["field"])
+    assert intt(field, list(entry["forward"])) == entry["input"]
