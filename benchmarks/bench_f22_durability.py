@@ -1,0 +1,47 @@
+"""F22: crash recovery and graceful degradation.
+
+Runs the durability/degradation experiment twice over: the crash rows
+kill the journaled server at injected journal sequence numbers and
+replay to completion; the fault rows pit a retry-only server against
+the graceful-degradation controller under escalating fabric faults.
+The persisted report is the acceptance artifact for the crash-consistent
+serving layer: every crash-recovery row must merge bit-identically to
+the uninterrupted run with a clean trace, and at sustained fault rates
+the degraded arm must sustain strictly higher goodput than the
+retry-only arm (which is expected to die with retries exhausted).
+"""
+
+
+from repro.bench import durability_degradation
+
+
+def test_f22_durability_degradation(benchmark, emit):
+    table = benchmark.pedantic(durability_degradation,
+                               rounds=1, iterations=1)
+    emit("F22_durability",
+         "F22: crash recovery and graceful degradation", table)
+    headers, rows = table
+    scenario_col = headers.index("scenario")
+    outcome_col = headers.index("outcome")
+    goodput_col = headers.index("goodput req/s")
+    recovery_col = headers.index("recovery ms")
+
+    by_scenario = {row[scenario_col]: row for row in rows}
+
+    for scenario, row in by_scenario.items():
+        if "crash@" in scenario or "uninterrupted" in scenario:
+            assert row[outcome_col] == "bit-exact, clean trace", (
+                f"{scenario}: recovery diverged: {row[outcome_col]}")
+        if "crash@" in scenario:
+            assert float(row[recovery_col]) > 0.0, (
+                f"{scenario}: recovery downtime was not priced")
+
+    retry_only = by_scenario["faults sustained, retry-only"]
+    degraded = by_scenario["faults sustained, degraded"]
+    assert retry_only[outcome_col].startswith("FAILED"), (
+        "retry-only was expected to exhaust its retries under "
+        "sustained faults")
+    assert degraded[outcome_col] == "bit-exact, clean trace"
+    assert float(degraded[goodput_col]) > float(retry_only[goodput_col]), (
+        "degraded mode must sustain higher goodput than retry-only "
+        "under sustained faults")

@@ -12,10 +12,17 @@ those rules as AST visitors over ``src/repro/``:
   single-statement loops storing one into a subscript are all bulk
   operations that belong in ``repro.field.vector``.  Scalar ``%`` (an
   index computation, a single twiddle) is fine and not flagged.
-* ``lint.nondeterminism`` — inside ``sim/`` and ``multigpu/``, no
-  ``random.*`` (except constructing a seeded ``random.Random``) and no
-  ``time.*``: simulated results must be a pure function of their
-  inputs.
+* ``lint.nondeterminism`` — inside ``sim/``, ``multigpu/``, and
+  ``serve/``, no ``random.*`` (except constructing a seeded
+  ``random.Random``) and no ``time.*``: simulated results must be a
+  pure function of their inputs.
+* ``lint.dict-order`` — in the same packages, no loop or comprehension
+  may iterate directly over ``.values()``/``.items()``/``.keys()`` of
+  a shard/device/cluster/breaker map: those dicts are keyed by device
+  or engine, their insertion order depends on execution history, and
+  order-dependent iteration over them is exactly how replay divergence
+  sneaks in.  Wrapping the call in ``sorted(...)`` fixes the order and
+  the finding.
 * ``lint.mutable-default`` — repo-wide: no mutable default arguments.
 * ``lint.trace-kind`` — repo-wide: every literal ``kind=`` passed to
   ``TraceEvent`` must be registered in
@@ -45,7 +52,9 @@ CHECKS = (
     Check("lint.raw-mod", 1,
           "bulk modular arithmetic in multigpu/ bypassing FieldBackend"),
     Check("lint.nondeterminism", 1,
-          "unseeded random.* or time.* inside sim/ or multigpu/"),
+          "unseeded random.* or time.* inside sim/, multigpu/, or serve/"),
+    Check("lint.dict-order", 1,
+          "order-sensitive iteration over a shard/device map"),
     Check("lint.mutable-default", 1,
           "mutable default argument"),
     Check("lint.trace-kind", 1,
@@ -56,7 +65,17 @@ CHECKS = (
 HOT_PACKAGES = ("multigpu",)
 
 #: Sub-packages that must be bit-deterministic.
-DETERMINISTIC_PACKAGES = ("sim", "multigpu")
+DETERMINISTIC_PACKAGES = ("sim", "multigpu", "serve")
+
+#: Dict view methods whose iteration order is insertion order — i.e.
+#: execution history — rather than anything reproducible by key.
+_DICT_VIEW_METHODS = frozenset({"values", "items", "keys"})
+
+#: Receiver-name fragments marking a map keyed by device or engine
+#: (``self._breakers``, ``shard_map``, ``per_gpu`` ...); iterating one
+#: unsorted makes replay order depend on fault/arrival history.
+_ORDER_SENSITIVE_FRAGMENTS = ("shard", "gpu", "device", "cluster",
+                              "breaker", "engine")
 
 _MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set,
                      ast.ListComp, ast.DictComp, ast.SetComp)
@@ -88,6 +107,8 @@ class _FileLinter(ast.NodeVisitor):
                 "comprehension applies % element-wise; route it "
                 "through repro.field.vector (vec_mul/vec_scale/...)",
                 node)
+        for generator in node.generators:
+            self._check_dict_order(generator.iter)
         self.generic_visit(node)
 
     visit_ListComp = _check_comprehension
@@ -113,7 +134,41 @@ class _FileLinter(ast.NodeVisitor):
                     "lint.raw-mod",
                     "loop stores a % expression per element; this is a "
                     "vector sweep — use repro.field.vector", node)
+        self._check_dict_order(node.iter)
         self.generic_visit(node)
+
+    # -- lint.dict-order ------------------------------------------------------
+
+    def _check_dict_order(self, iter_node: ast.AST) -> None:
+        """Flag iteration straight over a shard-map's dict view.
+
+        Only the *direct* loop iterable is checked, so wrapping the
+        view in ``sorted(...)`` (which fixes the order) clears the
+        finding by construction.
+        """
+        if not self.deterministic:
+            return
+        if not (isinstance(iter_node, ast.Call)
+                and isinstance(iter_node.func, ast.Attribute)
+                and iter_node.func.attr in _DICT_VIEW_METHODS
+                and not iter_node.args and not iter_node.keywords):
+            return
+        receiver = iter_node.func.value
+        if isinstance(receiver, ast.Attribute):
+            name = receiver.attr
+        elif isinstance(receiver, ast.Name):
+            name = receiver.id
+        else:
+            return
+        lowered = name.lower()
+        if any(fragment in lowered
+               for fragment in _ORDER_SENSITIVE_FRAGMENTS):
+            self._flag(
+                "lint.dict-order",
+                f"iterating {name}.{iter_node.func.attr}() directly: "
+                "this map is keyed by device/engine and its insertion "
+                "order is execution history — wrap it in sorted(...)",
+                iter_node)
 
     # -- lint.nondeterminism ------------------------------------------------------
 

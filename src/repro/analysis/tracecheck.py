@@ -66,6 +66,12 @@ CHECKS = (
           "an injected fault has no retry/reshard resolution"),
     Check("trace.serve-dangling-dispatch", 1,
           "a serve-dispatch batch never reached serve-complete"),
+    Check("trace.unrecovered-crash", 1,
+          "a server-crash fault has no serve-recover, or vice versa"),
+    Check("trace.shed-and-completed", 1,
+          "a request was shed but its outputs were also emitted"),
+    Check("trace.journal-gap", 1,
+          "write-ahead journal sequence numbers are not contiguous"),
 )
 
 
@@ -171,6 +177,92 @@ def check_trace(trace: Trace,
             "trace.serve-dangling-dispatch",
             f"batch {tag!r} was dispatched but never completed",
             f"trace[{index}](serve-dispatch)"))
+
+    # Every simulated server crash must be answered — in order, one to
+    # one — by a later serve-recover event, and every serve-recover must
+    # answer a crash: a recovery out of nowhere means the journal was
+    # replayed against a run that never died.
+    open_crashes: list[tuple[int, TraceEvent]] = []
+    for index, event in enumerate(trace.events):
+        if event.kind == "fault" \
+                and event.detail.partition("@")[0] == "server-crash":
+            open_crashes.append((index, event))
+        elif event.kind == "serve-recover":
+            if open_crashes:
+                open_crashes.pop(0)
+            else:
+                findings.append(Finding(
+                    "trace.unrecovered-crash",
+                    f"serve-recover {event.detail!r} answers no "
+                    "server-crash fault",
+                    f"trace[{index}](serve-recover)"))
+    for index, event in open_crashes:
+        findings.append(Finding(
+            "trace.unrecovered-crash",
+            f"server crash {event.detail!r} was never answered by a "
+            "serve-recover event",
+            f"trace[{index}](fault)"))
+
+    # A shed request was refused service; its id must never appear in a
+    # completed batch's id list.  (serve-shed details lead with
+    # "request=<id>"; serve-dispatch details carry "ids=<id,...>" and
+    # lead with the batch tag serve-complete retires.)
+    shed_ids: dict[str, int] = {}
+    batch_ids: dict[str, list[str]] = {}
+    completed_ids: set[str] = set()
+    for index, event in enumerate(trace.events):
+        if event.level != SERVE_LEVEL:
+            continue
+        if event.kind == "serve-shed":
+            token = event.detail.split(" ", 1)[0]
+            if token.startswith("request="):
+                shed_ids.setdefault(
+                    token.partition("=")[2], index)
+        elif event.kind == "serve-dispatch":
+            tag = event.detail.split(" ", 1)[0]
+            for token in event.detail.split(" "):
+                if token.startswith("ids="):
+                    batch_ids[tag] = token.partition("=")[2].split(",")
+        elif event.kind == "serve-complete":
+            tag = event.detail.split(" ", 1)[0]
+            completed_ids.update(batch_ids.get(tag, []))
+    for request_id in sorted(set(shed_ids) & completed_ids,
+                             key=lambda rid: shed_ids[rid]):
+        findings.append(Finding(
+            "trace.shed-and-completed",
+            f"request {request_id} was shed by the degradation "
+            "controller but its batch also completed",
+            f"trace[{shed_ids[request_id]}](serve-shed)"))
+
+    # Journal appends must be gapless: each serve-journal event carries
+    # "seq=<n>", and within one trace the sequence must advance by
+    # exactly one.  A serve-recover event ("journal-seq=<crash>") resets
+    # the expectation to the crash point plus one — the recovery leg's
+    # first append lands right after the record the crash interrupted.
+    expected_seq: int | None = None
+    for index, event in enumerate(trace.events):
+        if event.kind == "serve-recover":
+            token = event.detail.split(" ", 1)[0]
+            if token.startswith("journal-seq="):
+                try:
+                    expected_seq = int(token.partition("=")[2]) + 1
+                except ValueError:
+                    pass
+        elif event.kind == "serve-journal":
+            token = event.detail.split(" ", 1)[0]
+            if not token.startswith("seq="):
+                continue
+            try:
+                seq = int(token.partition("=")[2])
+            except ValueError:
+                continue
+            if expected_seq is not None and seq != expected_seq:
+                findings.append(Finding(
+                    "trace.journal-gap",
+                    f"journal append carries seq {seq}, expected "
+                    f"{expected_seq} (records lost or reordered)",
+                    f"trace[{index}](serve-journal)"))
+            expected_seq = seq + 1
 
     if schedule is not None:
         expected = schedule.bytes_by_level()

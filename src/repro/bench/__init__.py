@@ -7,7 +7,7 @@ from repro.bench.reporting import (
 )
 from repro.bench.runners import (
     ablation, backend_comparison, batch_throughput, comm_breakdown,
-    end_to_end,
+    durability_degradation, end_to_end,
     headline_speedups, interconnect_sensitivity, multi_gpu_scaling,
     multi_node_scaling,
     platforms_table, resilience_overhead, serving_throughput,
@@ -29,5 +29,6 @@ __all__ = [
     "end_to_end", "batch_throughput", "interconnect_sensitivity",
     "multi_node_scaling", "stark_end_to_end", "backend_comparison",
     "resilience_overhead", "serving_throughput",
+    "durability_degradation",
     "bar_chart", "grouped_bar_chart",
 ]

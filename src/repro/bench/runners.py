@@ -31,7 +31,7 @@ __all__ = [
     "ablation", "end_to_end", "batch_throughput",
     "interconnect_sensitivity", "multi_node_scaling",
     "stark_end_to_end", "backend_comparison", "resilience_overhead",
-    "serving_throughput",
+    "serving_throughput", "durability_degradation",
 ]
 
 Row = Sequence[object]
@@ -524,4 +524,110 @@ def serving_throughput(log_size: int = 10,
             batched.latency_percentiles_s()["p99"] * 1e3,
             "bit-exact" if exact else "MISMATCH",
         ])
+    return headers, rows
+
+
+def durability_degradation(log_size: int = 8,
+                           machine: MachineModel = DGX_A100) -> Table:
+    """F22: crash-recovery cost and degraded-mode goodput.
+
+    Part one (the ``crash@...`` rows) serves a fixed workload through
+    the write-ahead journal, kills the server at injected journal
+    sequence numbers, and replays the journal until the run drains:
+    every recovered run must merge to outputs bit-identical to the
+    uninterrupted run, with the recovery downtime priced and counted.
+    Part two (the ``faults ...`` rows) offers the same workload under
+    increasingly hostile fabric faults twice — once with bounded
+    retries only, once with the graceful-degradation controller
+    (breakers, single-GPU fallback, shedding) — and records the
+    goodput of each arm.  At sustained fault rates the retry-only arm
+    dies with retries exhausted while the degraded arm keeps serving:
+    that contrast is the acceptance artifact for degraded mode.
+    """
+    from repro.analysis.tracecheck import check_trace
+    from repro.errors import ServeError
+    from repro.field.presets import GOLDILOCKS
+    from repro.ntt import ntt
+    from repro.serve import (
+        DegradePolicy, ProofServer, WorkloadSpec, WriteAheadJournal,
+        generate_workload, serve_durably,
+    )
+    from repro.sim.faults import FaultInjector, FaultPlan
+
+    spec = WorkloadSpec(requests=16, log_sizes=(log_size,),
+                        field_names=(GOLDILOCKS.name,),
+                        mean_interarrival_s=2e-5, deadline_s=1.0,
+                        seed=0xF22)
+    workload = generate_workload(spec)
+    # split + no batching so every dispatch runs collectives the fault
+    # injector can gate, and so crashes land between many dispatches.
+    config = dict(strategy="split", batching=False)
+
+    clean = ProofServer(machine, **config).serve(workload)
+    reference = {r.request.request_id: r.outputs for r in clean.results}
+
+    def outcome_of(results, trace) -> str:
+        exact = all(reference[r.request.request_id] == r.outputs
+                    for r in results)
+        findings = check_trace(trace)
+        label = "bit-exact" if exact else "MISMATCH"
+        label += ", clean trace" if not findings \
+            else f", {len(findings)} finding(s)"
+        return label
+
+    headers = ["scenario", "completed", "recoveries", "replayed",
+               "fallback", "shed", "recovery ms", "goodput req/s",
+               "outcome"]
+    rows: list[list[object]] = []
+
+    journaled = ProofServer(machine, journal=WriteAheadJournal(),
+                            snapshot_every=8, **config)
+    base = journaled.serve(workload)
+    rows.append(["uninterrupted (journaled)", base.completed, 0, 0, 0, 0,
+                 0.0, base.throughput_rps(),
+                 outcome_of(base.results, journaled.trace)])
+
+    for label, steps in (("crash@5", (5,)), ("crash@30", (30,)),
+                         ("crash@5,30,55", (5, 30, 55))):
+        journal = WriteAheadJournal()
+        crash = FaultPlan.from_specs(
+            [f"server-crash@{s}" for s in steps], seed=0xF22)
+        outcome = serve_durably(
+            workload,
+            lambda: ProofServer(machine, journal=journal,
+                                snapshot_every=8, crash_plan=crash,
+                                **config))
+        recovery_ms = sum(leg.recovery_s for leg in outcome.legs) * 1e3
+        replayed = sum(leg.replayed_records for leg in outcome.legs)
+        rows.append([f"{label} -> recover", len(outcome.results),
+                     outcome.recoveries, replayed, 0, 0, recovery_ms,
+                     outcome.report.throughput_rps(),
+                     outcome_of(outcome.results,
+                                outcome.server.trace)])
+
+    fault_grid = (
+        ("faults 1-shot", ["transient-comm@0:count=1"]),
+        ("faults bursty", [f"transient-comm@{s}:count=2"
+                           for s in range(0, 200, 25)]),
+        ("faults sustained", ["transient-comm@0:count=100000"]),
+    )
+    for label, specs in fault_grid:
+        plan = FaultPlan.from_specs(specs, seed=0xF22)
+        for arm, policy in (("retry-only", None),
+                            ("degraded", DegradePolicy(
+                                breaker_threshold=2))):
+            server = ProofServer(
+                machine, injector=FaultInjector(plan, GOLDILOCKS.modulus),
+                degrade=policy, **config)
+            try:
+                report = server.serve(workload)
+                note = outcome_of(report.results, server.trace)
+            except ServeError as error:
+                report = getattr(error, "report", None)
+                if report is None:
+                    raise
+                note = "FAILED: retries exhausted"
+            rows.append([f"{label}, {arm}", report.completed, 0, 0,
+                         report.fallback_dispatches, report.shed, 0.0,
+                         report.throughput_rps(), note])
     return headers, rows

@@ -70,6 +70,8 @@ EXPERIMENTS: dict[str, tuple[Callable[[], tuple], str]] = {
             "F20: resilience overhead under injected faults"),
     "f21": (bench_runners.serving_throughput,
             "F21: serving throughput vs offered load"),
+    "f22": (bench_runners.durability_degradation,
+            "F22: crash recovery and graceful degradation"),
 }
 
 
@@ -266,6 +268,23 @@ def build_parser() -> argparse.ArgumentParser:
                     help="inject a fault (repeatable; see 'repro trace')")
     sv.add_argument("--fault-plan", default=None, metavar="FILE",
                     help="JSON FaultPlan file (overrides --fault)")
+    sv.add_argument("--journal", action="store_true",
+                    help="record every serving decision in a "
+                         "write-ahead journal (priced)")
+    sv.add_argument("--crash", type=int, action="append", default=[],
+                    metavar="SEQ",
+                    help="kill the server when the journal reaches "
+                         "sequence SEQ (repeatable; implies --journal; "
+                         "requires --recover)")
+    sv.add_argument("--recover", action="store_true",
+                    help="replay the journal after each --crash and "
+                         "resume until the workload drains")
+    sv.add_argument("--snapshot-every", type=int, default=8,
+                    metavar="N",
+                    help="journal records between snapshots (default 8)")
+    sv.add_argument("--degrade", action="store_true",
+                    help="enable graceful degradation: circuit "
+                         "breakers, single-GPU fallback, load shedding")
     sv.add_argument("--verify", action="store_true",
                     help="check every output against the reference "
                          "transform")
@@ -535,11 +554,13 @@ def _cmd_analyze_lint(paths: Sequence[str], as_json: bool) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.errors import ServeError
     from repro.field import field_by_name
     from repro.hw import machine_by_name
     from repro.ntt import intt, ntt
     from repro.serve import (
-        ProofServer, WorkloadSpec, generate_workload, workload_from_json,
+        DegradePolicy, ProofServer, WorkloadSpec, WriteAheadJournal,
+        generate_workload, serve_durably, workload_from_json,
     )
     from repro.sim import FaultInjector, FaultPlan
 
@@ -565,31 +586,62 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             plan = FaultPlan.from_json(handle.read())
     elif args.fault:
         plan = FaultPlan.from_specs(list(args.fault))
-    injector = None
+    modulus = None
     if plan is not None:
         moduli = {field_by_name(r.field_name).modulus for r in requests}
         if len(moduli) != 1:
-            raise_field = sorted(r.field_name for r in requests)
-            from repro.errors import ServeError
             raise ServeError(
                 f"fault injection needs a single-field workload, got "
-                f"{raise_field}")
-        injector = FaultInjector(plan, moduli.pop())
-    server = ProofServer(
-        machine,
-        queue_capacity=args.queue_capacity,
-        max_batch_requests=args.max_batch,
-        batching=not args.no_batching,
-        caching=not args.no_caching,
-        strategy=args.strategy,
-        twiddle_capacity=args.twiddle_capacity,
-        injector=injector)
-    report = server.serve(requests)
+                f"{sorted(set(r.field_name for r in requests))}")
+        modulus = moduli.pop()
+
+    crash_plan = None
+    if args.crash:
+        if not args.recover:
+            raise ServeError(
+                "--crash without --recover would just lose the run; "
+                "pass --recover to replay the journal after each crash")
+        crash_plan = FaultPlan.from_specs(
+            [f"server-crash@{s}" for s in args.crash], seed=args.seed)
+    journal = WriteAheadJournal() if (args.crash or args.journal) \
+        else None
+    degrade = DegradePolicy() if args.degrade else None
+
+    def build_server() -> ProofServer:
+        # Each recovery leg gets a fresh injector (the process died;
+        # its collective counter died with it) but shares the journal.
+        return ProofServer(
+            machine,
+            queue_capacity=args.queue_capacity,
+            max_batch_requests=args.max_batch,
+            batching=not args.no_batching,
+            caching=not args.no_caching,
+            strategy=args.strategy,
+            twiddle_capacity=args.twiddle_capacity,
+            injector=FaultInjector(plan, modulus)
+            if plan is not None else None,
+            journal=journal,
+            snapshot_every=args.snapshot_every,
+            crash_plan=crash_plan,
+            degrade=degrade)
+
+    if crash_plan is not None:
+        outcome = serve_durably(requests, build_server)
+        report = outcome.report
+        results = outcome.results
+        recoveries = outcome.recoveries
+        legs = outcome.legs
+    else:
+        server = build_server()
+        report = server.serve(requests)
+        results = report.results
+        recoveries = 0
+        legs = [report]
 
     verified = None
     if args.verify:
         verified = True
-        for result in report.results:
+        for result in results:
             request = result.request
             field = request.field
             reference = intt if request.direction == "inverse" else ntt
@@ -599,15 +651,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.json:
         import json as json_module
         payload = json_module.loads(report.to_json())
+        payload["recoveries"] = recoveries
+        payload["merged_completed"] = len(results)
         if verified is not None:
             payload["verified"] = verified
         print(json_module.dumps(payload, indent=2, sort_keys=True))
         return 0 if verified in (None, True) else 1
 
     summary = report.summary()
-    print(f"served {summary['completed']}/{summary['offered']} requests "
+    served = len(results)
+    rps = served / summary["makespan_s"] if summary["makespan_s"] else 0.0
+    print(f"served {served}/{len(requests)} requests "
           f"on {machine.name} in {summary['makespan_s'] * 1e3:.3f} ms "
-          f"({summary['throughput_rps']:.0f} req/s)")
+          f"({rps:.0f} req/s)")
     print(f"  batches {summary['batches']} "
           f"(mean {summary['mean_batch_requests']:.2f} req/batch, "
           f"strategies {summary['strategy_counts']}), "
@@ -618,6 +674,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
           f"{summary['plan_misses']} miss; twiddle cache "
           f"{summary['twiddle_hits']} hit / {summary['twiddle_misses']} "
           f"miss / {summary['twiddle_evictions']} evicted")
+    if journal is not None:
+        replayed = sum(leg.replayed_records for leg in legs)
+        recovery_ms = sum(leg.recovery_s for leg in legs) * 1e3
+        print(f"  durability: journal {len(journal)} records, "
+              f"{sum(leg.snapshots for leg in legs)} snapshot(s), "
+              f"{recoveries} recovery(ies), {replayed} replayed, "
+              f"recovery {recovery_ms:.3f} ms")
+    if degrade is not None:
+        print(f"  degradation: shed {summary['shed']}, breaker trips "
+              f"{summary['breaker_trips']}, probes "
+              f"{summary['breaker_probes']}, single-GPU fallbacks "
+              f"{summary['fallback_dispatches']}")
     percentiles = report.latency_percentiles_s()
     print("  latency  " + "  ".join(
         f"{name} {percentiles[name] * 1e3:.3f} ms"

@@ -72,3 +72,24 @@ class BenchmarkError(ReproError):
 
 class ServeError(ReproError):
     """Request-serving failure (bad workload, exhausted retries)."""
+
+
+class JournalError(ServeError):
+    """The write-ahead journal is unusable (gap, checksum mismatch)."""
+
+
+class ServerCrashError(ServeError):
+    """The serving process died mid-run (injected ``server-crash``).
+
+    Carries ``crash_seq`` (the journal sequence number the crash fired
+    at) and ``report`` (the partial :class:`~repro.serve.report.ServeReport`
+    as clients observed it — results emitted before the crash).  The
+    journal itself survives; a
+    :class:`~repro.serve.durability.RecoveryManager` resumes from it.
+    """
+
+    def __init__(self, message: str, *, crash_seq: int = -1,
+                 report=None) -> None:
+        super().__init__(message)
+        self.crash_seq = crash_seq
+        self.report = report

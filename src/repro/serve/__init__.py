@@ -11,13 +11,25 @@ Entry points:
 * :class:`ProofServer` — the scheduler (`serve(requests) -> ServeReport`);
 * :func:`generate_workload` / :func:`workload_from_json` — workloads;
 * :class:`ServeReport` — latency percentiles, batching and cache
-  statistics, and cost-model folding for a completed run.
+  statistics, and cost-model folding for a completed run;
+* :class:`WriteAheadJournal` / :class:`RecoveryManager` /
+  :func:`serve_durably` — crash-consistent serving (see
+  :mod:`repro.serve.durability`);
+* :class:`DegradePolicy` / :class:`CircuitBreaker` — graceful
+  degradation under sustained faults (see :mod:`repro.serve.degrade`).
 """
 
 from repro.serve.cache import (
     PLAN_MISS_MESSAGES, STRATEGIES, PlanCache, PlanEntry, TwiddleLedger,
 )
 from repro.serve.clock import VirtualClock
+from repro.serve.degrade import BREAKER_STATES, CircuitBreaker, DegradePolicy
+from repro.serve.durability import (
+    JOURNAL_KINDS, JOURNAL_MESSAGES, RECOVER_MESSAGES,
+    REPLAY_MESSAGES_PER_RECORD, SNAPSHOT_MESSAGES, JournalRecord,
+    RecoveryManager, RecoveryOutcome, ResumeState, ServerSnapshot,
+    WriteAheadJournal, output_digest, serve_durably,
+)
 from repro.serve.queue import AdmissionQueue
 from repro.serve.report import DispatchRecord, ServeReport, percentile
 from repro.serve.request import DIRECTIONS, ProofRequest, RequestResult
@@ -29,11 +41,15 @@ from repro.serve.workload import (
 )
 
 __all__ = [
-    "DIRECTIONS", "DISPATCH_MESSAGES", "PLAN_MISS_MESSAGES",
-    "REJECT_MESSAGES", "STRATEGIES",
-    "AdmissionQueue", "DispatchRecord", "PlanCache", "PlanEntry",
-    "ProofRequest", "ProofServer", "RequestResult", "ServeReport",
-    "TwiddleLedger", "VirtualClock", "WorkloadSpec",
-    "generate_workload", "percentile", "workload_from_json",
-    "workload_to_json",
+    "BREAKER_STATES", "DIRECTIONS", "DISPATCH_MESSAGES", "JOURNAL_KINDS",
+    "JOURNAL_MESSAGES", "PLAN_MISS_MESSAGES", "RECOVER_MESSAGES",
+    "REJECT_MESSAGES", "REPLAY_MESSAGES_PER_RECORD", "SNAPSHOT_MESSAGES",
+    "STRATEGIES",
+    "AdmissionQueue", "CircuitBreaker", "DegradePolicy", "DispatchRecord",
+    "JournalRecord", "PlanCache", "PlanEntry", "ProofRequest",
+    "ProofServer", "RecoveryManager", "RecoveryOutcome", "RequestResult",
+    "ResumeState", "ServeReport", "ServerSnapshot", "TwiddleLedger",
+    "VirtualClock", "WorkloadSpec", "WriteAheadJournal",
+    "generate_workload", "output_digest", "percentile", "serve_durably",
+    "workload_from_json", "workload_to_json",
 ]

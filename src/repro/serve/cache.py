@@ -94,6 +94,10 @@ class PlanCache:
     def __len__(self) -> int:
         return len(self._entries)
 
+    def keys(self) -> tuple[tuple[str, str, int, str], ...]:
+        """Resident plan keys, sorted (for server snapshots)."""
+        return tuple(sorted(self._entries))
+
     def lookup(self, machine: MachineModel, field: PrimeField,
                log_size: int, strategy: str) -> tuple[PlanEntry, bool]:
         """Return ``(entry, hit)`` for one strategy on one shape."""
@@ -178,10 +182,21 @@ class TwiddleLedger:
 
     def __init__(self, max_tables: int | None = None) -> None:
         self.cache = TwiddleCache(max_tables=max_tables)
+        self._shapes: dict[tuple[str, int, str], None] = {}
+
+    def shapes(self) -> tuple[tuple[str, int, str], ...]:
+        """Shapes ever prepared, sorted (for server snapshots).
+
+        Under an LRU bound some listed tables may have been evicted;
+        re-preparing the list at restore time replays the same
+        insertions, so residency after recovery matches.
+        """
+        return tuple(sorted(self._shapes))
 
     def prepare(self, field: PrimeField, n: int,
                 direction: str) -> tuple[Phase | None, bool]:
         """Touch the tables for one shape; return (phase, hit)."""
+        self._shapes.setdefault((field.name, n, direction), None)
         generated_before = self.cache.generated_entries
         misses_before = self.cache.misses
         if direction == "inverse":

@@ -1,0 +1,137 @@
+"""Graceful degradation: circuit breakers, fault windows, shedding.
+
+When faults arrive faster than bounded retries can absorb them, a
+server that keeps retrying the same broken fabric collapses: every
+dispatch burns ``max_attempts`` wasted profiles and the queue backs up
+until deadlines are unmeetable.  The degradation controller gives
+:class:`~repro.serve.scheduler.ProofServer` three coordinated outs,
+parameterized by a :class:`DegradePolicy`:
+
+* **Circuit breakers** (:class:`CircuitBreaker`, one per engine — the
+  per-field multi-GPU cluster): ``breaker_threshold`` consecutive
+  primary failures open the breaker; while open, dispatches skip the
+  faulty fabric entirely.  After ``cooldown_s`` of virtual time the
+  breaker goes *half-open* and admits exactly one probe attempt on the
+  primary engine: success closes it, failure re-opens it.
+* **Single-GPU fallback**: a breaker-open (or probe-failed, or
+  retry-exhausted) dispatch runs on a dedicated one-GPU cluster with
+  the ``replicate`` strategy — zero collectives, so no fabric fault
+  can touch it — honestly priced via the engine's own profile, which
+  is slower than the healthy multi-GPU path.  Degraded mode trades
+  latency for goodput instead of failing the run.
+* **Load shedding**: when the windowed dispatch fault rate reaches
+  ``shed_fault_rate`` *and* the queue is above its high-water mark
+  (``shed_queue_fraction`` of capacity), the least-urgent EDF requests
+  are dropped down to the high-water mark.  Every shed is priced like
+  a rejection (the front door still answers) and journaled, so a shed
+  request can never also complete — a tracecheck rule audits exactly
+  that.
+
+All transitions are emitted as ``serve-breaker`` / ``serve-shed``
+trace events and tallied in the :class:`~repro.serve.report.ServeReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ServeError
+
+__all__ = ["BREAKER_STATES", "CircuitBreaker", "DegradePolicy"]
+
+#: Circuit-breaker states, in the order the state machine visits them.
+BREAKER_STATES = ("closed", "open", "half-open")
+
+
+@dataclass(frozen=True)
+class DegradePolicy:
+    """Tunable knobs of the graceful-degradation controller.
+
+    Attributes
+    ----------
+    breaker_threshold:
+        Consecutive primary-engine failures that open the breaker.
+    cooldown_s:
+        Virtual seconds an open breaker waits before half-opening.
+    window:
+        Number of recent dispatches in the fault-rate window.
+    shed_fault_rate:
+        Windowed fault rate (fraction of recent dispatches that saw at
+        least one fault) at which shedding engages.
+    shed_queue_fraction:
+        Queue high-water mark as a fraction of capacity: shedding only
+        engages above it, and drops back down to it.
+    """
+
+    breaker_threshold: int = 3
+    cooldown_s: float = 1e-3
+    window: int = 8
+    shed_fault_rate: float = 0.5
+    shed_queue_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.breaker_threshold < 1:
+            raise ServeError(
+                f"breaker_threshold must be >= 1, got "
+                f"{self.breaker_threshold}")
+        if self.cooldown_s < 0:
+            raise ServeError(
+                f"cooldown_s must be >= 0, got {self.cooldown_s}")
+        if self.window < 1:
+            raise ServeError(f"window must be >= 1, got {self.window}")
+        if not 0 < self.shed_fault_rate <= 1:
+            raise ServeError(
+                f"shed_fault_rate must be in (0, 1], got "
+                f"{self.shed_fault_rate}")
+        if not 0 < self.shed_queue_fraction < 1:
+            raise ServeError(
+                f"shed_queue_fraction must be in (0, 1), got "
+                f"{self.shed_queue_fraction}")
+
+
+class CircuitBreaker:
+    """Per-engine breaker: closed -> open -> half-open -> closed/open.
+
+    All timing is virtual (the server's clock); the breaker never reads
+    wall time, so degraded runs replay bit-identically like everything
+    else in the serving layer.
+    """
+
+    def __init__(self, engine: str, policy: DegradePolicy) -> None:
+        self.engine = engine
+        self.policy = policy
+        self.state = "closed"
+        self.failure_streak = 0
+        self.opened_at_s: float | None = None
+
+    def poll(self, now_s: float) -> str:
+        """Advance time-driven transitions; returns the current state."""
+        if (self.state == "open" and self.opened_at_s is not None
+                and now_s >= self.opened_at_s + self.policy.cooldown_s):
+            self.state = "half-open"
+        return self.state
+
+    def record_failure(self, now_s: float) -> bool:
+        """Note one primary-engine failure; True if the breaker opened."""
+        self.failure_streak += 1
+        if self.state == "half-open":
+            self.state = "open"
+            self.opened_at_s = now_s
+            return True
+        if (self.state == "closed"
+                and self.failure_streak >= self.policy.breaker_threshold):
+            self.state = "open"
+            self.opened_at_s = now_s
+            return True
+        if self.state == "open":
+            self.opened_at_s = now_s
+        return False
+
+    def record_success(self) -> bool:
+        """Note one primary-engine success; True if the breaker closed."""
+        self.failure_streak = 0
+        if self.state == "half-open":
+            self.state = "closed"
+            self.opened_at_s = None
+            return True
+        return False

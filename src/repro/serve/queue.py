@@ -45,6 +45,37 @@ class AdmissionQueue:
         self._items.append(request)
         return True
 
+    def restore(self, requests: list[ProofRequest]
+                | tuple[ProofRequest, ...]) -> None:
+        """Re-admit recovered requests, bypassing the capacity bound.
+
+        Recovery must never drop work the crashed server already
+        admitted (the journal proves it was accepted), so the bound may
+        be exceeded transiently: at crash time the queue held at most
+        ``capacity`` requests plus one in-flight batch, and no new
+        arrival is admitted while :meth:`full`.
+        """
+        self._items.extend(requests)
+
+    def snapshot_items(self) -> tuple[ProofRequest, ...]:
+        """The queued requests in insertion order (for checkpoints)."""
+        return tuple(self._items)
+
+    def drop_worst(self, count: int) -> list[ProofRequest]:
+        """Shed the ``count`` least-urgent requests; returns them.
+
+        Victims are chosen from the back of the EDF order (no deadline,
+        lowest priority, latest arrival first), so shedding never
+        touches the request the server would dispatch next.
+        """
+        if count <= 0:
+            return []
+        victims = sorted(self._items, key=ProofRequest.urgency_key,
+                         reverse=True)[:count]
+        for victim in victims:
+            self._items.remove(victim)
+        return victims
+
     def peek_urgent(self) -> ProofRequest:
         """The request EDF ordering serves next (queue unchanged)."""
         if not self._items:

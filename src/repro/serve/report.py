@@ -53,6 +53,9 @@ class DispatchRecord:
     duration_s: float
     attempts: int
     steps: tuple[Step, ...]
+    #: ``"multi-gpu"`` for the primary engine, ``"single-gpu"`` when
+    #: the degradation controller diverted the batch to the fallback.
+    engine: str = "multi-gpu"
 
 
 @dataclass
@@ -71,7 +74,19 @@ class ServeReport:
     twiddle_hits: int = 0
     twiddle_misses: int = 0
     twiddle_evictions: int = 0
+    shed: int = 0
+    breaker_trips: int = 0
+    breaker_probes: int = 0
+    fallback_dispatches: int = 0
+    journal_records: int = 0
+    snapshots: int = 0
+    recoveries: int = 0
+    recovered_requests: int = 0
+    replayed_records: int = 0
     rejection_s: float = 0.0
+    shed_s: float = 0.0
+    journal_s: float = 0.0
+    recovery_s: float = 0.0
     makespan_s: float = 0.0
     dispatches: list[DispatchRecord] = dataclass_field(default_factory=list)
     results: list[RequestResult] = dataclass_field(default_factory=list)
@@ -143,10 +158,15 @@ class ServeReport:
             exchange += breakdown.exchange_s
             for level, nbytes in breakdown.exchange_bytes_by_level.items():
                 bytes_by_level[level] = bytes_by_level.get(level, 0) + nbytes
-        # Refused requests still cost front-door latency; that work is
-        # pure fabric messaging, so it lands on the exchange side.
-        total += self.rejection_s
-        exchange += self.rejection_s
+        # Refused and shed requests still cost front-door latency, the
+        # journal and its snapshots cost group-commit writes, and
+        # recovery costs the snapshot restore plus the tail replay.
+        # All of that work is pure fabric messaging, so it lands on the
+        # exchange side.
+        overhead = (self.rejection_s + self.shed_s + self.journal_s
+                    + self.recovery_s)
+        total += overhead
+        exchange += overhead
         if exchange:
             # The cost model does not split exchange seconds by level in
             # its breakdown; attribute them to the multi-GPU fabric (the
@@ -169,16 +189,28 @@ class ServeReport:
         return {
             "accepted": self.accepted,
             "batches": self.batches,
+            "breaker_probes": self.breaker_probes,
+            "breaker_trips": self.breaker_trips,
             "completed": self.completed,
             "deadline_misses": self.deadline_misses,
+            "fallback_dispatches": self.fallback_dispatches,
+            "journal_records": self.journal_records,
+            "journal_s": self.journal_s,
             "makespan_s": self.makespan_s,
             "mean_batch_requests": self.mean_batch_requests(),
             "offered": self.offered,
             "plan_hits": self.plan_hits,
             "plan_misses": self.plan_misses,
+            "recovered_requests": self.recovered_requests,
+            "recoveries": self.recoveries,
+            "recovery_s": self.recovery_s,
             "rejected": self.rejected,
             "rejection_s": self.rejection_s,
+            "replayed_records": self.replayed_records,
             "retries": self.retries,
+            "shed": self.shed,
+            "shed_s": self.shed_s,
+            "snapshots": self.snapshots,
             "strategy_counts": self.strategy_counts(),
             "throughput_rps": self.throughput_rps(),
             "twiddle_evictions": self.twiddle_evictions,

@@ -105,6 +105,28 @@ class ProofRequest:
             else float("inf")
         return (deadline, self.priority, self.arrival_s, self.request_id)
 
+    def to_record(self) -> dict[str, object]:
+        """JSON-serializable record (journal / snapshot / workload)."""
+        return {
+            "request_id": self.request_id,
+            "field_name": self.field_name,
+            "log_size": self.log_size,
+            "direction": self.direction,
+            "batch": self.batch,
+            "priority": self.priority,
+            "deadline_s": self.deadline_s,
+            "arrival_s": self.arrival_s,
+            "data_seed": self.data_seed,
+        }
+
+    @classmethod
+    def from_record(cls, record: dict) -> "ProofRequest":
+        """Rebuild a request from :meth:`to_record` output."""
+        try:
+            return cls(**record)
+        except TypeError as error:
+            raise ServeError(f"bad request record: {error}") from error
+
     def vectors(self) -> list[list[int]]:
         """The request's deterministic input data, one list per lane."""
         field = self.field

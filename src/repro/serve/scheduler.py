@@ -26,6 +26,24 @@ time anywhere — so the same workload replays bit-identically:
 6. **Advance** the clock by the dispatch's modeled duration and record
    per-request results.
 
+Two optional layers harden the loop:
+
+* **Durability** (``journal=WriteAheadJournal()``): every admission,
+  rejection, shed, dispatch, emit, and completion is written to the
+  :mod:`~repro.serve.durability` write-ahead journal *before* the
+  crash point that could lose it, with periodic ``ServerSnapshot``
+  checkpoints at quiescent points.  An injected ``server-crash@seq``
+  fault (``crash_plan``) raises :class:`~repro.errors.ServerCrashError`
+  the moment the journal reaches that sequence number; a
+  :class:`~repro.serve.durability.RecoveryManager` then resumes the
+  run bit-identically via ``serve(requests, resume=...)``.
+* **Graceful degradation** (``degrade=DegradePolicy()``): per-engine
+  circuit breakers with half-open probing, automatic fallback to a
+  single-GPU cluster (zero collectives — no fabric fault reaches it)
+  when the primary engine is breaker-open or retries are exhausted,
+  and fault-rate-triggered shedding of the least-urgent queued
+  requests.  See :mod:`repro.serve.degrade`.
+
 Every decision emits a ``serve``-level trace event into the server's
 shared trace, so :mod:`repro.analysis.tracecheck` can audit a serving
 run exactly like any other execution.
@@ -34,8 +52,10 @@ run exactly like any other execution.
 from __future__ import annotations
 
 from repro.errors import (
-    ServeError, ShardCorruptionError, TransientCommError,
+    DeviceLostError, ServeError, ServerCrashError, ShardCorruptionError,
+    TransientCommError,
 )
+from repro.field.presets import field_by_name
 from repro.field.prime_field import PrimeField
 from repro.hw.cost import CostModel, Phase, Step
 from repro.hw.machines import DGX_A100
@@ -43,10 +63,17 @@ from repro.hw.model import MachineModel
 from repro.multigpu.batch_engine import BatchedDistributedNTT
 from repro.serve.cache import PLAN_MISS_MESSAGES, PlanCache, TwiddleLedger
 from repro.serve.clock import VirtualClock
+from repro.serve.degrade import CircuitBreaker, DegradePolicy
+from repro.serve.durability import (
+    JOURNAL_MESSAGES, RECOVER_MESSAGES, REPLAY_MESSAGES_PER_RECORD,
+    SNAPSHOT_MESSAGES, ResumeState, ServerSnapshot, WriteAheadJournal,
+    output_digest,
+)
 from repro.serve.queue import AdmissionQueue
 from repro.serve.report import DispatchRecord, ServeReport
 from repro.serve.request import ProofRequest, RequestResult
 from repro.sim.cluster import SimCluster
+from repro.sim.faults import FaultPlan
 from repro.sim.trace import Trace, TraceEvent
 
 __all__ = ["DISPATCH_MESSAGES", "REJECT_MESSAGES", "ProofServer"]
@@ -61,6 +88,9 @@ DISPATCH_MESSAGES = 32
 #: work to say no (a real admission controller still parses, checks,
 #: and answers the request it sheds).
 REJECT_MESSAGES = 1
+
+#: Errors a dispatch may retry (or divert to the fallback engine).
+_RETRYABLE = (TransientCommError, ShardCorruptionError)
 
 
 class ProofServer:
@@ -93,6 +123,20 @@ class ProofServer:
         Optional :class:`~repro.sim.faults.FaultInjector`; installed on
         the shared cluster so its collective counter spans the whole
         serving run (faults land mid-stream).
+    journal:
+        Optional :class:`~repro.serve.durability.WriteAheadJournal`.
+        The journal lives *outside* the server (it survives a crash);
+        a recovery server must be constructed with the same object.
+    snapshot_every:
+        Journal records between :class:`ServerSnapshot` checkpoints.
+    crash_plan:
+        Optional :class:`~repro.sim.faults.FaultPlan` containing only
+        ``server-crash`` specs; the server raises
+        :class:`~repro.errors.ServerCrashError` when the journal
+        reaches a listed sequence number.  Requires ``journal``.
+    degrade:
+        Optional :class:`~repro.serve.degrade.DegradePolicy` enabling
+        circuit breakers, single-GPU fallback, and load shedding.
     """
 
     def __init__(self, machine: MachineModel = DGX_A100, *,
@@ -104,7 +148,11 @@ class ProofServer:
                  twiddle_capacity: int | None = None,
                  max_attempts: int = 3,
                  backoff_messages: int = 4,
-                 injector=None) -> None:
+                 injector=None,
+                 journal: WriteAheadJournal | None = None,
+                 snapshot_every: int = 8,
+                 crash_plan: FaultPlan | None = None,
+                 degrade: DegradePolicy | None = None) -> None:
         if max_batch_requests < 1:
             raise ServeError(
                 f"max_batch_requests must be >= 1, got {max_batch_requests}")
@@ -114,6 +162,22 @@ class ProofServer:
         if backoff_messages < 0:
             raise ServeError(
                 f"backoff_messages must be >= 0, got {backoff_messages}")
+        if snapshot_every < 1:
+            raise ServeError(
+                f"snapshot_every must be >= 1, got {snapshot_every}")
+        crash_steps: frozenset[int] = frozenset()
+        if crash_plan is not None:
+            residual = crash_plan.without_crashes().faults
+            if residual:
+                raise ServeError(
+                    "crash_plan must contain only server-crash faults; "
+                    "pass fabric faults via injector= instead (got "
+                    f"{', '.join(f.label() for f in residual)})")
+            crash_steps = frozenset(crash_plan.crash_steps())
+        if crash_steps and journal is None:
+            raise ServeError(
+                "server-crash injection requires a write-ahead journal "
+                "(pass journal=WriteAheadJournal())")
         self.machine = machine
         self.queue_capacity = queue_capacity
         self.max_batch_requests = max_batch_requests
@@ -124,11 +188,22 @@ class ProofServer:
         self.max_attempts = max_attempts
         self.backoff_messages = backoff_messages
         self.injector = injector
+        self.journal = journal
+        self.snapshot_every = snapshot_every
+        self.degrade = degrade
         self.trace = Trace()
         self.plan_cache = PlanCache()
         self.twiddles = TwiddleLedger(max_tables=twiddle_capacity)
+        self._crash_steps = crash_steps
         self._clusters: dict[str, SimCluster] = {}
+        self._fallback_clusters: dict[str, SimCluster] = {}
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self._fault_window: list[int] = []
         self._batch_id = 0
+        # Journal/snapshot/recovery phases are pure fabric messaging,
+        # whose price is field-independent; one memoized model keeps
+        # the bookkeeping cheap and deterministic.
+        self._overhead_model = CostModel(machine, field_by_name("Goldilocks"))
 
     # -- infrastructure ------------------------------------------------------
 
@@ -147,23 +222,87 @@ class ProofServer:
             self._clusters[field.name] = cluster
         return cluster
 
+    def _fallback_cluster(self, field: PrimeField) -> SimCluster:
+        """A one-GPU cluster per field for breaker-open dispatches.
+
+        It shares the server's trace (its work is audited like any
+        other) but never the injector: the ``replicate`` strategy on
+        one GPU issues zero collectives, so no fabric fault can reach
+        a degraded dispatch.
+        """
+        cluster = self._fallback_clusters.get(field.name)
+        if cluster is None:
+            cluster = SimCluster(field, 1, trace=self.trace)
+            self._fallback_clusters[field.name] = cluster
+        return cluster
+
+    def _breaker(self, engine: str) -> CircuitBreaker:
+        breaker = self._breakers.get(engine)
+        if breaker is None:
+            breaker = CircuitBreaker(engine, self.degrade)
+            self._breakers[engine] = breaker
+        return breaker
+
     def _serve_event(self, kind: str, detail: str) -> None:
         self.trace.record(TraceEvent(kind=kind, level="serve",
                                      detail=detail))
 
+    def _overhead_seconds(self, messages: int) -> float:
+        return self._overhead_model.estimate(
+            [Phase(name="serve-overhead", messages=messages)]).total_s
+
+    def _journal_append(self, kind: str, payload: dict,
+                        clock: VirtualClock, report: ServeReport) -> None:
+        """WAL hook: append, price, trace, and maybe crash.
+
+        The injected ``server-crash`` fires the moment the record whose
+        sequence number it names has been appended — i.e. the journal
+        always holds the record, the in-memory state change it guards
+        may or may not have completed, and recovery must (and does)
+        tolerate both.
+        """
+        if self.journal is None:
+            return
+        record = self.journal.append(kind, payload, t_s=clock.now_s)
+        report.journal_records += 1
+        report.journal_s += self._overhead_seconds(JOURNAL_MESSAGES)
+        self._serve_event(
+            "serve-journal", f"seq={record.seq} kind={kind}")
+        if record.seq in self._crash_steps:
+            raise ServerCrashError(
+                f"injected server-crash at journal seq {record.seq} "
+                f"({kind} record)", crash_seq=record.seq, report=report)
+
     # -- the loop ------------------------------------------------------------
 
-    def serve(self, requests: list[ProofRequest]) -> ServeReport:
-        """Run the workload to completion; returns the full account."""
+    def serve(self, requests: list[ProofRequest],
+              resume: ResumeState | None = None) -> ServeReport:
+        """Run the workload to completion; returns the full account.
+
+        ``resume`` is supplied by
+        :class:`~repro.serve.durability.RecoveryManager` to continue a
+        crashed run: requests the previous incarnation already handled
+        (emitted, rejected, or shed) are skipped, orphans are
+        re-admitted exactly once, and the clock resumes at the crash
+        time plus the priced recovery downtime.
+        """
         ids = [r.request_id for r in requests]
         if len(set(ids)) != len(ids):
             raise ServeError("workload has duplicate request ids")
-        pending = sorted(requests,
-                         key=lambda r: (r.arrival_s, r.request_id))
-        clock = VirtualClock()
+        handled: set[int] = set(resume.handled_ids) if resume else set()
+        requeued_ids = {r.request_id for r in resume.queued} \
+            if resume else set()
+        pending = sorted(
+            (r for r in requests
+             if r.request_id not in handled
+             and r.request_id not in requeued_ids),
+            key=lambda r: (r.arrival_s, r.request_id))
+        clock = VirtualClock(resume.clock_s if resume else 0.0)
         queue = AdmissionQueue(self.queue_capacity)
         report = ServeReport(machine_name=self.machine.name,
-                             offered=len(requests))
+                             offered=len(pending) + len(requeued_ids))
+        if resume is not None:
+            self._begin_recovery(resume, clock, queue, report)
         next_arrival = 0
 
         while True:
@@ -178,13 +317,26 @@ class ProofServer:
                         "serve-accept",
                         f"request={request.request_id} "
                         f"queue={len(queue)}/{queue.capacity}")
+                    self._journal_append(
+                        "admit", {"request": request.to_record()},
+                        clock, report)
                 else:
                     report.rejected += 1
                     report.rejection_s += self._rejection_seconds(request)
+                    handled.add(request.request_id)
                     self._serve_event(
                         "serve-reject",
                         f"request={request.request_id} queue-full "
                         f"capacity={queue.capacity}")
+                    self._journal_append(
+                        "reject",
+                        {"request_id": request.request_id,
+                         "reason": "queue-full"}, clock, report)
+
+            # 1b. degraded mode: shed the least-urgent backlog when the
+            # fabric is faulting faster than retries absorb.
+            if self.degrade is not None and not queue.empty:
+                self._maybe_shed(queue, clock, report, handled)
 
             if queue.empty:
                 if next_arrival >= len(pending):
@@ -195,7 +347,8 @@ class ProofServer:
             # 2. pull the next dispatch group (EDF head + compatible).
             group = queue.take_batch(self.max_batch_requests,
                                      batching=self.batching)
-            self._dispatch(group, clock, report)
+            self._dispatch(group, clock, report, handled)
+            self._maybe_snapshot(queue, clock, report, handled)
 
         report.makespan_s = clock.now_s
         return report
@@ -205,10 +358,119 @@ class ProofServer:
         return model.estimate([Phase(name="serve-reject",
                                      messages=REJECT_MESSAGES)]).total_s
 
+    # -- durability ----------------------------------------------------------
+
+    def _begin_recovery(self, resume: ResumeState, clock: VirtualClock,
+                        queue: AdmissionQueue,
+                        report: ServeReport) -> None:
+        """Resume a crashed run: warm caches, price downtime, requeue."""
+        report.recoveries = 1
+        report.recovered_requests = len(resume.queued)
+        report.replayed_records = resume.replayed_records
+        self._batch_id = max(self._batch_id, resume.next_batch_id)
+        # Warm the caches the snapshot recorded.  Entries are pure
+        # functions of their keys, so re-materializing them restores
+        # the crashed server's cache state exactly; the restore itself
+        # is priced below as part of the recovery messages, not as
+        # per-dispatch planning work.
+        for machine_name, field_name, log_size, strategy \
+                in resume.plan_keys:
+            if machine_name == self.machine.name:
+                self.plan_cache.lookup(
+                    self.machine, field_by_name(field_name),
+                    int(log_size), strategy)
+        for field_name, n, direction in resume.twiddle_shapes:
+            self.twiddles.prepare(field_by_name(field_name), int(n),
+                                  direction)
+        messages = (RECOVER_MESSAGES
+                    + REPLAY_MESSAGES_PER_RECORD * resume.replayed_records)
+        downtime = self._overhead_seconds(messages)
+        report.recovery_s += downtime
+        clock.advance_by(downtime)
+        self.trace.record(TraceEvent(
+            kind="fault", level="resilience",
+            detail=f"server-crash@{resume.crash_seq}"))
+        self._serve_event(
+            "serve-recover",
+            f"journal-seq={resume.crash_seq} "
+            f"replayed={resume.replayed_records} "
+            f"requeued={len(resume.queued)}")
+        queue.restore(resume.queued)
+        for request in resume.queued:
+            self._serve_event(
+                "serve-accept",
+                f"request={request.request_id} recovered "
+                f"queue={len(queue)}/{queue.capacity}")
+        self._journal_append(
+            "recover",
+            {"crash_seq": resume.crash_seq,
+             "replayed": resume.replayed_records,
+             "requeued": [r.request_id for r in resume.queued]},
+            clock, report)
+
+    def _maybe_snapshot(self, queue: AdmissionQueue, clock: VirtualClock,
+                        report: ServeReport, handled: set[int]) -> None:
+        """Checkpoint at a quiescent point (between dispatches)."""
+        if self.journal is None \
+                or self.journal.records_since_snapshot < self.snapshot_every:
+            return
+        snapshot = ServerSnapshot(
+            t_s=clock.now_s,
+            queued=tuple(r.to_record() for r in queue.snapshot_items()),
+            handled_ids=tuple(sorted(handled)),
+            next_batch_id=self._batch_id,
+            plan_keys=self.plan_cache.keys(),
+            twiddle_shapes=self.twiddles.shapes())
+        report.snapshots += 1
+        report.journal_s += self._overhead_seconds(SNAPSHOT_MESSAGES)
+        self._serve_event(
+            "serve-snapshot",
+            f"queued={len(queue)} handled={len(handled)} "
+            f"next-batch={self._batch_id}")
+        self._journal_append("snapshot", snapshot.to_payload(), clock,
+                             report)
+
+    # -- degradation ---------------------------------------------------------
+
+    def _fault_rate(self) -> float:
+        if not self._fault_window:
+            return 0.0
+        return sum(self._fault_window) / len(self._fault_window)
+
+    def _note_dispatch_outcome(self, failures: int) -> None:
+        if self.degrade is None:
+            return
+        self._fault_window.append(1 if failures else 0)
+        excess = len(self._fault_window) - self.degrade.window
+        if excess > 0:
+            del self._fault_window[:excess]
+
+    def _maybe_shed(self, queue: AdmissionQueue, clock: VirtualClock,
+                    report: ServeReport, handled: set[int]) -> None:
+        policy = self.degrade
+        rate = self._fault_rate()
+        high_water = int(policy.shed_queue_fraction * queue.capacity)
+        high_water = max(1, high_water)
+        if rate < policy.shed_fault_rate or len(queue) <= high_water:
+            return
+        for request in queue.drop_worst(len(queue) - high_water):
+            report.shed += 1
+            report.shed_s += self._rejection_seconds(request)
+            handled.add(request.request_id)
+            self._serve_event(
+                "serve-shed",
+                f"request={request.request_id} "
+                f"priority={request.priority} fault-rate={rate:.2f} "
+                f"queue={len(queue)}/{queue.capacity}")
+            self._journal_append(
+                "shed",
+                {"request_id": request.request_id,
+                 "fault_rate": round(rate, 4)}, clock, report)
+
     # -- dispatch ------------------------------------------------------------
 
     def _dispatch(self, group: list[ProofRequest], clock: VirtualClock,
-                  report: ServeReport) -> None:
+                  report: ServeReport, handled: set[int]) -> None:
         head = group[0]
         field = head.field
         n = head.n
@@ -217,23 +479,47 @@ class ProofServer:
         batch_id = self._batch_id
         self._batch_id += 1
 
+        breaker = self._breaker(field.name) if self.degrade is not None \
+            else None
+        probing = False
+        use_fallback = False
+        if breaker is not None:
+            before = breaker.state
+            state = breaker.poll(clock.now_s)
+            if state != before:
+                self._serve_event(
+                    "serve-breaker",
+                    f"engine={field.name} {before}->{state} "
+                    f"batch={batch_id}")
+            if state == "open":
+                use_fallback = True
+            elif state == "half-open":
+                probing = True
+                report.breaker_probes += 1
+
         # Fresh caches per dispatch when caching is disabled, so the
         # planning and twiddle misses recur honestly.
         plan_cache = self.plan_cache if self.caching else PlanCache()
         twiddles = self.twiddles if self.caching \
             else TwiddleLedger(max_tables=self.twiddle_capacity)
 
-        entry, plan_misses = plan_cache.choose(
-            self.machine, field, head.log_size, total_vectors,
-            force=self.strategy)
-        plan_hits = len(("replicate", "split")) - plan_misses
-        report.plan_hits += plan_hits
-        report.plan_misses += plan_misses
-        self._serve_event(
-            "serve-cache",
-            f"batch={batch_id} plan-"
-            f"{'hit' if plan_misses == 0 else 'miss'} "
-            f"strategy={entry.strategy}")
+        entry = None
+        strategy_label = "single-gpu"
+        if not use_fallback:
+            entry, plan_misses = plan_cache.choose(
+                self.machine, field, head.log_size, total_vectors,
+                force=self.strategy)
+            strategy_label = entry.strategy
+            plan_hits = len(("replicate", "split")) - plan_misses
+            report.plan_hits += plan_hits
+            report.plan_misses += plan_misses
+            self._serve_event(
+                "serve-cache",
+                f"batch={batch_id} plan-"
+                f"{'hit' if plan_misses == 0 else 'miss'} "
+                f"strategy={entry.strategy}")
+        else:
+            plan_misses = 0
 
         twiddle_phase, twiddle_hit = twiddles.prepare(
             field, n, head.direction)
@@ -259,17 +545,22 @@ class ProofServer:
         if twiddle_phase is not None:
             steps.append(twiddle_phase)
 
-        cluster = self._cluster(field)
-        engine = BatchedDistributedNTT(cluster, strategy=entry.strategy,
-                                       tile=entry.tile)
-        profile = list(engine.forward_profile(n, total_vectors))
-        steps.extend(profile)
-
         self._serve_event(
             "serve-dispatch",
-            f"batch={batch_id} requests={len(group)} "
-            f"vectors={total_vectors} strategy={entry.strategy} "
+            f"batch={batch_id} "
+            f"ids={','.join(str(r.request_id) for r in group)} "
+            f"requests={len(group)} "
+            f"vectors={total_vectors} strategy={strategy_label} "
             f"n={n} field={field.name}")
+
+        # WAL: intent is durable before the engines run, so a crash
+        # mid-batch leaves an orphaned dispatch record the recovery
+        # replay re-admits.
+        self._journal_append(
+            "dispatch",
+            {"batch_id": batch_id,
+             "request_ids": [r.request_id for r in group],
+             "strategy": strategy_label}, clock, report)
 
         # 3. run, retrying transient faults from the host-side inputs.
         batch_inputs: list[list[int]] = []
@@ -277,30 +568,91 @@ class ProofServer:
             batch_inputs.extend(request.vectors())
         outputs: list[list[int]] | None = None
         attempts = 0
-        while outputs is None:
+        failures = 0
+        max_attempts = 1 if probing else self.max_attempts
+        retryable = _RETRYABLE + (DeviceLostError,) \
+            if self.degrade is not None else _RETRYABLE
+        if not use_fallback:
+            engine = BatchedDistributedNTT(
+                self._cluster(field), strategy=entry.strategy,
+                tile=entry.tile)
+            profile = list(engine.forward_profile(n, total_vectors))
+            steps.extend(profile)
+            while outputs is None:
+                attempts += 1
+                try:
+                    if head.direction == "inverse":
+                        outputs = engine.inverse(batch_inputs)
+                    else:
+                        outputs = engine.forward(batch_inputs)
+                except retryable as error:
+                    failures += 1
+                    report.retries += 1
+                    # The wasted attempt is charged in full (deliberate
+                    # upper bound), plus an exponential backoff wait.
+                    backoff = self.backoff_messages * (1 << (attempts - 1))
+                    if backoff:
+                        steps.append(Phase(name="serve-retry-backoff",
+                                           messages=backoff))
+                    if breaker is not None:
+                        before = breaker.state
+                        if breaker.record_failure(clock.now_s):
+                            report.breaker_trips += 1
+                            self._serve_event(
+                                "serve-breaker",
+                                f"engine={field.name} {before}->open "
+                                f"batch={batch_id} "
+                                f"failures={breaker.failure_streak}")
+                    diverting = self.degrade is not None and (
+                        isinstance(error, DeviceLostError)
+                        or (breaker is not None
+                            and breaker.state == "open")
+                        or attempts >= max_attempts)
+                    detail = (f"batch={batch_id} attempt={attempts} "
+                              f"{type(error).__name__}")
+                    if diverting:
+                        detail += " -> single-gpu-fallback"
+                    self.trace.record(TraceEvent(
+                        kind="retry", level="resilience", detail=detail))
+                    if diverting:
+                        use_fallback = True
+                        break
+                    if attempts >= max_attempts:
+                        exhausted = ServeError(
+                            f"batch {batch_id} failed after {attempts} "
+                            f"attempts: {error}")
+                        exhausted.report = report
+                        raise exhausted from error
+                    steps.extend(profile)
+            if breaker is not None and outputs is not None:
+                before = breaker.state
+                if breaker.record_success():
+                    self._serve_event(
+                        "serve-breaker",
+                        f"engine={field.name} {before}->closed "
+                        f"batch={batch_id}")
+
+        if outputs is None:
+            # Breaker-open / probe-failed / retry-exhausted: run on the
+            # fallback cluster.  Replicate on one GPU issues zero
+            # collectives, so the faulty fabric cannot touch it; the
+            # full (slower) profile is charged honestly.
+            strategy_label = "single-gpu"
+            fallback = BatchedDistributedNTT(
+                self._fallback_cluster(field), strategy="replicate")
+            steps.extend(fallback.forward_profile(n, total_vectors))
             attempts += 1
-            try:
-                if head.direction == "inverse":
-                    outputs = engine.inverse(batch_inputs)
-                else:
-                    outputs = engine.forward(batch_inputs)
-            except (TransientCommError, ShardCorruptionError) as error:
-                report.retries += 1
-                # The wasted attempt is charged in full (deliberate
-                # upper bound), plus an exponential backoff wait.
-                steps.extend(profile)
-                backoff = self.backoff_messages * (1 << (attempts - 1))
-                if backoff:
-                    steps.append(Phase(name="serve-retry-backoff",
-                                       messages=backoff))
-                self.trace.record(TraceEvent(
-                    kind="retry", level="resilience",
-                    detail=f"batch={batch_id} attempt={attempts} "
-                           f"{type(error).__name__}"))
-                if attempts >= self.max_attempts:
-                    raise ServeError(
-                        f"batch {batch_id} failed after {attempts} "
-                        f"attempts: {error}") from error
+            if head.direction == "inverse":
+                outputs = fallback.inverse(batch_inputs)
+            else:
+                outputs = fallback.forward(batch_inputs)
+            report.fallback_dispatches += 1
+            self._serve_event(
+                "serve-breaker",
+                f"engine={field.name} fallback batch={batch_id} "
+                f"state={breaker.state if breaker else 'n/a'}")
+
+        self._note_dispatch_outcome(failures)
 
         duration = CostModel(self.machine, field).estimate(steps).total_s
         start = clock.now_s
@@ -309,11 +661,16 @@ class ProofServer:
         report.dispatches.append(DispatchRecord(
             batch_id=batch_id, field_name=field.name,
             log_size=head.log_size, direction=head.direction,
-            strategy=entry.strategy, requests=len(group),
+            strategy=strategy_label, requests=len(group),
             vectors=total_vectors, duration_s=duration,
-            attempts=attempts, steps=tuple(steps)))
+            attempts=attempts, steps=tuple(steps),
+            engine="single-gpu" if strategy_label == "single-gpu"
+            else "multi-gpu"))
 
         # 4. slice outputs back to their requests and record results.
+        # Each result is appended to the report *before* its emit
+        # record is journaled, so a crash between the two leaves the
+        # client-visible result set and the journal in agreement.
         cursor = 0
         for request in group:
             lanes = outputs[cursor:cursor + request.batch]
@@ -322,13 +679,22 @@ class ProofServer:
                 request=request,
                 outputs=tuple(tuple(lane) for lane in lanes),
                 start_s=start, finish_s=clock.now_s,
-                batch_id=batch_id, strategy=entry.strategy,
+                batch_id=batch_id, strategy=strategy_label,
                 shared_batch=len(group))
             report.results.append(result)
             report.completed += 1
+            handled.add(request.request_id)
             if not result.deadline_met:
                 report.deadline_misses += 1
+            self._journal_append(
+                "emit",
+                {"request_id": request.request_id,
+                 "batch_id": batch_id,
+                 "digest": output_digest(result.outputs)},
+                clock, report)
         self._serve_event(
             "serve-complete",
             f"batch={batch_id} finish={clock.now_s:.6e} "
             f"attempts={attempts}")
+        self._journal_append("complete", {"batch_id": batch_id},
+                             clock, report)

@@ -95,13 +95,17 @@ def workload_from_json(text: str) -> list[ProofRequest]:
     if not isinstance(payload, dict):
         raise ServeError("workload JSON must be an object")
     if "spec" in payload:
+        if not isinstance(payload["spec"], dict):
+            raise ServeError(
+                "workload 'spec' must be an object of generator "
+                f"parameters, got {type(payload['spec']).__name__}")
         raw = dict(payload["spec"])
-        for key in ("log_sizes", "field_names", "directions"):
-            if key in raw:
-                raw[key] = tuple(raw[key])
         try:
+            for key in ("log_sizes", "field_names", "directions"):
+                if key in raw:
+                    raw[key] = tuple(raw[key])
             spec = WorkloadSpec(**raw)
-        except TypeError as error:
+        except (TypeError, ValueError) as error:
             raise ServeError(f"bad workload spec: {error}") from error
         return generate_workload(spec)
     if "requests" not in payload:
@@ -121,7 +125,7 @@ def workload_from_json(text: str) -> list[ProofRequest]:
         raw.setdefault("request_id", index)
         try:
             requests.append(ProofRequest(**raw))
-        except TypeError as error:
+        except (TypeError, ValueError) as error:
             raise ServeError(
                 f"bad request record {index}: {error}") from error
     return requests

@@ -19,11 +19,19 @@ declarative, replayable :class:`FaultPlan`:
   collective it participates in raises
   :class:`~repro.errors.DeviceLostError` until the execution layer
   re-shards onto the survivors.
+* ``server-crash``  — the *serving process itself* dies: when the
+  proof server's write-ahead journal reaches sequence number ``step``
+  it raises :class:`~repro.errors.ServerCrashError`, losing all
+  in-memory state (queue, caches, trace) but not the journal.  The
+  cluster-level injector ignores this kind; it is consumed by
+  :class:`~repro.serve.scheduler.ProofServer` and recovered by
+  :class:`~repro.serve.durability.RecoveryManager`.
 
 Faults trigger on the cluster's *collective step counter* (the index of
-the collective invocation, counted across retries), so a plan is a pure
-function of the run — the same plan over the same engine replays
-bit-identically.  Plans parse from compact CLI specs
+the collective invocation, counted across retries) — except
+``server-crash``, which keys on the journal sequence number instead —
+so a plan is a pure function of the run: the same plan over the same
+engine replays bit-identically.  Plans parse from compact CLI specs
 (``kind@step[:key=value,...]``) and from JSON.
 """
 
@@ -48,11 +56,15 @@ FAULT_KINDS = (
     "straggler",
     "corrupt-shard",
     "device-death",
+    "server-crash",
 )
 
 #: Fault kinds that abort or corrupt work and therefore must be
 #: answered by a ``retry``/``reshard`` trace event (the tracecheck
 #: rule).  Degradations only slow the run down; they need no recovery.
+#: ``server-crash`` is deliberately absent: its resolution is a
+#: ``serve-recover`` event, audited 1:1 by the dedicated
+#: ``trace.unrecovered-crash`` rule instead.
 RESOLUTION_REQUIRED = frozenset(
     {"transient-comm", "corrupt-shard", "device-death"})
 
@@ -70,7 +82,8 @@ class FaultSpec:
         One of :data:`FAULT_KINDS`.
     step:
         Collective invocation index (0-based, counted across retries) at
-        which the fault triggers.
+        which the fault triggers.  For ``server-crash`` the unit is the
+        write-ahead journal sequence number instead.
     gpu:
         Target device for ``straggler`` / ``corrupt-shard`` /
         ``device-death``.
@@ -155,9 +168,19 @@ def parse_fault_spec(text: str) -> FaultSpec:
                     f"fault spec {text!r}: expected key=value, "
                     f"got {item!r}")
             if key in _INT_FIELDS:
-                kwargs[key] = int(value)
+                try:
+                    kwargs[key] = int(value)
+                except ValueError:
+                    raise FaultPlanError(
+                        f"fault spec {text!r}: {key}={value!r} is not "
+                        "an integer") from None
             elif key in _FLOAT_FIELDS:
-                kwargs[key] = float(value)
+                try:
+                    kwargs[key] = float(value)
+                except ValueError:
+                    raise FaultPlanError(
+                        f"fault spec {text!r}: {key}={value!r} is not "
+                        "a number") from None
             else:
                 raise FaultPlanError(
                     f"fault spec {text!r}: unknown key {key!r}")
@@ -192,14 +215,51 @@ class FaultPlan:
         if not isinstance(data, dict) or "faults" not in data:
             raise FaultPlanError(
                 "fault plan JSON must be an object with a 'faults' list")
+        if not isinstance(data["faults"], list):
+            raise FaultPlanError(
+                f"fault plan 'faults' must be a list, got "
+                f"{type(data['faults']).__name__}")
         faults = []
-        for entry in data["faults"]:
+        for index, entry in enumerate(data["faults"]):
+            if not isinstance(entry, dict):
+                raise FaultPlanError(
+                    f"fault plan entry {index} must be an object, got "
+                    f"{type(entry).__name__}")
             unknown = set(entry) - _INT_FIELDS - _FLOAT_FIELDS - {"kind"}
             if unknown:
                 raise FaultPlanError(
                     f"fault plan entry has unknown keys {sorted(unknown)}")
-            faults.append(FaultSpec(**entry))
-        return cls(seed=int(data.get("seed", 0)), faults=tuple(faults))
+            try:
+                faults.append(FaultSpec(**entry))
+            except (TypeError, ValueError) as error:
+                raise FaultPlanError(
+                    f"fault plan entry {index} is malformed: "
+                    f"{error}") from None
+        try:
+            seed = int(data.get("seed", 0))
+        except (TypeError, ValueError):
+            raise FaultPlanError(
+                f"fault plan seed must be an integer, got "
+                f"{data.get('seed')!r}") from None
+        return cls(seed=seed, faults=tuple(faults))
+
+    def crash_steps(self) -> tuple[int, ...]:
+        """Journal sequence numbers at which ``server-crash`` fires."""
+        return tuple(sorted({f.step for f in self.faults
+                             if f.kind == "server-crash"}))
+
+    def without_crashes(self) -> "FaultPlan":
+        """The plan minus ``server-crash`` specs.
+
+        Server crashes are consumed by the proof server's journal
+        layer; the cluster-level :class:`FaultInjector` gets this
+        filtered plan so single-field checks and collective hooks only
+        ever see fabric faults.
+        """
+        return FaultPlan(
+            seed=self.seed,
+            faults=tuple(f for f in self.faults
+                         if f.kind != "server-crash"))
 
     def recoverable(self, gpu_count: int) -> bool:
         """Whether a resilient engine can complete under this plan.

@@ -101,6 +101,21 @@ EVENT_KINDS: dict[str, KindSpec] = {
     "serve-cache": KindSpec(
         collective=False,
         description="plan/twiddle cache consult (hit or miss)"),
+    "serve-journal": KindSpec(
+        collective=False,
+        description="write-ahead journal record appended (seq=N)"),
+    "serve-snapshot": KindSpec(
+        collective=False,
+        description="server checkpointed queue/cache/ledger state"),
+    "serve-recover": KindSpec(
+        collective=False,
+        description="recovery manager replayed the journal tail"),
+    "serve-breaker": KindSpec(
+        collective=False,
+        description="circuit breaker state transition for one engine"),
+    "serve-shed": KindSpec(
+        collective=False,
+        description="load shedding dropped a queued request (priced)"),
 }
 
 

@@ -173,3 +173,68 @@ class TestDriver:
         findings = lint_paths([str(tmp_path)], root=str(tmp_path))
         assert [f.check for f in findings] == [
             "lint.raw-mod", "lint.nondeterminism"]
+
+
+class TestDictOrder:
+    def test_loop_over_breaker_values_in_serve(self, tmp_path):
+        path = write_module(tmp_path, "serve", "bad.py", """\
+            def poll(self):
+                for breaker in self._breakers.values():
+                    breaker.poll(0.0)
+            """)
+        findings = lint_file(path, root=str(tmp_path))
+        assert checks_of(findings) == {"lint.dict-order"}
+        assert "sorted" in findings[0].message
+
+    def test_sorted_wrap_is_fine(self, tmp_path):
+        path = write_module(tmp_path, "serve", "ok.py", """\
+            def poll(self):
+                for key in sorted(self._breakers.keys()):
+                    self._breakers[key].poll(0.0)
+            """)
+        assert lint_file(path, root=str(tmp_path)) == []
+
+    def test_comprehension_over_shard_map(self, tmp_path):
+        path = write_module(tmp_path, "multigpu", "bad.py", """\
+            def totals(shard_map):
+                return [len(shard) for shard in shard_map.values()]
+            """)
+        assert checks_of(lint_file(path, root=str(tmp_path))) == {
+            "lint.dict-order"}
+
+    def test_items_over_gpu_map(self, tmp_path):
+        path = write_module(tmp_path, "sim", "bad.py", """\
+            def dump(per_gpu):
+                for gpu, shard in per_gpu.items():
+                    print(gpu, shard)
+            """)
+        assert checks_of(lint_file(path, root=str(tmp_path))) == {
+            "lint.dict-order"}
+
+    def test_innocent_map_name_is_fine(self, tmp_path):
+        path = write_module(tmp_path, "serve", "ok.py", """\
+            def dump(options):
+                for value in options.values():
+                    print(value)
+            """)
+        assert lint_file(path, root=str(tmp_path)) == []
+
+    def test_same_code_outside_deterministic_packages(self, tmp_path):
+        path = write_module(tmp_path, "bench", "ok.py", """\
+            def dump(shard_map):
+                for shard in shard_map.values():
+                    print(shard)
+            """)
+        assert lint_file(path, root=str(tmp_path)) == []
+
+
+class TestNondeterminismInServe:
+    def test_time_call_in_serve(self, tmp_path):
+        path = write_module(tmp_path, "serve", "bad.py", """\
+            import time
+
+            def now():
+                return time.monotonic()
+            """)
+        assert checks_of(lint_file(path, root=str(tmp_path))) == {
+            "lint.nondeterminism"}

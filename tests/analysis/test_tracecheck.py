@@ -204,3 +204,119 @@ class TestServeDanglingDispatch:
                                 detail="batch=0"))
         schedule = build_unintt_schedule(256, 4, EB)
         assert check_trace(trace, schedule=schedule) == []
+
+
+class TestUnrecoveredCrash:
+    def test_crash_answered_by_recover_is_clean(self):
+        trace = Trace()
+        trace.record(TraceEvent(kind="fault", level="resilience",
+                                detail="server-crash@9"))
+        trace.record(TraceEvent(kind="serve-recover", level="serve",
+                                detail="journal-seq=9 replayed=4 "
+                                       "requeued=2"))
+        assert check_trace(trace) == []
+
+    def test_unanswered_crash_is_flagged(self):
+        trace = Trace()
+        trace.record(TraceEvent(kind="fault", level="resilience",
+                                detail="server-crash@9"))
+        findings = check_trace(trace)
+        assert checks_of(findings) == {"trace.unrecovered-crash"}
+        assert "server-crash@9" in findings[0].message
+
+    def test_recover_out_of_nowhere_is_flagged(self):
+        trace = Trace()
+        trace.record(TraceEvent(kind="serve-recover", level="serve",
+                                detail="journal-seq=9 replayed=4 "
+                                       "requeued=2"))
+        findings = check_trace(trace)
+        assert checks_of(findings) == {"trace.unrecovered-crash"}
+        assert "answers no" in findings[0].message
+
+    def test_other_fault_kinds_do_not_open_a_crash(self):
+        trace = Trace()
+        trace.record(TraceEvent(kind="fault", level="resilience",
+                                detail="transient-comm@3"))
+        trace.record(TraceEvent(kind="retry", level="resilience",
+                                detail="transient-comm@3 "
+                                       "TransientCommError attempt=2"))
+        assert checks_of(check_trace(trace)) \
+            .isdisjoint({"trace.unrecovered-crash"})
+
+
+class TestShedAndCompleted:
+    def test_shed_request_in_completed_batch_is_flagged(self):
+        trace = Trace()
+        trace.record(TraceEvent(kind="serve-shed", level="serve",
+                                detail="request=3 fault-rate=0.6"))
+        trace.record(TraceEvent(kind="serve-dispatch", level="serve",
+                                detail="batch=0 ids=3,4 requests=2"))
+        trace.record(TraceEvent(kind="serve-complete", level="serve",
+                                detail="batch=0 finish=1.0"))
+        findings = check_trace(trace)
+        assert "trace.shed-and-completed" in checks_of(findings)
+        assert any("request 3" in f.message for f in findings)
+
+    def test_shed_without_completion_is_clean(self):
+        trace = Trace()
+        trace.record(TraceEvent(kind="serve-shed", level="serve",
+                                detail="request=3 fault-rate=0.6"))
+        trace.record(TraceEvent(kind="serve-dispatch", level="serve",
+                                detail="batch=0 ids=4,5 requests=2"))
+        trace.record(TraceEvent(kind="serve-complete", level="serve",
+                                detail="batch=0 finish=1.0"))
+        assert check_trace(trace) == []
+
+    def test_dispatched_but_never_completed_shed_is_clean(self):
+        # The shed id appears in a batch that never completes; only a
+        # *completed* batch convicts.
+        trace = Trace()
+        trace.record(TraceEvent(kind="serve-shed", level="serve",
+                                detail="request=3 fault-rate=0.6"))
+        trace.record(TraceEvent(kind="serve-dispatch", level="serve",
+                                detail="batch=0 ids=3 requests=1"))
+        findings = check_trace(trace)
+        assert "trace.shed-and-completed" not in checks_of(findings)
+
+
+class TestJournalGap:
+    def test_contiguous_sequence_is_clean(self):
+        trace = Trace()
+        for seq in range(4):
+            trace.record(TraceEvent(kind="serve-journal", level="serve",
+                                    detail=f"seq={seq} kind=admit"))
+        assert check_trace(trace) == []
+
+    def test_gap_is_flagged(self):
+        trace = Trace()
+        for seq in (0, 1, 3):
+            trace.record(TraceEvent(kind="serve-journal", level="serve",
+                                    detail=f"seq={seq} kind=admit"))
+        findings = check_trace(trace)
+        assert checks_of(findings) == {"trace.journal-gap"}
+        assert "expected 2" in findings[0].message
+
+    def test_recover_resets_the_expectation(self):
+        trace = Trace()
+        trace.record(TraceEvent(kind="fault", level="resilience",
+                                detail="server-crash@5"))
+        trace.record(TraceEvent(kind="serve-recover", level="serve",
+                                detail="journal-seq=5 replayed=3 "
+                                       "requeued=1"))
+        trace.record(TraceEvent(kind="serve-journal", level="serve",
+                                detail="seq=6 kind=recover"))
+        trace.record(TraceEvent(kind="serve-journal", level="serve",
+                                detail="seq=7 kind=dispatch"))
+        assert check_trace(trace) == []
+
+    def test_wrong_seq_after_recover_is_flagged(self):
+        trace = Trace()
+        trace.record(TraceEvent(kind="fault", level="resilience",
+                                detail="server-crash@5"))
+        trace.record(TraceEvent(kind="serve-recover", level="serve",
+                                detail="journal-seq=5 replayed=3 "
+                                       "requeued=1"))
+        trace.record(TraceEvent(kind="serve-journal", level="serve",
+                                detail="seq=9 kind=recover"))
+        findings = check_trace(trace)
+        assert checks_of(findings) == {"trace.journal-gap"}

@@ -1,0 +1,208 @@
+"""Graceful degradation: breakers, single-GPU fallback, shedding.
+
+Fabric faults only fire on collectives, so every test that needs the
+injector to actually bite uses ``strategy="split"`` with batching off —
+the same setup the chaos-serving tests use.
+"""
+
+import pytest
+
+from repro.analysis import check_trace
+from repro.errors import ServeError
+from repro.field.presets import GOLDILOCKS
+from repro.serve import (
+    BREAKER_STATES, CircuitBreaker, DegradePolicy, ProofServer,
+    WorkloadSpec, generate_workload,
+)
+from repro.sim.faults import FaultInjector, FaultPlan
+
+SPEC = WorkloadSpec(requests=10, log_sizes=(8,), mean_interarrival_s=1e-4,
+                    deadline_s=1.0, seed=11)
+
+
+def injector(*specs):
+    return FaultInjector(FaultPlan.from_specs(list(specs)),
+                         GOLDILOCKS.modulus)
+
+
+def degraded_server(policy=None, **kwargs):
+    kwargs.setdefault("strategy", "split")
+    kwargs.setdefault("batching", False)
+    return ProofServer(degrade=policy or DegradePolicy(), **kwargs)
+
+
+class TestDegradePolicy:
+    @pytest.mark.parametrize("bad", [
+        {"breaker_threshold": 0},
+        {"cooldown_s": -1e-6},
+        {"window": 0},
+        {"shed_fault_rate": 0.0},
+        {"shed_fault_rate": 1.5},
+        {"shed_queue_fraction": 0.0},
+        {"shed_queue_fraction": 1.0},
+    ])
+    def test_validation(self, bad):
+        with pytest.raises(ServeError):
+            DegradePolicy(**bad)
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_consecutive_failures(self):
+        breaker = CircuitBreaker("Goldilocks", DegradePolicy(
+            breaker_threshold=3))
+        assert breaker.record_failure(0.0) is False
+        assert breaker.record_failure(0.0) is False
+        assert breaker.record_failure(0.0) is True
+        assert breaker.state == "open"
+
+    def test_success_resets_the_streak(self):
+        breaker = CircuitBreaker("Goldilocks", DegradePolicy(
+            breaker_threshold=2))
+        breaker.record_failure(0.0)
+        breaker.record_success()
+        assert breaker.record_failure(0.0) is False
+        assert breaker.state == "closed"
+
+    def test_cooldown_half_opens(self):
+        policy = DegradePolicy(breaker_threshold=1, cooldown_s=1e-3)
+        breaker = CircuitBreaker("Goldilocks", policy)
+        breaker.record_failure(0.0)
+        assert breaker.poll(0.5e-3) == "open"
+        assert breaker.poll(1.0e-3) == "half-open"
+
+    def test_probe_failure_reopens(self):
+        policy = DegradePolicy(breaker_threshold=1, cooldown_s=1e-3)
+        breaker = CircuitBreaker("Goldilocks", policy)
+        breaker.record_failure(0.0)
+        breaker.poll(2e-3)
+        assert breaker.record_failure(2e-3) is True
+        assert breaker.state == "open"
+        # The cooldown restarts from the failed probe.
+        assert breaker.poll(2.5e-3) == "open"
+
+    def test_probe_success_closes(self):
+        policy = DegradePolicy(breaker_threshold=1, cooldown_s=1e-3)
+        breaker = CircuitBreaker("Goldilocks", policy)
+        breaker.record_failure(0.0)
+        breaker.poll(2e-3)
+        assert breaker.record_success() is True
+        assert breaker.state == "closed"
+
+    def test_states_registry(self):
+        assert BREAKER_STATES == ("closed", "open", "half-open")
+
+
+class TestFallback:
+    def test_sustained_faults_complete_on_single_gpu(self):
+        requests = generate_workload(SPEC)
+        clean = ProofServer(strategy="split", batching=False) \
+            .serve(requests)
+        server = degraded_server(
+            DegradePolicy(breaker_threshold=2),
+            injector=injector("transient-comm@0:count=100000"))
+        report = server.serve(requests)
+        assert report.completed == len(requests)
+        assert report.breaker_trips >= 1
+        assert report.fallback_dispatches >= 1
+        fallback = [d for d in report.dispatches
+                    if d.engine == "single-gpu"]
+        assert fallback and all(d.strategy == "single-gpu" or d.engine
+                                == "single-gpu" for d in fallback)
+        # Bit-exactness: the fallback engine computes the same NTT.
+        assert {r.request.request_id: r.outputs for r in report.results} \
+            == {r.request.request_id: r.outputs for r in clean.results}
+        assert check_trace(server.trace) == []
+
+    def test_fallback_is_priced_via_its_own_profile(self):
+        # The single-GPU engine is not free: every fallback dispatch
+        # carries its own nonzero phase profile, and that profile is
+        # the one-GPU engine's — not a copy of the primary's.
+        requests = generate_workload(SPEC)
+        clean = ProofServer(strategy="split", batching=False) \
+            .serve(requests)
+        report = degraded_server(
+            DegradePolicy(breaker_threshold=1),
+            injector=injector("transient-comm@0:count=100000")) \
+            .serve(requests)
+        fallback = [d for d in report.dispatches
+                    if d.engine == "single-gpu"]
+        assert fallback
+        primary_durations = {d.duration_s for d in clean.dispatches}
+        for record in fallback:
+            assert record.duration_s > 0.0
+            assert record.steps
+            assert record.duration_s not in primary_durations
+
+    def test_retry_only_server_fails_where_degraded_survives(self):
+        requests = generate_workload(SPEC)
+        with pytest.raises(ServeError) as exc:
+            ProofServer(strategy="split", batching=False,
+                        injector=injector(
+                            "transient-comm@0:count=100000")) \
+                .serve(requests)
+        assert getattr(exc.value, "report", None) is not None
+        survived = degraded_server(
+            injector=injector("transient-comm@0:count=100000")) \
+            .serve(requests)
+        assert survived.completed == len(requests)
+
+    def test_probe_success_returns_to_primary(self):
+        # A finite fault burst: the breaker opens, half-opens after the
+        # cooldown, the probe succeeds on the healed fabric, and the
+        # remaining requests run on the multi-GPU primary again.
+        requests = generate_workload(SPEC)
+        server = degraded_server(
+            DegradePolicy(breaker_threshold=1, cooldown_s=1e-5),
+            injector=injector("transient-comm@0:count=2"))
+        report = server.serve(requests)
+        assert report.completed == len(requests)
+        assert report.breaker_probes >= 1
+        engines = [d.engine for d in report.dispatches]
+        assert engines[-1] == "multi-gpu"
+        assert check_trace(server.trace) == []
+
+    def test_breaker_events_are_traced(self):
+        requests = generate_workload(SPEC)
+        server = degraded_server(
+            DegradePolicy(breaker_threshold=1, cooldown_s=1e-5),
+            injector=injector("transient-comm@0:count=2"))
+        server.serve(requests)
+        details = [e.detail for e in server.trace.events
+                   if e.kind == "serve-breaker"]
+        assert any("open" in d for d in details)
+
+
+class TestShedding:
+    def test_overloaded_faulty_queue_sheds(self):
+        spec = WorkloadSpec(requests=12, log_sizes=(8,), deadline_s=1.0,
+                            priority_levels=3, seed=13)
+        requests = generate_workload(spec)
+        server = degraded_server(
+            DegradePolicy(breaker_threshold=4, shed_fault_rate=0.4,
+                          shed_queue_fraction=0.3),
+            queue_capacity=8,
+            injector=injector("transient-comm@0:count=100000"))
+        report = server.serve(requests)
+        assert report.shed > 0
+        assert report.shed_s > 0.0
+        shed_ids = {
+            int(e.detail.split()[0].partition("=")[2])
+            for e in server.trace.events if e.kind == "serve-shed"}
+        completed_ids = {r.request.request_id for r in report.results}
+        assert shed_ids and not shed_ids & completed_ids
+        assert report.plan_cost(server.machine).total_s > 0.0
+        assert check_trace(server.trace) == []
+
+    def test_shedding_prices_into_plan_cost(self):
+        spec = WorkloadSpec(requests=12, log_sizes=(8,), deadline_s=1.0,
+                            priority_levels=3, seed=13)
+        requests = generate_workload(spec)
+        shed_server = degraded_server(
+            DegradePolicy(breaker_threshold=4, shed_fault_rate=0.4,
+                          shed_queue_fraction=0.3),
+            queue_capacity=8,
+            injector=injector("transient-comm@0:count=100000"))
+        shed_report = shed_server.serve(requests)
+        assert shed_report.shed > 0
+        cost = shed_report.plan_cost(shed_server.machine)
+        assert cost.exchange_s >= shed_report.shed_s

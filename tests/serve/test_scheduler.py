@@ -169,3 +169,36 @@ def test_empty_workload_serves_to_an_empty_report():
     assert report.summary()["completed"] == 0
     assert report.makespan_s == 0.0
     assert report.latency_percentiles_s()["p99"] == 0.0
+
+
+def test_retry_exhaustion_attaches_a_priced_partial_report():
+    # Without a degradation policy, sustained faults exhaust the retry
+    # budget; the raised error must carry the partial report and that
+    # report must still price as a validating PlanCost.
+    from repro.sim.faults import FaultInjector, FaultPlan
+
+    injector = FaultInjector(
+        FaultPlan.from_specs(["transient-comm@0:count=100000"]),
+        GOLDILOCKS.modulus)
+    server = ProofServer(DGX_A100, strategy="split", batching=False,
+                         injector=injector)
+    with pytest.raises(ServeError) as exc:
+        server.serve(_burst(4, log_size=8))
+    report = getattr(exc.value, "report", None)
+    assert report is not None
+    # The doomed dispatch burned every attempt before giving up.
+    assert report.retries == server.max_attempts
+    assert report.completed < 4
+    report.plan_cost(DGX_A100).validate()
+
+
+def test_queue_overflow_under_burst_prices_every_rejection():
+    report = ProofServer(DGX_A100, queue_capacity=1).serve(_burst(6))
+    assert report.accepted == 1
+    assert report.rejected == 5
+    assert report.completed == 1
+    assert report.rejection_s > 0.0
+    cost = report.plan_cost(DGX_A100)
+    cost.validate()
+    assert cost.total_s >= report.rejection_s
+    assert cost.exchange_s >= report.rejection_s

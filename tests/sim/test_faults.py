@@ -181,3 +181,57 @@ class TestFaultInjector:
         assert injector.penalty_exchange_bytes == 3 * moved + 2 * moved
         assert injector.drain_penalty_bytes() == 5 * moved
         assert injector.penalty_exchange_bytes == 0
+
+
+class TestServerCrash:
+    def test_server_crash_is_a_registered_kind(self):
+        assert "server-crash" in FAULT_KINDS
+        # Its resolution is a serve-recover event, audited by the
+        # dedicated tracecheck rule, not the retry/reshard rule.
+        assert "server-crash" not in RESOLUTION_REQUIRED
+
+    def test_parse_and_label(self):
+        spec = parse_fault_spec("server-crash@12")
+        assert spec.kind == "server-crash"
+        assert spec.step == 12
+        assert spec.label() == "server-crash@12"
+        assert parse_fault_spec(spec.label()) == spec
+
+    def test_crash_steps_are_sorted_and_deduped(self):
+        plan = FaultPlan.from_specs([
+            "server-crash@9", "server-crash@2", "server-crash@9"])
+        assert plan.crash_steps() == (2, 9)
+
+    def test_without_crashes_strips_only_crashes(self):
+        plan = FaultPlan.from_specs([
+            "server-crash@2", "transient-comm@0", "straggler@1:factor=2"])
+        residual = plan.without_crashes()
+        assert [f.kind for f in residual.faults] \
+            == ["transient-comm", "straggler"]
+        assert residual.seed == plan.seed
+        assert plan.crash_steps() == (2,)
+        assert residual.crash_steps() == ()
+
+    def test_crash_only_plan_injects_nothing(self):
+        plan = FaultPlan.from_specs(["server-crash@2"])
+        assert plan.without_crashes().faults == ()
+
+
+class TestFromJsonHardening:
+    def test_faults_must_be_a_list(self):
+        with pytest.raises(FaultPlanError, match="list"):
+            FaultPlan.from_json('{"faults": "transient-comm@0"}')
+
+    def test_entry_must_be_an_object(self):
+        with pytest.raises(FaultPlanError, match="object"):
+            FaultPlan.from_json('{"faults": ["transient-comm@0"]}')
+
+    def test_non_numeric_field_rejected(self):
+        with pytest.raises(FaultPlanError, match="malformed"):
+            FaultPlan.from_json(
+                '{"faults": [{"kind": "device-death", "step": 1,'
+                ' "gpu": "x"}]}')
+
+    def test_bad_seed_rejected(self):
+        with pytest.raises(FaultPlanError, match="seed"):
+            FaultPlan.from_json('{"faults": [], "seed": "entropy"}')

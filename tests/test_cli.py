@@ -227,3 +227,92 @@ class TestServe:
 
     def test_f21_registered(self):
         assert "f21" in EXPERIMENTS
+
+
+class TestServeErrorHygiene:
+    """Malformed serve inputs exit 2 with one clean line."""
+
+    def test_invalid_workload_json(self, tmp_path, capsys):
+        path = tmp_path / "w.json"
+        path.write_text("{not json")
+        assert main(["serve", "--workload", str(path)]) == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("repro: error: ")
+        assert "JSON" in captured.err
+        assert captured.err.count("\n") == 1
+        assert "Traceback" not in captured.err
+
+    def test_workload_spec_wrong_type(self, tmp_path, capsys):
+        path = tmp_path / "w.json"
+        path.write_text('{"spec": [1, 2, 3]}')
+        assert main(["serve", "--workload", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error: ")
+        assert "spec" in err
+        assert err.count("\n") == 1
+
+    def test_workload_bad_request_record(self, tmp_path, capsys):
+        path = tmp_path / "w.json"
+        path.write_text('{"requests": [{"no_such_field": 1}]}')
+        assert main(["serve", "--workload", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error: ")
+        assert err.count("\n") == 1
+        assert "Traceback" not in err
+
+    def test_malformed_fault_plan_json(self, tmp_path, capsys):
+        path = tmp_path / "faults.json"
+        path.write_text('{"faults": "oops"}')
+        assert main(["serve", "--requests", "2", "--log-size", "6",
+                     "--fault-plan", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error: ")
+        assert err.count("\n") == 1
+        assert "Traceback" not in err
+
+    def test_crash_without_recover(self, capsys):
+        assert main(["serve", "--requests", "2", "--log-size", "6",
+                     "--crash", "3"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error: ")
+        assert "--recover" in err
+        assert err.count("\n") == 1
+
+
+class TestDurabilityCli:
+    def test_journal_line_in_output(self, capsys):
+        assert main(["serve", "--requests", "4", "--log-size", "6",
+                     "--journal"]) == 0
+        assert "durability: journal" in capsys.readouterr().out
+
+    def test_crash_recover_verify(self, capsys):
+        assert main(["serve", "--requests", "4", "--log-size", "6",
+                     "--crash", "5", "--recover", "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "served 4/4" in out
+        assert "1 recovery(ies)" in out
+        assert "bit-exact" in out
+
+    def test_crash_recover_json(self, capsys):
+        import json
+
+        assert main(["serve", "--requests", "4", "--log-size", "6",
+                     "--crash", "5", "--recover", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["recoveries"] == 1
+        assert payload["merged_completed"] == 4
+
+    def test_degrade_line_in_output(self, capsys):
+        assert main(["serve", "--requests", "4", "--log-size", "6",
+                     "--strategy", "split", "--no-batching",
+                     "--fault", "transient-comm@0:count=100000",
+                     "--degrade"]) == 0
+        out = capsys.readouterr().out
+        assert "degradation:" in out
+        assert "served 4/4" in out
+
+    def test_f22_experiment_is_registered(self):
+        from repro.cli import EXPERIMENTS
+
+        assert "f22" in EXPERIMENTS
+        build_parser().parse_args(["experiment", "f22"])

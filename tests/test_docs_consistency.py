@@ -115,6 +115,47 @@ def test_serving_guide_is_cross_linked():
                 f"{os.path.basename(name)} does not link to SERVING.md")
 
 
+def test_durability_guide_exists_and_covers_api():
+    path = os.path.join(DOCS, "DURABILITY.md")
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    for needle in ("WriteAheadJournal", "ServerSnapshot",
+                   "RecoveryManager", "serve_durably", "DegradePolicy",
+                   "CircuitBreaker", "ServerCrashError",
+                   "exactly once", "bit-identical", "`server-crash@",
+                   "--crash", "--recover", "--degrade", "f22"):
+        assert needle in text, (
+            f"docs/DURABILITY.md does not mention {needle}")
+
+
+def test_every_journal_kind_is_documented():
+    from repro.serve import JOURNAL_KINDS
+
+    path = os.path.join(DOCS, "DURABILITY.md")
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    missing = [kind for kind in JOURNAL_KINDS if f"`{kind}`" not in text]
+    assert not missing, (
+        f"journal record kinds {missing} are appendable but not "
+        f"documented in docs/DURABILITY.md")
+
+
+def test_durability_guide_is_cross_linked():
+    import re
+
+    root = os.path.dirname(DOCS)
+    for name in (os.path.join(root, "README.md"),
+                 os.path.join(DOCS, "API.md"),
+                 os.path.join(DOCS, "SERVING.md"),
+                 os.path.join(DOCS, "RESILIENCE.md"),
+                 os.path.join(DOCS, "REPRODUCING.md"),
+                 os.path.join(DOCS, "ANALYSIS.md")):
+        with open(name, encoding="utf-8") as handle:
+            assert re.search(r"DURABILITY\.md", handle.read()), (
+                f"{os.path.basename(name)} does not link to "
+                "DURABILITY.md")
+
+
 def test_every_fault_kind_is_documented():
     from repro.sim.faults import FAULT_KINDS
 
