@@ -23,6 +23,15 @@ those rules as AST visitors over ``src/repro/``:
   order-dependent iteration over them is exactly how replay divergence
   sneaks in.  Wrapping the call in ``sorted(...)`` fixes the order and
   the finding.
+* ``lint.pow-inverse`` — inside ``ntt/`` and ``multigpu/`` (the
+  big-field hot paths), no per-element Fermat inversion: a 3-argument
+  ``pow(x, e - 2, m)`` computes one modular inverse per call, which on
+  BN254-Fr/BLS12-381-Fr costs ~380 squarings each.  Bulk inversion
+  belongs in ``vec_inv`` (one inversion per *vector* via Montgomery's
+  batch trick), and the multi-limb backend runs it vectorized.  A
+  scalar inverse in setup code (a twiddle seed, an n^-1 factor)
+  carries the same cost but runs once; those sites use
+  ``field.inv(...)``, which this check deliberately does not match.
 * ``lint.mutable-default`` — repo-wide: no mutable default arguments.
 * ``lint.trace-kind`` — repo-wide: every literal ``kind=`` passed to
   ``TraceEvent`` must be registered in
@@ -55,6 +64,9 @@ CHECKS = (
           "unseeded random.* or time.* inside sim/, multigpu/, or serve/"),
     Check("lint.dict-order", 1,
           "order-sensitive iteration over a shard/device map"),
+    Check("lint.pow-inverse", 1,
+          "per-element pow(x, e-2, m) inversion on an NTT/multigpu "
+          "hot path; use vec_inv (batch inversion)"),
     Check("lint.mutable-default", 1,
           "mutable default argument"),
     Check("lint.trace-kind", 1,
@@ -63,6 +75,11 @@ CHECKS = (
 
 #: Sub-packages whose element-wise arithmetic must ride the backend.
 HOT_PACKAGES = ("multigpu",)
+
+#: Sub-packages on the big-field hot path, where a per-element Fermat
+#: inverse (3-arg ``pow`` with an ``e - 2`` exponent) is a ~380x
+#: per-call slowdown against batch inversion.
+BIGFIELD_PACKAGES = ("ntt", "multigpu")
 
 #: Sub-packages that must be bit-deterministic.
 DETERMINISTIC_PACKAGES = ("sim", "multigpu", "serve")
@@ -88,10 +105,12 @@ def _is_mod(node: ast.AST) -> bool:
 
 
 class _FileLinter(ast.NodeVisitor):
-    def __init__(self, rel_path: str, hot: bool, deterministic: bool):
+    def __init__(self, rel_path: str, hot: bool, deterministic: bool,
+                 bigfield: bool = False):
         self.rel_path = rel_path
         self.hot = hot
         self.deterministic = deterministic
+        self.bigfield = bigfield
         self.findings: list[Finding] = []
 
     def _flag(self, check: str, message: str, node: ast.AST) -> None:
@@ -214,6 +233,20 @@ class _FileLinter(ast.NodeVisitor):
         callee = node.func
         name = callee.attr if isinstance(callee, ast.Attribute) \
             else callee.id if isinstance(callee, ast.Name) else ""
+        if (self.bigfield and name == "pow"
+                and isinstance(callee, ast.Name)
+                and len(node.args) == 3
+                and isinstance(node.args[1], ast.BinOp)
+                and isinstance(node.args[1].op, ast.Sub)
+                and isinstance(node.args[1].right, ast.Constant)
+                and node.args[1].right.value == 2):
+            self._flag(
+                "lint.pow-inverse",
+                "pow(x, e - 2, m) is a per-element Fermat inverse "
+                "(~380 squarings per call on the big ZKP fields); use "
+                "vec_inv — one inversion per vector via batch "
+                "inversion, vectorized under the multi-limb backend",
+                node)
         if name == "TraceEvent":
             kind_args = [kw.value for kw in node.keywords
                          if kw.arg == "kind"]
@@ -257,7 +290,8 @@ def lint_file(path: str, root: str | None = None) -> list[Finding]:
     linter = _FileLinter(
         rel_path=rel,
         hot=package in HOT_PACKAGES,
-        deterministic=package in DETERMINISTIC_PACKAGES)
+        deterministic=package in DETERMINISTIC_PACKAGES,
+        bigfield=package in BIGFIELD_PACKAGES)
     linter.visit(tree)
     return sorted(linter.findings,
                   key=lambda f: (f.where, f.check, f.message))

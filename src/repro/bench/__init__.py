@@ -6,7 +6,8 @@ from repro.bench.reporting import (
     write_report,
 )
 from repro.bench.runners import (
-    ablation, backend_comparison, batch_throughput, comm_breakdown,
+    ablation, backend_comparison, batch_throughput, bigfield_comparison,
+    comm_breakdown,
     durability_degradation, end_to_end,
     headline_speedups, interconnect_sensitivity, multi_gpu_scaling,
     multi_node_scaling,
@@ -29,6 +30,6 @@ __all__ = [
     "end_to_end", "batch_throughput", "interconnect_sensitivity",
     "multi_node_scaling", "stark_end_to_end", "backend_comparison",
     "resilience_overhead", "serving_throughput",
-    "durability_degradation",
+    "durability_degradation", "bigfield_comparison",
     "bar_chart", "grouped_bar_chart",
 ]

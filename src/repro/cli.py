@@ -72,6 +72,8 @@ EXPERIMENTS: dict[str, tuple[Callable[[], tuple], str]] = {
             "F21: serving throughput vs offered load"),
     "f22": (bench_runners.durability_degradation,
             "F22: crash recovery and graceful degradation"),
+    "f23": (bench_runners.bigfield_comparison,
+            "F23: big-field multi-limb backend comparison (measured)"),
 }
 
 
@@ -136,7 +138,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--debug", action="store_true",
                         help="full tracebacks instead of one-line errors")
     parser.add_argument("--backend", default=None,
-                        choices=["auto", "python", "numpy"],
+                        choices=["auto", "python", "numpy", "multilimb"],
                         help="field compute backend (default: "
                              "$REPRO_BACKEND or auto)")
     sub = parser.add_subparsers(dest="command", required=True)
@@ -309,6 +311,14 @@ def _cmd_info() -> int:
         status = "available" if available else "unavailable"
         marker = "  (active)" if name == active and available else ""
         print(f"  {name:16s} {status}{marker}")
+    print("\nmulti-limb schedules (fields above 64 bits):")
+    from repro.field.limbgen import describe_schedule
+
+    for field in ALL_FIELDS:
+        if field.modulus >= 1 << 64 and field.modulus % 2:
+            for line in describe_schedule(
+                    field.modulus, field.name).splitlines():
+                print(f"  {line}")
     print("\nmachines:")
     for machine in ALL_MACHINES:
         print(f"  {machine.describe()}")

@@ -13,15 +13,19 @@ from repro.field.backend import (
     available_backends, get_backend, numpy_available, set_backend,
     use_backend,
 )
+from repro.field.limbgen import (
+    LimbSchedule, describe_schedule, generate_schedule,
+)
 from repro.field.montgomery import MontgomeryContext, MontgomeryElement
+from repro.field.multilimb import MultiLimbBackend
 from repro.field.presets import (
     ALL_FIELDS, BABYBEAR, BLS12_381_FR, BN254_FR, GOLDILOCKS, TEST_FIELD_97,
     TEST_FIELD_7681, ZKP_FIELDS, field_by_name,
 )
 from repro.field.prime_field import FieldElement, PrimeField
 from repro.field.vector import (
-    validate_vector, vec_add, vec_dot, vec_inv, vec_mul, vec_neg,
-    vec_pow_series, vec_scale, vec_sub, vec_sum,
+    host_values, validate_vector, vec_add, vec_dot, vec_inv, vec_mul,
+    vec_neg, vec_pow_series, vec_scale, vec_sub, vec_sum,
 )
 
 __all__ = [
@@ -31,9 +35,12 @@ __all__ = [
     "field_by_name",
     "vec_add", "vec_sub", "vec_mul", "vec_scale", "vec_neg",
     "vec_pow_series", "vec_inv", "vec_dot", "vec_sum", "validate_vector",
-    "FieldBackend", "PythonBackend", "NumPyBackend", "available_backends",
+    "host_values",
+    "FieldBackend", "PythonBackend", "NumPyBackend", "MultiLimbBackend",
+    "available_backends",
     "get_backend", "set_backend", "use_backend", "numpy_available",
     "BACKEND_ENV_VAR",
+    "LimbSchedule", "generate_schedule", "describe_schedule",
 ]
 
 # The hand-tuned per-field numpy kernels need the optional dependency;

@@ -12,10 +12,14 @@ substrate those helpers run on *pluggable*:
   32-bit limb splitting with Montgomery-style multi-word reduction, so
   64-bit fields like Goldilocks never overflow a ``uint64`` product
   (see ``docs/BACKENDS.md`` for the overflow analysis).
+* :class:`repro.field.multilimb.MultiLimbBackend` — NumPy semantics
+  plus limb-plane CIOS Montgomery kernels for moduli above 64 bits
+  (BN254-Fr, BLS12-381-Fr); opt-in, see ``docs/FIELDS.md``.
 
 The active backend is process-global.  Select it with the
 ``REPRO_BACKEND`` environment variable (``python`` | ``numpy`` |
-``auto``), the ``repro --backend`` CLI flag, or programmatically:
+``multilimb`` | ``auto``), the ``repro --backend`` CLI flag, or
+programmatically:
 
 >>> from repro.field.backend import get_backend, use_backend
 >>> get_backend().name in ("python", "numpy")
@@ -281,6 +285,23 @@ class _Kernel:
     def unpack(self, arr) -> list[int]:
         return arr.tolist()
 
+    # Lane-shape hooks: the structured helpers in NumPyBackend index
+    # along the *element* axis through these, so kernels whose packed
+    # form is not 1-D (the limb-plane kernels, shape (L, n) with the
+    # element axis last) reuse them unchanged.
+
+    def lanes(self, arr) -> int:
+        """Number of field elements in a packed array."""
+        return arr.shape[-1]
+
+    def zero_mask(self, arr):
+        """Boolean mask (1-D, one entry per element) of zero lanes."""
+        return arr == 0
+
+    def lane_int(self, arr, i: int) -> int:
+        """Element ``i`` of a packed array as a Python int."""
+        return int(arr[i])
+
 
 class _DirectKernel(_Kernel):
     """p < 2^32: products of canonical values fit in uint64."""
@@ -499,10 +520,19 @@ class NumPyBackend(FieldBackend):
         return kernel, a
 
     @staticmethod
-    def _check_lengths(a, b) -> None:
-        if len(a) != len(b):
+    def _length(a) -> int:
+        # Packed arrays keep the element axis last (len() of a 2-D
+        # limb-plane array would count limbs, not elements).
+        if hasattr(a, "ndim") and getattr(a, "ndim", 0) > 1:
+            return a.shape[-1]
+        return len(a)
+
+    @classmethod
+    def _check_lengths(cls, a, b) -> None:
+        if cls._length(a) != cls._length(b):
             raise ValueError(
-                f"vector length mismatch: {len(a)} vs {len(b)}")
+                f"vector length mismatch: {cls._length(a)} vs "
+                f"{cls._length(b)}")
 
     # -- element-wise ---------------------------------------------------------
 
@@ -551,17 +581,19 @@ class NumPyBackend(FieldBackend):
         p = field.modulus
         base %= p
         arr = kernel.pack([start % p])
-        while arr.size < n:
-            bpow = pow(base, int(arr.size), p)
-            arr = np.concatenate([arr, kernel.mul_scalar(arr, bpow)])
-        return arr[:n]
+        while kernel.lanes(arr) < n:
+            bpow = pow(base, kernel.lanes(arr), p)
+            arr = np.concatenate(
+                [arr, kernel.mul_scalar(arr, bpow)], axis=-1)
+        return arr[..., :n]
 
     def _scan_prod(self, kernel, arr):
         """Hillis-Steele inclusive prefix product (log n stages)."""
         out = arr.copy()
         offset = 1
-        while offset < out.size:
-            out[offset:] = kernel.mul(out[offset:], out[:-offset])
+        while offset < kernel.lanes(out):
+            out[..., offset:] = kernel.mul(
+                out[..., offset:], out[..., :-offset])
             offset *= 2
         return out
 
@@ -570,27 +602,29 @@ class NumPyBackend(FieldBackend):
         if kernel is None:
             return self._python.inv(field, a)
         np = kernel.np
-        if a.size == 0:
+        if kernel.lanes(a) == 0:
             return a
-        zeros = np.flatnonzero(a == 0)
+        zeros = np.flatnonzero(kernel.zero_mask(a))
         if zeros.size:
             raise FieldError(
                 f"batch inversion hit zero at index {int(zeros[0])}")
         one = kernel.pack([1])
         incl = self._scan_prod(kernel, a)
-        inv_total = field.inv(int(incl[-1]))
-        prefix = np.concatenate([one, incl[:-1]])       # prod of a[:i]
-        rincl = self._scan_prod(kernel, a[::-1].copy())
-        suffix = np.concatenate([one, rincl[:-1]])[::-1]  # prod of a[i+1:]
+        inv_total = field.inv(kernel.lane_int(incl, -1))
+        prefix = np.concatenate(                        # prod of a[:i]
+            [one, incl[..., :-1]], axis=-1)
+        rincl = self._scan_prod(kernel, a[..., ::-1].copy())
+        suffix = np.concatenate(                        # prod of a[i+1:]
+            [one, rincl[..., :-1]], axis=-1)[..., ::-1]
         return kernel.mul_scalar(kernel.mul(prefix, suffix), inv_total)
 
     def _tree_sum(self, kernel, arr) -> int:
         np = kernel.np
-        while arr.size > 1:
-            if arr.size % 2:
-                arr = np.concatenate([arr, kernel.pack([0])])
-            arr = kernel.add(arr[0::2], arr[1::2])
-        return int(arr[0]) if arr.size else 0
+        while kernel.lanes(arr) > 1:
+            if kernel.lanes(arr) % 2:
+                arr = np.concatenate([arr, kernel.pack([0])], axis=-1)
+            arr = kernel.add(arr[..., 0::2], arr[..., 1::2])
+        return kernel.lane_int(arr, 0) if kernel.lanes(arr) else 0
 
     def dot(self, field, a, b):
         self._check_lengths(a, b)
@@ -636,7 +670,7 @@ _MISSING = object()
 # registry and selection
 # ---------------------------------------------------------------------------
 
-_BACKEND_NAMES = ("python", "numpy")
+_BACKEND_NAMES = ("python", "numpy", "multilimb")
 _active: FieldBackend | None = None
 _instances: dict[str, FieldBackend] = {}
 _warned_fallback = False
@@ -648,13 +682,21 @@ def available_backends() -> dict[str, bool]:
     >>> available_backends()["python"]
     True
     """
-    return {"python": True, "numpy": numpy_available()}
+    has_numpy = numpy_available()
+    return {"python": True, "numpy": has_numpy, "multilimb": has_numpy}
 
 
 def _instantiate(name: str) -> FieldBackend:
     backend = _instances.get(name)
     if backend is None:
-        backend = PythonBackend() if name == "python" else NumPyBackend()
+        if name == "python":
+            backend = PythonBackend()
+        elif name == "multilimb":
+            from repro.field.multilimb import MultiLimbBackend
+
+            backend = MultiLimbBackend()
+        else:
+            backend = NumPyBackend()
         _instances[name] = backend
     return backend
 
@@ -668,10 +710,10 @@ def _resolve(name: str) -> FieldBackend:
         raise FieldError(
             f"unknown backend {name!r}; choose from "
             f"{', '.join(_BACKEND_NAMES)} or 'auto'")
-    if name == "numpy" and not numpy_available():
+    if name in ("numpy", "multilimb") and not numpy_available():
         if not _warned_fallback:
             warnings.warn(
-                "repro: the 'numpy' field backend was requested but numpy "
+                f"repro: the {name!r} field backend was requested but numpy "
                 "is not installed (pip install repro[fast]); falling back "
                 "to the pure-Python backend", RuntimeWarning, stacklevel=3)
             _warned_fallback = True

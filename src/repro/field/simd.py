@@ -31,7 +31,18 @@ __all__ = ["LaneOps", "vectorized_ntt", "vectorized_intt"]
 
 @dataclass(frozen=True)
 class LaneOps:
-    """The lane arithmetic a vectorized backend supplies."""
+    """The lane arithmetic a vectorized backend supplies.
+
+    The optional fields cover backends whose packed form is not a 1-D
+    ``uint64`` array (the multi-limb big-field kernels): ``unpack``
+    converts results back to ints when ``tolist()`` would be wrong,
+    ``pack_table`` packs twiddle tables (possibly in a different
+    domain, e.g. Montgomery form), ``ntt_core`` runs the whole
+    transform in backend-native form instead of the generic Stockham
+    loop below, ``fmt`` keys the packed-twiddle cache, and
+    ``min_size`` lets a backend demand a larger minimum before the
+    lane path beats scalar code.
+    """
 
     field: PrimeField
     add: Callable[[np.ndarray, np.ndarray], np.ndarray]
@@ -39,6 +50,11 @@ class LaneOps:
     mul: Callable[[np.ndarray, np.ndarray], np.ndarray]
     scale: Callable[[np.ndarray, int], np.ndarray]
     pack: Callable[[list[int]], np.ndarray]
+    unpack: Callable[[np.ndarray], list[int]] | None = None
+    pack_table: Callable[[list[int]], np.ndarray] | None = None
+    ntt_core: Callable[[np.ndarray, np.ndarray], np.ndarray] | None = None
+    fmt: str = "u64"
+    min_size: int = 32
 
 
 def _check_size(n: int) -> None:
@@ -50,14 +66,17 @@ def vectorized_ntt(ops: LaneOps, values: np.ndarray,
                    cache: TwiddleCache | None = None,
                    root: int | None = None) -> np.ndarray:
     """Forward NTT with whole-stage numpy butterflies (Stockham autosort)."""
-    n = len(values)
+    n = values.shape[-1] if values.ndim > 1 else len(values)
     _check_size(n)
     cache = cache or default_cache
     if n == 1:
         return values.copy()
     field = ops.field
     w = field.root_of_unity(n) if root is None else root
-    table = cache.packed_powers(field, w, n // 2, ops.pack)
+    table = cache.packed_powers(
+        field, w, n // 2, ops.pack_table or ops.pack, fmt=ops.fmt)
+    if ops.ntt_core is not None:
+        return ops.ntt_core(values, table)
 
     x = values.copy()
     y = np.empty_like(x)
@@ -85,7 +104,7 @@ def vectorized_intt(ops: LaneOps, values: np.ndarray,
                     cache: TwiddleCache | None = None,
                     root: int | None = None) -> np.ndarray:
     """Inverse vectorized NTT (includes the 1/n scaling)."""
-    n = len(values)
+    n = values.shape[-1] if values.ndim > 1 else len(values)
     _check_size(n)
     cache = cache or default_cache
     if n == 1:

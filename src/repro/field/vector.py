@@ -30,7 +30,40 @@ from repro.field.prime_field import PrimeField
 __all__ = [
     "vec_add", "vec_sub", "vec_mul", "vec_scale", "vec_neg",
     "vec_pow_series", "vec_inv", "vec_dot", "vec_sum", "validate_vector",
+    "host_values",
 ]
+
+
+def host_values(field: PrimeField, values) -> list[int]:
+    """Normalize a staged vector to a plain list of Python ints.
+
+    Host-side boundaries (the simulator's shard loader, checkpoint /
+    restore in the resilience layer) keep values as plain ints.  A
+    caller working with a vectorized backend may instead hold a
+    *packed* array — 1-D ``uint64`` lanes (raw residues) or multi-limb
+    planes (shape ``(L, n)``, element axis last, for the big ZKP
+    fields).  This helper accepts either, plus any sequence of
+    int-likes, without importing numpy: arrays are detected by duck
+    type (``ndim``) and unpacked through the active backend, so the
+    limb layout never has to be re-derived here.
+
+    >>> from repro.field.presets import TEST_FIELD_97
+    >>> host_values(TEST_FIELD_97, [1, True and 2, 3])
+    [1, 2, 3]
+    """
+    ndim = getattr(values, "ndim", None)
+    if ndim is None:
+        return [int(v) for v in values]
+    if ndim == 1:
+        # 1-D lanes hold raw residues; tolist() yields plain ints.
+        return values.tolist()
+    try:
+        return get_backend().unpack(field, values)
+    except Exception as exc:
+        raise FieldError(
+            f"cannot unpack a {ndim}-D packed array for {field.name} "
+            f"through the active backend ({get_backend().name}); pack "
+            f"and unpack under the same backend") from exc
 
 
 def validate_vector(field: PrimeField, values: Sequence[int]) -> None:
@@ -41,9 +74,15 @@ def validate_vector(field: PrimeField, values: Sequence[int]) -> None:
     scalars, ...); callers that need plain ints normalize with
     ``int(v)`` at the boundary.
 
+    Packed limb-plane arrays (2-D, element axis last) are unpacked
+    through the active backend before validation, so big-field shards
+    staged by the multi-limb backend validate like any other vector.
+
     >>> from repro.field.presets import TEST_FIELD_97
     >>> validate_vector(TEST_FIELD_97, [0, 42, 96])
     """
+    if getattr(values, "ndim", 0) >= 2:
+        values = host_values(field, values)
     p = field.modulus
     for i, v in enumerate(values):
         if (isinstance(v, bool) or not isinstance(v, numbers.Integral)

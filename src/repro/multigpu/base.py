@@ -63,8 +63,18 @@ class DistributedVector:
     @classmethod
     def from_values(cls, cluster: SimCluster, values: Sequence[int],
                     layout: Layout) -> "DistributedVector":
-        """Stage a host vector into the cluster under ``layout``."""
-        cluster.load_shards(distribute(values, layout))
+        """Stage a host vector into the cluster under ``layout``.
+
+        ``values`` may be a plain int sequence or a packed backend
+        array (uint64 lanes, or the multi-limb planes the big ZKP
+        fields use); packed forms are unpacked at this boundary so
+        shards — and the checkpoints taken from them — always hold
+        plain ints regardless of the active compute backend.
+        """
+        from repro.field.vector import host_values
+
+        cluster.load_shards(distribute(host_values(cluster.field, values),
+                                       layout))
         return cls(cluster=cluster, layout=layout)
 
     def to_values(self) -> list[int]:

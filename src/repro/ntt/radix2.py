@@ -123,11 +123,12 @@ def ntt(field: PrimeField, values: Sequence[int],
     cache = cache or default_cache
     if n >= _ACCEL_MIN_SIZE:
         ops = _lane_ops(field)
-        if ops is not None:
+        if ops is not None and n >= ops.min_size:
             from repro.field.simd import vectorized_ntt
 
-            return vectorized_ntt(ops, ops.pack(list(values)), cache,
-                                  root).tolist()
+            res = vectorized_ntt(ops, ops.pack(list(values)), cache, root)
+            return (ops.unpack(res) if ops.unpack is not None
+                    else res.tolist())
     out = list(values)
     if n == 1:
         return out
@@ -156,11 +157,12 @@ def intt(field: PrimeField, values: Sequence[int],
     cache = cache or default_cache
     if n >= _ACCEL_MIN_SIZE:
         ops = _lane_ops(field)
-        if ops is not None:
+        if ops is not None and n >= ops.min_size:
             from repro.field.simd import vectorized_intt
 
-            return vectorized_intt(ops, ops.pack(list(values)), cache,
-                                   root).tolist()
+            res = vectorized_intt(ops, ops.pack(list(values)), cache, root)
+            return (ops.unpack(res) if ops.unpack is not None
+                    else res.tolist())
     out = list(values)
     if n == 1:
         return out

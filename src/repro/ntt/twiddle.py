@@ -59,7 +59,7 @@ class TwiddleCache:
         self._tables: OrderedDict[tuple[int, int, int], list[int]] = \
             OrderedDict()
         self._bitrev: dict[int, list[int]] = {}
-        self._packed: dict[tuple[int, int, int], object] = {}
+        self._packed: dict[tuple[int, int, int, str], object] = {}
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -85,18 +85,24 @@ class TwiddleCache:
             return
         while len(self._tables) > self.max_tables:
             key, _ = self._tables.popitem(last=False)
-            self._packed.pop(key, None)
+            for packed_key in [k for k in self._packed if k[:3] == key]:
+                del self._packed[packed_key]
             self.evictions += 1
 
-    def packed_powers(self, field: PrimeField, root: int, count: int, pack):
+    def packed_powers(self, field: PrimeField, root: int, count: int, pack,
+                      fmt: str = "u64"):
         """:meth:`powers`, packed by ``pack`` into a lane-backend array.
 
         Real kernels keep twiddles resident in device memory in device
         format; the vectorized backends mirror that by caching the
-        packed (uint64) form alongside the int table, so repeated
-        transforms skip the list-to-array conversion.
+        packed form alongside the int table, so repeated transforms
+        skip the list-to-array conversion.  ``fmt`` names the lane
+        format (``u64`` lanes by default; the multi-limb backend passes
+        its schedule tag, e.g. ``limb29x9``, and packs tables in
+        Montgomery form) so differently-packed mirrors of one table
+        coexist.
         """
-        key = (field.modulus, root, count)
+        key = (field.modulus, root, count, fmt)
         packed = self._packed.get(key)
         if packed is None:
             packed = pack(self.powers(field, root, count))

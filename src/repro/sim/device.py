@@ -60,8 +60,17 @@ class SimGPU:
         Values are normalized to plain ``int`` so numpy integer scalars
         (from a vectorized backend) never leak into shard state, where
         their mod-2^64 wrapping semantics would corrupt later host-side
-        arithmetic.
+        arithmetic.  Multi-dimensional packed arrays (limb planes from
+        the multi-limb backend) are rejected outright — iterating them
+        here would shred elements into limb rows; they must be unpacked
+        at the staging boundary (``DistributedVector.from_values``).
         """
+        if getattr(values, "ndim", 0) > 1:
+            raise SimulationError(
+                f"GPU {self.gpu_id}: shard loader got a "
+                f"{values.ndim}-D packed array; unpack packed limb "
+                f"planes at the staging boundary "
+                f"(DistributedVector.from_values)")
         self.shard = [int(v) for v in values]
 
     def require_shard(self, expected: int) -> None:

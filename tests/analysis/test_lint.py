@@ -238,3 +238,42 @@ class TestNondeterminismInServe:
             """)
         assert checks_of(lint_file(path, root=str(tmp_path))) == {
             "lint.nondeterminism"}
+
+
+class TestPowInverse:
+    def test_fermat_inverse_in_ntt(self, tmp_path):
+        path = write_module(tmp_path, "ntt", "bad.py", """\
+            def invert_all(shard, p):
+                return [pow(x, p - 2, p) for x in shard]
+            """)
+        assert checks_of(lint_file(path, root=str(tmp_path))) == {
+            "lint.pow-inverse"}
+
+    def test_fermat_inverse_in_multigpu(self, tmp_path):
+        path = write_module(tmp_path, "multigpu", "bad.py", """\
+            def unscale(x, n, p):
+                return x * pow(n, p - 2, p)
+            """)
+        assert "lint.pow-inverse" in checks_of(
+            lint_file(path, root=str(tmp_path)))
+
+    def test_two_arg_pow_is_fine(self, tmp_path):
+        path = write_module(tmp_path, "ntt", "ok.py", """\
+            def square_tower(x, s):
+                return pow(x, 2 ** s)
+            """)
+        assert lint_file(path, root=str(tmp_path)) == []
+
+    def test_non_inverse_exponent_is_fine(self, tmp_path):
+        path = write_module(tmp_path, "ntt", "ok.py", """\
+            def root_step(w, step, p):
+                return pow(w, step, p)
+            """)
+        assert lint_file(path, root=str(tmp_path)) == []
+
+    def test_same_code_outside_bigfield_packages_is_fine(self, tmp_path):
+        path = write_module(tmp_path, "field", "ok.py", """\
+            def inv(x, p):
+                return pow(x, p - 2, p)
+            """)
+        assert lint_file(path, root=str(tmp_path)) == []

@@ -237,3 +237,86 @@ def test_random_cross_backend_fuzz(rng):
                     ref = op(field, a, b)
                 with use_backend("numpy"):
                     assert op(field, a, b) == ref
+
+
+class TestMultiLimbSelection:
+    def test_multilimb_is_listed(self):
+        assert available_backends().get("multilimb") is True
+
+    def test_set_and_restore(self):
+        original = get_backend().name
+        try:
+            set_backend("multilimb")
+            assert get_backend().name == "multilimb"
+        finally:
+            set_backend(original)
+
+    def test_auto_still_resolves_to_numpy(self):
+        # multilimb is opt-in: "auto" must not silently switch the
+        # big-field representation out from under existing users.
+        original = get_backend().name
+        try:
+            set_backend("auto")
+            assert get_backend().name == "numpy"
+        finally:
+            set_backend(original)
+
+    def test_env_var_selects_multilimb(self):
+        import subprocess
+        import sys
+
+        out = subprocess.run(
+            [sys.executable, "-c",
+             "from repro.field import get_backend; "
+             "print(get_backend().name)"],
+            capture_output=True, text=True, check=True,
+            env={"PYTHONPATH": "src", BACKEND_ENV_VAR: "multilimb"},
+            cwd=".").stdout.strip()
+        assert out == "multilimb"
+
+
+@pytest.mark.parametrize("field", FIELDS, ids=lambda f: f.name)
+class TestMultiLimbEquivalence:
+    """MultiLimbBackend agrees with PythonBackend on EVERY preset.
+
+    Below 64 bits it inherits the uint64 lanes; at 254/255 bits it
+    switches to limb planes — either way the answers must be the
+    reference answers, on the same edge-heavy vectors the numpy
+    equivalence matrix uses.
+    """
+
+    def test_elementwise(self, field, rng):
+        from repro.field import MultiLimbBackend
+
+        py, ml = PythonBackend(), MultiLimbBackend()
+        a, b = _vectors(field, rng)
+        for op in ("add", "sub", "mul"):
+            ref = py.unpack(field, getattr(py, op)(
+                field, py.pack(field, a), py.pack(field, b)))
+            got = ml.unpack(field, getattr(ml, op)(
+                field, ml.pack(field, a), ml.pack(field, b)))
+            assert got == ref, f"{op} mismatch over {field.name}"
+
+    def test_scale_pow_series_inv(self, field, rng):
+        from repro.field import MultiLimbBackend
+
+        py, ml = PythonBackend(), MultiLimbBackend()
+        a, _ = _vectors(field, rng)
+        nonzero = [v or 1 for v in a]
+        s = rng.randrange(1, field.modulus)
+        assert ml.unpack(field, ml.scale(field, ml.pack(field, a), s)) == \
+            py.unpack(field, py.scale(field, py.pack(field, a), s))
+        assert ml.unpack(field, ml.pow_series(field, s, 17)) == \
+            py.unpack(field, py.pow_series(field, s, 17))
+        assert ml.unpack(field, ml.inv(field, ml.pack(field, nonzero))) == \
+            py.unpack(field, py.inv(field, py.pack(field, nonzero)))
+
+    def test_reductions(self, field, rng):
+        from repro.field import MultiLimbBackend
+
+        py, ml = PythonBackend(), MultiLimbBackend()
+        a, b = _vectors(field, rng)
+        assert ml.sum(field, ml.pack(field, a)) == \
+            py.sum(field, py.pack(field, a))
+        assert ml.dot(field, ml.pack(field, a), ml.pack(field, b)) == \
+            py.dot(field, py.pack(field, a), py.pack(field, b))

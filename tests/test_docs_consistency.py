@@ -21,6 +21,7 @@ DOCS = os.path.join(
 @pytest.mark.parametrize("module_name", [
     "repro.field.backend",
     "repro.field.vector",
+    "repro.field.limbgen",
 ])
 def test_field_doctests(module_name):
     import importlib
@@ -51,6 +52,52 @@ def test_backends_guide_exists_and_covers_api():
     for needle in ("FieldBackend", "PythonBackend", "NumPyBackend",
                    "REPRO_BACKEND", "Montgomery", "Goldilocks"):
         assert needle in text, f"docs/BACKENDS.md does not mention {needle}"
+
+
+def test_fields_guide_exists_and_covers_api():
+    path = os.path.join(DOCS, "FIELDS.md")
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    for needle in ("MultiLimbBackend", "LimbSchedule", "generate_schedule",
+                   "emit_montmul_source", "CIOS", "Barrett",
+                   "REPRO_BACKEND=multilimb", "host_values",
+                   "butterfly_stage", "max_lazy_stages",
+                   "lint.pow-inverse", "f23"):
+        assert needle in text, f"docs/FIELDS.md does not mention {needle}"
+
+
+def test_fields_guide_schedule_numbers_match_codegen():
+    # The worked example in FIELDS.md quotes the derived BN254-Fr
+    # schedule; if the codegen ever picks different numbers the doc
+    # must be rewritten, not silently left stale.
+    from repro.field import BN254_FR, BLS12_381_FR
+    from repro.field.limbgen import generate_schedule
+
+    path = os.path.join(DOCS, "FIELDS.md")
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    for field in (BN254_FR, BLS12_381_FR):
+        sched = generate_schedule(field.modulus)
+        assert sched.fmt in text, (
+            f"docs/FIELDS.md does not mention the {field.name} "
+            f"schedule format {sched.fmt}")
+    sched = generate_schedule(BN254_FR.modulus)
+    assert f"R = 2^{sched.limb_bits * sched.limbs}" in text
+    assert f"n' = {sched.n_prime:#x}" in text
+
+
+def test_fields_guide_is_cross_linked():
+    import re
+
+    root = os.path.dirname(DOCS)
+    for name in (os.path.join(root, "README.md"),
+                 os.path.join(DOCS, "API.md"),
+                 os.path.join(DOCS, "BACKENDS.md"),
+                 os.path.join(DOCS, "REPRODUCING.md"),
+                 os.path.join(DOCS, "ANALYSIS.md")):
+        with open(name, encoding="utf-8") as handle:
+            assert re.search(r"FIELDS\.md", handle.read()), (
+                f"{os.path.basename(name)} does not link to FIELDS.md")
 
 
 def test_analysis_guide_exists_and_covers_api():

@@ -95,3 +95,55 @@ def test_every_engine_reproduces_golden(entry, engine_name):
 def test_intt_inverts_golden(entry):
     field = field_by_name(entry["field"])
     assert intt(field, list(entry["forward"])) == entry["input"]
+
+
+# -- big-field vectors through the multi-limb backend -------------------------
+
+with GOLDEN_PATH.open(encoding="utf-8") as _handle:
+    BIGFIELD_GOLDEN = json.load(_handle)["bigfield_vectors"]
+
+
+def _bigfield_cases():
+    return [pytest.param(entry, id=f"{entry['field']}-n{entry['n']}")
+            for entry in BIGFIELD_GOLDEN]
+
+
+def test_bigfield_golden_covers_both_zkp_fields():
+    assert sorted(e["field"] for e in BIGFIELD_GOLDEN) == [
+        "BLS12-381-Fr", "BN254-Fr"]
+
+
+@pytest.mark.parametrize("entry", _bigfield_cases())
+def test_bigfield_golden_is_self_consistent(entry):
+    field = field_by_name(entry["field"])
+    assert len(entry["input"]) == entry["n"]
+    assert idft(field, entry["forward"]) == entry["input"]
+
+
+@pytest.mark.parametrize("entry", _bigfield_cases())
+@pytest.mark.parametrize("backend_name", ["python", "multilimb"], ids=str)
+@pytest.mark.parametrize("kernel", sorted(KERNELS), ids=str)
+def test_bigfield_kernels_reproduce_golden(entry, kernel, backend_name):
+    from repro.field import numpy_available, use_backend
+
+    if backend_name == "multilimb" and not numpy_available():
+        pytest.skip("multi-limb backend needs numpy")
+    field = field_by_name(entry["field"])
+    with use_backend(backend_name):
+        got = KERNELS[kernel](field, list(entry["input"]))
+    assert got == entry["forward"], (
+        f"{kernel} under {backend_name} no longer reproduces the "
+        f"committed {field.name} spectrum")
+
+
+@pytest.mark.parametrize("entry", _bigfield_cases())
+@pytest.mark.parametrize("backend_name", ["python", "multilimb"], ids=str)
+def test_bigfield_intt_inverts_golden(entry, backend_name):
+    from repro.field import numpy_available, use_backend
+
+    if backend_name == "multilimb" and not numpy_available():
+        pytest.skip("multi-limb backend needs numpy")
+    field = field_by_name(entry["field"])
+    with use_backend(backend_name):
+        back = intt(field, list(entry["forward"]))
+    assert back == entry["input"]
