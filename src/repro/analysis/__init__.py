@@ -1,6 +1,6 @@
-"""Static analysis for the reproduction: plan, trace, and repo checks.
+"""Static analysis for the reproduction: plan, trace, repo, and rewrite checks.
 
-Three checkers share one reporting vocabulary
+Four tools share one reporting vocabulary
 (:class:`~repro.analysis.findings.Finding`):
 
 * :mod:`repro.analysis.plancheck` — symbolic verification of
@@ -8,7 +8,12 @@ Three checkers share one reporting vocabulary
 * :mod:`repro.analysis.tracecheck` — post-hoc race/coherence checks
   over simulator traces (``repro analyze trace``);
 * :mod:`repro.analysis.lint` — AST enforcement of project invariants
-  over ``src/repro`` (``repro analyze lint``).
+  over ``src/repro`` (``repro analyze lint``);
+* :mod:`repro.analysis.passes` + :mod:`repro.analysis.synth` — the
+  schedule-rewriting compiler layer: peephole passes, hierarchical
+  all-to-all synthesis, and the verification gate every rewritten
+  schedule must pass (``repro analyze optimize``), with
+  :mod:`repro.analysis.interp` executing the products on the simulator.
 
 :func:`all_checks` aggregates every registered check for ``repro
 info`` and the docs.
@@ -16,12 +21,20 @@ info`` and the docs.
 
 from __future__ import annotations
 
-from repro.analysis import plancheck, tracecheck
+from repro.analysis import passes, plancheck, tracecheck
 from repro.analysis.findings import (
     Check, Finding, findings_to_json, render_findings,
 )
+from repro.analysis.interp import interpret_schedule
+from repro.analysis.passes import (
+    DEFAULT_PASSES, PassReport, ScheduleDelta, SchedulePass, run_passes,
+    verify_rewrite,
+)
 from repro.analysis.plancheck import (
     SEED_BUGS, analyze_plan, check_cost, seed_bug, verify_schedule,
+)
+from repro.analysis.synth import (
+    ScheduleCandidate, enumerate_candidates, synthesize_hierarchical,
 )
 from repro.analysis.tracecheck import check_trace
 
@@ -29,6 +42,10 @@ __all__ = [
     "Check", "Finding", "render_findings", "findings_to_json",
     "all_checks", "verify_schedule", "check_cost", "analyze_plan",
     "seed_bug", "SEED_BUGS", "check_trace", "lint_paths",
+    "ScheduleDelta", "SchedulePass", "PassReport", "DEFAULT_PASSES",
+    "run_passes", "verify_rewrite", "ScheduleCandidate",
+    "synthesize_hierarchical", "enumerate_candidates",
+    "interpret_schedule",
 ]
 
 
@@ -51,7 +68,7 @@ def __getattr__(name: str):
 
 
 def all_checks() -> list[Check]:
-    """Every registered check across the three tools, sorted by id."""
+    """Every registered check across the four tools, sorted by id."""
     checks = list(plancheck.CHECKS) + list(tracecheck.CHECKS) \
-        + list(_lint_module().CHECKS)
+        + list(passes.CHECKS) + list(_lint_module().CHECKS)
     return sorted(checks, key=lambda check: check.check_id)

@@ -36,6 +36,13 @@ those rules as AST visitors over ``src/repro/``:
 * ``lint.trace-kind`` — repo-wide: every literal ``kind=`` passed to
   ``TraceEvent`` must be registered in
   :data:`repro.sim.trace.EVENT_KINDS`.
+* ``lint.raw-transfers`` — repo-wide: no hand-constructed
+  ``ShardTransfer(...)`` outside the schedule builders
+  (``multigpu/schedule.py``) and the pass framework
+  (``analysis/passes.py``/``analysis/synth.py``).  Transfer tuples
+  written by hand drift from the layout walk that
+  ``make_transfers`` mirrors, and the byte totals the verifier,
+  cost model, and simulator all cross-check silently diverge.
 
 The module itself depends only on the standard library (plus the
 registry in :mod:`repro.sim.trace`, which is stdlib-only too), so
@@ -71,7 +78,20 @@ CHECKS = (
           "mutable default argument"),
     Check("lint.trace-kind", 1,
           "TraceEvent kind not declared in EVENT_KINDS"),
+    Check("lint.raw-transfers", 1,
+          "hand-constructed ShardTransfer outside make_transfers/the "
+          "schedule builders/the pass framework"),
 )
+
+#: The only files allowed to construct ``ShardTransfer`` directly: the
+#: builders that derive transfers from layouts, and the pass framework
+#: that rewrites them under the verification gate.  ``/``-separated,
+#: relative to the lint root.
+TRANSFER_BUILDER_FILES = frozenset({
+    "multigpu/schedule.py",
+    "analysis/passes.py",
+    "analysis/synth.py",
+})
 
 #: Sub-packages whose element-wise arithmetic must ride the backend.
 HOT_PACKAGES = ("multigpu",)
@@ -106,11 +126,12 @@ def _is_mod(node: ast.AST) -> bool:
 
 class _FileLinter(ast.NodeVisitor):
     def __init__(self, rel_path: str, hot: bool, deterministic: bool,
-                 bigfield: bool = False):
+                 bigfield: bool = False, transfer_builder: bool = False):
         self.rel_path = rel_path
         self.hot = hot
         self.deterministic = deterministic
         self.bigfield = bigfield
+        self.transfer_builder = transfer_builder
         self.findings: list[Finding] = []
 
     def _flag(self, check: str, message: str, node: ast.AST) -> None:
@@ -247,6 +268,14 @@ class _FileLinter(ast.NodeVisitor):
                 "vec_inv — one inversion per vector via batch "
                 "inversion, vectorized under the multi-limb backend",
                 node)
+        if name == "ShardTransfer" and not self.transfer_builder:
+            self._flag(
+                "lint.raw-transfers",
+                "hand-constructed ShardTransfer; transfer tuples come "
+                "from make_transfers/the schedule builders (or the "
+                "gated pass framework), so their byte totals match the "
+                "layout walk the verifier and simulator check against",
+                node)
         if name == "TraceEvent":
             kind_args = [kw.value for kw in node.keywords
                          if kw.arg == "kind"]
@@ -291,7 +320,9 @@ def lint_file(path: str, root: str | None = None) -> list[Finding]:
         rel_path=rel,
         hot=package in HOT_PACKAGES,
         deterministic=package in DETERMINISTIC_PACKAGES,
-        bigfield=package in BIGFIELD_PACKAGES)
+        bigfield=package in BIGFIELD_PACKAGES,
+        transfer_builder=rel.replace(os.sep, "/")
+        in TRANSFER_BUILDER_FILES)
     linter.visit(tree)
     return sorted(linter.findings,
                   key=lambda f: (f.where, f.check, f.message))

@@ -58,7 +58,7 @@ CHECKS = (
 
 #: Fault kinds :func:`seed_bug` can inject.
 SEED_BUGS = ("drop-transfer", "duplicate-transfer", "reorder",
-             "wrong-level", "deadlock")
+             "wrong-level", "deadlock", "bad-fusion")
 
 #: Tag a shard carries after a broken exchange: nothing downstream may
 #: legitimately consume it.
@@ -68,14 +68,34 @@ _STALE = "<stale>"
 _EXCHANGE_LEVELS = frozenset({"multi-gpu", "multi-node"})
 
 
+class _OpFindings:
+    """Append shim tying each finding to the op index it was found at.
+
+    :func:`verify_schedule` sorts its findings into a canonical
+    (op index, check, message) order before returning; this keeps the
+    emission sites unchanged while recording the primary sort key.
+    """
+
+    def __init__(self, recorded: list, index: int):
+        self._recorded = recorded
+        self._index = index
+
+    def append(self, finding: Finding) -> None:
+        self._recorded.append((self._index, finding))
+
+
 def verify_schedule(schedule: CommSchedule, machine=None) -> list[Finding]:
     """Symbolically walk ``schedule``; return every violation found.
 
     ``machine`` (a :class:`~repro.hw.model.MachineModel`, optional)
     enables the level checks: every op's level must name a level the
     machine actually has.
+
+    Findings are returned in a canonical order — sorted by (op index,
+    check id, message) — so rendered and ``--json`` output is
+    byte-reproducible across runs and refactors of the walk itself.
     """
-    findings: list[Finding] = []
+    recorded: list[tuple[int, Finding]] = []
     g = schedule.num_gpus
     tags = ["input"] * g
 
@@ -84,17 +104,18 @@ def verify_schedule(schedule: CommSchedule, machine=None) -> list[Finding]:
         level_names = {spec.name
                        for spec in machine.levels(schedule.element_bytes)}
 
-    def read_all_shards(op, where: str) -> None:
+    def read_all_shards(op, index: int, where: str) -> None:
         stale = sorted(s for s in range(g) if tags[s] != op.consumes)
         if stale:
             found = sorted({tags[s] for s in stale})
-            findings.append(Finding(
+            recorded.append((index, Finding(
                 "plan.read-before-write",
                 f"consumes {op.consumes!r} but GPU(s) {stale} hold "
-                f"{', '.join(repr(t) for t in found)}", where))
+                f"{', '.join(repr(t) for t in found)}", where)))
 
     for index, op in enumerate(schedule.ops):
         where = f"{schedule.name}.ops[{index}]({op.name})"
+        findings = _OpFindings(recorded, index)
 
         if level_names is not None and op.level not in level_names:
             findings.append(Finding(
@@ -103,7 +124,7 @@ def verify_schedule(schedule: CommSchedule, machine=None) -> list[Finding]:
                 where))
 
         if isinstance(op, LocalOp):
-            read_all_shards(op, where)
+            read_all_shards(op, index, where)
             tags = [op.produces] * g
             continue
 
@@ -122,7 +143,7 @@ def verify_schedule(schedule: CommSchedule, machine=None) -> list[Finding]:
                         "plan.bad-transfer",
                         f"malformed transfer {t.src}->{t.dst} "
                         f"({t.nbytes} bytes)", where))
-            read_all_shards(op, where)
+            read_all_shards(op, index, where)
             received = op.received_bytes_per_gpu(g)
             stale_dsts = set()
             for dst in range(g):
@@ -168,11 +189,13 @@ def verify_schedule(schedule: CommSchedule, machine=None) -> list[Finding]:
                 f"GPU(s) {stranded} wait on partners that are not "
                 f"waiting back", where))
         deadlocked = bool(cycles or stranded)
-        read_all_shards(op, where)
+        read_all_shards(op, index, where)
         # A deadlocked stage never completes: nothing is produced.
         tags = [_STALE] * g if deadlocked else [op.produces] * g
 
-    return findings
+    recorded.sort(key=lambda item: (item[0], item[1].check,
+                                    item[1].message))
+    return [finding for _, finding in recorded]
 
 
 def _wait_cycles(partner_of: tuple[int, ...],
@@ -208,7 +231,8 @@ def _wait_cycles(partner_of: tuple[int, ...],
 
 
 def check_cost(machine, field, n: int,
-               schedule: CommSchedule | None = None) -> list[Finding]:
+               schedule: CommSchedule | None = None,
+               delta=None) -> list[Finding]:
     """Price the multi-GPU split and check the cost-model invariants.
 
     Builds the one-exchange plan the schedule corresponds to (a single
@@ -217,6 +241,12 @@ def check_cost(machine, field, n: int,
     per-unit bytes against the closed-form accounting, and — when a
     schedule is supplied — checks the schedule's total exchange bytes
     against the plan cost (per-unit bytes x GPUs x exchanges).
+
+    ``delta`` (a :class:`~repro.analysis.passes.ScheduleDelta`,
+    optional) re-validates a *declared* accounting change: a
+    synthesized schedule whose staging legitimately shifts bytes
+    between levels must still land exactly on flat-plan bytes plus its
+    declaration, per level — an undeclared drift is a cost mismatch.
     """
     from repro.hw.plancost import price_plan
     from repro.ntt.plan import leaf, split
@@ -244,9 +274,11 @@ def check_cost(machine, field, n: int,
             f"formula {formula}", where))
 
     if schedule is not None:
+        declared = delta.bytes_dict() if delta is not None else {}
         exchanges = [op for op in schedule.collective_ops()
                      if op.level == "multi-gpu"]
-        expected = per_unit * g * len(exchanges)
+        expected = (per_unit * g * len(exchanges)
+                    + declared.get("multi-gpu", 0))
         actual = schedule.bytes_by_level().get("multi-gpu", 0)
         if expected != actual:
             findings.append(Finding(
@@ -254,6 +286,13 @@ def check_cost(machine, field, n: int,
                 f"schedule moves {actual} multi-gpu bytes but plancost "
                 f"prices {expected} ({len(exchanges)} exchange(s))",
                 where))
+        for level in sorted(set(declared) - {"multi-gpu"}):
+            level_actual = schedule.bytes_by_level().get(level, 0)
+            if level_actual != declared[level]:
+                findings.append(Finding(
+                    "plan.cost-mismatch",
+                    f"schedule moves {level_actual} {level} bytes but "
+                    f"declares {declared[level]}", where))
     return findings
 
 
@@ -269,7 +308,11 @@ def seed_bug(schedule: CommSchedule, kind: str) -> CommSchedule:
     * ``wrong-level`` — charge the first collective to the ``gpu``
       level;
     * ``deadlock`` — replace the first pairwise partner map with a
-      rotation (a ``G``-cycle, the canonical non-involution).
+      rotation (a ``G``-cycle, the canonical non-involution);
+    * ``bad-fusion`` — merge two local ops *across* an intervening
+      collective, the way a buggy peephole pass would: the collective
+      is left consuming a tag nothing produces any more (caught as a
+      read-before-write at the collective).
     """
     ops = list(schedule.ops)
 
@@ -301,6 +344,26 @@ def seed_bug(schedule: CommSchedule, kind: str) -> CommSchedule:
         g = schedule.num_gpus
         ops[i] = replace(ops[i],
                          partner_of=tuple((s + 1) % g for s in range(g)))
+    elif kind == "bad-fusion":
+        local_indices = [i for i, op in enumerate(ops)
+                         if isinstance(op, LocalOp)]
+        pair = next(((a, b) for a, b in zip(local_indices,
+                                            local_indices[1:])
+                     if b > a + 1), None)
+        if pair is None:
+            raise ValueError(
+                f"schedule {schedule.name} has no local ops separated "
+                f"by a collective to mis-fuse with {kind!r}")
+        a, b = pair
+        head, tail = ops[a], ops[b]
+        ops[a] = LocalOp(
+            name=f"{head.name}+{tail.name}", consumes=head.consumes,
+            produces=tail.produces, level=head.level,
+            field_muls_per_gpu=(head.field_muls_per_gpu
+                                + tail.field_muls_per_gpu),
+            mem_bytes_per_gpu=(head.mem_bytes_per_gpu
+                               + tail.mem_bytes_per_gpu))
+        del ops[b]
     else:
         raise ValueError(f"unknown seed bug {kind!r}; "
                          f"choose from {SEED_BUGS}")

@@ -11,8 +11,8 @@ from repro.bench.runners import (
     durability_degradation, end_to_end,
     headline_speedups, interconnect_sensitivity, multi_gpu_scaling,
     multi_node_scaling,
-    platforms_table, resilience_overhead, serving_throughput,
-    single_gpu_comparison,
+    platforms_table, resilience_overhead, schedule_synthesis,
+    serving_throughput, single_gpu_comparison,
     stark_end_to_end, workloads_table,
 )
 from repro.bench.workloads import (
@@ -31,5 +31,6 @@ __all__ = [
     "multi_node_scaling", "stark_end_to_end", "backend_comparison",
     "resilience_overhead", "serving_throughput",
     "durability_degradation", "bigfield_comparison",
+    "schedule_synthesis",
     "bar_chart", "grouped_bar_chart",
 ]

@@ -16,10 +16,11 @@ Commands
     log and per-level communication summary.
 ``tune``
     Autotune tile size and rank the engines for a workload.
-``analyze plan|trace|lint``
+``analyze plan|trace|lint|optimize``
     Static analysis: verify a symbolic communication schedule, race-check
-    a simulator trace against it, or lint ``src/repro`` for project
-    invariants.  All three support ``--json`` and exit non-zero on
+    a simulator trace against it, lint ``src/repro`` for project
+    invariants, or synthesize and rank verified schedule rewrites for a
+    topology.  All four support ``--json`` and exit non-zero on
     findings, so they double as CI gates.
 ``serve``
     Run the proof-serving scheduler over a workload (synthetic via
@@ -74,6 +75,8 @@ EXPERIMENTS: dict[str, tuple[Callable[[], tuple], str]] = {
             "F22: crash recovery and graceful degradation"),
     "f23": (bench_runners.bigfield_comparison,
             "F23: big-field multi-limb backend comparison (measured)"),
+    "f24": (bench_runners.schedule_synthesis,
+            "F24: verified schedule synthesis vs hand-written"),
 }
 
 
@@ -188,7 +191,8 @@ def build_parser() -> argparse.ArgumentParser:
     tune.add_argument("--log-size", type=int, default=24)
 
     analyze = sub.add_parser(
-        "analyze", help="static analysis (plan / trace / lint)")
+        "analyze",
+        help="static analysis (plan / trace / lint / optimize)")
     asub = analyze.add_subparsers(dest="analyze_command", required=True)
 
     ap = asub.add_parser("plan",
@@ -202,9 +206,10 @@ def build_parser() -> argparse.ArgumentParser:
                     help="machine model for level/cost checks")
     ap.add_argument("--ablation", action="store_true",
                     help="verify every ablation_grid() configuration")
+    from repro.analysis.plancheck import SEED_BUGS
+
     ap.add_argument("--seed-bug", action="append", default=[],
-                    choices=["drop-transfer", "duplicate-transfer",
-                             "reorder", "wrong-level", "deadlock"],
+                    choices=sorted(SEED_BUGS),
                     help="inject a deliberate bug first (repeatable)")
     ap.add_argument("--json", action="store_true")
 
@@ -224,6 +229,17 @@ def build_parser() -> argparse.ArgumentParser:
                     help="files/directories (default: the installed "
                          "repro package)")
     al.add_argument("--json", action="store_true")
+
+    ao = asub.add_parser(
+        "optimize",
+        help="synthesize, gate, and rank communication-schedule "
+             "rewrites for a topology")
+    ao.add_argument("--machine", default="4xDGX-A100",
+                    help="machine or cluster preset (clusters unlock "
+                         "hierarchical synthesis)")
+    ao.add_argument("--field", default="BLS12-381-Fr")
+    ao.add_argument("--log-size", type=int, default=24)
+    ao.add_argument("--json", action="store_true")
 
     sv = sub.add_parser("serve",
                         help="run the proof-serving scheduler over a "
@@ -467,21 +483,42 @@ def _cmd_trace(field_name: str, gpus: int, log_size: int,
     return 0 if correct else 1
 
 
+def _machine_or_cluster(name: str):
+    """Resolve a preset machine or multi-node cluster by name."""
+    from repro.hw import (
+        ALL_CLUSTERS, ALL_MACHINES, cluster_by_name, machine_by_name,
+    )
+
+    try:
+        return cluster_by_name(name)
+    except KeyError:
+        try:
+            return machine_by_name(name)
+        except KeyError:
+            known = [m.name for m in ALL_MACHINES] \
+                + [c.name for c in ALL_CLUSTERS]
+            raise KeyError(f"no preset machine or cluster named "
+                           f"{name!r}; known: {known}") from None
+
+
 def _cmd_tune(machine_name: str, field_name: str, log_size: int) -> int:
     from repro.field import field_by_name
-    from repro.hw import machine_by_name
     from repro.multigpu import autotune_tile, select_engine
 
-    machine = machine_by_name(machine_name)
+    machine = _machine_or_cluster(machine_name)
     field = field_by_name(field_name)
     n = 1 << log_size
-    tile, seconds = autotune_tile(machine, field, n)
+    # Tile autotuning works on the flat all-GPUs view; the engine
+    # ranking sees the cluster itself so schedule candidates compete.
+    flat = machine.flattened() if hasattr(machine, "node_count") \
+        else machine
+    tile, seconds = autotune_tile(flat, field, n)
     print(f"workload: 2^{log_size} {field.name} on {machine.name}")
     print(f"best tile: {tile} elements "
           f"(UniNTT estimate {seconds * 1e3:.3f} ms)\n")
     print("engine ranking:")
     for choice in select_engine(machine, field, n):
-        print(f"  {choice.name:26s} {choice.seconds * 1e3:10.3f} ms  "
+        print(f"  {choice.name:38s} {choice.seconds * 1e3:10.3f} ms  "
               f"({choice.bottleneck}-bound)")
     return 0
 
@@ -551,6 +588,50 @@ def _cmd_analyze_trace(engine: str, field_name: str, gpus: int,
         print(f"# {eng.name}: {len(cluster.trace)} events, "
               f"{cluster.trace.collective_count()} collectives")
         print(render_findings(findings, tool="trace"))
+    return 1 if findings else 0
+
+
+def _cmd_analyze_optimize(machine_name: str, field_name: str,
+                          log_size: int, as_json: bool) -> int:
+    from repro.analysis import check_cost, findings_to_json, \
+        render_findings, verify_rewrite
+    from repro.analysis.synth import enumerate_candidates
+    from repro.field import field_by_name
+    from repro.multigpu import select_schedule
+
+    machine = _machine_or_cluster(machine_name)
+    field = field_by_name(field_name)
+    n = 1 << log_size
+    flat = machine.flattened() if hasattr(machine, "node_count") \
+        else machine
+    total = machine.total_gpus if hasattr(machine, "node_count") \
+        else machine.gpu_count
+
+    # Re-run the gate independently of enumerate_candidates' internal
+    # one: the CLI reports findings, it does not trust the builder.
+    findings = []
+    candidates = enumerate_candidates(machine, field, n)
+    for cand in candidates:
+        findings.extend(verify_rewrite(
+            cand.base, cand.schedule, machine=cand.machine, field=field,
+            delta=cand.delta))
+        findings.extend(check_cost(flat, field, n,
+                                   schedule=cand.schedule,
+                                   delta=cand.delta))
+    choices = select_schedule(machine, field, n)
+    if as_json:
+        print(findings_to_json(findings, tool="optimize"))
+        return 1 if findings else 0
+    print(f"# schedule candidates for 2^{log_size} {field.name} on "
+          f"{machine.name} ({total} GPUs), fastest first")
+    for rank, choice in enumerate(choices, start=1):
+        origin = "synthesized" if choice.synthesized else "hand-written"
+        marker = "  <- selected" if rank == 1 else ""
+        print(f"  {rank}. {choice.name:44s} "
+              f"{choice.cost.total_s * 1e3:9.3f} ms sequential, "
+              f"{choice.seconds * 1e3:9.3f} ms modeled  "
+              f"[{origin}]{marker}")
+    print(render_findings(findings, tool="optimize"))
     return 1 if findings else 0
 
 
@@ -733,6 +814,9 @@ def _dispatch(args: argparse.Namespace) -> int:
                                       args.log_size, args.json)
         if args.analyze_command == "lint":
             return _cmd_analyze_lint(args.paths, args.json)
+        if args.analyze_command == "optimize":
+            return _cmd_analyze_optimize(args.machine, args.field,
+                                         args.log_size, args.json)
     if args.command == "serve":
         return _cmd_serve(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -54,6 +54,16 @@ class ResilienceError(SimulationError):
     """The resilient execution layer exhausted its recovery options."""
 
 
+class SchedulePassError(PlanError):
+    """A schedule rewrite or synthesis product failed its verification gate.
+
+    Raised by the pass framework (:mod:`repro.analysis.passes`) when a
+    rewritten or synthesized :class:`~repro.multigpu.schedule.CommSchedule`
+    produces verifier findings, silently changes ``bytes_by_level()`` /
+    ``total_field_muls()``, or cannot be interpreted on the simulator.
+    """
+
+
 class CurveError(ReproError):
     """Invalid elliptic-curve point or operation."""
 

@@ -6,7 +6,8 @@ from repro.multigpu.accounting import (
     tile_passes, twiddle_muls,
 )
 from repro.multigpu.autotune import (
-    EngineChoice, autotune_tile, machine_plan, select_engine,
+    EngineChoice, ScheduleChoice, autotune_tile, machine_plan,
+    select_engine, select_schedule,
 )
 from repro.multigpu.base import (
     DistributedNTTEngine, DistributedVector, VectorCheckpoint, redistribute,
@@ -43,6 +44,7 @@ __all__ = [
     "PairwiseExchangeEngine", "BitrevSpectralLayout",
     "BatchedDistributedNTT",
     "machine_plan", "autotune_tile", "select_engine", "EngineChoice",
+    "select_schedule", "ScheduleChoice",
     "DistributedPolynomial",
     "StreamingHostEngine", "StreamingEstimate",
     "HierarchicalUniNTTEngine", "NestedCyclicLayout", "NestedSpectralLayout",

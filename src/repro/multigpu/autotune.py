@@ -11,7 +11,14 @@ machine model and picks.  Three tuners:
   but must fit the shared-memory capacity;
 * :func:`select_engine` — pick the fastest engine (and batch strategy)
   for a workload, returning the ranked table so callers can see the
-  margins.
+  margins.  On a :class:`~repro.hw.multinode.MultiNodeMachine` the
+  candidate pool also includes every verified schedule the synthesis
+  layer offers (flat, pass-rewritten, hierarchical), ranked by the
+  same cost model;
+* :func:`select_schedule` — rank only the schedule candidates
+  (:func:`repro.analysis.synth.enumerate_candidates`), carrying the
+  priced :class:`~repro.hw.plancost.PlanCost` for each so callers can
+  compare level-by-level, not just by total seconds.
 """
 
 from __future__ import annotations
@@ -30,7 +37,7 @@ from repro.ntt.plan import Plan, hierarchical_plan
 from repro.sim.cluster import SimCluster
 
 __all__ = ["machine_plan", "autotune_tile", "select_engine",
-           "EngineChoice"]
+           "EngineChoice", "select_schedule", "ScheduleChoice"]
 
 
 def machine_plan(machine: MachineModel, field: PrimeField, n: int,
@@ -94,9 +101,60 @@ class EngineChoice:
     bottleneck: str
 
 
-def select_engine(machine: MachineModel, field: PrimeField, n: int,
+@dataclass(frozen=True)
+class ScheduleChoice:
+    """One ranked, verified schedule candidate.
+
+    ``seconds`` is the overlap-aware modeled wall-clock
+    (:func:`repro.hw.plancost.schedule_seconds`); ``cost`` the
+    sequential :class:`~repro.hw.plancost.PlanCost` for level-by-level
+    comparison; ``synthesized`` whether the pass framework/synthesis
+    produced it (vs the hand-written base schedule).
+    """
+
+    name: str
+    seconds: float
+    cost: object
+    synthesized: bool
+    schedule: object
+
+
+def select_schedule(machine, field: PrimeField, n: int,
+                    ) -> list[ScheduleChoice]:
+    """Rank every verified schedule candidate, fastest first.
+
+    Accepts a single-node :class:`~repro.hw.model.MachineModel` (flat
+    and pass-rewritten candidates) or a
+    :class:`~repro.hw.multinode.MultiNodeMachine` (plus the
+    hierarchical synthesis).  Every candidate has already passed the
+    verification gate; a gate failure raises
+    :class:`~repro.errors.SchedulePassError` instead of ranking.
+    """
+    from repro.analysis.synth import enumerate_candidates
+    from repro.hw.plancost import price_schedule, schedule_seconds
+
+    choices = []
+    for cand in enumerate_candidates(machine, field, n):
+        cost = price_schedule(cand.machine, field, cand.schedule)
+        seconds = schedule_seconds(cand.machine, field, cand.schedule)
+        choices.append(ScheduleChoice(
+            name=cand.name, seconds=seconds, cost=cost,
+            synthesized=cand.synthesized, schedule=cand.schedule))
+    return sorted(choices, key=lambda c: (c.seconds, c.name))
+
+
+def select_engine(machine, field: PrimeField, n: int,
                   ) -> list[EngineChoice]:
-    """Rank all engines for one transform, fastest first."""
+    """Rank all engines for one transform, fastest first.
+
+    On a :class:`~repro.hw.multinode.MultiNodeMachine`, the flat
+    engines are priced against its
+    :meth:`~repro.hw.multinode.MultiNodeMachine.flattened` form (all
+    GPUs behind the network) and the verified schedule candidates join
+    the ranking as ``sched:``-prefixed entries.
+    """
+    if hasattr(machine, "node_count"):
+        return _select_engine_cluster(machine, field, n)
     cluster = SimCluster(field, machine.gpu_count)
     tile, _ = autotune_tile(machine, field, n)
     candidates = [
@@ -118,4 +176,17 @@ def select_engine(machine: MachineModel, field: PrimeField, n: int,
     if not choices:
         raise HardwareModelError(
             f"no engine can run n={n} on {machine.name}")
+    return sorted(choices, key=lambda c: c.seconds)
+
+
+def _select_engine_cluster(machine, field: PrimeField,
+                           n: int) -> list[EngineChoice]:
+    """Cluster ranking: flat engines plus verified schedule candidates."""
+    choices = list(select_engine(machine.flattened(), field, n))
+    for sched in select_schedule(machine, field, n):
+        bottleneck = ("exchange" if sched.cost.exchange_s
+                      > sched.cost.compute_s else "compute")
+        choices.append(EngineChoice(name=f"sched:{sched.name}",
+                                    seconds=sched.seconds,
+                                    bottleneck=bottleneck))
     return sorted(choices, key=lambda c: c.seconds)

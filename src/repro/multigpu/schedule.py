@@ -154,6 +154,10 @@ class ExchangeOp:
     expected_in_bytes: tuple[int, ...]
     level: str = "multi-gpu"
     pattern: str = "all-to-all"
+    #: Set by the pipeline-fusion pass: overlap this collective with the
+    #: op that consumes its output (SCCL's recv-copy-send chaining).
+    #: Pure scheduling metadata — moves no bytes, changes no dataflow.
+    pipelined: bool = False
 
     def total_bytes(self) -> int:
         return sum(t.nbytes for t in self.transfers)
@@ -187,6 +191,8 @@ class PairwiseOp:
     bytes_per_gpu: int
     level: str = "multi-gpu"
     pattern: str = "pairwise"
+    #: See :attr:`ExchangeOp.pipelined`.
+    pipelined: bool = False
 
     def total_bytes(self) -> int:
         return sum(self.bytes_per_gpu

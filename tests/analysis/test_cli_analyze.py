@@ -107,3 +107,32 @@ class TestInfoListsChecks:
         assert "analysis checks:" in out
         for check in all_checks():
             assert check.check_id in out
+
+
+class TestAnalyzeOptimize:
+    def test_cluster_run_is_clean_and_ranks(self, capsys):
+        assert main(["analyze", "optimize", "--log-size", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "schedule candidates" in out
+        assert "@hier[ns=8]" in out
+        assert "<- selected" in out
+        assert "clean" in out
+
+    def test_single_node_machine_works_too(self, capsys):
+        assert main(["analyze", "optimize", "--machine", "DGX-A100",
+                     "--log-size", "12", "--field", "Goldilocks"]) == 0
+        out = capsys.readouterr().out
+        assert "@hier[" not in out
+        assert "+passes" in out
+
+    def test_json_output(self, capsys):
+        assert main(["analyze", "optimize", "--log-size", "16",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload == {"count": 0, "findings": [],
+                           "tool": "optimize"}
+
+    def test_unknown_machine_exits_two(self, capsys):
+        assert main(["analyze", "optimize", "--machine", "TPU-pod",
+                     "--log-size", "12"]) == 2
+        capsys.readouterr()

@@ -1,0 +1,136 @@
+"""Schedule interpreter: verified schedules execute bit-exactly."""
+
+import random
+
+import pytest
+
+from repro.analysis.interp import interpret_schedule
+from repro.analysis.passes import run_passes
+from repro.analysis.plancheck import seed_bug
+from repro.analysis.synth import synthesize_hierarchical
+from repro.errors import SchedulePassError
+from repro.field import GOLDILOCKS
+from repro.multigpu import DistributedVector, UniNTTEngine
+from repro.multigpu.schedule import (
+    ablation_grid, build_pairwise_schedule, build_unintt_schedule,
+)
+from repro.ntt import ntt
+from repro.sim import SimCluster
+
+EB = 8
+N = 1 << 10
+GPUS = 8
+
+
+def reference_forward(options, values):
+    cluster = SimCluster(GOLDILOCKS, GPUS)
+    engine = UniNTTEngine(cluster, options=options)
+    vec = DistributedVector.from_values(cluster, values,
+                                       engine.input_layout(N))
+    return engine.forward(vec).to_values(), cluster
+
+
+@pytest.mark.parametrize("label,options", ablation_grid(),
+                         ids=lambda v: str(v))
+class TestFlatBitExactness:
+    def test_matches_engine_and_trace(self, label, options):
+        values = GOLDILOCKS.random_vector(N, random.Random(0))
+        schedule = build_unintt_schedule(N, GPUS, EB, options)
+        cluster = SimCluster(GOLDILOCKS, GPUS)
+        out = interpret_schedule(schedule, cluster, list(values))
+        ref, _ = reference_forward(options, values)
+        assert out == ref
+        # The acceptance criterion: declared bytes match the simulator
+        # trace bit-for-bit, level by level.
+        assert cluster.trace.bytes_by_level() \
+            == schedule.bytes_by_level()
+
+    def test_rewritten_schedule_is_still_bit_exact(self, label, options):
+        values = GOLDILOCKS.random_vector(N, random.Random(1))
+        schedule = build_unintt_schedule(N, GPUS, EB, options)
+        rewritten, _ = run_passes(schedule)
+        cluster = SimCluster(GOLDILOCKS, GPUS)
+        out = interpret_schedule(rewritten, cluster, list(values))
+        ref, _ = reference_forward(options, values)
+        assert out == ref
+        assert cluster.trace.bytes_by_level() \
+            == rewritten.bytes_by_level()
+
+
+class TestHierarchicalExecution:
+    def test_staged_schedule_matches_reference_ntt(self):
+        values = GOLDILOCKS.random_vector(N, random.Random(2))
+        schedule = build_unintt_schedule(N, GPUS, EB)
+        hier, _ = synthesize_hierarchical(schedule, 4)
+        cluster = SimCluster(GOLDILOCKS, GPUS, node_size=4)
+        out = interpret_schedule(hier, cluster, list(values))
+        assert out == ntt(GOLDILOCKS, list(values))
+        assert cluster.trace.bytes_by_level() == hier.bytes_by_level()
+
+    def test_hier_equals_flat_interpretation(self):
+        values = GOLDILOCKS.random_vector(N, random.Random(3))
+        schedule = build_unintt_schedule(N, GPUS, EB)
+        hier, _ = synthesize_hierarchical(schedule, 4)
+        flat_out = interpret_schedule(schedule,
+                                      SimCluster(GOLDILOCKS, GPUS),
+                                      list(values))
+        hier_out = interpret_schedule(
+            hier, SimCluster(GOLDILOCKS, GPUS, node_size=4),
+            list(values))
+        assert hier_out == flat_out
+
+    def test_hier_needs_a_node_structured_cluster(self):
+        schedule = build_unintt_schedule(N, GPUS, EB)
+        hier, _ = synthesize_hierarchical(schedule, 4)
+        with pytest.raises(SchedulePassError, match="node_size"):
+            interpret_schedule(hier, SimCluster(GOLDILOCKS, GPUS),
+                               GOLDILOCKS.random_vector(
+                                   N, random.Random(4)))
+
+    def test_field_muls_match_the_trace(self):
+        values = GOLDILOCKS.random_vector(N, random.Random(5))
+        schedule = build_unintt_schedule(N, GPUS, EB)
+        cluster = SimCluster(GOLDILOCKS, GPUS)
+        interpret_schedule(schedule, cluster, list(values))
+        assert cluster.trace.total_field_muls() \
+            == schedule.total_field_muls()
+
+
+class TestRefusals:
+    def test_unverified_schedule_is_refused(self):
+        schedule = seed_bug(build_unintt_schedule(N, GPUS, EB),
+                            "drop-transfer")
+        with pytest.raises(SchedulePassError,
+                           match="refusing to interpret"):
+            interpret_schedule(schedule, SimCluster(GOLDILOCKS, GPUS),
+                               GOLDILOCKS.random_vector(
+                                   N, random.Random(0)))
+
+    def test_gpu_count_mismatch_is_refused(self):
+        schedule = build_unintt_schedule(N, GPUS, EB)
+        with pytest.raises(SchedulePassError, match="GPUs"):
+            interpret_schedule(schedule, SimCluster(GOLDILOCKS, 4),
+                               GOLDILOCKS.random_vector(
+                                   N, random.Random(0)))
+
+    def test_element_size_mismatch_is_refused(self):
+        schedule = build_unintt_schedule(N, GPUS, 32)
+        with pytest.raises(SchedulePassError, match="element size"):
+            interpret_schedule(schedule, SimCluster(GOLDILOCKS, GPUS),
+                               GOLDILOCKS.random_vector(
+                                   N, random.Random(0)))
+
+    def test_pairwise_schedules_are_not_interpretable(self):
+        schedule = build_pairwise_schedule(N, GPUS, EB)
+        with pytest.raises(SchedulePassError):
+            interpret_schedule(schedule, SimCluster(GOLDILOCKS, GPUS),
+                               GOLDILOCKS.random_vector(
+                                   N, random.Random(0)))
+
+    def test_undersized_input_is_refused(self):
+        # A valid schedule fed too few values: n = 32 < G^2 = 64.
+        schedule = build_unintt_schedule(N, GPUS, EB)
+        with pytest.raises(SchedulePassError, match="G\\^2"):
+            interpret_schedule(schedule, SimCluster(GOLDILOCKS, GPUS),
+                               GOLDILOCKS.random_vector(
+                                   32, random.Random(0)))

@@ -277,3 +277,33 @@ class TestPowInverse:
                 return pow(x, p - 2, p)
             """)
         assert lint_file(path, root=str(tmp_path)) == []
+
+
+class TestRawTransfers:
+    SOURCE = """\
+        from repro.multigpu.schedule import ShardTransfer
+
+        def handmade():
+            return ShardTransfer(src=0, dst=1, nbytes=8)
+        """
+
+    def test_hand_constructed_transfer_is_flagged(self, tmp_path):
+        path = write_module(tmp_path, "multigpu", "custom.py",
+                            self.SOURCE)
+        assert checks_of(lint_file(path, root=str(tmp_path))) == {
+            "lint.raw-transfers"}
+
+    def test_flagged_anywhere_in_the_tree(self, tmp_path):
+        path = write_module(tmp_path, "serve", "custom.py", self.SOURCE)
+        assert checks_of(lint_file(path, root=str(tmp_path))) == {
+            "lint.raw-transfers"}
+
+    def test_schedule_builders_are_exempt(self, tmp_path):
+        path = write_module(tmp_path, "multigpu", "schedule.py",
+                            self.SOURCE)
+        assert lint_file(path, root=str(tmp_path)) == []
+
+    def test_pass_framework_is_exempt(self, tmp_path):
+        for name in ("passes.py", "synth.py"):
+            path = write_module(tmp_path, "analysis", name, self.SOURCE)
+            assert lint_file(path, root=str(tmp_path)) == []

@@ -138,3 +138,62 @@ class TestAnalyzePlan:
     def test_unknown_engine_rejected(self):
         with pytest.raises(ValueError, match="unknown engine"):
             analyze_plan(256, 4, GOLDILOCKS, engine="warp9")
+
+
+class TestBadFusion:
+    def test_bad_fusion_is_read_before_write(self):
+        # Merging across the exchange makes the collective consume a
+        # tag nobody produces anymore.
+        schedule = seed_bug(build_unintt_schedule(256, 4, EB),
+                            "bad-fusion")
+        assert "plan.read-before-write" in checks_of(
+            verify_schedule(schedule))
+
+    def test_bad_fusion_merges_across_the_collective(self):
+        schedule = seed_bug(build_unintt_schedule(256, 4, EB),
+                            "bad-fusion")
+        assert any("+" in op.name for op in schedule.ops)
+
+    def test_the_legitimate_merge_pass_is_not_flagged(self):
+        # The illegal fusion's legal twin: merge-local-ops only fuses
+        # ADJACENT ops, and its product stays clean.
+        from repro.analysis.passes import merge_local_ops
+        from repro.multigpu.schedule import UniNTTOptions
+
+        options = UniNTTOptions(fused_twiddle=False)
+        schedule = merge_local_ops(
+            build_unintt_schedule(256, 4, EB, options))
+        assert any("+" in op.name for op in schedule.ops)
+        assert verify_schedule(schedule) == []
+
+
+class TestDeterministicFindings:
+    def seeded(self):
+        return seed_bug(
+            seed_bug(build_unintt_schedule(256, 4, EB), "drop-transfer"),
+            "wrong-level")
+
+    def test_findings_sorted_by_op_then_check_then_message(self):
+        findings = verify_schedule(self.seeded(), machine=MACHINE)
+        keys = []
+        for finding in findings:
+            prefix = finding.where.split(".ops[")[1]
+            keys.append((int(prefix.split("]")[0]), finding.check,
+                         finding.message))
+        assert keys == sorted(keys)
+
+    def test_json_report_is_byte_reproducible(self):
+        from repro.analysis import findings_to_json
+
+        first = findings_to_json(
+            verify_schedule(self.seeded(), machine=MACHINE), tool="plan")
+        second = findings_to_json(
+            verify_schedule(self.seeded(), machine=MACHINE), tool="plan")
+        assert first == second
+        assert json_loads_ok(first)
+
+
+def json_loads_ok(payload):
+    import json
+
+    return json.loads(payload)["count"] >= 1

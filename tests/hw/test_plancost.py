@@ -78,3 +78,79 @@ class TestPricing:
             c_deep.exchange_bytes_by_level["multi-gpu"]
         assert "gpu" in c_deep.exchange_bytes_by_level
         assert "gpu" not in c_shallow.exchange_bytes_by_level
+
+
+class TestPriceSchedule:
+    def schedule(self, n=1 << 12, gpus=8, eb=8):
+        from repro.multigpu.schedule import build_unintt_schedule
+
+        return build_unintt_schedule(n, gpus, eb)
+
+    def test_cost_is_validate_clean(self):
+        from repro.hw import price_schedule
+
+        cost = price_schedule(DGX_A100, GOLDILOCKS, self.schedule())
+        assert cost.validate() == []
+        assert cost.total_s == pytest.approx(cost.compute_s
+                                             + cost.exchange_s)
+
+    def test_butterfly_muls_come_from_the_schedule(self):
+        from repro.hw import price_schedule
+
+        schedule = self.schedule()
+        cost = price_schedule(DGX_A100, GOLDILOCKS, schedule)
+        assert cost.butterfly_muls == schedule.total_field_muls()
+
+    def test_per_unit_bytes_match_the_flat_plan(self):
+        from repro.hw import price_schedule
+
+        n, gpus, eb = 1 << 24, 8, 32
+        schedule = self.schedule(n, gpus, eb)
+        cost = price_schedule(DGX_A100, BLS12_381_FR, schedule)
+        assert cost.exchange_bytes_by_level["multi-gpu"] \
+            == alltoall_bytes_per_gpu(n // gpus, gpus, eb)
+
+    def test_multinode_levels_priced_on_their_own_fabric(self):
+        from repro.analysis.synth import synthesize_hierarchical
+        from repro.hw import FOUR_NODE_DGX_A100, price_schedule
+
+        schedule = self.schedule(1 << 20, 32, 32)
+        hier, _ = synthesize_hierarchical(schedule, 8)
+        cost = price_schedule(FOUR_NODE_DGX_A100, BLS12_381_FR, hier)
+        assert "multi-node" in cost.exchange_bytes_by_level
+        assert cost.validate() == []
+
+
+class TestScheduleSeconds:
+    def test_pipelined_overlap_is_never_slower(self):
+        from repro.analysis.passes import fuse_pipeline
+        from repro.hw import price_schedule, schedule_seconds
+        from repro.multigpu.schedule import build_unintt_schedule
+
+        schedule = build_unintt_schedule(1 << 16, 8, 8)
+        fused = fuse_pipeline(schedule)
+        sequential = price_schedule(DGX_A100, GOLDILOCKS, fused).total_s
+        assert schedule_seconds(DGX_A100, GOLDILOCKS, fused) \
+            <= sequential + 1e-15
+
+    def test_unpipelined_schedule_matches_sequential_cost(self):
+        from repro.hw import price_schedule, schedule_seconds
+        from repro.multigpu.schedule import build_unintt_schedule
+
+        schedule = build_unintt_schedule(1 << 16, 8, 8)
+        assert all(not getattr(op, "pipelined", False)
+                   for op in schedule.ops)
+        sequential = price_schedule(DGX_A100, GOLDILOCKS,
+                                    schedule).total_s
+        assert schedule_seconds(DGX_A100, GOLDILOCKS, schedule) \
+            == pytest.approx(sequential)
+
+    def test_steps_group_pipelined_chains(self):
+        from repro.analysis.passes import fuse_pipeline
+        from repro.hw import schedule_steps
+        from repro.multigpu.schedule import build_unintt_schedule
+
+        schedule = build_unintt_schedule(1 << 12, 8, 8)
+        plain = schedule_steps(schedule)
+        fused = schedule_steps(fuse_pipeline(schedule))
+        assert len(fused) < len(plain)

@@ -80,3 +80,56 @@ class TestSelectEngine:
     def test_bottleneck_reported(self):
         choices = select_engine(A100_PCIE_NODE, BLS12_381_FR, 1 << 26)
         assert choices[0].bottleneck in ("compute", "memory", "exchange")
+
+
+class TestClusterSelectEngine:
+    def test_plain_machine_pool_is_unchanged(self):
+        # The original four-engine contract must not grow on plain
+        # machines — schedule candidates join only on clusters.
+        choices = select_engine(DGX_A100, BLS12_381_FR, 1 << 24)
+        assert len(choices) == 4
+        assert all(not c.name.startswith("sched:") for c in choices)
+
+    def test_cluster_pool_includes_schedule_candidates(self):
+        from repro.hw import FOUR_NODE_DGX_A100
+
+        choices = select_engine(FOUR_NODE_DGX_A100, BLS12_381_FR,
+                                1 << 24)
+        names = [c.name for c in choices]
+        assert any(name.startswith("sched:") for name in names)
+        assert any(not name.startswith("sched:") for name in names)
+        seconds = [c.seconds for c in choices]
+        assert seconds == sorted(seconds)
+
+    def test_synthesized_schedule_wins_on_the_cluster(self):
+        from repro.hw import FOUR_NODE_DGX_A100
+
+        choices = select_engine(FOUR_NODE_DGX_A100, BLS12_381_FR,
+                                1 << 24)
+        assert choices[0].name.startswith("sched:")
+        assert "@hier[" in choices[0].name
+
+
+class TestSelectSchedule:
+    def test_ranked_with_validated_costs(self):
+        from repro.multigpu import select_schedule
+
+        choices = select_schedule(DGX_A100, BLS12_381_FR, 1 << 20)
+        assert len(choices) == 2
+        seconds = [c.seconds for c in choices]
+        assert seconds == sorted(seconds)
+        for choice in choices:
+            assert choice.cost.validate() == []
+            assert choice.schedule.num_gpus == DGX_A100.gpu_count
+
+    def test_cluster_ranking_prefers_hierarchy(self):
+        from repro.hw import FOUR_NODE_DGX_A100
+        from repro.multigpu import select_schedule
+
+        choices = select_schedule(FOUR_NODE_DGX_A100, BLS12_381_FR,
+                                  1 << 24)
+        assert len(choices) == 3
+        assert choices[0].synthesized
+        assert "@hier[" in choices[0].name
+        flat = next(c for c in choices if not c.synthesized)
+        assert choices[0].cost.total_s < flat.cost.total_s

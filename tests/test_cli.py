@@ -87,6 +87,21 @@ class TestTraceAndTune:
         assert "best tile" in out
         assert "engine ranking" in out
         assert "unintt" in out
+        assert "sched:" not in out
+
+    def test_tune_on_a_cluster_ranks_schedules(self, capsys):
+        assert main(["tune", "--log-size", "20",
+                     "--machine", "4xDGX-A100"]) == 0
+        out = capsys.readouterr().out
+        assert "on 4xDGX-A100" in out
+        assert "sched:" in out
+
+    def test_tune_unknown_machine_names_clusters(self, capsys):
+        assert main(["tune", "--log-size", "20",
+                     "--machine", "no-such"]) == 2
+        err = capsys.readouterr().err
+        assert "no preset machine or cluster" in err
+        assert "4xDGX-A100" in err
 
     def test_estimate_with_machine_file(self, tmp_path, capsys):
         import json

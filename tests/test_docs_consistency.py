@@ -215,6 +215,60 @@ def test_every_fault_kind_is_documented():
         f"docs/RESILIENCE.md")
 
 
+def test_schedules_guide_exists_and_covers_api():
+    path = os.path.join(DOCS, "SCHEDULES.md")
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    for needle in ("merge-local-ops", "dead-op-elimination",
+                   "pipeline-fusion", "run_passes", "verify_rewrite",
+                   "ScheduleDelta", "synthesize_hierarchical",
+                   "route_via", "split_exchange", "interpret_schedule",
+                   "select_schedule", "repro analyze optimize",
+                   "plan.rewrite-differs", "f24"):
+        assert needle in text, (
+            f"docs/SCHEDULES.md does not mention {needle}")
+
+
+def test_every_seed_bug_kind_is_documented():
+    from repro.analysis.plancheck import SEED_BUGS
+
+    path = os.path.join(DOCS, "ANALYSIS.md")
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    missing = [kind for kind in SEED_BUGS if f"`{kind}`" not in text]
+    assert not missing, (
+        f"seed-bug kinds {missing} are injectable but not documented "
+        f"in docs/ANALYSIS.md")
+
+
+def test_every_default_pass_is_documented():
+    from repro.analysis.passes import DEFAULT_PASSES
+
+    for doc in ("ANALYSIS.md", "SCHEDULES.md"):
+        path = os.path.join(DOCS, doc)
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
+        missing = [p.name for p in DEFAULT_PASSES
+                   if f"`{p.name}`" not in text]
+        assert not missing, (
+            f"schedule passes {missing} are registered but not "
+            f"documented in docs/{doc}")
+
+
+def test_schedules_guide_is_cross_linked():
+    import re
+
+    root = os.path.dirname(DOCS)
+    for name in (os.path.join(root, "README.md"),
+                 os.path.join(DOCS, "API.md"),
+                 os.path.join(DOCS, "REPRODUCING.md"),
+                 os.path.join(DOCS, "ANALYSIS.md")):
+        with open(name, encoding="utf-8") as handle:
+            assert re.search(r"SCHEDULES\.md", handle.read()), (
+                f"{os.path.basename(name)} does not link to "
+                "SCHEDULES.md")
+
+
 def test_every_analysis_check_is_documented():
     from repro.analysis import all_checks
 
