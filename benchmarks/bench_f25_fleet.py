@@ -1,0 +1,62 @@
+"""F25: fleet goodput vs replicas under replica kills.
+
+Serves the head of the million-request diurnal/bursty/multi-tenant
+stream through fleets of 1..8 journaled replicas, clean and with one
+replica crashed mid-run.  The persisted report is the acceptance
+artifact for fleet-scale serving: every served row must be bit-exact
+with a clean trace (failover may not trade correctness for goodput),
+goodput must scale with replica count, and — the headline contrast —
+a 4-replica fleet *under a kill* must sustain strictly higher goodput
+than the degraded single server of F22.
+"""
+
+
+from repro.bench import fleet_scaling
+
+#: F22's "faults sustained, degraded" goodput (benchmarks/results/
+#: F22_durability.txt): the best a single server managed while the
+#: fabric misbehaved.  The fleet must beat it while losing a whole
+#: replica.
+F22_DEGRADED_GOODPUT_RPS = 5405.0
+
+
+def test_f25_fleet_scaling(benchmark, emit):
+    table = benchmark.pedantic(fleet_scaling, rounds=1, iterations=1)
+    emit("F25_fleet",
+         "F25: fleet goodput vs replicas under replica kills", table)
+    headers, rows = table
+    replicas_col = headers.index("replicas")
+    scenario_col = headers.index("scenario")
+    goodput_col = headers.index("goodput req/s")
+    failover_col = headers.index("failovers")
+    outcome_col = headers.index("outcome")
+
+    served = [row for row in rows
+              if row[outcome_col] not in ("streamed, not served",
+                                          "single point of failure")]
+    assert served, "no served rows in the F25 table"
+    for row in served:
+        assert row[outcome_col] == "bit-exact, clean trace", (
+            f"replicas={row[replicas_col]} {row[scenario_col]}: "
+            f"{row[outcome_col]}")
+
+    goodput = {(row[replicas_col], row[scenario_col]):
+               float(row[goodput_col]) for row in served}
+
+    # The scaling curve: more replicas, more clean goodput.
+    assert goodput[(8, "clean")] > goodput[(4, "clean")] \
+        > goodput[(2, "clean")] > goodput[(1, "clean")], (
+        f"clean goodput does not scale with replicas: {goodput}")
+
+    # Every kill run actually exercised the detector and failover.
+    for row in served:
+        if row[scenario_col] == "one kill":
+            assert int(row[failover_col]) >= 1, (
+                f"replicas={row[replicas_col]}: the kill never "
+                "triggered a failover")
+
+    # The acceptance contrast against F22's degraded single server.
+    assert goodput[(4, "one kill")] > F22_DEGRADED_GOODPUT_RPS, (
+        f"4-replica fleet under one kill "
+        f"({goodput[(4, 'one kill')]:.0f} req/s) must beat F22's "
+        f"degraded single server ({F22_DEGRADED_GOODPUT_RPS} req/s)")

@@ -25,7 +25,7 @@ from repro.errors import (
     ServeError, SimulationError,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "field", "ntt", "hw", "sim", "multigpu", "serve", "zkp",

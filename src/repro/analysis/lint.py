@@ -32,6 +32,17 @@ those rules as AST visitors over ``src/repro/``:
   scalar inverse in setup code (a twiddle seed, an n^-1 factor)
   carries the same cost but runs once; those sites use
   ``field.inv(...)``, which this check deliberately does not match.
+* ``lint.wall-clock`` — inside ``serve/``, ``sim/``, and ``runtime/``,
+  no wall-clock read at all: ``time.time``/``time.monotonic``/
+  ``time.perf_counter`` (and their ``_ns`` variants),
+  ``datetime.now``/``utcnow``/``today``, and bare calls to those names
+  when imported via ``from time import ...``.  The serving and
+  simulation layers run on :class:`~repro.serve.clock.VirtualClock`;
+  a single wall-clock read makes reports differ run-to-run and breaks
+  journal replay.  (This overlaps ``lint.nondeterminism`` for plain
+  ``time.*`` in ``serve/``/``sim/`` — deliberately: the wall-clock
+  rule also covers ``runtime/``, ``datetime``, and from-imports that
+  the module-attribute check cannot see.)
 * ``lint.mutable-default`` — repo-wide: no mutable default arguments.
 * ``lint.trace-kind`` — repo-wide: every literal ``kind=`` passed to
   ``TraceEvent`` must be registered in
@@ -74,6 +85,10 @@ CHECKS = (
     Check("lint.pow-inverse", 1,
           "per-element pow(x, e-2, m) inversion on an NTT/multigpu "
           "hot path; use vec_inv (batch inversion)"),
+    Check("lint.wall-clock", 1,
+          "wall-clock read (time.time/monotonic/perf_counter, "
+          "datetime.now, ...) inside serve/, sim/, or runtime/; "
+          "simulated time comes from VirtualClock"),
     Check("lint.mutable-default", 1,
           "mutable default argument"),
     Check("lint.trace-kind", 1,
@@ -104,6 +119,24 @@ BIGFIELD_PACKAGES = ("ntt", "multigpu")
 #: Sub-packages that must be bit-deterministic.
 DETERMINISTIC_PACKAGES = ("sim", "multigpu", "serve")
 
+#: Sub-packages that run on :class:`~repro.serve.clock.VirtualClock`:
+#: any wall-clock read there makes reports differ run-to-run and
+#: breaks journal replay.  ``runtime`` (the shared event loop) is
+#: included even though it is not in :data:`DETERMINISTIC_PACKAGES` —
+#: its clock *is* the simulated time source, so leaking real time into
+#: it would corrupt every consumer at once.
+WALL_CLOCK_PACKAGES = ("serve", "sim", "runtime")
+
+#: ``time``-module attributes that read the host's clocks.
+_WALL_CLOCK_TIME_ATTRS = frozenset({
+    "time", "monotonic", "perf_counter", "process_time",
+    "time_ns", "monotonic_ns", "perf_counter_ns",
+    "clock_gettime", "clock_gettime_ns",
+})
+
+#: ``datetime``/``date`` constructors that capture "now".
+_WALL_CLOCK_DATETIME_ATTRS = frozenset({"now", "utcnow", "today"})
+
 #: Dict view methods whose iteration order is insertion order — i.e.
 #: execution history — rather than anything reproducible by key.
 _DICT_VIEW_METHODS = frozenset({"values", "items", "keys"})
@@ -126,12 +159,18 @@ def _is_mod(node: ast.AST) -> bool:
 
 class _FileLinter(ast.NodeVisitor):
     def __init__(self, rel_path: str, hot: bool, deterministic: bool,
-                 bigfield: bool = False, transfer_builder: bool = False):
+                 bigfield: bool = False, transfer_builder: bool = False,
+                 wall_clock: bool = False):
         self.rel_path = rel_path
         self.hot = hot
         self.deterministic = deterministic
         self.bigfield = bigfield
         self.transfer_builder = transfer_builder
+        self.wall_clock = wall_clock
+        #: Local names bound to wall-clock readers by
+        #: ``from time import ...`` (honoring ``as`` aliases), so bare
+        #: ``monotonic()`` calls are caught too.
+        self._clock_imports: set[str] = set()
         self.findings: list[Finding] = []
 
     def _flag(self, check: str, message: str, node: ast.AST) -> None:
@@ -227,6 +266,53 @@ class _FileLinter(ast.NodeVisitor):
                     "simulated time comes from the cost model", node)
         self.generic_visit(node)
 
+    # -- lint.wall-clock ----------------------------------------------------------
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if self.wall_clock and node.module == "time":
+            for alias in node.names:
+                if alias.name in _WALL_CLOCK_TIME_ATTRS:
+                    self._clock_imports.add(alias.asname or alias.name)
+                    self._flag(
+                        "lint.wall-clock",
+                        f"from time import {alias.name}: wall-clock "
+                        "reader imported into a simulated-time "
+                        "package; time here comes from VirtualClock",
+                        node)
+        self.generic_visit(node)
+
+    def _check_wall_clock_call(self, node: ast.Call) -> None:
+        if not self.wall_clock:
+            return
+        callee = node.func
+        if isinstance(callee, ast.Name):
+            if callee.id in self._clock_imports:
+                self._flag(
+                    "lint.wall-clock",
+                    f"{callee.id}() reads the host clock; serve/sim/"
+                    "runtime time comes from VirtualClock", node)
+            return
+        if not isinstance(callee, ast.Attribute):
+            return
+        receiver = callee.value
+        if (isinstance(receiver, ast.Name) and receiver.id == "time"
+                and callee.attr in _WALL_CLOCK_TIME_ATTRS):
+            self._flag(
+                "lint.wall-clock",
+                f"time.{callee.attr}() reads the host clock; serve/"
+                "sim/runtime time comes from VirtualClock", node)
+            return
+        if callee.attr in _WALL_CLOCK_DATETIME_ATTRS:
+            base = receiver.id if isinstance(receiver, ast.Name) \
+                else receiver.attr if isinstance(receiver, ast.Attribute) \
+                else ""
+            if base in ("datetime", "date"):
+                self._flag(
+                    "lint.wall-clock",
+                    f"{base}.{callee.attr}() captures the host's "
+                    "current date/time; simulated runs must not "
+                    "depend on when they execute", node)
+
     # -- lint.mutable-default -----------------------------------------------------
 
     def _check_defaults(self, node) -> None:
@@ -251,6 +337,7 @@ class _FileLinter(ast.NodeVisitor):
     # -- lint.trace-kind ----------------------------------------------------------
 
     def visit_Call(self, node: ast.Call) -> None:
+        self._check_wall_clock_call(node)
         callee = node.func
         name = callee.attr if isinstance(callee, ast.Attribute) \
             else callee.id if isinstance(callee, ast.Name) else ""
@@ -322,7 +409,8 @@ def lint_file(path: str, root: str | None = None) -> list[Finding]:
         deterministic=package in DETERMINISTIC_PACKAGES,
         bigfield=package in BIGFIELD_PACKAGES,
         transfer_builder=rel.replace(os.sep, "/")
-        in TRANSFER_BUILDER_FILES)
+        in TRANSFER_BUILDER_FILES,
+        wall_clock=package in WALL_CLOCK_PACKAGES)
     linter.visit(tree)
     return sorted(linter.findings,
                   key=lambda f: (f.where, f.check, f.message))

@@ -26,6 +26,15 @@ detector flags:
   event, matched one-to-one in order; a fault nothing recovered from
   means the run's output cannot be trusted.
 
+Serving traces add their own invariants: dispatched batches must
+retire (complete, fail over, or recover), journal sequence numbers
+must be gapless per journal (fleet replicas tag their events
+``replica=<n>``; each replica's stream is audited separately), every
+failure-detector suspicion must resolve one-to-one into failover or
+recovery (``trace.unresolved-suspicion``), and no request may complete
+in two batches (``trace.duplicate-complete`` — the trace-level
+exactly-once guarantee of the replicated fleet).
+
 Events on the ``"resilience"`` level (checkpoints, reshards, verify
 probes) describe recovery traffic outside the engines' static
 schedules, so the plan-divergence comparison skips that level.
@@ -72,7 +81,24 @@ CHECKS = (
           "a request was shed but its outputs were also emitted"),
     Check("trace.journal-gap", 1,
           "write-ahead journal sequence numbers are not contiguous"),
+    Check("trace.unresolved-suspicion", 1,
+          "a suspected replica never resolved to failover or recovery"),
+    Check("trace.duplicate-complete", 1,
+          "a request completed in more than one dispatched batch"),
 )
+
+
+def _replica_token(detail: str) -> str | None:
+    """The ``replica=<n>`` token of a serve event detail, if any.
+
+    Fleet replicas share one trace; their serve events carry a
+    trailing replica tag, which keys the per-journal and per-detector
+    audits.  ``None`` means the single-server (untagged) stream.
+    """
+    for token in detail.split(" "):
+        if token.startswith("replica="):
+            return token.partition("=")[2]
+    return None
 
 
 def _write_set(event: TraceEvent) -> frozenset[int] | None:
@@ -160,19 +186,31 @@ def check_trace(trace: Trace,
 
     # Every dispatched serving batch must retire: the batch tag (the
     # first detail token, "batch=<id>") of a serve-dispatch event must
-    # reappear on a *later* serve-complete.  A dispatch nothing completed
-    # means requests were dropped mid-flight.
-    open_batches: dict[str, int] = {}
+    # reappear on a *later* serve-complete.  In a fleet trace a batch
+    # may instead be *voided* — its replica was fenced (the journal
+    # failover re-admits the orphans) or it journaled a ``recover``
+    # record after a healed partition — so a later serve-failover or
+    # recover-kind serve-journal event for the same replica retires
+    # that replica's open batches too.  A dispatch nothing completed,
+    # failed over, or recovered means requests were dropped mid-flight.
+    open_batches: dict[str, tuple[int, str | None]] = {}
     for index, event in enumerate(trace.events):
         if event.level != SERVE_LEVEL:
             continue
         tag = event.detail.split(" ", 1)[0]
         if event.kind == "serve-dispatch":
-            open_batches[tag] = index
+            open_batches[tag] = (index, _replica_token(event.detail))
         elif event.kind == "serve-complete":
             open_batches.pop(tag, None)
-    for tag, index in sorted(open_batches.items(),
-                             key=lambda item: item[1]):
+        elif event.kind == "serve-failover" or (
+                event.kind == "serve-journal"
+                and " kind=recover" in f" {event.detail}"):
+            replica = _replica_token(event.detail)
+            open_batches = {
+                tag: entry for tag, entry in open_batches.items()
+                if entry[1] != replica or replica is None}
+    for tag, (index, _) in sorted(open_batches.items(),
+                                  key=lambda item: item[1][0]):
         findings.append(Finding(
             "trace.serve-dangling-dispatch",
             f"batch {tag!r} was dispatched but never completed",
@@ -234,20 +272,29 @@ def check_trace(trace: Trace,
             "controller but its batch also completed",
             f"trace[{shed_ids[request_id]}](serve-shed)"))
 
-    # Journal appends must be gapless: each serve-journal event carries
-    # "seq=<n>", and within one trace the sequence must advance by
-    # exactly one.  A serve-recover event ("journal-seq=<crash>") resets
-    # the expectation to the crash point plus one — the recovery leg's
-    # first append lands right after the record the crash interrupted.
-    expected_seq: int | None = None
+    # Journal appends must be gapless *per journal*: each serve-journal
+    # event carries "seq=<n>", and within one journal's stream — keyed
+    # by the replica tag, or the untagged single-server stream — the
+    # sequence must advance by exactly one.  A serve-recover event
+    # ("journal-seq=<crash>") resets the expectation to the crash point
+    # plus one — the recovery leg's first append lands right after the
+    # record the crash interrupted.  A serve-failover fences its
+    # replica's journal; the replica rejoins under a *fresh* journal,
+    # so the expectation for that replica is cleared (its next append
+    # restarts the stream).
+    expected_seqs: dict[str | None, int | None] = {}
     for index, event in enumerate(trace.events):
+        replica = _replica_token(event.detail)
         if event.kind == "serve-recover":
             token = event.detail.split(" ", 1)[0]
             if token.startswith("journal-seq="):
                 try:
-                    expected_seq = int(token.partition("=")[2]) + 1
+                    expected_seqs[replica] = \
+                        int(token.partition("=")[2]) + 1
                 except ValueError:
                     pass
+        elif event.kind == "serve-failover":
+            expected_seqs[replica] = None
         elif event.kind == "serve-journal":
             token = event.detail.split(" ", 1)[0]
             if not token.startswith("seq="):
@@ -256,13 +303,78 @@ def check_trace(trace: Trace,
                 seq = int(token.partition("=")[2])
             except ValueError:
                 continue
-            if expected_seq is not None and seq != expected_seq:
+            expected = expected_seqs.get(replica)
+            if expected is not None and seq != expected:
                 findings.append(Finding(
                     "trace.journal-gap",
                     f"journal append carries seq {seq}, expected "
-                    f"{expected_seq} (records lost or reordered)",
+                    f"{expected} (records lost or reordered)",
                     f"trace[{index}](serve-journal)"))
-            expected_seq = seq + 1
+            expected_seqs[replica] = seq + 1
+
+    # Every suspicion the failure detector raises must resolve — one to
+    # one, in order, per replica — into either a *recovered* transition
+    # (the heartbeats returned) or a serve-failover (the replica was
+    # fenced and its journal replayed).  A suspicion left hanging means
+    # the fleet never decided whether that replica's work survived; a
+    # resolution out of nowhere means the detector's account is
+    # incoherent.
+    open_suspicions: dict[str | None, list[int]] = {}
+    for index, event in enumerate(trace.events):
+        if event.kind not in ("serve-heartbeat", "serve-failover"):
+            continue
+        replica = _replica_token(event.detail)
+        tokens = event.detail.split(" ")
+        if event.kind == "serve-heartbeat" and "suspect" in tokens:
+            open_suspicions.setdefault(replica, []).append(index)
+        elif event.kind == "serve-failover" or (
+                event.kind == "serve-heartbeat"
+                and "recovered" in tokens):
+            pending = open_suspicions.get(replica)
+            if pending:
+                pending.pop(0)
+            else:
+                what = ("failover" if event.kind == "serve-failover"
+                        else "recovery")
+                findings.append(Finding(
+                    "trace.unresolved-suspicion",
+                    f"{what} of replica {replica} answers no open "
+                    "suspicion",
+                    f"trace[{index}]({event.kind})"))
+    for replica in sorted(open_suspicions,
+                          key=lambda r: (r is None, r)):
+        for index in open_suspicions[replica]:
+            findings.append(Finding(
+                "trace.unresolved-suspicion",
+                f"replica {replica} was suspected but never resolved "
+                "to failover or recovery",
+                f"trace[{index}](serve-heartbeat)"))
+
+    # No request may complete twice: the id lists of completed batches
+    # (serve-dispatch "ids=..." whose tag a serve-complete retired)
+    # must be disjoint.  With fleet-unique batch ids this is the
+    # trace-level exactly-once guarantee: not even a fenced replica's
+    # re-admitted orphan may also complete where it first ran.
+    completed_where: dict[str, int] = {}
+    batch_members: dict[str, list[str]] = {}
+    for index, event in enumerate(trace.events):
+        if event.level != SERVE_LEVEL:
+            continue
+        tag = event.detail.split(" ", 1)[0]
+        if event.kind == "serve-dispatch":
+            for token in event.detail.split(" "):
+                if token.startswith("ids="):
+                    batch_members[tag] = \
+                        token.partition("=")[2].split(",")
+        elif event.kind == "serve-complete":
+            for request_id in batch_members.get(tag, []):
+                first = completed_where.setdefault(request_id, index)
+                if first != index:
+                    findings.append(Finding(
+                        "trace.duplicate-complete",
+                        f"request {request_id} completed in two "
+                        f"batches (trace[{first}] and trace[{index}])",
+                        f"trace[{index}](serve-complete)"))
 
     if schedule is not None:
         expected = schedule.bytes_by_level()

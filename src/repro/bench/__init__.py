@@ -8,7 +8,7 @@ from repro.bench.reporting import (
 from repro.bench.runners import (
     ablation, backend_comparison, batch_throughput, bigfield_comparison,
     comm_breakdown,
-    durability_degradation, end_to_end,
+    durability_degradation, end_to_end, fleet_scaling,
     headline_speedups, interconnect_sensitivity, multi_gpu_scaling,
     multi_node_scaling,
     platforms_table, resilience_overhead, schedule_synthesis,
@@ -31,6 +31,6 @@ __all__ = [
     "multi_node_scaling", "stark_end_to_end", "backend_comparison",
     "resilience_overhead", "serving_throughput",
     "durability_degradation", "bigfield_comparison",
-    "schedule_synthesis",
+    "schedule_synthesis", "fleet_scaling",
     "bar_chart", "grouped_bar_chart",
 ]

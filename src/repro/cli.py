@@ -77,6 +77,8 @@ EXPERIMENTS: dict[str, tuple[Callable[[], tuple], str]] = {
             "F23: big-field multi-limb backend comparison (measured)"),
     "f24": (bench_runners.schedule_synthesis,
             "F24: verified schedule synthesis vs hand-written"),
+    "f25": (bench_runners.fleet_scaling,
+            "F25: fleet goodput vs replicas under replica kills"),
 }
 
 
@@ -281,9 +283,24 @@ def build_parser() -> argparse.ArgumentParser:
                     help="pin the batch strategy instead of planning")
     sv.add_argument("--twiddle-capacity", type=int, default=None,
                     help="LRU bound on resident twiddle tables")
+    sv.add_argument("--replicas", type=int, default=1,
+                    help="serve through a replicated fleet of N "
+                         "journaled servers (default 1: the single "
+                         "ProofServer path)")
+    sv.add_argument("--heartbeat-interval", type=float, default=None,
+                    metavar="S", help="fleet heartbeat tick in virtual "
+                                      "seconds (default 5e-4)")
+    sv.add_argument("--tenant-weight", action="append", default=[],
+                    metavar="TENANT=W",
+                    help="per-tenant WFQ weight (repeatable; "
+                         "unlisted tenants weigh 1.0)")
+    sv.add_argument("--no-steal", action="store_true",
+                    help="disable cross-replica work stealing")
     sv.add_argument("--fault", action="append", default=[],
                     metavar="KIND@STEP[:K=V,...]",
-                    help="inject a fault (repeatable; see 'repro trace')")
+                    help="inject a fault (repeatable; see 'repro "
+                         "trace'; with --replicas > 1 use fleet kinds "
+                         "like replica-crash@TICK:replica=R)")
     sv.add_argument("--fault-plan", default=None, metavar="FILE",
                     help="JSON FaultPlan file (overrides --fault)")
     sv.add_argument("--journal", action="store_true",
@@ -648,7 +665,6 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.errors import ServeError
     from repro.field import field_by_name
     from repro.hw import machine_by_name
-    from repro.ntt import intt, ntt
     from repro.serve import (
         DegradePolicy, ProofServer, WorkloadSpec, WriteAheadJournal,
         generate_workload, serve_durably, workload_from_json,
@@ -677,6 +693,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             plan = FaultPlan.from_json(handle.read())
     elif args.fault:
         plan = FaultPlan.from_specs(list(args.fault))
+    if args.replicas > 1:
+        return _cmd_serve_fleet(args, machine, requests, plan)
+    if plan is not None and plan.fleet_faults():
+        raise ServeError(
+            "fleet faults (replica-crash/network-partition/"
+            "heartbeat-loss) need a fleet: pass --replicas >= 2")
     modulus = None
     if plan is not None:
         moduli = {field_by_name(r.field_name).modulus for r in requests}
@@ -729,16 +751,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         recoveries = 0
         legs = [report]
 
-    verified = None
-    if args.verify:
-        verified = True
-        for result in results:
-            request = result.request
-            field = request.field
-            reference = intt if request.direction == "inverse" else ntt
-            for lane, out in zip(request.vectors(), result.outputs):
-                if list(out) != reference(field, list(lane)):
-                    verified = False
+    verified = _verify_results(results) if args.verify else None
     if args.json:
         import json as json_module
         payload = json_module.loads(report.to_json())
@@ -777,6 +790,116 @@ def _cmd_serve(args: argparse.Namespace) -> int:
               f"{summary['breaker_trips']}, probes "
               f"{summary['breaker_probes']}, single-GPU fallbacks "
               f"{summary['fallback_dispatches']}")
+    percentiles = report.latency_percentiles_s()
+    print("  latency  " + "  ".join(
+        f"{name} {percentiles[name] * 1e3:.3f} ms"
+        for name in ("p50", "p90", "p99", "max")))
+    if verified is not None:
+        print(f"  outputs: {'bit-exact' if verified else 'MISMATCH'}")
+    return 0 if verified in (None, True) else 1
+
+
+def _verify_results(results) -> bool:
+    from repro.ntt import intt, ntt
+
+    for result in results:
+        request = result.request
+        field = request.field
+        reference = intt if request.direction == "inverse" else ntt
+        for lane, out in zip(request.vectors(), result.outputs):
+            if list(out) != reference(field, list(lane)):
+                return False
+    return True
+
+
+def _cmd_serve_fleet(args: argparse.Namespace, machine, requests,
+                     plan) -> int:
+    from repro.errors import ServeError
+    from repro.serve import FleetPolicy, FleetServer
+
+    for flag, name in ((args.crash, "--crash"),
+                       (args.recover, "--recover"),
+                       (args.degrade, "--degrade")):
+        if flag:
+            raise ServeError(
+                f"{name} is the single-server durability/degradation "
+                "path; a fleet already journals every replica and "
+                "recovers through failover — drop the flag or drop "
+                "--replicas")
+    weights = []
+    for spec in args.tenant_weight:
+        tenant, sep, value = spec.partition("=")
+        if not sep or not tenant:
+            raise ServeError(
+                f"--tenant-weight wants TENANT=WEIGHT, got {spec!r}")
+        try:
+            weights.append((tenant, float(value)))
+        except ValueError:
+            raise ServeError(
+                f"--tenant-weight {spec!r}: weight is not a number"
+            ) from None
+    policy_kwargs = dict(replicas=args.replicas,
+                         steal_enabled=not args.no_steal,
+                         tenant_weights=tuple(weights))
+    if args.heartbeat_interval is not None:
+        policy_kwargs["heartbeat_interval_s"] = args.heartbeat_interval
+    fleet = FleetServer(
+        machine,
+        policy=FleetPolicy(**policy_kwargs),
+        faults=plan,
+        queue_capacity=args.queue_capacity,
+        max_batch_requests=args.max_batch,
+        batching=not args.no_batching,
+        caching=not args.no_caching,
+        strategy=args.strategy,
+        twiddle_capacity=args.twiddle_capacity,
+        snapshot_every=args.snapshot_every)
+    report = fleet.serve(requests)
+    verified = _verify_results(report.results) if args.verify else None
+
+    if args.json:
+        import json as json_module
+        payload = json_module.loads(report.to_json())
+        if verified is not None:
+            payload["verified"] = verified
+        print(json_module.dumps(payload, indent=2, sort_keys=True))
+        return 0 if verified in (None, True) else 1
+
+    summary = report.summary()
+    print(f"fleet of {args.replicas} replicas served "
+          f"{report.completed}/{len(requests)} requests on "
+          f"{machine.name} in {summary['makespan_s'] * 1e3:.3f} ms "
+          f"({summary['goodput_rps']:.0f} req/s goodput)")
+    print(f"  routing: {summary['routed']} routed, "
+          f"{summary['unroutable']} unroutable; "
+          f"rejected {summary['rejected']}, shed {summary['shed']}, "
+          f"deadline misses {summary['deadline_misses']}")
+    print(f"  detector: {summary['heartbeats']} heartbeats, "
+          f"{summary['suspicions']} suspicion(s), "
+          f"{summary['detector_recoveries']} recovery(ies), "
+          f"{summary['failovers']} failover(s) "
+          f"({summary['failover_requests']} re-homed, "
+          f"{summary['replayed_records']} replayed); "
+          f"{summary['deaths']} death(s), "
+          f"{summary['partitions']} partition(s), "
+          f"{summary['heartbeat_losses']} heartbeat loss(es), "
+          f"{summary['rejoins']} rejoin(s)")
+    print(f"  stealing: {summary['steals']} steal(s) moving "
+          f"{summary['stolen_requests']} request(s)")
+    overhead_ms = (summary["route_s"] + summary["heartbeat_s"]
+                   + summary["failover_s"] + summary["steal_s"]) * 1e3
+    print(f"  overhead: route {summary['route_s'] * 1e3:.3f} ms + "
+          f"heartbeat {summary['heartbeat_s'] * 1e3:.3f} + "
+          f"failover {summary['failover_s'] * 1e3:.3f} + "
+          f"steal {summary['steal_s'] * 1e3:.3f} = {overhead_ms:.3f} ms")
+    completed = [r.completed for r in report.replica_reports]
+    print(f"  per-replica completed: {completed}")
+    tenants = report.tenant_breakdown()
+    if sorted(tenants) != ["default"]:
+        for tenant in sorted(tenants):
+            stats = tenants[tenant]
+            print(f"  tenant {tenant}: completed {stats['completed']}, "
+                  f"rejected {stats['rejected']}, shed {stats['shed']}")
     percentiles = report.latency_percentiles_s()
     print("  latency  " + "  ".join(
         f"{name} {percentiles[name] * 1e3:.3f} ms"

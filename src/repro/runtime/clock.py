@@ -1,0 +1,64 @@
+"""A deterministic virtual clock for discrete-event simulation.
+
+Nothing in the simulated stack reads wall time: every timestamp —
+request arrivals, dispatch starts, completions, deadlines, heartbeat
+ticks — lives on this virtual axis, and the only way time moves is by
+explicit, modeled-duration advances.  Two runs over the same workload
+therefore replay bit-identically, which is what makes the serving
+reports (and the chaos tests on top of them) reproducible artifacts
+rather than load-dependent measurements.
+
+Every advance is validated: negative, NaN, or otherwise non-finite
+deltas raise :class:`~repro.errors.ServeError` instead of silently
+corrupting virtual time (``nan`` compares false against everything, so
+one absorbed ``nan`` would poison every later deadline comparison
+without ever tripping an assertion).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ServeError
+
+__all__ = ["VirtualClock"]
+
+
+class VirtualClock:
+    """Monotonic simulated time in seconds."""
+
+    def __init__(self, start_s: float = 0.0) -> None:
+        if not math.isfinite(start_s):
+            raise ServeError(
+                f"clock cannot start at non-finite time {start_s!r}")
+        if start_s < 0:
+            raise ServeError(f"clock cannot start at {start_s} < 0")
+        self._now_s = float(start_s)
+
+    @property
+    def now_s(self) -> float:
+        return self._now_s
+
+    def advance_to(self, t_s: float) -> float:
+        """Jump forward to absolute time ``t_s`` (never backward)."""
+        if not math.isfinite(t_s):
+            raise ServeError(
+                f"clock cannot advance to non-finite time {t_s!r}")
+        if t_s < self._now_s:
+            raise ServeError(
+                f"clock cannot rewind from {self._now_s} to {t_s}")
+        self._now_s = float(t_s)
+        return self._now_s
+
+    def advance_by(self, dt_s: float) -> float:
+        """Advance by a modeled duration ``dt_s >= 0``."""
+        if not math.isfinite(dt_s):
+            raise ServeError(
+                f"cannot advance by non-finite duration {dt_s!r}")
+        if dt_s < 0:
+            raise ServeError(f"cannot advance by {dt_s} < 0 seconds")
+        self._now_s += float(dt_s)
+        return self._now_s
+
+    def __repr__(self) -> str:
+        return f"VirtualClock(t={self._now_s:.6f}s)"

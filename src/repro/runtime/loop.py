@@ -1,0 +1,141 @@
+"""A deterministic scheduled-event heap and shared id counter.
+
+:class:`EventLoop` is the piece the single-server scheduler never
+needed and the replicated fleet cannot live without: with one server,
+"what happens next" is always either the next arrival or the end of
+the one in-flight dispatch, so a plain loop suffices.  With N replicas
+making concurrent progress on one virtual axis, next-event selection
+becomes a real scheduling problem — arrivals, N independent dispatch
+completions, heartbeat ticks, and fault firings all interleave — and
+any ambiguity in tie-breaking forks the replay.  The loop therefore
+orders events by ``(t_s, priority, seq)``: virtual time first, then an
+explicit caller-declared priority class, then insertion order.  Same
+schedule in, same pop sequence out, always.
+
+:class:`SharedCounter` is the matching id substrate: a monotonic
+counter multiple components draw from.  The fleet hands one to every
+replica so batch ids are globally unique across the whole fleet (which
+is what lets a single shared trace be audited for duplicate
+completions), and :class:`repro.sim.trace.Trace` stamps its logical
+step axis from one.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field as dataclass_field
+from typing import Any
+
+from repro.errors import ServeError
+from repro.runtime.clock import VirtualClock
+
+__all__ = ["EventLoop", "ScheduledEvent", "SharedCounter"]
+
+
+class SharedCounter:
+    """A monotonic integer source shared across components."""
+
+    def __init__(self, start: int = 0) -> None:
+        if start < 0:
+            raise ServeError(f"counter cannot start at {start} < 0")
+        self._next = int(start)
+
+    @property
+    def peek(self) -> int:
+        """The value the next :meth:`next` call will return."""
+        return self._next
+
+    def next(self) -> int:
+        value = self._next
+        self._next += 1
+        return value
+
+    def advance_to(self, floor: int) -> None:
+        """Ensure the next value is at least ``floor`` (never rewinds)."""
+        self._next = max(self._next, int(floor))
+
+    def __repr__(self) -> str:
+        return f"SharedCounter(next={self._next})"
+
+
+@dataclass(frozen=True, order=True)
+class ScheduledEvent:
+    """One pending event, ordered by ``(t_s, priority, seq)``.
+
+    ``kind`` and ``payload`` are excluded from the ordering: ties are
+    broken purely by the declared priority class and then insertion
+    order, never by payload contents.
+    """
+
+    t_s: float
+    priority: int
+    seq: int
+    kind: str = dataclass_field(compare=False)
+    payload: Any = dataclass_field(compare=False, default=None)
+
+
+class EventLoop:
+    """A deterministic future-event list on a :class:`VirtualClock`.
+
+    ``pop_next`` advances the clock to the popped event's timestamp, so
+    driving a simulation is simply ``while not loop.empty: handle(
+    loop.pop_next())``.  Cancellation is lazy (tombstones), which keeps
+    scheduling O(log n) and — unlike heap surgery — order-stable.
+    """
+
+    def __init__(self, clock: VirtualClock | None = None) -> None:
+        self.clock = clock if clock is not None else VirtualClock()
+        self._heap: list[ScheduledEvent] = []
+        self._seq = 0
+        self._pending: set[int] = set()
+        self._cancelled: set[int] = set()
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    @property
+    def empty(self) -> bool:
+        return len(self) == 0
+
+    def schedule(self, t_s: float, kind: str, payload: Any = None, *,
+                 priority: int = 0) -> ScheduledEvent:
+        """Enqueue an event at absolute virtual time ``t_s``."""
+        if not math.isfinite(t_s):
+            raise ServeError(
+                f"cannot schedule {kind!r} at non-finite time {t_s!r}")
+        if t_s < self.clock.now_s:
+            raise ServeError(
+                f"cannot schedule {kind!r} at {t_s} in the past "
+                f"(now={self.clock.now_s})")
+        event = ScheduledEvent(t_s=float(t_s), priority=priority,
+                               seq=self._seq, kind=kind, payload=payload)
+        self._seq += 1
+        self._pending.add(event.seq)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def cancel(self, event: ScheduledEvent) -> None:
+        """Drop a pending event (no-op if already popped/cancelled)."""
+        if event.seq in self._pending:
+            self._pending.discard(event.seq)
+            self._cancelled.add(event.seq)
+
+    def _drop_cancelled(self) -> None:
+        while self._heap and self._heap[0].seq in self._cancelled:
+            self._cancelled.discard(heapq.heappop(self._heap).seq)
+
+    def peek_next_time(self) -> float | None:
+        """Timestamp of the next live event, or ``None`` when empty."""
+        self._drop_cancelled()
+        return self._heap[0].t_s if self._heap else None
+
+    def pop_next(self) -> ScheduledEvent:
+        """Pop the next event, advancing the clock to its time."""
+        self._drop_cancelled()
+        if not self._heap:
+            raise ServeError("pop_next on an empty event loop")
+        event = heapq.heappop(self._heap)
+        self._pending.discard(event.seq)
+        self.clock.advance_to(event.t_s)
+        return event

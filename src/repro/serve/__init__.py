@@ -16,7 +16,11 @@ Entry points:
   :func:`serve_durably` — crash-consistent serving (see
   :mod:`repro.serve.durability`);
 * :class:`DegradePolicy` / :class:`CircuitBreaker` — graceful
-  degradation under sustained faults (see :mod:`repro.serve.degrade`).
+  degradation under sustained faults (see :mod:`repro.serve.degrade`);
+* :class:`FleetServer` / :class:`FleetPolicy` / :class:`FleetReport` —
+  a replicated fleet with failure detection, journaled failover, work
+  stealing, and per-tenant QoS (see :mod:`repro.serve.fleet` and
+  :mod:`repro.serve.qos`).
 """
 
 from repro.serve.cache import (
@@ -28,8 +32,14 @@ from repro.serve.durability import (
     JOURNAL_KINDS, JOURNAL_MESSAGES, RECOVER_MESSAGES,
     REPLAY_MESSAGES_PER_RECORD, SNAPSHOT_MESSAGES, JournalRecord,
     RecoveryManager, RecoveryOutcome, ResumeState, ServerSnapshot,
-    WriteAheadJournal, output_digest, serve_durably,
+    WriteAheadJournal, output_digest, replay_journal, serve_durably,
 )
+from repro.serve.fleet import (
+    FAILOVER_MESSAGES, HEARTBEAT_MESSAGES, ROUTE_MESSAGES,
+    STEAL_MESSAGES, ConsistentHashRouter, FleetPolicy, FleetReport,
+    FleetServer,
+)
+from repro.serve.qos import WeightedFairQueue
 from repro.serve.queue import AdmissionQueue
 from repro.serve.report import DispatchRecord, ServeReport, percentile
 from repro.serve.request import DIRECTIONS, ProofRequest, RequestResult
@@ -37,19 +47,23 @@ from repro.serve.scheduler import (
     DISPATCH_MESSAGES, REJECT_MESSAGES, ProofServer,
 )
 from repro.serve.workload import (
-    WorkloadSpec, generate_workload, workload_from_json, workload_to_json,
+    WorkloadSpec, generate_workload, iter_workload, workload_from_json,
+    workload_to_json,
 )
 
 __all__ = [
-    "BREAKER_STATES", "DIRECTIONS", "DISPATCH_MESSAGES", "JOURNAL_KINDS",
+    "BREAKER_STATES", "DIRECTIONS", "DISPATCH_MESSAGES",
+    "FAILOVER_MESSAGES", "HEARTBEAT_MESSAGES", "JOURNAL_KINDS",
     "JOURNAL_MESSAGES", "PLAN_MISS_MESSAGES", "RECOVER_MESSAGES",
-    "REJECT_MESSAGES", "REPLAY_MESSAGES_PER_RECORD", "SNAPSHOT_MESSAGES",
-    "STRATEGIES",
-    "AdmissionQueue", "CircuitBreaker", "DegradePolicy", "DispatchRecord",
-    "JournalRecord", "PlanCache", "PlanEntry", "ProofRequest",
-    "ProofServer", "RecoveryManager", "RecoveryOutcome", "RequestResult",
-    "ResumeState", "ServeReport", "ServerSnapshot", "TwiddleLedger",
-    "VirtualClock", "WorkloadSpec", "WriteAheadJournal",
-    "generate_workload", "output_digest", "percentile", "serve_durably",
+    "REJECT_MESSAGES", "REPLAY_MESSAGES_PER_RECORD", "ROUTE_MESSAGES",
+    "SNAPSHOT_MESSAGES", "STEAL_MESSAGES", "STRATEGIES",
+    "AdmissionQueue", "CircuitBreaker", "ConsistentHashRouter",
+    "DegradePolicy", "DispatchRecord", "FleetPolicy", "FleetReport",
+    "FleetServer", "JournalRecord", "PlanCache", "PlanEntry",
+    "ProofRequest", "ProofServer", "RecoveryManager", "RecoveryOutcome",
+    "RequestResult", "ResumeState", "ServeReport", "ServerSnapshot",
+    "TwiddleLedger", "VirtualClock", "WeightedFairQueue", "WorkloadSpec",
+    "WriteAheadJournal", "generate_workload", "iter_workload",
+    "output_digest", "percentile", "replay_journal", "serve_durably",
     "workload_from_json", "workload_to_json",
 ]

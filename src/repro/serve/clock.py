@@ -1,47 +1,13 @@
-"""A deterministic virtual clock for the serving simulation.
+"""Compatibility shim: the clock moved to :mod:`repro.runtime.clock`.
 
-The scheduler never reads wall time: every timestamp it handles —
-request arrivals, dispatch starts, completions, deadlines — lives on
-this virtual axis, and the only way time moves is by explicit,
-modeled-duration advances.  Two runs over the same workload therefore
-replay bit-identically, which is what makes the serving reports (and
-the chaos tests on top of them) reproducible artifacts rather than
-load-dependent measurements.
+The serving layer and the functional simulator share one discrete-
+event runtime now (see :mod:`repro.runtime`); the clock that used to
+live here is that runtime's foundation.  Existing imports of
+``repro.serve.clock.VirtualClock`` keep working through this module.
 """
 
 from __future__ import annotations
 
-from repro.errors import ServeError
+from repro.runtime.clock import VirtualClock
 
 __all__ = ["VirtualClock"]
-
-
-class VirtualClock:
-    """Monotonic simulated time in seconds."""
-
-    def __init__(self, start_s: float = 0.0) -> None:
-        if start_s < 0:
-            raise ServeError(f"clock cannot start at {start_s} < 0")
-        self._now_s = float(start_s)
-
-    @property
-    def now_s(self) -> float:
-        return self._now_s
-
-    def advance_to(self, t_s: float) -> float:
-        """Jump forward to absolute time ``t_s`` (never backward)."""
-        if t_s < self._now_s:
-            raise ServeError(
-                f"clock cannot rewind from {self._now_s} to {t_s}")
-        self._now_s = float(t_s)
-        return self._now_s
-
-    def advance_by(self, dt_s: float) -> float:
-        """Advance by a modeled duration ``dt_s >= 0``."""
-        if dt_s < 0:
-            raise ServeError(f"cannot advance by {dt_s} < 0 seconds")
-        self._now_s += float(dt_s)
-        return self._now_s
-
-    def __repr__(self) -> str:
-        return f"VirtualClock(t={self._now_s:.6f}s)"

@@ -54,12 +54,16 @@ __all__ = [
     "REPLAY_MESSAGES_PER_RECORD", "SNAPSHOT_MESSAGES",
     "JournalRecord", "WriteAheadJournal", "ServerSnapshot",
     "ResumeState", "RecoveryManager", "RecoveryOutcome",
-    "output_digest", "serve_durably",
+    "output_digest", "replay_journal", "serve_durably",
 ]
 
 #: The closed vocabulary of journal record kinds, in lifecycle order.
+#: ``steal`` is written by the *victim* of a cross-replica work steal:
+#: the request left this journal's queue but was re-admitted (and
+#: re-journaled) on the thief, so replay removes it here without
+#: marking it handled.
 JOURNAL_KINDS = ("admit", "reject", "shed", "dispatch", "emit",
-                 "complete", "snapshot", "recover")
+                 "complete", "snapshot", "recover", "steal")
 
 #: Fabric latency units one journal append costs (group commit: the
 #: record is durable before the state change it guards is visible).
@@ -301,6 +305,121 @@ class RecoveryOutcome:
         return self.recoveries > 0
 
 
+def replay_journal(journal: WriteAheadJournal) -> ResumeState:
+    """Verify and replay a journal into a :class:`ResumeState`.
+
+    The replay partitions request ids into *handled* (emitted,
+    rejected, or shed — never to be touched again) and *orphaned*
+    (admitted or mid-dispatch at the journal's end — to be re-admitted
+    exactly once).  Both :meth:`RecoveryManager.resume_state` (single-
+    server crash recovery) and the fleet's journaled failover
+    (:mod:`repro.serve.fleet`) are this function: failover is simply
+    replaying a fenced replica's journal and re-routing the orphans.
+    """
+    journal.verify()
+    if not len(journal):
+        raise JournalError("cannot recover from an empty journal")
+
+    snapshot_record = journal.latest_snapshot()
+    queued: dict[int, dict] = {}
+    handled: set[int] = set()
+    inflight: dict[int, dict[int, dict]] = {}
+    next_batch_id = 0
+    plan_keys: tuple = ()
+    twiddle_shapes: tuple = ()
+    after_seq = -1
+    if snapshot_record is not None:
+        snapshot = ServerSnapshot.from_payload(snapshot_record.payload)
+        for record in snapshot.queued:
+            queued[int(record["request_id"])] = record
+        handled.update(snapshot.handled_ids)
+        next_batch_id = snapshot.next_batch_id
+        plan_keys = snapshot.plan_keys
+        twiddle_shapes = snapshot.twiddle_shapes
+        after_seq = snapshot_record.seq
+
+    replayed = 0
+    for record in journal.tail(after_seq):
+        replayed += 1
+        payload = record.payload
+        if record.kind == "admit":
+            request = dict(payload["request"])
+            queued[int(request["request_id"])] = request
+        elif record.kind in ("reject", "shed"):
+            request_id = int(payload["request_id"])
+            handled.add(request_id)
+            queued.pop(request_id, None)
+        elif record.kind == "steal":
+            # The request moved to another replica's queue (and was
+            # journaled there as a fresh admit); it is no longer this
+            # journal's responsibility but is NOT handled — the thief
+            # finishes it.
+            queued.pop(int(payload["request_id"]), None)
+        elif record.kind == "dispatch":
+            batch_id = int(payload["batch_id"])
+            members: dict[int, dict] = {}
+            for request_id in payload["request_ids"]:
+                request_id = int(request_id)
+                member = queued.pop(request_id, None)
+                if member is None:
+                    raise JournalError(
+                        f"journal record {record.seq} dispatches "
+                        f"request {request_id} that was never "
+                        "admitted")
+                members[request_id] = member
+            inflight[batch_id] = members
+            next_batch_id = max(next_batch_id, batch_id + 1)
+        elif record.kind == "emit":
+            request_id = int(payload["request_id"])
+            handled.add(request_id)
+            for members in inflight.values():
+                members.pop(request_id, None)
+        elif record.kind == "complete":
+            batch_id = int(payload["batch_id"])
+            leftovers = inflight.pop(batch_id, {})
+            missing = sorted(set(leftovers) - handled)
+            if missing:
+                raise JournalError(
+                    f"journal record {record.seq} completes batch "
+                    f"{batch_id} but requests {missing} were never "
+                    "emitted")
+        elif record.kind == "recover":
+            # An earlier incarnation already recovered here: it
+            # moved every unemitted in-flight request back into its
+            # queue, so the replay must do the same or a later
+            # re-dispatch of those requests would look like a
+            # dispatch of never-admitted work.
+            for batch_id in sorted(inflight):
+                for request_id, member in sorted(
+                        inflight[batch_id].items()):
+                    if request_id not in handled:
+                        queued[request_id] = member
+            inflight.clear()
+        # "snapshot" cannot appear after the latest snapshot by
+        # construction.
+
+    orphans: dict[int, dict] = {}
+    for batch_id in sorted(inflight):
+        for request_id, record in sorted(inflight[batch_id].items()):
+            if request_id not in handled:
+                orphans[request_id] = record
+    orphans.update(queued)
+    requeue = tuple(
+        ProofRequest.from_record(orphans[request_id])
+        for request_id in sorted(orphans))
+
+    last = journal.records[-1]
+    return ResumeState(
+        clock_s=last.t_s,
+        crash_seq=last.seq,
+        replayed_records=replayed,
+        queued=requeue,
+        handled_ids=frozenset(handled),
+        next_batch_id=next_batch_id,
+        plan_keys=plan_keys,
+        twiddle_shapes=twiddle_shapes)
+
+
 class RecoveryManager:
     """Restores a crashed server from its write-ahead journal.
 
@@ -325,107 +444,11 @@ class RecoveryManager:
     def resume_state(self) -> ResumeState:
         """Verify the journal, replay it, and classify every request.
 
-        The replay partitions request ids into *handled* (emitted,
-        rejected, or shed — never to be touched again) and *orphaned*
-        (admitted or mid-dispatch at crash time — to be re-admitted
-        exactly once).
+        Delegates to :func:`replay_journal` — the same replay the
+        fleet's journaled failover runs over a fenced replica's
+        journal.
         """
-        self.journal.verify()
-        if not len(self.journal):
-            raise JournalError("cannot recover from an empty journal")
-
-        snapshot_record = self.journal.latest_snapshot()
-        queued: dict[int, dict] = {}
-        handled: set[int] = set()
-        inflight: dict[int, dict[int, dict]] = {}
-        next_batch_id = 0
-        plan_keys: tuple = ()
-        twiddle_shapes: tuple = ()
-        after_seq = -1
-        if snapshot_record is not None:
-            snapshot = ServerSnapshot.from_payload(snapshot_record.payload)
-            for record in snapshot.queued:
-                queued[int(record["request_id"])] = record
-            handled.update(snapshot.handled_ids)
-            next_batch_id = snapshot.next_batch_id
-            plan_keys = snapshot.plan_keys
-            twiddle_shapes = snapshot.twiddle_shapes
-            after_seq = snapshot_record.seq
-
-        replayed = 0
-        for record in self.journal.tail(after_seq):
-            replayed += 1
-            payload = record.payload
-            if record.kind == "admit":
-                request = dict(payload["request"])
-                queued[int(request["request_id"])] = request
-            elif record.kind in ("reject", "shed"):
-                request_id = int(payload["request_id"])
-                handled.add(request_id)
-                queued.pop(request_id, None)
-            elif record.kind == "dispatch":
-                batch_id = int(payload["batch_id"])
-                members: dict[int, dict] = {}
-                for request_id in payload["request_ids"]:
-                    request_id = int(request_id)
-                    member = queued.pop(request_id, None)
-                    if member is None:
-                        raise JournalError(
-                            f"journal record {record.seq} dispatches "
-                            f"request {request_id} that was never "
-                            "admitted")
-                    members[request_id] = member
-                inflight[batch_id] = members
-                next_batch_id = max(next_batch_id, batch_id + 1)
-            elif record.kind == "emit":
-                request_id = int(payload["request_id"])
-                handled.add(request_id)
-                for members in inflight.values():
-                    members.pop(request_id, None)
-            elif record.kind == "complete":
-                batch_id = int(payload["batch_id"])
-                leftovers = inflight.pop(batch_id, {})
-                missing = sorted(set(leftovers) - handled)
-                if missing:
-                    raise JournalError(
-                        f"journal record {record.seq} completes batch "
-                        f"{batch_id} but requests {missing} were never "
-                        "emitted")
-            elif record.kind == "recover":
-                # An earlier incarnation already recovered here: it
-                # moved every unemitted in-flight request back into its
-                # queue, so the replay must do the same or a later
-                # re-dispatch of those requests would look like a
-                # dispatch of never-admitted work.
-                for batch_id in sorted(inflight):
-                    for request_id, member in sorted(
-                            inflight[batch_id].items()):
-                        if request_id not in handled:
-                            queued[request_id] = member
-                inflight.clear()
-            # "snapshot" cannot appear after the latest snapshot by
-            # construction.
-
-        orphans: dict[int, dict] = {}
-        for batch_id in sorted(inflight):
-            for request_id, record in sorted(inflight[batch_id].items()):
-                if request_id not in handled:
-                    orphans[request_id] = record
-        orphans.update(queued)
-        requeue = tuple(
-            ProofRequest.from_record(orphans[request_id])
-            for request_id in sorted(orphans))
-
-        last = self.journal.records[-1]
-        return ResumeState(
-            clock_s=last.t_s,
-            crash_seq=last.seq,
-            replayed_records=replayed,
-            queued=requeue,
-            handled_ids=frozenset(handled),
-            next_batch_id=next_batch_id,
-            plan_keys=plan_keys,
-            twiddle_shapes=twiddle_shapes)
+        return replay_journal(self.journal)
 
     def recover(self, requests: list[ProofRequest]) -> ServeReport:
         """One recovery leg: build a fresh server and resume the run.

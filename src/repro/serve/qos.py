@@ -1,0 +1,105 @@
+"""Per-tenant QoS: weighted fair queueing layered on EDF admission.
+
+Under overload, a plain EDF queue is tenant-blind: one tenant spraying
+tight-deadline requests starves everyone else.  The fleet's replicas
+therefore run a :class:`WeightedFairQueue` — an
+:class:`~repro.serve.queue.AdmissionQueue` whose *batch extraction*
+picks which tenant to serve by weighted fair queueing and only then
+applies EDF within that tenant:
+
+* every tenant accrues *normalized service* — field elements
+  dispatched divided by its weight (elements, ``batch * 2**log_size``,
+  are the honest currency: one 2^20 transform is not one 2^8
+  transform);
+* :meth:`take_batch` serves the queued tenant with the least
+  normalized service (ties break on tenant name, so extraction is a
+  pure function of queue contents and service history);
+* within the chosen tenant the head is the EDF-most-urgent request,
+  and only *that tenant's* shape-compatible requests ride the batch —
+  a dispatch is one tenant's service, so its charge is unambiguous;
+* a tenant first seen mid-run starts at the current service floor
+  (the minimum among active tenants), not at zero — late arrival must
+  not buy a monopoly over the backlog.
+
+With a single tenant queued the behavior collapses to exactly the base
+EDF queue, which is why the single-server :class:`ProofServer` path is
+byte-identical whether or not this class is used.  Everything is
+deterministic; there is no randomized scheduling anywhere.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ServeError
+from repro.serve.queue import AdmissionQueue
+from repro.serve.request import ProofRequest
+
+__all__ = ["WeightedFairQueue"]
+
+
+class WeightedFairQueue(AdmissionQueue):
+    """A bounded EDF queue with weighted-fair tenant selection."""
+
+    def __init__(self, capacity: int,
+                 weights: dict[str, float] | None = None) -> None:
+        super().__init__(capacity)
+        weights = dict(weights) if weights else {}
+        for tenant, weight in weights.items():
+            if not isinstance(tenant, str) or not tenant:
+                raise ServeError(
+                    f"tenant weight key must be a non-empty string, "
+                    f"got {tenant!r}")
+            if not weight > 0:
+                raise ServeError(
+                    f"tenant {tenant!r}: weight must be > 0, "
+                    f"got {weight}")
+        self.weights = weights
+        self._service: dict[str, float] = {}
+
+    def weight(self, tenant_id: str) -> float:
+        """A tenant's configured weight (1.0 when unlisted)."""
+        return self.weights.get(tenant_id, 1.0)
+
+    def normalized_service(self, tenant_id: str) -> float:
+        """Service-per-weight a tenant has received so far."""
+        floor = min(self._service.values()) if self._service else 0.0
+        return self._service.get(tenant_id, floor)
+
+    def _charge(self, tenant_id: str, elements: int) -> None:
+        base = self.normalized_service(tenant_id)
+        self._service[tenant_id] = \
+            base + elements / self.weight(tenant_id)
+
+    def next_tenant(self) -> str:
+        """The queued tenant WFQ serves next (queue unchanged)."""
+        if not self._items:
+            raise ServeError("next_tenant on an empty queue")
+        queued = sorted({r.tenant_id for r in self._items})
+        return min(queued, key=lambda t: (self.normalized_service(t), t))
+
+    def take_batch(self, max_requests: int,
+                   batching: bool = True) -> list[ProofRequest]:
+        """Remove and return the next dispatch group (one tenant's).
+
+        The WFQ-least-served queued tenant is chosen first; its EDF
+        head leads the group and up to ``max_requests - 1`` of *its*
+        shape-compatible requests join.  The dispatched elements are
+        charged to that tenant before returning.
+        """
+        if max_requests < 1:
+            raise ServeError(
+                f"max_requests must be >= 1, got {max_requests}")
+        tenant = self.next_tenant()
+        mine = [r for r in self._items if r.tenant_id == tenant]
+        head = min(mine, key=ProofRequest.urgency_key)
+        if not batching or max_requests == 1:
+            group = [head]
+        else:
+            key = head.shape_key()
+            compatible = sorted(
+                (r for r in mine if r.shape_key() == key),
+                key=ProofRequest.urgency_key)
+            group = compatible[:max_requests]
+        for request in group:
+            self._items.remove(request)
+        self._charge(tenant, sum(r.batch * r.n for r in group))
+        return group

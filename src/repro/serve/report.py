@@ -90,6 +90,9 @@ class ServeReport:
     makespan_s: float = 0.0
     dispatches: list[DispatchRecord] = dataclass_field(default_factory=list)
     results: list[RequestResult] = dataclass_field(default_factory=list)
+    rejected_by_tenant: dict[str, int] = dataclass_field(
+        default_factory=dict)
+    shed_by_tenant: dict[str, int] = dataclass_field(default_factory=dict)
 
     # -- batching ------------------------------------------------------------
 
@@ -128,6 +131,46 @@ class ServeReport:
         if self.makespan_s <= 0:
             return 0.0
         return self.completed / self.makespan_s
+
+    # -- per-tenant accounting -----------------------------------------------
+
+    def note_rejected(self, tenant_id: str) -> None:
+        self.rejected_by_tenant[tenant_id] = \
+            self.rejected_by_tenant.get(tenant_id, 0) + 1
+
+    def note_shed(self, tenant_id: str) -> None:
+        self.shed_by_tenant[tenant_id] = \
+            self.shed_by_tenant.get(tenant_id, 0) + 1
+
+    def tenant_breakdown(self) -> dict[str, dict[str, object]]:
+        """Per-tenant completion/latency/shed accounting (sorted keys).
+
+        Tenants appear if they completed, were rejected, or were shed;
+        the QoS layer's fairness tests and the fleet report's
+        per-tenant summary both read this.
+        """
+        by_tenant: dict[str, list[RequestResult]] = {}
+        for result in self.results:
+            by_tenant.setdefault(
+                result.request.tenant_id, []).append(result)
+        tenants = sorted(set(by_tenant)
+                         | set(self.rejected_by_tenant)
+                         | set(self.shed_by_tenant))
+        breakdown: dict[str, dict[str, object]] = {}
+        for tenant in tenants:
+            results = by_tenant.get(tenant, [])
+            lats = sorted(r.latency_s for r in results)
+            breakdown[tenant] = {
+                "completed": len(results),
+                "deadline_misses": sum(
+                    1 for r in results if not r.deadline_met),
+                "p50_latency_s": percentile(lats, 0.50),
+                "p99_latency_s": percentile(lats, 0.99),
+                "rejected": self.rejected_by_tenant.get(tenant, 0),
+                "shed": self.shed_by_tenant.get(tenant, 0),
+                "vectors": sum(r.request.batch for r in results),
+            }
+        return breakdown
 
     # -- cost-model folding --------------------------------------------------
 
@@ -223,4 +266,5 @@ class ServeReport:
         payload["latency_percentiles_s"] = self.latency_percentiles_s()
         payload["machine"] = self.machine_name
         payload["modeled_busy_s"] = self.modeled_busy_s()
+        payload["tenants"] = self.tenant_breakdown()
         return json.dumps(payload, indent=2, sort_keys=True)

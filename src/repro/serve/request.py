@@ -48,6 +48,10 @@ class ProofRequest:
         Virtual time the request reaches the server.
     data_seed:
         Seed for the deterministic input data.
+    tenant_id:
+        The submitting tenant.  Per-tenant QoS (weighted fair queueing
+        in :mod:`repro.serve.qos`) and the per-tenant report breakdown
+        key on it; single-tenant workloads leave the default.
     """
 
     request_id: int
@@ -59,8 +63,13 @@ class ProofRequest:
     deadline_s: float | None = None
     arrival_s: float = 0.0
     data_seed: int = 0
+    tenant_id: str = "default"
 
     def __post_init__(self) -> None:
+        if not isinstance(self.tenant_id, str) or not self.tenant_id:
+            raise ServeError(
+                f"request {self.request_id}: tenant_id must be a "
+                f"non-empty string, got {self.tenant_id!r}")
         if self.direction not in DIRECTIONS:
             raise ServeError(
                 f"request {self.request_id}: direction must be one of "
@@ -117,6 +126,7 @@ class ProofRequest:
             "deadline_s": self.deadline_s,
             "arrival_s": self.arrival_s,
             "data_seed": self.data_seed,
+            "tenant_id": self.tenant_id,
         }
 
     @classmethod

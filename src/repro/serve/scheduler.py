@@ -69,6 +69,7 @@ from repro.serve.durability import (
     SNAPSHOT_MESSAGES, ResumeState, ServerSnapshot, WriteAheadJournal,
     output_digest,
 )
+from repro.runtime.loop import SharedCounter
 from repro.serve.queue import AdmissionQueue
 from repro.serve.report import DispatchRecord, ServeReport
 from repro.serve.request import ProofRequest, RequestResult
@@ -76,7 +77,8 @@ from repro.sim.cluster import SimCluster
 from repro.sim.faults import FaultPlan
 from repro.sim.trace import Trace, TraceEvent
 
-__all__ = ["DISPATCH_MESSAGES", "REJECT_MESSAGES", "ProofServer"]
+__all__ = ["DISPATCH_MESSAGES", "REJECT_MESSAGES", "InflightBatch",
+           "ProofServer"]
 
 #: Fabric latency units of fixed per-dispatch overhead (host-side batch
 #: assembly plus the kernel-launch train).  This is the cost batching
@@ -91,6 +93,35 @@ REJECT_MESSAGES = 1
 
 #: Errors a dispatch may retry (or divert to the fallback engine).
 _RETRYABLE = (TransientCommError, ShardCorruptionError)
+
+
+class InflightBatch:
+    """One dispatched-but-uncommitted batch (between begin and commit).
+
+    ``_dispatch_begin`` journals the dispatch intent and runs the
+    engines; ``_dispatch_commit`` — at the batch's modeled completion
+    time — emits the results and journals them.  The single-server
+    loop commits immediately after advancing the clock, so the split
+    is invisible there; the fleet holds the object while other
+    replicas make progress, and *discards* it if its replica is fenced
+    before the completion event fires (the orphaned dispatch record is
+    then what journal failover replays).
+    """
+
+    def __init__(self, *, group: list[ProofRequest], batch_id: int,
+                 strategy_label: str, total_vectors: int,
+                 duration_s: float, attempts: int,
+                 steps: tuple[Step, ...],
+                 outputs: list[list[int]], start_s: float) -> None:
+        self.group = group
+        self.batch_id = batch_id
+        self.strategy_label = strategy_label
+        self.total_vectors = total_vectors
+        self.duration_s = duration_s
+        self.attempts = attempts
+        self.steps = steps
+        self.outputs = outputs
+        self.start_s = start_s
 
 
 class ProofServer:
@@ -137,6 +168,23 @@ class ProofServer:
     degrade:
         Optional :class:`~repro.serve.degrade.DegradePolicy` enabling
         circuit breakers, single-GPU fallback, and load shedding.
+    trace:
+        Optional shared :class:`~repro.sim.trace.Trace` to append to
+        instead of a private one.  The fleet passes one trace to every
+        replica so a single audit covers the whole fleet.
+    batch_counter:
+        Optional shared :class:`~repro.runtime.loop.SharedCounter` for
+        batch ids.  With it, batch ids are globally unique across all
+        servers drawing from the counter — the property the fleet's
+        duplicate-completion tracecheck rule relies on.
+    replica:
+        Optional fleet replica index.  When set, every serve-level
+        trace event this server emits carries a trailing
+        ``replica=<n>`` token, which is how the shared-trace audit
+        rules (journal gaplessness, suspicion resolution) attribute
+        events to replicas.  ``None`` (the default) leaves the
+        single-server event format byte-identical to every earlier
+        release.
     """
 
     def __init__(self, machine: MachineModel = DGX_A100, *,
@@ -152,7 +200,10 @@ class ProofServer:
                  journal: WriteAheadJournal | None = None,
                  snapshot_every: int = 8,
                  crash_plan: FaultPlan | None = None,
-                 degrade: DegradePolicy | None = None) -> None:
+                 degrade: DegradePolicy | None = None,
+                 trace: Trace | None = None,
+                 batch_counter: SharedCounter | None = None,
+                 replica: int | None = None) -> None:
         if max_batch_requests < 1:
             raise ServeError(
                 f"max_batch_requests must be >= 1, got {max_batch_requests}")
@@ -167,7 +218,8 @@ class ProofServer:
                 f"snapshot_every must be >= 1, got {snapshot_every}")
         crash_steps: frozenset[int] = frozenset()
         if crash_plan is not None:
-            residual = crash_plan.without_crashes().faults
+            residual = tuple(f for f in crash_plan.faults
+                             if f.kind != "server-crash")
             if residual:
                 raise ServeError(
                     "crash_plan must contain only server-crash faults; "
@@ -191,9 +243,11 @@ class ProofServer:
         self.journal = journal
         self.snapshot_every = snapshot_every
         self.degrade = degrade
-        self.trace = Trace()
+        self.trace = trace if trace is not None else Trace()
+        self.replica = replica
         self.plan_cache = PlanCache()
         self.twiddles = TwiddleLedger(max_tables=twiddle_capacity)
+        self._batch_counter = batch_counter
         self._crash_steps = crash_steps
         self._clusters: dict[str, SimCluster] = {}
         self._fallback_clusters: dict[str, SimCluster] = {}
@@ -244,8 +298,22 @@ class ProofServer:
         return breaker
 
     def _serve_event(self, kind: str, detail: str) -> None:
+        if self.replica is not None:
+            detail = f"{detail} replica={self.replica}"
         self.trace.record(TraceEvent(kind=kind, level="serve",
                                      detail=detail))
+
+    def _next_batch_id(self) -> int:
+        if self._batch_counter is not None:
+            return self._batch_counter.next()
+        batch_id = self._batch_id
+        self._batch_id += 1
+        return batch_id
+
+    def _peek_batch_id(self) -> int:
+        if self._batch_counter is not None:
+            return self._batch_counter.peek
+        return self._batch_id
 
     def _overhead_seconds(self, messages: int) -> float:
         return self._overhead_model.estimate(
@@ -322,6 +390,7 @@ class ProofServer:
                         clock, report)
                 else:
                     report.rejected += 1
+                    report.note_rejected(request.tenant_id)
                     report.rejection_s += self._rejection_seconds(request)
                     handled.add(request.request_id)
                     self._serve_event(
@@ -368,6 +437,8 @@ class ProofServer:
         report.recovered_requests = len(resume.queued)
         report.replayed_records = resume.replayed_records
         self._batch_id = max(self._batch_id, resume.next_batch_id)
+        if self._batch_counter is not None:
+            self._batch_counter.advance_to(resume.next_batch_id)
         # Warm the caches the snapshot recorded.  Entries are pure
         # functions of their keys, so re-materializing them restores
         # the crashed server's cache state exactly; the restore itself
@@ -418,7 +489,7 @@ class ProofServer:
             t_s=clock.now_s,
             queued=tuple(r.to_record() for r in queue.snapshot_items()),
             handled_ids=tuple(sorted(handled)),
-            next_batch_id=self._batch_id,
+            next_batch_id=self._peek_batch_id(),
             plan_keys=self.plan_cache.keys(),
             twiddle_shapes=self.twiddles.shapes())
         report.snapshots += 1
@@ -426,7 +497,7 @@ class ProofServer:
         self._serve_event(
             "serve-snapshot",
             f"queued={len(queue)} handled={len(handled)} "
-            f"next-batch={self._batch_id}")
+            f"next-batch={self._peek_batch_id()}")
         self._journal_append("snapshot", snapshot.to_payload(), clock,
                              report)
 
@@ -455,6 +526,7 @@ class ProofServer:
             return
         for request in queue.drop_worst(len(queue) - high_water):
             report.shed += 1
+            report.note_shed(request.tenant_id)
             report.shed_s += self._rejection_seconds(request)
             handled.add(request.request_id)
             self._serve_event(
@@ -471,13 +543,20 @@ class ProofServer:
 
     def _dispatch(self, group: list[ProofRequest], clock: VirtualClock,
                   report: ServeReport, handled: set[int]) -> None:
+        """Begin, advance the clock by the modeled duration, commit."""
+        inflight = self._dispatch_begin(group, clock, report)
+        clock.advance_by(inflight.duration_s)
+        self._dispatch_commit(inflight, clock, report, handled)
+
+    def _dispatch_begin(self, group: list[ProofRequest],
+                        clock: VirtualClock,
+                        report: ServeReport) -> InflightBatch:
         head = group[0]
         field = head.field
         n = head.n
         vectors_per_request = [r.batch for r in group]
         total_vectors = sum(vectors_per_request)
-        batch_id = self._batch_id
-        self._batch_id += 1
+        batch_id = self._next_batch_id()
 
         breaker = self._breaker(field.name) if self.degrade is not None \
             else None
@@ -655,15 +734,27 @@ class ProofServer:
         self._note_dispatch_outcome(failures)
 
         duration = CostModel(self.machine, field).estimate(steps).total_s
-        start = clock.now_s
-        clock.advance_by(duration)
+        return InflightBatch(
+            group=group, batch_id=batch_id,
+            strategy_label=strategy_label, total_vectors=total_vectors,
+            duration_s=duration, attempts=attempts, steps=tuple(steps),
+            outputs=outputs, start_s=clock.now_s)
 
+    def _dispatch_commit(self, inflight: InflightBatch,
+                         clock: VirtualClock, report: ServeReport,
+                         handled: set[int]) -> None:
+        """Emit an in-flight batch's results at its completion time."""
+        group = inflight.group
+        head = group[0]
+        batch_id = inflight.batch_id
+        strategy_label = inflight.strategy_label
         report.dispatches.append(DispatchRecord(
-            batch_id=batch_id, field_name=field.name,
+            batch_id=batch_id, field_name=head.field_name,
             log_size=head.log_size, direction=head.direction,
             strategy=strategy_label, requests=len(group),
-            vectors=total_vectors, duration_s=duration,
-            attempts=attempts, steps=tuple(steps),
+            vectors=inflight.total_vectors,
+            duration_s=inflight.duration_s,
+            attempts=inflight.attempts, steps=inflight.steps,
             engine="single-gpu" if strategy_label == "single-gpu"
             else "multi-gpu"))
 
@@ -673,12 +764,12 @@ class ProofServer:
         # client-visible result set and the journal in agreement.
         cursor = 0
         for request in group:
-            lanes = outputs[cursor:cursor + request.batch]
+            lanes = inflight.outputs[cursor:cursor + request.batch]
             cursor += request.batch
             result = RequestResult(
                 request=request,
                 outputs=tuple(tuple(lane) for lane in lanes),
-                start_s=start, finish_s=clock.now_s,
+                start_s=inflight.start_s, finish_s=clock.now_s,
                 batch_id=batch_id, strategy=strategy_label,
                 shared_batch=len(group))
             report.results.append(result)
@@ -695,6 +786,6 @@ class ProofServer:
         self._serve_event(
             "serve-complete",
             f"batch={batch_id} finish={clock.now_s:.6e} "
-            f"attempts={attempts}")
+            f"attempts={inflight.attempts}")
         self._journal_append("complete", {"batch_id": batch_id},
                              clock, report)

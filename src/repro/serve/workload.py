@@ -3,11 +3,27 @@
 A workload is just a list of :class:`~repro.serve.request.ProofRequest`
 records.  Two ways to build one:
 
-* :func:`generate_workload` — a seeded synthetic open-loop arrival
-  process: ``requests`` requests with exponential inter-arrival gaps of
-  mean ``mean_interarrival_s`` (zero collapses to a burst: everything
-  arrives at t=0, the offered-load knob the f21 benchmark sweeps),
-  rotating through ``log_sizes`` / ``field_names`` / ``directions``;
+* :func:`generate_workload` / :func:`iter_workload` — a seeded
+  synthetic open-loop arrival process: ``requests`` requests with
+  exponential inter-arrival gaps of mean ``mean_interarrival_s`` (zero
+  collapses to a burst: everything arrives at t=0, the offered-load
+  knob the f21 benchmark sweeps), rotating through ``log_sizes`` /
+  ``field_names`` / ``directions``.  Three optional shape knobs model
+  real proof traffic (ZKProphet-style: diurnal, bursty, multi-tenant):
+
+  - ``diurnal_period_s`` / ``diurnal_amplitude`` modulate the arrival
+    *rate* sinusoidally — gaps shrink on the peak half of the period
+    and stretch on the trough half;
+  - ``burst_every`` / ``burst_size`` inject ``burst_size`` extra
+    simultaneous arrivals after every ``burst_every`` paced ones;
+  - ``tenants`` / ``tenant_weights`` draw each request's ``tenant_id``
+    from a weighted tenant mix.
+
+  Each knob draws from its own independently-seeded RNG (or none), so
+  enabling one never perturbs the byte-identical arrival stream a
+  default spec has always produced.  :func:`iter_workload` is a lazy
+  generator — the f25 experiment walks a million-request workload
+  through it without materializing the list.
 * :func:`workload_from_json` — an explicit request list (every field of
   the dataclass accepted, sensible defaults applied), or a ``spec``
   object with the generator's parameters.
@@ -19,14 +35,16 @@ requests, arrival times included.
 from __future__ import annotations
 
 import json
+import math
 import random
 from dataclasses import dataclass
+from typing import Iterator
 
 from repro.errors import ServeError
 from repro.serve.request import ProofRequest
 
-__all__ = ["WorkloadSpec", "generate_workload", "workload_from_json",
-           "workload_to_json"]
+__all__ = ["WorkloadSpec", "generate_workload", "iter_workload",
+           "workload_from_json", "workload_to_json"]
 
 
 @dataclass(frozen=True)
@@ -42,6 +60,12 @@ class WorkloadSpec:
     deadline_s: float | None = None
     priority_levels: int = 1
     seed: int = 0
+    tenants: tuple[str, ...] = ("default",)
+    tenant_weights: tuple[float, ...] = ()
+    diurnal_period_s: float = 0.0
+    diurnal_amplitude: float = 0.0
+    burst_every: int = 0
+    burst_size: int = 0
 
     def __post_init__(self) -> None:
         if self.requests < 0:
@@ -54,19 +78,72 @@ class WorkloadSpec:
             raise ServeError("mean_interarrival_s must be >= 0")
         if self.priority_levels < 1:
             raise ServeError("priority_levels must be >= 1")
+        if not self.tenants:
+            raise ServeError("tenants must be non-empty")
+        if self.tenant_weights:
+            if len(self.tenant_weights) != len(self.tenants):
+                raise ServeError(
+                    f"tenant_weights has {len(self.tenant_weights)} "
+                    f"entries for {len(self.tenants)} tenants")
+            if any(w <= 0 for w in self.tenant_weights):
+                raise ServeError("tenant_weights must all be > 0")
+        if not 0.0 <= self.diurnal_amplitude < 1.0:
+            raise ServeError(
+                f"diurnal_amplitude must be in [0, 1), "
+                f"got {self.diurnal_amplitude}")
+        if self.diurnal_amplitude > 0 and self.diurnal_period_s <= 0:
+            raise ServeError(
+                "diurnal_amplitude > 0 needs diurnal_period_s > 0")
+        if self.burst_every < 0 or self.burst_size < 0:
+            raise ServeError("burst_every and burst_size must be >= 0")
+        if (self.burst_every > 0) != (self.burst_size > 0):
+            raise ServeError(
+                "burst_every and burst_size must be set together")
 
 
-def generate_workload(spec: WorkloadSpec) -> list[ProofRequest]:
-    """Materialize a seeded synthetic workload from ``spec``."""
+def iter_workload(spec: WorkloadSpec) -> Iterator[ProofRequest]:
+    """Lazily yield a seeded synthetic workload from ``spec``.
+
+    Streaming matters at fleet scale: the million-request generator
+    sweep of the f25 experiment never holds the workload in memory.
+    The paced-arrival RNG stream is untouched by the diurnal, burst,
+    and tenant knobs (each has its own seeded RNG or is pure
+    arithmetic), so a spec with those knobs at their defaults yields
+    byte-identical requests to every earlier release.
+    """
     rng = random.Random(repr(("workload", spec.seed)))
-    requests: list[ProofRequest] = []
+    tenant_rng = random.Random(repr(("workload-tenant", spec.seed)))
     arrival = 0.0
+    paced = 0  # paced (non-burst) arrivals so far, drives burst cadence
+    burst_left = 0
     for index in range(spec.requests):
-        if index > 0 and spec.mean_interarrival_s > 0:
-            arrival += rng.expovariate(1.0 / spec.mean_interarrival_s)
+        rider = False
+        if index > 0:
+            if burst_left > 0:
+                burst_left -= 1  # rides the previous arrival timestamp
+                rider = True
+            elif spec.mean_interarrival_s > 0:
+                gap = rng.expovariate(1.0 / spec.mean_interarrival_s)
+                if spec.diurnal_amplitude > 0:
+                    # Sinusoidal rate modulation: instantaneous rate
+                    # multiplier in (1-A, 1+A], evaluated at the
+                    # current arrival time; gaps divide by it.
+                    rate = 1.0 + spec.diurnal_amplitude * math.sin(
+                        2.0 * math.pi * arrival / spec.diurnal_period_s)
+                    gap /= rate
+                arrival += gap
+        if spec.burst_every > 0 and not rider:
+            paced += 1
+            if paced % spec.burst_every == 0:
+                burst_left = spec.burst_size
+        if len(spec.tenants) == 1:
+            tenant = spec.tenants[0]
+        else:
+            weights = spec.tenant_weights or None
+            tenant = tenant_rng.choices(spec.tenants, weights=weights)[0]
         deadline = None if spec.deadline_s is None \
             else arrival + spec.deadline_s
-        requests.append(ProofRequest(
+        yield ProofRequest(
             request_id=index,
             field_name=spec.field_names[index % len(spec.field_names)],
             log_size=spec.log_sizes[index % len(spec.log_sizes)],
@@ -76,8 +153,13 @@ def generate_workload(spec: WorkloadSpec) -> list[ProofRequest]:
             deadline_s=deadline,
             arrival_s=arrival,
             data_seed=spec.seed,
-        ))
-    return requests
+            tenant_id=tenant,
+        )
+
+
+def generate_workload(spec: WorkloadSpec) -> list[ProofRequest]:
+    """Materialize a seeded synthetic workload from ``spec``."""
+    return list(iter_workload(spec))
 
 
 def workload_from_json(text: str) -> list[ProofRequest]:
@@ -101,7 +183,8 @@ def workload_from_json(text: str) -> list[ProofRequest]:
                 f"parameters, got {type(payload['spec']).__name__}")
         raw = dict(payload["spec"])
         try:
-            for key in ("log_sizes", "field_names", "directions"):
+            for key in ("log_sizes", "field_names", "directions",
+                        "tenants", "tenant_weights"):
                 if key in raw:
                     raw[key] = tuple(raw[key])
             spec = WorkloadSpec(**raw)
@@ -133,17 +216,5 @@ def workload_from_json(text: str) -> list[ProofRequest]:
 
 def workload_to_json(requests: list[ProofRequest]) -> str:
     """Serialize an explicit request list (round-trips from_json)."""
-    records = []
-    for request in requests:
-        records.append({
-            "request_id": request.request_id,
-            "field_name": request.field_name,
-            "log_size": request.log_size,
-            "direction": request.direction,
-            "batch": request.batch,
-            "priority": request.priority,
-            "deadline_s": request.deadline_s,
-            "arrival_s": request.arrival_s,
-            "data_seed": request.data_seed,
-        })
+    records = [request.to_record() for request in requests]
     return json.dumps({"requests": records}, indent=2, sort_keys=True)

@@ -27,11 +27,31 @@ declarative, replayable :class:`FaultPlan`:
   :class:`~repro.serve.scheduler.ProofServer` and recovered by
   :class:`~repro.serve.durability.RecoveryManager`.
 
+Three further kinds target the *replicated fleet*
+(:mod:`repro.serve.fleet`) rather than the fabric.  They key on the
+fleet's heartbeat tick index (``step`` = the tick at which the fault
+fires) and name their victim with ``replica=R``:
+
+* ``replica-crash``     — replica ``R`` dies at tick ``step``: its
+  in-flight batch is lost, its heartbeats stop, and the failure
+  detector must notice, fence it, and fail its journal over;
+* ``network-partition`` — replica ``R`` is unreachable for ``count``
+  ticks starting at ``step``: it can reach neither the durable journal
+  nor the heartbeat fabric, so it halts (a partitioned node that kept
+  serving could double-emit); it rejoins empty when the partition
+  heals;
+* ``heartbeat-loss``    — only replica ``R``'s *heartbeats* are lost
+  for ``count`` ticks; the replica itself keeps serving.  Short losses
+  produce suspicion followed by recovery (a false positive the
+  detector must resolve); losses past the failover threshold get the
+  replica fenced exactly as if it had died.
+
 Faults trigger on the cluster's *collective step counter* (the index of
 the collective invocation, counted across retries) — except
-``server-crash``, which keys on the journal sequence number instead —
-so a plan is a pure function of the run: the same plan over the same
-engine replays bit-identically.  Plans parse from compact CLI specs
+``server-crash``, which keys on the journal sequence number, and the
+fleet kinds, which key on the heartbeat tick — so a plan is a pure
+function of the run: the same plan over the same engine replays
+bit-identically.  Plans parse from compact CLI specs
 (``kind@step[:key=value,...]``) and from JSON.
 """
 
@@ -46,8 +66,8 @@ from repro.errors import (
 )
 from repro.sim.trace import TraceEvent
 
-__all__ = ["FAULT_KINDS", "RESOLUTION_REQUIRED", "FaultSpec", "FaultPlan",
-           "FaultInjector", "parse_fault_spec"]
+__all__ = ["FAULT_KINDS", "FLEET_KINDS", "RESOLUTION_REQUIRED",
+           "FaultSpec", "FaultPlan", "FaultInjector", "parse_fault_spec"]
 
 #: The closed vocabulary of injectable fault kinds.
 FAULT_KINDS = (
@@ -57,18 +77,30 @@ FAULT_KINDS = (
     "corrupt-shard",
     "device-death",
     "server-crash",
+    "replica-crash",
+    "network-partition",
+    "heartbeat-loss",
 )
+
+#: Kinds consumed by the replicated fleet (:mod:`repro.serve.fleet`).
+#: They key on the heartbeat tick index and target ``replica=R``; the
+#: cluster-level injector never sees them.
+FLEET_KINDS = frozenset(
+    {"replica-crash", "network-partition", "heartbeat-loss"})
 
 #: Fault kinds that abort or corrupt work and therefore must be
 #: answered by a ``retry``/``reshard`` trace event (the tracecheck
 #: rule).  Degradations only slow the run down; they need no recovery.
 #: ``server-crash`` is deliberately absent: its resolution is a
 #: ``serve-recover`` event, audited 1:1 by the dedicated
-#: ``trace.unrecovered-crash`` rule instead.
+#: ``trace.unrecovered-crash`` rule instead.  The fleet kinds are
+#: likewise absent: their resolution protocol (suspicion answered by
+#: failover-or-recovery, 1:1 per replica) is audited by
+#: ``trace.unresolved-suspicion``.
 RESOLUTION_REQUIRED = frozenset(
     {"transient-comm", "corrupt-shard", "device-death"})
 
-_INT_FIELDS = frozenset({"step", "gpu", "count", "delta"})
+_INT_FIELDS = frozenset({"step", "gpu", "count", "delta", "replica"})
 _FLOAT_FIELDS = frozenset({"factor"})
 
 
@@ -92,9 +124,14 @@ class FaultSpec:
         ``straggler``: slowdown multiplier ``> 1``.
     count:
         ``transient-comm``: number of consecutive failing collectives.
+        ``network-partition`` / ``heartbeat-loss``: duration in
+        heartbeat ticks.
     delta:
         ``corrupt-shard``: non-zero additive offset applied to the
         corrupted element (mod p).
+    replica:
+        Target replica index for the fleet kinds (``replica-crash`` /
+        ``network-partition`` / ``heartbeat-loss``).
     """
 
     kind: str
@@ -103,6 +140,7 @@ class FaultSpec:
     factor: float = 0.5
     count: int = 1
     delta: int = 1
+    replica: int = 0
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -127,6 +165,14 @@ class FaultSpec:
                 f"transient-comm: count must be >= 1, got {self.count}")
         if self.kind == "corrupt-shard" and self.delta == 0:
             raise FaultPlanError("corrupt-shard: delta must be non-zero")
+        if self.kind in ("network-partition", "heartbeat-loss") \
+                and self.count < 1:
+            raise FaultPlanError(
+                f"{self.kind}: count (duration in heartbeat ticks) "
+                f"must be >= 1, got {self.count}")
+        if self.replica < 0:
+            raise FaultPlanError(
+                f"{self.kind}: replica must be >= 0, got {self.replica}")
 
     def label(self) -> str:
         """Compact human/trace label, e.g. ``device-death@3:gpu=1``."""
@@ -135,7 +181,11 @@ class FaultSpec:
             extras.append(f"gpu={self.gpu}")
         if self.kind in ("link-degrade", "straggler"):
             extras.append(f"factor={self.factor:g}")
+        if self.kind in FLEET_KINDS:
+            extras.append(f"replica={self.replica}")
         if self.kind == "transient-comm" and self.count != 1:
+            extras.append(f"count={self.count}")
+        if self.kind in ("network-partition", "heartbeat-loss"):
             extras.append(f"count={self.count}")
         suffix = ":" + ",".join(extras) if extras else ""
         return f"{self.kind}@{self.step}{suffix}"
@@ -249,17 +299,30 @@ class FaultPlan:
                              if f.kind == "server-crash"}))
 
     def without_crashes(self) -> "FaultPlan":
-        """The plan minus ``server-crash`` specs.
+        """The plan minus ``server-crash`` and fleet specs.
 
         Server crashes are consumed by the proof server's journal
-        layer; the cluster-level :class:`FaultInjector` gets this
-        filtered plan so single-field checks and collective hooks only
-        ever see fabric faults.
+        layer and the fleet kinds by :class:`repro.serve.fleet`'s
+        heartbeat loop; the cluster-level :class:`FaultInjector` gets
+        this filtered plan so single-field checks and collective hooks
+        only ever see fabric faults.
         """
         return FaultPlan(
             seed=self.seed,
             faults=tuple(f for f in self.faults
-                         if f.kind != "server-crash"))
+                         if f.kind != "server-crash"
+                         and f.kind not in FLEET_KINDS))
+
+    def fleet_faults(self) -> tuple[FaultSpec, ...]:
+        """The fleet-targeted specs (heartbeat-tick keyed), in order."""
+        return tuple(f for f in self.faults if f.kind in FLEET_KINDS)
+
+    def without_fleet_faults(self) -> "FaultPlan":
+        """The plan minus the fleet kinds (fabric + server-crash)."""
+        return FaultPlan(
+            seed=self.seed,
+            faults=tuple(f for f in self.faults
+                         if f.kind not in FLEET_KINDS))
 
     def recoverable(self, gpu_count: int) -> bool:
         """Whether a resilient engine can complete under this plan.

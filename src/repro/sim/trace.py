@@ -19,6 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Iterator
 
+from repro.runtime.loop import SharedCounter
+
 __all__ = ["TraceEvent", "Trace", "KindSpec", "EVENT_KINDS",
            "collective_kinds"]
 
@@ -116,6 +118,18 @@ EVENT_KINDS: dict[str, KindSpec] = {
     "serve-shed": KindSpec(
         collective=False,
         description="load shedding dropped a queued request (priced)"),
+    "serve-route": KindSpec(
+        collective=False,
+        description="fleet router placed a request on a replica"),
+    "serve-heartbeat": KindSpec(
+        collective=False,
+        description="failure-detector transition (suspect/recovered)"),
+    "serve-failover": KindSpec(
+        collective=False,
+        description="fleet fenced a replica and replayed its journal"),
+    "serve-steal": KindSpec(
+        collective=False,
+        description="idle replica stole queued work from a loaded one"),
 }
 
 
@@ -173,21 +187,30 @@ class TraceEvent:
 
 
 class Trace:
-    """An append-only event log with aggregation helpers."""
+    """An append-only event log with aggregation helpers.
 
-    def __init__(self) -> None:
+    The logical step axis is drawn from a
+    :class:`~repro.runtime.loop.SharedCounter` — by default a private
+    one, so steps are simply the event sequence numbers.  Passing a
+    shared counter lets several writers (e.g. the fleet's replicas,
+    which all append to one trace) draw from a single step axis.
+    """
+
+    def __init__(self, counter: SharedCounter | None = None) -> None:
         self.events: list[TraceEvent] = []
+        self._steps = counter if counter is not None else SharedCounter()
 
     def record(self, event: TraceEvent) -> None:
         """Append an event, stamping its logical step when unset.
 
-        The default stamp is the event's sequence number, so every
+        The default stamp is the next step-counter value, so every
         recorded event gets a distinct step (the simulator executes
         sequentially).  Callers modeling genuinely concurrent work can
         pre-set ``step`` to declare two events simultaneous.
         """
+        step = self._steps.next()
         if event.step < 0:
-            event = replace(event, step=len(self.events))
+            event = replace(event, step=step)
         self.events.append(event)
 
     def __len__(self) -> int:
@@ -199,6 +222,7 @@ class Trace:
     def clear(self) -> None:
         """Drop every event (step numbering restarts from zero)."""
         self.events.clear()
+        self._steps = SharedCounter()
 
     # -- aggregation -----------------------------------------------------------
 

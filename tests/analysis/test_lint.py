@@ -171,8 +171,10 @@ class TestDriver:
                 return time.time()
             """)
         findings = lint_paths([str(tmp_path)], root=str(tmp_path))
+        # sim/ is both a deterministic and a simulated-time package, so
+        # the time.time() call trips nondeterminism AND wall-clock.
         assert [f.check for f in findings] == [
-            "lint.raw-mod", "lint.nondeterminism"]
+            "lint.raw-mod", "lint.nondeterminism", "lint.wall-clock"]
 
 
 class TestDictOrder:
@@ -236,8 +238,11 @@ class TestNondeterminismInServe:
             def now():
                 return time.monotonic()
             """)
+        # The overlap with lint.wall-clock is deliberate: the two
+        # rules answer different questions (determinism vs simulated
+        # time) and serve/ is in scope for both.
         assert checks_of(lint_file(path, root=str(tmp_path))) == {
-            "lint.nondeterminism"}
+            "lint.nondeterminism", "lint.wall-clock"}
 
 
 class TestPowInverse:
@@ -307,3 +312,72 @@ class TestRawTransfers:
         for name in ("passes.py", "synth.py"):
             path = write_module(tmp_path, "analysis", name, self.SOURCE)
             assert lint_file(path, root=str(tmp_path)) == []
+
+
+class TestWallClock:
+    def test_time_time_in_runtime_package(self, tmp_path):
+        path = write_module(tmp_path, "runtime", "bad.py", """\
+            import time
+
+            def stamp():
+                return time.time()
+            """)
+        assert "lint.wall-clock" in checks_of(
+            lint_file(path, root=str(tmp_path)))
+
+    def test_ns_variants_and_clock_gettime(self, tmp_path):
+        path = write_module(tmp_path, "sim", "bad.py", """\
+            import time
+
+            def stamps():
+                return (time.perf_counter_ns(), time.monotonic_ns(),
+                        time.clock_gettime(0))
+            """)
+        findings = [f for f in lint_file(path, root=str(tmp_path))
+                    if f.check == "lint.wall-clock"]
+        assert len(findings) == 3
+
+    def test_from_import_is_flagged_at_the_import_and_the_call(
+            self, tmp_path):
+        path = write_module(tmp_path, "serve", "bad.py", """\
+            from time import perf_counter as tick
+
+            def stamp():
+                return tick()
+            """)
+        findings = [f for f in lint_file(path, root=str(tmp_path))
+                    if f.check == "lint.wall-clock"]
+        assert len(findings) == 2
+
+    def test_datetime_now_is_flagged(self, tmp_path):
+        path = write_module(tmp_path, "serve", "bad.py", """\
+            import datetime
+
+            def stamp():
+                return datetime.datetime.now()
+            """)
+        assert "lint.wall-clock" in checks_of(
+            lint_file(path, root=str(tmp_path)))
+
+    def test_sleep_is_not_a_clock_read(self, tmp_path):
+        # time.sleep stalls but does not *read* the clock; the
+        # nondeterminism rule covers it in serve, wall-clock does not.
+        path = write_module(tmp_path, "runtime", "ok.py", """\
+            import time
+
+            def nap():
+                time.sleep(0.1)
+            """)
+        assert "lint.wall-clock" not in checks_of(
+            lint_file(path, root=str(tmp_path)))
+
+    def test_bench_package_is_exempt(self, tmp_path):
+        # Benchmarks measure real elapsed time on purpose.
+        path = write_module(tmp_path, "bench", "timer.py", """\
+            import time
+
+            def measure():
+                return time.perf_counter()
+            """)
+        assert "lint.wall-clock" not in checks_of(
+            lint_file(path, root=str(tmp_path)))

@@ -320,3 +320,125 @@ class TestJournalGap:
                                 detail="seq=9 kind=recover"))
         findings = check_trace(trace)
         assert checks_of(findings) == {"trace.journal-gap"}
+
+
+def _serve(kind, detail):
+    return TraceEvent(kind=kind, level="serve", detail=detail)
+
+
+class TestUnresolvedSuspicion:
+    def test_suspicion_resolved_by_recovery_is_clean(self):
+        trace = Trace()
+        trace.record(_serve("serve-heartbeat",
+                            "replica=1 suspect phi=4 tick=7"))
+        trace.record(_serve("serve-heartbeat",
+                            "replica=1 recovered tick=9"))
+        assert check_trace(trace) == []
+
+    def test_suspicion_resolved_by_failover_is_clean(self):
+        trace = Trace()
+        trace.record(_serve("serve-heartbeat",
+                            "replica=1 suspect phi=8 tick=9"))
+        trace.record(_serve("serve-failover",
+                            "replica=1 orphans=2 replayed=5 tick=9"))
+        assert check_trace(trace) == []
+
+    def test_hanging_suspicion_is_flagged(self):
+        trace = Trace()
+        trace.record(_serve("serve-heartbeat",
+                            "replica=0 suspect phi=4 tick=3"))
+        findings = check_trace(trace)
+        assert checks_of(findings) == {"trace.unresolved-suspicion"}
+        assert "never resolved" in findings[0].message
+
+    def test_failover_out_of_nowhere_is_flagged(self):
+        trace = Trace()
+        trace.record(_serve("serve-failover",
+                            "replica=2 orphans=0 replayed=1 tick=4"))
+        findings = check_trace(trace)
+        assert checks_of(findings) == {"trace.unresolved-suspicion"}
+        assert "answers no open suspicion" in findings[0].message
+
+    def test_suspicions_key_on_the_replica(self):
+        # A failover of replica 1 cannot retire replica 0's suspicion.
+        trace = Trace()
+        trace.record(_serve("serve-heartbeat",
+                            "replica=0 suspect phi=4 tick=3"))
+        trace.record(_serve("serve-failover",
+                            "replica=1 orphans=0 replayed=0 tick=4"))
+        findings = check_trace(trace)
+        assert [f.check for f in findings] \
+            == ["trace.unresolved-suspicion"] * 2
+
+
+class TestDuplicateComplete:
+    def test_each_request_completing_once_is_clean(self):
+        trace = Trace()
+        trace.record(_serve("serve-dispatch", "batch=0 ids=1,2 n=16"))
+        trace.record(_serve("serve-complete", "batch=0 finish=1e-3"))
+        trace.record(_serve("serve-dispatch", "batch=1 ids=3 n=16"))
+        trace.record(_serve("serve-complete", "batch=1 finish=2e-3"))
+        assert check_trace(trace) == []
+
+    def test_request_completing_in_two_batches_is_flagged(self):
+        trace = Trace()
+        trace.record(_serve("serve-dispatch", "batch=0 ids=1,2 n=16"))
+        trace.record(_serve("serve-complete", "batch=0 finish=1e-3"))
+        trace.record(_serve("serve-dispatch", "batch=1 ids=2 n=16"))
+        trace.record(_serve("serve-complete", "batch=1 finish=2e-3"))
+        findings = check_trace(trace)
+        assert checks_of(findings) == {"trace.duplicate-complete"}
+        assert "request 2" in findings[0].message
+
+    def test_failover_readmission_that_completes_once_is_clean(self):
+        # The fleet's exactly-once shape: the dead replica's dispatch
+        # is voided by its failover, the orphan re-runs elsewhere and
+        # completes exactly once.
+        trace = Trace()
+        trace.record(_serve("serve-heartbeat",
+                            "replica=0 suspect phi=8 tick=9"))
+        trace.record(_serve("serve-dispatch",
+                            "batch=0 ids=7 n=16 replica=0"))
+        trace.record(_serve("serve-failover",
+                            "replica=0 orphans=1 replayed=2 tick=9"))
+        trace.record(_serve("serve-dispatch",
+                            "batch=1 ids=7 n=16 replica=1"))
+        trace.record(_serve("serve-complete",
+                            "batch=1 finish=2e-3 replica=1"))
+        assert check_trace(trace) == []
+
+
+class TestPerReplicaJournalGap:
+    def test_interleaved_replica_journals_are_keyed_apart(self):
+        # Two replicas interleave seqs 0,1 each on one shared trace;
+        # a global expectation would misfire, the per-replica one is
+        # clean.
+        trace = Trace()
+        for seq, replica in ((0, 0), (0, 1), (1, 0), (1, 1)):
+            trace.record(_serve(
+                "serve-journal",
+                f"seq={seq} kind=admit replica={replica}"))
+        assert check_trace(trace) == []
+
+    def test_gap_in_one_replica_stream_is_flagged(self):
+        trace = Trace()
+        trace.record(_serve("serve-journal", "seq=0 kind=admit replica=0"))
+        trace.record(_serve("serve-journal", "seq=0 kind=admit replica=1"))
+        trace.record(_serve("serve-journal", "seq=2 kind=admit replica=1"))
+        findings = check_trace(trace)
+        assert checks_of(findings) == {"trace.journal-gap"}
+
+    def test_failover_fences_only_the_dead_replicas_journal(self):
+        # After replica 0's failover its journal expectation resets
+        # (rejoin starts a fresh journal at seq 0); replica 1's stream
+        # must stay contiguous.
+        trace = Trace()
+        trace.record(_serve("serve-heartbeat",
+                            "replica=0 suspect phi=8 tick=9"))
+        trace.record(_serve("serve-journal", "seq=0 kind=admit replica=0"))
+        trace.record(_serve("serve-journal", "seq=0 kind=admit replica=1"))
+        trace.record(_serve("serve-failover",
+                            "replica=0 orphans=0 replayed=1 tick=9"))
+        trace.record(_serve("serve-journal", "seq=0 kind=admit replica=0"))
+        trace.record(_serve("serve-journal", "seq=1 kind=admit replica=1"))
+        assert check_trace(trace) == []

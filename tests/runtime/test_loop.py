@@ -1,0 +1,98 @@
+"""EventLoop and SharedCounter: deterministic next-event selection.
+
+The fleet replays bit-identically only if "what happens next" is a
+pure function of the schedule.  These tests pin the ordering contract
+— ``(t_s, priority, seq)``, payload never consulted — plus lazy
+cancellation and the monotonic shared id source.
+"""
+
+import pytest
+
+from repro.errors import ServeError
+from repro.runtime import EventLoop, SharedCounter, VirtualClock
+
+
+class TestSharedCounter:
+    def test_is_monotonic_and_peekable(self):
+        counter = SharedCounter()
+        assert counter.peek == 0
+        assert [counter.next() for _ in range(3)] == [0, 1, 2]
+        assert counter.peek == 3
+
+    def test_advance_to_never_rewinds(self):
+        counter = SharedCounter(start=5)
+        counter.advance_to(3)
+        assert counter.peek == 5
+        counter.advance_to(9)
+        assert counter.next() == 9
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ServeError):
+            SharedCounter(start=-1)
+
+
+class TestEventLoop:
+    def test_pops_in_time_order_and_advances_the_clock(self):
+        loop = EventLoop()
+        loop.schedule(2.0, "b")
+        loop.schedule(1.0, "a")
+        loop.schedule(3.0, "c")
+        kinds = [loop.pop_next().kind for _ in range(3)]
+        assert kinds == ["a", "b", "c"]
+        assert loop.clock.now_s == 3.0
+
+    def test_ties_break_on_priority_then_insertion(self):
+        loop = EventLoop()
+        loop.schedule(1.0, "late-class", priority=2)
+        loop.schedule(1.0, "first-in", priority=1)
+        loop.schedule(1.0, "second-in", priority=1)
+        kinds = [loop.pop_next().kind for _ in range(3)]
+        assert kinds == ["first-in", "second-in", "late-class"]
+
+    def test_payload_never_influences_ordering(self):
+        # Payloads may be unorderable (dicts, None); ties must resolve
+        # on seq without ever comparing them.
+        loop = EventLoop()
+        loop.schedule(1.0, "x", payload={"un": "orderable"})
+        loop.schedule(1.0, "y", payload=None)
+        assert [loop.pop_next().kind for _ in range(2)] == ["x", "y"]
+
+    def test_cancellation_is_lazy_but_invisible(self):
+        loop = EventLoop()
+        doomed = loop.schedule(1.0, "doomed")
+        loop.schedule(2.0, "kept")
+        loop.cancel(doomed)
+        assert len(loop) == 1
+        assert loop.peek_next_time() == 2.0
+        assert loop.pop_next().kind == "kept"
+        loop.cancel(doomed)  # cancelling again is a no-op
+        assert loop.empty
+
+    def test_cannot_schedule_in_the_past_or_at_non_finite_times(self):
+        loop = EventLoop(VirtualClock(start_s=5.0))
+        with pytest.raises(ServeError, match="past"):
+            loop.schedule(4.9, "too-late")
+        for bad in (float("nan"), float("inf")):
+            with pytest.raises(ServeError, match="non-finite"):
+                loop.schedule(bad, "unreal")
+
+    def test_pop_on_empty_raises(self):
+        loop = EventLoop()
+        assert loop.peek_next_time() is None
+        with pytest.raises(ServeError, match="empty"):
+            loop.pop_next()
+
+    def test_rescheduling_while_draining_is_stable(self):
+        # A handler scheduling new events mid-drain (how heartbeats
+        # self-perpetuate) must not disturb the order of pending ones.
+        loop = EventLoop()
+        loop.schedule(1.0, "tick")
+        loop.schedule(2.0, "arrival")
+        seen = []
+        while not loop.empty:
+            event = loop.pop_next()
+            seen.append((event.t_s, event.kind))
+            if event.kind == "tick" and event.t_s < 3.0:
+                loop.schedule(event.t_s + 1.0, "tick")
+        assert seen == [(1.0, "tick"), (2.0, "arrival"), (2.0, "tick"),
+                        (3.0, "tick")]

@@ -28,3 +28,39 @@ def test_advance_to_now_is_a_noop():
     clock.advance_to(3.0)
     clock.advance_by(0.0)
     assert clock.now_s == 3.0
+
+
+@pytest.mark.parametrize("bad", [float("nan"), float("inf"),
+                                 float("-inf")])
+def test_non_finite_advances_are_rejected(bad):
+    # nan compares false against everything, so one absorbed nan would
+    # poison every later deadline comparison without tripping anything.
+    clock = VirtualClock(start_s=1.0)
+    with pytest.raises(ServeError):
+        clock.advance_by(bad)
+    with pytest.raises(ServeError):
+        clock.advance_to(bad)
+    assert clock.now_s == 1.0
+
+
+@pytest.mark.parametrize("bad", [float("nan"), float("inf"),
+                                 float("-inf"), -1.0])
+def test_bad_start_times_are_rejected(bad):
+    with pytest.raises(ServeError):
+        VirtualClock(start_s=bad)
+
+
+def test_rejected_advance_leaves_time_untouched():
+    clock = VirtualClock()
+    clock.advance_by(2.0)
+    for bad in (float("nan"), -0.5):
+        with pytest.raises(ServeError):
+            clock.advance_by(bad)
+    assert clock.now_s == 2.0
+
+
+def test_runtime_and_serve_export_the_same_clock():
+    # serve.VirtualClock is a compatibility re-export of the runtime
+    # clock; the fleet and the single server must share one time axis.
+    from repro.runtime import VirtualClock as RuntimeClock
+    assert VirtualClock is RuntimeClock

@@ -1,0 +1,211 @@
+"""Fleet mechanics: policy, routing, detector, stealing, pricing.
+
+The chaos-grid end-to-end guarantees live in ``test_fleet_chaos.py``;
+this file pins the pieces: configuration validation, consistent-hash
+routing, heartbeat accounting, work stealing, per-tenant QoS wiring,
+and the priced coordination overhead.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ServeError
+from repro.hw import DGX_A100
+from repro.serve import (
+    ConsistentHashRouter, FleetPolicy, FleetReport, FleetServer,
+    ProofServer, WorkloadSpec, generate_workload,
+)
+from repro.sim import FaultPlan
+
+
+def _workload(count=12, log_sizes=(6, 7), interarrival=1e-4, **kwargs):
+    spec = WorkloadSpec(requests=count, log_sizes=log_sizes,
+                        field_names=("Goldilocks",),
+                        mean_interarrival_s=interarrival, seed=0xF1EE7,
+                        **kwargs)
+    return generate_workload(spec)
+
+
+class TestFleetPolicy:
+    def test_defaults_are_valid(self):
+        policy = FleetPolicy()
+        assert policy.replicas == 2
+        assert policy.failover_phi > policy.suspect_phi
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(replicas=0),
+        dict(heartbeat_interval_s=0.0),
+        dict(heartbeat_interval_s=float("nan")),
+        dict(suspect_phi=0.0),
+        dict(suspect_phi=4.0, failover_phi=4.0),   # must be strict
+        dict(suspect_phi=5.0, failover_phi=4.0),
+        dict(vnodes=0),
+        dict(spread=0),
+        dict(steal_threshold=1),
+        dict(steal_max=0),
+        dict(tenant_weights=(("a", 0.0),)),
+        dict(tenant_weights=(("", 1.0),)),
+    ])
+    def test_rejects_bad_knobs(self, kwargs):
+        with pytest.raises(ServeError):
+            FleetPolicy(**kwargs)
+
+
+class TestConsistentHashRouter:
+    def test_routing_is_deterministic_and_shape_affine(self):
+        router = ConsistentHashRouter(4)
+        requests = _workload(8, log_sizes=(6,))
+        key = router.key_of(requests[0])
+        alive = {0, 1, 2, 3}
+        first = router.route(key, alive, spread=2, load=lambda r: 0)
+        for request in requests:
+            assert router.key_of(request) == key
+            assert router.route(key, alive, spread=2,
+                                load=lambda r: 0) == first
+
+    def test_dead_replicas_are_never_candidates(self):
+        router = ConsistentHashRouter(4)
+        key = ("Goldilocks", 6, "forward")
+        for dead in range(4):
+            alive = {0, 1, 2, 3} - {dead}
+            assert dead not in router.candidates(key, alive, spread=4)
+
+    def test_spread_bounds_candidates_and_load_breaks_ties(self):
+        router = ConsistentHashRouter(4)
+        key = ("Goldilocks", 6, "forward")
+        alive = {0, 1, 2, 3}
+        candidates = router.candidates(key, alive, spread=2)
+        assert len(candidates) == 2
+        primary, alternate = candidates
+        # Pile load on the primary: the alternate must win.
+        load = {primary: 10, alternate: 0}.get
+        assert router.route(key, alive, spread=2, load=load) == alternate
+        # Equal load: ring order (the primary) wins.
+        assert router.route(key, alive, spread=2,
+                            load=lambda r: 0) == primary
+
+    def test_no_live_replicas_raises(self):
+        router = ConsistentHashRouter(2)
+        assert router.candidates(("k",), set(), spread=2) == []
+        with pytest.raises(ServeError, match="no live replicas"):
+            router.route(("k",), set(), spread=2, load=lambda r: 0)
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ServeError):
+            ConsistentHashRouter(0)
+        with pytest.raises(ServeError):
+            ConsistentHashRouter(2, vnodes=0)
+
+
+class TestFleetServer:
+    def test_single_replica_fleet_matches_single_server(self):
+        workload = _workload()
+        single = ProofServer(DGX_A100).serve(workload)
+        fleet = FleetServer(DGX_A100,
+                            policy=FleetPolicy(replicas=1, spread=1))
+        report = fleet.serve(workload)
+        assert report.completed == single.completed == len(workload)
+        reference = {r.request.request_id: r.outputs
+                     for r in single.results}
+        for result in report.results:
+            assert result.outputs == reference[result.request.request_id]
+
+    def test_results_are_merged_sorted_and_unique(self):
+        fleet = FleetServer(DGX_A100, policy=FleetPolicy(replicas=3))
+        report = fleet.serve(_workload(16))
+        ids = [r.request.request_id for r in report.results]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == len(ids) == 16
+
+    def test_fleet_is_one_shot(self):
+        fleet = FleetServer(DGX_A100)
+        fleet.serve(_workload(4))
+        with pytest.raises(ServeError, match="one-shot"):
+            fleet.serve(_workload(4))
+
+    def test_duplicate_request_ids_rejected(self):
+        workload = _workload(4)
+        workload.append(workload[0])
+        with pytest.raises(ServeError, match="duplicate"):
+            FleetServer(DGX_A100).serve(workload)
+
+    def test_fabric_faults_belong_on_the_injector(self):
+        plan = FaultPlan.from_specs(["transient-comm@0"])
+        with pytest.raises(ServeError, match="fleet kinds"):
+            FleetServer(DGX_A100, faults=plan)
+
+    def test_fault_replica_must_exist(self):
+        plan = FaultPlan.from_specs(["replica-crash@1:replica=5"])
+        with pytest.raises(ServeError, match="only 2"):
+            FleetServer(DGX_A100, policy=FleetPolicy(replicas=2),
+                        faults=plan)
+
+    def test_heartbeats_are_counted_and_priced(self):
+        fleet = FleetServer(DGX_A100, policy=FleetPolicy(replicas=2))
+        report = fleet.serve(_workload())
+        assert report.heartbeats > 0
+        assert report.heartbeat_s > 0.0
+        assert report.route_s > 0.0
+        assert report.routed == len(report.results)
+
+    def test_work_stealing_rebalances_a_hot_shape(self):
+        # One shape hashes to one home (spread=1): an idle replica
+        # must steal from the loaded one instead of sitting out.
+        workload = _workload(16, log_sizes=(6,), interarrival=0.0)
+        policy = FleetPolicy(replicas=2, spread=1, steal_threshold=2)
+        fleet = FleetServer(DGX_A100, policy=policy)
+        report = fleet.serve(workload)
+        assert report.steals > 0
+        assert report.stolen_requests > 0
+        assert report.steal_s > 0.0
+        busy = [r for r in report.replica_reports if r.completed > 0]
+        assert len(busy) == 2, "the idle replica never served"
+
+    def test_stealing_can_be_disabled(self):
+        workload = _workload(16, log_sizes=(6,), interarrival=0.0)
+        policy = FleetPolicy(replicas=2, spread=1, steal_enabled=False)
+        report = FleetServer(DGX_A100, policy=policy).serve(workload)
+        assert report.steals == 0
+
+    def test_tenant_weights_reach_every_replica_queue(self):
+        policy = FleetPolicy(replicas=2,
+                             tenant_weights=(("gold", 4.0), ("free", 1.0)))
+        fleet = FleetServer(DGX_A100, policy=policy)
+        for replica in fleet.replicas:
+            assert replica.queue.weight("gold") == 4.0
+            assert replica.queue.weight("free") == 1.0
+            assert replica.queue.weight("unlisted") == 1.0
+
+    def test_tenant_breakdown_merges_across_replicas(self):
+        workload = _workload(12, tenants=("a", "b"),
+                             tenant_weights=(1.0, 1.0))
+        report = FleetServer(DGX_A100,
+                             policy=FleetPolicy(replicas=2)).serve(workload)
+        breakdown = report.tenant_breakdown()
+        assert set(breakdown) == {"a", "b"}
+        assert sum(b["completed"] for b in breakdown.values()) \
+            == report.completed
+
+    def test_plan_cost_includes_coordination_overhead(self):
+        fleet = FleetServer(DGX_A100, policy=FleetPolicy(replicas=2))
+        report = fleet.serve(_workload())
+        cost = report.plan_cost(DGX_A100)
+        replica_total = sum(
+            r.plan_cost(DGX_A100).total_s for r in report.replica_reports)
+        assert cost.total_s == pytest.approx(
+            replica_total + report.overhead_s)
+        assert report.overhead_s > 0.0
+
+    def test_report_json_round_trips(self):
+        report = FleetServer(DGX_A100).serve(_workload(6))
+        payload = json.loads(report.to_json())
+        assert payload["replicas"] == 2
+        assert payload["completed"] == 6
+        assert payload["machine"] == "DGX-A100"
+        assert len(payload["replica_summaries"]) == 2
+        assert payload["goodput_rps"] > 0
+
+    def test_goodput_counts_only_completions(self):
+        report = FleetReport(machine_name="m", policy=FleetPolicy())
+        assert report.goodput_rps() == 0.0

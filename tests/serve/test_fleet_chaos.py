@@ -1,0 +1,157 @@
+"""Fleet chaos grid: kills, partitions, and flapping, bit-identically.
+
+The fleet's whole claim is here: under every chaos scenario the fleet
+completes **every admitted request exactly once** with outputs
+**bit-identical** to an unfaulted single server, and the shared trace
+audits clean (journal seqs gapless per replica, every suspicion
+resolved 1:1, no request completed twice, no dangling dispatch).
+
+The grid crosses two workloads (paced multi-shape multi-tenant, and
+a bursty hot-shape stream) with six fault scenarios: a replica crash,
+a short partition that heals, a long partition that gets fenced and
+rejoins, a heartbeat flap that must *not* trigger failover, a muted
+zombie that must be fenced, and a compound crash + partition.
+"""
+
+import pytest
+
+from repro.analysis import check_trace
+from repro.hw import DGX_A100
+from repro.serve import (
+    FleetPolicy, FleetServer, ProofServer, WorkloadSpec,
+    generate_workload,
+)
+from repro.sim import FaultPlan
+
+WORKLOADS = {
+    # Paced arrivals, three shapes, two tenants: routing spreads it.
+    "paced-mixed": WorkloadSpec(
+        requests=24, log_sizes=(6, 7, 8), field_names=("Goldilocks",),
+        directions=("forward", "inverse"), mean_interarrival_s=1e-4,
+        tenants=("a", "b"), tenant_weights=(2.0, 1.0), seed=0xC0A5),
+    # One hot shape arriving in bursts: one home replica, stealing and
+    # failover both land on a deep queue.
+    "bursty-hot": WorkloadSpec(
+        requests=24, log_sizes=(6,), field_names=("Goldilocks",),
+        mean_interarrival_s=8e-5, burst_every=4, burst_size=3,
+        seed=0xC0A6),
+}
+
+SCENARIOS = {
+    "crash": ["replica-crash@1:replica=1"],
+    "partition-heals": ["network-partition@1:replica=1,count=2"],
+    "partition-fenced": ["network-partition@1:replica=1,count=30"],
+    "heartbeat-flap": ["heartbeat-loss@1:replica=0,count=2"],
+    "zombie-fenced": ["heartbeat-loss@1:replica=0,count=30"],
+    "compound": ["replica-crash@1:replica=0",
+                 "network-partition@2:replica=1,count=3"],
+}
+
+
+def _reference(workload):
+    """Unfaulted single-server outputs, keyed by request id."""
+    report = ProofServer(DGX_A100).serve(workload)
+    assert report.completed == len(workload)
+    return {r.request.request_id: r.outputs for r in report.results}
+
+
+@pytest.mark.parametrize("workload_name", sorted(WORKLOADS))
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+def test_chaos_grid_is_exactly_once_and_bit_identical(
+        scenario, workload_name):
+    workload = generate_workload(WORKLOADS[workload_name])
+    reference = _reference(workload)
+    fleet = FleetServer(
+        DGX_A100,
+        policy=FleetPolicy(replicas=3),
+        faults=FaultPlan.from_specs(SCENARIOS[scenario], seed=1))
+    report = fleet.serve(workload)
+
+    # Exactly once: every admitted request completed, none twice (the
+    # fleet's merge step raises on duplicates; the id set check covers
+    # losses).
+    completed = sorted(r.request.request_id for r in report.results)
+    assert completed == sorted(reference), (
+        f"{scenario}/{workload_name}: lost requests "
+        f"{sorted(set(reference) - set(completed))}")
+
+    # Bit-identical to the unfaulted single server, output for output.
+    for result in report.results:
+        assert result.outputs == reference[result.request.request_id], (
+            f"{scenario}/{workload_name}: request "
+            f"{result.request.request_id} diverged")
+
+    # The shared trace must audit clean: per-replica journal-gap,
+    # suspicion resolution, duplicate-complete, dangling dispatch.
+    findings = check_trace(fleet.trace)
+    assert not findings, (
+        f"{scenario}/{workload_name}: "
+        + "; ".join(f"{f.check}: {f.message}" for f in findings))
+
+
+@pytest.mark.parametrize("workload_name", sorted(WORKLOADS))
+def test_crash_triggers_detection_and_journaled_failover(workload_name):
+    workload = generate_workload(WORKLOADS[workload_name])
+    fleet = FleetServer(
+        DGX_A100, policy=FleetPolicy(replicas=3),
+        faults=FaultPlan.from_specs(["replica-crash@1:replica=1"],
+                                    seed=1))
+    report = fleet.serve(workload)
+    assert report.deaths == 1
+    assert report.suspicions >= 1
+    assert report.failovers == 1
+    assert report.failover_s > 0.0, "failover was not priced"
+    dead = report.replica_reports[1]
+    assert dead.completed < len(workload)
+
+
+def test_healed_partition_resumes_without_failover():
+    workload = generate_workload(WORKLOADS["paced-mixed"])
+    fleet = FleetServer(
+        DGX_A100, policy=FleetPolicy(replicas=3),
+        faults=FaultPlan.from_specs(
+            ["network-partition@1:replica=1,count=2"], seed=1))
+    report = fleet.serve(workload)
+    assert report.partitions == 1
+    assert report.failovers == 0, (
+        "a partition healing inside the suspicion window must not be "
+        "fenced")
+    assert report.completed == len(workload)
+
+
+def test_long_partition_is_fenced_then_rejoins():
+    workload = generate_workload(WORKLOADS["paced-mixed"])
+    fleet = FleetServer(
+        DGX_A100, policy=FleetPolicy(replicas=3),
+        faults=FaultPlan.from_specs(
+            ["network-partition@1:replica=1,count=30"], seed=1))
+    report = fleet.serve(workload)
+    assert report.failovers == 1
+    assert report.completed == len(workload)
+
+
+def test_heartbeat_flap_never_fences_a_serving_replica():
+    workload = generate_workload(WORKLOADS["paced-mixed"])
+    fleet = FleetServer(
+        DGX_A100, policy=FleetPolicy(replicas=3),
+        faults=FaultPlan.from_specs(
+            ["heartbeat-loss@1:replica=0,count=2"], seed=1))
+    report = fleet.serve(workload)
+    assert report.heartbeat_losses == 1
+    assert report.failovers == 0
+    # The flap may or may not cross suspect_phi depending on timing,
+    # but any suspicion must have resolved as a detector recovery.
+    assert report.detector_recoveries == report.suspicions
+
+
+def test_total_outage_is_an_error_not_silent_loss():
+    from repro.errors import ServeError
+
+    workload = generate_workload(WORKLOADS["bursty-hot"])
+    fleet = FleetServer(
+        DGX_A100, policy=FleetPolicy(replicas=2),
+        faults=FaultPlan.from_specs(
+            ["replica-crash@1:replica=0", "replica-crash@1:replica=1"],
+            seed=1))
+    with pytest.raises(ServeError):
+        fleet.serve(workload)

@@ -1,6 +1,8 @@
 """Admission queue: bounded capacity, EDF ordering, shape coalescing."""
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.errors import ServeError
 from repro.serve import AdmissionQueue, ProofRequest
@@ -50,3 +52,76 @@ def test_take_batch_respects_the_bound_and_batching_flag():
     assert len(queue.take_batch(3)) == 3
     assert len(queue.take_batch(8, batching=False)) == 1
     assert len(queue) == 1
+
+
+# --- EDF urgency as a total order (property-based) -------------------
+#
+# The whole serving stack leans on ``ProofRequest.urgency_key`` being a
+# strict total order: the queue, WFQ tenant extraction, load shedding,
+# and failover re-admission all sort by it and assume ties cannot
+# exist.  The unique ``request_id`` as the final key component is what
+# guarantees that; hypothesis hunts for request populations where two
+# distinct requests compare equal or where draining disagrees with a
+# one-shot sort.
+
+_urgencies = st.builds(
+    dict,
+    priority=st.integers(min_value=-3, max_value=3),
+    arrival_s=st.floats(min_value=0.0, max_value=10.0,
+                        allow_nan=False, width=32),
+    # None = best effort; otherwise a non-negative slack past arrival
+    # (a deadline before arrival is rejected at construction).
+    slack_s=st.one_of(st.none(),
+                      st.floats(min_value=0.0, max_value=10.0,
+                                allow_nan=False, width=32)),
+)
+
+
+@st.composite
+def _request_lists(draw):
+    urgencies = draw(st.lists(_urgencies, min_size=1, max_size=12))
+    requests = []
+    for request_id, u in enumerate(urgencies):
+        deadline = None if u["slack_s"] is None \
+            else u["arrival_s"] + u["slack_s"]
+        requests.append(_request(
+            request_id, priority=u["priority"], arrival_s=u["arrival_s"],
+            deadline_s=deadline))
+    return requests
+
+
+@given(_request_lists())
+def test_urgency_key_is_a_strict_total_order(requests):
+    keys = [r.urgency_key() for r in requests]
+    assert len(set(keys)) == len(keys), (
+        "distinct requests compared equal under urgency_key")
+    # Best-effort requests (no deadline) sort after every dated one.
+    dated = [k for r, k in zip(requests, keys) if r.deadline_s is not None]
+    if dated:
+        for r, k in zip(requests, keys):
+            if r.deadline_s is None:
+                assert k > max(dated)
+
+
+@given(_request_lists())
+def test_draining_one_by_one_agrees_with_a_total_sort(requests):
+    queue = AdmissionQueue(len(requests))
+    for request in requests:
+        assert queue.offer(request)
+    drained = []
+    while len(queue):
+        drained.extend(queue.take_batch(1, batching=False))
+    expected = sorted(requests, key=ProofRequest.urgency_key)
+    assert [r.request_id for r in drained] \
+        == [r.request_id for r in expected]
+
+
+@given(_request_lists())
+def test_shedding_never_touches_the_edf_head(requests):
+    queue = AdmissionQueue(len(requests))
+    for request in requests:
+        queue.offer(request)
+    head = queue.peek_urgent()
+    victims = queue.drop_worst(len(requests) - 1)
+    assert head not in victims
+    assert queue.peek_urgent() == head

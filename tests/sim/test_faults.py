@@ -235,3 +235,65 @@ class TestFromJsonHardening:
     def test_bad_seed_rejected(self):
         with pytest.raises(FaultPlanError, match="seed"):
             FaultPlan.from_json('{"faults": [], "seed": "entropy"}')
+
+
+class TestFleetFaultKinds:
+    """The fleet-targeted kinds: parsing, labels, and plan filters."""
+
+    def test_fleet_kinds_are_a_subset_of_fault_kinds(self):
+        from repro.sim.faults import FLEET_KINDS
+        assert FLEET_KINDS <= set(FAULT_KINDS)
+        assert FLEET_KINDS == {"replica-crash", "network-partition",
+                               "heartbeat-loss"}
+
+    @pytest.mark.parametrize("text, kind, step, replica, count", [
+        ("replica-crash@3:replica=1", "replica-crash", 3, 1, 1),
+        ("network-partition@1:replica=2,count=10",
+         "network-partition", 1, 2, 10),
+        ("heartbeat-loss@0:replica=0,count=2", "heartbeat-loss", 0, 0, 2),
+    ])
+    def test_parse_and_label_round_trip(self, text, kind, step, replica,
+                                        count):
+        spec = parse_fault_spec(text)
+        assert (spec.kind, spec.step, spec.replica, spec.count) \
+            == (kind, step, replica, count)
+        # label() must parse back to the identical spec.
+        assert parse_fault_spec(spec.label()) == spec
+
+    def test_negative_replica_rejected(self):
+        with pytest.raises(FaultPlanError, match="replica"):
+            FaultSpec(kind="replica-crash", step=0, replica=-1)
+
+    @pytest.mark.parametrize("kind", ["network-partition",
+                                      "heartbeat-loss"])
+    def test_duration_count_must_be_positive(self, kind):
+        with pytest.raises(FaultPlanError, match="count"):
+            FaultSpec(kind=kind, step=0, count=0)
+
+    def test_plan_filters_split_fleet_from_fabric(self):
+        plan = FaultPlan.from_specs([
+            "transient-comm@0",
+            "replica-crash@1:replica=0",
+            "server-crash@2",
+            "network-partition@3:replica=1,count=4",
+        ], seed=9)
+        assert [f.kind for f in plan.fleet_faults()] \
+            == ["replica-crash", "network-partition"]
+        fabric = plan.without_fleet_faults()
+        assert [f.kind for f in fabric.faults] \
+            == ["transient-comm", "server-crash"]
+        assert fabric.seed == plan.seed
+        # without_crashes drops server-crash AND the fleet kinds: what
+        # remains is exactly what the fabric injector replays.
+        assert [f.kind for f in plan.without_crashes().faults] \
+            == ["transient-comm"]
+
+    def test_fleet_plan_json_round_trips(self):
+        plan = FaultPlan.from_specs(
+            ["replica-crash@3:replica=1",
+             "heartbeat-loss@1:replica=0,count=30"], seed=7)
+        restored = FaultPlan.from_json(plan.to_json())
+        assert restored == plan
+        assert [f.label() for f in restored.fleet_faults()] \
+            == ["replica-crash@3:replica=1",
+                "heartbeat-loss@1:replica=0,count=30"]

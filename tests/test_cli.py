@@ -331,3 +331,65 @@ class TestDurabilityCli:
 
         assert "f22" in EXPERIMENTS
         build_parser().parse_args(["experiment", "f22"])
+
+
+class TestFleetCli:
+    def test_fleet_serve_text_summary(self, capsys):
+        assert main(["serve", "--requests", "6", "--log-size", "6",
+                     "--replicas", "2", "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "fleet of 2 replicas served 6/6" in out
+        assert "detector:" in out
+        assert "per-replica completed:" in out
+        assert "bit-exact" in out
+
+    def test_fleet_serve_json(self, capsys):
+        import json
+
+        assert main(["serve", "--requests", "6", "--log-size", "6",
+                     "--replicas", "2", "--json", "--verify"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["replicas"] == 2
+        assert payload["completed"] == 6
+        assert payload["verified"] is True
+
+    def test_fleet_survives_a_replica_kill(self, capsys):
+        assert main(["serve", "--requests", "8", "--log-size", "6",
+                     "--replicas", "3",
+                     "--fault", "replica-crash@1:replica=1",
+                     "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "served 8/8" in out
+        # The burst is single-shape, so the dead replica may hold no
+        # work (no failover needed); the death is still accounted and
+        # every request still completes bit-exactly.
+        assert "1 death(s)" in out
+        assert "bit-exact" in out
+
+    def test_fleet_tenant_weights_flow_through(self, capsys):
+        assert main(["serve", "--requests", "6", "--log-size", "6",
+                     "--replicas", "2",
+                     "--tenant-weight", "gold=4.0"]) == 0
+        assert "fleet of 2 replicas" in capsys.readouterr().out
+
+    def test_fleet_faults_need_a_fleet(self, capsys):
+        assert main(["serve", "--requests", "4", "--log-size", "6",
+                     "--fault", "replica-crash@1:replica=0"]) == 2
+        assert "--replicas" in capsys.readouterr().err
+
+    def test_fleet_rejects_single_server_durability_flags(self, capsys):
+        assert main(["serve", "--requests", "4", "--log-size", "6",
+                     "--replicas", "2", "--crash", "5"]) == 2
+        assert "--crash" in capsys.readouterr().err
+
+    def test_bad_tenant_weight_spec_exits_2(self, capsys):
+        assert main(["serve", "--requests", "4", "--log-size", "6",
+                     "--replicas", "2",
+                     "--tenant-weight", "goldfour"]) == 2
+        assert "TENANT=WEIGHT" in capsys.readouterr().err
+
+    def test_f25_experiment_is_registered(self):
+        from repro.cli import EXPERIMENTS
+
+        assert "f25" in EXPERIMENTS
+        build_parser().parse_args(["experiment", "f25"])

@@ -280,3 +280,56 @@ def test_every_analysis_check_is_documented():
     assert not missing, (
         f"analysis checks {missing} are registered but not documented "
         f"in docs/ANALYSIS.md")
+
+
+def test_fleet_guide_exists_and_covers_api():
+    path = os.path.join(DOCS, "FLEET.md")
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    for needle in ("FleetServer", "FleetPolicy", "FleetReport",
+                   "ConsistentHashRouter", "WeightedFairQueue",
+                   "VirtualClock", "EventLoop", "SharedCounter",
+                   "suspect_phi", "failover_phi", "replay_journal",
+                   "exactly once", "bit-identical", "--replicas",
+                   "f25", "trace.unresolved-suspicion",
+                   "trace.duplicate-complete", "lint.wall-clock"):
+        assert needle in text, f"docs/FLEET.md does not mention {needle}"
+
+
+def test_every_fleet_fault_kind_is_documented_in_fleet_md():
+    from repro.sim.faults import FLEET_KINDS
+
+    path = os.path.join(DOCS, "FLEET.md")
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    missing = [kind for kind in sorted(FLEET_KINDS)
+               if f"`{kind}`" not in text]
+    assert not missing, (
+        f"fleet fault kinds {missing} are consumed by FleetServer but "
+        f"not documented in docs/FLEET.md")
+
+
+def test_every_fleet_trace_kind_is_documented_in_fleet_md():
+    path = os.path.join(DOCS, "FLEET.md")
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    for kind in ("serve-route", "serve-heartbeat", "serve-failover",
+                 "serve-steal"):
+        assert f"`{kind}`" in text, (
+            f"fleet trace kind {kind} is not documented in docs/FLEET.md")
+
+
+def test_fleet_guide_is_cross_linked():
+    import re
+
+    root = os.path.dirname(DOCS)
+    for name in (os.path.join(root, "README.md"),
+                 os.path.join(DOCS, "API.md"),
+                 os.path.join(DOCS, "SERVING.md"),
+                 os.path.join(DOCS, "DURABILITY.md"),
+                 os.path.join(DOCS, "RESILIENCE.md"),
+                 os.path.join(DOCS, "ANALYSIS.md"),
+                 os.path.join(DOCS, "REPRODUCING.md")):
+        with open(name, encoding="utf-8") as handle:
+            assert re.search(r"FLEET\.md", handle.read()), (
+                f"{os.path.basename(name)} does not link to FLEET.md")
